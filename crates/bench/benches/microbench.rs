@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks of the FlexStep hot paths: instruction
+//! codec, simulator throughput, the verified-execution pipeline, and the
+//! schedulability machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use flexstep_core::harness::VerifiedRun;
+use flexstep_core::FabricConfig;
+use flexstep_isa::{decode, encode};
+use flexstep_sched::{generate, FlexStepPartitioner, GenParams, Partitioner};
+use flexstep_sim::{Soc, SocConfig};
+use flexstep_workloads::{by_name, nzdc_transform, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_codec(c: &mut Criterion) {
+    let program = by_name("dedup").unwrap().program(Scale::Test);
+    let words = program.text.clone();
+    let insts: Vec<_> = words.iter().map(|&w| decode::decode(w).unwrap()).collect();
+
+    let mut g = c.benchmark_group("isa_codec");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            for &w in &words {
+                black_box(decode::decode(black_box(w)).unwrap());
+            }
+        });
+    });
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            for i in &insts {
+                black_box(encode::encode(black_box(i)).unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let program = by_name("hmmer").unwrap().program(Scale::Test);
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("unverified_run", |b| {
+        b.iter(|| {
+            let mut soc = Soc::new(SocConfig::paper(1)).unwrap();
+            black_box(soc.run_to_ecall(&program, 50_000_000))
+        });
+    });
+    g.finish();
+}
+
+fn bench_verified_pipeline(c: &mut Criterion) {
+    let program = by_name("libquantum").unwrap().program(Scale::Test);
+    let mut g = c.benchmark_group("flexstep_pipeline");
+    g.bench_function("dual_core_verified_run", |b| {
+        b.iter(|| {
+            let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).unwrap();
+            let r = run.run_to_completion(200_000_000);
+            assert_eq!(r.segments_failed, 0);
+            black_box(r.segments_checked)
+        });
+    });
+    g.bench_function("nzdc_transform", |b| {
+        b.iter(|| black_box(nzdc_transform(black_box(&program)).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduling");
+    g.bench_function("uunifast_160", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = GenParams::paper(160, 4.0, 0.125, 0.125);
+        b.iter(|| black_box(generate(&mut rng, &params)));
+    });
+    g.bench_function("flexstep_partition_160x8", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = GenParams::paper(160, 4.0, 0.125, 0.125);
+        let ts = generate(&mut rng, &params);
+        b.iter(|| black_box(FlexStepPartitioner.partition(black_box(&ts), 8)));
+    });
+    g.finish();
+}
+
+fn bench_dbc_fifo(c: &mut Criterion) {
+    use flexstep_core::{BufferFifo, LogEntry, LogKind, Packet};
+    let entry = |i: u64| {
+        Packet::Mem(LogEntry { kind: LogKind::Load, addr: 0x1000 + i * 8, size: 8, data: i })
+    };
+    let mut g = c.benchmark_group("dbc_fifo");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("push_pop_1_consumer", |b| {
+        b.iter(|| {
+            let mut f = BufferFifo::new(1088, 4);
+            f.set_spill(true);
+            for i in 0..4096u64 {
+                f.push(entry(i)).unwrap();
+                if i % 2 == 1 {
+                    black_box(f.pop(0));
+                    black_box(f.pop(0));
+                }
+            }
+            black_box(f.total_pushed())
+        });
+    });
+    g.bench_function("push_pop_2_consumers", |b| {
+        b.iter(|| {
+            let mut f = BufferFifo::new(1088, 4);
+            f.set_spill(true);
+            f.set_consumers(2);
+            for i in 0..4096u64 {
+                f.push(entry(i)).unwrap();
+                if i % 2 == 1 {
+                    for c in 0..2 {
+                        black_box(f.pop(c));
+                        black_box(f.pop(c));
+                    }
+                }
+            }
+            black_box(f.total_pushed())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fault_campaign(c: &mut Criterion) {
+    use flexstep_bench::fig7_campaign;
+    let w = by_name("libquantum").unwrap();
+    let mut g = c.benchmark_group("fault_injection");
+    g.sample_size(10);
+    g.bench_function("fig7_campaign_5_injections", |b| {
+        b.iter(|| black_box(fig7_campaign(&w, Scale::Test, 5, 42)));
+    });
+    g.finish();
+}
+
+fn bench_motivating_des(c: &mut Criterion) {
+    use flexstep_sched::motivating::{simulate, Arch, Scenario};
+    let mut g = c.benchmark_group("fig1_des");
+    g.bench_function("three_architectures", |b| {
+        let s = Scenario::paper();
+        b.iter(|| {
+            for arch in [Arch::LockStep, Arch::Hmr, Arch::FlexStep] {
+                black_box(simulate(&s, arch));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec, bench_simulator, bench_verified_pipeline, bench_scheduling,
+        bench_dbc_fifo, bench_fault_campaign, bench_motivating_des
+}
+criterion_main!(benches);

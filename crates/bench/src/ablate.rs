@@ -1,0 +1,244 @@
+//! Ablation studies over FlexStep's design knobs (DESIGN.md §7).
+//!
+//! Three sweeps, each isolating one design choice the paper fixes:
+//!
+//! - **Segment length** (`ablate_segment`): the §III-A 5 000-instruction
+//!   limit trades checkpoint-extraction overhead (slowdown) against
+//!   detection latency — shorter segments detect faster but checkpoint
+//!   more often.
+//! - **FIFO capacity / DMA spill** (`ablate_fifo`): the §III-C buffering
+//!   decides how far a checker may lag; without spill, a small SRAM hard-
+//!   backpressures the main core.
+//! - **Virtual deadline** (`ablate_vd`): §V fixes `D' = D/2` (V2) and
+//!   `(√2 − 1)·D` (V3) as the density-minimising split; the sweep shows
+//!   schedulability peaking there.
+
+use crate::{fig7_campaign_with, MAX_INSTRUCTIONS, MAX_STEPS};
+use flexstep_core::harness::{baseline_cycles, VerifiedRun};
+use flexstep_core::{FabricConfig, LatencyStats};
+use flexstep_sched::model::VdPolicy;
+use flexstep_sched::partition::{Partitioner, VdFlexStepPartitioner};
+use flexstep_sched::uunifast::{generate, GenParams};
+use flexstep_workloads::{Scale, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One row of the segment-length ablation.
+#[derive(Debug, Clone)]
+pub struct SegmentSweepRow {
+    /// The checking-segment instruction limit.
+    pub limit: u64,
+    /// Main-core slowdown vs unprotected execution.
+    pub slowdown: f64,
+    /// Segments produced over the run.
+    pub segments: u64,
+    /// Detection-latency statistics from an injection campaign.
+    pub latency: Option<LatencyStats>,
+}
+
+/// Sweeps the checking-segment instruction limit on one workload,
+/// measuring slowdown and detection latency at each point.
+///
+/// # Panics
+///
+/// Panics if the workload fails to run to completion.
+pub fn segment_sweep(
+    workload: &Workload,
+    scale: Scale,
+    limits: &[u64],
+    injections: usize,
+    seed: u64,
+) -> Vec<SegmentSweepRow> {
+    let program = workload.program(scale);
+    let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
+    limits
+        .iter()
+        .map(|&limit| {
+            let fabric = FabricConfig { segment_limit: limit, ..FabricConfig::paper() };
+            let mut run = VerifiedRun::dual_core(&program, fabric).expect("setup");
+            let report = run.run_to_completion(MAX_STEPS);
+            assert!(report.completed, "{} did not finish at limit {limit}", workload.name);
+            assert_eq!(report.segments_failed, 0, "clean run must verify clean");
+            let campaign = fig7_campaign_with(workload, scale, injections, seed, fabric);
+            SegmentSweepRow {
+                limit,
+                slowdown: report.main_finish_cycle as f64 / base as f64,
+                segments: report.segments_checked,
+                latency: campaign.stats,
+            }
+        })
+        .collect()
+}
+
+/// One row of the FIFO-capacity ablation.
+#[derive(Debug, Clone)]
+pub struct FifoSweepRow {
+    /// DBC SRAM entry capacity in bytes.
+    pub entry_bytes: usize,
+    /// Whether DMA spill to main memory was enabled.
+    pub dma_spill: bool,
+    /// Main-core slowdown vs unprotected execution.
+    pub slowdown: f64,
+    /// Steps the main core spent stalled on backpressure.
+    pub backpressure_stalls: u64,
+    /// Packets that overflowed the SRAM into the DMA spill path.
+    pub spilled_packets: u64,
+    /// High-water mark of SRAM entry bytes.
+    pub peak_used_bytes: usize,
+}
+
+/// Sweeps the DBC SRAM capacity with and without DMA spill on one
+/// workload.
+///
+/// # Panics
+///
+/// Panics if the workload fails to run to completion.
+pub fn fifo_sweep(workload: &Workload, scale: Scale, sizes: &[usize]) -> Vec<FifoSweepRow> {
+    let program = workload.program(scale);
+    let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
+    let mut rows = Vec::new();
+    for &dma_spill in &[false, true] {
+        for &entry_bytes in sizes {
+            let fabric = FabricConfig {
+                fifo_entry_bytes: entry_bytes,
+                dma_spill,
+                // SRAM-only mode needs the paper_strict checkpoint budget;
+                // with spill the checkpoint slots never bind.
+                checkpoint_slots: if dma_spill { 4 } else { 2 },
+                ..FabricConfig::paper()
+            };
+            let mut run = VerifiedRun::dual_core(&program, fabric).expect("setup");
+            let report = run.run_to_completion(MAX_STEPS);
+            assert!(
+                report.completed,
+                "{} did not finish at {entry_bytes} B (spill={dma_spill})",
+                workload.name
+            );
+            assert_eq!(report.segments_failed, 0);
+            let fifo = &run.fs.fabric.unit(0).fifo;
+            rows.push(FifoSweepRow {
+                entry_bytes,
+                dma_spill,
+                slowdown: report.main_finish_cycle as f64 / base as f64,
+                backpressure_stalls: report.backpressure_stalls,
+                spilled_packets: fifo.spilled_packets(),
+                peak_used_bytes: fifo.peak_used_bytes(),
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the virtual-deadline ablation.
+#[derive(Debug, Clone)]
+pub struct VdSweepRow {
+    /// The uniform deadline fraction `θ` under test.
+    pub theta: f64,
+    /// Acceptance percentage per requested utilisation point.
+    pub acceptance: Vec<f64>,
+}
+
+/// Sweeps a uniform virtual-deadline fraction `θ` (applied to both V2
+/// and V3 tasks) over UUniFast task sets, reporting the percentage of
+/// schedulable sets per utilisation point. The paper's split sits at the
+/// acceptance peak.
+pub fn vd_sweep(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    thetas: &[f64],
+    utils: &[f64],
+    sets_per_point: usize,
+    seed: u64,
+) -> Vec<VdSweepRow> {
+    thetas
+        .iter()
+        .map(|&theta| {
+            let partitioner = VdFlexStepPartitioner::new(VdPolicy::uniform(theta));
+            let acceptance = utils
+                .iter()
+                .enumerate()
+                .map(|(pi, &u)| {
+                    let mut ok = 0usize;
+                    for s in 0..sets_per_point {
+                        // The same seeds across θ values: every policy
+                        // sees identical task sets.
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (pi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ (s as u64) << 24,
+                        );
+                        let params = GenParams::paper(n, u * m as f64, alpha, beta);
+                        let ts = generate(&mut rng, &params);
+                        if partitioner.schedulable(&ts, m) {
+                            ok += 1;
+                        }
+                    }
+                    100.0 * ok as f64 / sets_per_point as f64
+                })
+                .collect();
+            VdSweepRow { theta, acceptance }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexstep_workloads::by_name;
+
+    #[test]
+    fn shorter_segments_more_checkpoints() {
+        let w = by_name("libquantum").unwrap();
+        let rows = segment_sweep(&w, Scale::Test, &[500, 5000], 0, 1);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[0].segments > rows[1].segments,
+            "500-instruction segments must outnumber 5000-instruction ones: {rows:?}"
+        );
+        assert!(rows[0].slowdown >= rows[1].slowdown - 0.005, "more checkpoints cost more");
+        for r in &rows {
+            assert!(r.slowdown >= 1.0 && r.slowdown < 1.5);
+        }
+    }
+
+    #[test]
+    fn shorter_segments_detect_faster() {
+        let w = by_name("libquantum").unwrap();
+        let rows = segment_sweep(&w, Scale::Test, &[500, 10_000], 8, 3);
+        let (short, long) = (&rows[0], &rows[1]);
+        let (ss, ls) = (short.latency.expect("detections"), long.latency.expect("detections"));
+        assert!(
+            ss.mean_us < ls.mean_us + 1e-9,
+            "short segments cannot detect slower on average: {ss:?} vs {ls:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_sram_without_spill_backpressures() {
+        let w = by_name("dedup").unwrap();
+        let rows = fifo_sweep(&w, Scale::Test, &[272, 4352]);
+        let strict_small = rows.iter().find(|r| !r.dma_spill && r.entry_bytes == 272).unwrap();
+        let spill_small = rows.iter().find(|r| r.dma_spill && r.entry_bytes == 272).unwrap();
+        assert!(
+            strict_small.backpressure_stalls > spill_small.backpressure_stalls,
+            "hard SRAM bound must stall more: {rows:?}"
+        );
+        assert_eq!(spill_small.backpressure_stalls, 0, "spill never backpressures");
+        assert!(spill_small.spilled_packets > 0, "small SRAM must spill");
+        for r in &rows {
+            assert!(r.peak_used_bytes <= r.entry_bytes || r.dma_spill);
+        }
+    }
+
+    #[test]
+    fn paper_theta_peaks_acceptance() {
+        let thetas = [0.3, 0.5, 0.7];
+        let rows = vd_sweep(4, 16, 0.25, 0.0, &thetas, &[0.55], 60, 11);
+        let at = |theta: f64| {
+            rows.iter().find(|r| (r.theta - theta).abs() < 1e-9).unwrap().acceptance[0]
+        };
+        assert!(at(0.5) >= at(0.3), "paper split beats a tight original window");
+        assert!(at(0.5) >= at(0.7), "paper split beats a tight checking window");
+    }
+}

@@ -1,0 +1,41 @@
+//! FIFO-capacity ablation: the §III-C buffering decides how far a
+//! checker may lag; without DMA spill a small SRAM hard-backpressures
+//! the main core.
+//!
+//! Usage: `ablate_fifo [--scale test|small|medium]`
+
+use flexstep_bench::ablate::fifo_sweep;
+use flexstep_workloads::{by_name, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)) {
+        Some(s) if s == "small" => Scale::Small,
+        Some(s) if s == "medium" => Scale::Medium,
+        _ => Scale::Test,
+    };
+
+    let sizes = [272, 544, 1_088, 2_176, 4_352, 17_408];
+    println!("DBC SRAM capacity ablation (paper default: 1088 B + DMA spill)");
+    for name in ["dedup", "swaptions"] {
+        let w = by_name(name).expect("known workload");
+        let rows = fifo_sweep(&w, scale, &sizes);
+        println!();
+        println!("workload: {name}");
+        println!(
+            "{:>9} {:>6} {:>10} {:>14} {:>10} {:>10}",
+            "SRAM B", "spill", "slowdown", "backpressure", "spilled", "peak B"
+        );
+        for r in &rows {
+            println!(
+                "{:>9} {:>6} {:>10.4} {:>14} {:>10} {:>10}",
+                r.entry_bytes,
+                r.dma_spill,
+                r.slowdown,
+                r.backpressure_stalls,
+                r.spilled_packets,
+                r.peak_used_bytes
+            );
+        }
+    }
+}

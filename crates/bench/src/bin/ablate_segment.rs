@@ -1,0 +1,44 @@
+//! Segment-length ablation: the §III-A 5 000-instruction limit trades
+//! checkpoint overhead (slowdown) against detection latency.
+//!
+//! Usage: `ablate_segment [--scale test|small|medium] [--injections N]`
+
+use flexstep_bench::ablate::segment_sweep;
+use flexstep_workloads::{by_name, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)) {
+        Some(s) if s == "small" => Scale::Small,
+        Some(s) if s == "medium" => Scale::Medium,
+        _ => Scale::Test,
+    };
+    let injections = args
+        .iter()
+        .position(|a| a == "--injections")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+
+    let limits = [500, 1_000, 2_500, 5_000, 10_000, 20_000];
+    println!("Segment-length ablation (paper default: 5000 instructions)");
+    for name in ["blackscholes", "libquantum"] {
+        let w = by_name(name).expect("known workload");
+        let rows = segment_sweep(&w, scale, &limits, injections, 0xF1E0 + name.len() as u64);
+        println!();
+        println!("workload: {name}");
+        println!(
+            "{:>8} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            "limit", "slowdown", "segments", "mean lat µs", "p99 lat µs", "max lat µs"
+        );
+        for r in &rows {
+            let (mean, p99, max) = r
+                .latency
+                .map_or((f64::NAN, f64::NAN, f64::NAN), |s| (s.mean_us, s.p99_us, s.max_us));
+            println!(
+                "{:>8} {:>10.4} {:>10} {:>12.2} {:>12.2} {:>12.2}",
+                r.limit, r.slowdown, r.segments, mean, p99, max
+            );
+        }
+    }
+}

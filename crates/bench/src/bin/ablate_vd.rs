@@ -1,0 +1,44 @@
+//! Virtual-deadline ablation: §V fixes `D' = D/2` (double-check) and
+//! `(√2 − 1)·D ≈ 0.414·D` (triple-check) as the density-minimising
+//! split. Sweeping a uniform fraction θ shows schedulability peaking
+//! around those values.
+//!
+//! Usage: `ablate_vd [--sets N]`
+
+use flexstep_bench::ablate::vd_sweep;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sets = args
+        .iter()
+        .position(|a| a == "--sets")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+
+    let thetas = [0.20, 0.30, 0.40, 0.414, 0.50, 0.60, 0.70, 0.80];
+    let utils = [0.45, 0.55, 0.65];
+
+    println!("Virtual-deadline ablation — acceptance % per θ (uniform for V2+V3)");
+    println!();
+    println!("config A: m=8, n=160, α=25%, β=0% (V2 only; paper optimum θ=0.5)");
+    print_table(&thetas, &utils, &vd_sweep(8, 160, 0.25, 0.0, &thetas, &utils, sets, 21));
+    println!();
+    println!("config B: m=8, n=160, α=0%, β=25% (V3 only; paper optimum θ≈0.414)");
+    print_table(&thetas, &utils, &vd_sweep(8, 160, 0.0, 0.25, &thetas, &utils, sets, 22));
+}
+
+fn print_table(thetas: &[f64], utils: &[f64], rows: &[flexstep_bench::ablate::VdSweepRow]) {
+    print!("{:>7}", "θ");
+    for u in utils {
+        print!(" {:>9}", format!("U={u:.2}"));
+    }
+    println!();
+    for (t, r) in thetas.iter().zip(rows) {
+        print!("{t:>7.3}");
+        for a in &r.acceptance {
+            print!(" {a:>9.1}");
+        }
+        println!();
+    }
+}

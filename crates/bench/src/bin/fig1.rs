@@ -1,0 +1,35 @@
+//! Fig. 1: the motivating dual-core scenario scheduled under LockStep,
+//! HMR and FlexStep — reproduces the paper's qualitative outcomes
+//! (LockStep and HMR each lose a τ1 deadline; FlexStep meets everything).
+//!
+//! Usage: `fig1 [--horizon T]`
+
+use flexstep_sched::motivating::{gantt, simulate, Arch, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scenario = Scenario::paper();
+    if let Some(h) = arg_value(&args, "--horizon").and_then(|v| v.parse().ok()) {
+        scenario.horizon = h;
+    }
+
+    println!("Fig. 1 — scheduling on dual-core architectures");
+    println!(
+        "tasks: τ1 (C=15, T=20, non-verification), τ2 (C=10, T=50, emergency: first job checked), τ3 (C=8, T=15, non-verification)"
+    );
+    println!("legend: digit = original execution, v = verification, . = idle\n");
+
+    for (arch, caption) in [
+        (Arch::LockStep, "(a) LockStep: fixed main core 0 & checker core 1"),
+        (Arch::Hmr, "(b) HMR: limited flexibility and synchronous checking"),
+        (Arch::FlexStep, "(c) FlexStep: asynchronous, selective, preemptive checking"),
+    ] {
+        let outcome = simulate(&scenario, arch);
+        println!("{caption}");
+        println!("{}", gantt(&scenario, &outcome));
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

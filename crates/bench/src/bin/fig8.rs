@@ -1,0 +1,34 @@
+//! Fig. 8: average power and area of Vanilla vs FlexStep SoCs from 2 to
+//! 32 cores (analytical 28 nm model calibrated to the paper's anchors).
+
+use flexstep_soc::{flexstep_soc, vanilla_soc};
+
+fn main() {
+    println!("Fig. 8(a) — average power (W)");
+    println!("{:>8} {:>10} {:>10} {:>9}", "cores", "Vanilla", "FlexStep", "overhead");
+    for n in [2usize, 4, 8, 16, 32] {
+        let v = vanilla_soc(n);
+        let f = flexstep_soc(n);
+        println!(
+            "{:>8} {:>10.3} {:>10.3} {:>8.2}%",
+            n,
+            v.power_w(),
+            f.power_w(),
+            100.0 * (f.power_w() - v.power_w()) / v.power_w()
+        );
+    }
+    println!();
+    println!("Fig. 8(b) — area (mm²)");
+    println!("{:>8} {:>10} {:>10} {:>9}", "cores", "Vanilla", "FlexStep", "overhead");
+    for n in [2usize, 4, 8, 16, 32] {
+        let v = vanilla_soc(n);
+        let f = flexstep_soc(n);
+        println!(
+            "{:>8} {:>10.3} {:>10.3} {:>8.2}%",
+            n,
+            v.area_mm2(),
+            f.area_mm2(),
+            100.0 * (f.area_mm2() - v.area_mm2()) / v.area_mm2()
+        );
+    }
+}

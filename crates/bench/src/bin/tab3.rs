@@ -1,0 +1,28 @@
+//! Tab. III: average power and area of Vanilla and FlexStep 4-core SoCs,
+//! with the full synthesis-report-style component breakdown.
+
+use flexstep_soc::{flexstep_soc, vanilla_soc};
+
+fn main() {
+    let v = vanilla_soc(4);
+    let f = flexstep_soc(4);
+    println!("Tab. III — 4-core SoC, TSMC 28 nm");
+    println!("{:<12} {:>10} {:>10} {:>10}", "", "Vanilla", "FlexStep", "overhead");
+    println!(
+        "{:<12} {:>10.3} {:>10.3} {:>9.2}%",
+        "power (W)",
+        v.power_w(),
+        f.power_w(),
+        100.0 * (f.power_w() - v.power_w()) / v.power_w()
+    );
+    println!(
+        "{:<12} {:>10.2} {:>10.2} {:>9.2}%",
+        "area (mm²)",
+        v.area_mm2(),
+        f.area_mm2(),
+        100.0 * (f.area_mm2() - v.area_mm2()) / v.area_mm2()
+    );
+    println!();
+    println!("{v}");
+    println!("{f}");
+}

@@ -1,0 +1,388 @@
+//! Data Buffering and Channelling units (Fig. 2.c).
+//!
+//! Each core owns a [`BufferFifo`] — the SRAM FIFO that buffers a main
+//! core's outgoing checking-segment data. The System Interconnect
+//! (a MUX/DEMUX network controlled by the global configuration register)
+//! routes a main core's FIFO to one or more checker cores: the FIFO
+//! therefore supports *multiple consumers with independent cursors*, and a
+//! packet's storage is only reclaimed once every consumer has passed it.
+//! This is what makes triple-core mode (1 : 2) slightly slower than
+//! dual-core mode in Fig. 6 — the slower checker gates reclamation and
+//! back-pressures the main core sooner.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned when a push would exceed the FIFO capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFull {
+    /// Bytes the rejected packet needed.
+    pub needed: usize,
+    /// Bytes currently free.
+    pub free: usize,
+}
+
+impl fmt::Display for FifoFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo full: need {} bytes, {} free", self.needed, self.free)
+    }
+}
+
+impl std::error::Error for FifoFull {}
+
+/// An SRAM data-buffer FIFO with independent consumer cursors.
+///
+/// Capacity is accounted per packet class, mirroring the paper's storage
+/// split: log entries and instruction counts occupy the DBC SRAM
+/// (`entry_capacity` bytes, 1 088 B in Tab. III), while SCP/ECP
+/// checkpoints stage through the ASS and are limited by *slots*
+/// (`checkpoint_slots`, double-buffered per §III-A). Optionally, overflow
+/// spills to main memory via DMA (§III-C), making pushes unbounded but
+/// tracked for cost accounting.
+#[derive(Debug, Clone)]
+pub struct BufferFifo {
+    entry_capacity: usize,
+    checkpoint_slots: usize,
+    spill: bool,
+    /// Packets not yet consumed by *all* consumers, oldest first.
+    queue: VecDeque<Packet>,
+    /// Absolute sequence number of `queue[0]`.
+    head_seq: u64,
+    /// Absolute position of each consumer (next packet to read).
+    cursors: Vec<u64>,
+    /// Entry-class bytes held by `queue`.
+    used: usize,
+    /// Checkpoint packets held by `queue`.
+    checkpoints: usize,
+    /// High-water mark of entry bytes, for experiments.
+    peak_used: usize,
+    /// Packets pushed beyond SRAM capacity (DMA spill traffic).
+    spilled: u64,
+    /// Total packets ever pushed.
+    pushed: u64,
+    /// ECP packets ever pushed (complete-segment tracking).
+    ecps_pushed: u64,
+    /// ECP packets consumed, per consumer.
+    ecps_consumed: Vec<u64>,
+}
+
+impl BufferFifo {
+    /// Creates a FIFO with the given entry-byte capacity, checkpoint
+    /// slots, and one consumer.
+    pub fn new(entry_capacity: usize, checkpoint_slots: usize) -> Self {
+        BufferFifo {
+            entry_capacity,
+            checkpoint_slots,
+            spill: false,
+            queue: VecDeque::new(),
+            head_seq: 0,
+            cursors: vec![0],
+            used: 0,
+            checkpoints: 0,
+            peak_used: 0,
+            spilled: 0,
+            pushed: 0,
+            ecps_pushed: 0,
+            ecps_consumed: vec![0],
+        }
+    }
+
+    /// Enables or disables DMA spill to main memory: when enabled, pushes
+    /// never fail, but packets beyond SRAM capacity are counted in
+    /// [`BufferFifo::spilled`](Self::spilled_packets) so the engine can
+    /// charge DMA cycles.
+    pub fn set_spill(&mut self, spill: bool) {
+        self.spill = spill;
+    }
+
+    /// Packets pushed while the SRAM was full (went through DMA spill).
+    pub fn spilled_packets(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Reconfigures the number of consumers (1 for DCLS-like, 2 for
+    /// TCLS-like channels). Resets cursors; only valid on an empty FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is not empty — the interconnect may only be
+    /// reconfigured between segments.
+    pub fn set_consumers(&mut self, n: usize) {
+        assert!(self.queue.is_empty(), "cannot re-channel a non-empty FIFO");
+        assert!(n >= 1, "at least one consumer required");
+        self.cursors = vec![self.head_seq; n];
+        self.ecps_consumed = vec![self.ecps_pushed; n];
+    }
+
+    /// Number of consumers.
+    pub fn consumers(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Entry-class capacity in bytes (the DBC SRAM size).
+    pub fn capacity_bytes(&self) -> usize {
+        self.entry_capacity
+    }
+
+    /// Entry-class bytes currently buffered (not yet consumed by all
+    /// consumers).
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Checkpoints currently in flight.
+    pub fn checkpoints_in_flight(&self) -> usize {
+        self.checkpoints
+    }
+
+    /// Highest entry-byte usage observed.
+    pub fn peak_used_bytes(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Total packets pushed over the FIFO's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Whether `entry_bytes` more entry bytes and `cps` more checkpoints
+    /// would fit right now (always `true` with spill enabled).
+    pub fn can_accept(&self, entry_bytes: usize, cps: usize) -> bool {
+        self.spill
+            || (self.used + entry_bytes <= self.entry_capacity
+                && self.checkpoints + cps <= self.checkpoint_slots)
+    }
+
+    /// Whether all consumers have drained everything.
+    pub fn is_fully_drained(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pushes a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFull`] when the packet does not fit; the producer
+    /// (main core) must stall — this is the backpressure path. With spill
+    /// enabled, never fails.
+    pub fn push(&mut self, packet: Packet) -> Result<(), FifoFull> {
+        let (entry_bytes, cps) =
+            if packet.is_checkpoint() { (0, 1) } else { (packet.bytes(), 0) };
+        if !self.can_accept(entry_bytes, cps) {
+            return Err(FifoFull {
+                needed: entry_bytes.max(cps * Packet::bytes(&packet)),
+                free: self.entry_capacity.saturating_sub(self.used),
+            });
+        }
+        if self.used + entry_bytes > self.entry_capacity
+            || self.checkpoints + cps > self.checkpoint_slots
+        {
+            self.spilled += 1;
+        }
+        self.used += entry_bytes;
+        self.checkpoints += cps;
+        self.peak_used = self.peak_used.max(self.used);
+        self.pushed += 1;
+        if matches!(packet, Packet::Ecp(_)) {
+            self.ecps_pushed += 1;
+        }
+        self.queue.push_back(packet);
+        Ok(())
+    }
+
+    /// Peeks the next packet for `consumer` without consuming it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    pub fn peek(&self, consumer: usize) -> Option<&Packet> {
+        let pos = self.cursors[consumer];
+        let idx = (pos - self.head_seq) as usize;
+        self.queue.get(idx)
+    }
+
+    /// Consumes the next packet for `consumer`. Storage is reclaimed once
+    /// the slowest consumer passes the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    pub fn pop(&mut self, consumer: usize) -> Option<Packet> {
+        let pos = self.cursors[consumer];
+        let idx = (pos - self.head_seq) as usize;
+        let packet = *self.queue.get(idx)?;
+        self.cursors[consumer] += 1;
+        if matches!(packet, Packet::Ecp(_)) {
+            self.ecps_consumed[consumer] += 1;
+        }
+        self.reclaim();
+        Some(packet)
+    }
+
+    /// Number of *complete* segments (terminated by an ECP) ahead of
+    /// `consumer`. The checker starts replaying a segment only when it is
+    /// fully buffered (the IC bounds the replay and no mid-segment stall
+    /// can occur) — the Paramedic-style consumption model the paper's
+    /// asynchronous checking builds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    pub fn complete_segments_ahead(&self, consumer: usize) -> u64 {
+        self.ecps_pushed - self.ecps_consumed[consumer]
+    }
+
+    /// Number of packets still ahead of `consumer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    pub fn backlog(&self, consumer: usize) -> usize {
+        let pos = self.cursors[consumer];
+        self.queue.len() - (pos - self.head_seq) as usize
+    }
+
+    fn reclaim(&mut self) {
+        let min_pos = *self.cursors.iter().min().expect("at least one consumer");
+        while self.head_seq < min_pos {
+            let packet = self.queue.pop_front().expect("cursor past queue head");
+            if packet.is_checkpoint() {
+                self.checkpoints -= 1;
+            } else {
+                self.used -= packet.bytes();
+            }
+            self.head_seq += 1;
+        }
+    }
+
+    /// Drops all buffered packets and realigns cursors (used when the OS
+    /// tears down an association).
+    pub fn reset(&mut self) {
+        let dropped = self.queue.len() as u64;
+        self.queue.clear();
+        self.used = 0;
+        self.checkpoints = 0;
+        let max = *self.cursors.iter().max().unwrap_or(&0);
+        let base = max.max(self.head_seq).max(self.head_seq + dropped);
+        self.head_seq = base;
+        for c in &mut self.cursors {
+            *c = base;
+        }
+        for e in &mut self.ecps_consumed {
+            *e = self.ecps_pushed;
+        }
+    }
+
+    /// Mutable access to a buffered packet by queue index (fault
+    /// injection into in-flight data).
+    pub(crate) fn packet_mut(&mut self, idx: usize) -> Option<&mut Packet> {
+        self.queue.get_mut(idx)
+    }
+
+    /// Number of packets currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no packets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{LogEntry, LogKind};
+
+    fn entry(data: u64) -> Packet {
+        Packet::Mem(LogEntry { kind: LogKind::Load, addr: 0x100, size: 8, data })
+    }
+
+    #[test]
+    fn fifo_orders_packets() {
+        let mut f = BufferFifo::new(1024, 4);
+        f.push(entry(1)).unwrap();
+        f.push(entry(2)).unwrap();
+        assert_eq!(f.pop(0), Some(entry(1)));
+        assert_eq!(f.pop(0), Some(entry(2)));
+        assert_eq!(f.pop(0), None);
+    }
+
+    #[test]
+    fn capacity_enforced_and_reported() {
+        let mut f = BufferFifo::new(40, 2); // fits two 16-byte entries
+        f.push(entry(1)).unwrap();
+        f.push(entry(2)).unwrap();
+        let err = f.push(entry(3)).unwrap_err();
+        assert_eq!(err, FifoFull { needed: 16, free: 8 });
+        f.pop(0);
+        assert!(f.push(entry(3)).is_ok());
+    }
+
+    #[test]
+    fn two_consumers_share_storage() {
+        let mut f = BufferFifo::new(64, 2);
+        f.set_consumers(2);
+        f.push(entry(1)).unwrap();
+        f.push(entry(2)).unwrap();
+        // Consumer 0 reads both; storage is NOT reclaimed yet.
+        assert_eq!(f.pop(0), Some(entry(1)));
+        assert_eq!(f.pop(0), Some(entry(2)));
+        assert_eq!(f.used_bytes(), 32, "slow consumer still holds the data");
+        assert!(!f.can_accept(64, 0));
+        // Consumer 1 catches up; storage frees.
+        assert_eq!(f.pop(1), Some(entry(1)));
+        assert_eq!(f.used_bytes(), 16);
+        assert_eq!(f.pop(1), Some(entry(2)));
+        assert_eq!(f.used_bytes(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = BufferFifo::new(64, 2);
+        f.push(entry(9)).unwrap();
+        assert_eq!(f.peek(0), Some(&entry(9)));
+        assert_eq!(f.peek(0), Some(&entry(9)));
+        assert_eq!(f.backlog(0), 1);
+        f.pop(0);
+        assert_eq!(f.peek(0), None);
+        assert_eq!(f.backlog(0), 0);
+    }
+
+    #[test]
+    fn peak_usage_tracked() {
+        let mut f = BufferFifo::new(64, 2);
+        f.push(entry(1)).unwrap();
+        f.push(entry(2)).unwrap();
+        f.pop(0);
+        f.pop(0);
+        assert_eq!(f.used_bytes(), 0);
+        assert_eq!(f.peak_used_bytes(), 32);
+        assert_eq!(f.total_pushed(), 2);
+    }
+
+    #[test]
+    fn reset_realigns_all_cursors() {
+        let mut f = BufferFifo::new(128, 2);
+        f.set_consumers(2);
+        f.push(entry(1)).unwrap();
+        f.push(entry(2)).unwrap();
+        f.pop(0);
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.used_bytes(), 0);
+        f.push(entry(3)).unwrap();
+        assert_eq!(f.pop(0), Some(entry(3)));
+        assert_eq!(f.pop(1), Some(entry(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot re-channel")]
+    fn rechannel_requires_empty() {
+        let mut f = BufferFifo::new(64, 2);
+        f.push(entry(1)).unwrap();
+        f.set_consumers(2);
+    }
+}

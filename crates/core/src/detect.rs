@@ -1,0 +1,175 @@
+//! Detection events and mismatch classification.
+
+use flexstep_sim::hart::SnapshotDiff;
+use std::fmt;
+
+/// How a divergence between main and checker execution was detected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MismatchKind {
+    /// The replayed instruction's access class differs from the log entry
+    /// (e.g. the checker executed a store where the log holds a load).
+    LogKind {
+        /// Entry kind found in the log.
+        expected: String,
+        /// Access class the checker produced.
+        actual: String,
+    },
+    /// Effective-address mismatch on a logged access.
+    LogAddr {
+        /// Address recorded by the main core.
+        expected: u64,
+        /// Address computed by the checker.
+        actual: u64,
+    },
+    /// Data mismatch on a store/SC/AMO entry.
+    LogData {
+        /// Data recorded by the main core.
+        expected: u64,
+        /// Data computed by the checker.
+        actual: u64,
+    },
+    /// End-checkpoint architectural-state mismatch; carries the differing
+    /// fields.
+    Ecp {
+        /// The differing checkpoint fields.
+        diffs: Vec<SnapshotDiff>,
+    },
+    /// The checker needed a log entry but the stream held a control
+    /// packet or ended prematurely (count corruption, protocol break).
+    LogUnderrun,
+    /// Replay execution itself faulted (illegal instruction, misaligned
+    /// access) — corrupted forwarded state derailed the checker.
+    CheckerFault {
+        /// Human-readable fault description.
+        what: String,
+    },
+    /// The replayed instruction count overran the received count packet.
+    CountOverrun {
+        /// Count received from the main core.
+        expected: u64,
+        /// Count the checker reached.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for MismatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MismatchKind::LogKind { expected, actual } => {
+                write!(f, "log kind mismatch: log has {expected}, checker did {actual}")
+            }
+            MismatchKind::LogAddr { expected, actual } => {
+                write!(f, "address mismatch: log {expected:#x}, checker {actual:#x}")
+            }
+            MismatchKind::LogData { expected, actual } => {
+                write!(f, "data mismatch: log {expected:#x}, checker {actual:#x}")
+            }
+            MismatchKind::Ecp { diffs } => {
+                write!(f, "ECP mismatch in {} field(s)", diffs.len())?;
+                if let Some(first) = diffs.first() {
+                    write!(f, " (first: {first})")?;
+                }
+                Ok(())
+            }
+            MismatchKind::LogUnderrun => write!(f, "log underrun / protocol break"),
+            MismatchKind::CheckerFault { what } => write!(f, "checker fault: {what}"),
+            MismatchKind::CountOverrun { expected, actual } => {
+                write!(f, "count overrun: main reported {expected}, checker at {actual}")
+            }
+        }
+    }
+}
+
+/// An error-detection event reported by a checker core (`C.result`
+/// returning a failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionEvent {
+    /// The main core whose stream failed verification.
+    pub main_core: usize,
+    /// The checker core that detected it.
+    pub checker_core: usize,
+    /// The failing segment's sequence number.
+    pub segment_seq: u64,
+    /// The OS stream tag (task id) of the segment.
+    pub tag: u64,
+    /// What diverged.
+    pub kind: MismatchKind,
+    /// Cycle at which the checker flagged the mismatch.
+    pub detected_at: u64,
+}
+
+impl fmt::Display for DetectionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "detection @{}: core {} checking core {} segment {}: {}",
+            self.detected_at, self.checker_core, self.main_core, self.segment_seq, self.kind
+        )
+    }
+}
+
+/// Verification verdict of one completed segment (the value `C.result`
+/// returns to the checker thread).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentResult {
+    /// Segment sequence number.
+    pub seq: u64,
+    /// Stream tag.
+    pub tag: u64,
+    /// `None` when the segment verified clean; the mismatch otherwise.
+    pub mismatch: Option<MismatchKind>,
+    /// Cycle at which the verdict was produced.
+    pub at: u64,
+}
+
+impl SegmentResult {
+    /// Whether the segment verified clean.
+    pub fn is_ok(&self) -> bool {
+        self.mismatch.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let k = MismatchKind::LogAddr { expected: 0x1000, actual: 0x1008 };
+        assert_eq!(k.to_string(), "address mismatch: log 0x1000, checker 0x1008");
+        let e = DetectionEvent {
+            main_core: 0,
+            checker_core: 1,
+            segment_seq: 5,
+            tag: 9,
+            kind: MismatchKind::LogUnderrun,
+            detected_at: 1234,
+        };
+        let s = e.to_string();
+        assert!(s.contains("segment 5"));
+        assert!(s.contains("@1234"));
+    }
+
+    #[test]
+    fn segment_result_verdict() {
+        let ok = SegmentResult { seq: 0, tag: 0, mismatch: None, at: 10 };
+        assert!(ok.is_ok());
+        let bad = SegmentResult {
+            seq: 1,
+            tag: 0,
+            mismatch: Some(MismatchKind::LogUnderrun),
+            at: 20,
+        };
+        assert!(!bad.is_ok());
+    }
+
+    #[test]
+    fn ecp_display_counts_fields() {
+        let k = MismatchKind::Ecp {
+            diffs: vec![SnapshotDiff { field: "x5".into(), expected: 1, actual: 2 }],
+        };
+        let s = k.to_string();
+        assert!(s.contains("1 field"));
+        assert!(s.contains("x5"));
+    }
+}

@@ -1,0 +1,578 @@
+//! The FlexStep execution engine: couples the [`Fabric`] to the simulated
+//! [`Soc`].
+//!
+//! - **Main cores** step normally; the engine captures SCPs at segment
+//!   open, logs every user-mode memory access into the core's FIFO,
+//!   closes segments on the count limit or privilege switch, and stalls
+//!   the core (backpressure) when the FIFO cannot accept the worst-case
+//!   burst of the next instruction.
+//! - **Checker cores** run the replay loop of Al. 2: wait for an SCP,
+//!   apply it, replay with the log-backed port, and compare the ECP.
+//!
+//! The checker only advances when its stream is non-empty: each buffered
+//! packet is evidence of how far the main core got, so the checker can
+//! never run past an asynchronous segment boundary (e.g. a preemption on
+//! the main core) it has not yet been told about. On an empty stream the
+//! checker stalls — this conservative rule is what makes asynchronous,
+//! preemptive checking safe.
+
+use crate::checker::{CheckPhase, CheckerState, ReplayPort};
+use crate::detect::{DetectionEvent, MismatchKind, SegmentResult};
+use crate::fabric::{CoreAttr, Fabric, FabricConfig, FlexError};
+use crate::packet::{log_entries, Packet};
+use crate::rcpm::SegmentClose;
+use flexstep_isa::inst::FlexOp;
+use flexstep_isa::XReg;
+use flexstep_mem::cache::CacheGeometryError;
+use flexstep_sim::{PrivMode, Retired, Soc, SocConfig, StepKind, StepResult};
+
+/// Outcome of one engine step on a core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineStep {
+    /// The core stepped; the underlying result (traps, `ecall`s, timer
+    /// interrupts and custom instructions are the OS's to handle).
+    Core(StepKind),
+    /// A main core stalled on FIFO backpressure.
+    Backpressured,
+    /// A checker stalled on an empty stream.
+    CheckerWaiting,
+    /// A checker applied an SCP and entered replay.
+    CheckerApplied {
+        /// The applied segment's sequence number.
+        seq: u64,
+    },
+    /// A checker replayed one instruction (or consumed a control packet).
+    CheckerProgress,
+    /// A checker finished a segment cleanly.
+    CheckerSegmentDone(SegmentResult),
+    /// A checker detected an error.
+    CheckerDetected(DetectionEvent),
+    /// A checker was interrupted (timer) — the OS may preempt it.
+    CheckerInterrupted(StepKind),
+    /// The core is idle/parked.
+    Idle,
+}
+
+/// The FlexStep platform: simulator plus fabric.
+///
+/// See the crate-level documentation for a full worked example.
+#[derive(Debug)]
+pub struct FlexSoc {
+    /// The underlying SoC.
+    pub soc: Soc,
+    /// The FlexStep hardware state.
+    pub fabric: Fabric,
+}
+
+impl FlexSoc {
+    /// Builds a FlexStep platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheGeometryError`] for invalid memory geometry.
+    pub fn new(soc: SocConfig, fabric: FabricConfig) -> Result<Self, CacheGeometryError> {
+        Ok(FlexSoc { fabric: Fabric::new(soc.num_cores, fabric), soc: Soc::new(soc)? })
+    }
+
+    // ----- Tab. I custom-ISA operations ------------------------------------
+
+    /// `G.IDs.contain`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Fabric::ids_contain`].
+    pub fn op_g_ids_contain(&self, core: usize) -> Result<CoreAttr, FlexError> {
+        self.fabric.ids_contain(core)
+    }
+
+    /// `G.Configure`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Fabric::configure`].
+    pub fn op_g_configure(&mut self, mains: &[usize], checkers: &[usize]) -> Result<(), FlexError> {
+        self.fabric.configure(mains, checkers)
+    }
+
+    /// `M.associate`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Fabric::associate`].
+    pub fn op_m_associate(&mut self, main: usize, checkers: &[usize]) -> Result<(), FlexError> {
+        self.fabric.associate(main, checkers)
+    }
+
+    /// `M.check`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Fabric::set_check`].
+    pub fn op_m_check(&mut self, main: usize, enable: bool) -> Result<(), FlexError> {
+        self.fabric.set_check(main, enable)
+    }
+
+    /// `C.check_state`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Fabric::set_check_state`].
+    pub fn op_c_check_state(&mut self, checker: usize, busy: bool) -> Result<(), FlexError> {
+        self.fabric.set_check_state(checker, busy)
+    }
+
+    /// `C.record`: snapshots the checker core's current context into its
+    /// ASS (Al. 2 line 4).
+    ///
+    /// # Errors
+    ///
+    /// Requires a checker core.
+    pub fn op_c_record(&mut self, checker: usize) -> Result<(), FlexError> {
+        if self.fabric.ids_contain(checker)? != CoreAttr::Checker {
+            return Err(FlexError::NotChecker { core: checker });
+        }
+        let snap = self.soc.core(checker).state.snapshot();
+        self.fabric.unit_mut(checker).checker.ass.record(snap);
+        Ok(())
+    }
+
+    /// `C.result`: takes the oldest pending segment verdict.
+    ///
+    /// # Errors
+    ///
+    /// Requires a checker core.
+    pub fn op_c_result(&mut self, checker: usize) -> Result<Option<SegmentResult>, FlexError> {
+        if self.fabric.ids_contain(checker)? != CoreAttr::Checker {
+            return Err(FlexError::NotChecker { core: checker });
+        }
+        Ok(self.fabric.unit_mut(checker).checker.take_result())
+    }
+
+    /// Executes a guest-issued FlexStep custom instruction (surfaced by
+    /// the simulator as [`StepKind::Flex`]) and completes it on the core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying operation's [`FlexError`]; on error the
+    /// instruction completes with `rd = u64::MAX` (hardware error code)
+    /// and the error is also returned for OS visibility.
+    pub fn exec_flex(
+        &mut self,
+        core: usize,
+        op: FlexOp,
+        rd: XReg,
+        rs1_value: u64,
+        rs2_value: u64,
+    ) -> Result<(), FlexError> {
+        let result: Result<u64, FlexError> = match op {
+            FlexOp::GIdsContain => {
+                self.fabric.ids_contain(rs1_value as usize).map(CoreAttr::to_bits)
+            }
+            FlexOp::GConfigure => {
+                let mains = bits_to_cores(rs1_value);
+                let checkers = bits_to_cores(rs2_value);
+                self.fabric.configure(&mains, &checkers).map(|()| 0)
+            }
+            FlexOp::MAssociate => {
+                let checkers = bits_to_cores(rs1_value);
+                self.fabric.associate(core, &checkers).map(|()| 0)
+            }
+            FlexOp::MCheck => self.fabric.set_check(core, rs1_value != 0).map(|()| 0),
+            FlexOp::CCheckState => {
+                self.fabric.set_check_state(core, rs1_value != 0).map(|()| 0)
+            }
+            FlexOp::CRecord => self.op_c_record(core).map(|()| 0),
+            FlexOp::CApply => {
+                // Applies the staged SCP to the register file.
+                match self.fabric.unit_mut(core).checker.ass.take_scp() {
+                    Some(cp) => {
+                        self.soc.core_mut(core).state.restore(&cp.snapshot);
+                        Ok(0)
+                    }
+                    None => Ok(u64::MAX),
+                }
+            }
+            FlexOp::CJal => Ok(0), // pc redirect is part of the apply path here
+            FlexOp::CResult => self
+                .op_c_result(core)
+                .map(|r| r.map_or(u64::MAX, |res| u64::from(res.is_ok()))),
+        };
+        match result {
+            Ok(v) => {
+                self.soc.complete_flex(core, rd, v);
+                Ok(())
+            }
+            Err(e) => {
+                self.soc.complete_flex(core, rd, u64::MAX);
+                Err(e)
+            }
+        }
+    }
+
+    // ----- engine stepping --------------------------------------------------
+
+    /// Steps a core according to its current attribute and state.
+    pub fn step(&mut self, core: usize) -> EngineStep {
+        match self.fabric.unit(core).attr {
+            CoreAttr::Checker if self.fabric.unit(core).checker.busy => self.step_checker(core),
+            CoreAttr::Main => self.step_main(core),
+            _ => EngineStep::Core(self.soc.step_core(core).kind),
+        }
+    }
+
+    /// Steps a main core, performing checkpoint extraction, logging and
+    /// backpressure.
+    pub fn step_main(&mut self, core: usize) -> EngineStep {
+        let live = self.fabric.checking_live(core);
+        let in_user = self.soc.core(core).state.prv == PrivMode::User;
+        let cfg = *self.fabric.config();
+
+        if live && in_user && self.soc.core(core).is_running() {
+            // Worst-case needs for this step: two log entries, plus a
+            // close burst (IC + ECP) if a segment is or will be open, plus
+            // an SCP if we must open one.
+            let opening = !self.fabric.unit(core).tracker.is_open();
+            let need_cps = 1 + usize::from(opening);
+            let need_bytes = 32 + 8; // two entries + instruction count
+            if !self.fabric.unit(core).fifo.can_accept(need_bytes, need_cps) {
+                self.fabric.stats.backpressure_stalls += 1;
+                self.soc.stall_core(core, cfg.backpressure_retry_cycles);
+                return EngineStep::Backpressured;
+            }
+            if opening {
+                let snap = self.soc.core(core).state.snapshot();
+                let unit = self.fabric.unit_mut(core);
+                let consumers = unit.fifo.consumers() as u64;
+                let scp = unit.tracker.open_segment(snap);
+                unit.fifo.push(Packet::Scp(scp)).expect("space reserved above");
+                // The ASS forwards the checkpoint once per associated
+                // checker (§III-A): wider verification modes serialise
+                // more beats through the channel — the source of Fig. 6's
+                // dual→triple slowdown increase.
+                self.soc.stall_core(core, cfg.scp_extract_cycles * consumers);
+            }
+        }
+
+        let result: StepResult = self.soc.step_core(core);
+        match &result.kind {
+            StepKind::Retired(retired) if live && retired.prv == PrivMode::User => {
+                self.after_user_retire(core, retired, &cfg);
+            }
+            StepKind::Trap { .. } | StepKind::Interrupted { .. } => {
+                // Leaving user mode: premature segment extermination
+                // (Fig. 3.1). The ECP is the state at the boundary.
+                if live && self.fabric.unit(core).tracker.is_open() {
+                    let snap = self.soc.core(core).state.snapshot();
+                    let unit = self.fabric.unit_mut(core);
+                    let consumers = unit.fifo.consumers() as u64;
+                    let (count, ecp) =
+                        unit.tracker.close_segment(snap, SegmentClose::PrivilegeSwitch);
+                    unit.fifo.push(Packet::InstCount(count)).expect("space reserved");
+                    unit.fifo.push(Packet::Ecp(ecp)).expect("cp slot reserved");
+                    self.soc.stall_core(core, cfg.ecp_extract_cycles * consumers);
+                }
+            }
+            _ => {}
+        }
+        EngineStep::Core(result.kind)
+    }
+
+    fn after_user_retire(&mut self, core: usize, retired: &Retired, cfg: &FabricConfig) {
+        let unit = self.fabric.unit_mut(core);
+        if !unit.tracker.is_open() {
+            // Checking was enabled mid-flight (first user instruction
+            // after M.check); the segment opens on the next step.
+            return;
+        }
+        if let Some(access) = &retired.mem {
+            let (first, second) = log_entries(access);
+            unit.fifo.push(Packet::Mem(first)).expect("space reserved");
+            if let Some(second) = second {
+                unit.fifo.push(Packet::Mem(second)).expect("space reserved");
+            }
+        }
+        let at_limit = unit.tracker.on_user_retire();
+        if at_limit {
+            let snap = self.soc.core(core).state.snapshot();
+            let unit = self.fabric.unit_mut(core);
+            let consumers = unit.fifo.consumers() as u64;
+            let (count, ecp) = unit.tracker.close_segment(snap, SegmentClose::CountLimit);
+            unit.fifo.push(Packet::InstCount(count)).expect("space reserved");
+            unit.fifo.push(Packet::Ecp(ecp)).expect("cp slot reserved");
+            self.soc.stall_core(core, cfg.ecp_extract_cycles * consumers);
+        }
+        // Charge DMA cost for packets that spilled past the SRAM.
+        let unit = self.fabric.unit_mut(core);
+        let spilled = unit.fifo.spilled_packets();
+        if spilled > unit.spill_charged {
+            let new = spilled - unit.spill_charged;
+            unit.spill_charged = spilled;
+            self.soc.stall_core(core, cfg.dma_cycles * new);
+        }
+    }
+
+    /// Steps a busy checker core through the Al. 2 loop.
+    pub fn step_checker(&mut self, core: usize) -> EngineStep {
+        let cfg = *self.fabric.config();
+        let Some((main, consumer)) = self.fabric.channel_of(core) else {
+            return EngineStep::Idle;
+        };
+        if !self.soc.core(core).is_running() {
+            return EngineStep::Idle;
+        }
+
+        let phase = self.fabric.unit(core).checker.phase;
+        match phase {
+            CheckPhase::WaitScp => {
+                // Segment-granular consumption (spill mode): only start
+                // replaying once the whole segment (through its ECP) is
+                // buffered, so the replay itself never stalls mid-segment
+                // and the count boundary is always known in-stream.
+                //
+                // Without DMA spill the SRAM alone may be smaller than a
+                // segment, and waiting for a complete segment would
+                // deadlock against the producer's backpressure — the
+                // checker must consume *streaming*, entry by entry, as on
+                // the paper's SRAM-only datapath (mid-replay gaps simply
+                // stall the checker for a beat).
+                if cfg.dma_spill
+                    && self.fabric.unit(main).fifo.complete_segments_ahead(consumer) == 0
+                {
+                    self.fabric.stats.checker_wait_stalls += 1;
+                    self.soc.stall_core(core, cfg.checker_wait_cycles);
+                    return EngineStep::CheckerWaiting;
+                }
+                let head = {
+                    let unit = self.fabric.unit_mut(main);
+                    unit.fifo.peek(consumer).copied()
+                };
+                match head {
+                    None => {
+                        self.fabric.stats.checker_wait_stalls += 1;
+                        self.soc.stall_core(core, cfg.checker_wait_cycles);
+                        EngineStep::CheckerWaiting
+                    }
+                    Some(Packet::Scp(cp)) => {
+                        self.fabric.unit_mut(main).fifo.pop(consumer);
+                        // Stage then apply: C.apply + C.jal.
+                        self.fabric.unit_mut(core).checker.ass.stage_scp(cp);
+                        let cp2 = self
+                            .fabric
+                            .unit_mut(core)
+                            .checker
+                            .ass
+                            .take_scp()
+                            .expect("just staged");
+                        let state = &mut self.soc.core_mut(core).state;
+                        state.restore(&cp2.snapshot);
+                        state.prv = PrivMode::User;
+                        self.soc.core_mut(core).clear_reservation();
+                        self.soc.stall_core(core, cfg.scp_apply_cycles);
+                        self.fabric.unit_mut(core).checker.phase = CheckPhase::Replaying {
+                            seq: cp.seq,
+                            tag: cp.tag,
+                            count: 0,
+                            ic: None,
+                        };
+                        EngineStep::CheckerApplied { seq: cp.seq }
+                    }
+                    Some(_) => {
+                        // Stale packet from an aborted segment: discard.
+                        self.fabric.unit_mut(main).fifo.pop(consumer);
+                        self.fabric.unit_mut(core).checker.skipped_packets += 1;
+                        EngineStep::CheckerProgress
+                    }
+                }
+            }
+            CheckPhase::Replaying { seq, tag, count, ic } => {
+                let head = {
+                    let unit = self.fabric.unit_mut(main);
+                    unit.fifo.peek(consumer).copied()
+                };
+                match head {
+                    None => {
+                        self.fabric.stats.checker_wait_stalls += 1;
+                        self.soc.stall_core(core, cfg.checker_wait_cycles);
+                        EngineStep::CheckerWaiting
+                    }
+                    Some(Packet::InstCount(v)) if count == v => {
+                        self.fabric.unit_mut(main).fifo.pop(consumer);
+                        self.fabric.unit_mut(core).checker.phase =
+                            CheckPhase::WaitEcp { seq, tag, count };
+                        EngineStep::CheckerProgress
+                    }
+                    Some(Packet::InstCount(v)) if count > v => self.abort_segment(
+                        core,
+                        main,
+                        seq,
+                        tag,
+                        MismatchKind::CountOverrun { expected: v, actual: count },
+                    ),
+                    Some(Packet::Scp(_)) | Some(Packet::Ecp(_)) if ic.is_none() => {
+                        // A checkpoint where entries or the count should
+                        // be: the stream is inconsistent.
+                        self.abort_segment(core, main, seq, tag, MismatchKind::LogUnderrun)
+                    }
+                    Some(other) => {
+                        // Record the count when first observed, then
+                        // replay one instruction.
+                        if let Packet::InstCount(v) = other {
+                            self.fabric.unit_mut(core).checker.phase =
+                                CheckPhase::Replaying { seq, tag, count, ic: Some(v) };
+                        }
+                        self.replay_one(core, main, consumer, seq, tag)
+                    }
+                }
+            }
+            CheckPhase::WaitEcp { seq, tag, count } => {
+                let head = {
+                    let unit = self.fabric.unit_mut(main);
+                    unit.fifo.peek(consumer).copied()
+                };
+                match head {
+                    None => {
+                        self.fabric.stats.checker_wait_stalls += 1;
+                        self.soc.stall_core(core, cfg.checker_wait_cycles);
+                        EngineStep::CheckerWaiting
+                    }
+                    Some(Packet::Ecp(cp)) => {
+                        self.fabric.unit_mut(main).fifo.pop(consumer);
+                        self.soc.stall_core(core, cfg.ecp_compare_cycles);
+                        let mine = self.soc.core(core).state.snapshot();
+                        let diffs = cp.snapshot.diff(&mine);
+                        let at = self.soc.now();
+                        let _ = count;
+                        if diffs.is_empty() {
+                            let result = SegmentResult { seq, tag, mismatch: None, at };
+                            self.fabric.stats.segments_ok += 1;
+                            self.fabric.unit_mut(core).checker.finish_segment(result.clone());
+                            EngineStep::CheckerSegmentDone(result)
+                        } else {
+                            let kind = MismatchKind::Ecp { diffs };
+                            self.fabric.stats.segments_failed += 1;
+                            let event = DetectionEvent {
+                                main_core: main,
+                                checker_core: core,
+                                segment_seq: seq,
+                                tag,
+                                kind: kind.clone(),
+                                detected_at: at,
+                            };
+                            self.fabric.detections.push(event.clone());
+                            self.fabric.unit_mut(core).checker.finish_segment(SegmentResult {
+                                seq,
+                                tag,
+                                mismatch: Some(kind),
+                                at,
+                            });
+                            EngineStep::CheckerDetected(event)
+                        }
+                    }
+                    Some(_) => {
+                        self.abort_segment(core, main, seq, tag, MismatchKind::LogUnderrun)
+                    }
+                }
+            }
+        }
+    }
+
+    fn replay_one(
+        &mut self,
+        core: usize,
+        main: usize,
+        consumer: usize,
+        seq: u64,
+        tag: u64,
+    ) -> EngineStep {
+        // Split borrows: the replay port borrows the *main* core's FIFO
+        // (fabric field), the step borrows the checker core and memory
+        // (soc field) — disjoint fields of `self`.
+        let mismatch;
+        let step;
+        {
+            let unit_main = self.fabric.unit_mut(main);
+            let mut port = ReplayPort::new(&mut unit_main.fifo, consumer);
+            step = self.soc.step_core_with_port(core, &mut port);
+            mismatch = port.mismatch;
+        }
+        match step.kind {
+            StepKind::Retired(_) => {
+                let st = &mut self.fabric.unit_mut(core).checker;
+                if let CheckPhase::Replaying { count, .. } = &mut st.phase {
+                    *count += 1;
+                }
+                EngineStep::CheckerProgress
+            }
+            StepKind::Stopped(_) => {
+                let kind = mismatch.unwrap_or(MismatchKind::LogUnderrun);
+                self.abort_segment(core, main, seq, tag, kind)
+            }
+            StepKind::Trap { cause, tval, pc } => self.abort_segment(
+                core,
+                main,
+                seq,
+                tag,
+                MismatchKind::CheckerFault {
+                    what: format!("{cause:?} at pc {pc:#x} (tval {tval:#x})"),
+                },
+            ),
+            StepKind::Interrupted { .. } => EngineStep::CheckerInterrupted(step.kind),
+            StepKind::Idle => EngineStep::Idle,
+            other => self.abort_segment(
+                core,
+                main,
+                seq,
+                tag,
+                MismatchKind::CheckerFault { what: format!("unexpected replay stop: {other:?}") },
+            ),
+        }
+    }
+
+    /// Reports a detection and resynchronises the checker to the next SCP.
+    fn abort_segment(
+        &mut self,
+        core: usize,
+        main: usize,
+        seq: u64,
+        tag: u64,
+        kind: MismatchKind,
+    ) -> EngineStep {
+        let at = self.soc.now();
+        let event = DetectionEvent {
+            main_core: main,
+            checker_core: core,
+            segment_seq: seq,
+            tag,
+            kind: kind.clone(),
+            detected_at: at,
+        };
+        self.fabric.stats.segments_failed += 1;
+        self.fabric.detections.push(event.clone());
+        self.fabric
+            .unit_mut(core)
+            .checker
+            .finish_segment(SegmentResult { seq, tag, mismatch: Some(kind), at });
+        EngineStep::CheckerDetected(event)
+    }
+
+    /// Access to the checker state of a core (tests, OS).
+    pub fn checker_state(&self, core: usize) -> &CheckerState {
+        &self.fabric.unit(core).checker
+    }
+}
+
+fn bits_to_cores(mask: u64) -> Vec<usize> {
+    (0..64).filter(|i| mask & (1 << i) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_to_cores_decodes_masks() {
+        assert_eq!(bits_to_cores(0b0000), Vec::<usize>::new());
+        assert_eq!(bits_to_cores(0b0101), vec![0, 2]);
+        assert_eq!(bits_to_cores(1 << 63), vec![63]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Register Checkpoint Management units (Fig. 2.a): the Checkpoint
+//! Control (CPC) with its instruction counter and privilege monitor, and
+//! the Architectural State Snapshot (ASS) storage.
+//!
+//! The main-core side is the [`SegmentTracker`]: a state machine that
+//! opens a checking segment at the first user-mode instruction, counts
+//! user-mode retirements, and closes the segment when the count limit is
+//! reached or the core leaves user mode (§III-A — "a new checkpoint is
+//! generated when (a) a privilege level mode switch occurs; (b) an
+//! instruction count limit is reached (default is 5000)").
+
+use crate::packet::Checkpoint;
+use flexstep_sim::ArchSnapshot;
+
+/// Default checking-segment instruction-count limit (paper §III-A).
+pub const DEFAULT_SEGMENT_LIMIT: u64 = 5000;
+
+/// Why a segment was closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentClose {
+    /// The instruction-count limit was reached.
+    CountLimit,
+    /// The core left user mode (trap, interrupt or `ecall`).
+    PrivilegeSwitch,
+    /// The OS disabled checking mid-segment (context switch path).
+    CheckDisabled,
+}
+
+/// The per-core Checkpoint Control state (main-core role).
+#[derive(Debug, Clone)]
+pub struct SegmentTracker {
+    /// Instruction-count limit for a segment.
+    limit: u64,
+    /// Open-segment state: user instructions retired so far.
+    open: Option<OpenSegment>,
+    /// Next segment sequence number.
+    next_seq: u64,
+    /// Stream tag stamped on new segments (task id, set by the OS).
+    tag: u64,
+    /// Total segments closed.
+    pub segments_closed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenSegment {
+    seq: u64,
+    count: u64,
+}
+
+impl SegmentTracker {
+    /// Creates a tracker with the given count limit.
+    pub fn new(limit: u64) -> Self {
+        SegmentTracker { limit, open: None, next_seq: 0, tag: 0, segments_closed: 0 }
+    }
+
+    /// The configured segment limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Sets the stream tag stamped on subsequently opened segments.
+    pub fn set_tag(&mut self, tag: u64) {
+        self.tag = tag;
+    }
+
+    /// The current stream tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Whether a segment is currently open.
+    pub fn is_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Instructions retired in the open segment (0 when closed).
+    pub fn count(&self) -> u64 {
+        self.open.map_or(0, |s| s.count)
+    }
+
+    /// Opens a segment at the given pre-instruction snapshot, producing
+    /// the SCP to send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment is already open.
+    pub fn open_segment(&mut self, at: ArchSnapshot) -> Checkpoint {
+        assert!(self.open.is_none(), "segment already open");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.open = Some(OpenSegment { seq, count: 0 });
+        Checkpoint { snapshot: at, seq, tag: self.tag }
+    }
+
+    /// Records one user-mode retirement; returns `true` when the segment
+    /// has just reached its count limit and must be closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no segment is open.
+    pub fn on_user_retire(&mut self) -> bool {
+        let seg = self.open.as_mut().expect("retire without open segment");
+        seg.count += 1;
+        seg.count >= self.limit
+    }
+
+    /// Closes the open segment at the given post-boundary snapshot,
+    /// producing `(instruction count, ECP)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no segment is open.
+    pub fn close_segment(&mut self, at: ArchSnapshot, _why: SegmentClose) -> (u64, Checkpoint) {
+        let seg = self.open.take().expect("close without open segment");
+        self.segments_closed += 1;
+        (seg.count, Checkpoint { snapshot: at, seq: seg.seq, tag: self.tag })
+    }
+
+    /// Abandons an open segment without emitting checkpoints (association
+    /// teardown); the checker discards the partial stream via a FIFO
+    /// reset.
+    pub fn abandon(&mut self) {
+        self.open = None;
+    }
+}
+
+/// The Architectural State Snapshot unit of a checker core: one slot for
+/// the saved thread context (`C.record`, restored after checking) and one
+/// for the pending SCP being applied.
+#[derive(Debug, Clone, Default)]
+pub struct Ass {
+    saved_context: Option<ArchSnapshot>,
+    pending_scp: Option<Checkpoint>,
+}
+
+impl Ass {
+    /// Creates an empty ASS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `C.record`: stores the checker thread's own context for restoration
+    /// after checking completes (Al. 2 line 4).
+    pub fn record(&mut self, context: ArchSnapshot) {
+        self.saved_context = Some(context);
+    }
+
+    /// Takes the saved context back (end of the checker thread).
+    pub fn take_saved(&mut self) -> Option<ArchSnapshot> {
+        self.saved_context.take()
+    }
+
+    /// Whether a context is recorded.
+    pub fn has_saved(&self) -> bool {
+        self.saved_context.is_some()
+    }
+
+    /// Stages an SCP received from the channel.
+    pub fn stage_scp(&mut self, scp: Checkpoint) {
+        self.pending_scp = Some(scp);
+    }
+
+    /// `C.apply`: takes the staged SCP for application to the register
+    /// file.
+    pub fn take_scp(&mut self) -> Option<Checkpoint> {
+        self.pending_scp.take()
+    }
+
+    /// Whether an SCP is staged.
+    pub fn has_scp(&self) -> bool {
+        self.pending_scp.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexstep_sim::ArchState;
+
+    fn snap(pc: u64) -> ArchSnapshot {
+        let mut s = ArchState::new(0);
+        s.pc = pc;
+        s.snapshot()
+    }
+
+    #[test]
+    fn open_close_produces_matching_seq() {
+        let mut t = SegmentTracker::new(3);
+        let scp = t.open_segment(snap(0x100));
+        assert_eq!(scp.seq, 0);
+        assert!(t.is_open());
+        assert!(!t.on_user_retire());
+        assert!(!t.on_user_retire());
+        assert!(t.on_user_retire(), "limit reached at 3");
+        let (count, ecp) = t.close_segment(snap(0x10C), SegmentClose::CountLimit);
+        assert_eq!(count, 3);
+        assert_eq!(ecp.seq, 0);
+        assert!(!t.is_open());
+        let scp2 = t.open_segment(snap(0x10C));
+        assert_eq!(scp2.seq, 1, "sequence increments");
+    }
+
+    #[test]
+    fn early_close_on_privilege_switch() {
+        let mut t = SegmentTracker::new(5000);
+        t.open_segment(snap(0x100));
+        t.on_user_retire();
+        let (count, _) = t.close_segment(snap(0x104), SegmentClose::PrivilegeSwitch);
+        assert_eq!(count, 1, "premature extermination keeps the partial count");
+        assert_eq!(t.segments_closed, 1);
+    }
+
+    #[test]
+    fn tag_stamped_on_open() {
+        let mut t = SegmentTracker::new(10);
+        t.set_tag(42);
+        let scp = t.open_segment(snap(0));
+        assert_eq!(scp.tag, 42);
+        assert_eq!(t.tag(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment already open")]
+    fn double_open_rejected() {
+        let mut t = SegmentTracker::new(10);
+        t.open_segment(snap(0));
+        t.open_segment(snap(4));
+    }
+
+    #[test]
+    fn abandon_discards_segment() {
+        let mut t = SegmentTracker::new(10);
+        t.open_segment(snap(0));
+        t.abandon();
+        assert!(!t.is_open());
+        assert_eq!(t.segments_closed, 0);
+        // Reopening works and advances seq.
+        let scp = t.open_segment(snap(4));
+        assert_eq!(scp.seq, 1);
+    }
+
+    #[test]
+    fn ass_slots() {
+        let mut a = Ass::new();
+        assert!(!a.has_saved());
+        a.record(snap(0x99));
+        assert!(a.has_saved());
+        let scp = Checkpoint { snapshot: snap(0x50), seq: 7, tag: 0 };
+        a.stage_scp(scp);
+        assert!(a.has_scp());
+        assert_eq!(a.take_scp().unwrap().seq, 7);
+        assert!(!a.has_scp());
+        assert_eq!(a.take_saved().unwrap().pc, 0x99);
+        assert!(!a.has_saved());
+    }
+}

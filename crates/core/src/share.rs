@@ -1,0 +1,484 @@
+//! Checker sharing and conflict resolution (§III-C).
+//!
+//! The paper: *"The main core's FIFO is used to resolve conflicts when
+//! two main cores compete for access to a checker core. In such cases,
+//! only one main core's FIFO is permitted to send data to the checker
+//! core, while the other temporarily buffers its data in its own FIFO
+//! until the checker core is released."*
+//!
+//! [`CheckerArbiter`] implements exactly that policy over the fabric's
+//! pending/grant/revoke primitives: main cores `request` the checker and
+//! are granted in FIFO order; a waiting main keeps producing into its own
+//! buffer (with DMA spill if configured); when the granted main is
+//! `release`d and its stream has drained, the arbiter switches the
+//! channel to the next waiter at a segment boundary.
+//!
+//! [`SharedCheckerRun`] is a ready-made driver (in the style of
+//! [`VerifiedRun`](crate::harness::VerifiedRun)) that runs N main-core
+//! programs against a single shared checker — the N:1 consolidation
+//! scenario the paper's introduction motivates.
+
+use crate::checker::CheckPhase;
+use crate::detect::DetectionEvent;
+use crate::engine::{EngineStep, FlexSoc};
+use crate::fabric::{Fabric, FabricConfig, FlexError};
+use flexstep_isa::asm::Program;
+use flexstep_sim::{PrivMode, SocConfig, StepKind, TrapCause};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Arbitration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Requests granted immediately (checker was free).
+    pub immediate_grants: u64,
+    /// Requests that found the checker occupied and had to queue.
+    pub conflicts: u64,
+    /// Channel hand-overs performed.
+    pub switches: u64,
+}
+
+/// FIFO arbiter for one checker core shared by several main cores.
+///
+/// The arbiter never tears a channel down mid-segment: a switch happens
+/// only once the granted main has been [`release`](Self::release)d, its
+/// FIFO has fully drained, and the checker sits between segments
+/// ([`CheckPhase::WaitScp`]). Waiting mains buffer into their own FIFOs
+/// the whole time, so no checking data is ever lost to arbitration.
+#[derive(Debug)]
+pub struct CheckerArbiter {
+    checker: usize,
+    granted: Option<usize>,
+    queue: VecDeque<usize>,
+    released: BTreeSet<usize>,
+    /// Aggregate statistics.
+    pub stats: ArbiterStats,
+}
+
+impl CheckerArbiter {
+    /// Creates an arbiter for `checker`.
+    pub fn new(checker: usize) -> Self {
+        CheckerArbiter {
+            checker,
+            granted: None,
+            queue: VecDeque::new(),
+            released: BTreeSet::new(),
+            stats: ArbiterStats::default(),
+        }
+    }
+
+    /// The checker core this arbiter manages.
+    pub fn checker(&self) -> usize {
+        self.checker
+    }
+
+    /// The main core currently connected, if any.
+    pub fn granted(&self) -> Option<usize> {
+        self.granted
+    }
+
+    /// Number of mains waiting for the checker.
+    pub fn waiting(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no main is connected or waiting.
+    pub fn is_idle(&self) -> bool {
+        self.granted.is_none() && self.queue.is_empty()
+    }
+
+    /// A main core requests the checker. If the checker is free the
+    /// channel is connected immediately; otherwise the main is queued and
+    /// buffers into its own FIFO (the §III-C conflict path). Returns
+    /// whether the grant was immediate.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the core is not a main core or its previous stream has
+    /// not drained.
+    pub fn request(&mut self, fabric: &mut Fabric, main: usize) -> Result<bool, FlexError> {
+        fabric.associate_pending(main)?;
+        if self.granted.is_none() && self.queue.is_empty() {
+            fabric.grant(main, self.checker)?;
+            self.granted = Some(main);
+            self.stats.immediate_grants += 1;
+            Ok(true)
+        } else {
+            self.queue.push_back(main);
+            self.stats.conflicts += 1;
+            Ok(false)
+        }
+    }
+
+    /// Marks a main core as done producing (its task finished or checking
+    /// was disabled); the channel is handed over once its buffered data
+    /// has been verified.
+    pub fn release(&mut self, main: usize) {
+        self.released.insert(main);
+    }
+
+    /// Advances the arbitration state machine: performs a channel
+    /// hand-over when the granted main is released, drained, and the
+    /// checker is between segments. Call once per scheduling quantum.
+    /// Returns the newly granted main on a switch.
+    pub fn poll(&mut self, fabric: &mut Fabric) -> Option<usize> {
+        if let Some(g) = self.granted {
+            if !self.released.contains(&g) || !fabric.unit(g).fifo.is_fully_drained() {
+                return None;
+            }
+            if fabric.unit(self.checker).checker.phase != CheckPhase::WaitScp {
+                return None;
+            }
+            if fabric.revoke(self.checker).is_err() {
+                return None;
+            }
+            self.released.remove(&g);
+            self.granted = None;
+        }
+        let next = self.queue.pop_front()?;
+        match fabric.grant(next, self.checker) {
+            Ok(()) => {
+                self.granted = Some(next);
+                self.stats.switches += 1;
+                Some(next)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// Per-main outcome of a [`SharedCheckerRun`].
+#[derive(Debug, Clone)]
+pub struct SharedMainReport {
+    /// The main core index.
+    pub core: usize,
+    /// Whether the program reached its final `ecall`.
+    pub completed: bool,
+    /// Cycle at which the main core finished.
+    pub finish_cycle: u64,
+    /// Instructions retired.
+    pub retired: u64,
+}
+
+/// Outcome of a full shared-checker run.
+#[derive(Debug, Clone)]
+pub struct SharedRunReport {
+    /// Per-main outcomes, in core order.
+    pub mains: Vec<SharedMainReport>,
+    /// Segments verified by the shared checker (across all streams).
+    pub segments_checked: u64,
+    /// Segments that failed verification.
+    pub segments_failed: u64,
+    /// Detection events raised during the run.
+    pub detections: Vec<DetectionEvent>,
+    /// Arbitration statistics.
+    pub arbiter: ArbiterStats,
+    /// Cycle at which the last stream drained.
+    pub drain_cycle: u64,
+}
+
+/// Driver running N main-core programs against one shared checker core.
+///
+/// Cores `0..n` are mains (one program each), core `n` is the checker.
+/// Programs must use disjoint text/data ranges (build them with
+/// [`Assembler::with_bases`](flexstep_isa::asm::Assembler::with_bases)).
+///
+/// ```
+/// use flexstep_core::share::SharedCheckerRun;
+/// use flexstep_core::FabricConfig;
+/// use flexstep_isa::{asm::Assembler, XReg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut programs = Vec::new();
+/// for i in 0..2u64 {
+///     let mut asm = Assembler::with_bases(
+///         format!("job{i}"),
+///         0x1000_0000 + i * 0x10_0000,
+///         0x2000_0000 + i * 0x10_0000,
+///     );
+///     asm.li(XReg::A0, 200);
+///     asm.li(XReg::A1, 0x2000_0000 + (i * 0x10_0000) as i64);
+///     asm.label("l")?;
+///     asm.sd(XReg::A1, XReg::A0, 0);
+///     asm.addi(XReg::A0, XReg::A0, -1);
+///     asm.bnez(XReg::A0, "l");
+///     asm.ecall();
+///     programs.push(asm.finish()?);
+/// }
+/// let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper())?;
+/// let report = run.run_to_completion(10_000_000);
+/// assert!(report.mains.iter().all(|m| m.completed));
+/// assert_eq!(report.segments_failed, 0);
+/// assert!(report.arbiter.conflicts >= 1, "second main had to wait");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SharedCheckerRun {
+    /// The platform under test.
+    pub fs: FlexSoc,
+    /// The §III-C arbiter.
+    pub arbiter: CheckerArbiter,
+    mains: Vec<usize>,
+    checker: usize,
+    done: Vec<bool>,
+    finish_cycle: Vec<u64>,
+}
+
+impl SharedCheckerRun {
+    /// Builds the platform: one main core per program plus one shared
+    /// checker, every main requesting the checker at time zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn new(
+        programs: &[Program],
+        fabric: FabricConfig,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let n = programs.len();
+        assert!(n >= 1, "at least one main required");
+        let checker = n;
+        let mut fs = FlexSoc::new(SocConfig::paper(n + 1), fabric)?;
+        let mains: Vec<usize> = (0..n).collect();
+        fs.op_g_configure(&mains, &[checker])?;
+        let mut arbiter = CheckerArbiter::new(checker);
+        for (&m, program) in mains.iter().zip(programs) {
+            arbiter.request(&mut fs.fabric, m)?;
+            fs.fabric.set_check(m, true)?;
+            fs.soc.load_program(program);
+            fs.soc.core_mut(m).state.pc = program.entry;
+            fs.soc.core_mut(m).state.prv = PrivMode::User;
+            fs.soc.core_mut(m).unpark();
+        }
+        fs.op_c_check_state(checker, true)?;
+        fs.soc.core_mut(checker).unpark();
+        Ok(SharedCheckerRun {
+            fs,
+            arbiter,
+            mains,
+            checker,
+            done: vec![false; n],
+            finish_cycle: vec![0; n],
+        })
+    }
+
+    /// Whether every main finished and every stream drained.
+    pub fn finished(&self) -> bool {
+        self.done.iter().all(|&d| d)
+            && self.mains.iter().all(|&m| self.fs.fabric.unit(m).fifo.is_fully_drained())
+            && self.fs.fabric.unit(self.checker).checker.phase == CheckPhase::WaitScp
+    }
+
+    /// Executes one scheduling quantum: polls the arbiter, then steps the
+    /// earliest-ready core. Returns `false` once the run is complete.
+    pub fn step_once(&mut self) -> bool {
+        if self.finished() && self.arbiter.is_idle() {
+            return false;
+        }
+        self.arbiter.poll(&mut self.fs.fabric);
+        let Some(core) = self.fs.soc.next_ready_core() else {
+            return false;
+        };
+        let step = self.fs.step(core);
+        if let Some(slot) = self.mains.iter().position(|&m| m == core) {
+            match &step {
+                EngineStep::Core(StepKind::Trap { cause: TrapCause::EcallFromU, .. }) => {
+                    self.done[slot] = true;
+                    self.finish_cycle[slot] = self.fs.soc.now();
+                    self.fs.soc.core_mut(core).park();
+                    // The job is done: stop producing and let the arbiter
+                    // hand the checker over once the stream drains.
+                    self.fs.fabric.set_check(core, false).expect("main core");
+                    self.arbiter.release(core);
+                }
+                EngineStep::Core(StepKind::Trap { cause, tval, pc }) => {
+                    panic!("main {core} faulted: {cause:?} tval={tval:#x} pc={pc:#x}");
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Runs to completion, bounded by `max_steps` engine steps.
+    pub fn run_to_completion(&mut self, max_steps: u64) -> SharedRunReport {
+        let mut steps = 0;
+        while steps < max_steps && self.step_once() {
+            steps += 1;
+        }
+        self.report()
+    }
+
+    /// Produces the report for the current state.
+    pub fn report(&mut self) -> SharedRunReport {
+        let checker = &self.fs.fabric.unit(self.checker).checker;
+        let (segments_checked, segments_failed) =
+            (checker.segments_checked, checker.segments_failed);
+        SharedRunReport {
+            mains: self
+                .mains
+                .iter()
+                .enumerate()
+                .map(|(slot, &core)| SharedMainReport {
+                    core,
+                    completed: self.done[slot],
+                    finish_cycle: self.finish_cycle[slot],
+                    retired: self.fs.soc.core(core).instret,
+                })
+                .collect(),
+            segments_checked,
+            segments_failed,
+            detections: self.fs.fabric.take_detections(),
+            arbiter: self.arbiter.stats,
+            drain_cycle: self.fs.soc.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::VerifiedRun;
+    use flexstep_isa::asm::Assembler;
+    use flexstep_isa::XReg;
+
+    /// A store-heavy loop in a private text/data window.
+    fn job(slot: u64, iters: i64) -> Program {
+        let text = 0x1000_0000 + slot * 0x10_0000;
+        let data = 0x2000_0000 + slot * 0x10_0000;
+        let mut asm = Assembler::with_bases(format!("job{slot}"), text, data);
+        asm.li(XReg::A0, iters);
+        asm.li(XReg::A1, data as i64);
+        asm.li(XReg::A3, 0);
+        asm.label("loop").unwrap();
+        asm.sd(XReg::A1, XReg::A0, 0);
+        asm.ld(XReg::A2, XReg::A1, 0);
+        asm.add(XReg::A3, XReg::A3, XReg::A2);
+        asm.addi(XReg::A0, XReg::A0, -1);
+        asm.bnez(XReg::A0, "loop");
+        asm.ecall();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn two_mains_share_one_checker() {
+        let programs = vec![job(0, 3000), job(1, 3000)];
+        let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let r = run.run_to_completion(50_000_000);
+        assert!(r.mains.iter().all(|m| m.completed), "{r:?}");
+        assert_eq!(r.segments_failed, 0);
+        assert!(r.detections.is_empty());
+        assert_eq!(r.arbiter.immediate_grants, 1);
+        assert_eq!(r.arbiter.conflicts, 1, "second main must queue");
+        assert_eq!(r.arbiter.switches, 1, "one hand-over");
+        // Every segment of both mains verified.
+        assert!(r.segments_checked >= 2);
+    }
+
+    #[test]
+    fn three_mains_verified_in_request_order() {
+        let programs = vec![job(0, 1200), job(1, 900), job(2, 600)];
+        let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let r = run.run_to_completion(80_000_000);
+        assert!(r.mains.iter().all(|m| m.completed));
+        assert_eq!(r.segments_failed, 0);
+        assert_eq!(r.arbiter.conflicts, 2);
+        assert_eq!(r.arbiter.switches, 2);
+    }
+
+    #[test]
+    fn shared_checking_verifies_as_much_as_dedicated() {
+        // The same program verified (a) with a dedicated checker and
+        // (b) through a shared checker: identical segment counts.
+        let p = job(0, 2500);
+        let mut dedicated = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
+        let rd = dedicated.run_to_completion(50_000_000);
+
+        let programs = vec![job(0, 2500), job(1, 400)];
+        let mut shared = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let rs = shared.run_to_completion(80_000_000);
+        let second_share = rs.segments_checked;
+        assert!(
+            second_share > rd.segments_checked,
+            "shared run covers both mains: {second_share} vs {}",
+            rd.segments_checked
+        );
+        assert_eq!(rs.segments_failed, 0);
+    }
+
+    #[test]
+    fn waiting_main_buffers_without_loss() {
+        // The second main finishes long before it is granted; all its
+        // segments must still be verified from its own buffer.
+        let programs = vec![job(0, 6000), job(1, 300)];
+        let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let r = run.run_to_completion(100_000_000);
+        assert!(r.mains[1].completed);
+        assert!(r.mains[1].finish_cycle < r.mains[0].finish_cycle);
+        assert_eq!(r.segments_failed, 0);
+        assert_eq!(r.arbiter.switches, 1);
+    }
+
+    #[test]
+    fn fault_in_waiting_buffer_detected_after_handover() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let programs = vec![job(0, 4000), job(1, 2000)];
+        let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        // Let main 1 buffer some segments while waiting, then corrupt its
+        // buffered (not-yet-granted) stream.
+        let mut injected = false;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..400_000 {
+            if !run.step_once() {
+                break;
+            }
+            if !injected
+                && run.arbiter.granted() == Some(0)
+                && run.fs.fabric.unit(1).fifo.len() > 4
+            {
+                let now = run.fs.soc.now();
+                if crate::fault::inject_random_fault(&mut run.fs.fabric, 1, now, &mut rng)
+                    .is_some()
+                {
+                    injected = true;
+                }
+            }
+        }
+        assert!(injected, "fault must land in the waiting main's buffer");
+        let r = run.report();
+        assert!(
+            r.segments_failed > 0 || !r.detections.is_empty(),
+            "corruption in the waiting buffer must be detected after hand-over: {r:?}"
+        );
+        assert!(r.detections.iter().all(|d| d.main_core == 1));
+    }
+
+    #[test]
+    fn arbiter_request_rejects_non_main() {
+        let mut fabric = Fabric::new(3, FabricConfig::paper());
+        fabric.configure(&[0], &[2]).unwrap();
+        let mut arb = CheckerArbiter::new(2);
+        assert!(matches!(
+            arb.request(&mut fabric, 1),
+            Err(FlexError::NotMain { core: 1 })
+        ));
+        assert!(arb.request(&mut fabric, 0).unwrap());
+        assert_eq!(arb.granted(), Some(0));
+    }
+
+    #[test]
+    fn poll_without_release_does_nothing() {
+        let mut fabric = Fabric::new(4, FabricConfig::paper());
+        fabric.configure(&[0, 1], &[3]).unwrap();
+        let mut arb = CheckerArbiter::new(3);
+        arb.request(&mut fabric, 0).unwrap();
+        assert!(!arb.request(&mut fabric, 1).unwrap());
+        assert_eq!(arb.poll(&mut fabric), None, "granted main not released");
+        arb.release(0);
+        assert_eq!(arb.poll(&mut fabric), Some(1), "drained + released => switch");
+        assert_eq!(arb.granted(), Some(1));
+        assert!(fabric.checkers_of(1).contains(&3));
+        assert!(fabric.checkers_of(0).is_empty(), "main 0 back to pending");
+    }
+}

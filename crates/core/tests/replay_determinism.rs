@@ -1,0 +1,250 @@
+//! Property tests of the FlexStep checking pipeline.
+//!
+//! The central invariant of §II: as long as checkpoints and memory
+//! accesses are recorded and buffered, the checker can reproduce the
+//! main core's execution *exactly* — so for any program, a fault-free
+//! run must verify clean, and the verified run's architectural results
+//! must equal an unverified run's.
+
+use flexstep_core::harness::{baseline_cycles, VerifiedRun};
+use flexstep_core::FabricConfig;
+use flexstep_isa::asm::{Assembler, Program};
+use flexstep_isa::inst::*;
+use flexstep_isa::reg::{FReg, XReg};
+use flexstep_sim::{Soc, SocConfig};
+use proptest::prelude::*;
+
+/// Registers the generator may freely clobber (a2 = data base, a1 = loop
+/// counter are reserved).
+const SCRATCH: [XReg; 8] =
+    [XReg::A0, XReg::A3, XReg::A4, XReg::A5, XReg::A6, XReg::A7, XReg::T0, XReg::T1];
+
+const FP: [u32; 6] = [0, 1, 2, 3, 4, 5];
+
+#[derive(Debug, Clone)]
+enum BodyOp {
+    Alu { op: IntOp, rd: usize, rs1: usize, rs2: usize },
+    AluImm { op: IntImmOp, rd: usize, rs1: usize, imm: i64 },
+    Load { rd: usize, offset: i64 },
+    Store { rs: usize, offset: i64 },
+    Amo { op: AmoOp, rd: usize, rs: usize, offset_slot: i64 },
+    LrSc { rd: usize, rs: usize, offset_slot: i64 },
+    Fld { fd: usize, offset: i64 },
+    Fsd { fs: usize, offset: i64 },
+    Fp { op: FpOp, fd: usize, fa: usize, fb: usize },
+    Fma { fd: usize, fa: usize, fb: usize, fc: usize },
+    FCvt { rd: usize, fa: usize },
+}
+
+fn body_op() -> impl Strategy<Value = BodyOp> {
+    let reg = 0usize..SCRATCH.len();
+    let freg = 0usize..FP.len();
+    let off = (0i64..64).prop_map(|v| v * 8);
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(IntOp::Add),
+                Just(IntOp::Sub),
+                Just(IntOp::Xor),
+                Just(IntOp::And),
+                Just(IntOp::Or),
+                Just(IntOp::Mul),
+                Just(IntOp::Sltu),
+            ],
+            reg.clone(),
+            reg.clone(),
+            reg.clone()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| BodyOp::Alu { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![Just(IntImmOp::Addi), Just(IntImmOp::Xori), Just(IntImmOp::Andi)],
+            reg.clone(),
+            reg.clone(),
+            -512i64..512
+        )
+            .prop_map(|(op, rd, rs1, imm)| BodyOp::AluImm { op, rd, rs1, imm }),
+        (reg.clone(), off.clone()).prop_map(|(rd, offset)| BodyOp::Load { rd, offset }),
+        (reg.clone(), off.clone()).prop_map(|(rs, offset)| BodyOp::Store { rs, offset }),
+        (
+            prop_oneof![Just(AmoOp::Add), Just(AmoOp::Swap), Just(AmoOp::Xor), Just(AmoOp::Max)],
+            reg.clone(),
+            reg.clone(),
+            0i64..8
+        )
+            .prop_map(|(op, rd, rs, slot)| BodyOp::Amo { op, rd, rs, offset_slot: slot * 8 }),
+        (reg.clone(), reg.clone(), 0i64..8)
+            .prop_map(|(rd, rs, slot)| BodyOp::LrSc { rd, rs, offset_slot: slot * 8 }),
+        (freg.clone(), off.clone()).prop_map(|(fd, offset)| BodyOp::Fld { fd, offset }),
+        (freg.clone(), off.clone()).prop_map(|(fs, offset)| BodyOp::Fsd { fs, offset }),
+        (
+            prop_oneof![Just(FpOp::Add), Just(FpOp::Sub), Just(FpOp::Mul), Just(FpOp::Min)],
+            freg.clone(),
+            freg.clone(),
+            freg.clone()
+        )
+            .prop_map(|(op, fd, fa, fb)| BodyOp::Fp { op, fd, fa, fb }),
+        (freg.clone(), freg.clone(), freg.clone(), freg.clone())
+            .prop_map(|(fd, fa, fb, fc)| BodyOp::Fma { fd, fa, fb, fc }),
+        (reg, freg).prop_map(|(rd, fa)| BodyOp::FCvt { rd, fa }),
+    ]
+}
+
+/// Builds a terminating program: an initialised data region, a loop of
+/// `iters` iterations over the generated body, then `ecall`.
+fn build_program(body: &[BodyOp], iters: i64) -> Program {
+    let mut asm = Assembler::new("prop_program");
+    asm.data_label("region").unwrap();
+    for i in 0..80u64 {
+        asm.data_u64s(&[i.wrapping_mul(0x9E37_79B9_7F4A_7C15)]);
+    }
+    // a2 = data base, a1 = loop counter; seed scratch registers.
+    asm.la(XReg::A2, "region");
+    asm.li(XReg::A1, iters);
+    for (i, &r) in SCRATCH.iter().enumerate() {
+        asm.li(r, (i as i64 + 1) * 3);
+    }
+    for (i, &f) in FP.iter().enumerate() {
+        asm.li(XReg::T2, i as i64 + 1);
+        asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: f, rs1: XReg::T2.index() as u32 });
+    }
+    asm.label("loop").unwrap();
+    for op in body {
+        match *op {
+            BodyOp::Alu { op, rd, rs1, rs2 } => {
+                asm.push(Inst::Op { op, rd: SCRATCH[rd], rs1: SCRATCH[rs1], rs2: SCRATCH[rs2] });
+            }
+            BodyOp::AluImm { op, rd, rs1, imm } => {
+                asm.push(Inst::OpImm { op, rd: SCRATCH[rd], rs1: SCRATCH[rs1], imm });
+            }
+            BodyOp::Load { rd, offset } => {
+                asm.ld(SCRATCH[rd], XReg::A2, offset);
+            }
+            BodyOp::Store { rs, offset } => {
+                asm.sd(XReg::A2, SCRATCH[rs], offset);
+            }
+            BodyOp::Amo { op, rd, rs, offset_slot } => {
+                // Compute the address in t2 = a2 + slot.
+                asm.addi(XReg::T2, XReg::A2, offset_slot);
+                asm.push(Inst::Amo {
+                    op,
+                    width: AmoWidth::D,
+                    rd: SCRATCH[rd],
+                    rs1: XReg::T2,
+                    rs2: SCRATCH[rs],
+                });
+            }
+            BodyOp::LrSc { rd, rs, offset_slot } => {
+                asm.addi(XReg::T2, XReg::A2, offset_slot);
+                asm.push(Inst::Lr { width: AmoWidth::D, rd: SCRATCH[rd], rs1: XReg::T2 });
+                asm.push(Inst::Sc {
+                    width: AmoWidth::D,
+                    rd: SCRATCH[rd],
+                    rs1: XReg::T2,
+                    rs2: SCRATCH[rs],
+                });
+            }
+            BodyOp::Fld { fd, offset } => {
+                asm.fld(FReg::of(FP[fd]), XReg::A2, offset);
+            }
+            BodyOp::Fsd { fs, offset } => {
+                asm.fsd(XReg::A2, FReg::of(FP[fs]), offset);
+            }
+            BodyOp::Fp { op, fd, fa, fb } => {
+                asm.push(Inst::Fp {
+                    op,
+                    rd: FReg::of(FP[fd]),
+                    rs1: FReg::of(FP[fa]),
+                    rs2: FReg::of(FP[fb]),
+                });
+            }
+            BodyOp::Fma { fd, fa, fb, fc } => {
+                asm.push(Inst::Fma {
+                    op: FmaOp::Madd,
+                    rd: FReg::of(FP[fd]),
+                    rs1: FReg::of(FP[fa]),
+                    rs2: FReg::of(FP[fb]),
+                    rs3: FReg::of(FP[fc]),
+                });
+            }
+            BodyOp::FCvt { rd, fa } => {
+                asm.push(Inst::FpCvt {
+                    op: FpCvtOp::DToL,
+                    rd: SCRATCH[rd].index() as u32,
+                    rs1: FP[fa],
+                });
+            }
+        }
+    }
+    asm.addi(XReg::A1, XReg::A1, -1);
+    asm.bnez(XReg::A1, "loop");
+    asm.ecall();
+    asm.finish().expect("generated program must assemble")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any fault-free program verifies clean under dual-core checking,
+    /// and checking does not change architectural results.
+    #[test]
+    fn clean_runs_always_verify(
+        body in proptest::collection::vec(body_op(), 4..40),
+        iters in 5i64..60,
+    ) {
+        let program = build_program(&body, iters);
+
+        // Unverified baseline.
+        let mut plain = Soc::new(SocConfig::paper(1)).expect("config");
+        plain.run_to_ecall(&program, 5_000_000);
+        let base_state = plain.core(0).state.snapshot();
+
+        // Verified run with an intentionally small segment limit so even
+        // short programs cross several segment boundaries.
+        let fabric = FabricConfig { segment_limit: 150, ..FabricConfig::paper() };
+        let mut run = VerifiedRun::dual_core(&program, fabric).expect("setup");
+        let report = run.run_to_completion(20_000_000);
+
+        prop_assert!(report.completed, "verified run must finish");
+        prop_assert_eq!(report.segments_failed, 0, "fault-free run must verify clean");
+        prop_assert!(report.detections.is_empty());
+        prop_assert!(report.segments_checked >= 1);
+
+        // Verification must not perturb architectural results.
+        let verified_state = run.fs.soc.core(0).state.snapshot();
+        prop_assert_eq!(verified_state.xregs, base_state.xregs);
+        prop_assert_eq!(verified_state.fregs, base_state.fregs);
+
+        // And memory contents must agree over the data region.
+        let region = program.data_base;
+        for slot in 0..80 {
+            let addr = region + slot * 8;
+            prop_assert_eq!(
+                run.fs.soc.mem.phys().read_u64(addr),
+                plain.mem.phys().read_u64(addr),
+                "memory diverged at {:#x}", addr
+            );
+        }
+    }
+
+    /// The backpressure path (tiny FIFO) preserves correctness: the run
+    /// completes and still verifies clean, just more slowly.
+    #[test]
+    fn backpressure_preserves_correctness(
+        body in proptest::collection::vec(body_op(), 8..24),
+        iters in 20i64..50,
+    ) {
+        let program = build_program(&body, iters);
+        let tight = FabricConfig {
+            fifo_entry_bytes: 96, // a handful of entries
+            segment_limit: 200,
+            ..FabricConfig::paper_strict()
+        };
+        let mut run = VerifiedRun::dual_core(&program, tight).expect("setup");
+        let report = run.run_to_completion(50_000_000);
+        prop_assert!(report.completed);
+        prop_assert_eq!(report.segments_failed, 0);
+
+        let base = baseline_cycles(&program, 5_000_000).expect("baseline");
+        prop_assert!(report.main_finish_cycle >= base);
+    }
+}

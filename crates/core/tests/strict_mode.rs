@@ -1,0 +1,109 @@
+//! SRAM-only (no DMA spill) datapath tests.
+//!
+//! Without spill, the DBC SRAM alone buffers the stream, and a checking
+//! segment can be *larger* than the SRAM. The checker must then consume
+//! streaming — entry by entry as the producer makes progress — because
+//! waiting for a complete buffered segment would deadlock against the
+//! main core's backpressure. These tests pin that down (regression: the
+//! segment-granular consumption rule must only apply with spill enabled).
+
+use flexstep_core::harness::{baseline_cycles, VerifiedRun};
+use flexstep_core::FabricConfig;
+use flexstep_isa::asm::{Assembler, Program};
+use flexstep_isa::XReg;
+
+/// A memory-heavy loop: every iteration does a store and a load, so a
+/// 200-instruction segment carries ~80 log entries (≈ 1.3 KiB) — far
+/// beyond a 96-byte SRAM.
+fn memory_heavy(n: i64) -> Program {
+    let mut asm = Assembler::new("memheavy");
+    asm.la(XReg::A2, "buf");
+    asm.data_label("buf").unwrap();
+    asm.data_zeros(128);
+    asm.li(XReg::A1, n);
+    asm.label("l").unwrap();
+    asm.sd(XReg::A2, XReg::A1, 0);
+    asm.ld(XReg::A3, XReg::A2, 8);
+    asm.add(XReg::A4, XReg::A4, XReg::A3);
+    asm.addi(XReg::A1, XReg::A1, -1);
+    asm.bnez(XReg::A1, "l");
+    asm.ecall();
+    asm.finish().unwrap()
+}
+
+#[test]
+fn segment_larger_than_sram_streams_without_deadlock() {
+    let tight = FabricConfig {
+        fifo_entry_bytes: 96,
+        segment_limit: 200,
+        ..FabricConfig::paper_strict()
+    };
+    let program = memory_heavy(2_000);
+    let mut run = VerifiedRun::dual_core(&program, tight).unwrap();
+    let report = run.run_to_completion(80_000_000);
+    assert!(report.completed, "SRAM-only mode must stream, not deadlock");
+    assert_eq!(report.segments_failed, 0);
+    assert!(report.segments_checked > 0);
+    assert!(
+        report.backpressure_stalls > 0,
+        "a 96-byte SRAM must backpressure a memory-heavy producer"
+    );
+}
+
+#[test]
+fn strict_mode_is_slower_but_correct() {
+    let program = memory_heavy(3_000);
+    let base = baseline_cycles(&program, 10_000_000).unwrap();
+
+    let mut spill = VerifiedRun::dual_core(&program, FabricConfig::paper()).unwrap();
+    let rs = spill.run_to_completion(100_000_000);
+    let mut strict = VerifiedRun::dual_core(
+        &program,
+        FabricConfig { fifo_entry_bytes: 256, ..FabricConfig::paper_strict() },
+    )
+    .unwrap();
+    let rt = strict.run_to_completion(100_000_000);
+
+    assert!(rs.completed && rt.completed);
+    assert_eq!(rs.segments_failed + rt.segments_failed, 0);
+    // Both checked the same stream.
+    assert_eq!(rs.segments_checked, rt.segments_checked);
+    // Spill decouples the producer; the tight SRAM costs main-core time.
+    assert!(
+        rt.main_finish_cycle >= rs.main_finish_cycle,
+        "strict mode cannot be faster: {} vs {}",
+        rt.main_finish_cycle,
+        rs.main_finish_cycle
+    );
+    assert!(rt.main_finish_cycle >= base, "verification never speeds the main core up");
+}
+
+#[test]
+fn strict_mode_detects_injected_faults_too() {
+    use flexstep_core::inject_random_fault;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let tight = FabricConfig { fifo_entry_bytes: 256, ..FabricConfig::paper_strict() };
+    let program = memory_heavy(5_000);
+    let mut injected = 0;
+    let mut detected = 0;
+    for seed in 0..8u64 {
+        let mut run = VerifiedRun::dual_core(&program, tight).unwrap();
+        assert!(run.run_until_cycle(20_000));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let now = run.fs.soc.now();
+        if inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng).is_some() {
+            injected += 1;
+            let r = run.run_to_completion(100_000_000);
+            if !r.detections.is_empty() || r.segments_failed > 0 {
+                detected += 1;
+            }
+        }
+    }
+    assert!(injected >= 6, "faults must land in the smaller in-flight window: {injected}");
+    assert!(
+        detected * 10 >= injected * 8,
+        "streaming replay must still verify: {detected}/{injected}"
+    );
+}

@@ -1,0 +1,699 @@
+//! Two-pass assembler producing loadable guest [`Program`]s.
+//!
+//! The assembler accepts decoded [`Inst`] values plus label-based control
+//! flow and a data segment, then resolves all references in
+//! [`Assembler::finish`]. Pseudo-instructions (`li`, `la`, `mv`, `call`,
+//! `ret`, …) expand to canonical RV64 sequences.
+//!
+//! ```
+//! use flexstep_isa::asm::Assembler;
+//! use flexstep_isa::reg::XReg;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Assembler::new("count_down");
+//! asm.li(XReg::A0, 10);
+//! asm.label("loop")?;
+//! asm.addi(XReg::A0, XReg::A0, -1);
+//! asm.bnez(XReg::A0, "loop");
+//! asm.ecall(); // yield to the kernel
+//! let program = asm.finish()?;
+//! assert!(program.text.len() >= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::encode::{encode, EncodeError};
+use crate::inst::*;
+use crate::reg::{FReg, XReg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default base address of the text segment.
+///
+/// Kept below 2³¹ so absolute addresses materialise with a two-instruction
+/// `lui`/`addiw` pair without sign-extension surprises.
+pub const DEFAULT_TEXT_BASE: u64 = 0x1000_0000;
+/// Default base address of the data segment.
+pub const DEFAULT_DATA_BASE: u64 = 0x2000_0000;
+/// Default base address of the stack (grows downwards).
+pub const DEFAULT_STACK_TOP: u64 = 0x3000_0000;
+
+/// A fully assembled, position-resolved guest program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Human-readable program name (used in experiment reports).
+    pub name: String,
+    /// Address of the first instruction to execute.
+    pub entry: u64,
+    /// Base address of the text segment.
+    pub text_base: u64,
+    /// Encoded instruction words.
+    pub text: Vec<u32>,
+    /// Base address of the data segment.
+    pub data_base: u64,
+    /// Initial data-segment image.
+    pub data: Vec<u8>,
+    /// Resolved label addresses (text and data).
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl Program {
+    /// The address one past the last instruction.
+    pub fn text_end(&self) -> u64 {
+        self.text_base + (self.text.len() as u64) * 4
+    }
+
+    /// The address one past the initialised data.
+    pub fn data_end(&self) -> u64 {
+        self.data_base + self.data.len() as u64
+    }
+
+    /// Looks up a label address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total number of instructions.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+/// Error raised while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The offending label.
+        label: String,
+    },
+    /// A referenced label was never defined.
+    UnknownLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// An instruction failed to encode after resolution.
+    Encode {
+        /// Index of the offending instruction in the text stream.
+        index: usize,
+        /// The underlying encoding failure.
+        source: EncodeError,
+    },
+    /// A resolved absolute address exceeds the 2³¹ range reachable by
+    /// `lui`/`addiw` materialisation.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::UnknownLabel { label } => write!(f, "unknown label `{label}`"),
+            AsmError::Encode { index, source } => {
+                write!(f, "instruction {index} failed to encode: {source}")
+            }
+            AsmError::AddressOutOfRange { addr } => {
+                write!(f, "address {addr:#x} not reachable by lui/addiw")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Encode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// A fully formed instruction.
+    Inst(Inst),
+    /// Conditional branch to a label (1 word).
+    BranchTo { op: BranchOp, rs1: XReg, rs2: XReg, label: String },
+    /// `jal` to a label (1 word).
+    JalTo { rd: XReg, label: String },
+    /// Absolute-address materialisation (`lui`+`addiw`, 2 words).
+    LoadAddr { rd: XReg, label: String },
+}
+
+impl Item {
+    fn words(&self) -> usize {
+        match self {
+            Item::LoadAddr { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Builder for guest programs. See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    name: String,
+    text_base: u64,
+    data_base: u64,
+    items: Vec<Item>,
+    text_len: usize,
+    labels: BTreeMap<String, u64>,
+    data: Vec<u8>,
+}
+
+impl Assembler {
+    /// Creates an assembler with the default segment layout.
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembler::with_bases(name, DEFAULT_TEXT_BASE, DEFAULT_DATA_BASE)
+    }
+
+    /// Creates an assembler with explicit text/data base addresses.
+    pub fn with_bases(name: impl Into<String>, text_base: u64, data_base: u64) -> Self {
+        Assembler {
+            name: name.into(),
+            text_base,
+            data_base,
+            items: Vec::new(),
+            text_len: 0,
+            labels: BTreeMap::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// The address the *next* pushed instruction will occupy.
+    pub fn here(&self) -> u64 {
+        self.text_base + (self.text_len as u64) * 4
+    }
+
+    /// Defines a text label at the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if the label already exists.
+    pub fn label(&mut self, name: impl Into<String>) -> Result<(), AsmError> {
+        let name = name.into();
+        let here = self.here();
+        if self.labels.insert(name.clone(), here).is_some() {
+            return Err(AsmError::DuplicateLabel { label: name });
+        }
+        Ok(())
+    }
+
+    /// Pushes a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.text_len += 1;
+        self.items.push(Item::Inst(inst));
+        self
+    }
+
+    // ----- data segment ---------------------------------------------------
+
+    /// Defines a data label at the current end of the data segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if the label already exists.
+    pub fn data_label(&mut self, name: impl Into<String>) -> Result<u64, AsmError> {
+        let name = name.into();
+        let addr = self.data_base + self.data.len() as u64;
+        if self.labels.insert(name.clone(), addr).is_some() {
+            return Err(AsmError::DuplicateLabel { label: name });
+        }
+        Ok(addr)
+    }
+
+    /// Appends raw bytes to the data segment.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.data.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends 64-bit little-endian words to the data segment.
+    pub fn data_u64s(&mut self, values: &[u64]) -> &mut Self {
+        for v in values {
+            self.data.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Appends IEEE-754 doubles to the data segment.
+    pub fn data_f64s(&mut self, values: &[f64]) -> &mut Self {
+        for v in values {
+            self.data.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Reserves `n` zero bytes in the data segment.
+    pub fn data_zeros(&mut self, n: usize) -> &mut Self {
+        self.data.resize(self.data.len() + n, 0);
+        self
+    }
+
+    /// Pads the data segment to the given alignment.
+    pub fn data_align(&mut self, align: usize) -> &mut Self {
+        let rem = self.data.len() % align;
+        if rem != 0 {
+            self.data_zeros(align - rem);
+        }
+        self
+    }
+
+    // ----- label-relative control flow -------------------------------------
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, op: BranchOp, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+        self.text_len += 1;
+        self.items.push(Item::BranchTo { op, rs1, rs2, label: label.into() });
+        self
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchOp::Eq, rs1, rs2, label)
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchOp::Ne, rs1, rs2, label)
+    }
+
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchOp::Lt, rs1, rs2, label)
+    }
+
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchOp::Ge, rs1, rs2, label)
+    }
+
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchOp::Ltu, rs1, rs2, label)
+    }
+
+    /// `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchOp::Geu, rs1, rs2, label)
+    }
+
+    /// `beqz rs, label` (branch if zero).
+    pub fn beqz(&mut self, rs: XReg, label: impl Into<String>) -> &mut Self {
+        self.beq(rs, XReg::ZERO, label)
+    }
+
+    /// `bnez rs, label` (branch if non-zero).
+    pub fn bnez(&mut self, rs: XReg, label: impl Into<String>) -> &mut Self {
+        self.bne(rs, XReg::ZERO, label)
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: impl Into<String>) -> &mut Self {
+        self.text_len += 1;
+        self.items.push(Item::JalTo { rd: XReg::ZERO, label: label.into() });
+        self
+    }
+
+    /// `call label` (`jal ra, label`).
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.text_len += 1;
+        self.items.push(Item::JalTo { rd: XReg::RA, label: label.into() });
+        self
+    }
+
+    /// `ret` (`jalr x0, 0(ra)`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 })
+    }
+
+    /// Loads the absolute address of `label` into `rd` (`lui`+`addiw`).
+    pub fn la(&mut self, rd: XReg, label: impl Into<String>) -> &mut Self {
+        self.text_len += 2;
+        self.items.push(Item::LoadAddr { rd, label: label.into() });
+        self
+    }
+
+    // ----- common pseudo/short forms ---------------------------------------
+
+    /// Loads an arbitrary 64-bit constant using the canonical shortest
+    /// `lui`/`addiw`/`slli`/`addi` sequence.
+    pub fn li(&mut self, rd: XReg, value: i64) -> &mut Self {
+        for inst in materialize_const(rd, value) {
+            self.push(inst);
+        }
+        self
+    }
+
+    /// `mv rd, rs` (`addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: XReg, rs: XReg) -> &mut Self {
+        self.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1: rs, imm: 0 })
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::NOP)
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: XReg, rs1: XReg, imm: i64) -> &mut Self {
+        self.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1, imm })
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
+        self.push(Inst::Op { op: IntOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
+        self.push(Inst::Op { op: IntOp::Sub, rd, rs1, rs2 })
+    }
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
+        self.push(Inst::Op { op: IntOp::Mul, rd, rs1, rs2 })
+    }
+
+    /// Integer load.
+    pub fn load(&mut self, op: LoadOp, rd: XReg, rs1: XReg, offset: i64) -> &mut Self {
+        self.push(Inst::Load { op, rd, rs1, offset })
+    }
+
+    /// Integer store.
+    pub fn store(&mut self, op: StoreOp, rs1: XReg, rs2: XReg, offset: i64) -> &mut Self {
+        self.push(Inst::Store { op, rs1, rs2, offset })
+    }
+
+    /// `ld rd, offset(rs1)`.
+    pub fn ld(&mut self, rd: XReg, rs1: XReg, offset: i64) -> &mut Self {
+        self.load(LoadOp::Ld, rd, rs1, offset)
+    }
+
+    /// `sd rs2, offset(rs1)`.
+    pub fn sd(&mut self, rs1: XReg, rs2: XReg, offset: i64) -> &mut Self {
+        self.store(StoreOp::Sd, rs1, rs2, offset)
+    }
+
+    /// `fld rd, offset(rs1)`.
+    pub fn fld(&mut self, rd: FReg, rs1: XReg, offset: i64) -> &mut Self {
+        self.push(Inst::Fld { rd, rs1, offset })
+    }
+
+    /// `fsd rs2, offset(rs1)`.
+    pub fn fsd(&mut self, rs1: XReg, rs2: FReg, offset: i64) -> &mut Self {
+        self.push(Inst::Fsd { rs1, rs2, offset })
+    }
+
+    /// `ecall`.
+    pub fn ecall(&mut self) -> &mut Self {
+        self.push(Inst::Ecall)
+    }
+
+    /// Resolves all labels and encodes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for unknown labels, out-of-range offsets and
+    /// unencodable instructions.
+    pub fn finish(&self) -> Result<Program, AsmError> {
+        let mut text = Vec::with_capacity(self.text_len);
+        let mut pc = self.text_base;
+
+        let lookup = |label: &str| -> Result<u64, AsmError> {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UnknownLabel { label: label.to_string() })
+        };
+        let enc = |inst: &Inst, index: usize| -> Result<u32, AsmError> {
+            encode(inst).map_err(|source| AsmError::Encode { index, source })
+        };
+
+        for item in &self.items {
+            match item {
+                Item::Inst(inst) => {
+                    text.push(enc(inst, text.len())?);
+                }
+                Item::BranchTo { op, rs1, rs2, label } => {
+                    let target = lookup(label)?;
+                    let offset = target.wrapping_sub(pc) as i64;
+                    let inst = Inst::Branch { op: *op, rs1: *rs1, rs2: *rs2, offset };
+                    text.push(enc(&inst, text.len())?);
+                }
+                Item::JalTo { rd, label } => {
+                    let target = lookup(label)?;
+                    let offset = target.wrapping_sub(pc) as i64;
+                    let inst = Inst::Jal { rd: *rd, offset };
+                    text.push(enc(&inst, text.len())?);
+                }
+                Item::LoadAddr { rd, label } => {
+                    let addr = lookup(label)?;
+                    if addr >= (1 << 31) - 0x800 {
+                        return Err(AsmError::AddressOutOfRange { addr });
+                    }
+                    let (hi, lo) = split_hi_lo(addr as i64);
+                    text.push(enc(&Inst::Lui { rd: *rd, imm: hi }, text.len())?);
+                    text.push(enc(
+                        &Inst::OpImmW { op: IntImmWOp::Addiw, rd: *rd, rs1: *rd, imm: lo },
+                        text.len(),
+                    )?);
+                }
+            }
+            pc += (item.words() as u64) * 4;
+        }
+
+        Ok(Program {
+            name: self.name.clone(),
+            entry: self.text_base,
+            text_base: self.text_base,
+            text,
+            data_base: self.data_base,
+            data: self.data.clone(),
+            symbols: self.labels.clone(),
+        })
+    }
+}
+
+/// Splits a 32-bit-range value into `lui` upper and `addiw` lower parts such
+/// that `hi + lo == value` after sign extension of `lo`.
+fn split_hi_lo(value: i64) -> (i64, i64) {
+    let lo = ((value & 0xFFF) as i64).wrapping_sub(if value & 0x800 != 0 { 0x1000 } else { 0 });
+    let hi = (value - lo) & 0xFFFF_F000;
+    (hi as i32 as i64, lo)
+}
+
+/// Computes the canonical instruction sequence loading `value` into `rd`.
+pub fn materialize_const(rd: XReg, value: i64) -> Vec<Inst> {
+    let mut out = Vec::new();
+    emit_const(&mut out, rd, value);
+    out
+}
+
+fn emit_const(out: &mut Vec<Inst>, rd: XReg, value: i64) {
+    if (-2048..=2047).contains(&value) {
+        out.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1: XReg::ZERO, imm: value });
+        return;
+    }
+    if value >= i32::MIN as i64 && value <= i32::MAX as i64 {
+        let (hi, lo) = split_hi_lo(value);
+        if hi == 0 {
+            // value fits in 12 bits after all (handled above), unreachable,
+            // but keep a safe fallback.
+            out.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1: XReg::ZERO, imm: lo });
+            return;
+        }
+        out.push(Inst::Lui { rd, imm: hi });
+        if lo != 0 {
+            out.push(Inst::OpImmW { op: IntImmWOp::Addiw, rd, rs1: rd, imm: lo });
+        }
+        return;
+    }
+    // 64-bit: materialise the upper part, shift, then add the low 12 bits.
+    let lo = ((value & 0xFFF) as i64).wrapping_sub(if value & 0x800 != 0 { 0x1000 } else { 0 });
+    // Wrapping subtraction: register arithmetic is modulo 2⁶⁴, so the
+    // materialised result is exact even when `value - lo` overflows i64.
+    let upper = value.wrapping_sub(lo) >> 12;
+    emit_const(out, rd, upper);
+    out.push(Inst::OpImm { op: IntImmOp::Slli, rd, rs1: rd, imm: 12 });
+    if lo != 0 {
+        out.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1: rd, imm: lo });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    /// Interprets `materialize_const`'s output to verify the loaded value.
+    fn eval_const_seq(insts: &[Inst], rd: XReg) -> i64 {
+        let mut regs = [0i64; 32];
+        for inst in insts {
+            match *inst {
+                Inst::OpImm { op: IntImmOp::Addi, rd, rs1, imm } => {
+                    regs[rd.index() as usize] = regs[rs1.index() as usize].wrapping_add(imm);
+                }
+                Inst::OpImm { op: IntImmOp::Slli, rd, rs1, imm } => {
+                    regs[rd.index() as usize] = regs[rs1.index() as usize] << imm;
+                }
+                Inst::OpImmW { op: IntImmWOp::Addiw, rd, rs1, imm } => {
+                    let v = regs[rs1.index() as usize].wrapping_add(imm);
+                    regs[rd.index() as usize] = v as i32 as i64;
+                }
+                Inst::Lui { rd, imm } => {
+                    regs[rd.index() as usize] = imm;
+                }
+                other => panic!("unexpected inst in li sequence: {other:?}"),
+            }
+        }
+        regs[rd.index() as usize]
+    }
+
+    #[test]
+    fn li_small_values() {
+        for v in [0i64, 1, -1, 2047, -2048] {
+            let seq = materialize_const(XReg::A0, v);
+            assert_eq!(seq.len(), 1, "value {v}");
+            assert_eq!(eval_const_seq(&seq, XReg::A0), v);
+        }
+    }
+
+    #[test]
+    fn li_32bit_values() {
+        for v in [4096i64, -4096, 0x12345678, -0x12345678, i32::MAX as i64, i32::MIN as i64] {
+            let seq = materialize_const(XReg::A0, v);
+            assert!(seq.len() <= 2, "value {v} took {} insts", seq.len());
+            assert_eq!(eval_const_seq(&seq, XReg::A0), v, "value {v:#x}");
+        }
+    }
+
+    #[test]
+    fn li_64bit_values() {
+        for v in [
+            0x1_0000_0000i64,
+            -0x1_0000_0000,
+            0x1234_5678_9ABC_DEF0u64 as i64,
+            i64::MAX,
+            i64::MIN,
+            0x7FFF_FFFF_FFFF_F800,
+        ] {
+            let seq = materialize_const(XReg::A0, v);
+            assert_eq!(eval_const_seq(&seq, XReg::A0), v, "value {v:#x}");
+            assert!(seq.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn labels_resolve_backwards_and_forwards() {
+        let mut asm = Assembler::new("t");
+        asm.label("start").unwrap();
+        asm.nop();
+        asm.j("end");
+        asm.nop();
+        asm.label("end").unwrap();
+        asm.beq(XReg::ZERO, XReg::ZERO, "start");
+        let p = asm.finish().unwrap();
+        assert_eq!(p.len(), 4);
+        // The jump at index 1 must skip one instruction (offset +8).
+        assert_eq!(decode(p.text[1]).unwrap(), Inst::Jal { rd: XReg::ZERO, offset: 8 });
+        // The branch at index 3 goes back to start (offset -12).
+        assert_eq!(
+            decode(p.text[3]).unwrap(),
+            Inst::Branch { op: BranchOp::Eq, rs1: XReg::ZERO, rs2: XReg::ZERO, offset: -12 }
+        );
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut asm = Assembler::new("t");
+        asm.label("x").unwrap();
+        assert_eq!(asm.label("x"), Err(AsmError::DuplicateLabel { label: "x".into() }));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let mut asm = Assembler::new("t");
+        asm.j("nowhere");
+        assert_eq!(
+            asm.finish().unwrap_err(),
+            AsmError::UnknownLabel { label: "nowhere".into() }
+        );
+    }
+
+    #[test]
+    fn la_resolves_data_symbols() {
+        let mut asm = Assembler::new("t");
+        let addr = asm.data_label("table").unwrap();
+        asm.data_u64s(&[1, 2, 3]);
+        asm.la(XReg::A0, "table");
+        asm.ecall();
+        let p = asm.finish().unwrap();
+        assert_eq!(addr, DEFAULT_DATA_BASE);
+        assert_eq!(p.symbol("table"), Some(DEFAULT_DATA_BASE));
+        // lui+addiw materialisation occupies two words.
+        assert_eq!(p.len(), 3);
+        let seq = [decode(p.text[0]).unwrap(), decode(p.text[1]).unwrap()];
+        let mut regs = [0i64; 32];
+        for inst in seq {
+            match inst {
+                Inst::Lui { rd, imm } => regs[rd.index() as usize] = imm,
+                Inst::OpImmW { op: IntImmWOp::Addiw, rd, rs1, imm } => {
+                    regs[rd.index() as usize] =
+                        (regs[rs1.index() as usize].wrapping_add(imm)) as i32 as i64;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(regs[10] as u64, DEFAULT_DATA_BASE);
+    }
+
+    #[test]
+    fn data_segment_layout() {
+        let mut asm = Assembler::new("t");
+        asm.data_bytes(&[1, 2, 3]);
+        asm.data_align(8);
+        let a = asm.data_label("v").unwrap();
+        asm.data_f64s(&[1.5]);
+        assert_eq!(a, DEFAULT_DATA_BASE + 8);
+        asm.nop();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.data.len(), 16);
+        assert_eq!(
+            f64::from_bits(u64::from_le_bytes(p.data[8..16].try_into().unwrap())),
+            1.5
+        );
+    }
+
+    #[test]
+    fn here_tracks_pseudo_expansion() {
+        let mut asm = Assembler::new("t");
+        assert_eq!(asm.here(), DEFAULT_TEXT_BASE);
+        asm.la(XReg::A0, "later");
+        assert_eq!(asm.here(), DEFAULT_TEXT_BASE + 8);
+        asm.li(XReg::A1, 0x12345678);
+        assert_eq!(asm.here(), DEFAULT_TEXT_BASE + 16);
+        asm.label("later").unwrap();
+        asm.nop();
+        assert!(asm.finish().is_ok());
+    }
+
+    #[test]
+    fn program_extents() {
+        let mut asm = Assembler::new("t");
+        asm.nop().nop();
+        asm.data_zeros(10);
+        let p = asm.finish().unwrap();
+        assert_eq!(p.text_end(), DEFAULT_TEXT_BASE + 8);
+        assert_eq!(p.data_end(), DEFAULT_DATA_BASE + 10);
+        assert!(!p.is_empty());
+    }
+}

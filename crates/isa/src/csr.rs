@@ -1,0 +1,129 @@
+//! Control and status register (CSR) addresses and fields.
+//!
+//! Only the CSRs the FlexStep platform actually exercises are modelled:
+//! machine-mode trap handling (the simulated kernel runs in M-mode, user
+//! tasks in U-mode), hart identification, and the user counters that the
+//! Checkpoint Control unit reads.
+//!
+//! ```
+//! use flexstep_isa::csr;
+//!
+//! assert_eq!(csr::name(csr::MEPC), Some("mepc"));
+//! assert_eq!(csr::MHARTID, 0xF14);
+//! ```
+
+/// Machine status register.
+pub const MSTATUS: u16 = 0x300;
+/// Machine ISA register (read-only identification).
+pub const MISA: u16 = 0x301;
+/// Machine interrupt-enable register.
+pub const MIE: u16 = 0x304;
+/// Machine trap-vector base address.
+pub const MTVEC: u16 = 0x305;
+/// Machine scratch register.
+pub const MSCRATCH: u16 = 0x340;
+/// Machine exception program counter.
+pub const MEPC: u16 = 0x341;
+/// Machine trap cause.
+pub const MCAUSE: u16 = 0x342;
+/// Machine bad address or instruction.
+pub const MTVAL: u16 = 0x343;
+/// Machine interrupt-pending register.
+pub const MIP: u16 = 0x344;
+/// Hart (hardware thread) ID, read-only.
+pub const MHARTID: u16 = 0xF14;
+/// Cycle counter, user-readable shadow.
+pub const CYCLE: u16 = 0xC00;
+/// Wall-clock time counter, user-readable shadow.
+pub const TIME: u16 = 0xC01;
+/// Instructions-retired counter, user-readable shadow.
+pub const INSTRET: u16 = 0xC02;
+/// Floating-point control and status register.
+pub const FCSR: u16 = 0x003;
+
+/// `mstatus.MIE` bit: machine-mode interrupts globally enabled.
+pub const MSTATUS_MIE: u64 = 1 << 3;
+/// `mstatus.MPIE` bit: previous `MIE` value, restored by `mret`.
+pub const MSTATUS_MPIE: u64 = 1 << 7;
+/// `mstatus.MPP` field shift: previous privilege mode, restored by `mret`.
+pub const MSTATUS_MPP_SHIFT: u32 = 11;
+/// `mstatus.MPP` field mask (two bits).
+pub const MSTATUS_MPP_MASK: u64 = 0b11 << MSTATUS_MPP_SHIFT;
+
+/// Machine timer-interrupt bit in `mie`/`mip`.
+pub const MIE_MTIE: u64 = 1 << 7;
+/// Machine software-interrupt bit in `mie`/`mip`.
+pub const MIE_MSIE: u64 = 1 << 3;
+/// Machine external-interrupt bit in `mie`/`mip`.
+pub const MIE_MEIE: u64 = 1 << 11;
+
+/// Returns the architectural name of a known CSR address, or `None` for
+/// addresses this platform does not implement.
+pub fn name(addr: u16) -> Option<&'static str> {
+    Some(match addr {
+        MSTATUS => "mstatus",
+        MISA => "misa",
+        MIE => "mie",
+        MTVEC => "mtvec",
+        MSCRATCH => "mscratch",
+        MEPC => "mepc",
+        MCAUSE => "mcause",
+        MTVAL => "mtval",
+        MIP => "mip",
+        MHARTID => "mhartid",
+        CYCLE => "cycle",
+        TIME => "time",
+        INSTRET => "instret",
+        FCSR => "fcsr",
+        _ => return None,
+    })
+}
+
+/// Returns `true` if the CSR address is implemented by this platform.
+pub fn is_implemented(addr: u16) -> bool {
+    name(addr).is_some()
+}
+
+/// Returns `true` if the CSR is read-only (writes raise an illegal
+/// instruction trap).
+pub fn is_read_only(addr: u16) -> bool {
+    matches!(addr, MHARTID | CYCLE | TIME | INSTRET)
+}
+
+/// The complete list of implemented CSR addresses, in ascending order.
+pub const IMPLEMENTED: [u16; 14] = [
+    FCSR, MSTATUS, MISA, MIE, MTVEC, MSCRATCH, MEPC, MCAUSE, MTVAL, MIP,
+    CYCLE, TIME, INSTRET, MHARTID,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_all_implemented() {
+        for &addr in &IMPLEMENTED {
+            assert!(name(addr).is_some(), "csr {addr:#x} missing a name");
+        }
+    }
+
+    #[test]
+    fn unimplemented_addresses_have_no_name() {
+        assert_eq!(name(0x7C0), None);
+        assert!(!is_implemented(0x7C0));
+    }
+
+    #[test]
+    fn read_only_counters_are_marked() {
+        assert!(is_read_only(MHARTID));
+        assert!(is_read_only(CYCLE));
+        assert!(!is_read_only(MEPC));
+    }
+
+    #[test]
+    fn mstatus_fields_do_not_overlap() {
+        assert_eq!(MSTATUS_MIE & MSTATUS_MPIE, 0);
+        assert_eq!(MSTATUS_MIE & MSTATUS_MPP_MASK, 0);
+        assert_eq!(MSTATUS_MPIE & MSTATUS_MPP_MASK, 0);
+    }
+}

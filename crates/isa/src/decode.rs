@@ -1,0 +1,508 @@
+//! Instruction decoding from 32-bit RISC-V words.
+//!
+//! [`decode`] is the exact inverse of [`encode`] for every canonical word;
+//! non-canonical but architecturally equivalent words (e.g. FP arithmetic
+//! with a static rounding mode, or AMOs with `aq`/`rl` set) decode to the
+//! same [`Inst`] value, so `encode ∘ decode` is idempotent.
+//!
+//! [`encode`]: crate::encode::encode
+
+use crate::encode::*;
+use crate::inst::*;
+use crate::reg::{FReg, XReg};
+use std::fmt;
+
+/// Error produced for words that are not valid instructions on this
+/// platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+    /// The program counter of the fetch, when known (zero otherwise).
+    pub pc: u64,
+}
+
+impl DecodeError {
+    fn new(word: u32) -> Self {
+        DecodeError { word, pc: 0 }
+    }
+
+    /// Attaches a program counter to the error for diagnostics.
+    pub fn at(mut self, pc: u64) -> Self {
+        self.pc = pc;
+        self
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x} at pc {:#x}", self.word, self.pc)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn opcode(w: u32) -> u32 {
+    w & 0x7F
+}
+#[inline]
+fn rd(w: u32) -> u32 {
+    (w >> 7) & 0x1F
+}
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+#[inline]
+fn rs1(w: u32) -> u32 {
+    (w >> 15) & 0x1F
+}
+#[inline]
+fn rs2(w: u32) -> u32 {
+    (w >> 20) & 0x1F
+}
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+#[inline]
+fn xrd(w: u32) -> XReg {
+    XReg::of(rd(w))
+}
+#[inline]
+fn xrs1(w: u32) -> XReg {
+    XReg::of(rs1(w))
+}
+#[inline]
+fn xrs2(w: u32) -> XReg {
+    XReg::of(rs2(w))
+}
+#[inline]
+fn frd(w: u32) -> FReg {
+    FReg::of(rd(w))
+}
+#[inline]
+fn frs1(w: u32) -> FReg {
+    FReg::of(rs1(w))
+}
+#[inline]
+fn frs2(w: u32) -> FReg {
+    FReg::of(rs2(w))
+}
+
+#[inline]
+fn imm_i(w: u32) -> i64 {
+    ((w as i32) >> 20) as i64
+}
+
+#[inline]
+fn imm_s(w: u32) -> i64 {
+    let hi = ((w as i32) >> 25) as i64; // sign-extended imm[11:5]
+    let lo = rd(w) as i64; // imm[4:0]
+    (hi << 5) | lo
+}
+
+#[inline]
+fn imm_b(w: u32) -> i64 {
+    let b12 = ((w as i32) >> 31) as i64; // sign bit
+    let b11 = ((w >> 7) & 1) as i64;
+    let b10_5 = ((w >> 25) & 0x3F) as i64;
+    let b4_1 = ((w >> 8) & 0xF) as i64;
+    (b12 << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+}
+
+#[inline]
+fn imm_u(w: u32) -> i64 {
+    ((w & 0xFFFF_F000) as i32) as i64
+}
+
+#[inline]
+fn imm_j(w: u32) -> i64 {
+    let b20 = ((w as i32) >> 31) as i64; // sign bit
+    let b19_12 = ((w >> 12) & 0xFF) as i64;
+    let b11 = ((w >> 20) & 1) as i64;
+    let b10_1 = ((w >> 21) & 0x3FF) as i64;
+    (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+/// Decodes a 32-bit word into an [`Inst`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words outside the implemented RV64IMA+FD
+/// subset and the FlexStep custom-0 space.
+///
+/// ```
+/// use flexstep_isa::{decode::decode, inst::Inst, reg::XReg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// assert_eq!(decode(0x0080_00EF)?, Inst::Jal { rd: XReg::RA, offset: 8 });
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(w: u32) -> Result<Inst, DecodeError> {
+    let err = || DecodeError::new(w);
+    let inst = match opcode(w) {
+        OP_LUI => Inst::Lui { rd: xrd(w), imm: imm_u(w) },
+        OP_AUIPC => Inst::Auipc { rd: xrd(w), imm: imm_u(w) },
+        OP_JAL => Inst::Jal { rd: xrd(w), offset: imm_j(w) },
+        OP_JALR if funct3(w) == 0 => {
+            Inst::Jalr { rd: xrd(w), rs1: xrs1(w), offset: imm_i(w) }
+        }
+        OP_BRANCH => {
+            let op = match funct3(w) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return Err(err()),
+            };
+            Inst::Branch { op, rs1: xrs1(w), rs2: xrs2(w), offset: imm_b(w) }
+        }
+        OP_LOAD => {
+            let op = match funct3(w) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b011 => LoadOp::Ld,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                0b110 => LoadOp::Lwu,
+                _ => return Err(err()),
+            };
+            Inst::Load { op, rd: xrd(w), rs1: xrs1(w), offset: imm_i(w) }
+        }
+        OP_STORE => {
+            let op = match funct3(w) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                0b011 => StoreOp::Sd,
+                _ => return Err(err()),
+            };
+            Inst::Store { op, rs1: xrs1(w), rs2: xrs2(w), offset: imm_s(w) }
+        }
+        OP_IMM => {
+            let rd = xrd(w);
+            let rs1 = xrs1(w);
+            match funct3(w) {
+                0b000 => Inst::OpImm { op: IntImmOp::Addi, rd, rs1, imm: imm_i(w) },
+                0b010 => Inst::OpImm { op: IntImmOp::Slti, rd, rs1, imm: imm_i(w) },
+                0b011 => Inst::OpImm { op: IntImmOp::Sltiu, rd, rs1, imm: imm_i(w) },
+                0b100 => Inst::OpImm { op: IntImmOp::Xori, rd, rs1, imm: imm_i(w) },
+                0b110 => Inst::OpImm { op: IntImmOp::Ori, rd, rs1, imm: imm_i(w) },
+                0b111 => Inst::OpImm { op: IntImmOp::Andi, rd, rs1, imm: imm_i(w) },
+                0b001 if (w >> 26) == 0 => {
+                    Inst::OpImm { op: IntImmOp::Slli, rd, rs1, imm: ((w >> 20) & 0x3F) as i64 }
+                }
+                0b101 => {
+                    let shamt = ((w >> 20) & 0x3F) as i64;
+                    match w >> 26 {
+                        0b000000 => Inst::OpImm { op: IntImmOp::Srli, rd, rs1, imm: shamt },
+                        0b010000 => Inst::OpImm { op: IntImmOp::Srai, rd, rs1, imm: shamt },
+                        _ => return Err(err()),
+                    }
+                }
+                _ => return Err(err()),
+            }
+        }
+        OP_OP => {
+            let key = (funct3(w), funct7(w));
+            let op = match key {
+                (0b000, 0b0000000) => IntOp::Add,
+                (0b000, 0b0100000) => IntOp::Sub,
+                (0b001, 0b0000000) => IntOp::Sll,
+                (0b010, 0b0000000) => IntOp::Slt,
+                (0b011, 0b0000000) => IntOp::Sltu,
+                (0b100, 0b0000000) => IntOp::Xor,
+                (0b101, 0b0000000) => IntOp::Srl,
+                (0b101, 0b0100000) => IntOp::Sra,
+                (0b110, 0b0000000) => IntOp::Or,
+                (0b111, 0b0000000) => IntOp::And,
+                (0b000, 0b0000001) => IntOp::Mul,
+                (0b001, 0b0000001) => IntOp::Mulh,
+                (0b010, 0b0000001) => IntOp::Mulhsu,
+                (0b011, 0b0000001) => IntOp::Mulhu,
+                (0b100, 0b0000001) => IntOp::Div,
+                (0b101, 0b0000001) => IntOp::Divu,
+                (0b110, 0b0000001) => IntOp::Rem,
+                (0b111, 0b0000001) => IntOp::Remu,
+                _ => return Err(err()),
+            };
+            Inst::Op { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+        }
+        OP_IMM_32 => {
+            let rd = xrd(w);
+            let rs1 = xrs1(w);
+            match funct3(w) {
+                0b000 => Inst::OpImmW { op: IntImmWOp::Addiw, rd, rs1, imm: imm_i(w) },
+                0b001 if funct7(w) == 0 => {
+                    Inst::OpImmW { op: IntImmWOp::Slliw, rd, rs1, imm: rs2(w) as i64 }
+                }
+                0b101 => match funct7(w) {
+                    0b0000000 => {
+                        Inst::OpImmW { op: IntImmWOp::Srliw, rd, rs1, imm: rs2(w) as i64 }
+                    }
+                    0b0100000 => {
+                        Inst::OpImmW { op: IntImmWOp::Sraiw, rd, rs1, imm: rs2(w) as i64 }
+                    }
+                    _ => return Err(err()),
+                },
+                _ => return Err(err()),
+            }
+        }
+        OP_OP_32 => {
+            let key = (funct3(w), funct7(w));
+            let op = match key {
+                (0b000, 0b0000000) => IntWOp::Addw,
+                (0b000, 0b0100000) => IntWOp::Subw,
+                (0b001, 0b0000000) => IntWOp::Sllw,
+                (0b101, 0b0000000) => IntWOp::Srlw,
+                (0b101, 0b0100000) => IntWOp::Sraw,
+                (0b000, 0b0000001) => IntWOp::Mulw,
+                (0b100, 0b0000001) => IntWOp::Divw,
+                (0b101, 0b0000001) => IntWOp::Divuw,
+                (0b110, 0b0000001) => IntWOp::Remw,
+                (0b111, 0b0000001) => IntWOp::Remuw,
+                _ => return Err(err()),
+            };
+            Inst::OpW { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+        }
+        OP_AMO => {
+            let width = match funct3(w) {
+                0b010 => AmoWidth::W,
+                0b011 => AmoWidth::D,
+                _ => return Err(err()),
+            };
+            let funct5 = funct7(w) >> 2; // ignore aq/rl bits
+            match funct5 {
+                LR_FUNCT5 if rs2(w) == 0 => Inst::Lr { width, rd: xrd(w), rs1: xrs1(w) },
+                SC_FUNCT5 => {
+                    Inst::Sc { width, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+                }
+                f5 => {
+                    let op = match f5 {
+                        0b00000 => AmoOp::Add,
+                        0b00001 => AmoOp::Swap,
+                        0b00100 => AmoOp::Xor,
+                        0b01000 => AmoOp::Or,
+                        0b01100 => AmoOp::And,
+                        0b10000 => AmoOp::Min,
+                        0b10100 => AmoOp::Max,
+                        0b11000 => AmoOp::Minu,
+                        0b11100 => AmoOp::Maxu,
+                        _ => return Err(err()),
+                    };
+                    Inst::Amo { op, width, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+                }
+            }
+        }
+        OP_SYSTEM => match funct3(w) {
+            0b000 => match w >> 7 {
+                0 => Inst::Ecall,
+                x if x == (1 << 13) => Inst::Ebreak,
+                _ if funct7(w) == 0b0011000 && rs2(w) == 0b00010 && rs1(w) == 0 && rd(w) == 0 => {
+                    Inst::Mret
+                }
+                _ if funct7(w) == 0b0001000 && rs2(w) == 0b00101 && rs1(w) == 0 && rd(w) == 0 => {
+                    Inst::Wfi
+                }
+                _ => return Err(err()),
+            },
+            f3 => {
+                let op = match f3 {
+                    0b001 => CsrOp::Rw,
+                    0b010 => CsrOp::Rs,
+                    0b011 => CsrOp::Rc,
+                    0b101 => CsrOp::Rwi,
+                    0b110 => CsrOp::Rsi,
+                    0b111 => CsrOp::Rci,
+                    _ => return Err(err()),
+                };
+                Inst::Csr { op, rd: xrd(w), src: rs1(w), csr: (w >> 20) as u16 }
+            }
+        },
+        OP_MISC_MEM if funct3(w) == 0 => Inst::Fence,
+        OP_LOAD_FP if funct3(w) == 0b011 => {
+            Inst::Fld { rd: frd(w), rs1: xrs1(w), offset: imm_i(w) }
+        }
+        OP_STORE_FP if funct3(w) == 0b011 => {
+            Inst::Fsd { rs1: xrs1(w), rs2: frs2(w), offset: imm_s(w) }
+        }
+        OP_FMADD | OP_FMSUB | OP_FNMSUB | OP_FNMADD => {
+            if (w >> 25) & 0b11 != 0b01 {
+                return Err(err()); // only double precision implemented
+            }
+            let op = match opcode(w) {
+                OP_FMADD => FmaOp::Madd,
+                OP_FMSUB => FmaOp::Msub,
+                OP_FNMSUB => FmaOp::Nmsub,
+                _ => FmaOp::Nmadd,
+            };
+            Inst::Fma {
+                op,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+                rs3: FReg::of(w >> 27),
+            }
+        }
+        OP_OP_FP => match funct7(w) {
+            0b0000001 => Inst::Fp { op: FpOp::Add, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0b0000101 => Inst::Fp { op: FpOp::Sub, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0b0001001 => Inst::Fp { op: FpOp::Mul, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0b0001101 => Inst::Fp { op: FpOp::Div, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0b0101101 if rs2(w) == 0 => Inst::FpSqrt { rd: frd(w), rs1: frs1(w) },
+            0b0010001 => {
+                let op = match funct3(w) {
+                    0b000 => FpOp::SgnJ,
+                    0b001 => FpOp::SgnJN,
+                    0b010 => FpOp::SgnJX,
+                    _ => return Err(err()),
+                };
+                Inst::Fp { op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0b0010101 => {
+                let op = match funct3(w) {
+                    0b000 => FpOp::Min,
+                    0b001 => FpOp::Max,
+                    _ => return Err(err()),
+                };
+                Inst::Fp { op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0b1010001 => {
+                let op = match funct3(w) {
+                    0b010 => FpCmpOp::Eq,
+                    0b001 => FpCmpOp::Lt,
+                    0b000 => FpCmpOp::Le,
+                    _ => return Err(err()),
+                };
+                Inst::FpCmp { op, rd: xrd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0b1100001 => {
+                let op = match rs2(w) {
+                    0b00000 => FpCvtOp::DToW,
+                    0b00010 => FpCvtOp::DToL,
+                    0b00011 => FpCvtOp::DToLu,
+                    _ => return Err(err()),
+                };
+                Inst::FpCvt { op, rd: rd(w), rs1: rs1(w) }
+            }
+            0b1101001 => {
+                let op = match rs2(w) {
+                    0b00000 => FpCvtOp::WToD,
+                    0b00010 => FpCvtOp::LToD,
+                    0b00011 => FpCvtOp::LuToD,
+                    _ => return Err(err()),
+                };
+                Inst::FpCvt { op, rd: rd(w), rs1: rs1(w) }
+            }
+            0b1110001 if rs2(w) == 0 && funct3(w) == 0 => {
+                Inst::FmvXD { rd: xrd(w), rs1: frs1(w) }
+            }
+            0b1111001 if rs2(w) == 0 && funct3(w) == 0 => {
+                Inst::FmvDX { rd: frd(w), rs1: xrs1(w) }
+            }
+            _ => return Err(err()),
+        },
+        OP_CUSTOM0 if funct3(w) == 0 => {
+            let op = match funct7(w) {
+                0 => FlexOp::GIdsContain,
+                1 => FlexOp::GConfigure,
+                2 => FlexOp::MAssociate,
+                3 => FlexOp::MCheck,
+                4 => FlexOp::CCheckState,
+                5 => FlexOp::CRecord,
+                6 => FlexOp::CApply,
+                7 => FlexOp::CJal,
+                8 => FlexOp::CResult,
+                _ => return Err(err()),
+            };
+            Inst::Flex { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+        }
+        _ => return Err(err()),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            decode(0x02A5_8513).unwrap(),
+            Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A1, imm: 42 }
+        );
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x3020_0073).unwrap(), Inst::Mret);
+    }
+
+    #[test]
+    fn decode_negative_immediates() {
+        // addi a0, a0, -1  => 0xFFF50513
+        assert_eq!(
+            decode(0xFFF5_0513).unwrap(),
+            Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A0, imm: -1 }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xFFFF_FFFF).is_err());
+        // Single-precision FMA (funct2=00) is not implemented.
+        assert!(decode(0x0000_0043).is_err());
+    }
+
+    #[test]
+    fn decode_ignores_amo_aq_rl() {
+        let canonical = Inst::Amo {
+            op: AmoOp::Add,
+            width: AmoWidth::D,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
+        let word = encode(&canonical).unwrap();
+        let with_aqrl = word | (0b11 << 25);
+        assert_eq!(decode(with_aqrl).unwrap(), canonical);
+    }
+
+    #[test]
+    fn decode_fp_static_rounding_mode() {
+        let canonical = Inst::Fp {
+            op: FpOp::Add,
+            rd: FReg::of(1),
+            rs1: FReg::of(2),
+            rs2: FReg::of(3),
+        };
+        let word = encode(&canonical).unwrap();
+        let rne = word & !(0b111 << 12); // rm = RNE instead of DYN
+        assert_eq!(decode(rne).unwrap(), canonical);
+    }
+
+    #[test]
+    fn error_carries_pc() {
+        let e = decode(0).unwrap_err().at(0x8000_0000);
+        assert_eq!(e.pc, 0x8000_0000);
+        assert!(e.to_string().contains("0x80000000"));
+    }
+
+    #[test]
+    fn negative_branch_offset_roundtrip() {
+        let i = Inst::Branch { op: BranchOp::Ne, rs1: XReg::A0, rs2: XReg::ZERO, offset: -64 };
+        assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn negative_jal_offset_roundtrip() {
+        let i = Inst::Jal { rd: XReg::ZERO, offset: -2048 };
+        assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+    }
+}

@@ -1,0 +1,275 @@
+//! Textual disassembly.
+//!
+//! [`Inst`] implements [`std::fmt::Display`] producing conventional RISC-V
+//! assembly syntax, which the simulator uses in traces and error reports.
+//!
+//! ```
+//! use flexstep_isa::{inst::Inst, reg::XReg};
+//!
+//! let i = Inst::Jal { rd: XReg::RA, offset: -16 };
+//! assert_eq!(i.to_string(), "jal ra, -16");
+//! ```
+
+use crate::csr;
+use crate::inst::*;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm >> 12) & 0xFFFFF),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm >> 12) & 0xFFFFF),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let m = match op {
+                    BranchOp::Eq => "beq",
+                    BranchOp::Ne => "bne",
+                    BranchOp::Lt => "blt",
+                    BranchOp::Ge => "bge",
+                    BranchOp::Ltu => "bltu",
+                    BranchOp::Geu => "bgeu",
+                };
+                write!(f, "{m} {rs1}, {rs2}, {offset}")
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let m = match op {
+                    LoadOp::Lb => "lb",
+                    LoadOp::Lh => "lh",
+                    LoadOp::Lw => "lw",
+                    LoadOp::Ld => "ld",
+                    LoadOp::Lbu => "lbu",
+                    LoadOp::Lhu => "lhu",
+                    LoadOp::Lwu => "lwu",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                let m = match op {
+                    StoreOp::Sb => "sb",
+                    StoreOp::Sh => "sh",
+                    StoreOp::Sw => "sw",
+                    StoreOp::Sd => "sd",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    IntImmOp::Addi => "addi",
+                    IntImmOp::Slti => "slti",
+                    IntImmOp::Sltiu => "sltiu",
+                    IntImmOp::Xori => "xori",
+                    IntImmOp::Ori => "ori",
+                    IntImmOp::Andi => "andi",
+                    IntImmOp::Slli => "slli",
+                    IntImmOp::Srli => "srli",
+                    IntImmOp::Srai => "srai",
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    IntOp::Add => "add",
+                    IntOp::Sub => "sub",
+                    IntOp::Sll => "sll",
+                    IntOp::Slt => "slt",
+                    IntOp::Sltu => "sltu",
+                    IntOp::Xor => "xor",
+                    IntOp::Srl => "srl",
+                    IntOp::Sra => "sra",
+                    IntOp::Or => "or",
+                    IntOp::And => "and",
+                    IntOp::Mul => "mul",
+                    IntOp::Mulh => "mulh",
+                    IntOp::Mulhsu => "mulhsu",
+                    IntOp::Mulhu => "mulhu",
+                    IntOp::Div => "div",
+                    IntOp::Divu => "divu",
+                    IntOp::Rem => "rem",
+                    IntOp::Remu => "remu",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Inst::OpImmW { op, rd, rs1, imm } => {
+                let m = match op {
+                    IntImmWOp::Addiw => "addiw",
+                    IntImmWOp::Slliw => "slliw",
+                    IntImmWOp::Srliw => "srliw",
+                    IntImmWOp::Sraiw => "sraiw",
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Inst::OpW { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    IntWOp::Addw => "addw",
+                    IntWOp::Subw => "subw",
+                    IntWOp::Sllw => "sllw",
+                    IntWOp::Srlw => "srlw",
+                    IntWOp::Sraw => "sraw",
+                    IntWOp::Mulw => "mulw",
+                    IntWOp::Divw => "divw",
+                    IntWOp::Divuw => "divuw",
+                    IntWOp::Remw => "remw",
+                    IntWOp::Remuw => "remuw",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Inst::Lr { width, rd, rs1 } => {
+                write!(f, "lr.{} {rd}, ({rs1})", width_suffix(width))
+            }
+            Inst::Sc { width, rd, rs1, rs2 } => {
+                write!(f, "sc.{} {rd}, {rs2}, ({rs1})", width_suffix(width))
+            }
+            Inst::Amo { op, width, rd, rs1, rs2 } => {
+                let m = match op {
+                    AmoOp::Swap => "amoswap",
+                    AmoOp::Add => "amoadd",
+                    AmoOp::Xor => "amoxor",
+                    AmoOp::And => "amoand",
+                    AmoOp::Or => "amoor",
+                    AmoOp::Min => "amomin",
+                    AmoOp::Max => "amomax",
+                    AmoOp::Minu => "amominu",
+                    AmoOp::Maxu => "amomaxu",
+                };
+                write!(f, "{m}.{} {rd}, {rs2}, ({rs1})", width_suffix(width))
+            }
+            Inst::Csr { op, rd, src, csr: addr } => {
+                let m = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                    CsrOp::Rwi => "csrrwi",
+                    CsrOp::Rsi => "csrrsi",
+                    CsrOp::Rci => "csrrci",
+                };
+                let csr_name = csr::name(addr).map(String::from).unwrap_or_else(|| format!("{addr:#x}"));
+                if op.is_immediate() {
+                    write!(f, "{m} {rd}, {csr_name}, {src}")
+                } else {
+                    write!(f, "{m} {rd}, {csr_name}, {}", crate::reg::XReg::of(src))
+                }
+            }
+            Inst::Fld { rd, rs1, offset } => write!(f, "fld {rd}, {offset}({rs1})"),
+            Inst::Fsd { rs1, rs2, offset } => write!(f, "fsd {rs2}, {offset}({rs1})"),
+            Inst::Fp { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    FpOp::Add => "fadd.d",
+                    FpOp::Sub => "fsub.d",
+                    FpOp::Mul => "fmul.d",
+                    FpOp::Div => "fdiv.d",
+                    FpOp::SgnJ => "fsgnj.d",
+                    FpOp::SgnJN => "fsgnjn.d",
+                    FpOp::SgnJX => "fsgnjx.d",
+                    FpOp::Min => "fmin.d",
+                    FpOp::Max => "fmax.d",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Inst::FpSqrt { rd, rs1 } => write!(f, "fsqrt.d {rd}, {rs1}"),
+            Inst::Fma { op, rd, rs1, rs2, rs3 } => {
+                let m = match op {
+                    FmaOp::Madd => "fmadd.d",
+                    FmaOp::Msub => "fmsub.d",
+                    FmaOp::Nmsub => "fnmsub.d",
+                    FmaOp::Nmadd => "fnmadd.d",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}, {rs3}")
+            }
+            Inst::FpCmp { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    FpCmpOp::Eq => "feq.d",
+                    FpCmpOp::Lt => "flt.d",
+                    FpCmpOp::Le => "fle.d",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Inst::FpCvt { op, rd, rs1 } => {
+                let (m, xd) = match op {
+                    FpCvtOp::DToL => ("fcvt.l.d", true),
+                    FpCvtOp::DToLu => ("fcvt.lu.d", true),
+                    FpCvtOp::LToD => ("fcvt.d.l", false),
+                    FpCvtOp::LuToD => ("fcvt.d.lu", false),
+                    FpCvtOp::DToW => ("fcvt.w.d", true),
+                    FpCvtOp::WToD => ("fcvt.d.w", false),
+                };
+                if xd {
+                    write!(f, "{m} {}, f{rs1}", crate::reg::XReg::of(rd))
+                } else {
+                    write!(f, "{m} f{rd}, {}", crate::reg::XReg::of(rs1))
+                }
+            }
+            Inst::FmvXD { rd, rs1 } => write!(f, "fmv.x.d {rd}, {rs1}"),
+            Inst::FmvDX { rd, rs1 } => write!(f, "fmv.d.x {rd}, {rs1}"),
+            Inst::Fence => f.write_str("fence"),
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+            Inst::Mret => f.write_str("mret"),
+            Inst::Wfi => f.write_str("wfi"),
+            Inst::Flex { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+        }
+    }
+}
+
+fn width_suffix(w: AmoWidth) -> &'static str {
+    match w {
+        AmoWidth::W => "w",
+        AmoWidth::D => "d",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, XReg};
+
+    #[test]
+    fn common_mnemonics() {
+        let i = Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A1, imm: 42 };
+        assert_eq!(i.to_string(), "addi a0, a1, 42");
+        let i = Inst::Load { op: LoadOp::Ld, rd: XReg::A0, rs1: XReg::SP, offset: 16 };
+        assert_eq!(i.to_string(), "ld a0, 16(sp)");
+        let i = Inst::Store { op: StoreOp::Sd, rs1: XReg::SP, rs2: XReg::A0, offset: -8 };
+        assert_eq!(i.to_string(), "sd a0, -8(sp)");
+    }
+
+    #[test]
+    fn csr_uses_symbolic_names() {
+        let i = Inst::Csr { op: CsrOp::Rs, rd: XReg::A0, src: 0, csr: crate::csr::MHARTID };
+        assert_eq!(i.to_string(), "csrrs a0, mhartid, zero");
+    }
+
+    #[test]
+    fn amo_and_fp_forms() {
+        let i = Inst::Amo {
+            op: AmoOp::Add,
+            width: AmoWidth::D,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
+        assert_eq!(i.to_string(), "amoadd.d a0, a2, (a1)");
+        let i = Inst::Fma {
+            op: FmaOp::Madd,
+            rd: FReg::of(0),
+            rs1: FReg::of(1),
+            rs2: FReg::of(2),
+            rs3: FReg::of(3),
+        };
+        assert_eq!(i.to_string(), "fmadd.d f0, f1, f2, f3");
+    }
+
+    #[test]
+    fn flex_ops_display_paper_names() {
+        let i = Inst::Flex { op: FlexOp::MAssociate, rd: XReg::ZERO, rs1: XReg::A0, rs2: XReg::ZERO };
+        assert_eq!(i.to_string(), "m.associate zero, a0, zero");
+    }
+
+    #[test]
+    fn lui_shows_upper_immediate() {
+        let i = Inst::Lui { rd: XReg::A0, imm: 0x12345 << 12 };
+        assert_eq!(i.to_string(), "lui a0, 0x12345");
+    }
+}

@@ -1,0 +1,55 @@
+//! # flexstep-isa
+//!
+//! Instruction-set model for the FlexStep platform: the RV64IMA base ISA
+//! (plus the double-precision floating-point subset the evaluated Rocket
+//! configuration provides), a two-pass assembler for building guest
+//! programs, and the nine FlexStep custom instructions of Tab. I of the
+//! paper *"FlexStep: Enabling Flexible Error Detection in Multi/Many-core
+//! Real-time Systems"* (DAC 2025).
+//!
+//! This crate is pure data and codecs — execution semantics live in
+//! `flexstep-sim`, and the FlexStep error-detection machinery the custom
+//! instructions control lives in `flexstep-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexstep_isa::asm::Assembler;
+//! use flexstep_isa::decode::decode;
+//! use flexstep_isa::reg::XReg;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Sum the integers 1..=10, then yield to the kernel.
+//! let mut asm = Assembler::new("sum");
+//! asm.li(XReg::A0, 0); // acc
+//! asm.li(XReg::A1, 10); // i
+//! asm.label("loop")?;
+//! asm.add(XReg::A0, XReg::A0, XReg::A1);
+//! asm.addi(XReg::A1, XReg::A1, -1);
+//! asm.bnez(XReg::A1, "loop");
+//! asm.ecall();
+//! let program = asm.finish()?;
+//!
+//! // Every emitted word decodes back to a well-formed instruction.
+//! for &word in &program.text {
+//!     decode(word)?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod csr;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod inst;
+pub mod reg;
+
+pub use asm::{Assembler, Program};
+pub use decode::{decode, DecodeError};
+pub use encode::{encode, EncodeError};
+pub use inst::{Inst, InstClass};
+pub use reg::{FReg, XReg};

@@ -1,0 +1,244 @@
+//! Integer and floating-point register identifiers.
+//!
+//! The simulated cores implement the RV64 register model: 32 integer
+//! registers (`x0`–`x31`, with `x0` hard-wired to zero) and 32
+//! double-precision floating-point registers (`f0`–`f31`). Both kinds are
+//! represented as validated newtypes so that malformed register indices are
+//! unrepresentable ([C-NEWTYPE]).
+//!
+//! ```
+//! use flexstep_isa::reg::XReg;
+//!
+//! let sp = XReg::SP;
+//! assert_eq!(sp.index(), 2);
+//! assert_eq!(sp.to_string(), "sp");
+//! ```
+
+use std::fmt;
+
+/// An integer (x) register identifier in the range `x0`–`x31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct XReg(u8);
+
+/// A floating-point (f) register identifier in the range `f0`–`f31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+/// Error returned when constructing a register from an out-of-range index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRegError {
+    /// The rejected index.
+    pub index: u32,
+}
+
+impl fmt::Display for InvalidRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register index {} out of range 0..32", self.index)
+    }
+}
+
+impl std::error::Error for InvalidRegError {}
+
+macro_rules! named_xregs {
+    ($($name:ident = $idx:expr;)*) => {
+        impl XReg {
+            $(
+                #[doc = concat!("The `", stringify!($name), "` register (ABI name).")]
+                pub const $name: XReg = XReg($idx);
+            )*
+        }
+    };
+}
+
+named_xregs! {
+    ZERO = 0; RA = 1; SP = 2; GP = 3; TP = 4;
+    T0 = 5; T1 = 6; T2 = 7;
+    S0 = 8; S1 = 9;
+    A0 = 10; A1 = 11; A2 = 12; A3 = 13; A4 = 14; A5 = 15; A6 = 16; A7 = 17;
+    S2 = 18; S3 = 19; S4 = 20; S5 = 21; S6 = 22; S7 = 23; S8 = 24; S9 = 25;
+    S10 = 26; S11 = 27;
+    T3 = 28; T4 = 29; T5 = 30; T6 = 31;
+}
+
+const XREG_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1",
+    "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+];
+
+impl XReg {
+    /// Creates a register from a raw index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRegError`] if `index >= 32`.
+    pub fn new(index: u32) -> Result<Self, InvalidRegError> {
+        if index < 32 {
+            Ok(XReg(index as u8))
+        } else {
+            Err(InvalidRegError { index })
+        }
+    }
+
+    /// Creates a register from a raw index, panicking on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`. Prefer [`XReg::new`] for untrusted input.
+    pub fn of(index: u32) -> Self {
+        Self::new(index).expect("x-register index out of range")
+    }
+
+    /// Returns the raw register index (0–31).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the ABI name (`zero`, `ra`, `sp`, …).
+    pub fn abi_name(self) -> &'static str {
+        XREG_NAMES[self.0 as usize]
+    }
+
+    /// Returns `true` for `x0`, which always reads as zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 integer registers in index order.
+    pub fn all() -> impl Iterator<Item = XReg> {
+        (0..32).map(XReg)
+    }
+}
+
+impl FReg {
+    /// Creates a floating-point register from a raw index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRegError`] if `index >= 32`.
+    pub fn new(index: u32) -> Result<Self, InvalidRegError> {
+        if index < 32 {
+            Ok(FReg(index as u8))
+        } else {
+            Err(InvalidRegError { index })
+        }
+    }
+
+    /// Creates a floating-point register from a raw index, panicking on
+    /// overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`. Prefer [`FReg::new`] for untrusted input.
+    pub fn of(index: u32) -> Self {
+        Self::new(index).expect("f-register index out of range")
+    }
+
+    /// Returns the raw register index (0–31).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all 32 floating-point registers in index order.
+    pub fn all() -> impl Iterator<Item = FReg> {
+        (0..32).map(FReg)
+    }
+}
+
+impl fmt::Display for XReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<XReg> for u32 {
+    fn from(r: XReg) -> u32 {
+        u32::from(r.0)
+    }
+}
+
+impl From<FReg> for u32 {
+    fn from(r: FReg) -> u32 {
+        u32::from(r.0)
+    }
+}
+
+impl TryFrom<u32> for XReg {
+    type Error = InvalidRegError;
+
+    fn try_from(index: u32) -> Result<Self, Self::Error> {
+        XReg::new(index)
+    }
+}
+
+impl TryFrom<u32> for FReg {
+    type Error = InvalidRegError;
+
+    fn try_from(index: u32) -> Result<Self, Self::Error> {
+        FReg::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xreg_roundtrip_indices() {
+        for i in 0..32 {
+            assert_eq!(XReg::of(i).index() as u32, i);
+        }
+    }
+
+    #[test]
+    fn xreg_rejects_out_of_range() {
+        assert_eq!(XReg::new(32), Err(InvalidRegError { index: 32 }));
+        assert_eq!(XReg::new(u32::MAX), Err(InvalidRegError { index: u32::MAX }));
+    }
+
+    #[test]
+    fn freg_rejects_out_of_range() {
+        assert!(FReg::new(31).is_ok());
+        assert!(FReg::new(32).is_err());
+    }
+
+    #[test]
+    fn abi_names_match_convention() {
+        assert_eq!(XReg::ZERO.abi_name(), "zero");
+        assert_eq!(XReg::RA.abi_name(), "ra");
+        assert_eq!(XReg::A0.abi_name(), "a0");
+        assert_eq!(XReg::T6.abi_name(), "t6");
+        assert_eq!(XReg::S11.abi_name(), "s11");
+    }
+
+    #[test]
+    fn zero_register_is_flagged() {
+        assert!(XReg::ZERO.is_zero());
+        assert!(!XReg::A0.is_zero());
+    }
+
+    #[test]
+    fn display_uses_abi_and_f_names() {
+        assert_eq!(XReg::SP.to_string(), "sp");
+        assert_eq!(FReg::of(7).to_string(), "f7");
+    }
+
+    #[test]
+    fn all_iterators_cover_register_files() {
+        assert_eq!(XReg::all().count(), 32);
+        assert_eq!(FReg::all().count(), 32);
+        assert_eq!(XReg::all().next(), Some(XReg::ZERO));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = InvalidRegError { index: 99 };
+        assert_eq!(e.to_string(), "register index 99 out of range 0..32");
+    }
+}

@@ -1,0 +1,227 @@
+//! Property tests: `decode(encode(i)) == i` for every encodable instruction,
+//! and `encode ∘ decode` is idempotent on arbitrary words.
+
+use flexstep_isa::decode::decode;
+use flexstep_isa::encode::encode;
+use flexstep_isa::inst::*;
+use flexstep_isa::reg::{FReg, XReg};
+use proptest::prelude::*;
+
+fn xreg() -> impl Strategy<Value = XReg> {
+    (0u32..32).prop_map(XReg::of)
+}
+
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u32..32).prop_map(FReg::of)
+}
+
+fn imm12() -> impl Strategy<Value = i64> {
+    -2048i64..=2047
+}
+
+fn branch_offset() -> impl Strategy<Value = i64> {
+    (-2048i64..=2047).prop_map(|v| v * 2)
+}
+
+fn jal_offset() -> impl Strategy<Value = i64> {
+    (-(1i64 << 19)..(1i64 << 19)).prop_map(|v| v * 2)
+}
+
+fn upper_imm() -> impl Strategy<Value = i64> {
+    (-(1i64 << 19)..(1i64 << 19)).prop_map(|v| v << 12)
+}
+
+prop_compose! {
+    fn branch_op()(d in 0usize..6) -> BranchOp {
+        [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Ge, BranchOp::Ltu, BranchOp::Geu][d]
+    }
+}
+
+prop_compose! {
+    fn load_op()(d in 0usize..7) -> LoadOp {
+        [LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Ld, LoadOp::Lbu, LoadOp::Lhu, LoadOp::Lwu][d]
+    }
+}
+
+prop_compose! {
+    fn store_op()(d in 0usize..4) -> StoreOp {
+        [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw, StoreOp::Sd][d]
+    }
+}
+
+prop_compose! {
+    fn int_op()(d in 0usize..18) -> IntOp {
+        [
+            IntOp::Add, IntOp::Sub, IntOp::Sll, IntOp::Slt, IntOp::Sltu, IntOp::Xor,
+            IntOp::Srl, IntOp::Sra, IntOp::Or, IntOp::And, IntOp::Mul, IntOp::Mulh,
+            IntOp::Mulhsu, IntOp::Mulhu, IntOp::Div, IntOp::Divu, IntOp::Rem, IntOp::Remu,
+        ][d]
+    }
+}
+
+prop_compose! {
+    fn int_w_op()(d in 0usize..10) -> IntWOp {
+        [
+            IntWOp::Addw, IntWOp::Subw, IntWOp::Sllw, IntWOp::Srlw, IntWOp::Sraw,
+            IntWOp::Mulw, IntWOp::Divw, IntWOp::Divuw, IntWOp::Remw, IntWOp::Remuw,
+        ][d]
+    }
+}
+
+prop_compose! {
+    fn amo_op()(d in 0usize..9) -> AmoOp {
+        [
+            AmoOp::Swap, AmoOp::Add, AmoOp::Xor, AmoOp::And, AmoOp::Or,
+            AmoOp::Min, AmoOp::Max, AmoOp::Minu, AmoOp::Maxu,
+        ][d]
+    }
+}
+
+prop_compose! {
+    fn amo_width()(d in 0usize..2) -> AmoWidth {
+        [AmoWidth::W, AmoWidth::D][d]
+    }
+}
+
+prop_compose! {
+    fn fp_op()(d in 0usize..9) -> FpOp {
+        [
+            FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::SgnJ,
+            FpOp::SgnJN, FpOp::SgnJX, FpOp::Min, FpOp::Max,
+        ][d]
+    }
+}
+
+prop_compose! {
+    fn fma_op()(d in 0usize..4) -> FmaOp {
+        [FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd][d]
+    }
+}
+
+prop_compose! {
+    fn fp_cmp_op()(d in 0usize..3) -> FpCmpOp {
+        [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le][d]
+    }
+}
+
+prop_compose! {
+    fn fp_cvt_op()(d in 0usize..6) -> FpCvtOp {
+        [
+            FpCvtOp::DToL, FpCvtOp::DToLu, FpCvtOp::LToD,
+            FpCvtOp::LuToD, FpCvtOp::DToW, FpCvtOp::WToD,
+        ][d]
+    }
+}
+
+prop_compose! {
+    fn flex_op()(d in 0usize..9) -> FlexOp {
+        FlexOp::ALL[d]
+    }
+}
+
+prop_compose! {
+    fn csr_op()(d in 0usize..6) -> CsrOp {
+        [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc, CsrOp::Rwi, CsrOp::Rsi, CsrOp::Rci][d]
+    }
+}
+
+/// A strategy over every encodable instruction with in-range operands.
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (xreg(), upper_imm()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (xreg(), upper_imm()).prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
+        (xreg(), jal_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (branch_op(), xreg(), xreg(), branch_offset())
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
+        (load_op(), xreg(), xreg(), imm12())
+            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
+        (store_op(), xreg(), xreg(), imm12())
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
+        (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, imm)| Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd,
+            rs1,
+            imm
+        }),
+        (xreg(), xreg(), 0i64..64).prop_map(|(rd, rs1, imm)| Inst::OpImm {
+            op: IntImmOp::Srai,
+            rd,
+            rs1,
+            imm
+        }),
+        (int_op(), xreg(), xreg(), xreg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, imm)| Inst::OpImmW {
+            op: IntImmWOp::Addiw,
+            rd,
+            rs1,
+            imm
+        }),
+        (xreg(), xreg(), 0i64..32).prop_map(|(rd, rs1, imm)| Inst::OpImmW {
+            op: IntImmWOp::Sraiw,
+            rd,
+            rs1,
+            imm
+        }),
+        (int_w_op(), xreg(), xreg(), xreg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::OpW { op, rd, rs1, rs2 }),
+        (amo_width(), xreg(), xreg()).prop_map(|(width, rd, rs1)| Inst::Lr { width, rd, rs1 }),
+        (amo_width(), xreg(), xreg(), xreg())
+            .prop_map(|(width, rd, rs1, rs2)| Inst::Sc { width, rd, rs1, rs2 }),
+        (amo_op(), amo_width(), xreg(), xreg(), xreg())
+            .prop_map(|(op, width, rd, rs1, rs2)| Inst::Amo { op, width, rd, rs1, rs2 }),
+        (csr_op(), xreg(), 0u32..32, any::<u16>().prop_map(|c| c & 0xFFF))
+            .prop_map(|(op, rd, src, csr)| Inst::Csr { op, rd, src, csr }),
+        (freg(), xreg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Fld { rd, rs1, offset }),
+        (xreg(), freg(), imm12()).prop_map(|(rs1, rs2, offset)| Inst::Fsd { rs1, rs2, offset }),
+        (fp_op(), freg(), freg(), freg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Fp { op, rd, rs1, rs2 }),
+        (freg(), freg()).prop_map(|(rd, rs1)| Inst::FpSqrt { rd, rs1 }),
+        (fma_op(), freg(), freg(), freg(), freg())
+            .prop_map(|(op, rd, rs1, rs2, rs3)| Inst::Fma { op, rd, rs1, rs2, rs3 }),
+        (fp_cmp_op(), xreg(), freg(), freg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::FpCmp { op, rd, rs1, rs2 }),
+        (fp_cvt_op(), 0u32..32, 0u32..32).prop_map(|(op, rd, rs1)| Inst::FpCvt { op, rd, rs1 }),
+        (xreg(), freg()).prop_map(|(rd, rs1)| Inst::FmvXD { rd, rs1 }),
+        (freg(), xreg()).prop_map(|(rd, rs1)| Inst::FmvDX { rd, rs1 }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        Just(Inst::Mret),
+        Just(Inst::Wfi),
+        (flex_op(), xreg(), xreg(), xreg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Flex { op, rd, rs1, rs2 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// Every instruction with in-range operands encodes, and decoding the
+    /// word recovers the identical instruction.
+    #[test]
+    fn encode_decode_roundtrip(i in inst()) {
+        let word = encode(&i).expect("strategy only builds encodable instructions");
+        let back = decode(word).expect("canonical words must decode");
+        prop_assert_eq!(back, i);
+    }
+
+    /// `encode ∘ decode` is idempotent: any word that decodes at all
+    /// re-encodes to a word that decodes to the same instruction.
+    #[test]
+    fn decode_encode_idempotent(word in any::<u32>()) {
+        if let Ok(i) = decode(word) {
+            let canon = encode(&i).expect("decoded instructions must re-encode");
+            let again = decode(canon).expect("canonical words must decode");
+            prop_assert_eq!(again, i);
+        }
+    }
+
+    /// Disassembly never panics and is never empty.
+    #[test]
+    fn disassembly_total(i in inst()) {
+        let text = i.to_string();
+        prop_assert!(!text.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-core EDF ready queues.
+//!
+//! Partitioned EDF is the scheduling policy of §V: each core runs the
+//! earliest-deadline ready job, preemptively. Ties break on task id for
+//! determinism.
+
+use crate::task::TaskId;
+use std::collections::BTreeSet;
+
+/// A ready entry: `(absolute deadline, task id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReadyEntry {
+    /// Absolute deadline (primary key).
+    pub deadline: u64,
+    /// Task id (tie-break).
+    pub task: TaskId,
+}
+
+/// An EDF ready queue for one core.
+#[derive(Debug, Default)]
+pub struct EdfQueue {
+    ready: BTreeSet<ReadyEntry>,
+}
+
+impl EdfQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a ready job.
+    pub fn insert(&mut self, task: TaskId, deadline: u64) {
+        self.ready.insert(ReadyEntry { deadline, task });
+    }
+
+    /// Removes a specific task's entry (job completion or re-dispatch).
+    pub fn remove(&mut self, task: TaskId, deadline: u64) -> bool {
+        self.ready.remove(&ReadyEntry { deadline, task })
+    }
+
+    /// The earliest-deadline entry without removing it.
+    pub fn peek(&self) -> Option<ReadyEntry> {
+        self.ready.iter().next().copied()
+    }
+
+    /// Takes the earliest-deadline entry.
+    pub fn pop(&mut self) -> Option<ReadyEntry> {
+        let e = self.peek()?;
+        self.ready.remove(&e);
+        Some(e)
+    }
+
+    /// Whether `deadline` would preempt the given running deadline.
+    pub fn would_preempt(&self, running_deadline: Option<u64>) -> bool {
+        match (self.peek(), running_deadline) {
+            (Some(head), Some(run)) => head.deadline < run,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Number of ready jobs.
+    pub fn len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_earliest_deadline_first() {
+        let mut q = EdfQueue::new();
+        q.insert(TaskId(1), 300);
+        q.insert(TaskId(2), 100);
+        q.insert(TaskId(3), 200);
+        assert_eq!(q.pop().unwrap().task, TaskId(2));
+        assert_eq!(q.pop().unwrap().task, TaskId(3));
+        assert_eq!(q.pop().unwrap().task, TaskId(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_deadlines_tie_break_on_id() {
+        let mut q = EdfQueue::new();
+        q.insert(TaskId(9), 100);
+        q.insert(TaskId(3), 100);
+        assert_eq!(q.pop().unwrap().task, TaskId(3));
+    }
+
+    #[test]
+    fn preemption_test() {
+        let mut q = EdfQueue::new();
+        assert!(!q.would_preempt(Some(500)));
+        q.insert(TaskId(1), 600);
+        assert!(!q.would_preempt(Some(500)), "later deadline must not preempt");
+        q.insert(TaskId(2), 400);
+        assert!(q.would_preempt(Some(500)), "earlier deadline preempts");
+        assert!(q.would_preempt(None), "idle core always dispatches");
+    }
+
+    #[test]
+    fn remove_specific_entry() {
+        let mut q = EdfQueue::new();
+        q.insert(TaskId(1), 100);
+        q.insert(TaskId(2), 200);
+        assert!(q.remove(TaskId(1), 100));
+        assert!(!q.remove(TaskId(1), 100));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! # flexstep-kernel
+//!
+//! The OS layer of the FlexStep reproduction (§IV of the paper): a small
+//! partitioned-EDF real-time kernel over the `flexstep-core` platform,
+//! implementing the Al. 1 context switch (checking disabled/enabled around
+//! every switch through the Tab. I custom ISA) and the Al. 2 customised
+//! checker thread, with job release, preemption by timer interrupt,
+//! deadline accounting and a schedule trace.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexstep_core::FabricConfig;
+//! use flexstep_kernel::{KernelConfig, System};
+//! use flexstep_kernel::task::{TaskBody, TaskClass, TaskDef, TaskId};
+//! use flexstep_isa::{asm::Assembler, XReg};
+//! use flexstep_sim::SocConfig;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Assembler::new("spin");
+//! asm.li(XReg::A0, 200);
+//! asm.label("l")?;
+//! asm.addi(XReg::A0, XReg::A0, -1);
+//! asm.bnez(XReg::A0, "l");
+//! asm.ecall();
+//! let program = Arc::new(asm.finish()?);
+//!
+//! let mut sys = System::new(
+//!     SocConfig::paper(2),
+//!     FabricConfig::paper(),
+//!     KernelConfig::default(),
+//! );
+//! sys.add_task(TaskDef {
+//!     id: TaskId(1),
+//!     name: "spin".into(),
+//!     class: TaskClass::Verified2,
+//!     body: TaskBody::Guest(program),
+//!     period: 400_000,
+//!     phase: 0,
+//!     core: 0,
+//!     checkers: vec![1],
+//!     max_jobs: Some(3),
+//! })?;
+//! sys.boot()?;
+//! let summary = sys.run_until(2_000_000);
+//! let t = summary.task(TaskId(1)).unwrap();
+//! assert_eq!(t.completed, 3);
+//! assert_eq!(summary.total_misses(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod edf;
+pub mod system;
+pub mod task;
+pub mod trace;
+
+pub use edf::EdfQueue;
+pub use system::{CheckDemand, KernelConfig, KernelError, RunSummary, System, TaskSummary};
+pub use task::{Job, JobState, TaskBody, TaskClass, TaskDef, TaskId, Tcb};
+pub use trace::{Trace, TraceEvent};

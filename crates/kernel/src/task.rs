@@ -1,0 +1,250 @@
+//! Task model: sporadic tasks with WCET, period and implicit deadline
+//! (§V), task control blocks and job instances.
+
+use flexstep_isa::asm::Program;
+use flexstep_sim::ArchState;
+use std::fmt;
+use std::sync::Arc;
+
+/// Task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// Reliability class of a task (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskClass {
+    /// `T^N`: non-verification task.
+    Normal,
+    /// `T^V2`: may require double-check (one redundant execution).
+    Verified2,
+    /// `T^V3`: may require triple-check (two redundant executions).
+    Verified3,
+}
+
+impl TaskClass {
+    /// Number of redundant executions when verification is triggered.
+    pub fn redundancy(self) -> usize {
+        match self {
+            TaskClass::Normal => 0,
+            TaskClass::Verified2 => 1,
+            TaskClass::Verified3 => 2,
+        }
+    }
+}
+
+/// What a task executes.
+#[derive(Debug, Clone)]
+pub enum TaskBody {
+    /// A guest program: each job runs it from the entry point to its
+    /// final `ecall`.
+    Guest(Arc<Program>),
+    /// The customised checker thread of Al. 2, verifying the stream of
+    /// the given main core.
+    CheckerThread {
+        /// The main core whose segments this thread verifies.
+        main_core: usize,
+    },
+}
+
+/// Static task definition.
+#[derive(Debug, Clone)]
+pub struct TaskDef {
+    /// Identifier.
+    pub id: TaskId,
+    /// Human-readable name.
+    pub name: String,
+    /// Reliability class.
+    pub class: TaskClass,
+    /// What the task runs.
+    pub body: TaskBody,
+    /// Release period in cycles (implicit deadline = period).
+    pub period: u64,
+    /// First release time in cycles.
+    pub phase: u64,
+    /// Core the task is partitioned onto.
+    pub core: usize,
+    /// Checker cores verifying this task's jobs (empty for `Normal`).
+    pub checkers: Vec<usize>,
+    /// Number of jobs to release (`None` = unbounded).
+    pub max_jobs: Option<u64>,
+}
+
+impl TaskDef {
+    /// Absolute release time of job `k` (0-based).
+    pub fn release_of(&self, k: u64) -> u64 {
+        self.phase + k * self.period
+    }
+
+    /// Absolute deadline of job `k` (implicit deadline).
+    pub fn deadline_of(&self, k: u64) -> u64 {
+        self.release_of(k) + self.period
+    }
+
+    /// Whether this task's jobs require error checking.
+    pub fn is_verified(&self) -> bool {
+        self.class != TaskClass::Normal
+    }
+}
+
+/// Run state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Released, waiting for the core.
+    Ready,
+    /// Currently executing.
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// One released job instance.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The owning task.
+    pub task: TaskId,
+    /// Job index (0-based).
+    pub k: u64,
+    /// Absolute release.
+    pub release: u64,
+    /// Absolute deadline.
+    pub deadline: u64,
+    /// State.
+    pub state: JobState,
+    /// Cycle the job completed, when done.
+    pub finished_at: Option<u64>,
+}
+
+impl Job {
+    /// Whether the job met its deadline (only meaningful once done).
+    pub fn met_deadline(&self) -> bool {
+        self.finished_at.is_some_and(|t| t <= self.deadline)
+    }
+}
+
+/// Task control block: definition plus saved context and accounting.
+#[derive(Debug)]
+pub struct Tcb {
+    /// The task definition.
+    pub def: TaskDef,
+    /// Saved architectural context (valid while preempted mid-job).
+    pub context: Option<ArchState>,
+    /// Next job index to release.
+    pub next_release_idx: u64,
+    /// The currently released, unfinished job (EDF is work-conserving and
+    /// implicit deadlines + a schedulable system mean at most one live job
+    /// per task; a second release while live is a deadline overrun).
+    pub live_job: Option<Job>,
+    /// Whether the live job's checking demand was latched at release
+    /// (selective checking: the kernel enables `M.check` only when true).
+    pub check_demanded: bool,
+    /// Completed job count.
+    pub completed: u64,
+    /// Deadline misses observed.
+    pub misses: u64,
+    /// Sum of response times (for averaging).
+    pub response_sum: u64,
+    /// Maximum response time.
+    pub response_max: u64,
+}
+
+impl Tcb {
+    /// Creates a TCB for a definition.
+    pub fn new(def: TaskDef) -> Self {
+        Tcb {
+            def,
+            context: None,
+            next_release_idx: 0,
+            live_job: None,
+            check_demanded: true,
+            completed: 0,
+            misses: 0,
+            response_sum: 0,
+            response_max: 0,
+        }
+    }
+
+    /// The next release time, or `None` when all jobs were released.
+    pub fn next_release(&self) -> Option<u64> {
+        match self.def.max_jobs {
+            Some(max) if self.next_release_idx >= max => None,
+            _ => Some(self.def.release_of(self.next_release_idx)),
+        }
+    }
+
+    /// Mean response time over completed jobs.
+    pub fn mean_response(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.response_sum as f64 / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(period: u64, phase: u64) -> TaskDef {
+        TaskDef {
+            id: TaskId(1),
+            name: "t".into(),
+            class: TaskClass::Normal,
+            body: TaskBody::CheckerThread { main_core: 0 },
+            period,
+            phase,
+            core: 0,
+            checkers: vec![],
+            max_jobs: Some(3),
+        }
+    }
+
+    #[test]
+    fn release_and_deadline_arithmetic() {
+        let d = def(100, 10);
+        assert_eq!(d.release_of(0), 10);
+        assert_eq!(d.release_of(2), 210);
+        assert_eq!(d.deadline_of(0), 110);
+        assert!(!d.is_verified());
+    }
+
+    #[test]
+    fn redundancy_by_class() {
+        assert_eq!(TaskClass::Normal.redundancy(), 0);
+        assert_eq!(TaskClass::Verified2.redundancy(), 1);
+        assert_eq!(TaskClass::Verified3.redundancy(), 2);
+    }
+
+    #[test]
+    fn tcb_release_exhaustion() {
+        let mut tcb = Tcb::new(def(100, 0));
+        assert_eq!(tcb.next_release(), Some(0));
+        tcb.next_release_idx = 2;
+        assert_eq!(tcb.next_release(), Some(200));
+        tcb.next_release_idx = 3;
+        assert_eq!(tcb.next_release(), None);
+    }
+
+    #[test]
+    fn job_deadline_check() {
+        let mut j = Job {
+            task: TaskId(0),
+            k: 0,
+            release: 0,
+            deadline: 100,
+            state: JobState::Done,
+            finished_at: Some(90),
+        };
+        assert!(j.met_deadline());
+        j.finished_at = Some(101);
+        assert!(!j.met_deadline());
+        j.finished_at = None;
+        assert!(!j.met_deadline());
+    }
+}

@@ -1,0 +1,182 @@
+//! Kernel event trace and timeline rendering.
+//!
+//! Every scheduling decision is recorded so examples can print Gantt-style
+//! timelines like Fig. 1 of the paper.
+
+use crate::task::TaskId;
+use std::fmt;
+
+/// One traced kernel event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A job was released.
+    Release {
+        /// The task.
+        task: TaskId,
+        /// Job index.
+        k: u64,
+        /// Absolute deadline.
+        deadline: u64,
+    },
+    /// A job started or resumed on a core.
+    Dispatch {
+        /// The core.
+        core: usize,
+        /// The task.
+        task: TaskId,
+    },
+    /// A job was preempted.
+    Preempt {
+        /// The core.
+        core: usize,
+        /// The task preempted.
+        task: TaskId,
+    },
+    /// A job completed.
+    Complete {
+        /// The core.
+        core: usize,
+        /// The task.
+        task: TaskId,
+        /// Job index.
+        k: u64,
+        /// Whether its deadline was met.
+        met_deadline: bool,
+    },
+    /// A deadline was missed (overrun detected at the next release or at
+    /// the final sweep).
+    DeadlineMiss {
+        /// The task.
+        task: TaskId,
+        /// Job index.
+        k: u64,
+    },
+    /// The FlexStep fabric reported an error detection.
+    Detection {
+        /// Checker core that detected it.
+        checker_core: usize,
+        /// Stream tag (task id value).
+        tag: u64,
+    },
+    /// A core went idle.
+    Idle {
+        /// The core.
+        core: usize,
+    },
+}
+
+/// A timestamped trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<(u64, TraceEvent)>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at `cycle`.
+    pub fn push(&mut self, cycle: u64, event: TraceEvent) {
+        self.events.push((cycle, event));
+    }
+
+    /// All events, in insertion (time) order.
+    pub fn events(&self) -> &[(u64, TraceEvent)] {
+        &self.events
+    }
+
+    /// Events of a given core's dispatch/preempt/complete lifecycle.
+    pub fn busy_intervals(&self, core: usize) -> Vec<(u64, u64, TaskId)> {
+        let mut out = Vec::new();
+        let mut open: Option<(u64, TaskId)> = None;
+        for &(t, ref e) in &self.events {
+            match *e {
+                TraceEvent::Dispatch { core: c, task } if c == core => {
+                    open = Some((t, task));
+                }
+                TraceEvent::Preempt { core: c, task }
+                | TraceEvent::Complete { core: c, task, .. }
+                    if c == core =>
+                {
+                    if let Some((start, open_task)) = open.take() {
+                        if open_task == task {
+                            out.push((start, t, task));
+                        }
+                    }
+                }
+                TraceEvent::Idle { core: c } if c == core => {
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Renders an ASCII timeline of a core: one column per `scale` cycles.
+    pub fn render_core(&self, core: usize, until: u64, scale: u64) -> String {
+        let cols = (until / scale) as usize + 1;
+        let mut row = vec![b'.'; cols];
+        for (start, end, task) in self.busy_intervals(core) {
+            let glyph = b'0' + (task.0 % 10) as u8;
+            let from = (start / scale) as usize;
+            let to = ((end.saturating_sub(1)) / scale) as usize;
+            for cell in row.iter_mut().take(to.min(cols - 1) + 1).skip(from) {
+                *cell = glyph;
+            }
+        }
+        format!("core {core} |{}|", String::from_utf8(row).expect("ascii"))
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, e) in &self.events {
+            writeln!(f, "{t:>12} {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_intervals_pair_dispatch_with_end() {
+        let mut tr = Trace::new();
+        tr.push(0, TraceEvent::Dispatch { core: 0, task: TaskId(1) });
+        tr.push(100, TraceEvent::Preempt { core: 0, task: TaskId(1) });
+        tr.push(100, TraceEvent::Dispatch { core: 0, task: TaskId(2) });
+        tr.push(150, TraceEvent::Complete { core: 0, task: TaskId(2), k: 0, met_deadline: true });
+        tr.push(150, TraceEvent::Dispatch { core: 0, task: TaskId(1) });
+        tr.push(220, TraceEvent::Complete { core: 0, task: TaskId(1), k: 0, met_deadline: true });
+        let iv = tr.busy_intervals(0);
+        assert_eq!(
+            iv,
+            vec![(0, 100, TaskId(1)), (100, 150, TaskId(2)), (150, 220, TaskId(1))]
+        );
+    }
+
+    #[test]
+    fn other_core_events_ignored() {
+        let mut tr = Trace::new();
+        tr.push(0, TraceEvent::Dispatch { core: 1, task: TaskId(1) });
+        tr.push(50, TraceEvent::Complete { core: 1, task: TaskId(1), k: 0, met_deadline: true });
+        assert!(tr.busy_intervals(0).is_empty());
+        assert_eq!(tr.busy_intervals(1).len(), 1);
+    }
+
+    #[test]
+    fn render_produces_fixed_width() {
+        let mut tr = Trace::new();
+        tr.push(0, TraceEvent::Dispatch { core: 0, task: TaskId(1) });
+        tr.push(500, TraceEvent::Complete { core: 0, task: TaskId(1), k: 0, met_deadline: true });
+        let s = tr.render_core(0, 1000, 100);
+        assert!(s.starts_with("core 0 |"));
+        assert!(s.contains('1'));
+        assert!(s.contains('.'));
+    }
+}

@@ -1,0 +1,222 @@
+//! Selective-checking integration tests (§V: the system "dynamically
+//! triggers additional error checking for one or more jobs of specific
+//! verification tasks based on the nature of the emergency").
+//!
+//! A `T^V2` task's class says it *may* require checking; the kernel's
+//! [`CheckDemand`] decides which jobs actually are. These tests pin down
+//! the demand semantics end to end: segment counts, checker-thread job
+//! accounting, and mid-run emergency triggering.
+
+use flexstep_core::FabricConfig;
+use flexstep_isa::asm::{Assembler, Program};
+use flexstep_isa::XReg;
+use flexstep_kernel::task::{TaskBody, TaskClass, TaskDef, TaskId};
+use flexstep_kernel::{CheckDemand, KernelConfig, System};
+use flexstep_sim::SocConfig;
+use std::sync::Arc;
+
+fn spin_program(name: &str, iters: i64, slot: u64) -> Arc<Program> {
+    let text = 0x1000_0000 + slot * 0x10_0000;
+    let data = 0x2000_0000 + slot * 0x10_0000;
+    let mut asm = Assembler::with_bases(name, text, data);
+    asm.li(XReg::A0, iters);
+    asm.la(XReg::A2, "buf");
+    asm.data_label("buf").unwrap();
+    asm.data_zeros(64);
+    asm.label("l").unwrap();
+    asm.sd(XReg::A2, XReg::A0, 0);
+    asm.addi(XReg::A0, XReg::A0, -1);
+    asm.bnez(XReg::A0, "l");
+    asm.ecall();
+    Arc::new(asm.finish().unwrap())
+}
+
+fn v2_system(max_jobs: u64) -> System {
+    let mut sys =
+        System::new(SocConfig::paper(2), FabricConfig::paper(), KernelConfig::default());
+    sys.add_task(TaskDef {
+        id: TaskId(1),
+        name: "v".into(),
+        class: TaskClass::Verified2,
+        body: TaskBody::Guest(spin_program("v", 30_000, 0)),
+        period: 2_000_000,
+        phase: 0,
+        core: 0,
+        checkers: vec![1],
+        max_jobs: Some(max_jobs),
+    })
+    .unwrap();
+    sys
+}
+
+#[test]
+fn demand_never_checks_nothing() {
+    let mut sys = v2_system(3);
+    sys.set_check_demand(TaskId(1), CheckDemand::Never).unwrap();
+    sys.boot().unwrap();
+    let summary = sys.run_until(7_000_000);
+    assert_eq!(summary.task(TaskId(1)).unwrap().completed, 3);
+    assert_eq!(summary.total_misses(), 0);
+    assert_eq!(
+        sys.fs.checker_state(1).segments_checked,
+        0,
+        "no job was demanded, nothing may be verified"
+    );
+    let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
+    let cts = summary.task(ct).unwrap();
+    assert_eq!(cts.completed, 0, "no checker-thread job may run");
+    assert_eq!(cts.misses, 0, "skipped checker jobs are not misses");
+}
+
+#[test]
+fn window_checks_exactly_the_flagged_jobs() {
+    let mut sys = v2_system(4);
+    // Jobs 1 and 2 flagged; jobs 0 and 3 not.
+    sys.set_check_demand(TaskId(1), CheckDemand::Window { from: 1, until: 3 }).unwrap();
+    sys.boot().unwrap();
+
+    // Track per-job verification by sampling after each period.
+    let mut seg_at = Vec::new();
+    for p in 1..=4u64 {
+        sys.run_until(p * 2_000_000);
+        seg_at.push(sys.fs.checker_state(1).segments_checked);
+    }
+    let summary = sys.run_until(9_500_000);
+
+    assert_eq!(summary.task(TaskId(1)).unwrap().completed, 4);
+    assert_eq!(summary.total_misses(), 0);
+    assert_eq!(seg_at[0], 0, "job 0 not demanded");
+    assert!(seg_at[1] > seg_at[0], "job 1 verified");
+    assert!(seg_at[2] > seg_at[1], "job 2 verified");
+    assert_eq!(seg_at[3], seg_at[2], "job 3 not demanded");
+    let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
+    assert_eq!(summary.task(ct).unwrap().completed, 2, "two checker-thread jobs ran");
+    assert_eq!(sys.fs.checker_state(1).segments_failed, 0);
+}
+
+#[test]
+fn emergency_trigger_covers_next_jobs_only() {
+    let mut sys = v2_system(3);
+    sys.set_check_demand(TaskId(1), CheckDemand::Never).unwrap();
+    sys.boot().unwrap();
+
+    // Let job 0 pass unchecked, then the emergency arrives.
+    sys.run_until(2_000_000);
+    assert_eq!(sys.fs.checker_state(1).segments_checked, 0);
+    let (from, until) = sys.trigger_check_window(TaskId(1), 1).unwrap();
+    assert_eq!((from, until), (1, 2), "emergency flags exactly the next release");
+
+    let summary = sys.run_until(7_000_000);
+    assert_eq!(summary.task(TaskId(1)).unwrap().completed, 3);
+    assert_eq!(summary.total_misses(), 0);
+    assert!(
+        sys.fs.checker_state(1).segments_checked > 0,
+        "the flagged job was verified"
+    );
+    let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
+    assert_eq!(summary.task(ct).unwrap().completed, 1, "one emergency job checked");
+}
+
+#[test]
+fn demand_validation_rejects_bad_targets() {
+    let mut sys = v2_system(1);
+    sys.add_task(TaskDef {
+        id: TaskId(2),
+        name: "n".into(),
+        class: TaskClass::Normal,
+        body: TaskBody::Guest(spin_program("n", 1_000, 1)),
+        period: 2_000_000,
+        phase: 0,
+        core: 0,
+        checkers: vec![],
+        max_jobs: Some(1),
+    })
+    .unwrap();
+    assert!(sys.set_check_demand(TaskId(2), CheckDemand::Always).is_err(),
+        "normal tasks carry no checking demand");
+    assert!(sys.set_check_demand(TaskId(9), CheckDemand::Never).is_err(),
+        "unknown task must be rejected");
+    assert!(sys.trigger_check_window(TaskId(9), 1).is_err());
+}
+
+#[test]
+fn default_demand_is_always() {
+    let mut sys = v2_system(2);
+    assert_eq!(sys.check_demand(TaskId(1)), CheckDemand::Always);
+    sys.boot().unwrap();
+    let summary = sys.run_until(4_500_000);
+    assert_eq!(summary.task(TaskId(1)).unwrap().completed, 2);
+    assert!(sys.fs.checker_state(1).segments_checked > 0, "default checks every job");
+    let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
+    assert_eq!(summary.task(ct).unwrap().completed, 2);
+}
+
+#[test]
+fn v2_task_may_carry_extra_redundancy() {
+    // A V2 task on a shared 1:2 channel is verified by BOTH checkers —
+    // more redundancy than its class requires, which the hardware's
+    // "one-to-two, or more modes" explicitly allows.
+    let mut sys =
+        System::new(SocConfig::paper(3), FabricConfig::paper(), KernelConfig::default());
+    sys.add_task(TaskDef {
+        id: TaskId(1),
+        name: "v2wide".into(),
+        class: TaskClass::Verified2,
+        body: TaskBody::Guest(spin_program("v2w", 20_000, 0)),
+        period: 2_500_000,
+        phase: 0,
+        core: 0,
+        checkers: vec![1, 2],
+        max_jobs: Some(2),
+    })
+    .unwrap();
+    sys.boot().unwrap();
+    let summary = sys.run_until(6_000_000);
+    assert_eq!(summary.task(TaskId(1)).unwrap().completed, 2);
+    assert_eq!(summary.total_misses(), 0);
+    let c1 = sys.fs.checker_state(1).segments_checked;
+    let c2 = sys.fs.checker_state(2).segments_checked;
+    assert!(c1 > 0, "first checker verified");
+    assert_eq!(c1, c2, "both checkers verify the same stream: {c1} vs {c2}");
+    assert_eq!(
+        sys.fs.checker_state(1).segments_failed + sys.fs.checker_state(2).segments_failed,
+        0
+    );
+}
+
+#[test]
+fn demand_covers_window_arithmetic() {
+    let w = CheckDemand::Window { from: 2, until: 5 };
+    assert!(!w.covers(1));
+    assert!(w.covers(2));
+    assert!(w.covers(4));
+    assert!(!w.covers(5));
+    assert!(CheckDemand::Always.covers(u64::MAX));
+    assert!(!CheckDemand::Never.covers(0));
+}
+
+#[test]
+fn unchecked_jobs_free_the_checker_core_for_normal_work() {
+    // With demand Never, core 1 hosts a normal task that would otherwise
+    // contend with checker threads; the whole set stays schedulable and
+    // core 1 does pure compute.
+    let mut sys = v2_system(3);
+    sys.set_check_demand(TaskId(1), CheckDemand::Never).unwrap();
+    sys.add_task(TaskDef {
+        id: TaskId(2),
+        name: "load".into(),
+        class: TaskClass::Normal,
+        body: TaskBody::Guest(spin_program("load", 400_000, 1)),
+        period: 2_000_000,
+        phase: 0,
+        core: 1,
+        checkers: vec![],
+        max_jobs: Some(3),
+    })
+    .unwrap();
+    sys.boot().unwrap();
+    let summary = sys.run_until(7_500_000);
+    assert_eq!(summary.total_misses(), 0);
+    assert_eq!(summary.task(TaskId(2)).unwrap().completed, 3);
+    assert_eq!(sys.fs.checker_state(1).segments_checked, 0);
+}

@@ -1,0 +1,341 @@
+//! The sporadic task model of §V.
+//!
+//! A task set of `n` sporadic tasks runs on `m` cores; each task has
+//! worst-case execution time `C`, period `T` and implicit deadline
+//! `D = T`, and belongs to one of the reliability classes `T^N`
+//! (non-verification), `T^V2` (double-check) or `T^V3` (triple-check).
+
+use std::fmt;
+
+/// Reliability class (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReliabilityClass {
+    /// `T^N`: no error checking.
+    Normal,
+    /// `T^V2`: one redundant execution.
+    DoubleCheck,
+    /// `T^V3`: two redundant executions.
+    TripleCheck,
+}
+
+impl ReliabilityClass {
+    /// Number of redundant (checking) executions.
+    pub fn copies(self) -> usize {
+        match self {
+            ReliabilityClass::Normal => 0,
+            ReliabilityClass::DoubleCheck => 1,
+            ReliabilityClass::TripleCheck => 2,
+        }
+    }
+}
+
+impl fmt::Display for ReliabilityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReliabilityClass::Normal => f.write_str("T^N"),
+            ReliabilityClass::DoubleCheck => f.write_str("T^V2"),
+            ReliabilityClass::TripleCheck => f.write_str("T^V3"),
+        }
+    }
+}
+
+/// One sporadic task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpTask {
+    /// Task index within its set.
+    pub id: usize,
+    /// Worst-case execution time `C`.
+    pub wcet: f64,
+    /// Period `T` (implicit deadline `D = T`).
+    pub period: f64,
+    /// Reliability class.
+    pub class: ReliabilityClass,
+}
+
+impl SpTask {
+    /// Utilisation `C/T`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet / self.period
+    }
+
+    /// Implicit deadline.
+    pub fn deadline(&self) -> f64 {
+        self.period
+    }
+}
+
+/// A task set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<SpTask>,
+}
+
+impl TaskSet {
+    /// Creates a task set, re-indexing tasks by position.
+    pub fn new(mut tasks: Vec<SpTask>) -> Self {
+        for (i, t) in tasks.iter_mut().enumerate() {
+            t.id = i;
+        }
+        TaskSet { tasks }
+    }
+
+    /// The tasks.
+    pub fn tasks(&self) -> &[SpTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total utilisation (original executions only).
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(SpTask::utilization).sum()
+    }
+
+    /// Total utilisation including redundant executions.
+    pub fn utilization_with_copies(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.utilization() * (1.0 + t.class.copies() as f64))
+            .sum()
+    }
+
+    /// Tasks of a given class.
+    pub fn of_class(&self, class: ReliabilityClass) -> impl Iterator<Item = &SpTask> {
+        self.tasks.iter().filter(move |t| t.class == class)
+    }
+
+    /// Verification tasks (V2 ∪ V3), sorted by descending utilisation.
+    pub fn verification_desc_util(&self) -> Vec<SpTask> {
+        let mut v: Vec<SpTask> = self
+            .tasks
+            .iter()
+            .filter(|t| t.class != ReliabilityClass::Normal)
+            .copied()
+            .collect();
+        v.sort_by(|a, b| {
+            b.utilization()
+                .partial_cmp(&a.utilization())
+                .expect("utilisations are finite")
+        });
+        v
+    }
+
+    /// Normal tasks sorted by descending utilisation.
+    pub fn normal_desc_util(&self) -> Vec<SpTask> {
+        let mut v: Vec<SpTask> =
+            self.of_class(ReliabilityClass::Normal).copied().collect();
+        v.sort_by(|a, b| {
+            b.utilization()
+                .partial_cmp(&a.utilization())
+                .expect("utilisations are finite")
+        });
+        v
+    }
+}
+
+impl FromIterator<SpTask> for TaskSet {
+    fn from_iter<I: IntoIterator<Item = SpTask>>(iter: I) -> Self {
+        TaskSet::new(iter.into_iter().collect())
+    }
+}
+
+/// A virtual-deadline policy: the fraction `θ` of the deadline allotted
+/// to the original computation (`D' = θ·D`), per verification class.
+///
+/// The paper's choice (`θ = 1/2` for double-check, `θ = √2 − 1` for
+/// triple-check) minimises the total density `δ^o + k·δ^v`; other
+/// fractions are exposed for the virtual-deadline ablation.
+///
+/// ```
+/// use flexstep_sched::model::{ReliabilityClass, SpTask, VdPolicy};
+///
+/// let t = SpTask { id: 0, wcet: 1.0, period: 10.0, class: ReliabilityClass::DoubleCheck };
+/// let paper = VdPolicy::paper();
+/// let skewed = VdPolicy::uniform(0.8);
+/// let total = |p: VdPolicy| p.densities(&t).map(|(o, v)| o + v).unwrap();
+/// assert!(total(paper) < total(skewed), "the paper's split minimises density");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VdPolicy {
+    /// `θ` for double-check tasks.
+    pub theta_v2: f64,
+    /// `θ` for triple-check tasks.
+    pub theta_v3: f64,
+}
+
+impl VdPolicy {
+    /// The paper's density-optimal split: `D/2` and `(√2 − 1)·D`.
+    pub fn paper() -> Self {
+        VdPolicy { theta_v2: 0.5, theta_v3: 2.0_f64.sqrt() - 1.0 }
+    }
+
+    /// The same fraction for both verification classes (ablation knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < theta < 1` — the original and the checks each
+    /// need a positive share of the deadline.
+    pub fn uniform(theta: f64) -> Self {
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1): {theta}");
+        VdPolicy { theta_v2: theta, theta_v3: theta }
+    }
+
+    /// The deadline fraction for a class (`None` for normal tasks).
+    pub fn fraction(&self, class: ReliabilityClass) -> Option<f64> {
+        match class {
+            ReliabilityClass::Normal => None,
+            ReliabilityClass::DoubleCheck => Some(self.theta_v2),
+            ReliabilityClass::TripleCheck => Some(self.theta_v3),
+        }
+    }
+
+    /// The virtual deadline `D' = θ·D` of a verification task.
+    pub fn virtual_deadline(&self, task: &SpTask) -> Option<f64> {
+        Some(self.fraction(task.class)? * task.deadline())
+    }
+
+    /// Densities `(δ^o, δ^v) = (C/D', C/(D − D'))` of the original and
+    /// each checking computation.
+    pub fn densities(&self, task: &SpTask) -> Option<(f64, f64)> {
+        let dv = self.virtual_deadline(task)?;
+        Some((task.wcet / dv, task.wcet / (task.deadline() - dv)))
+    }
+}
+
+impl Default for VdPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The virtual deadline `D'` of a verification task (§V): `D/2` for
+/// double-check, `(√2 − 1)·D` for triple-check. The split minimises the
+/// total density of the original plus duplicated computations.
+pub fn virtual_deadline(task: &SpTask) -> Option<f64> {
+    VdPolicy::paper().virtual_deadline(task)
+}
+
+/// Densities `(δ^o, δ^v)` of the original and each checking computation
+/// of a verification task (§V), under the paper's optimal split.
+pub fn densities(task: &SpTask) -> Option<(f64, f64)> {
+    VdPolicy::paper().densities(task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(wcet: f64, period: f64, class: ReliabilityClass) -> SpTask {
+        SpTask { id: 0, wcet, period, class }
+    }
+
+    #[test]
+    fn utilization_arithmetic() {
+        let t = task(2.0, 10.0, ReliabilityClass::Normal);
+        assert!((t.utilization() - 0.2).abs() < 1e-12);
+        let ts = TaskSet::new(vec![
+            task(2.0, 10.0, ReliabilityClass::Normal),
+            task(5.0, 10.0, ReliabilityClass::DoubleCheck),
+            task(1.0, 10.0, ReliabilityClass::TripleCheck),
+        ]);
+        assert!((ts.utilization() - 0.8).abs() < 1e-12);
+        assert!((ts.utilization_with_copies() - (0.2 + 1.0 + 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_deadline_splits() {
+        let v2 = task(1.0, 10.0, ReliabilityClass::DoubleCheck);
+        assert!((virtual_deadline(&v2).unwrap() - 5.0).abs() < 1e-12);
+        let v3 = task(1.0, 10.0, ReliabilityClass::TripleCheck);
+        let d = virtual_deadline(&v3).unwrap();
+        assert!((d - 10.0 * (2.0_f64.sqrt() - 1.0)).abs() < 1e-9);
+        assert!(virtual_deadline(&task(1.0, 10.0, ReliabilityClass::Normal)).is_none());
+    }
+
+    #[test]
+    fn density_for_double_check_doubles() {
+        // D' = D/2 => δ^o = δ^v = 2C/D.
+        let t = task(1.0, 10.0, ReliabilityClass::DoubleCheck);
+        let (o, v) = densities(&t).unwrap();
+        assert!((o - 0.2).abs() < 1e-12);
+        assert!((v - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v3_split_minimises_total_density() {
+        // At D' = (√2−1)D the derivative of δ^o + 2δ^v vanishes; verify
+        // it beats nearby splits.
+        let t = task(1.0, 10.0, ReliabilityClass::TripleCheck);
+        let total = |dp: f64| t.wcet / dp + 2.0 * t.wcet / (t.period - dp);
+        let opt = virtual_deadline(&t).unwrap();
+        assert!(total(opt) <= total(opt * 0.9) + 1e-12);
+        assert!(total(opt) <= total(opt * 1.1) + 1e-12);
+    }
+
+    #[test]
+    fn sorting_helpers() {
+        let ts = TaskSet::new(vec![
+            task(1.0, 10.0, ReliabilityClass::Normal), // u=0.1
+            task(5.0, 10.0, ReliabilityClass::DoubleCheck), // u=0.5
+            task(3.0, 10.0, ReliabilityClass::TripleCheck), // u=0.3
+            task(8.0, 10.0, ReliabilityClass::Normal), // u=0.8
+        ]);
+        let v = ts.verification_desc_util();
+        assert_eq!(v.len(), 2);
+        assert!(v[0].utilization() >= v[1].utilization());
+        let n = ts.normal_desc_util();
+        assert_eq!(n.len(), 2);
+        assert!((n[0].utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vd_policy_paper_matches_free_functions() {
+        let p = VdPolicy::paper();
+        for class in [ReliabilityClass::DoubleCheck, ReliabilityClass::TripleCheck] {
+            let t = task(3.0, 12.0, class);
+            assert_eq!(p.virtual_deadline(&t), virtual_deadline(&t));
+            assert_eq!(p.densities(&t), densities(&t));
+        }
+        let n = task(3.0, 12.0, ReliabilityClass::Normal);
+        assert!(p.virtual_deadline(&n).is_none());
+        assert!(p.densities(&n).is_none());
+    }
+
+    #[test]
+    fn vd_policy_uniform_shifts_density_between_pieces() {
+        let t = task(1.0, 10.0, ReliabilityClass::DoubleCheck);
+        let early = VdPolicy::uniform(0.25); // tight original, relaxed check
+        let (o, v) = early.densities(&t).unwrap();
+        assert!((o - 0.4).abs() < 1e-12);
+        assert!((v - 1.0 / 7.5).abs() < 1e-12);
+        let late = VdPolicy::uniform(0.75);
+        let (o2, v2) = late.densities(&t).unwrap();
+        assert!(o2 < o && v2 > v);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0, 1)")]
+    fn vd_policy_rejects_degenerate_fraction() {
+        let _ = VdPolicy::uniform(1.0);
+    }
+
+    #[test]
+    fn taskset_reindexes() {
+        let ts: TaskSet = vec![
+            task(1.0, 10.0, ReliabilityClass::Normal),
+            task(2.0, 10.0, ReliabilityClass::Normal),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ts.tasks()[0].id, 0);
+        assert_eq!(ts.tasks()[1].id, 1);
+    }
+}

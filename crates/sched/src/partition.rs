@@ -1,0 +1,656 @@
+//! Task-partitioning algorithms: FlexStep (Al. 3 of the paper) and the
+//! LockStep / HMR baselines as described in §VI-B.
+
+use crate::model::{ReliabilityClass, SpTask, TaskSet, VdPolicy};
+use std::fmt;
+
+/// What a core runs on behalf of a task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Piece {
+    /// The original computation; verification tasks carry their virtual
+    /// deadline (the EDF deadline used for the original computation).
+    Original {
+        /// `D'` when the task is verified, `D` otherwise.
+        effective_deadline: f64,
+    },
+    /// The `copy`-th checking computation (0-based), scheduled with the
+    /// original deadline.
+    Check {
+        /// Copy index (0 for double-check; 0 and 1 for triple-check).
+        copy: usize,
+    },
+}
+
+/// One task piece placed on a core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// The task (index into the task set).
+    pub task: usize,
+    /// Which piece.
+    pub piece: Piece,
+    /// The core it was placed on.
+    pub core: usize,
+    /// The density this piece contributes to the core.
+    pub density: f64,
+}
+
+/// A successful partition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Partition {
+    /// All placements.
+    pub assignments: Vec<Assignment>,
+    /// Total density per core.
+    pub core_density: Vec<f64>,
+}
+
+impl Partition {
+    /// Placements on one core.
+    pub fn on_core(&self, core: usize) -> impl Iterator<Item = &Assignment> {
+        self.assignments.iter().filter(move |a| a.core == core)
+    }
+
+    /// The core hosting `task`'s original computation, if placed.
+    pub fn original_core_of(&self, task: usize) -> Option<usize> {
+        self.assignments
+            .iter()
+            .find(|a| a.task == task && matches!(a.piece, Piece::Original { .. }))
+            .map(|a| a.core)
+    }
+
+    /// The cores hosting `task`'s checking copies, in copy order.
+    pub fn checker_cores_of(&self, task: usize) -> Vec<usize> {
+        let mut checks: Vec<(usize, usize)> = self
+            .assignments
+            .iter()
+            .filter_map(|a| match a.piece {
+                Piece::Check { copy } if a.task == task => Some((copy, a.core)),
+                _ => None,
+            })
+            .collect();
+        checks.sort_unstable();
+        checks.into_iter().map(|(_, core)| core).collect()
+    }
+
+    /// The maximum core density.
+    pub fn max_density(&self) -> f64 {
+        self.core_density.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// A partitioning scheme under test.
+pub trait Partitioner {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to partition `ts` onto `m` cores; `None` = unschedulable
+    /// under this scheme's admission test.
+    fn partition(&self, ts: &TaskSet, m: usize) -> Option<Partition>;
+
+    /// Convenience: whether the set is schedulable.
+    fn schedulable(&self, ts: &TaskSet, m: usize) -> bool {
+        self.partition(ts, m).is_some()
+    }
+}
+
+impl fmt::Debug for dyn Partitioner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Partitioner({})", self.name())
+    }
+}
+
+fn argmin_excluding(density: &[f64], exclude: &[usize]) -> Option<usize> {
+    density
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| !exclude.contains(k))
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("densities are finite"))
+        .map(|(k, _)| k)
+}
+
+// ---------------------------------------------------------------------------
+// FlexStep (Al. 3)
+// ---------------------------------------------------------------------------
+
+/// Al. 3: partitioned EDF with virtual deadlines and asynchronous
+/// verification. Originals and their checking copies are forced onto
+/// distinct cores; cores are chosen min-density-first; the set is
+/// schedulable if every core's total density is at most one.
+///
+/// Uses the paper's density-optimal virtual deadlines; see
+/// [`VdFlexStepPartitioner`] for the ablation over other splits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlexStepPartitioner;
+
+impl Partitioner for FlexStepPartitioner {
+    fn name(&self) -> &'static str {
+        "FlexStep"
+    }
+
+    fn partition(&self, ts: &TaskSet, m: usize) -> Option<Partition> {
+        VdFlexStepPartitioner::new(VdPolicy::paper()).partition(ts, m)
+    }
+}
+
+/// Al. 3 with a configurable virtual-deadline split — the ablation knob
+/// behind the `ablate_vd` bench. [`FlexStepPartitioner`] is this with
+/// [`VdPolicy::paper`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VdFlexStepPartitioner {
+    /// The virtual-deadline split in use.
+    pub policy: VdPolicy,
+}
+
+impl VdFlexStepPartitioner {
+    /// Creates the partitioner with an explicit policy.
+    pub fn new(policy: VdPolicy) -> Self {
+        VdFlexStepPartitioner { policy }
+    }
+}
+
+impl Partitioner for VdFlexStepPartitioner {
+    fn name(&self) -> &'static str {
+        "FlexStep-vd"
+    }
+
+    fn partition(&self, ts: &TaskSet, m: usize) -> Option<Partition> {
+        let mut delta = vec![0.0f64; m];
+        let mut assignments = Vec::new();
+
+        // Lines 4–14: verification tasks, descending utilisation.
+        for t in ts.verification_desc_util() {
+            let (d_o, d_v) = self.policy.densities(&t).expect("verification task");
+            let dp = self.policy.virtual_deadline(&t).expect("verification task");
+
+            let k = argmin_excluding(&delta, &[])?;
+            delta[k] += d_o;
+            assignments.push(Assignment {
+                task: t.id,
+                piece: Piece::Original { effective_deadline: dp },
+                core: k,
+                density: d_o,
+            });
+
+            let k1 = argmin_excluding(&delta, &[k])?;
+            delta[k1] += d_v;
+            assignments.push(Assignment {
+                task: t.id,
+                piece: Piece::Check { copy: 0 },
+                core: k1,
+                density: d_v,
+            });
+
+            if t.class == ReliabilityClass::TripleCheck {
+                let k2 = argmin_excluding(&delta, &[k, k1])?;
+                delta[k2] += d_v;
+                assignments.push(Assignment {
+                    task: t.id,
+                    piece: Piece::Check { copy: 1 },
+                    core: k2,
+                    density: d_v,
+                });
+            }
+        }
+
+        // Lines 15–18: normal tasks, descending utilisation.
+        for t in ts.normal_desc_util() {
+            let d_o = t.utilization();
+            let k = argmin_excluding(&delta, &[])?;
+            delta[k] += d_o;
+            assignments.push(Assignment {
+                task: t.id,
+                piece: Piece::Original { effective_deadline: t.deadline() },
+                core: k,
+                density: d_o,
+            });
+        }
+
+        // Lines 19–20: density test.
+        if delta.iter().any(|&d| d > 1.0 + 1e-12) {
+            return None;
+        }
+        Some(Partition { assignments, core_density: delta })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LockStep baseline
+// ---------------------------------------------------------------------------
+
+/// The LockStep baseline of §VI-B: the *rigid* design of Fig. 1(a).
+/// Every core is statically bound into a lockstep group (TCLS triples
+/// where triple-check demand requires them, DCLS pairs otherwise); a
+/// group executes as a single logical core and *everything* scheduled on
+/// it is checked, needed or not. Verification tasks are allocated first,
+/// opening a new group only when the current one is full; leftover cores
+/// that cannot form a pair are unusable; non-verification tasks then go
+/// onto the least-loaded group.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockStepPartitioner;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinKind {
+    Tcls,
+    Dcls,
+}
+
+impl Partitioner for LockStepPartitioner {
+    fn name(&self) -> &'static str {
+        "LockStep"
+    }
+
+    fn partition(&self, ts: &TaskSet, m: usize) -> Option<Partition> {
+        // Logical bins: (kind, load). Groups consume 2 or 3 physical
+        // cores from the pool.
+        let mut bins: Vec<(BinKind, f64)> = Vec::new();
+        let mut free_cores = m;
+        let mut assignments = Vec::new();
+
+        let place = |bins: &mut Vec<(BinKind, f64)>,
+                         free_cores: &mut usize,
+                         t: &SpTask,
+                         want: Option<BinKind>|
+         -> Option<usize> {
+            let u = t.utilization();
+            // Fit into an existing eligible bin (TCLS covers V2 and
+            // normal demand; DCLS covers V2 and normal, not V3).
+            let eligible = |k: BinKind| match want {
+                Some(BinKind::Tcls) => k == BinKind::Tcls,
+                Some(BinKind::Dcls) | None => true,
+            };
+            let best = bins
+                .iter()
+                .enumerate()
+                .filter(|(_, (k, load))| eligible(*k) && load + u <= 1.0 + 1e-12)
+                .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite"))
+                .map(|(i, _)| i);
+            if let Some(i) = best {
+                bins[i].1 += u;
+                return Some(i);
+            }
+            // Open a new group of the wanted kind (normal tasks cannot
+            // open groups — the static structure is set by verification
+            // demand and the final pairing pass).
+            let cost = match want? {
+                BinKind::Tcls => 3,
+                BinKind::Dcls => 2,
+            };
+            if *free_cores >= cost && u <= 1.0 + 1e-12 {
+                *free_cores -= cost;
+                bins.push((want?, u));
+                return Some(bins.len() - 1);
+            }
+            None
+        };
+
+        // Verification tasks first, V3 before V2 (a TCLS group can host
+        // V2 demand but not vice versa), each class by descending
+        // utilisation.
+        let verif = ts.verification_desc_util();
+        for t in verif.iter().filter(|t| t.class == ReliabilityClass::TripleCheck) {
+            let bin = place(&mut bins, &mut free_cores, t, Some(BinKind::Tcls))?;
+            assignments.push(Assignment {
+                task: t.id,
+                piece: Piece::Original { effective_deadline: t.deadline() },
+                core: bin,
+                density: t.utilization(),
+            });
+        }
+        for t in verif.iter().filter(|t| t.class == ReliabilityClass::DoubleCheck) {
+            let bin = place(&mut bins, &mut free_cores, t, Some(BinKind::Dcls))?;
+            assignments.push(Assignment {
+                task: t.id,
+                piece: Piece::Original { effective_deadline: t.deadline() },
+                core: bin,
+                density: t.utilization(),
+            });
+        }
+        // The rigid design binds every remaining core into DCLS pairs; an
+        // odd leftover core has no partner and is wasted.
+        while free_cores >= 2 {
+            free_cores -= 2;
+            bins.push((BinKind::Dcls, 0.0));
+        }
+        // Non-verification tasks across all groups (least-loaded first);
+        // they are checked whether they need it or not.
+        for t in ts.normal_desc_util() {
+            let bin = place(&mut bins, &mut free_cores, &t, None)?;
+            assignments.push(Assignment {
+                task: t.id,
+                piece: Piece::Original { effective_deadline: t.deadline() },
+                core: bin,
+                density: t.utilization(),
+            });
+        }
+
+        let core_density: Vec<f64> = bins.iter().map(|(_, l)| *l).collect();
+        if core_density.iter().any(|&d| d > 1.0 + 1e-12) {
+            return None;
+        }
+        Some(Partition { assignments, core_density })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HMR baseline
+// ---------------------------------------------------------------------------
+
+/// The HMR baseline of §VI-B: runtime split-lock on static core pairs.
+/// Verification tasks execute synchronously with their copies — the
+/// partner core(s) are occupied for the task's whole execution and the
+/// pair must find *common* slack (gang constraint) — and verification
+/// cannot be preempted by non-verification tasks, which adds an EDF
+/// blocking term for normal tasks sharing a core with verification work.
+/// Non-verification tasks run unchecked on any individual core.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HmrPartitioner;
+
+impl HmrPartitioner {
+    /// Longest verification section on `core` with a deadline strictly
+    /// longer than `deadline` (what can block a task of that deadline).
+    fn blocking(per_core: &[Vec<SpTask>], core: usize, deadline: f64) -> f64 {
+        per_core[core]
+            .iter()
+            .filter(|o| o.class != ReliabilityClass::Normal && o.deadline() > deadline)
+            .map(|o| o.wcet)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Partitioner for HmrPartitioner {
+    fn name(&self) -> &'static str {
+        "HMR"
+    }
+
+    fn partition(&self, ts: &TaskSet, m: usize) -> Option<Partition> {
+        let pairs = m / 2;
+        if pairs == 0 {
+            // A single core cannot split-lock; only pure-normal sets fit.
+            if ts.tasks().iter().any(|t| t.class != ReliabilityClass::Normal) {
+                return None;
+            }
+        }
+        let mut load = vec![0.0f64; m];
+        // Verification utilisation charged per pair (gang constraint).
+        let mut pair_verif = vec![0.0f64; pairs.max(1)];
+        let mut per_core: Vec<Vec<SpTask>> = vec![Vec::new(); m];
+        let mut assignments = Vec::new();
+
+        // Verification tasks first (descending utilisation), onto the
+        // least-loaded pair that can absorb them. A V3 task additionally
+        // occupies one core of another pair for its second copy.
+        for t in ts.verification_desc_util() {
+            let u = t.utilization();
+            let best = (0..pairs)
+                .filter(|&p| {
+                    load[2 * p] + u <= 1.0 + 1e-12 && load[2 * p + 1] + u <= 1.0 + 1e-12
+                })
+                .min_by(|&a, &b| {
+                    (load[2 * a] + load[2 * a + 1])
+                        .partial_cmp(&(load[2 * b] + load[2 * b + 1]))
+                        .expect("finite")
+                })?;
+            let cores = [2 * best, 2 * best + 1];
+            for (copy, &c) in cores.iter().enumerate() {
+                load[c] += u;
+                per_core[c].push(t);
+                assignments.push(Assignment {
+                    task: t.id,
+                    piece: if copy == 0 {
+                        Piece::Original { effective_deadline: t.deadline() }
+                    } else {
+                        Piece::Check { copy: copy - 1 }
+                    },
+                    core: c,
+                    density: u,
+                });
+            }
+            pair_verif[best] += u;
+            if t.class == ReliabilityClass::TripleCheck {
+                // Second copy on the least-loaded core outside the pair.
+                let extra = (0..m)
+                    .filter(|&c| c / 2 != best && load[c] + u <= 1.0 + 1e-12)
+                    .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite"))?;
+                load[extra] += u;
+                per_core[extra].push(t);
+                if extra / 2 < pairs {
+                    pair_verif[extra / 2] += u;
+                }
+                assignments.push(Assignment {
+                    task: t.id,
+                    piece: Piece::Check { copy: 1 },
+                    core: extra,
+                    density: u,
+                });
+            }
+        }
+
+        // Non-verification tasks: first fill verification-free cores,
+        // then the least-loaded core where capacity and the blocking
+        // bound both hold.
+        for t in ts.normal_desc_util() {
+            let u = t.utilization();
+            let fits = |c: usize| {
+                load[c] + u <= 1.0 + 1e-12
+                    && load[c] + u + Self::blocking(&per_core, c, t.deadline()) / t.deadline()
+                        <= 1.0 + 1e-12
+            };
+            let free_first = (0..m)
+                .filter(|&c| per_core[c].iter().all(|o| o.class == ReliabilityClass::Normal))
+                .filter(|&c| fits(c))
+                .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite"));
+            let chosen = free_first.or_else(|| {
+                (0..m)
+                    .filter(|&c| fits(c))
+                    .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite"))
+            })?;
+            load[chosen] += u;
+            per_core[chosen].push(t);
+            assignments.push(Assignment {
+                task: t.id,
+                piece: Piece::Original { effective_deadline: t.deadline() },
+                core: chosen,
+                density: u,
+            });
+        }
+
+        // Admission: per-core capacity, per-pair gang slack, and the
+        // blocking bound for every normal task.
+        for c in 0..m {
+            if load[c] > 1.0 + 1e-12 {
+                return None;
+            }
+            for t in &per_core[c] {
+                if t.class == ReliabilityClass::Normal {
+                    let b = Self::blocking(&per_core, c, t.deadline());
+                    if load[c] + b / t.deadline() > 1.0 + 1e-12 {
+                        return None;
+                    }
+                }
+            }
+        }
+        for p in 0..pairs {
+            let normal_a = load[2 * p] - pair_verif[p].min(load[2 * p]);
+            let normal_b = load[2 * p + 1] - pair_verif[p].min(load[2 * p + 1]);
+            if pair_verif[p] + normal_a.max(normal_b) > 1.0 + 1e-12 {
+                return None;
+            }
+        }
+        Some(Partition { assignments, core_density: load })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: usize, wcet: f64, period: f64, class: ReliabilityClass) -> SpTask {
+        SpTask { id, wcet, period, class }
+    }
+
+    fn set(tasks: Vec<SpTask>) -> TaskSet {
+        TaskSet::new(tasks)
+    }
+
+    #[test]
+    fn flexstep_places_copies_on_distinct_cores() {
+        let ts = set(vec![
+            t(0, 2.0, 10.0, ReliabilityClass::TripleCheck),
+            t(1, 1.0, 10.0, ReliabilityClass::Normal),
+        ]);
+        let p = FlexStepPartitioner.partition(&ts, 4).expect("schedulable");
+        let cores: Vec<usize> = p.assignments.iter().filter(|a| a.task == 0).map(|a| a.core).collect();
+        assert_eq!(cores.len(), 3, "V3 = original + two checks");
+        let mut unique = cores.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "all on distinct cores: {cores:?}");
+    }
+
+    #[test]
+    fn partition_lookup_helpers() {
+        let ts = set(vec![
+            t(0, 1.0, 10.0, ReliabilityClass::TripleCheck),
+            t(1, 2.0, 10.0, ReliabilityClass::Normal),
+        ]);
+        let p = FlexStepPartitioner.partition(&ts, 4).expect("schedulable");
+        let orig = p.original_core_of(0).expect("placed");
+        let checkers = p.checker_cores_of(0);
+        assert_eq!(checkers.len(), 2, "V3 has two checking copies");
+        assert!(!checkers.contains(&orig), "copies avoid the original's core");
+        assert!(p.original_core_of(1).is_some());
+        assert!(p.checker_cores_of(1).is_empty(), "normal tasks have no copies");
+        assert_eq!(p.original_core_of(7), None);
+    }
+
+    #[test]
+    fn flexstep_density_accounting_is_exact() {
+        let ts = set(vec![t(0, 2.0, 10.0, ReliabilityClass::DoubleCheck)]);
+        let p = FlexStepPartitioner.partition(&ts, 2).expect("schedulable");
+        // δ^o = C/(D/2) = 0.4 on one core; δ^v = C/(D−D') = 0.4 on the other.
+        let mut d = p.core_density.clone();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((d[0] - 0.4).abs() < 1e-12);
+        assert!((d[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flexstep_rejects_overload() {
+        // Density of a V2 task is 2C/D per core; C=6,D=10 => 1.2 > 1.
+        let ts = set(vec![t(0, 6.0, 10.0, ReliabilityClass::DoubleCheck)]);
+        assert!(FlexStepPartitioner.partition(&ts, 8).is_none());
+    }
+
+    #[test]
+    fn flexstep_needs_enough_cores_for_v3() {
+        let ts = set(vec![t(0, 1.0, 10.0, ReliabilityClass::TripleCheck)]);
+        assert!(FlexStepPartitioner.partition(&ts, 2).is_none(), "3 pieces need 3 cores");
+        assert!(FlexStepPartitioner.partition(&ts, 3).is_some());
+    }
+
+    #[test]
+    fn lockstep_groups_consume_cores() {
+        // One V2 task forces a DCLS pair; the rigid design fuses all
+        // cores, so a heavy normal task needs a whole second pair.
+        let ts = set(vec![
+            t(0, 5.0, 10.0, ReliabilityClass::DoubleCheck),
+            t(1, 6.0, 10.0, ReliabilityClass::Normal),
+        ]);
+        // m=2: pair load would be 0.5 + 0.6 = 1.1 > 1.
+        assert!(LockStepPartitioner.partition(&ts, 2).is_none());
+        // m=3: the leftover third core has no partner and is wasted.
+        assert!(LockStepPartitioner.partition(&ts, 3).is_none());
+        // m=4: two pairs.
+        assert!(LockStepPartitioner.partition(&ts, 4).is_some());
+    }
+
+    #[test]
+    fn lockstep_v3_needs_a_triple() {
+        let ts = set(vec![t(0, 1.0, 10.0, ReliabilityClass::TripleCheck)]);
+        assert!(LockStepPartitioner.partition(&ts, 2).is_none());
+        assert!(LockStepPartitioner.partition(&ts, 3).is_some());
+    }
+
+    #[test]
+    fn hmr_blocks_short_deadline_normals() {
+        // A long verification section blocks a short-deadline normal
+        // task on the same core when it cannot be placed elsewhere.
+        let ts = set(vec![
+            t(0, 5.0, 100.0, ReliabilityClass::DoubleCheck), // long section
+            t(1, 0.9, 2.0, ReliabilityClass::Normal),        // tight deadline
+        ]);
+        // m=2: pair (0,1) hosts verification on both cores; the normal
+        // task lands with the verification and gets blocked:
+        // 0.05 + 0.45 + 5/2 > 1.
+        assert!(HmrPartitioner.partition(&ts, 2).is_none());
+        // m=4: the normal task gets a verification-free core.
+        assert!(HmrPartitioner.partition(&ts, 4).is_some());
+    }
+
+    #[test]
+    fn hmr_occupies_partner_core() {
+        let ts = set(vec![t(0, 4.0, 10.0, ReliabilityClass::DoubleCheck)]);
+        let p = HmrPartitioner.partition(&ts, 2).expect("fits");
+        assert!((p.core_density[0] - 0.4).abs() < 1e-12);
+        assert!((p.core_density[1] - 0.4).abs() < 1e-12, "synchronous copy occupies partner");
+    }
+
+    #[test]
+    fn relative_flexibility_on_a_crafted_set() {
+        // The Fig. 1 story in miniature: light verification demand plus
+        // two medium normal tasks. FlexStep runs the normals on separate
+        // cores and slots the checking in asynchronously; rigid LockStep
+        // fuses both cores into one checked pair and fails.
+        let ts = set(vec![
+            t(0, 0.5, 10.0, ReliabilityClass::DoubleCheck), // δ = 0.1 + 0.1
+            t(1, 6.0, 10.0, ReliabilityClass::Normal),
+            t(2, 6.0, 10.0, ReliabilityClass::Normal),
+        ]);
+        assert!(FlexStepPartitioner.partition(&ts, 2).is_some(), "FlexStep fits on 2 cores");
+        assert!(
+            LockStepPartitioner.partition(&ts, 2).is_none(),
+            "one fused pair cannot host 0.05 + 0.6 + 0.6"
+        );
+        assert!(HmrPartitioner.partition(&ts, 2).is_some(), "HMR sits in between");
+    }
+
+    #[test]
+    fn vd_partitioner_with_paper_policy_matches_flexstep() {
+        let ts = set(vec![
+            t(0, 2.0, 10.0, ReliabilityClass::DoubleCheck),
+            t(1, 1.0, 8.0, ReliabilityClass::TripleCheck),
+            t(2, 3.0, 12.0, ReliabilityClass::Normal),
+        ]);
+        let a = FlexStepPartitioner.partition(&ts, 4);
+        let b = VdFlexStepPartitioner::new(VdPolicy::paper()).partition(&ts, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_vd_policy_loses_schedulability() {
+        // A set right at the paper policy's admission edge: a V2 task
+        // with density 0.5 per piece. θ = 0.5 gives (1.0, 1.0)-per-core
+        // on two cores; a skewed split pushes one side over 1.
+        let ts = set(vec![
+            t(0, 2.5, 10.0, ReliabilityClass::DoubleCheck),
+            t(1, 5.0, 10.0, ReliabilityClass::Normal),
+            t(2, 5.0, 10.0, ReliabilityClass::Normal),
+        ]);
+        assert!(FlexStepPartitioner.partition(&ts, 2).is_some());
+        assert!(
+            VdFlexStepPartitioner::new(VdPolicy::uniform(0.3)).partition(&ts, 2).is_none(),
+            "tight original window overloads its core"
+        );
+        assert!(
+            VdFlexStepPartitioner::new(VdPolicy::uniform(0.7)).partition(&ts, 2).is_none(),
+            "tight checking window overloads the other core"
+        );
+    }
+
+    #[test]
+    fn empty_set_is_trivially_schedulable() {
+        let ts = set(vec![]);
+        assert!(FlexStepPartitioner.partition(&ts, 1).is_some());
+        assert!(LockStepPartitioner.partition(&ts, 1).is_some());
+        assert!(HmrPartitioner.partition(&ts, 1).is_some());
+    }
+}

@@ -1,0 +1,202 @@
+//! Task-set generation with the UUniFast algorithm (Bini & Buttazzo),
+//! the generator used by the Fig. 5 experiments (§VI-B).
+
+use crate::model::{ReliabilityClass, SpTask, TaskSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How the generated set's total utilisation is accounted against the
+/// `total_utilization` target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UtilNorm {
+    /// The originals alone sum to the target (verification copies come on
+    /// top) — the natural view for analysing one scheme's inflation.
+    #[default]
+    OriginalsOnly,
+    /// Originals *plus* verification copies sum to the target (a V2 task
+    /// counts 2×u, a V3 task 3×u) — the Fig. 5 x-axis, where "task set
+    /// utilisation" includes the duplicated computations the system must
+    /// actually execute.
+    WithCopies,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GenParams {
+    /// Number of tasks `n`.
+    pub n: usize,
+    /// Total utilisation `U` to distribute.
+    pub total_utilization: f64,
+    /// Fraction of double-check tasks `α`.
+    pub alpha: f64,
+    /// Fraction of triple-check tasks `β`.
+    pub beta: f64,
+    /// Minimum period (time units).
+    pub period_min: f64,
+    /// Maximum period (time units).
+    pub period_max: f64,
+    /// Utilisation accounting (see [`UtilNorm`]).
+    pub normalization: UtilNorm,
+}
+
+impl GenParams {
+    /// Originals-only accounting with log-uniform periods in
+    /// [10, 1000] ms.
+    pub fn paper(n: usize, total_utilization: f64, alpha: f64, beta: f64) -> Self {
+        GenParams {
+            n,
+            total_utilization,
+            alpha,
+            beta,
+            period_min: 10.0,
+            period_max: 1000.0,
+            normalization: UtilNorm::OriginalsOnly,
+        }
+    }
+
+    /// The Fig. 5 sweep configuration: copy-inclusive accounting (the
+    /// figure's x-axis counts the verification copies the system must
+    /// run) and a decade of log-uniform periods ([10, 100] ms, keeping
+    /// non-preemption blocking ratios in HMR's analysable range).
+    pub fn fig5(n: usize, total_utilization: f64, alpha: f64, beta: f64) -> Self {
+        GenParams {
+            n,
+            total_utilization,
+            alpha,
+            beta,
+            period_min: 10.0,
+            period_max: 100.0,
+            normalization: UtilNorm::WithCopies,
+        }
+    }
+}
+
+/// UUniFast: draws `n` utilisations summing to `u` with a uniform
+/// distribution over the valid simplex.
+pub fn uunifast<R: Rng>(rng: &mut R, n: usize, u: f64) -> Vec<f64> {
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = u;
+    for i in 1..n {
+        let next = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    utils
+}
+
+/// Generates a task set per the Fig. 5 methodology: UUniFast utilisations,
+/// log-uniform periods, and `α`/`β` fractions of double-/triple-check
+/// tasks assigned to random tasks.
+pub fn generate<R: Rng>(rng: &mut R, params: &GenParams) -> TaskSet {
+    let utils = uunifast(rng, params.n, params.total_utilization);
+    let mut tasks: Vec<SpTask> = utils
+        .into_iter()
+        .map(|u| {
+            let log_min = params.period_min.ln();
+            let log_max = params.period_max.ln();
+            let period = (log_min + rng.gen::<f64>() * (log_max - log_min)).exp();
+            // Cap utilisation at 1: a single task cannot exceed a core.
+            let u = u.min(1.0);
+            SpTask { id: 0, wcet: u * period, period, class: ReliabilityClass::Normal }
+        })
+        .collect();
+
+    let n_v2 = (params.alpha * params.n as f64).round() as usize;
+    let n_v3 = (params.beta * params.n as f64).round() as usize;
+    let mut idx: Vec<usize> = (0..params.n).collect();
+    idx.shuffle(rng);
+    for &i in idx.iter().take(n_v3) {
+        tasks[i].class = ReliabilityClass::TripleCheck;
+    }
+    for &i in idx.iter().skip(n_v3).take(n_v2) {
+        tasks[i].class = ReliabilityClass::DoubleCheck;
+    }
+    if params.normalization == UtilNorm::WithCopies {
+        // Rescale so originals + verification copies hit the target.
+        let with_copies: f64 =
+            tasks.iter().map(|t| t.utilization() * (1.0 + t.class.copies() as f64)).sum();
+        if with_copies > 0.0 {
+            let scale = params.total_utilization / with_copies;
+            for t in &mut tasks {
+                t.wcet *= scale;
+            }
+        }
+    }
+    TaskSet::new(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uunifast_sums_to_target() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &u in &[0.5, 2.0, 6.4] {
+            for &n in &[2usize, 10, 160] {
+                let utils = uunifast(&mut rng, n, u);
+                assert_eq!(utils.len(), n);
+                let sum: f64 = utils.iter().sum();
+                assert!((sum - u).abs() < 1e-9, "sum {sum} != {u}");
+                assert!(utils.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn generate_respects_class_fractions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = GenParams::paper(160, 4.0, 0.125, 0.0625);
+        let ts = generate(&mut rng, &params);
+        assert_eq!(ts.len(), 160);
+        let v2 = ts.of_class(ReliabilityClass::DoubleCheck).count();
+        let v3 = ts.of_class(ReliabilityClass::TripleCheck).count();
+        assert_eq!(v2, 20);
+        assert_eq!(v3, 10);
+    }
+
+    #[test]
+    fn generate_periods_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = GenParams::paper(50, 2.0, 0.1, 0.1);
+        let ts = generate(&mut rng, &params);
+        for t in ts.tasks() {
+            assert!(t.period >= 10.0 && t.period <= 1000.0);
+            assert!(t.wcet > 0.0);
+            assert!(t.utilization() <= 1.0 + 1e-12);
+        }
+        assert!((ts.utilization() - 2.0).abs() < 0.05, "caps may trim slightly");
+    }
+
+    #[test]
+    fn with_copies_normalization_hits_target() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let params = GenParams::fig5(80, 4.0, 0.25, 0.125);
+        let ts = generate(&mut rng, &params);
+        assert!(
+            (ts.utilization_with_copies() - 4.0).abs() < 1e-9,
+            "copy-inclusive total must hit the target: {}",
+            ts.utilization_with_copies()
+        );
+        assert!(ts.utilization() < 4.0, "originals alone must be below the target");
+        for t in ts.tasks() {
+            assert!(t.period >= 10.0 && t.period <= 100.0, "fig5 period decade");
+        }
+    }
+
+    #[test]
+    fn utilisation_distribution_is_not_degenerate() {
+        // All mass should not consistently land on one task.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut max_share = 0.0f64;
+        for _ in 0..20 {
+            let utils = uunifast(&mut rng, 8, 1.0);
+            let max = utils.iter().cloned().fold(0.0, f64::max);
+            max_share = max_share.max(max);
+        }
+        assert!(max_share < 0.99, "UUniFast must spread utilisation");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests of the Fig. 1 motivating-scenario simulator: the three
+//! architecture semantics hold for *any* dual-core scenario, not just the
+//! paper's parameters.
+
+use flexstep_sched::motivating::{simulate, Arch, Demand, MTask, Scenario, Slot};
+use proptest::prelude::*;
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    let task = (1u64..8, 1u64..20, 0u64..12, 0usize..2, any::<bool>(), 1u64..6).prop_map(
+        |(wcet, slack, phase, core, verified, check)| {
+            let period = wcet + slack;
+            MTask {
+                name: "τ",
+                wcet,
+                period,
+                phase,
+                demand: if verified {
+                    Demand::Verified { check_work: check.min(wcet), check_jobs: 2 }
+                } else {
+                    Demand::Normal
+                },
+                core,
+            }
+        },
+    );
+    (proptest::collection::vec(task, 1..4), 20u64..80)
+        .prop_map(|(tasks, horizon)| Scenario { tasks, horizon })
+}
+
+/// Total `Run` units of task `i` across the timeline.
+fn run_units(o: &flexstep_sched::motivating::SimOutcome, i: usize) -> u64 {
+    o.timeline
+        .iter()
+        .flatten()
+        .filter(|s| matches!(s, Slot::Run(t) if *t == i))
+        .count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The simulator is a pure function of the scenario.
+    #[test]
+    fn deterministic(s in scenario()) {
+        for arch in [Arch::LockStep, Arch::Hmr, Arch::FlexStep] {
+            let a = simulate(&s, arch);
+            let b = simulate(&s, arch);
+            prop_assert_eq!(a.timeline, b.timeline);
+            prop_assert_eq!(a.misses, b.misses);
+        }
+    }
+
+    /// Work conservation upper bound: no task executes more original
+    /// units than its released jobs demand.
+    #[test]
+    fn no_task_over_executes(s in scenario()) {
+        for arch in [Arch::LockStep, Arch::Hmr, Arch::FlexStep] {
+            let o = simulate(&s, arch);
+            for (i, t) in s.tasks.iter().enumerate() {
+                let released = if s.horizon > t.phase {
+                    1 + (s.horizon - 1 - t.phase) / t.period
+                } else {
+                    0
+                };
+                prop_assert!(
+                    run_units(&o, i) <= released * t.wcet,
+                    "{arch}: task {i} ran more than its released demand"
+                );
+            }
+        }
+    }
+
+    /// LockStep's checker core is a cycle-exact mirror: same task slot or
+    /// both idle, never independent work.
+    #[test]
+    fn lockstep_mirrors_exactly(s in scenario()) {
+        let o = simulate(&s, Arch::LockStep);
+        for t in 0..s.horizon as usize {
+            match (o.timeline[0][t], o.timeline[1][t]) {
+                (Slot::Run(a), Slot::Check(b)) => prop_assert_eq!(a, b),
+                (Slot::Idle, Slot::Idle) => {}
+                (a, b) => prop_assert!(false, "non-mirrored slots at {}: {:?}/{:?}", t, a, b),
+            }
+        }
+    }
+
+    /// HMR checking is synchronous: whenever verification work for task
+    /// `i` occupies one core, task `i`'s original executes on the other
+    /// core in the same time unit.
+    #[test]
+    fn hmr_checking_is_synchronous(s in scenario()) {
+        let o = simulate(&s, Arch::Hmr);
+        for t in 0..s.horizon as usize {
+            for core in 0..2 {
+                if let Slot::Check(i) = o.timeline[core][t] {
+                    prop_assert_eq!(
+                        o.timeline[1 - core][t],
+                        Slot::Run(i),
+                        "HMR check without its synchronous original at t={}", t
+                    );
+                }
+            }
+        }
+    }
+
+    /// FlexStep replay never overtakes production, for every task.
+    #[test]
+    fn flexstep_replay_lags_production(s in scenario()) {
+        let o = simulate(&s, Arch::FlexStep);
+        let n = s.tasks.len();
+        let mut produced = vec![0u64; n];
+        let mut consumed = vec![0u64; n];
+        for t in 0..s.horizon as usize {
+            for core in 0..2 {
+                match o.timeline[core][t] {
+                    Slot::Run(i) => produced[i] += 1,
+                    Slot::Check(i) => consumed[i] += 1,
+                    Slot::Idle => {}
+                }
+            }
+            for i in 0..n {
+                prop_assert!(
+                    consumed[i] <= produced[i],
+                    "task {} replay overtook production at t={}", i, t
+                );
+            }
+        }
+    }
+
+    /// FlexStep verification is selective: total check units never exceed
+    /// the flagged jobs' demand.
+    #[test]
+    fn flexstep_checking_is_bounded_by_demand(s in scenario()) {
+        let o = simulate(&s, Arch::FlexStep);
+        for (i, t) in s.tasks.iter().enumerate() {
+            let demanded = match t.demand {
+                Demand::Normal => 0,
+                Demand::Verified { check_work, check_jobs } => check_work * check_jobs,
+            };
+            let checked = o
+                .timeline
+                .iter()
+                .flatten()
+                .filter(|s| matches!(s, Slot::Check(j) if *j == i))
+                .count() as u64;
+            prop_assert!(
+                checked <= demanded,
+                "task {} verified {} units, demanded at most {}", i, checked, demanded
+            );
+        }
+    }
+
+    /// Misses are recorded at most once per (job, kind).
+    #[test]
+    fn misses_are_unique(s in scenario()) {
+        for arch in [Arch::LockStep, Arch::Hmr, Arch::FlexStep] {
+            let o = simulate(&s, arch);
+            let mut seen = std::collections::BTreeSet::new();
+            for m in &o.misses {
+                prop_assert!(
+                    seen.insert((m.task, m.k, m.verification)),
+                    "{arch}: duplicate miss {:?}", m
+                );
+            }
+        }
+    }
+}

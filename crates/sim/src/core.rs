@@ -1,0 +1,148 @@
+//! A single simulated core (hart + predictor + timing bookkeeping).
+
+use crate::bpred::{BpredConfig, BranchPredictor};
+use crate::hart::ArchState;
+use flexstep_isa::XReg;
+
+/// Run state of a core within the SoC engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Executing instructions.
+    Running,
+    /// Parked: waiting for an interrupt or kernel action (`wfi`, idle).
+    Parked,
+    /// Permanently stopped (end of simulation).
+    Halted,
+}
+
+/// One simulated in-order core.
+///
+/// The architectural state is public — the host kernel manipulates it
+/// directly during context switches, exactly as the FlexStep OS add-ons
+/// manipulate the real register file through the trap path.
+#[derive(Debug)]
+pub struct Core {
+    /// Core index (also `mhartid`).
+    pub id: usize,
+    /// Architectural state.
+    pub state: ArchState,
+    /// Branch predictor (timing only).
+    pub bpred: BranchPredictor,
+    /// LR/SC reservation address.
+    pub(crate) resv: Option<u64>,
+    /// Cycle at which the core can execute its next instruction.
+    pub ready_at: u64,
+    /// Scheduling state.
+    pub run_state: RunState,
+    /// Total retired instructions.
+    pub instret: u64,
+    /// Retired instructions in user mode (the CPC instruction counter's
+    /// clock source).
+    pub user_instret: u64,
+    /// Timer compare value (cycle); `None` disables the timer.
+    pub timer_cmp: Option<u64>,
+    /// Pending machine-timer interrupt latch.
+    pub(crate) timer_pending: bool,
+    /// Destination of the previously retired load (load-use interlock).
+    pub(crate) last_load_rd: Option<XReg>,
+}
+
+impl Core {
+    /// Creates a reset core.
+    pub fn new(id: usize, bpred: BpredConfig) -> Self {
+        Core {
+            id,
+            state: ArchState::new(id as u64),
+            bpred: BranchPredictor::new(bpred),
+            resv: None,
+            ready_at: 0,
+            run_state: RunState::Parked,
+            instret: 0,
+            user_instret: 0,
+            timer_cmp: None,
+            timer_pending: false,
+            last_load_rd: None,
+        }
+    }
+
+    /// Clears the LR/SC reservation (kernel does this on traps and
+    /// context switches).
+    pub fn clear_reservation(&mut self) {
+        self.resv = None;
+    }
+
+    /// Arms the core timer to fire at `cycle`.
+    pub fn set_timer(&mut self, cycle: u64) {
+        self.timer_cmp = Some(cycle);
+        self.timer_pending = false;
+    }
+
+    /// Disarms the timer and clears any pending interrupt.
+    pub fn clear_timer(&mut self) {
+        self.timer_cmp = None;
+        self.timer_pending = false;
+    }
+
+    /// Whether a timer interrupt is latched and deliverable.
+    pub fn timer_interrupt_deliverable(&self) -> bool {
+        self.timer_pending && self.state.interrupts_enabled()
+    }
+
+    /// Starts executing (kernel dispatch).
+    pub fn unpark(&mut self) {
+        if self.run_state != RunState::Halted {
+            self.run_state = RunState::Running;
+        }
+    }
+
+    /// Parks the core (idle / `wfi`).
+    pub fn park(&mut self) {
+        if self.run_state != RunState::Halted {
+            self.run_state = RunState::Parked;
+        }
+    }
+
+    /// Permanently halts the core.
+    pub fn halt(&mut self) {
+        self.run_state = RunState::Halted;
+    }
+
+    /// Whether the engine may step this core.
+    pub fn is_running(&self) -> bool {
+        self.run_state == RunState::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_core_is_parked() {
+        let c = Core::new(3, BpredConfig::paper());
+        assert_eq!(c.run_state, RunState::Parked);
+        assert_eq!(c.state.csrs.mhartid, 3);
+        assert!(!c.is_running());
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let mut c = Core::new(0, BpredConfig::paper());
+        c.halt();
+        c.unpark();
+        assert_eq!(c.run_state, RunState::Halted);
+        c.park();
+        assert_eq!(c.run_state, RunState::Halted);
+    }
+
+    #[test]
+    fn timer_latch_requires_enable() {
+        let mut c = Core::new(0, BpredConfig::paper());
+        c.set_timer(100);
+        c.timer_pending = true;
+        // Machine mode with MIE clear: not deliverable.
+        assert!(!c.timer_interrupt_deliverable());
+        c.state.prv = crate::hart::PrivMode::User;
+        assert!(c.timer_interrupt_deliverable());
+    }
+}

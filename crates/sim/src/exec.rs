@@ -1,0 +1,883 @@
+//! The instruction executor.
+//!
+//! [`execute`] applies one decoded instruction to an [`ArchState`], routing
+//! data accesses through a [`DataPort`]. It is shared verbatim between main
+//! cores (normal port) and FlexStep checker cores (replay port) — the
+//! cornerstone of replay determinism: identical inputs produce identical
+//! architectural effects.
+//!
+//! Traps leave the architectural state unmodified (`pc` still points at the
+//! faulting instruction), matching precise-exception semantics.
+
+use crate::hart::{ArchState, CsrCounters, PrivMode, TrapCause};
+use crate::port::{amo_apply, DataPort, PortStop};
+use crate::timing::ExecCosts;
+use flexstep_isa::inst::*;
+use flexstep_isa::reg::XReg;
+
+/// A data-memory access performed by a retired instruction — exactly what
+/// the FlexStep Memory Access Log records (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Access classification.
+    pub kind: MemAccessKind,
+    /// Effective address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+    /// Loads/LR: raw loaded value. Stores/SC/AMO: value written.
+    pub data: u64,
+}
+
+/// Classification of a logged memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccessKind {
+    /// Plain load (`lb`…`ld`, `fld`).
+    Load,
+    /// Plain store (`sb`…`sd`, `fsd`).
+    Store,
+    /// Load-reserved.
+    Lr,
+    /// Store-conditional, with its success flag (needed for replay).
+    Sc {
+        /// Whether the SC succeeded.
+        success: bool,
+    },
+    /// Atomic read-modify-write, with the loaded (old) value (needed for
+    /// replay).
+    Amo {
+        /// The old value read from memory.
+        loaded: u64,
+    },
+}
+
+/// Control-flow resolution of a retired instruction, consumed by the
+/// branch-predictor timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchOutcome {
+    /// Conditional branch.
+    Cond {
+        /// Whether the branch was taken.
+        taken: bool,
+        /// Branch target (valid when taken).
+        target: u64,
+    },
+    /// Direct jump.
+    Jal {
+        /// Jump target.
+        target: u64,
+        /// Whether it links (writes a return address).
+        link: bool,
+    },
+    /// Indirect jump.
+    Jalr {
+        /// Jump target.
+        target: u64,
+        /// Whether it links.
+        link: bool,
+        /// Whether it has the conventional `ret` shape.
+        is_return: bool,
+    },
+}
+
+/// Result of successfully executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exec {
+    /// Next program counter.
+    pub next_pc: u64,
+    /// Memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// Cycles consumed by the data port plus long-latency functional
+    /// units (base cycle and fetch excluded).
+    pub extra_cycles: u64,
+    /// Control-flow resolution, if any.
+    pub branch: Option<BranchOutcome>,
+}
+
+/// Reasons the executor stops without retiring the instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stop {
+    /// A synchronous trap; state is unmodified.
+    Trap {
+        /// The cause.
+        cause: TrapCause,
+        /// The trap value (`mtval`): faulting address or instruction.
+        tval: u64,
+    },
+    /// A FlexStep custom instruction — the platform (OS / fabric) supplies
+    /// its semantics; state is unmodified and `pc` still points at it.
+    Flex {
+        /// The custom operation.
+        op: FlexOp,
+        /// `rd` of the instruction.
+        rd: XReg,
+        /// Value of `rs1`.
+        rs1_value: u64,
+        /// Value of `rs2`.
+        rs2_value: u64,
+    },
+    /// `wfi` — the core parks until an interrupt.
+    Wfi,
+    /// The data port aborted the access (checker detection path).
+    Port(PortStop),
+}
+
+fn sign_extend(value: u64, size: u8) -> u64 {
+    match size {
+        1 => value as u8 as i8 as i64 as u64,
+        2 => value as u16 as i16 as i64 as u64,
+        4 => value as u32 as i32 as i64 as u64,
+        _ => value,
+    }
+}
+
+fn misaligned(addr: u64, size: u8) -> bool {
+    addr & u64::from(size - 1) != 0
+}
+
+fn int_op(op: IntOp, a: u64, b: u64) -> u64 {
+    match op {
+        IntOp::Add => a.wrapping_add(b),
+        IntOp::Sub => a.wrapping_sub(b),
+        IntOp::Sll => a << (b & 63),
+        IntOp::Slt => u64::from((a as i64) < (b as i64)),
+        IntOp::Sltu => u64::from(a < b),
+        IntOp::Xor => a ^ b,
+        IntOp::Srl => a >> (b & 63),
+        IntOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        IntOp::Or => a | b,
+        IntOp::And => a & b,
+        IntOp::Mul => a.wrapping_mul(b),
+        IntOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        IntOp::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+        IntOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        IntOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                (a / b) as u64
+            }
+        }
+        IntOp::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        IntOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as u64
+            }
+        }
+        IntOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn int_w_op(op: IntWOp, a: u64, b: u64) -> u64 {
+    let a32 = a as u32;
+    let b32 = b as u32;
+    let r = match op {
+        IntWOp::Addw => a32.wrapping_add(b32),
+        IntWOp::Subw => a32.wrapping_sub(b32),
+        IntWOp::Sllw => a32 << (b32 & 31),
+        IntWOp::Srlw => a32 >> (b32 & 31),
+        IntWOp::Sraw => ((a32 as i32) >> (b32 & 31)) as u32,
+        IntWOp::Mulw => a32.wrapping_mul(b32),
+        IntWOp::Divw => {
+            let (a, b) = (a32 as i32, b32 as i32);
+            if b == 0 {
+                u32::MAX
+            } else if a == i32::MIN && b == -1 {
+                a as u32
+            } else {
+                (a / b) as u32
+            }
+        }
+        IntWOp::Divuw => {
+            if b32 == 0 {
+                u32::MAX
+            } else {
+                a32 / b32
+            }
+        }
+        IntWOp::Remw => {
+            let (a, b) = (a32 as i32, b32 as i32);
+            if b == 0 {
+                a as u32
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as u32
+            }
+        }
+        IntWOp::Remuw => {
+            if b32 == 0 {
+                a32
+            } else {
+                a32 % b32
+            }
+        }
+    };
+    r as i32 as i64 as u64
+}
+
+/// Saturating f64 → i64 conversion per the RISC-V spec.
+fn fcvt_l(v: f64) -> i64 {
+    if v.is_nan() {
+        i64::MAX
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        v as i64
+    }
+}
+
+/// Saturating f64 → u64 conversion per the RISC-V spec.
+fn fcvt_lu(v: f64) -> u64 {
+    if v.is_nan() {
+        u64::MAX
+    } else if v >= u64::MAX as f64 {
+        u64::MAX
+    } else if v <= 0.0 {
+        0
+    } else {
+        v as u64
+    }
+}
+
+/// Saturating f64 → i32 conversion per the RISC-V spec.
+fn fcvt_w(v: f64) -> i32 {
+    if v.is_nan() {
+        i32::MAX
+    } else if v >= i32::MAX as f64 {
+        i32::MAX
+    } else if v <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+/// Executes one instruction.
+///
+/// On success the state is updated (registers, CSRs, `pc`) and an [`Exec`]
+/// describes the retirement. On [`Stop`] the state is unmodified.
+///
+/// # Errors
+///
+/// Returns [`Stop`] for traps, `wfi`, FlexStep custom instructions and
+/// port-aborted accesses.
+pub fn execute(
+    state: &mut ArchState,
+    inst: &Inst,
+    counters: &CsrCounters,
+    costs: &ExecCosts,
+    port: &mut dyn DataPort,
+    resv: &mut Option<u64>,
+) -> Result<Exec, Stop> {
+    let pc = state.pc;
+    let seq_pc = pc.wrapping_add(4);
+    let mut next_pc = seq_pc;
+    let mut mem = None;
+    let mut branch = None;
+    let mut extra = costs.extra_cycles(inst);
+
+    match *inst {
+        Inst::Lui { rd, imm } => state.set_x(rd, imm as u64),
+        Inst::Auipc { rd, imm } => state.set_x(rd, pc.wrapping_add(imm as u64)),
+        Inst::Jal { rd, offset } => {
+            let target = pc.wrapping_add(offset as u64);
+            if target % 4 != 0 {
+                return Err(Stop::Trap { cause: TrapCause::InstAddrMisaligned, tval: target });
+            }
+            state.set_x(rd, seq_pc);
+            next_pc = target;
+            branch = Some(BranchOutcome::Jal { target, link: !rd.is_zero() });
+        }
+        Inst::Jalr { rd, rs1, offset } => {
+            let target = state.x(rs1).wrapping_add(offset as u64) & !1;
+            if target % 4 != 0 {
+                return Err(Stop::Trap { cause: TrapCause::InstAddrMisaligned, tval: target });
+            }
+            let is_return = rd.is_zero() && rs1 == XReg::RA && offset == 0;
+            state.set_x(rd, seq_pc);
+            next_pc = target;
+            branch = Some(BranchOutcome::Jalr { target, link: !rd.is_zero(), is_return });
+        }
+        Inst::Branch { op, rs1, rs2, offset } => {
+            let a = state.x(rs1);
+            let b = state.x(rs2);
+            let taken = match op {
+                BranchOp::Eq => a == b,
+                BranchOp::Ne => a != b,
+                BranchOp::Lt => (a as i64) < (b as i64),
+                BranchOp::Ge => (a as i64) >= (b as i64),
+                BranchOp::Ltu => a < b,
+                BranchOp::Geu => a >= b,
+            };
+            let target = pc.wrapping_add(offset as u64);
+            if taken {
+                if target % 4 != 0 {
+                    return Err(Stop::Trap {
+                        cause: TrapCause::InstAddrMisaligned,
+                        tval: target,
+                    });
+                }
+                next_pc = target;
+            }
+            branch = Some(BranchOutcome::Cond { taken, target });
+        }
+        Inst::Load { op, rd, rs1, offset } => {
+            let addr = state.x(rs1).wrapping_add(offset as u64);
+            let size = op.size();
+            if misaligned(addr, size) {
+                return Err(Stop::Trap { cause: TrapCause::LoadAddrMisaligned, tval: addr });
+            }
+            let (raw, cycles) = port.read(addr, size).map_err(Stop::Port)?;
+            extra += cycles;
+            let value = if op.is_signed() { sign_extend(raw, size) } else { raw };
+            state.set_x(rd, value);
+            mem = Some(MemAccess { kind: MemAccessKind::Load, addr, size, data: raw });
+        }
+        Inst::Store { op, rs1, rs2, offset } => {
+            let addr = state.x(rs1).wrapping_add(offset as u64);
+            let size = op.size();
+            if misaligned(addr, size) {
+                return Err(Stop::Trap { cause: TrapCause::StoreAddrMisaligned, tval: addr });
+            }
+            let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+            let value = state.x(rs2) & mask;
+            let cycles = port.write(addr, value, size).map_err(Stop::Port)?;
+            extra += cycles;
+            mem = Some(MemAccess { kind: MemAccessKind::Store, addr, size, data: value });
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let a = state.x(rs1);
+            let v = match op {
+                IntImmOp::Addi => a.wrapping_add(imm as u64),
+                IntImmOp::Slti => u64::from((a as i64) < imm),
+                IntImmOp::Sltiu => u64::from(a < imm as u64),
+                IntImmOp::Xori => a ^ imm as u64,
+                IntImmOp::Ori => a | imm as u64,
+                IntImmOp::Andi => a & imm as u64,
+                IntImmOp::Slli => a << (imm & 63),
+                IntImmOp::Srli => a >> (imm & 63),
+                IntImmOp::Srai => ((a as i64) >> (imm & 63)) as u64,
+            };
+            state.set_x(rd, v);
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let v = int_op(op, state.x(rs1), state.x(rs2));
+            state.set_x(rd, v);
+        }
+        Inst::OpImmW { op, rd, rs1, imm } => {
+            let a = state.x(rs1);
+            let v = match op {
+                IntImmWOp::Addiw => (a.wrapping_add(imm as u64) as i32) as i64 as u64,
+                IntImmWOp::Slliw => (((a as u32) << (imm & 31)) as i32) as i64 as u64,
+                IntImmWOp::Srliw => (((a as u32) >> (imm & 31)) as i32) as i64 as u64,
+                IntImmWOp::Sraiw => (((a as u32 as i32) >> (imm & 31)) as i64) as u64,
+            };
+            state.set_x(rd, v);
+        }
+        Inst::OpW { op, rd, rs1, rs2 } => {
+            let v = int_w_op(op, state.x(rs1), state.x(rs2));
+            state.set_x(rd, v);
+        }
+        Inst::Lr { width, rd, rs1 } => {
+            let addr = state.x(rs1);
+            let size = width.size();
+            if misaligned(addr, size) {
+                return Err(Stop::Trap { cause: TrapCause::LoadAddrMisaligned, tval: addr });
+            }
+            let (raw, cycles) = port.read(addr, size).map_err(Stop::Port)?;
+            extra += cycles;
+            state.set_x(rd, sign_extend(raw, size));
+            *resv = Some(addr);
+            mem = Some(MemAccess { kind: MemAccessKind::Lr, addr, size, data: raw });
+        }
+        Inst::Sc { width, rd, rs1, rs2 } => {
+            let addr = state.x(rs1);
+            let size = width.size();
+            if misaligned(addr, size) {
+                return Err(Stop::Trap { cause: TrapCause::StoreAddrMisaligned, tval: addr });
+            }
+            let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+            let value = state.x(rs2) & mask;
+            let resv_valid = *resv == Some(addr);
+            let (success, cycles) =
+                port.store_conditional(addr, value, size, resv_valid).map_err(Stop::Port)?;
+            extra += cycles;
+            *resv = None;
+            state.set_x(rd, u64::from(!success));
+            mem = Some(MemAccess { kind: MemAccessKind::Sc { success }, addr, size, data: value });
+        }
+        Inst::Amo { op, width, rd, rs1, rs2 } => {
+            let addr = state.x(rs1);
+            let size = width.size();
+            if misaligned(addr, size) {
+                return Err(Stop::Trap { cause: TrapCause::StoreAddrMisaligned, tval: addr });
+            }
+            let src = state.x(rs2);
+            let (old, cycles) = port.amo(addr, width, op, src).map_err(Stop::Port)?;
+            extra += cycles;
+            let stored = amo_apply(op, width, old, src);
+            let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+            state.set_x(rd, sign_extend(old & mask, size));
+            mem = Some(MemAccess {
+                kind: MemAccessKind::Amo { loaded: old & mask },
+                addr,
+                size,
+                data: stored & mask,
+            });
+        }
+        Inst::Csr { op, rd, src, csr } => {
+            let old = state.read_csr(csr, counters).map_err(|_| Stop::Trap {
+                cause: TrapCause::IllegalInstruction,
+                tval: 0,
+            })?;
+            let operand =
+                if op.is_immediate() { u64::from(src) } else { state.x(XReg::of(src)) };
+            let new = match op {
+                CsrOp::Rw | CsrOp::Rwi => Some(operand),
+                CsrOp::Rs | CsrOp::Rsi => {
+                    if operand == 0 {
+                        None
+                    } else {
+                        Some(old | operand)
+                    }
+                }
+                CsrOp::Rc | CsrOp::Rci => {
+                    if operand == 0 {
+                        None
+                    } else {
+                        Some(old & !operand)
+                    }
+                }
+            };
+            // CSR access requires privilege: machine CSRs fault from U-mode.
+            let machine_csr = csr < 0xC00 && csr != flexstep_isa::csr::FCSR;
+            if machine_csr && state.prv == PrivMode::User {
+                return Err(Stop::Trap { cause: TrapCause::IllegalInstruction, tval: 0 });
+            }
+            if let Some(new) = new {
+                state.write_csr(csr, new).map_err(|_| Stop::Trap {
+                    cause: TrapCause::IllegalInstruction,
+                    tval: 0,
+                })?;
+            }
+            state.set_x(rd, old);
+        }
+        Inst::Fld { rd, rs1, offset } => {
+            let addr = state.x(rs1).wrapping_add(offset as u64);
+            if misaligned(addr, 8) {
+                return Err(Stop::Trap { cause: TrapCause::LoadAddrMisaligned, tval: addr });
+            }
+            let (raw, cycles) = port.read(addr, 8).map_err(Stop::Port)?;
+            extra += cycles;
+            state.set_f_bits(rd, raw);
+            mem = Some(MemAccess { kind: MemAccessKind::Load, addr, size: 8, data: raw });
+        }
+        Inst::Fsd { rs1, rs2, offset } => {
+            let addr = state.x(rs1).wrapping_add(offset as u64);
+            if misaligned(addr, 8) {
+                return Err(Stop::Trap { cause: TrapCause::StoreAddrMisaligned, tval: addr });
+            }
+            let value = state.f_bits(rs2);
+            let cycles = port.write(addr, value, 8).map_err(Stop::Port)?;
+            extra += cycles;
+            mem = Some(MemAccess { kind: MemAccessKind::Store, addr, size: 8, data: value });
+        }
+        Inst::Fp { op, rd, rs1, rs2 } => {
+            let a = state.f(rs1);
+            let b = state.f(rs2);
+            let v = match op {
+                FpOp::Add => a + b,
+                FpOp::Sub => a - b,
+                FpOp::Mul => a * b,
+                FpOp::Div => a / b,
+                FpOp::Min => a.min(b),
+                FpOp::Max => a.max(b),
+                FpOp::SgnJ => f64::from_bits(
+                    (state.f_bits(rs1) & !(1 << 63)) | (state.f_bits(rs2) & (1 << 63)),
+                ),
+                FpOp::SgnJN => f64::from_bits(
+                    (state.f_bits(rs1) & !(1 << 63)) | (!state.f_bits(rs2) & (1 << 63)),
+                ),
+                FpOp::SgnJX => f64::from_bits(
+                    state.f_bits(rs1) ^ (state.f_bits(rs2) & (1 << 63)),
+                ),
+            };
+            state.set_f(rd, v);
+        }
+        Inst::FpSqrt { rd, rs1 } => {
+            let v = state.f(rs1).sqrt();
+            state.set_f(rd, v);
+        }
+        Inst::Fma { op, rd, rs1, rs2, rs3 } => {
+            let a = state.f(rs1);
+            let b = state.f(rs2);
+            let c = state.f(rs3);
+            let v = match op {
+                FmaOp::Madd => a.mul_add(b, c),
+                FmaOp::Msub => a.mul_add(b, -c),
+                FmaOp::Nmsub => (-a).mul_add(b, c),
+                FmaOp::Nmadd => (-a).mul_add(b, -c),
+            };
+            state.set_f(rd, v);
+        }
+        Inst::FpCmp { op, rd, rs1, rs2 } => {
+            let a = state.f(rs1);
+            let b = state.f(rs2);
+            let v = match op {
+                FpCmpOp::Eq => a == b,
+                FpCmpOp::Lt => a < b,
+                FpCmpOp::Le => a <= b,
+            };
+            state.set_x(rd, u64::from(v));
+        }
+        Inst::FpCvt { op, rd, rs1 } => match op {
+            FpCvtOp::DToL => {
+                let v = state.f(flexstep_isa::FReg::of(rs1));
+                state.set_x(XReg::of(rd), fcvt_l(v) as u64);
+            }
+            FpCvtOp::DToLu => {
+                let v = state.f(flexstep_isa::FReg::of(rs1));
+                state.set_x(XReg::of(rd), fcvt_lu(v));
+            }
+            FpCvtOp::DToW => {
+                let v = state.f(flexstep_isa::FReg::of(rs1));
+                state.set_x(XReg::of(rd), fcvt_w(v) as i64 as u64);
+            }
+            FpCvtOp::LToD => {
+                let v = state.x(XReg::of(rs1)) as i64;
+                state.set_f(flexstep_isa::FReg::of(rd), v as f64);
+            }
+            FpCvtOp::LuToD => {
+                let v = state.x(XReg::of(rs1));
+                state.set_f(flexstep_isa::FReg::of(rd), v as f64);
+            }
+            FpCvtOp::WToD => {
+                let v = state.x(XReg::of(rs1)) as i32;
+                state.set_f(flexstep_isa::FReg::of(rd), f64::from(v));
+            }
+        },
+        Inst::FmvXD { rd, rs1 } => {
+            let bits = state.f_bits(rs1);
+            state.set_x(rd, bits);
+        }
+        Inst::FmvDX { rd, rs1 } => {
+            let bits = state.x(rs1);
+            state.set_f_bits(rd, bits);
+        }
+        Inst::Fence => {}
+        Inst::Ecall => {
+            let cause = match state.prv {
+                PrivMode::User => TrapCause::EcallFromU,
+                PrivMode::Machine => TrapCause::EcallFromM,
+            };
+            return Err(Stop::Trap { cause, tval: 0 });
+        }
+        Inst::Ebreak => {
+            return Err(Stop::Trap { cause: TrapCause::Breakpoint, tval: pc });
+        }
+        Inst::Mret => {
+            if state.prv != PrivMode::Machine {
+                return Err(Stop::Trap { cause: TrapCause::IllegalInstruction, tval: 0 });
+            }
+            state.leave_trap();
+            return Ok(Exec { next_pc: state.pc, mem: None, extra_cycles: extra, branch: None });
+        }
+        Inst::Wfi => return Err(Stop::Wfi),
+        Inst::Flex { op, rd, rs1, rs2 } => {
+            return Err(Stop::Flex {
+                op,
+                rd,
+                rs1_value: state.x(rs1),
+                rs2_value: state.x(rs2),
+            });
+        }
+    }
+
+    state.pc = next_pc;
+    Ok(Exec { next_pc, mem, extra_cycles: extra, branch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::SocDataPort;
+    use flexstep_isa::FReg;
+    use flexstep_mem::{MemoryConfig, MemorySystem};
+
+    struct Ctx {
+        state: ArchState,
+        mem: MemorySystem,
+        resv: Option<u64>,
+    }
+
+    impl Ctx {
+        fn new() -> Self {
+            let mut state = ArchState::new(0);
+            state.prv = PrivMode::User;
+            state.pc = 0x1000;
+            Ctx { state, mem: MemorySystem::new(1, MemoryConfig::paper()).unwrap(), resv: None }
+        }
+
+        fn run(&mut self, inst: Inst) -> Result<Exec, Stop> {
+            let counters = CsrCounters::default();
+            let costs = ExecCosts::paper();
+            let mut port = SocDataPort::new(&mut self.mem, 0);
+            execute(&mut self.state, &inst, &counters, &costs, &mut port, &mut self.resv)
+        }
+    }
+
+    #[test]
+    fn addi_and_pc_advance() {
+        let mut c = Ctx::new();
+        c.run(Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::ZERO, imm: 5 })
+            .unwrap();
+        assert_eq!(c.state.x(XReg::A0), 5);
+        assert_eq!(c.state.pc, 0x1004);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let mut c = Ctx::new();
+        c.state.set_x(XReg::A0, 1);
+        let e = c
+            .run(Inst::Branch { op: BranchOp::Eq, rs1: XReg::A0, rs2: XReg::ZERO, offset: 16 })
+            .unwrap();
+        assert_eq!(c.state.pc, 0x1004);
+        assert_eq!(e.branch, Some(BranchOutcome::Cond { taken: false, target: 0x1010 }));
+        let e = c
+            .run(Inst::Branch { op: BranchOp::Ne, rs1: XReg::A0, rs2: XReg::ZERO, offset: -4 })
+            .unwrap();
+        assert_eq!(c.state.pc, 0x1000);
+        assert_eq!(e.branch, Some(BranchOutcome::Cond { taken: true, target: 0x1000 }));
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_sign_extension() {
+        let mut c = Ctx::new();
+        c.state.set_x(XReg::A1, 0x2000);
+        c.state.set_x(XReg::A2, 0xFF80);
+        c.run(Inst::Store { op: StoreOp::Sh, rs1: XReg::A1, rs2: XReg::A2, offset: 0 })
+            .unwrap();
+        c.run(Inst::Load { op: LoadOp::Lh, rd: XReg::A3, rs1: XReg::A1, offset: 0 }).unwrap();
+        assert_eq!(c.state.x(XReg::A3) as i64, -128);
+        c.run(Inst::Load { op: LoadOp::Lhu, rd: XReg::A4, rs1: XReg::A1, offset: 0 }).unwrap();
+        assert_eq!(c.state.x(XReg::A4), 0xFF80);
+    }
+
+    #[test]
+    fn misaligned_load_traps_without_state_change() {
+        let mut c = Ctx::new();
+        c.state.set_x(XReg::A1, 0x2001);
+        let r = c.run(Inst::Load { op: LoadOp::Lw, rd: XReg::A0, rs1: XReg::A1, offset: 0 });
+        assert_eq!(
+            r,
+            Err(Stop::Trap { cause: TrapCause::LoadAddrMisaligned, tval: 0x2001 })
+        );
+        assert_eq!(c.state.pc, 0x1000, "trap must not advance pc");
+        assert_eq!(c.state.x(XReg::A0), 0, "trap must not write rd");
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let mut c = Ctx::new();
+        c.state.set_x(XReg::A1, 10);
+        c.state.set_x(XReg::A2, 0);
+        c.run(Inst::Op { op: IntOp::Div, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 }).unwrap();
+        assert_eq!(c.state.x(XReg::A0), u64::MAX, "div by zero is all-ones");
+        c.run(Inst::Op { op: IntOp::Rem, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 }).unwrap();
+        assert_eq!(c.state.x(XReg::A0), 10, "rem by zero returns dividend");
+        c.state.set_x(XReg::A1, i64::MIN as u64);
+        c.state.set_x(XReg::A2, (-1i64) as u64);
+        c.run(Inst::Op { op: IntOp::Div, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 }).unwrap();
+        assert_eq!(c.state.x(XReg::A0), i64::MIN as u64, "overflow wraps to MIN");
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        let mut c = Ctx::new();
+        c.state.set_x(XReg::A1, 0x7FFF_FFFF);
+        c.state.set_x(XReg::A2, 1);
+        c.run(Inst::OpW { op: IntWOp::Addw, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 })
+            .unwrap();
+        assert_eq!(c.state.x(XReg::A0), 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn lr_sc_success_and_failure() {
+        let mut c = Ctx::new();
+        c.state.set_x(XReg::A1, 0x3000);
+        c.state.set_x(XReg::A2, 42);
+        c.run(Inst::Lr { width: AmoWidth::D, rd: XReg::A0, rs1: XReg::A1 }).unwrap();
+        let e = c
+            .run(Inst::Sc { width: AmoWidth::D, rd: XReg::A3, rs1: XReg::A1, rs2: XReg::A2 })
+            .unwrap();
+        assert_eq!(c.state.x(XReg::A3), 0, "sc success writes 0");
+        assert!(matches!(
+            e.mem,
+            Some(MemAccess { kind: MemAccessKind::Sc { success: true }, .. })
+        ));
+        assert_eq!(c.mem.phys().read_u64(0x3000), 42);
+        // Second SC without a reservation fails.
+        let e = c
+            .run(Inst::Sc { width: AmoWidth::D, rd: XReg::A3, rs1: XReg::A1, rs2: XReg::A2 })
+            .unwrap();
+        assert_eq!(c.state.x(XReg::A3), 1, "sc failure writes 1");
+        assert!(matches!(
+            e.mem,
+            Some(MemAccess { kind: MemAccessKind::Sc { success: false }, .. })
+        ));
+    }
+
+    #[test]
+    fn amo_returns_old_and_stores_new() {
+        let mut c = Ctx::new();
+        c.mem.phys_mut().write_u64(0x4000, 7);
+        c.state.set_x(XReg::A1, 0x4000);
+        c.state.set_x(XReg::A2, 3);
+        let e = c
+            .run(Inst::Amo {
+                op: AmoOp::Add,
+                width: AmoWidth::D,
+                rd: XReg::A0,
+                rs1: XReg::A1,
+                rs2: XReg::A2,
+            })
+            .unwrap();
+        assert_eq!(c.state.x(XReg::A0), 7);
+        assert_eq!(c.mem.phys().read_u64(0x4000), 10);
+        let m = e.mem.unwrap();
+        assert_eq!(m.kind, MemAccessKind::Amo { loaded: 7 });
+        assert_eq!(m.data, 10);
+    }
+
+    #[test]
+    fn fp_arithmetic_and_compare() {
+        let mut c = Ctx::new();
+        c.state.set_f(FReg::of(1), 1.5);
+        c.state.set_f(FReg::of(2), 2.5);
+        c.run(Inst::Fp { op: FpOp::Add, rd: FReg::of(0), rs1: FReg::of(1), rs2: FReg::of(2) })
+            .unwrap();
+        assert_eq!(c.state.f(FReg::of(0)), 4.0);
+        c.run(Inst::Fma {
+            op: FmaOp::Madd,
+            rd: FReg::of(3),
+            rs1: FReg::of(1),
+            rs2: FReg::of(2),
+            rs3: FReg::of(0),
+        })
+        .unwrap();
+        assert_eq!(c.state.f(FReg::of(3)), 1.5 * 2.5 + 4.0);
+        c.run(Inst::FpCmp { op: FpCmpOp::Lt, rd: XReg::A0, rs1: FReg::of(1), rs2: FReg::of(2) })
+            .unwrap();
+        assert_eq!(c.state.x(XReg::A0), 1);
+    }
+
+    #[test]
+    fn fcvt_saturates() {
+        let mut c = Ctx::new();
+        c.state.set_f(FReg::of(1), f64::NAN);
+        c.run(Inst::FpCvt { op: FpCvtOp::DToL, rd: 10, rs1: 1 }).unwrap();
+        assert_eq!(c.state.x(XReg::A0), i64::MAX as u64);
+        c.state.set_f(FReg::of(1), -1.0);
+        c.run(Inst::FpCvt { op: FpCvtOp::DToLu, rd: 10, rs1: 1 }).unwrap();
+        assert_eq!(c.state.x(XReg::A0), 0);
+    }
+
+    #[test]
+    fn ecall_cause_tracks_privilege() {
+        let mut c = Ctx::new();
+        assert_eq!(
+            c.run(Inst::Ecall),
+            Err(Stop::Trap { cause: TrapCause::EcallFromU, tval: 0 })
+        );
+        c.state.prv = PrivMode::Machine;
+        assert_eq!(
+            c.run(Inst::Ecall),
+            Err(Stop::Trap { cause: TrapCause::EcallFromM, tval: 0 })
+        );
+    }
+
+    #[test]
+    fn machine_csr_faults_from_user() {
+        let mut c = Ctx::new();
+        let r = c.run(Inst::Csr {
+            op: CsrOp::Rw,
+            rd: XReg::A0,
+            src: 10,
+            csr: flexstep_isa::csr::MEPC,
+        });
+        assert_eq!(r, Err(Stop::Trap { cause: TrapCause::IllegalInstruction, tval: 0 }));
+        // User counters are readable from U-mode.
+        c.run(Inst::Csr { op: CsrOp::Rs, rd: XReg::A0, src: 0, csr: flexstep_isa::csr::CYCLE })
+            .unwrap();
+    }
+
+    #[test]
+    fn flex_instruction_surfaces_operands() {
+        let mut c = Ctx::new();
+        c.state.set_x(XReg::A1, 0xAA);
+        c.state.set_x(XReg::A2, 0xBB);
+        let r = c.run(Inst::Flex {
+            op: FlexOp::MAssociate,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        });
+        assert_eq!(
+            r,
+            Err(Stop::Flex {
+                op: FlexOp::MAssociate,
+                rd: XReg::A0,
+                rs1_value: 0xAA,
+                rs2_value: 0xBB
+            })
+        );
+        assert_eq!(c.state.pc, 0x1000, "platform instruction does not self-advance");
+    }
+
+    #[test]
+    fn mret_requires_machine_mode() {
+        let mut c = Ctx::new();
+        assert!(matches!(c.run(Inst::Mret), Err(Stop::Trap { .. })));
+        c.state.prv = PrivMode::Machine;
+        c.state.csrs.mepc = 0x5000;
+        c.state.csrs.mstatus = 0; // MPP=U
+        let e = c.run(Inst::Mret).unwrap();
+        assert_eq!(e.next_pc, 0x5000);
+        assert_eq!(c.state.prv, PrivMode::User);
+    }
+
+    #[test]
+    fn jalr_return_shape_detected() {
+        let mut c = Ctx::new();
+        c.state.set_x(XReg::RA, 0x1234);
+        let e = c.run(Inst::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 }).unwrap();
+        assert_eq!(
+            e.branch,
+            Some(BranchOutcome::Jalr { target: 0x1234, link: false, is_return: true })
+        );
+    }
+}

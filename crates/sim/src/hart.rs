@@ -1,0 +1,516 @@
+//! Per-hart architectural state: registers, CSRs, privilege mode and trap
+//! entry/exit.
+//!
+//! [`ArchState`] is exactly the state the FlexStep Register Checkpoints
+//! capture: `pc`, the integer and floating-point physical register files
+//! (PRFs) and the user-visible CSRs (Fig. 2). [`ArchSnapshot`] is the
+//! checkpoint payload itself, with a structural diff used in mismatch
+//! reports.
+
+use flexstep_isa::csr;
+use std::fmt;
+
+/// RISC-V privilege mode. The FlexStep platform uses M-mode for the kernel
+/// and U-mode for tasks; checking is restricted to user mode (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrivMode {
+    /// User mode — the only mode the CPC checks.
+    User,
+    /// Machine mode — kernel execution; entering it closes a segment.
+    Machine,
+}
+
+impl PrivMode {
+    /// Encoding used in `mstatus.MPP`.
+    pub fn to_mpp(self) -> u64 {
+        match self {
+            PrivMode::User => 0b00,
+            PrivMode::Machine => 0b11,
+        }
+    }
+
+    /// Decodes `mstatus.MPP` (values other than M map to U).
+    pub fn from_mpp(bits: u64) -> Self {
+        if bits == 0b11 {
+            PrivMode::Machine
+        } else {
+            PrivMode::User
+        }
+    }
+}
+
+impl fmt::Display for PrivMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivMode::User => f.write_str("U"),
+            PrivMode::Machine => f.write_str("M"),
+        }
+    }
+}
+
+/// Trap causes (subset of the RISC-V `mcause` encoding used here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapCause {
+    /// Misaligned instruction fetch.
+    InstAddrMisaligned,
+    /// Illegal or undecodable instruction.
+    IllegalInstruction,
+    /// `ebreak`.
+    Breakpoint,
+    /// Misaligned load.
+    LoadAddrMisaligned,
+    /// Misaligned store or AMO.
+    StoreAddrMisaligned,
+    /// `ecall` from U-mode.
+    EcallFromU,
+    /// `ecall` from M-mode.
+    EcallFromM,
+    /// Machine timer interrupt.
+    MachineTimer,
+}
+
+impl TrapCause {
+    /// The `mcause` value (interrupt bit in bit 63).
+    pub fn to_mcause(self) -> u64 {
+        match self {
+            TrapCause::InstAddrMisaligned => 0,
+            TrapCause::IllegalInstruction => 2,
+            TrapCause::Breakpoint => 3,
+            TrapCause::LoadAddrMisaligned => 4,
+            TrapCause::StoreAddrMisaligned => 6,
+            TrapCause::EcallFromU => 8,
+            TrapCause::EcallFromM => 11,
+            TrapCause::MachineTimer => (1 << 63) | 7,
+        }
+    }
+
+    /// Whether this is an asynchronous interrupt (vs. a synchronous
+    /// exception).
+    pub fn is_interrupt(self) -> bool {
+        matches!(self, TrapCause::MachineTimer)
+    }
+}
+
+/// Machine-mode CSR file (the subset in [`flexstep_isa::csr`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrFile {
+    /// `mstatus`.
+    pub mstatus: u64,
+    /// `mtvec`.
+    pub mtvec: u64,
+    /// `mscratch`.
+    pub mscratch: u64,
+    /// `mepc`.
+    pub mepc: u64,
+    /// `mcause`.
+    pub mcause: u64,
+    /// `mtval`.
+    pub mtval: u64,
+    /// `mie`.
+    pub mie: u64,
+    /// `mip`.
+    pub mip: u64,
+    /// `mhartid` (read-only).
+    pub mhartid: u64,
+}
+
+/// Counter values consulted by CSR reads (`cycle`, `time`, `instret`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CsrCounters {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Wall-clock (same clock domain here).
+    pub time: u64,
+    /// Instructions retired.
+    pub instret: u64,
+}
+
+/// Error for accesses to unimplemented or read-only CSRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrAccessError {
+    /// The offending CSR address.
+    pub addr: u16,
+    /// Whether the failed access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for CsrAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = if self.write { "write to" } else { "read of" };
+        write!(f, "illegal {what} csr {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for CsrAccessError {}
+
+/// Complete per-hart architectural state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: u64,
+    /// Integer register file; index 0 is forced to zero by the accessors.
+    xregs: [u64; 32],
+    /// Floating-point register file (raw IEEE-754 bits).
+    fregs: [u64; 32],
+    /// Floating-point control/status register.
+    pub fcsr: u64,
+    /// Current privilege mode.
+    pub prv: PrivMode,
+    /// Machine CSRs.
+    pub csrs: CsrFile,
+}
+
+impl ArchState {
+    /// Creates a reset state for the given hart, starting in M-mode at
+    /// pc = 0 (the kernel boot path repositions it).
+    pub fn new(hartid: u64) -> Self {
+        let mut csrs = CsrFile::default();
+        csrs.mhartid = hartid;
+        ArchState {
+            pc: 0,
+            xregs: [0; 32],
+            fregs: [0; 32],
+            fcsr: 0,
+            prv: PrivMode::Machine,
+            csrs,
+        }
+    }
+
+    /// Reads integer register `r` (x0 reads as zero).
+    pub fn x(&self, r: flexstep_isa::XReg) -> u64 {
+        self.xregs[r.index() as usize]
+    }
+
+    /// Writes integer register `r` (writes to x0 are discarded).
+    pub fn set_x(&mut self, r: flexstep_isa::XReg, value: u64) {
+        if !r.is_zero() {
+            self.xregs[r.index() as usize] = value;
+        }
+    }
+
+    /// Reads floating-point register `r` as raw bits.
+    pub fn f_bits(&self, r: flexstep_isa::FReg) -> u64 {
+        self.fregs[r.index() as usize]
+    }
+
+    /// Reads floating-point register `r` as an `f64`.
+    pub fn f(&self, r: flexstep_isa::FReg) -> f64 {
+        f64::from_bits(self.fregs[r.index() as usize])
+    }
+
+    /// Writes floating-point register `r` from raw bits.
+    pub fn set_f_bits(&mut self, r: flexstep_isa::FReg, bits: u64) {
+        self.fregs[r.index() as usize] = bits;
+    }
+
+    /// Writes floating-point register `r` from an `f64`.
+    pub fn set_f(&mut self, r: flexstep_isa::FReg, value: f64) {
+        self.fregs[r.index() as usize] = value.to_bits();
+    }
+
+    /// Reads a CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrAccessError`] for unimplemented addresses.
+    pub fn read_csr(&self, addr: u16, counters: &CsrCounters) -> Result<u64, CsrAccessError> {
+        Ok(match addr {
+            csr::MSTATUS => self.csrs.mstatus,
+            csr::MISA => (2u64 << 62) | 0x1411_09, // RV64 IMAFD+U (informational)
+            csr::MIE => self.csrs.mie,
+            csr::MTVEC => self.csrs.mtvec,
+            csr::MSCRATCH => self.csrs.mscratch,
+            csr::MEPC => self.csrs.mepc,
+            csr::MCAUSE => self.csrs.mcause,
+            csr::MTVAL => self.csrs.mtval,
+            csr::MIP => self.csrs.mip,
+            csr::MHARTID => self.csrs.mhartid,
+            csr::CYCLE => counters.cycle,
+            csr::TIME => counters.time,
+            csr::INSTRET => counters.instret,
+            csr::FCSR => self.fcsr,
+            _ => return Err(CsrAccessError { addr, write: false }),
+        })
+    }
+
+    /// Writes a CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrAccessError`] for unimplemented or read-only addresses.
+    pub fn write_csr(&mut self, addr: u16, value: u64) -> Result<(), CsrAccessError> {
+        if csr::is_read_only(addr) {
+            return Err(CsrAccessError { addr, write: true });
+        }
+        match addr {
+            csr::MSTATUS => self.csrs.mstatus = value,
+            csr::MISA => {} // WARL: writes ignored
+            csr::MIE => self.csrs.mie = value,
+            csr::MTVEC => self.csrs.mtvec = value,
+            csr::MSCRATCH => self.csrs.mscratch = value,
+            csr::MEPC => self.csrs.mepc = value & !1,
+            csr::MCAUSE => self.csrs.mcause = value,
+            csr::MTVAL => self.csrs.mtval = value,
+            csr::MIP => self.csrs.mip = value,
+            csr::FCSR => self.fcsr = value & 0xFF,
+            _ => return Err(CsrAccessError { addr, write: true }),
+        }
+        Ok(())
+    }
+
+    /// Architectural trap entry: saves `pc`/cause/tval, stacks the
+    /// interrupt-enable and privilege bits, switches to M-mode and jumps to
+    /// `mtvec`.
+    pub fn enter_trap(&mut self, cause: TrapCause, tval: u64) {
+        self.csrs.mepc = self.pc;
+        self.csrs.mcause = cause.to_mcause();
+        self.csrs.mtval = tval;
+        let mie = (self.csrs.mstatus & csr::MSTATUS_MIE) != 0;
+        self.csrs.mstatus &= !(csr::MSTATUS_MIE | csr::MSTATUS_MPIE | csr::MSTATUS_MPP_MASK);
+        if mie {
+            self.csrs.mstatus |= csr::MSTATUS_MPIE;
+        }
+        self.csrs.mstatus |= self.prv.to_mpp() << csr::MSTATUS_MPP_SHIFT;
+        self.prv = PrivMode::Machine;
+        self.pc = self.csrs.mtvec & !0b11;
+    }
+
+    /// Architectural trap return (`mret`): restores privilege and
+    /// interrupt-enable state and jumps to `mepc`.
+    pub fn leave_trap(&mut self) {
+        let mpie = (self.csrs.mstatus & csr::MSTATUS_MPIE) != 0;
+        let mpp = (self.csrs.mstatus & csr::MSTATUS_MPP_MASK) >> csr::MSTATUS_MPP_SHIFT;
+        self.prv = PrivMode::from_mpp(mpp);
+        self.csrs.mstatus &= !(csr::MSTATUS_MIE | csr::MSTATUS_MPP_MASK);
+        if mpie {
+            self.csrs.mstatus |= csr::MSTATUS_MIE;
+        }
+        self.csrs.mstatus |= csr::MSTATUS_MPIE;
+        self.pc = self.csrs.mepc;
+    }
+
+    /// Whether machine interrupts are globally enabled (or the hart is in
+    /// U-mode, where M-mode interrupts always fire).
+    pub fn interrupts_enabled(&self) -> bool {
+        self.prv == PrivMode::User || (self.csrs.mstatus & csr::MSTATUS_MIE) != 0
+    }
+
+    /// Captures the register-checkpoint payload (PRFs + pc + fcsr).
+    pub fn snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot { pc: self.pc, xregs: self.xregs, fregs: self.fregs, fcsr: self.fcsr }
+    }
+
+    /// Restores a register-checkpoint payload (CSRs and privilege are not
+    /// part of checkpoints: checking is user-mode only, §III-A).
+    pub fn restore(&mut self, snap: &ArchSnapshot) {
+        self.pc = snap.pc;
+        self.xregs = snap.xregs;
+        self.xregs[0] = 0;
+        self.fregs = snap.fregs;
+        self.fcsr = snap.fcsr;
+    }
+}
+
+/// A register checkpoint: the user-visible architectural state at a segment
+/// boundary (SCP/ECP payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// Program counter (for an SCP this is the segment's start pc).
+    pub pc: u64,
+    /// Integer register file.
+    pub xregs: [u64; 32],
+    /// Floating-point register file (raw bits).
+    pub fregs: [u64; 32],
+    /// Floating-point CSR.
+    pub fcsr: u64,
+}
+
+impl ArchSnapshot {
+    /// Serialised size in bytes: 65 × 8-byte registers plus pc and fcsr.
+    /// Used for ASS storage and FIFO occupancy accounting.
+    pub const BYTES: usize = (32 + 32 + 2) * 8;
+
+    /// Structural comparison producing the first few differing fields,
+    /// for detection reports.
+    pub fn diff(&self, other: &ArchSnapshot) -> Vec<SnapshotDiff> {
+        let mut out = Vec::new();
+        if self.pc != other.pc {
+            out.push(SnapshotDiff { field: "pc".into(), expected: self.pc, actual: other.pc });
+        }
+        for i in 0..32 {
+            if self.xregs[i] != other.xregs[i] {
+                out.push(SnapshotDiff {
+                    field: format!("x{i}"),
+                    expected: self.xregs[i],
+                    actual: other.xregs[i],
+                });
+            }
+        }
+        for i in 0..32 {
+            if self.fregs[i] != other.fregs[i] {
+                out.push(SnapshotDiff {
+                    field: format!("f{i}"),
+                    expected: self.fregs[i],
+                    actual: other.fregs[i],
+                });
+            }
+        }
+        if self.fcsr != other.fcsr {
+            out.push(SnapshotDiff {
+                field: "fcsr".into(),
+                expected: self.fcsr,
+                actual: other.fcsr,
+            });
+        }
+        out
+    }
+
+    /// Flips one bit of the serialised image — the fault-injection
+    /// primitive used by the Fig. 7 experiment. Bit indices address the
+    /// `[pc, x0..x31, f0..f31, fcsr]` layout.
+    pub fn flip_bit(&mut self, bit: usize) {
+        let word = (bit / 64) % 66;
+        let b = bit % 64;
+        match word {
+            0 => self.pc ^= 1 << b,
+            1..=32 => self.xregs[word - 1] ^= 1 << b,
+            33..=64 => self.fregs[word - 33] ^= 1 << b,
+            _ => self.fcsr ^= 1 << b,
+        }
+    }
+}
+
+/// One differing checkpoint field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDiff {
+    /// Field name (`pc`, `x5`, `f12`, `fcsr`).
+    pub field: String,
+    /// Value recorded by the main core.
+    pub expected: u64,
+    /// Value computed by the checker core.
+    pub actual: u64,
+}
+
+impl fmt::Display for SnapshotDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected {:#x}, actual {:#x}",
+            self.field, self.expected, self.actual
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexstep_isa::XReg;
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut s = ArchState::new(0);
+        s.set_x(XReg::ZERO, 123);
+        assert_eq!(s.x(XReg::ZERO), 0);
+        s.set_x(XReg::A0, 7);
+        assert_eq!(s.x(XReg::A0), 7);
+    }
+
+    #[test]
+    fn trap_roundtrip_restores_mode_and_pc() {
+        let mut s = ArchState::new(0);
+        s.prv = PrivMode::User;
+        s.pc = 0x1000;
+        s.csrs.mtvec = 0x9000;
+        s.csrs.mstatus = flexstep_isa::csr::MSTATUS_MIE;
+        s.enter_trap(TrapCause::EcallFromU, 0);
+        assert_eq!(s.prv, PrivMode::Machine);
+        assert_eq!(s.pc, 0x9000);
+        assert_eq!(s.csrs.mepc, 0x1000);
+        assert_eq!(s.csrs.mcause, 8);
+        // Interrupts masked inside the handler.
+        assert!(!s.interrupts_enabled());
+        s.leave_trap();
+        assert_eq!(s.prv, PrivMode::User);
+        assert_eq!(s.pc, 0x1000);
+        assert!(s.interrupts_enabled());
+    }
+
+    #[test]
+    fn interrupts_always_enabled_in_user_mode() {
+        let mut s = ArchState::new(0);
+        s.prv = PrivMode::User;
+        s.csrs.mstatus = 0;
+        assert!(s.interrupts_enabled());
+    }
+
+    #[test]
+    fn timer_cause_has_interrupt_bit() {
+        assert!(TrapCause::MachineTimer.is_interrupt());
+        assert_eq!(TrapCause::MachineTimer.to_mcause() >> 63, 1);
+        assert!(!TrapCause::EcallFromU.is_interrupt());
+    }
+
+    #[test]
+    fn csr_read_write_and_errors() {
+        let mut s = ArchState::new(3);
+        let counters = CsrCounters { cycle: 55, time: 66, instret: 77 };
+        assert_eq!(s.read_csr(flexstep_isa::csr::MHARTID, &counters), Ok(3));
+        assert_eq!(s.read_csr(flexstep_isa::csr::CYCLE, &counters), Ok(55));
+        assert!(s.write_csr(flexstep_isa::csr::MHARTID, 0).is_err());
+        assert!(s.read_csr(0x7C0, &counters).is_err());
+        s.write_csr(flexstep_isa::csr::MEPC, 0x1001).unwrap();
+        assert_eq!(s.csrs.mepc, 0x1000, "mepc low bit is WARL-zero");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = ArchState::new(0);
+        s.pc = 0xAAA0;
+        s.set_x(XReg::A3, 42);
+        s.set_f(flexstep_isa::FReg::of(2), 2.75);
+        let snap = s.snapshot();
+        let mut t = ArchState::new(1);
+        t.restore(&snap);
+        assert_eq!(t.pc, 0xAAA0);
+        assert_eq!(t.x(XReg::A3), 42);
+        assert_eq!(t.f(flexstep_isa::FReg::of(2)), 2.75);
+        assert_eq!(t.snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_diff_pinpoints_fields() {
+        let mut s = ArchState::new(0);
+        s.set_x(XReg::A0, 1);
+        let a = s.snapshot();
+        let mut b = a;
+        b.xregs[10] = 2;
+        b.pc = 4;
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].field, "pc");
+        assert_eq!(d[1].field, "x10");
+        assert!(d[1].to_string().contains("expected 0x1"));
+    }
+
+    #[test]
+    fn flip_bit_touches_every_region() {
+        let base = ArchState::new(0).snapshot();
+        let mut a = base;
+        a.flip_bit(0); // pc bit 0
+        assert_eq!(a.pc, 1);
+        let mut b = base;
+        b.flip_bit(64); // x0 region
+        assert_eq!(b.xregs[0], 1);
+        let mut c = base;
+        c.flip_bit(64 * 33 + 3); // f0 region
+        assert_eq!(c.fregs[0], 8);
+        let mut d = base;
+        d.flip_bit(64 * 65); // fcsr
+        assert_eq!(d.fcsr, 1);
+    }
+
+    #[test]
+    fn snapshot_size_matches_layout() {
+        assert_eq!(ArchSnapshot::BYTES, 528);
+    }
+}

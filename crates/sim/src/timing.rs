@@ -1,0 +1,148 @@
+//! Timing constants and clock conversions.
+//!
+//! Per-instruction execution costs for the in-order 5-stage Rocket model.
+//! Base CPI is 1; long-latency functional units (the single DIV/FPU of
+//! Tab. II) and hazards add cycles on top. Memory-access cycles come from
+//! the hierarchy model in `flexstep-mem`, not from these constants.
+
+use flexstep_isa::inst::{Inst, IntOp, IntWOp};
+
+/// Functional-unit latencies in cycles (beyond the 1-cycle base).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecCosts {
+    /// Integer multiply extra cycles.
+    pub mul: u64,
+    /// Integer divide extra cycles (iterative divider).
+    pub div: u64,
+    /// FP add/sub/mul extra cycles (pipelined FPU result latency).
+    pub fp_alu: u64,
+    /// FP divide extra cycles.
+    pub fdiv: u64,
+    /// FP square root extra cycles.
+    pub fsqrt: u64,
+    /// Fused multiply-add extra cycles.
+    pub fma: u64,
+    /// CSR instruction extra cycles (pipeline serialisation).
+    pub csr: u64,
+    /// AMO extra cycles beyond the memory access itself.
+    pub amo: u64,
+    /// Load-use interlock stall.
+    pub load_use: u64,
+}
+
+impl ExecCosts {
+    /// Costs of the evaluated Rocket configuration.
+    pub fn paper() -> Self {
+        ExecCosts {
+            mul: 3,
+            div: 32,
+            fp_alu: 3,
+            fdiv: 20,
+            fsqrt: 25,
+            fma: 4,
+            csr: 2,
+            amo: 2,
+            load_use: 1,
+        }
+    }
+
+    /// Extra execution cycles for an instruction (memory time excluded).
+    pub fn extra_cycles(&self, inst: &Inst) -> u64 {
+        match inst {
+            Inst::Op { op, .. } => match op {
+                IntOp::Mul | IntOp::Mulh | IntOp::Mulhsu | IntOp::Mulhu => self.mul,
+                IntOp::Div | IntOp::Divu | IntOp::Rem | IntOp::Remu => self.div,
+                _ => 0,
+            },
+            Inst::OpW { op, .. } => match op {
+                IntWOp::Mulw => self.mul,
+                IntWOp::Divw | IntWOp::Divuw | IntWOp::Remw | IntWOp::Remuw => self.div,
+                _ => 0,
+            },
+            Inst::Fp { op, .. } => match op {
+                flexstep_isa::inst::FpOp::Div => self.fdiv,
+                _ => self.fp_alu,
+            },
+            Inst::FpSqrt { .. } => self.fsqrt,
+            Inst::Fma { .. } => self.fma,
+            Inst::FpCmp { .. } | Inst::FpCvt { .. } => self.fp_alu,
+            Inst::Csr { .. } => self.csr,
+            Inst::Amo { .. } | Inst::Lr { .. } | Inst::Sc { .. } => self.amo,
+            _ => 0,
+        }
+    }
+}
+
+impl Default for ExecCosts {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Core clock used to convert cycles to wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    /// Frequency in hertz.
+    pub hz: f64,
+}
+
+impl Clock {
+    /// The evaluated 1.6 GHz Rocket clock (Tab. II).
+    pub fn paper() -> Self {
+        Clock { hz: 1.6e9 }
+    }
+
+    /// Converts cycles to microseconds.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.hz * 1e6
+    }
+
+    /// Converts microseconds to (rounded) cycles.
+    pub fn us_to_cycles(&self, us: f64) -> u64 {
+        (us * self.hz / 1e6).round() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexstep_isa::XReg;
+
+    #[test]
+    fn base_alu_has_no_extra_cost() {
+        let c = ExecCosts::paper();
+        assert_eq!(c.extra_cycles(&Inst::NOP), 0);
+        assert_eq!(
+            c.extra_cycles(&Inst::Op {
+                op: IntOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::A1,
+                rs2: XReg::A2
+            }),
+            0
+        );
+    }
+
+    #[test]
+    fn long_latency_units_charged() {
+        let c = ExecCosts::paper();
+        let div = Inst::Op { op: IntOp::Div, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 };
+        assert_eq!(c.extra_cycles(&div), 32);
+        let fsqrt = Inst::FpSqrt { rd: flexstep_isa::FReg::of(0), rs1: flexstep_isa::FReg::of(1) };
+        assert_eq!(c.extra_cycles(&fsqrt), 25);
+    }
+
+    #[test]
+    fn clock_conversion_roundtrip() {
+        let clk = Clock::paper();
+        assert!((clk.cycles_to_us(1600) - 1.0).abs() < 1e-12);
+        assert_eq!(clk.us_to_cycles(1.0), 1600);
+        assert_eq!(clk.us_to_cycles(clk.cycles_to_us(123_456)), 123_456);
+    }
+}

@@ -1,0 +1,351 @@
+//! # flexstep-soc
+//!
+//! Analytical area/power model of the Vanilla and FlexStep SoCs at TSMC
+//! 28 nm (§VI-D scalability, §VI-E hardware overheads). The model is a
+//! component tree — cores, L1/L2 SRAM arrays, uncore, and the FlexStep
+//! additions (CPC, ASS, DBC storage plus comparator/counter logic and the
+//! MUX/DEMUX interconnect) — with constants calibrated to the paper's
+//! published anchors:
+//!
+//! - Tab. III (4 cores): Vanilla 2.71 mm² / 0.485 W; FlexStep 2.77 mm² /
+//!   0.499 W (2.21 % area, 2.89 % power overhead);
+//! - Fig. 8 scaling: ≈2.0→12 mm² and ≈0.3→3.3 W from 2 to 32 cores,
+//!   near-linear;
+//! - per-core FlexStep storage: CPC 8 B + ASS 518 B + DBC 1 088 B =
+//!   1 614 B (§VI-E).
+//!
+//! ## Example
+//!
+//! ```
+//! use flexstep_soc::{flexstep_soc, vanilla_soc};
+//!
+//! let v = vanilla_soc(4);
+//! let f = flexstep_soc(4);
+//! let area_overhead = (f.area_mm2() - v.area_mm2()) / v.area_mm2();
+//! assert!(area_overhead < 0.03, "FlexStep area overhead is small");
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Technology constants for the 28 nm node, calibrated to the paper's
+/// anchors (see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tech {
+    /// SRAM density, mm² per byte (6T bit-cell plus array overheads).
+    pub sram_mm2_per_byte: f64,
+    /// SRAM leakage+dynamic power at nominal activity, W per byte.
+    pub sram_w_per_byte: f64,
+    /// Area of one Rocket core's logic (pipeline, FPU, predictor),
+    /// excluding L1 arrays, mm².
+    pub core_logic_mm2: f64,
+    /// Power of one core's logic at 1.6 GHz nominal activity, W.
+    pub core_logic_w: f64,
+    /// Fixed uncore area (L2 control, bus, clocking, IO), mm².
+    pub uncore_mm2: f64,
+    /// Fixed uncore power, W.
+    pub uncore_w: f64,
+    /// FlexStep per-core *logic* area (CPC counters, MAL packagers,
+    /// comparators), mm².
+    pub flex_logic_mm2: f64,
+    /// FlexStep per-core logic power, W.
+    pub flex_logic_w: f64,
+    /// Interconnect MUX/DEMUX area per channel endpoint pair, mm².
+    /// Scales with the square of the core count over the crossbar but is
+    /// tiny at these sizes (§III-C notes a NoC would replace it at
+    /// scale).
+    pub interconnect_mm2_per_link: f64,
+    /// Interconnect power per link, W.
+    pub interconnect_w_per_link: f64,
+}
+
+impl Tech {
+    /// The calibrated 28 nm constants.
+    ///
+    /// Derivation: Fig. 8 is linear in core count with
+    /// `area(n) ≈ 1.3 + 0.35·n` mm² and `power(n) ≈ 0.1 + 0.1·n` W
+    /// (reproducing 2.0/2.7/4.1/7.0/12.0 mm² and 0.3/0.5/0.9/1.7/3.3 W
+    /// at n = 2/4/8/16/32). The SRAM constant splits the per-core term
+    /// into logic and L1 arrays, and the fixed term into the 512 KiB L2
+    /// plus uncore.
+    pub fn tsmc28() -> Self {
+        let sram_mm2_per_byte = 1.9e-6; // 512 KiB L2 ≈ 1.0 mm²
+        let sram_w_per_byte = 1.0e-7; // 512 KiB L2 ≈ 0.05 W
+        Tech {
+            sram_mm2_per_byte,
+            sram_w_per_byte,
+            // Core logic = 0.35 mm² minus its 32 KiB of L1 arrays.
+            core_logic_mm2: 0.35 - 32.0 * 1024.0 * sram_mm2_per_byte,
+            core_logic_w: 0.10 - 32.0 * 1024.0 * sram_w_per_byte,
+            uncore_mm2: 1.3 - 512.0 * 1024.0 * sram_mm2_per_byte,
+            uncore_w: 0.10 - 512.0 * 1024.0 * sram_w_per_byte,
+            // Calibrated so a 4-core FlexStep SoC lands on the published
+            // 2.21 % area / 2.89 % power overheads (Tab. III): the
+            // 1 614 B of storage is a small part; most is comparator and
+            // packaging logic plus the crossbar links.
+            flex_logic_mm2: 0.0092,
+            flex_logic_w: 0.0028,
+            interconnect_mm2_per_link: 0.0012,
+            interconnect_w_per_link: 0.0005,
+        }
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Self::tsmc28()
+    }
+}
+
+/// FlexStep per-core CPC storage (§VI-E), bytes.
+pub const CPC_BYTES: usize = 8;
+/// ASS storage per core, bytes.
+pub const ASS_BYTES: usize = 518;
+/// DBC FIFO SRAM per core, bytes.
+pub const DBC_BYTES: usize = 1088;
+/// Total FlexStep storage per core, bytes (1 614 in the paper).
+pub const FLEX_BYTES_PER_CORE: usize = CPC_BYTES + ASS_BYTES + DBC_BYTES;
+
+/// One named component with area and power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component name.
+    pub name: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Average power in W.
+    pub power_w: f64,
+    /// Sub-components.
+    pub children: Vec<Component>,
+}
+
+impl Component {
+    /// A leaf component.
+    pub fn leaf(name: impl Into<String>, area_mm2: f64, power_w: f64) -> Self {
+        Component { name: name.into(), area_mm2, power_w, children: Vec::new() }
+    }
+
+    /// A group whose own area/power is the sum of its children.
+    pub fn group(name: impl Into<String>, children: Vec<Component>) -> Self {
+        let area = children.iter().map(|c| c.area_mm2).sum();
+        let power = children.iter().map(|c| c.power_w).sum();
+        Component { name: name.into(), area_mm2: area, power_w: power, children }
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        writeln!(
+            f,
+            "{:indent$}{:<28} {:>9.4} mm²  {:>8.4} W",
+            "",
+            self.name,
+            self.area_mm2,
+            self.power_w,
+            indent = depth * 2
+        )?;
+        for c in &self.children {
+            c.render(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+/// A complete SoC model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocModel {
+    /// Model name.
+    pub name: String,
+    /// Core count.
+    pub cores: usize,
+    /// The component tree.
+    pub top: Component,
+}
+
+impl SocModel {
+    /// Total area, mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.top.area_mm2
+    }
+
+    /// Total average power, W.
+    pub fn power_w(&self) -> f64 {
+        self.top.power_w
+    }
+}
+
+impl fmt::Display for SocModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ({} cores) ===", self.name, self.cores)?;
+        self.top.render(f, 0)
+    }
+}
+
+fn core_component(tech: &Tech, flexstep: bool) -> Component {
+    let l1 = Component::leaf(
+        "L1 I+D (32 KiB)",
+        32.0 * 1024.0 * tech.sram_mm2_per_byte,
+        32.0 * 1024.0 * tech.sram_w_per_byte,
+    );
+    let logic = Component::leaf("rocket logic", tech.core_logic_mm2, tech.core_logic_w);
+    let mut children = vec![logic, l1];
+    if flexstep {
+        children.push(Component::group(
+            "flexstep units",
+            vec![
+                Component::leaf(
+                    "cpc+ass+dbc sram (1614 B)",
+                    FLEX_BYTES_PER_CORE as f64 * tech.sram_mm2_per_byte,
+                    FLEX_BYTES_PER_CORE as f64 * tech.sram_w_per_byte,
+                ),
+                Component::leaf("checking logic", tech.flex_logic_mm2, tech.flex_logic_w),
+            ],
+        ));
+    }
+    Component::group("core", children)
+}
+
+/// Builds the Vanilla (unmodified Rocket) SoC model with explicit
+/// technology constants.
+pub fn vanilla_soc_with(tech: &Tech, cores: usize) -> SocModel {
+    let mut children: Vec<Component> =
+        (0..cores).map(|_| core_component(tech, false)).collect();
+    children.push(Component::leaf(
+        "L2 (512 KiB)",
+        512.0 * 1024.0 * tech.sram_mm2_per_byte,
+        512.0 * 1024.0 * tech.sram_w_per_byte,
+    ));
+    children.push(Component::leaf("uncore", tech.uncore_mm2, tech.uncore_w));
+    SocModel { name: "Vanilla".into(), cores, top: Component::group("soc", children) }
+}
+
+/// Builds the FlexStep SoC model with explicit technology constants.
+pub fn flexstep_soc_with(tech: &Tech, cores: usize) -> SocModel {
+    let mut children: Vec<Component> =
+        (0..cores).map(|_| core_component(tech, true)).collect();
+    children.push(Component::leaf(
+        "L2 (512 KiB)",
+        512.0 * 1024.0 * tech.sram_mm2_per_byte,
+        512.0 * 1024.0 * tech.sram_w_per_byte,
+    ));
+    children.push(Component::leaf("uncore", tech.uncore_mm2, tech.uncore_w));
+    // Fully-connected MUX/DEMUX interconnect: one link per core at small
+    // scale (the paper replaces it with a bus/NoC beyond that, keeping
+    // growth near-linear — modelled with a mild superlinear term).
+    let links = cores as f64 * (1.0 + 0.02 * cores as f64);
+    children.push(Component::leaf(
+        "dbc interconnect",
+        links * tech.interconnect_mm2_per_link,
+        links * tech.interconnect_w_per_link,
+    ));
+    SocModel { name: "FlexStep".into(), cores, top: Component::group("soc", children) }
+}
+
+/// Vanilla SoC at the calibrated 28 nm node.
+pub fn vanilla_soc(cores: usize) -> SocModel {
+    vanilla_soc_with(&Tech::tsmc28(), cores)
+}
+
+/// FlexStep SoC at the calibrated 28 nm node.
+pub fn flexstep_soc(cores: usize) -> SocModel {
+    flexstep_soc_with(&Tech::tsmc28(), cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_budget_matches_paper() {
+        assert_eq!(FLEX_BYTES_PER_CORE, 1614);
+    }
+
+    #[test]
+    fn tab3_anchors_reproduced() {
+        let v = vanilla_soc(4);
+        let f = flexstep_soc(4);
+        assert!((v.area_mm2() - 2.71).abs() < 0.05, "vanilla area: {}", v.area_mm2());
+        assert!((v.power_w() - 0.485).abs() < 0.02, "vanilla power: {}", v.power_w());
+        let area_oh = (f.area_mm2() - v.area_mm2()) / v.area_mm2();
+        let power_oh = (f.power_w() - v.power_w()) / v.power_w();
+        assert!((area_oh - 0.0221).abs() < 0.006, "area overhead {area_oh}");
+        assert!((power_oh - 0.0289).abs() < 0.008, "power overhead {power_oh}");
+    }
+
+    #[test]
+    fn fig8_scaling_matches_published_points() {
+        // (cores, area mm², power W) read off Fig. 8.
+        let anchors = [
+            (2usize, 2.0, 0.3),
+            (4, 2.7, 0.5),
+            (8, 4.1, 0.9),
+            (16, 7.0, 1.7),
+            (32, 12.0, 3.3),
+        ];
+        for (n, area, power) in anchors {
+            let v = vanilla_soc(n);
+            assert!(
+                (v.area_mm2() - area).abs() / area < 0.06,
+                "{n}-core area {} vs {area}",
+                v.area_mm2()
+            );
+            assert!(
+                (v.power_w() - power).abs() / power < 0.08,
+                "{n}-core power {} vs {power}",
+                v.power_w()
+            );
+        }
+    }
+
+    #[test]
+    fn flexstep_overhead_stays_near_linear() {
+        // §VI-D: the FlexStep increment grows near-linearly, not
+        // exponentially, from 2 to 32 cores.
+        let overhead = |n: usize| {
+            let v = vanilla_soc(n);
+            let f = flexstep_soc(n);
+            (f.area_mm2() - v.area_mm2()) / n as f64
+        };
+        let per_core_2 = overhead(2);
+        let per_core_32 = overhead(32);
+        assert!(
+            per_core_32 / per_core_2 < 2.0,
+            "per-core increment must stay near-constant: {per_core_2} -> {per_core_32}"
+        );
+    }
+
+    #[test]
+    fn component_tree_sums() {
+        let c = Component::group(
+            "g",
+            vec![Component::leaf("a", 1.0, 0.1), Component::leaf("b", 2.0, 0.2)],
+        );
+        assert!((c.area_mm2 - 3.0).abs() < 1e-12);
+        assert!((c.power_w - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_all_components() {
+        let f = flexstep_soc(2);
+        let s = f.to_string();
+        assert!(s.contains("flexstep units"));
+        assert!(s.contains("dbc interconnect"));
+        assert!(s.contains("L2"));
+        assert!(s.contains("mm²"));
+    }
+
+    #[test]
+    fn flexstep_always_costs_more_than_vanilla() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let v = vanilla_soc(n);
+            let f = flexstep_soc(n);
+            assert!(f.area_mm2() > v.area_mm2());
+            assert!(f.power_w() > v.power_w());
+        }
+    }
+}

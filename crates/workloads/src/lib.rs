@@ -1,0 +1,34 @@
+//! # flexstep-workloads
+//!
+//! Guest workloads for the FlexStep experiments: synthetic equivalents of
+//! the Parsec 3.0 and SPECint 2006 benchmarks (parameterised genuine
+//! kernels matching each benchmark's instruction-mix character), static
+//! instruction-mix statistics, and the nZDC software error-detection
+//! baseline transform.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexstep_workloads::{by_name, Scale};
+//! use flexstep_sim::{Soc, SocConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = by_name("blackscholes").unwrap().program(Scale::Test);
+//! let mut soc = Soc::new(SocConfig::paper(1))?;
+//! let retired = soc.run_to_ecall(&program, 10_000_000);
+//! assert!(retired > 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod mix;
+pub mod nzdc;
+pub mod suites;
+
+pub use builder::Scale;
+pub use mix::InstMix;
+pub use nzdc::{transform as nzdc_transform, NzdcError};
+pub use suites::{by_name, parsec, spec, Suite, Workload};

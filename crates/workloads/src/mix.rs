@@ -1,0 +1,144 @@
+//! Instruction-mix statistics.
+//!
+//! Static (per-program) and dynamic (per-run) classification of
+//! instructions, used to sanity-check that each named workload exhibits
+//! the instruction-mix character of the benchmark it stands in for.
+
+use flexstep_isa::asm::Program;
+use flexstep_isa::decode::decode;
+use flexstep_isa::inst::InstClass;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Instruction counts by class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstMix {
+    counts: BTreeMap<&'static str, u64>,
+    total: u64,
+}
+
+impl InstMix {
+    /// Empty mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one instruction of the given class.
+    pub fn record(&mut self, class: InstClass) {
+        *self.counts.entry(class_name(class)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total instructions classified.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of instructions in a class (0 when empty).
+    pub fn fraction(&self, class: InstClass) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(class_name(class)).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Fraction of memory instructions (loads + stores + atomics).
+    pub fn memory_fraction(&self) -> f64 {
+        self.fraction(InstClass::Load)
+            + self.fraction(InstClass::Store)
+            + self.fraction(InstClass::Atomic)
+    }
+
+    /// Fraction of control-flow instructions (branches + jumps).
+    pub fn control_fraction(&self) -> f64 {
+        self.fraction(InstClass::Branch) + self.fraction(InstClass::Jump)
+    }
+
+    /// Computes the *static* mix of a program image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program contains undecodable words.
+    pub fn of_program(program: &Program) -> Self {
+        let mut mix = InstMix::new();
+        for &word in &program.text {
+            let inst = decode(word).expect("program text must decode");
+            mix.record(inst.class());
+        }
+        mix
+    }
+}
+
+fn class_name(class: InstClass) -> &'static str {
+    match class {
+        InstClass::Alu => "alu",
+        InstClass::MulDiv => "muldiv",
+        InstClass::Load => "load",
+        InstClass::Store => "store",
+        InstClass::Atomic => "atomic",
+        InstClass::Branch => "branch",
+        InstClass::Jump => "jump",
+        InstClass::Fp => "fp",
+        InstClass::System => "system",
+        InstClass::Flex => "flex",
+    }
+}
+
+impl fmt::Display for InstMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} insts:", self.total)?;
+        for (name, count) in &self.counts {
+            write!(f, " {name}={:.1}%", 100.0 * *count as f64 / self.total.max(1) as f64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::suites::by_name;
+
+    #[test]
+    fn blackscholes_is_fp_heavy() {
+        let p = by_name("blackscholes").unwrap().program(builder::Scale::Test);
+        let mix = InstMix::of_program(&p);
+        assert!(
+            mix.fraction(InstClass::Fp) > 0.35,
+            "blackscholes must be FP-heavy: {mix}"
+        );
+    }
+
+    #[test]
+    fn dedup_is_memory_and_branch_heavy() {
+        let p = by_name("dedup").unwrap().program(builder::Scale::Test);
+        let mix = InstMix::of_program(&p);
+        assert!(mix.memory_fraction() > 0.06, "dedup touches memory: {mix}");
+        assert!(mix.control_fraction() > 0.10, "dedup branches per byte: {mix}");
+        assert!(mix.fraction(InstClass::Fp) < 0.05, "dedup is integer code: {mix}");
+    }
+
+    #[test]
+    fn libquantum_streams_memory() {
+        let p = by_name("libquantum").unwrap().program(builder::Scale::Test);
+        let mix = InstMix::of_program(&p);
+        assert!(mix.memory_fraction() > 0.10, "libquantum streams: {mix}");
+    }
+
+    #[test]
+    fn sjeng_is_branchy_integer() {
+        let p = by_name("sjeng").unwrap().program(builder::Scale::Test);
+        let mix = InstMix::of_program(&p);
+        assert!(mix.control_fraction() > 0.2, "sjeng is branchy: {mix}");
+        assert!(mix.fraction(InstClass::Fp) == 0.0, "sjeng has no FP: {mix}");
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let p = by_name("mcf").unwrap().program(builder::Scale::Test);
+        let s = InstMix::of_program(&p).to_string();
+        assert!(s.contains("load"));
+        assert!(s.contains('%'));
+    }
+}

@@ -1,0 +1,481 @@
+//! The Nzdc software error-detection baseline (§VI-A).
+//!
+//! nZDC ("near Zero silent Data Corruption", Didehban & Shrivastava,
+//! DAC 2016) is a compiler transform that duplicates the computation in a
+//! shadow register file and inserts checks at *memory and control
+//! boundaries*: every store compares data and address against their
+//! shadows, every branch compares its operands, and a divergence jumps to
+//! an error handler. The ~1.5–2× slowdown of Fig. 4 comes from executing
+//! this redundant stream on one core.
+//!
+//! The transform operates on assembled programs whose computation uses
+//! `x5..=x15` / `f0..=f15` with loop-only control flow (no `jalr`), the
+//! discipline all [`builder`](crate::builder) templates follow. Shadow
+//! registers are `x16..=x26` / `f16..=f31`; `x30`/`x31` are transform
+//! scratch.
+
+use flexstep_isa::asm::Program;
+use flexstep_isa::decode::decode;
+use flexstep_isa::encode::encode;
+use flexstep_isa::inst::*;
+use flexstep_isa::reg::{FReg, XReg};
+use std::fmt;
+
+/// Offset added to a primary integer register to get its shadow.
+const X_SHADOW_OFFSET: u32 = 11;
+/// Offset added to a primary FP register to get its shadow.
+const F_SHADOW_OFFSET: u32 = 16;
+/// Scratch registers owned by the transform.
+const SCRATCH0: XReg = XReg::T5; // x30
+const SCRATCH1: XReg = XReg::T6; // x31
+
+/// Why a program cannot be nZDC-transformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NzdcError {
+    /// A register outside the protected palette is used.
+    RegisterOutOfPalette {
+        /// Instruction index.
+        index: usize,
+        /// Offending register index.
+        reg: u32,
+    },
+    /// `jalr`/calls are not supported (return addresses shift).
+    IndirectControlFlow {
+        /// Instruction index.
+        index: usize,
+    },
+    /// An undecodable word in the text.
+    BadWord {
+        /// Instruction index.
+        index: usize,
+    },
+    /// A rebuilt branch offset exceeded its encoding range.
+    OffsetOverflow {
+        /// Instruction index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for NzdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NzdcError::RegisterOutOfPalette { index, reg } => {
+                write!(f, "instruction {index}: register x{reg} outside the nZDC palette")
+            }
+            NzdcError::IndirectControlFlow { index } => {
+                write!(f, "instruction {index}: indirect control flow unsupported")
+            }
+            NzdcError::BadWord { index } => write!(f, "instruction {index}: undecodable"),
+            NzdcError::OffsetOverflow { index } => {
+                write!(f, "instruction {index}: rebuilt offset out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NzdcError {}
+
+fn xshadow(r: XReg) -> Option<XReg> {
+    match r.index() {
+        0 => Some(XReg::ZERO), // zero shadows itself
+        5..=15 => Some(XReg::of(u32::from(r.index()) + X_SHADOW_OFFSET)),
+        _ => None,
+    }
+}
+
+fn fshadow(r: FReg) -> Option<FReg> {
+    match r.index() {
+        0..=15 => Some(FReg::of(u32::from(r.index()) + F_SHADOW_OFFSET)),
+        _ => None,
+    }
+}
+
+fn xs(r: XReg, index: usize) -> Result<XReg, NzdcError> {
+    xshadow(r).ok_or(NzdcError::RegisterOutOfPalette { index, reg: u32::from(r.index()) })
+}
+
+fn fs(r: FReg, index: usize) -> Result<FReg, NzdcError> {
+    fshadow(r).ok_or(NzdcError::RegisterOutOfPalette { index, reg: u32::from(r.index()) })
+}
+
+/// The emitted instructions for one input instruction. Checks branch to
+/// the error handler via a placeholder offset patched in pass 2.
+enum Emitted {
+    /// Plain instructions (no relocation).
+    Plain(Vec<Inst>),
+    /// Instructions where entry `branch_slot` is a pc-relative
+    /// branch/jump to `target_index` (an *input* instruction index), and
+    /// entries listed in `err_slots` branch to the error handler.
+    WithRelocs {
+        insts: Vec<Inst>,
+        /// (slot in `insts`, input-index target)
+        branch: Option<(usize, usize)>,
+        /// Slots branching to the error handler.
+        err_slots: Vec<usize>,
+    },
+}
+
+/// Emits the comparison `bne a, shadow(a) -> err` pair.
+fn check_x(insts: &mut Vec<Inst>, err_slots: &mut Vec<usize>, r: XReg, shadow: XReg) {
+    if r.is_zero() {
+        return;
+    }
+    err_slots.push(insts.len());
+    insts.push(Inst::Branch { op: BranchOp::Ne, rs1: r, rs2: shadow, offset: 0 });
+}
+
+/// Transforms a program into its nZDC-protected equivalent.
+///
+/// # Errors
+///
+/// Returns [`NzdcError`] when the program violates the nZDC register or
+/// control-flow discipline.
+pub fn transform(program: &Program) -> Result<Program, NzdcError> {
+    let insts: Vec<Inst> = program
+        .text
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| decode(w).map_err(|_| NzdcError::BadWord { index: i }))
+        .collect::<Result<_, _>>()?;
+
+    // Pass 1: emit per-instruction groups, remembering relocations.
+    let mut groups: Vec<Emitted> = Vec::with_capacity(insts.len());
+    for (i, inst) in insts.iter().enumerate() {
+        groups.push(emit_one(*inst, i, program, &insts)?);
+    }
+
+    // Layout: compute the output index of each input instruction's group.
+    let mut base = vec![0usize; insts.len() + 1];
+    let mut at = 0usize;
+    for (i, g) in groups.iter().enumerate() {
+        base[i] = at;
+        at += match g {
+            Emitted::Plain(v) => v.len(),
+            Emitted::WithRelocs { insts, .. } => insts.len(),
+        };
+    }
+    base[insts.len()] = at;
+    let err_handler_index = at; // error handler sits at the end
+    let total_err = err_handler_index + 1; // one `ebreak`
+
+    // Pass 2: patch relocations and flatten.
+    let mut out: Vec<Inst> = Vec::with_capacity(total_err);
+    for (i, g) in groups.into_iter().enumerate() {
+        match g {
+            Emitted::Plain(v) => out.extend(v),
+            Emitted::WithRelocs { mut insts, branch, err_slots } => {
+                if let Some((slot, target)) = branch {
+                    let from = base[i] + slot;
+                    let to = base[target];
+                    let delta = (to as i64 - from as i64) * 4;
+                    patch_offset(&mut insts[slot], delta);
+                }
+                for slot in err_slots {
+                    let from = base[i] + slot;
+                    let delta = (err_handler_index as i64 - from as i64) * 4;
+                    patch_offset(&mut insts[slot], delta);
+                }
+                out.extend(insts);
+            }
+        }
+    }
+    // Error handler: a breakpoint trap the kernel treats as fatal.
+    out.push(Inst::Ebreak);
+
+    let text: Vec<u32> = out
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| encode(inst).map_err(|_| NzdcError::OffsetOverflow { index: i }))
+        .collect::<Result<_, _>>()?;
+
+    Ok(Program {
+        name: format!("{}+nzdc", program.name),
+        entry: program.text_base,
+        text_base: program.text_base,
+        text,
+        data_base: program.data_base,
+        data: program.data.clone(),
+        symbols: program.symbols.clone(),
+    })
+}
+
+fn patch_offset(inst: &mut Inst, delta: i64) {
+    match inst {
+        Inst::Branch { offset, .. } | Inst::Jal { offset, .. } => *offset = delta,
+        _ => unreachable!("relocation slot must be a branch or jal"),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_one(
+    inst: Inst,
+    index: usize,
+    program: &Program,
+    insts: &[Inst],
+) -> Result<Emitted, NzdcError> {
+    let plain = |v: Vec<Inst>| Ok(Emitted::Plain(v));
+    match inst {
+        // Pure computation: duplicate on shadows.
+        Inst::Lui { rd, imm } => plain(vec![inst, Inst::Lui { rd: xs(rd, index)?, imm }]),
+        Inst::OpImm { op, rd, rs1, imm } => plain(vec![
+            inst,
+            Inst::OpImm { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, imm },
+        ]),
+        Inst::Op { op, rd, rs1, rs2 } => plain(vec![
+            inst,
+            Inst::Op { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, rs2: xs(rs2, index)? },
+        ]),
+        Inst::OpImmW { op, rd, rs1, imm } => plain(vec![
+            inst,
+            Inst::OpImmW { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, imm },
+        ]),
+        Inst::OpW { op, rd, rs1, rs2 } => plain(vec![
+            inst,
+            Inst::OpW { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, rs2: xs(rs2, index)? },
+        ]),
+        Inst::Fp { op, rd, rs1, rs2 } => plain(vec![
+            inst,
+            Inst::Fp { op, rd: fs(rd, index)?, rs1: fs(rs1, index)?, rs2: fs(rs2, index)? },
+        ]),
+        Inst::FpSqrt { rd, rs1 } => plain(vec![
+            inst,
+            Inst::FpSqrt { rd: fs(rd, index)?, rs1: fs(rs1, index)? },
+        ]),
+        Inst::Fma { op, rd, rs1, rs2, rs3 } => plain(vec![
+            inst,
+            Inst::Fma {
+                op,
+                rd: fs(rd, index)?,
+                rs1: fs(rs1, index)?,
+                rs2: fs(rs2, index)?,
+                rs3: fs(rs3, index)?,
+            },
+        ]),
+        Inst::FpCmp { op, rd, rs1, rs2 } => plain(vec![
+            inst,
+            Inst::FpCmp { op, rd: xs(rd, index)?, rs1: fs(rs1, index)?, rs2: fs(rs2, index)? },
+        ]),
+        Inst::FpCvt { op, rd, rs1 } => {
+            let (srd, srs1) = if op.writes_xreg() {
+                (u32::from(xs(XReg::of(rd), index)?.index()), u32::from(fs(FReg::of(rs1), index)?.index()))
+            } else {
+                (u32::from(fs(FReg::of(rd), index)?.index()), u32::from(xs(XReg::of(rs1), index)?.index()))
+            };
+            plain(vec![inst, Inst::FpCvt { op, rd: srd, rs1: srs1 }])
+        }
+        Inst::FmvXD { rd, rs1 } => plain(vec![
+            inst,
+            Inst::FmvXD { rd: xs(rd, index)?, rs1: fs(rs1, index)? },
+        ]),
+        Inst::FmvDX { rd, rs1 } => plain(vec![
+            inst,
+            Inst::FmvDX { rd: fs(rd, index)?, rs1: xs(rs1, index)? },
+        ]),
+
+        // Loads: perform the access twice (nZDC duplicates load
+        // instructions so the shadow stream has its own input).
+        Inst::Load { op, rd, rs1, offset } => plain(vec![
+            inst,
+            Inst::Load { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, offset },
+        ]),
+        Inst::Fld { rd, rs1, offset } => plain(vec![
+            inst,
+            Inst::Fld { rd: fs(rd, index)?, rs1: xs(rs1, index)?, offset },
+        ]),
+
+        // Stores: check address and data against shadows, then store once.
+        Inst::Store { op: _, rs1, rs2, offset: _ } => {
+            let mut v = Vec::new();
+            let mut err = Vec::new();
+            check_x(&mut v, &mut err, rs1, xs(rs1, index)?);
+            check_x(&mut v, &mut err, rs2, xs(rs2, index)?);
+            v.push(inst);
+            Ok(Emitted::WithRelocs { insts: v, branch: None, err_slots: err })
+        }
+        Inst::Fsd { rs1, rs2, offset: _ } => {
+            let mut v = Vec::new();
+            let mut err = Vec::new();
+            check_x(&mut v, &mut err, rs1, xs(rs1, index)?);
+            // FP data compared through the integer file.
+            v.push(Inst::FmvXD { rd: SCRATCH0, rs1: rs2 });
+            v.push(Inst::FmvXD { rd: SCRATCH1, rs1: fs(rs2, index)? });
+            err.push(v.len());
+            v.push(Inst::Branch { op: BranchOp::Ne, rs1: SCRATCH0, rs2: SCRATCH1, offset: 0 });
+            v.push(inst);
+            Ok(Emitted::WithRelocs { insts: v, branch: None, err_slots: err })
+        }
+
+        // Atomics: single execution (side effects must not double), with
+        // operand checks before and a shadow copy of the result after.
+        Inst::Lr { rd, rs1, .. } | Inst::Amo { rd, rs1, .. } => {
+            let mut v = Vec::new();
+            let mut err = Vec::new();
+            check_x(&mut v, &mut err, rs1, xs(rs1, index)?);
+            v.push(inst);
+            if !rd.is_zero() {
+                v.push(Inst::OpImm {
+                    op: IntImmOp::Addi,
+                    rd: xs(rd, index)?,
+                    rs1: rd,
+                    imm: 0,
+                });
+            }
+            Ok(Emitted::WithRelocs { insts: v, branch: None, err_slots: err })
+        }
+        Inst::Sc { rd, rs1, rs2, .. } => {
+            let mut v = Vec::new();
+            let mut err = Vec::new();
+            check_x(&mut v, &mut err, rs1, xs(rs1, index)?);
+            check_x(&mut v, &mut err, rs2, xs(rs2, index)?);
+            v.push(inst);
+            if !rd.is_zero() {
+                v.push(Inst::OpImm {
+                    op: IntImmOp::Addi,
+                    rd: xs(rd, index)?,
+                    rs1: rd,
+                    imm: 0,
+                });
+            }
+            Ok(Emitted::WithRelocs { insts: v, branch: None, err_slots: err })
+        }
+
+        // Branches: check both operands, then branch (relocated).
+        Inst::Branch { op, rs1, rs2, offset } => {
+            let target_addr =
+                (program.text_base + (index as u64) * 4).wrapping_add(offset as u64);
+            let target_index = (target_addr.wrapping_sub(program.text_base) / 4) as usize;
+            if target_index > insts.len() {
+                return Err(NzdcError::OffsetOverflow { index });
+            }
+            let mut v = Vec::new();
+            let mut err = Vec::new();
+            check_x(&mut v, &mut err, rs1, xs(rs1, index)?);
+            check_x(&mut v, &mut err, rs2, xs(rs2, index)?);
+            let slot = v.len();
+            v.push(Inst::Branch { op, rs1, rs2, offset: 0 });
+            Ok(Emitted::WithRelocs { insts: v, branch: Some((slot, target_index)), err_slots: err })
+        }
+        Inst::Jal { rd, offset } => {
+            if !rd.is_zero() {
+                return Err(NzdcError::IndirectControlFlow { index });
+            }
+            let target_addr =
+                (program.text_base + (index as u64) * 4).wrapping_add(offset as u64);
+            let target_index = (target_addr.wrapping_sub(program.text_base) / 4) as usize;
+            if target_index > insts.len() {
+                return Err(NzdcError::OffsetOverflow { index });
+            }
+            Ok(Emitted::WithRelocs {
+                insts: vec![Inst::Jal { rd, offset: 0 }],
+                branch: Some((0, target_index)),
+                err_slots: vec![],
+            })
+        }
+        Inst::Jalr { .. } => Err(NzdcError::IndirectControlFlow { index }),
+
+        // System instructions pass through unprotected.
+        Inst::Ecall | Inst::Ebreak | Inst::Fence | Inst::Wfi | Inst::Mret => plain(vec![inst]),
+        Inst::Csr { .. } | Inst::Flex { .. } => plain(vec![inst]),
+        Inst::Auipc { .. } => Err(NzdcError::IndirectControlFlow { index }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::suites;
+    use flexstep_sim::{Soc, SocConfig};
+
+    #[test]
+    fn transform_roughly_doubles_code() {
+        let p = builder::stream_kernel("sm", 64, 2);
+        let t = transform(&p).unwrap();
+        let ratio = t.text.len() as f64 / p.text.len() as f64;
+        assert!(
+            (1.4..=2.6).contains(&ratio),
+            "nZDC should roughly double static code: {ratio}"
+        );
+    }
+
+    #[test]
+    fn transformed_program_computes_same_results() {
+        let p = builder::hash_chunk_kernel("hc", 256, 1, 32);
+        let t = transform(&p).unwrap();
+        let mut a = Soc::new(SocConfig::paper(1)).unwrap();
+        a.run_to_ecall(&p, 10_000_000);
+        let mut b = Soc::new(SocConfig::paper(1)).unwrap();
+        b.run_to_ecall(&t, 20_000_000);
+        // The hash table (data segment) must match exactly.
+        let base = p.symbol("table").unwrap();
+        for slot in 0..32 {
+            assert_eq!(
+                a.mem.phys().read_u64(base + slot * 8),
+                b.mem.phys().read_u64(base + slot * 8),
+                "slot {slot} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn transformed_program_is_slower() {
+        let p = builder::dp_band_kernel("dp", 64, 10);
+        let t = transform(&p).unwrap();
+        let mut a = Soc::new(SocConfig::paper(1)).unwrap();
+        a.run_to_ecall(&p, 10_000_000);
+        let mut b = Soc::new(SocConfig::paper(1)).unwrap();
+        b.run_to_ecall(&t, 20_000_000);
+        let slowdown = b.now() as f64 / a.now() as f64;
+        assert!(
+            (1.3..=2.6).contains(&slowdown),
+            "nZDC slowdown should be 1.5-2x-ish: {slowdown}"
+        );
+    }
+
+    #[test]
+    fn all_workloads_are_transformable() {
+        for w in suites::parsec().into_iter().chain(suites::spec()) {
+            let p = w.program(builder::Scale::Test);
+            let t = transform(&p);
+            assert!(t.is_ok(), "{} must be nZDC-compatible: {:?}", w.name, t.err());
+        }
+    }
+
+    #[test]
+    fn transformed_workloads_terminate() {
+        // Spot-check two transformed workloads end to end.
+        for name in ["x264", "hmmer"] {
+            let p = suites::by_name(name).unwrap().program(builder::Scale::Test);
+            let t = transform(&p).unwrap();
+            let mut soc = Soc::new(SocConfig::paper(1)).unwrap();
+            let retired = soc.run_to_ecall(&t, 50_000_000);
+            assert!(retired > 1000, "{name} nzdc run too short");
+        }
+    }
+
+    #[test]
+    fn rejects_calls() {
+        let mut asm = flexstep_isa::asm::Assembler::new("call");
+        asm.call("f");
+        asm.label("f").unwrap();
+        asm.ecall();
+        let p = asm.finish().unwrap();
+        assert!(matches!(
+            transform(&p),
+            Err(NzdcError::IndirectControlFlow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_palette_registers() {
+        let mut asm = flexstep_isa::asm::Assembler::new("bad");
+        // s11 = x27 is outside the protected palette.
+        asm.addi(XReg::S11, XReg::ZERO, 1);
+        asm.ecall();
+        let p = asm.finish().unwrap();
+        assert!(matches!(
+            transform(&p),
+            Err(NzdcError::RegisterOutOfPalette { .. })
+        ));
+    }
+}

@@ -1,0 +1,207 @@
+//! The named benchmark suites: Parsec 3.0 and SPECint 2006 equivalents.
+//!
+//! Each named workload instantiates a [`builder`](crate::builder)
+//! template with parameters matching the benchmark's published character
+//! (instruction mix, working-set shape). See `DESIGN.md` §2 for the
+//! substitution rationale.
+
+use crate::builder::{self, Scale};
+use flexstep_isa::asm::Program;
+use std::fmt;
+
+/// Which suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Parsec 3.0 (Fig. 4(a), Fig. 6, Fig. 7).
+    Parsec,
+    /// SPECint CPU2006 (Fig. 4(b)).
+    SpecInt,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Parsec => f.write_str("parsec"),
+            Suite::SpecInt => f.write_str("specint"),
+        }
+    }
+}
+
+/// A named workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Benchmark name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    build: fn(Scale) -> Program,
+}
+
+impl Workload {
+    /// Builds the workload's guest program at the given scale.
+    pub fn program(&self, scale: Scale) -> Program {
+        (self.build)(scale)
+    }
+}
+
+macro_rules! workload {
+    ($name:literal, $suite:expr, $builder:expr) => {
+        Workload { name: $name, suite: $suite, build: $builder }
+    };
+}
+
+/// The eight Parsec workloads evaluated in Fig. 4(a)/6/7.
+pub fn parsec() -> Vec<Workload> {
+    vec![
+        workload!("blackscholes", Suite::Parsec, |s| builder::fp_pricing_kernel(
+            "blackscholes",
+            64,
+            6 * s.factor()
+        )),
+        workload!("bodytrack", Suite::Parsec, |s| builder::monte_carlo_kernel(
+            "bodytrack",
+            40 * s.factor(),
+            160
+        )),
+        workload!("ferret", Suite::Parsec, |s| builder::feature_search_kernel(
+            "ferret",
+            48,
+            32,
+            3 * s.factor()
+        )),
+        workload!("dedup", Suite::Parsec, |s| builder::hash_chunk_kernel(
+            "dedup",
+            4096,
+            2 * s.factor(),
+            256
+        )),
+        workload!("fluidanimate", Suite::Parsec, |s| builder::stencil_kernel(
+            "fluidanimate",
+            64,
+            24,
+            3 * s.factor()
+        )),
+        workload!("swaptions", Suite::Parsec, |s| builder::monte_carlo_kernel(
+            "swaptions",
+            24 * s.factor(),
+            400
+        )),
+        workload!("x264", Suite::Parsec, |s| builder::sad_kernel(
+            "x264",
+            96,
+            64,
+            2 * s.factor()
+        )),
+        workload!("streamcluster", Suite::Parsec, |s| builder::feature_search_kernel(
+            "streamcluster",
+            96,
+            16,
+            3 * s.factor()
+        )),
+    ]
+}
+
+/// The eleven SPECint workloads evaluated in Fig. 4(b).
+pub fn spec() -> Vec<Workload> {
+    vec![
+        workload!("bzip2", Suite::SpecInt, |s| builder::bitboard_kernel(
+            "bzip2",
+            512,
+            4 * s.factor()
+        )),
+        workload!("gcc", Suite::SpecInt, |s| builder::pointer_chase_kernel(
+            "gcc",
+            2048,
+            20_000 * s.factor()
+        )),
+        workload!("mcf", Suite::SpecInt, |s| builder::pointer_chase_kernel(
+            "mcf",
+            16384,
+            20_000 * s.factor()
+        )),
+        workload!("gobmk", Suite::SpecInt, |s| builder::bitboard_kernel(
+            "gobmk",
+            256,
+            8 * s.factor()
+        )),
+        workload!("hmmer", Suite::SpecInt, |s| builder::dp_band_kernel(
+            "hmmer",
+            256,
+            60 * s.factor()
+        )),
+        workload!("sjeng", Suite::SpecInt, |s| builder::bitboard_kernel(
+            "sjeng",
+            384,
+            5 * s.factor()
+        )),
+        workload!("libquantum", Suite::SpecInt, |s| builder::stream_kernel(
+            "libquantum",
+            8192,
+            3 * s.factor()
+        )),
+        workload!("h264ref", Suite::SpecInt, |s| builder::sad_kernel(
+            "h264ref",
+            128,
+            48,
+            2 * s.factor()
+        )),
+        workload!("omnetpp", Suite::SpecInt, |s| builder::heap_kernel(
+            "omnetpp",
+            1024,
+            6_000 * s.factor()
+        )),
+        workload!("astar", Suite::SpecInt, |s| builder::heap_kernel(
+            "astar",
+            4096,
+            5_000 * s.factor()
+        )),
+        workload!("xalancbmk", Suite::SpecInt, |s| builder::hash_chunk_kernel(
+            "xalancbmk",
+            3072,
+            3 * s.factor(),
+            512
+        )),
+    ]
+}
+
+/// Looks a workload up by name across both suites.
+pub fn by_name(name: &str) -> Option<Workload> {
+    parsec().into_iter().chain(spec()).find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(parsec().len(), 8, "Fig. 4(a) has 8 workloads");
+        assert_eq!(spec().len(), 11, "Fig. 4(b) has 11 workloads");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> =
+            parsec().iter().chain(spec().iter()).map(|w| w.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("blackscholes").is_some());
+        assert!(by_name("mcf").is_some());
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds_at_test_scale() {
+        for w in parsec().into_iter().chain(spec()) {
+            let p = w.program(Scale::Test);
+            assert!(!p.is_empty(), "{} must have code", w.name);
+            assert_eq!(p.name, w.name);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Dynamic instruction-mix fidelity: the substitution argument of
+//! DESIGN.md §2 rests on each synthetic kernel *executing* the mix
+//! character of the benchmark it stands in for (Fig. 4/6/7 depend on
+//! retired-instruction class densities, not program semantics). These
+//! tests measure the dynamic mix of every named workload and pin the
+//! class signatures: FP-heavy pricing, branchy search, memory streaming,
+//! atomic-using parallel kernels.
+
+use flexstep_isa::inst::InstClass;
+use flexstep_sim::{PrivMode, Soc, SocConfig, StepKind, TrapCause};
+use flexstep_workloads::{by_name, parsec, spec, InstMix, Scale, Workload};
+
+/// Runs a workload at test scale and returns its dynamic (retired) mix.
+fn dynamic_mix(w: &Workload) -> InstMix {
+    let program = w.program(Scale::Test);
+    let mut soc = Soc::new(SocConfig::paper(1)).expect("config");
+    soc.load_program(&program);
+    soc.core_mut(0).state.pc = program.entry;
+    soc.core_mut(0).state.prv = PrivMode::User;
+    soc.core_mut(0).unpark();
+    let mut mix = InstMix::new();
+    for _ in 0..50_000_000u64 {
+        match soc.step_core(0).kind {
+            StepKind::Retired(r) => mix.record(r.inst.class()),
+            StepKind::Trap { cause: TrapCause::EcallFromU, .. } => return mix,
+            StepKind::Trap { cause, pc, .. } => {
+                panic!("{} faulted: {cause:?} at {pc:#x}", w.name)
+            }
+            _ => {}
+        }
+    }
+    panic!("{} did not finish at test scale", w.name);
+}
+
+#[test]
+fn every_workload_retires_a_nontrivial_dynamic_mix() {
+    for w in parsec().into_iter().chain(spec()) {
+        let mix = dynamic_mix(&w);
+        assert!(
+            mix.total() > 5_000,
+            "{}: test scale must retire real work, got {}",
+            w.name,
+            mix.total()
+        );
+        assert!(
+            mix.control_fraction() > 0.01,
+            "{}: every kernel loops: {mix}",
+            w.name
+        );
+        assert!(
+            mix.fraction(InstClass::Alu) > 0.05,
+            "{}: every kernel computes: {mix}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn fp_workloads_execute_fp() {
+    // The FP-character suites: Black-Scholes pricing, Monte-Carlo
+    // swaptions, fluid stencil.
+    for name in ["blackscholes", "swaptions", "fluidanimate"] {
+        let mix = dynamic_mix(&by_name(name).unwrap());
+        assert!(
+            mix.fraction(InstClass::Fp) > 0.15,
+            "{name} must execute FP work: {mix}"
+        );
+    }
+}
+
+#[test]
+fn integer_workloads_execute_no_fp() {
+    for name in ["bzip2", "gobmk", "sjeng", "mcf", "libquantum", "dedup", "xalancbmk"] {
+        let mix = dynamic_mix(&by_name(name).unwrap());
+        assert_eq!(
+            mix.fraction(InstClass::Fp),
+            0.0,
+            "{name} is an integer benchmark: {mix}"
+        );
+    }
+}
+
+#[test]
+fn memory_streamers_are_memory_dense() {
+    for name in ["libquantum", "streamcluster", "mcf"] {
+        let mix = dynamic_mix(&by_name(name).unwrap());
+        assert!(
+            mix.memory_fraction() > 0.15,
+            "{name} must be memory-dense: {mix}"
+        );
+    }
+}
+
+#[test]
+fn branchy_search_kernels_branch() {
+    for name in ["gobmk", "sjeng", "astar"] {
+        let mix = dynamic_mix(&by_name(name).unwrap());
+        assert!(
+            mix.control_fraction() > 0.12,
+            "{name} must be control-dense: {mix}"
+        );
+    }
+}
+
+#[test]
+fn parallel_kernels_use_atomics() {
+    // The Parsec-side kernels model shared-structure updates with real
+    // LR/SC/AMO sequences — the multi-µop MAL packaging path (§III-B)
+    // depends on these appearing in the stream.
+    let mut with_atomics = 0;
+    for w in parsec() {
+        let mix = dynamic_mix(&w);
+        if mix.fraction(InstClass::Atomic) > 0.0 {
+            with_atomics += 1;
+        }
+    }
+    assert!(
+        with_atomics >= 2,
+        "at least two Parsec kernels must exercise atomics, got {with_atomics}"
+    );
+}
+
+#[test]
+fn dynamic_and_static_mixes_agree_in_character() {
+    // The loop bodies dominate execution, so the dynamic mix should not
+    // wildly diverge from the static text mix in its headline classes.
+    for name in ["dedup", "hmmer", "x264"] {
+        let w = by_name(name).unwrap();
+        let program = w.program(Scale::Test);
+        let stat = InstMix::of_program(&program);
+        let dyn_ = dynamic_mix(&w);
+        let delta = (stat.memory_fraction() - dyn_.memory_fraction()).abs();
+        assert!(
+            delta < 0.25,
+            "{name}: static {:.2} vs dynamic {:.2} memory fraction",
+            stat.memory_fraction(),
+            dyn_.memory_fraction()
+        );
+    }
+}

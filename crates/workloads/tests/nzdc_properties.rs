@@ -1,0 +1,126 @@
+//! Property tests of the nZDC software-redundancy transform: for any
+//! builder kernel at any scale-ish parameterisation, the transformed
+//! program must compute the *same* memory results as the original — the
+//! redundancy may only cost time, never change semantics — and must
+//! actually cost time (the Fig. 4 Nzdc bars exist because of it).
+
+use flexstep_isa::asm::Program;
+use flexstep_sim::{Soc, SocConfig};
+use flexstep_workloads::builder::{
+    bitboard_kernel, dp_band_kernel, fp_pricing_kernel, hash_chunk_kernel, heap_kernel,
+    pointer_chase_kernel, sad_kernel, stencil_kernel, stream_kernel,
+};
+use flexstep_workloads::{by_name, nzdc_transform, parsec, spec, Scale};
+use proptest::prelude::*;
+
+const MAX_INSTS: u64 = 30_000_000;
+
+/// Runs a program to its final `ecall` on a plain single-core SoC and
+/// returns (cycles, data-region words).
+fn run_and_dump(program: &Program) -> (u64, Vec<u64>) {
+    let mut soc = Soc::new(SocConfig::paper(1)).expect("config");
+    soc.run_to_ecall(program, MAX_INSTS);
+    let words = (0..program.data.len().div_ceil(8) as u64)
+        .map(|i| soc.mem.phys().read_u64(program.data_base + i * 8))
+        .collect();
+    (soc.now(), words)
+}
+
+/// Asserts the nZDC contract on one program.
+fn assert_nzdc_contract(program: &Program) -> Result<(), TestCaseError> {
+    let transformed = nzdc_transform(program).expect("builder kernels transform");
+    prop_assert!(
+        transformed.text.len() > program.text.len(),
+        "duplication must grow the text: {} -> {}",
+        program.text.len(),
+        transformed.text.len()
+    );
+    let (base_cycles, base_mem) = run_and_dump(program);
+    let (nzdc_cycles, nzdc_mem) = run_and_dump(&transformed);
+    prop_assert_eq!(base_mem, nzdc_mem, "nZDC changed results of {}", program.name);
+    let slowdown = nzdc_cycles as f64 / base_cycles as f64;
+    prop_assert!(
+        slowdown > 1.15,
+        "{}: redundant stream must cost real time, got {:.3}×",
+        program.name,
+        slowdown
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn nzdc_preserves_fp_pricing(options in 4i64..40, rounds in 1i64..4) {
+        assert_nzdc_contract(&fp_pricing_kernel("p", options, rounds))?;
+    }
+
+    #[test]
+    fn nzdc_preserves_hashing(bytes in 64i64..512, rounds in 1i64..3, slots in 8i64..64) {
+        assert_nzdc_contract(&hash_chunk_kernel("h", bytes, rounds, slots))?;
+    }
+
+    #[test]
+    fn nzdc_preserves_pointer_chase(nodes in 8i64..64, hops in 16i64..200) {
+        assert_nzdc_contract(&pointer_chase_kernel("c", nodes, hops))?;
+    }
+
+    #[test]
+    fn nzdc_preserves_stencil(w in 4i64..12, h in 4i64..12, sweeps in 1i64..3) {
+        assert_nzdc_contract(&stencil_kernel("s", w, h, sweeps))?;
+    }
+
+    #[test]
+    fn nzdc_preserves_sad(blocks in 2i64..8, bytes in 16i64..64, rounds in 1i64..3) {
+        assert_nzdc_contract(&sad_kernel("v", blocks, bytes, rounds))?;
+    }
+
+    #[test]
+    fn nzdc_preserves_stream(words in 16i64..128, rounds in 1i64..4) {
+        assert_nzdc_contract(&stream_kernel("m", words, rounds))?;
+    }
+
+    #[test]
+    fn nzdc_preserves_dp_band(cols in 4i64..24, rows in 2i64..12) {
+        assert_nzdc_contract(&dp_band_kernel("d", cols, rows))?;
+    }
+
+    #[test]
+    fn nzdc_preserves_bitboards(positions in 4i64..24, rounds in 1i64..4) {
+        assert_nzdc_contract(&bitboard_kernel("b", positions, rounds))?;
+    }
+
+    #[test]
+    fn nzdc_preserves_heap(slots in 8i64..48, operations in 8i64..80) {
+        assert_nzdc_contract(&heap_kernel("q", slots, operations))?;
+    }
+}
+
+#[test]
+fn every_named_workload_transforms_and_matches() {
+    // The real nZDC fails to compile some SPEC/Parsec programs; our
+    // synthetic kernels all follow the register discipline, so all 19
+    // must transform and agree with their originals at test scale.
+    for w in parsec().into_iter().chain(spec()) {
+        let program = w.program(Scale::Test);
+        let transformed =
+            nzdc_transform(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (_, base_mem) = run_and_dump(&program);
+        let (_, nzdc_mem) = run_and_dump(&transformed);
+        assert_eq!(base_mem, nzdc_mem, "{} diverged under nZDC", w.name);
+    }
+}
+
+#[test]
+fn transform_is_idempotent_in_behaviour() {
+    // Transforming an already-transformed program is out of contract
+    // (shadow registers collide with the palette), so it must be
+    // *rejected*, not silently mangled.
+    let p = by_name("libquantum").unwrap().program(Scale::Test);
+    let once = nzdc_transform(&p).unwrap();
+    assert!(
+        nzdc_transform(&once).is_err(),
+        "double transform must be rejected by the palette check"
+    );
+}

@@ -1,0 +1,78 @@
+//! A miniature Fig. 7: inject faults into the forwarded data of one
+//! workload and plot the detection-latency distribution.
+//!
+//! ```sh
+//! cargo run --release --example detection_latency -- [workload] [injections]
+//! ```
+
+use flexstep_bench_shim::*;
+
+// The bench crate owns the campaign runner; re-implement the thin loop
+// here so the example depends only on the public stack.
+mod flexstep_bench_shim {
+    pub use flexstep::core::{inject_random_fault, FabricConfig, LatencyStats, VerifiedRun};
+    pub use flexstep::sim::Clock;
+    pub use flexstep::workloads::{by_name, Scale};
+}
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map_or("streamcluster", String::as_str);
+    let injections: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(40);
+    let workload = by_name(name).ok_or("unknown workload")?;
+    let program = workload.program(Scale::Test);
+    let clock = Clock::paper();
+
+    // Fault-free span, to draw injection instants from.
+    let mut probe = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
+    let horizon = probe.run_to_completion(u64::MAX).main_finish_cycle;
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut latencies = Vec::new();
+    let mut masked = 0;
+    for _ in 0..injections {
+        let at = rng.gen_range(horizon / 10..horizon);
+        let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
+        if !run.run_until_cycle(at) {
+            continue;
+        }
+        let mut record = None;
+        loop {
+            let now = run.fs.soc.now();
+            if let Some(r) = inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng) {
+                record = Some(r);
+                break;
+            }
+            if !run.step_once() {
+                break;
+            }
+        }
+        let Some(record) = record else { continue };
+        let report = run.run_to_completion(u64::MAX);
+        match report.detections.first() {
+            Some(d) => latencies.push(d.detected_at - record.at_cycle),
+            None => masked += 1,
+        }
+    }
+
+    println!("workload {name}: {} detections, {masked} masked", latencies.len());
+    if let Some(stats) = LatencyStats::from_cycles(&latencies, clock) {
+        println!(
+            "latency µs: mean {:.1}  p50 {:.1}  p99 {:.1}  max {:.1}",
+            stats.mean_us, stats.p50_us, stats.p99_us, stats.max_us
+        );
+        let mut us: Vec<f64> = latencies.iter().map(|&c| clock.cycles_to_us(c)).collect();
+        us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!("distribution:");
+        for bucket in 0..12 {
+            let lo = bucket as f64 * 8.0;
+            let hi = lo + 8.0;
+            let n = us.iter().filter(|&&v| v >= lo && v < hi).count();
+            println!("  {:>3.0}-{:>3.0} µs |{}", lo, hi, "#".repeat(n));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Selective checking: §V's emergency model, where a verification task's
+//! jobs are checked only when the system demands it.
+//!
+//! A `T^V2` task runs with checking off; mid-run an "emergency" arrives
+//! and the kernel flags the next two jobs for verification via
+//! `System::trigger_check_window`. The checker core is free for other
+//! work the rest of the time — the resource win FlexStep's flexibility
+//! buys over HMR's static ("template") verification.
+//!
+//! ```sh
+//! cargo run --release --example selective_checking
+//! ```
+
+use flexstep::core::FabricConfig;
+use flexstep::isa::{asm::Assembler, XReg};
+use flexstep::kernel::task::{TaskBody, TaskClass, TaskDef, TaskId};
+use flexstep::kernel::{CheckDemand, KernelConfig, System};
+use flexstep::sim::SocConfig;
+use std::sync::Arc;
+
+fn spin(name: &str, iters: i64, slot: u64) -> Arc<flexstep::isa::Program> {
+    let mut asm = Assembler::with_bases(
+        name,
+        0x1000_0000 + slot * 0x10_0000,
+        0x2000_0000 + slot * 0x10_0000,
+    );
+    asm.data_label("buf").unwrap();
+    asm.data_zeros(64);
+    asm.la(XReg::A2, "buf");
+    asm.li(XReg::A0, iters);
+    asm.label("l").unwrap();
+    asm.sd(XReg::A2, XReg::A0, 0);
+    asm.addi(XReg::A0, XReg::A0, -1);
+    asm.bnez(XReg::A0, "l");
+    asm.ecall();
+    Arc::new(asm.finish().unwrap())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let period = 2_000_000u64; // 1.25 ms at 1.6 GHz
+    let mut sys =
+        System::new(SocConfig::paper(2), FabricConfig::paper(), KernelConfig::default());
+
+    // τ1 *may* require checking (T^V2), but starts with no demand.
+    sys.add_task(TaskDef {
+        id: TaskId(1),
+        name: "τ1".into(),
+        class: TaskClass::Verified2,
+        body: TaskBody::Guest(spin("t1", 30_000, 0)),
+        period,
+        phase: 0,
+        core: 0,
+        checkers: vec![1],
+        max_jobs: Some(5),
+    })?;
+    sys.set_check_demand(TaskId(1), CheckDemand::Never)?;
+    sys.boot()?;
+
+    // Two quiet jobs…
+    sys.run_until(2 * period);
+    println!(
+        "after 2 quiet jobs: segments verified = {}",
+        sys.fs.checker_state(1).segments_checked
+    );
+
+    // …then the emergency: flag the next two jobs for checking.
+    let (from, until) = sys.trigger_check_window(TaskId(1), 2)?;
+    println!("emergency! checking demanded for jobs {from}..{until}");
+
+    let summary = sys.run_until(6 * period);
+    let checker = sys.fs.checker_state(1);
+    println!(
+        "after the emergency window: segments verified = {}, failed = {}",
+        checker.segments_checked, checker.segments_failed
+    );
+
+    let t1 = summary.task(TaskId(1)).expect("task exists");
+    let ct = sys.checker_thread_of(TaskId(1), 1).expect("checker thread");
+    let ct_summary = summary.task(ct).expect("summary exists");
+    println!(
+        "τ1: {}/{} jobs completed, {} misses; checker thread ran {} jobs (exactly the window)",
+        t1.completed, t1.released, t1.misses, ct_summary.completed
+    );
+    assert_eq!(ct_summary.completed, 2, "only the flagged jobs were verified");
+    assert_eq!(summary.total_misses(), 0);
+    Ok(())
+}

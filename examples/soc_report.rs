@@ -1,0 +1,21 @@
+//! Synthesis-report-style area/power breakdown of the Vanilla and
+//! FlexStep SoCs (the Tab. III / Fig. 8 model).
+//!
+//! ```sh
+//! cargo run --example soc_report -- [cores]
+//! ```
+
+use flexstep::soc::{flexstep_soc, vanilla_soc};
+
+fn main() {
+    let cores: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(4);
+    let v = vanilla_soc(cores);
+    let f = flexstep_soc(cores);
+    println!("{v}");
+    println!("{f}");
+    println!(
+        "FlexStep overhead: area {:+.2}%  power {:+.2}%",
+        100.0 * (f.area_mm2() - v.area_mm2()) / v.area_mm2(),
+        100.0 * (f.power_w() - v.power_w()) / v.power_w()
+    );
+}

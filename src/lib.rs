@@ -1,0 +1,47 @@
+//! # FlexStep
+//!
+//! Umbrella crate for the FlexStep reproduction — *"FlexStep: Enabling
+//! Flexible Error Detection in Multi/Many-core Real-time Systems"*
+//! (DAC 2025) — re-exporting the whole stack:
+//!
+//! - [`isa`]: RV64 instruction model, assembler, FlexStep custom ISA.
+//! - [`mem`]: caches, coherence and the memory system.
+//! - [`sim`]: the Rocket-like multi-core simulator.
+//! - [`core`]: the FlexStep error-detection microarchitecture (RCPM, MAL,
+//!   DBC, checker replay, fault injection).
+//! - [`kernel`]: the partitioned-EDF RTOS layer (Al. 1 context switch,
+//!   Al. 2 checker thread).
+//! - [`sched`]: the §V scheduling theory (Al. 3, LockStep/HMR baselines,
+//!   UUniFast, EDF simulation).
+//! - [`workloads`]: Parsec/SPECint-equivalent guest kernels and the nZDC
+//!   baseline.
+//! - [`soc`]: the 28 nm area/power model.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the experiment map.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use flexstep::core::{FabricConfig, VerifiedRun};
+//! use flexstep::workloads::{by_name, Scale};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = by_name("dedup").unwrap().program(Scale::Test);
+//! let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
+//! let report = run.run_to_completion(100_000_000);
+//! assert!(report.completed);
+//! assert_eq!(report.segments_failed, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use flexstep_core as core;
+pub use flexstep_isa as isa;
+pub use flexstep_kernel as kernel;
+pub use flexstep_mem as mem;
+pub use flexstep_sched as sched;
+pub use flexstep_sim as sim;
+pub use flexstep_soc as soc;
+pub use flexstep_workloads as workloads;

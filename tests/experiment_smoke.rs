@@ -1,0 +1,86 @@
+//! Experiment-harness smoke tests: a miniature version of every paper
+//! figure/table runs through the same code paths the `fig*`/`tab*`
+//! binaries use, so the full experiment suite cannot rot silently.
+
+use flexstep::sched::motivating::{gantt, simulate, Arch, Scenario};
+use flexstep::sched::{paper_utilization_axis, sweep, Fig5Config};
+use flexstep::soc::{flexstep_soc, vanilla_soc};
+use flexstep::workloads::{by_name, Scale};
+use flexstep_bench::coverage::coverage_campaign;
+use flexstep_bench::{fig4, fig6, fig7_campaign, geomean, latency_histogram};
+
+#[test]
+fn fig1_mini() {
+    let s = Scenario::paper();
+    let lock = simulate(&s, Arch::LockStep);
+    let hmr = simulate(&s, Arch::Hmr);
+    let flex = simulate(&s, Arch::FlexStep);
+    assert!(!lock.misses.is_empty());
+    assert!(hmr.misses.iter().any(|m| m.task == 0 && m.k == 1));
+    assert!(flex.misses.is_empty());
+    assert!(gantt(&s, &flex).contains("all deadlines met"));
+}
+
+#[test]
+fn fig4_mini() {
+    let rows = fig4(&[by_name("dedup").unwrap(), by_name("mcf").unwrap()], Scale::Test);
+    assert_eq!(rows.len(), 2);
+    let flex = geomean(rows.iter().map(|r| r.flexstep));
+    let nzdc = geomean(rows.iter().filter_map(|r| r.nzdc));
+    assert!(flex > 1.0 && flex < 1.1, "FlexStep slowdown small: {flex}");
+    assert!(nzdc > 1.15, "Nzdc slowdown visible: {nzdc}");
+}
+
+#[test]
+fn fig5_mini() {
+    let axis = paper_utilization_axis();
+    assert_eq!(axis.len(), 13);
+    let cfg = Fig5Config { m: 4, n: 20, alpha: 0.1, beta: 0.05 };
+    let pts = sweep(&cfg, &[0.4, 0.9], 25, 3);
+    assert!(pts[0].flexstep >= pts[1].flexstep, "acceptance must not rise with load");
+    assert!(pts[0].flexstep > 50.0, "low load mostly schedulable");
+    assert!(pts[1].lockstep < 50.0, "high load kills LockStep");
+}
+
+#[test]
+fn fig6_mini() {
+    let rows = fig6(&[by_name("swaptions").unwrap()], Scale::Test);
+    assert!(rows[0].dual >= 1.0);
+    assert!(
+        rows[0].triple >= rows[0].dual,
+        "wider fan-out cannot be cheaper: {rows:?}"
+    );
+}
+
+#[test]
+fn fig7_mini() {
+    let row = fig7_campaign(&by_name("dedup").unwrap(), Scale::Test, 8, 11);
+    assert!(row.injected >= 4);
+    assert!(row.detected * 10 >= row.injected * 7);
+    let h = latency_histogram(&row.latencies_us);
+    assert_eq!(h.chars().count(), 15);
+}
+
+#[test]
+fn fig8_and_tab3_mini() {
+    for n in [2usize, 4, 32] {
+        let v = vanilla_soc(n);
+        let f = flexstep_soc(n);
+        assert!(f.area_mm2() > v.area_mm2());
+        let overhead = (f.power_w() - v.power_w()) / v.power_w();
+        assert!(overhead > 0.0 && overhead < 0.05, "{n}-core power overhead {overhead}");
+    }
+}
+
+#[test]
+fn coverage_mini() {
+    let rows = coverage_campaign(&by_name("libquantum").unwrap(), Scale::Test, 3, 5);
+    assert_eq!(rows.len(), 12, "full target × burst grid");
+    let total_injected: usize = rows.iter().map(|r| r.injected).sum();
+    let total_detected: usize = rows.iter().map(|r| r.detected).sum();
+    assert!(total_injected >= 12, "injections must land: {total_injected}");
+    assert!(
+        total_detected * 10 >= total_injected * 7,
+        "coverage must be high: {total_detected}/{total_injected}"
+    );
+}

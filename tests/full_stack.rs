@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: the whole stack from assembler to
+//! kernel to detection, exercised through the umbrella crate's public
+//! API exactly as a downstream user would.
+
+use flexstep::core::{inject_random_fault, FabricConfig, MismatchKind, VerifiedRun};
+use flexstep::isa::{asm::Assembler, XReg};
+use flexstep::kernel::task::{TaskBody, TaskClass, TaskDef, TaskId};
+use flexstep::kernel::{KernelConfig, System};
+use flexstep::sched::{
+    simulate_partition, total_misses, FlexStepPartitioner, GenParams, Partitioner,
+};
+use flexstep::sim::SocConfig;
+use flexstep::workloads::{by_name, nzdc_transform, parsec, spec, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn every_workload_verifies_clean_end_to_end() {
+    for w in parsec().into_iter().chain(spec()) {
+        let program = w.program(Scale::Test);
+        let mut run =
+            VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+        let report = run.run_to_completion(u64::MAX);
+        assert!(report.completed, "{} must finish", w.name);
+        assert_eq!(report.segments_failed, 0, "{} must verify clean", w.name);
+        assert!(report.segments_checked > 0, "{} must produce segments", w.name);
+    }
+}
+
+#[test]
+fn fault_injection_detects_across_workloads() {
+    let mut detected = 0;
+    let mut injected = 0;
+    for (i, name) in ["dedup", "hmmer", "streamcluster", "x264"].iter().enumerate() {
+        let program = by_name(name).expect("known workload").program(Scale::Test);
+        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+        let mut run =
+            VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+        assert!(run.run_until_cycle(30_000), "{name} too short");
+        // Step until forwarded data is in flight, then corrupt it.
+        let mut record = None;
+        for _ in 0..100_000 {
+            let now = run.fs.soc.now();
+            if let Some(r) = inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng) {
+                record = Some(r);
+                break;
+            }
+            if !run.step_once() {
+                break;
+            }
+        }
+        if record.is_some() {
+            injected += 1;
+            let report = run.run_to_completion(u64::MAX);
+            if !report.detections.is_empty() {
+                detected += 1;
+            }
+        }
+    }
+    assert!(injected >= 3, "campaign must inject: {injected}");
+    assert!(detected >= injected - 1, "detections {detected} of {injected}");
+}
+
+#[test]
+fn nzdc_baseline_preserves_results_and_costs_time() {
+    let program = by_name("libquantum").unwrap().program(Scale::Test);
+    let transformed = nzdc_transform(&program).expect("transformable");
+
+    let mut plain = flexstep::sim::Soc::new(SocConfig::paper(1)).unwrap();
+    plain.run_to_ecall(&program, u64::MAX);
+    let mut nzdc = flexstep::sim::Soc::new(SocConfig::paper(1)).unwrap();
+    nzdc.run_to_ecall(&transformed, u64::MAX);
+
+    // Same memory results.
+    let base = program.symbol("state").unwrap();
+    for i in 0..64 {
+        assert_eq!(
+            plain.mem.phys().read_u64(base + i * 8),
+            nzdc.mem.phys().read_u64(base + i * 8),
+            "word {i}"
+        );
+    }
+    // Roughly doubled runtime.
+    let slowdown = nzdc.now() as f64 / plain.now() as f64;
+    assert!(slowdown > 1.3, "nZDC must cost real time: {slowdown}");
+}
+
+#[test]
+fn kernel_detects_fault_during_scheduled_verification() {
+    // A verified task runs under the kernel; corrupt its stream mid-run
+    // and check that the detection reaches the kernel's summary.
+    let mut asm = Assembler::new("victim");
+    asm.data_label("buf").unwrap();
+    asm.data_zeros(64);
+    asm.la(XReg::A2, "buf");
+    asm.li(XReg::A0, 120_000);
+    asm.label("l").unwrap();
+    asm.sd(XReg::A2, XReg::A0, 0);
+    asm.ld(XReg::A3, XReg::A2, 0);
+    asm.add(XReg::A4, XReg::A4, XReg::A3);
+    asm.addi(XReg::A0, XReg::A0, -1);
+    asm.bnez(XReg::A0, "l");
+    asm.ecall();
+    let program = Arc::new(asm.finish().unwrap());
+
+    let mut sys =
+        System::new(SocConfig::paper(2), FabricConfig::paper(), KernelConfig::default());
+    sys.add_task(TaskDef {
+        id: TaskId(1),
+        name: "victim".into(),
+        class: TaskClass::Verified2,
+        body: TaskBody::Guest(program),
+        period: 10_000_000,
+        phase: 0,
+        core: 0,
+        checkers: vec![1],
+        max_jobs: Some(1),
+    })
+    .unwrap();
+    sys.boot().unwrap();
+    // Run a while, inject, then finish.
+    sys.run_until(200_000);
+    let mut rng = StdRng::seed_from_u64(5);
+    let now = sys.fs.soc.now();
+    let injected = inject_random_fault(&mut sys.fs.fabric, 0, now, &mut rng);
+    let summary = sys.run_until(9_000_000);
+    if injected.is_some() {
+        assert!(
+            !summary.detections.is_empty(),
+            "kernel must surface the detection event"
+        );
+        let d = &summary.detections[0];
+        assert_eq!(d.tag, 1, "detection attributed to τ1's stream");
+        assert!(!matches!(d.kind, MismatchKind::LogUnderrun), "typed mismatch expected");
+    }
+}
+
+#[test]
+fn partition_accepted_by_al3_survives_edf_simulation() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut validated = 0;
+    for _ in 0..25 {
+        let ts = flexstep::sched::generate(&mut rng, &GenParams::paper(32, 3.2, 0.125, 0.0625));
+        if let Some(p) = FlexStepPartitioner.partition(&ts, 8) {
+            let results = simulate_partition(&ts, &p, 30.0);
+            assert_eq!(total_misses(&results), 0, "Al. 3 admission must be sound");
+            validated += 1;
+        }
+    }
+    assert!(validated > 0, "at least one set should be schedulable");
+}
+
+#[test]
+fn custom_isa_instructions_execute_from_guest_code() {
+    use flexstep::core::{CoreAttr, EngineStep, FlexSoc};
+    use flexstep::isa::inst::{FlexOp, Inst};
+    use flexstep::sim::{PrivMode, StepKind};
+
+    // A guest program that reads its own core attribute via
+    // `G.IDs.contain` (Tab. I) and returns it in a0.
+    let mut asm = Assembler::new("attr_probe");
+    asm.li(XReg::A1, 0); // core id 0
+    asm.push(Inst::Flex {
+        op: FlexOp::GIdsContain,
+        rd: XReg::A0,
+        rs1: XReg::A1,
+        rs2: XReg::ZERO,
+    });
+    asm.ecall();
+    let program = asm.finish().unwrap();
+
+    let mut fs = FlexSoc::new(SocConfig::paper(2), FabricConfig::paper()).unwrap();
+    fs.op_g_configure(&[0], &[1]).unwrap();
+    fs.soc.load_program(&program);
+    fs.soc.core_mut(0).state.pc = program.entry;
+    fs.soc.core_mut(0).state.prv = PrivMode::User;
+    fs.soc.core_mut(0).unpark();
+
+    for _ in 0..100 {
+        match fs.step(0) {
+            EngineStep::Core(StepKind::Flex { op, rd, rs1_value, rs2_value, .. }) => {
+                fs.exec_flex(0, op, rd, rs1_value, rs2_value).unwrap();
+            }
+            EngineStep::Core(StepKind::Trap { .. }) => break,
+            _ => {}
+        }
+    }
+    assert_eq!(
+        fs.soc.core(0).state.x(XReg::A0),
+        CoreAttr::Main.to_bits(),
+        "guest sees its own main attribute"
+    );
+}
