@@ -84,7 +84,12 @@ fn bench_scheduling(c: &mut Criterion) {
 fn bench_dbc_fifo(c: &mut Criterion) {
     use flexstep_core::{BufferFifo, LogEntry, LogKind, Packet};
     let entry = |i: u64| {
-        Packet::Mem(LogEntry { kind: LogKind::Load, addr: 0x1000 + i * 8, size: 8, data: i })
+        Packet::Mem(LogEntry {
+            kind: LogKind::Load,
+            addr: 0x1000 + i * 8,
+            size: 8,
+            data: i,
+        })
     };
     let mut g = c.benchmark_group("dbc_fifo");
     g.throughput(Throughput::Elements(4096));

@@ -19,6 +19,7 @@ use flexstep_core::{FabricConfig, LatencyStats};
 use flexstep_sched::model::VdPolicy;
 use flexstep_sched::partition::{Partitioner, VdFlexStepPartitioner};
 use flexstep_sched::uunifast::{generate, GenParams};
+use flexstep_sched::Fig5Config;
 use flexstep_workloads::{Scale, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,10 +55,17 @@ pub fn segment_sweep(
     limits
         .iter()
         .map(|&limit| {
-            let fabric = FabricConfig { segment_limit: limit, ..FabricConfig::paper() };
+            let fabric = FabricConfig {
+                segment_limit: limit,
+                ..FabricConfig::paper()
+            };
             let mut run = VerifiedRun::dual_core(&program, fabric).expect("setup");
             let report = run.run_to_completion(MAX_STEPS);
-            assert!(report.completed, "{} did not finish at limit {limit}", workload.name);
+            assert!(
+                report.completed,
+                "{} did not finish at limit {limit}",
+                workload.name
+            );
             assert_eq!(report.segments_failed, 0, "clean run must verify clean");
             let campaign = fig7_campaign_with(workload, scale, injections, seed, fabric);
             SegmentSweepRow {
@@ -143,15 +151,13 @@ pub struct VdSweepRow {
 /// schedulable sets per utilisation point. The paper's split sits at the
 /// acceptance peak.
 pub fn vd_sweep(
-    m: usize,
-    n: usize,
-    alpha: f64,
-    beta: f64,
+    config: &Fig5Config,
     thetas: &[f64],
     utils: &[f64],
     sets_per_point: usize,
     seed: u64,
 ) -> Vec<VdSweepRow> {
+    let &Fig5Config { m, n, alpha, beta } = config;
     thetas
         .iter()
         .map(|&theta| {
@@ -196,7 +202,10 @@ mod tests {
             rows[0].segments > rows[1].segments,
             "500-instruction segments must outnumber 5000-instruction ones: {rows:?}"
         );
-        assert!(rows[0].slowdown >= rows[1].slowdown - 0.005, "more checkpoints cost more");
+        assert!(
+            rows[0].slowdown >= rows[1].slowdown - 0.005,
+            "more checkpoints cost more"
+        );
         for r in &rows {
             assert!(r.slowdown >= 1.0 && r.slowdown < 1.5);
         }
@@ -207,7 +216,10 @@ mod tests {
         let w = by_name("libquantum").unwrap();
         let rows = segment_sweep(&w, Scale::Test, &[500, 10_000], 8, 3);
         let (short, long) = (&rows[0], &rows[1]);
-        let (ss, ls) = (short.latency.expect("detections"), long.latency.expect("detections"));
+        let (ss, ls) = (
+            short.latency.expect("detections"),
+            long.latency.expect("detections"),
+        );
         assert!(
             ss.mean_us < ls.mean_us + 1e-9,
             "short segments cannot detect slower on average: {ss:?} vs {ls:?}"
@@ -218,13 +230,22 @@ mod tests {
     fn tiny_sram_without_spill_backpressures() {
         let w = by_name("dedup").unwrap();
         let rows = fifo_sweep(&w, Scale::Test, &[272, 4352]);
-        let strict_small = rows.iter().find(|r| !r.dma_spill && r.entry_bytes == 272).unwrap();
-        let spill_small = rows.iter().find(|r| r.dma_spill && r.entry_bytes == 272).unwrap();
+        let strict_small = rows
+            .iter()
+            .find(|r| !r.dma_spill && r.entry_bytes == 272)
+            .unwrap();
+        let spill_small = rows
+            .iter()
+            .find(|r| r.dma_spill && r.entry_bytes == 272)
+            .unwrap();
         assert!(
             strict_small.backpressure_stalls > spill_small.backpressure_stalls,
             "hard SRAM bound must stall more: {rows:?}"
         );
-        assert_eq!(spill_small.backpressure_stalls, 0, "spill never backpressures");
+        assert_eq!(
+            spill_small.backpressure_stalls, 0,
+            "spill never backpressures"
+        );
         assert!(spill_small.spilled_packets > 0, "small SRAM must spill");
         for r in &rows {
             assert!(r.peak_used_bytes <= r.entry_bytes || r.dma_spill);
@@ -234,11 +255,26 @@ mod tests {
     #[test]
     fn paper_theta_peaks_acceptance() {
         let thetas = [0.3, 0.5, 0.7];
-        let rows = vd_sweep(4, 16, 0.25, 0.0, &thetas, &[0.55], 60, 11);
-        let at = |theta: f64| {
-            rows.iter().find(|r| (r.theta - theta).abs() < 1e-9).unwrap().acceptance[0]
+        let cfg = Fig5Config {
+            m: 4,
+            n: 16,
+            alpha: 0.25,
+            beta: 0.0,
         };
-        assert!(at(0.5) >= at(0.3), "paper split beats a tight original window");
-        assert!(at(0.5) >= at(0.7), "paper split beats a tight checking window");
+        let rows = vd_sweep(&cfg, &thetas, &[0.55], 60, 11);
+        let at = |theta: f64| {
+            rows.iter()
+                .find(|r| (r.theta - theta).abs() < 1e-9)
+                .unwrap()
+                .acceptance[0]
+        };
+        assert!(
+            at(0.5) >= at(0.3),
+            "paper split beats a tight original window"
+        );
+        assert!(
+            at(0.5) >= at(0.7),
+            "paper split beats a tight checking window"
+        );
     }
 }

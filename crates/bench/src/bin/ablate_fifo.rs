@@ -9,7 +9,11 @@ use flexstep_workloads::{by_name, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)) {
+    let scale = match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+    {
         Some(s) if s == "small" => Scale::Small,
         Some(s) if s == "medium" => Scale::Medium,
         _ => Scale::Test,

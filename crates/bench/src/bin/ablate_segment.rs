@@ -8,7 +8,11 @@ use flexstep_workloads::{by_name, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)) {
+    let scale = match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+    {
         Some(s) if s == "small" => Scale::Small,
         Some(s) if s == "medium" => Scale::Medium,
         _ => Scale::Test,
@@ -32,9 +36,9 @@ fn main() {
             "limit", "slowdown", "segments", "mean lat µs", "p99 lat µs", "max lat µs"
         );
         for r in &rows {
-            let (mean, p99, max) = r
-                .latency
-                .map_or((f64::NAN, f64::NAN, f64::NAN), |s| (s.mean_us, s.p99_us, s.max_us));
+            let (mean, p99, max) = r.latency.map_or((f64::NAN, f64::NAN, f64::NAN), |s| {
+                (s.mean_us, s.p99_us, s.max_us)
+            });
             println!(
                 "{:>8} {:>10.4} {:>10} {:>12.2} {:>12.2} {:>12.2}",
                 r.limit, r.slowdown, r.segments, mean, p99, max

@@ -6,6 +6,7 @@
 //! Usage: `ablate_vd [--sets N]`
 
 use flexstep_bench::ablate::vd_sweep;
+use flexstep_sched::Fig5Config;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,10 +23,40 @@ fn main() {
     println!("Virtual-deadline ablation — acceptance % per θ (uniform for V2+V3)");
     println!();
     println!("config A: m=8, n=160, α=25%, β=0% (V2 only; paper optimum θ=0.5)");
-    print_table(&thetas, &utils, &vd_sweep(8, 160, 0.25, 0.0, &thetas, &utils, sets, 21));
+    print_table(
+        &thetas,
+        &utils,
+        &vd_sweep(
+            &Fig5Config {
+                m: 8,
+                n: 160,
+                alpha: 0.25,
+                beta: 0.0,
+            },
+            &thetas,
+            &utils,
+            sets,
+            21,
+        ),
+    );
     println!();
     println!("config B: m=8, n=160, α=0%, β=25% (V3 only; paper optimum θ≈0.414)");
-    print_table(&thetas, &utils, &vd_sweep(8, 160, 0.0, 0.25, &thetas, &utils, sets, 22));
+    print_table(
+        &thetas,
+        &utils,
+        &vd_sweep(
+            &Fig5Config {
+                m: 8,
+                n: 160,
+                alpha: 0.0,
+                beta: 0.25,
+            },
+            &thetas,
+            &utils,
+            sets,
+            22,
+        ),
+    );
 }
 
 fn print_table(thetas: &[f64], utils: &[f64], rows: &[flexstep_bench::ablate::VdSweepRow]) {

@@ -11,9 +11,12 @@ use flexstep_workloads::{by_name, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = arg_value(&args, "--workload").unwrap_or_else(|| "dedup".into());
-    let per_cell: usize =
-        arg_value(&args, "--per-cell").and_then(|v| v.parse().ok()).unwrap_or(40);
-    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(13);
+    let per_cell: usize = arg_value(&args, "--per-cell")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(13);
     let scale = match arg_value(&args, "--scale").as_deref() {
         Some("small") => Scale::Small,
         Some("medium") => Scale::Medium,
@@ -52,5 +55,7 @@ fn main() {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }

@@ -20,9 +20,18 @@ fn main() {
     println!("legend: digit = original execution, v = verification, . = idle\n");
 
     for (arch, caption) in [
-        (Arch::LockStep, "(a) LockStep: fixed main core 0 & checker core 1"),
-        (Arch::Hmr, "(b) HMR: limited flexibility and synchronous checking"),
-        (Arch::FlexStep, "(c) FlexStep: asynchronous, selective, preemptive checking"),
+        (
+            Arch::LockStep,
+            "(a) LockStep: fixed main core 0 & checker core 1",
+        ),
+        (
+            Arch::Hmr,
+            "(b) HMR: limited flexibility and synchronous checking",
+        ),
+        (
+            Arch::FlexStep,
+            "(c) FlexStep: asynchronous, selective, preemptive checking",
+        ),
     ] {
         let outcome = simulate(&scenario, arch);
         println!("{caption}");
@@ -31,5 +40,7 @@ fn main() {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }

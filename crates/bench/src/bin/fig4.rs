@@ -21,10 +21,16 @@ fn main() {
 
 fn print_suite(title: &str, rows: &[flexstep_bench::Fig4Row]) {
     println!("{title}");
-    println!("{:<16} {:>9} {:>9} {:>9}", "workload", "LockStep", "FlexStep", "Nzdc");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9}",
+        "workload", "LockStep", "FlexStep", "Nzdc"
+    );
     for r in rows {
         let nzdc = r.nzdc.map_or("n/a".into(), |v| format!("{v:.3}"));
-        println!("{:<16} {:>9.3} {:>9.3} {:>9}", r.name, r.lockstep, r.flexstep, nzdc);
+        println!(
+            "{:<16} {:>9.3} {:>9.3} {:>9}",
+            r.name, r.lockstep, r.flexstep, nzdc
+        );
     }
     println!(
         "{:<16} {:>9.3} {:>9.3} {:>9.3}",
@@ -37,7 +43,9 @@ fn print_suite(title: &str, rows: &[flexstep_bench::Fig4Row]) {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn parse_scale(args: &[String]) -> Scale {

@@ -7,8 +7,12 @@ use flexstep_sched::{paper_utilization_axis, sweep_parallel, Fig5Config};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let sets: usize = arg_value(&args, "--sets").and_then(|v| v.parse().ok()).unwrap_or(200);
-    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2025);
+    let sets: usize = arg_value(&args, "--sets")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2025);
     let only = arg_value(&args, "--plot");
     let axis = paper_utilization_axis();
 
@@ -25,7 +29,10 @@ fn main() {
             cfg.alpha * 100.0,
             cfg.beta * 100.0
         );
-        println!("{:>6} {:>10} {:>8} {:>10}", "util", "LockStep", "HMR", "FlexStep");
+        println!(
+            "{:>6} {:>10} {:>8} {:>10}",
+            "util", "LockStep", "HMR", "FlexStep"
+        );
         for p in sweep_parallel(&cfg, &axis, sets, seed) {
             println!(
                 "{:>6.2} {:>9.1}% {:>7.1}% {:>9.1}%",
@@ -37,5 +44,7 @@ fn main() {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }

@@ -7,14 +7,21 @@ use flexstep_workloads::{parsec, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)) {
+    let scale = match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+    {
         Some(s) if s == "small" => Scale::Small,
         Some(s) if s == "medium" => Scale::Medium,
         _ => Scale::Test,
     };
     let rows = fig6(&parsec(), scale);
     println!("Fig. 6 — verification-mode slowdown (Parsec)");
-    println!("{:<16} {:>12} {:>12}", "workload", "dual-core", "triple-core");
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "workload", "dual-core", "triple-core"
+    );
     for r in &rows {
         println!("{:<16} {:>12.4} {:>12.4}", r.name, r.dual, r.triple);
     }

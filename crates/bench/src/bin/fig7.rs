@@ -8,9 +8,12 @@ use flexstep_workloads::{parsec, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let injections: usize =
-        arg_value(&args, "--injections").and_then(|v| v.parse().ok()).unwrap_or(60);
-    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let injections: usize = arg_value(&args, "--injections")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
     let scale = match arg_value(&args, "--scale").as_deref() {
         Some("small") => Scale::Small,
         Some("medium") => Scale::Medium,
@@ -36,11 +39,16 @@ fn main() {
                 s.max_us,
                 latency_histogram(&row.latencies_us),
             ),
-            None => println!("{:<16} {:>5} {:>5}  (no detections)", row.name, row.injected, 0),
+            None => println!(
+                "{:<16} {:>5} {:>5}  (no detections)",
+                row.name, row.injected, 0
+            ),
         }
     }
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }

@@ -5,7 +5,10 @@ use flexstep_soc::{flexstep_soc, vanilla_soc};
 
 fn main() {
     println!("Fig. 8(a) — average power (W)");
-    println!("{:>8} {:>10} {:>10} {:>9}", "cores", "Vanilla", "FlexStep", "overhead");
+    println!(
+        "{:>8} {:>10} {:>10} {:>9}",
+        "cores", "Vanilla", "FlexStep", "overhead"
+    );
     for n in [2usize, 4, 8, 16, 32] {
         let v = vanilla_soc(n);
         let f = flexstep_soc(n);
@@ -19,7 +22,10 @@ fn main() {
     }
     println!();
     println!("Fig. 8(b) — area (mm²)");
-    println!("{:>8} {:>10} {:>10} {:>9}", "cores", "Vanilla", "FlexStep", "overhead");
+    println!(
+        "{:>8} {:>10} {:>10} {:>9}",
+        "cores", "Vanilla", "FlexStep", "overhead"
+    );
     for n in [2usize, 4, 8, 16, 32] {
         let v = vanilla_soc(n);
         let f = flexstep_soc(n);

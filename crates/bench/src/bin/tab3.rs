@@ -7,7 +7,10 @@ fn main() {
     let v = vanilla_soc(4);
     let f = flexstep_soc(4);
     println!("Tab. III — 4-core SoC, TSMC 28 nm");
-    println!("{:<12} {:>10} {:>10} {:>10}", "", "Vanilla", "FlexStep", "overhead");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "", "Vanilla", "FlexStep", "overhead"
+    );
     println!(
         "{:<12} {:>10.3} {:>10.3} {:>9.2}%",
         "power (W)",

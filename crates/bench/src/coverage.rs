@@ -49,9 +49,7 @@ pub fn detection_point(kind: &MismatchKind) -> DetectionPoint {
         | MismatchKind::LogAddr { .. }
         | MismatchKind::LogData { .. } => DetectionPoint::LogCompare,
         MismatchKind::Ecp { .. } => DetectionPoint::EcpCompare,
-        MismatchKind::CountOverrun { .. } | MismatchKind::LogUnderrun => {
-            DetectionPoint::CountCheck
-        }
+        MismatchKind::CountOverrun { .. } | MismatchKind::LogUnderrun => DetectionPoint::CountCheck,
         MismatchKind::CheckerFault { .. } => DetectionPoint::ReplayFault,
     }
 }
@@ -120,8 +118,7 @@ pub fn coverage_campaign(
     sweep_grid()
         .into_iter()
         .map(|(target, bits)| {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (bits as u64) << 32 ^ target_salt(target));
+            let mut rng = StdRng::seed_from_u64(seed ^ (bits as u64) << 32 ^ target_salt(target));
             let mut injected = 0;
             let mut detected = 0;
             let mut by_point: BTreeMap<DetectionPoint, usize> = BTreeMap::new();
@@ -157,7 +154,13 @@ pub fn coverage_campaign(
                     *by_point.entry(detection_point(&d.kind)).or_insert(0) += 1;
                 }
             }
-            CoverageRow { target, bits, injected, detected, by_point }
+            CoverageRow {
+                target,
+                bits,
+                injected,
+                detected,
+                by_point,
+            }
         })
         .collect()
 }
@@ -180,13 +183,18 @@ mod tests {
     fn grid_covers_all_targets_and_widths() {
         let g = sweep_grid();
         assert_eq!(g.len(), 12);
-        assert!(g.iter().any(|&(t, b)| t == FaultTarget::InstCount && b == 8));
+        assert!(g
+            .iter()
+            .any(|&(t, b)| t == FaultTarget::InstCount && b == 8));
     }
 
     #[test]
     fn detection_points_coarsen_every_kind() {
         assert_eq!(
-            detection_point(&MismatchKind::LogAddr { expected: 0, actual: 1 }),
+            detection_point(&MismatchKind::LogAddr {
+                expected: 0,
+                actual: 1
+            }),
             DetectionPoint::LogCompare
         );
         assert_eq!(
@@ -194,7 +202,10 @@ mod tests {
             DetectionPoint::EcpCompare
         );
         assert_eq!(
-            detection_point(&MismatchKind::CountOverrun { expected: 1, actual: 2 }),
+            detection_point(&MismatchKind::CountOverrun {
+                expected: 1,
+                actual: 2
+            }),
             DetectionPoint::CountCheck
         );
         assert_eq!(
@@ -215,7 +226,11 @@ mod tests {
             .iter()
             .find(|r| r.target == FaultTarget::EntryData && r.bits == 1)
             .expect("grid cell present");
-        assert!(data1.injected >= 3, "injections must land: {}", data1.injected);
+        assert!(
+            data1.injected >= 3,
+            "injections must land: {}",
+            data1.injected
+        );
         assert!(
             data1.detected * 10 >= data1.injected * 7,
             "single-bit data faults are overwhelmingly detected: {}/{}",
@@ -234,7 +249,11 @@ mod tests {
             by_point: BTreeMap::new(),
         };
         assert!((row.coverage_pct() - 75.0).abs() < 1e-12);
-        let empty = CoverageRow { injected: 0, detected: 0, ..row };
+        let empty = CoverageRow {
+            injected: 0,
+            detected: 0,
+            ..row
+        };
         assert_eq!(empty.coverage_pct(), 0.0);
     }
 }

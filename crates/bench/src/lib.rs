@@ -20,10 +20,10 @@
 pub mod ablate;
 pub mod coverage;
 
-use flexstep_core::harness::{baseline_cycles, VerifiedRun};
-use flexstep_core::{inject_random_fault, FabricConfig, LatencyStats};
-use flexstep_sim::{Clock, Soc, SocConfig};
-use flexstep_workloads::{nzdc_transform, Scale, Workload};
+pub use flexstep_core::harness::{baseline_cycles, VerifiedRun};
+pub use flexstep_core::{inject_random_fault, FabricConfig, LatencyStats};
+pub use flexstep_sim::{Clock, Soc, SocConfig};
+pub use flexstep_workloads::{by_name, nzdc_transform, Scale, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,8 +58,7 @@ pub fn fig4(workloads: &[Workload], scale: Scale) -> Vec<Fig4Row> {
             let program = w.program(scale);
             let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
 
-            let mut run =
-                VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+            let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
             let report = run.run_to_completion(MAX_STEPS);
             assert!(report.completed, "{} did not finish verified", w.name);
             assert_eq!(report.segments_failed, 0, "{} failed verification", w.name);
@@ -74,7 +73,12 @@ pub fn fig4(workloads: &[Workload], scale: Scale) -> Vec<Fig4Row> {
                 soc.now() as f64 / base as f64
             });
 
-            Fig4Row { name: w.name, lockstep: 1.0, flexstep, nzdc }
+            Fig4Row {
+                name: w.name,
+                lockstep: 1.0,
+                flexstep,
+                nzdc,
+            }
         })
         .collect()
 }
@@ -116,8 +120,7 @@ pub fn fig6(workloads: &[Workload], scale: Scale) -> Vec<Fig6Row> {
         .map(|w| {
             let program = w.program(scale);
             let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
-            let mut dual =
-                VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+            let mut dual = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
             let rd = dual.run_to_completion(MAX_STEPS);
             let mut triple =
                 VerifiedRun::triple_core(&program, FabricConfig::paper()).expect("setup");
@@ -267,8 +270,16 @@ mod tests {
         assert_eq!(rows.len(), 1);
         let r = &rows[0];
         assert!((r.lockstep - 1.0).abs() < 1e-12);
-        assert!(r.flexstep >= 1.0, "FlexStep cannot be faster: {}", r.flexstep);
-        assert!(r.flexstep < 1.3, "FlexStep slowdown must be small: {}", r.flexstep);
+        assert!(
+            r.flexstep >= 1.0,
+            "FlexStep cannot be faster: {}",
+            r.flexstep
+        );
+        assert!(
+            r.flexstep < 1.3,
+            "FlexStep slowdown must be small: {}",
+            r.flexstep
+        );
         let nzdc = r.nzdc.expect("transformable");
         assert!(nzdc > 1.2, "Nzdc must be visibly slower: {nzdc}");
         assert!(nzdc > r.flexstep, "Nzdc must be slower than FlexStep");
@@ -299,7 +310,11 @@ mod tests {
         );
         let stats = row.stats.expect("some detections");
         assert!(stats.mean_us > 0.0);
-        assert!(stats.max_us < 1000.0, "latency should be µs-scale: {}", stats.max_us);
+        assert!(
+            stats.max_us < 1000.0,
+            "latency should be µs-scale: {}",
+            stats.max_us
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@ use crate::dbc::BufferFifo;
 use crate::detect::{MismatchKind, SegmentResult};
 use crate::packet::{LogKind, Packet};
 use crate::rcpm::Ass;
-use flexstep_sim::port::{amo_apply, DataPort, PortStop};
 use flexstep_isa::inst::{AmoOp, AmoWidth};
+use flexstep_sim::port::{amo_apply, DataPort, PortStop};
 use std::collections::VecDeque;
 
 /// Where a busy checker is within the Al. 2 loop.
@@ -118,7 +118,12 @@ pub struct ReplayPort<'a> {
 impl<'a> ReplayPort<'a> {
     /// Binds a replay port to `consumer`'s cursor on a main core's FIFO.
     pub fn new(fifo: &'a mut BufferFifo, consumer: usize) -> Self {
-        ReplayPort { fifo, consumer, mismatch: None, latency: 0 }
+        ReplayPort {
+            fifo,
+            consumer,
+            mismatch: None,
+            latency: 0,
+        }
     }
 
     /// Takes the next log entry, expecting one of `want`; records a
@@ -156,7 +161,10 @@ impl<'a> ReplayPort<'a> {
         size: u8,
     ) -> Result<(), PortStop> {
         if entry.addr != addr {
-            let kind = MismatchKind::LogAddr { expected: entry.addr, actual: addr };
+            let kind = MismatchKind::LogAddr {
+                expected: entry.addr,
+                actual: addr,
+            };
             self.mismatch = Some(kind.clone());
             return Err(PortStop::new(kind.to_string()));
         }
@@ -183,7 +191,10 @@ impl DataPort for ReplayPort<'_> {
         let e = self.take_entry(&[LogKind::Store], "store")?;
         self.check_addr_size(&e, addr, size)?;
         if e.data != value {
-            let kind = MismatchKind::LogData { expected: e.data, actual: value };
+            let kind = MismatchKind::LogData {
+                expected: e.data,
+                actual: value,
+            };
             self.mismatch = Some(kind.clone());
             return Err(PortStop::new(kind.to_string()));
         }
@@ -200,7 +211,10 @@ impl DataPort for ReplayPort<'_> {
         let e = self.take_entry(&[LogKind::ScAddrData], "sc")?;
         self.check_addr_size(&e, addr, size)?;
         if e.data != value {
-            let kind = MismatchKind::LogData { expected: e.data, actual: value };
+            let kind = MismatchKind::LogData {
+                expected: e.data,
+                actual: value,
+            };
             self.mismatch = Some(kind.clone());
             return Err(PortStop::new(kind.to_string()));
         }
@@ -220,10 +234,17 @@ impl DataPort for ReplayPort<'_> {
         let second = self.take_entry(&[LogKind::AmoLoad], "amo.load")?;
         let old = second.data;
         let size = width.size();
-        let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+        let mask = if size == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (size * 8)) - 1
+        };
         let stored = amo_apply(op, width, old, src) & mask;
         if stored != first.data {
-            let kind = MismatchKind::LogData { expected: first.data, actual: stored };
+            let kind = MismatchKind::LogData {
+                expected: first.data,
+                actual: stored,
+            };
             self.mismatch = Some(kind.clone());
             return Err(PortStop::new(kind.to_string()));
         }
@@ -246,7 +267,12 @@ mod tests {
 
     #[test]
     fn load_replays_logged_data() {
-        let mut f = fifo_with(&[LogEntry { kind: LogKind::Load, addr: 0x100, size: 8, data: 77 }]);
+        let mut f = fifo_with(&[LogEntry {
+            kind: LogKind::Load,
+            addr: 0x100,
+            size: 8,
+            data: 77,
+        }]);
         let mut p = ReplayPort::new(&mut f, 0);
         let (v, _) = p.read(0x100, 8).unwrap();
         assert_eq!(v, 77);
@@ -255,23 +281,50 @@ mod tests {
 
     #[test]
     fn load_address_mismatch_detected() {
-        let mut f = fifo_with(&[LogEntry { kind: LogKind::Load, addr: 0x100, size: 8, data: 77 }]);
+        let mut f = fifo_with(&[LogEntry {
+            kind: LogKind::Load,
+            addr: 0x100,
+            size: 8,
+            data: 77,
+        }]);
         let mut p = ReplayPort::new(&mut f, 0);
         assert!(p.read(0x108, 8).is_err());
-        assert_eq!(p.mismatch, Some(MismatchKind::LogAddr { expected: 0x100, actual: 0x108 }));
+        assert_eq!(
+            p.mismatch,
+            Some(MismatchKind::LogAddr {
+                expected: 0x100,
+                actual: 0x108
+            })
+        );
     }
 
     #[test]
     fn store_data_mismatch_detected() {
-        let mut f = fifo_with(&[LogEntry { kind: LogKind::Store, addr: 0x40, size: 8, data: 5 }]);
+        let mut f = fifo_with(&[LogEntry {
+            kind: LogKind::Store,
+            addr: 0x40,
+            size: 8,
+            data: 5,
+        }]);
         let mut p = ReplayPort::new(&mut f, 0);
         assert!(p.write(0x40, 6, 8).is_err());
-        assert_eq!(p.mismatch, Some(MismatchKind::LogData { expected: 5, actual: 6 }));
+        assert_eq!(
+            p.mismatch,
+            Some(MismatchKind::LogData {
+                expected: 5,
+                actual: 6
+            })
+        );
     }
 
     #[test]
     fn kind_mismatch_detected() {
-        let mut f = fifo_with(&[LogEntry { kind: LogKind::Store, addr: 0x40, size: 8, data: 5 }]);
+        let mut f = fifo_with(&[LogEntry {
+            kind: LogKind::Store,
+            addr: 0x40,
+            size: 8,
+            data: 5,
+        }]);
         let mut p = ReplayPort::new(&mut f, 0);
         assert!(p.read(0x40, 8).is_err());
         assert!(matches!(p.mismatch, Some(MismatchKind::LogKind { .. })));
@@ -288,8 +341,18 @@ mod tests {
     #[test]
     fn sc_replays_logged_result() {
         let mut f = fifo_with(&[
-            LogEntry { kind: LogKind::ScAddrData, addr: 0x80, size: 8, data: 9 },
-            LogEntry { kind: LogKind::ScResult, addr: 0, size: 8, data: 0 },
+            LogEntry {
+                kind: LogKind::ScAddrData,
+                addr: 0x80,
+                size: 8,
+                data: 9,
+            },
+            LogEntry {
+                kind: LogKind::ScResult,
+                addr: 0,
+                size: 8,
+                data: 0,
+            },
         ]);
         let mut p = ReplayPort::new(&mut f, 0);
         let (ok, _) = p.store_conditional(0x80, 9, 8, true).unwrap();
@@ -300,8 +363,18 @@ mod tests {
     fn amo_verifies_stored_value() {
         // Main stored old=10 + src=5 = 15.
         let mut f = fifo_with(&[
-            LogEntry { kind: LogKind::AmoAddrData, addr: 0x80, size: 8, data: 15 },
-            LogEntry { kind: LogKind::AmoLoad, addr: 0, size: 8, data: 10 },
+            LogEntry {
+                kind: LogKind::AmoAddrData,
+                addr: 0x80,
+                size: 8,
+                data: 15,
+            },
+            LogEntry {
+                kind: LogKind::AmoLoad,
+                addr: 0,
+                size: 8,
+                data: 10,
+            },
         ]);
         let mut p = ReplayPort::new(&mut f, 0);
         let (old, _) = p.amo(0x80, AmoWidth::D, AmoOp::Add, 5).unwrap();
@@ -309,18 +382,39 @@ mod tests {
 
         // Corrupted stored value: checker recomputes 15, log says 16.
         let mut f = fifo_with(&[
-            LogEntry { kind: LogKind::AmoAddrData, addr: 0x80, size: 8, data: 16 },
-            LogEntry { kind: LogKind::AmoLoad, addr: 0, size: 8, data: 10 },
+            LogEntry {
+                kind: LogKind::AmoAddrData,
+                addr: 0x80,
+                size: 8,
+                data: 16,
+            },
+            LogEntry {
+                kind: LogKind::AmoLoad,
+                addr: 0,
+                size: 8,
+                data: 10,
+            },
         ]);
         let mut p = ReplayPort::new(&mut f, 0);
         assert!(p.amo(0x80, AmoWidth::D, AmoOp::Add, 5).is_err());
-        assert_eq!(p.mismatch, Some(MismatchKind::LogData { expected: 16, actual: 15 }));
+        assert_eq!(
+            p.mismatch,
+            Some(MismatchKind::LogData {
+                expected: 16,
+                actual: 15
+            })
+        );
     }
 
     #[test]
     fn checker_state_result_queue() {
         let mut c = CheckerState::new();
-        c.finish_segment(SegmentResult { seq: 0, tag: 1, mismatch: None, at: 5 });
+        c.finish_segment(SegmentResult {
+            seq: 0,
+            tag: 1,
+            mismatch: None,
+            at: 5,
+        });
         c.finish_segment(SegmentResult {
             seq: 1,
             tag: 1,

@@ -25,7 +25,11 @@ pub struct FifoFull {
 
 impl fmt::Display for FifoFull {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fifo full: need {} bytes, {} free", self.needed, self.free)
+        write!(
+            f,
+            "fifo full: need {} bytes, {} free",
+            self.needed, self.free
+        )
     }
 }
 
@@ -167,8 +171,11 @@ impl BufferFifo {
     /// (main core) must stall — this is the backpressure path. With spill
     /// enabled, never fails.
     pub fn push(&mut self, packet: Packet) -> Result<(), FifoFull> {
-        let (entry_bytes, cps) =
-            if packet.is_checkpoint() { (0, 1) } else { (packet.bytes(), 0) };
+        let (entry_bytes, cps) = if packet.is_checkpoint() {
+            (0, 1)
+        } else {
+            (packet.bytes(), 0)
+        };
         if !self.can_accept(entry_bytes, cps) {
             return Err(FifoFull {
                 needed: entry_bytes.max(cps * Packet::bytes(&packet)),
@@ -297,7 +304,12 @@ mod tests {
     use crate::packet::{LogEntry, LogKind};
 
     fn entry(data: u64) -> Packet {
-        Packet::Mem(LogEntry { kind: LogKind::Load, addr: 0x100, size: 8, data })
+        Packet::Mem(LogEntry {
+            kind: LogKind::Load,
+            addr: 0x100,
+            size: 8,
+            data,
+        })
     }
 
     #[test]
@@ -316,7 +328,13 @@ mod tests {
         f.push(entry(1)).unwrap();
         f.push(entry(2)).unwrap();
         let err = f.push(entry(3)).unwrap_err();
-        assert_eq!(err, FifoFull { needed: 16, free: 8 });
+        assert_eq!(
+            err,
+            FifoFull {
+                needed: 16,
+                free: 8
+            }
+        );
         f.pop(0);
         assert!(f.push(entry(3)).is_ok());
     }

@@ -56,10 +56,16 @@ impl fmt::Display for MismatchKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MismatchKind::LogKind { expected, actual } => {
-                write!(f, "log kind mismatch: log has {expected}, checker did {actual}")
+                write!(
+                    f,
+                    "log kind mismatch: log has {expected}, checker did {actual}"
+                )
             }
             MismatchKind::LogAddr { expected, actual } => {
-                write!(f, "address mismatch: log {expected:#x}, checker {actual:#x}")
+                write!(
+                    f,
+                    "address mismatch: log {expected:#x}, checker {actual:#x}"
+                )
             }
             MismatchKind::LogData { expected, actual } => {
                 write!(f, "data mismatch: log {expected:#x}, checker {actual:#x}")
@@ -74,7 +80,10 @@ impl fmt::Display for MismatchKind {
             MismatchKind::LogUnderrun => write!(f, "log underrun / protocol break"),
             MismatchKind::CheckerFault { what } => write!(f, "checker fault: {what}"),
             MismatchKind::CountOverrun { expected, actual } => {
-                write!(f, "count overrun: main reported {expected}, checker at {actual}")
+                write!(
+                    f,
+                    "count overrun: main reported {expected}, checker at {actual}"
+                )
             }
         }
     }
@@ -135,8 +144,14 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let k = MismatchKind::LogAddr { expected: 0x1000, actual: 0x1008 };
-        assert_eq!(k.to_string(), "address mismatch: log 0x1000, checker 0x1008");
+        let k = MismatchKind::LogAddr {
+            expected: 0x1000,
+            actual: 0x1008,
+        };
+        assert_eq!(
+            k.to_string(),
+            "address mismatch: log 0x1000, checker 0x1008"
+        );
         let e = DetectionEvent {
             main_core: 0,
             checker_core: 1,
@@ -152,7 +167,12 @@ mod tests {
 
     #[test]
     fn segment_result_verdict() {
-        let ok = SegmentResult { seq: 0, tag: 0, mismatch: None, at: 10 };
+        let ok = SegmentResult {
+            seq: 0,
+            tag: 0,
+            mismatch: None,
+            at: 10,
+        };
         assert!(ok.is_ok());
         let bad = SegmentResult {
             seq: 1,
@@ -166,7 +186,11 @@ mod tests {
     #[test]
     fn ecp_display_counts_fields() {
         let k = MismatchKind::Ecp {
-            diffs: vec![SnapshotDiff { field: "x5".into(), expected: 1, actual: 2 }],
+            diffs: vec![SnapshotDiff {
+                field: "x5".into(),
+                expected: 1,
+                actual: 2,
+            }],
         };
         let s = k.to_string();
         assert!(s.contains("1 field"));

@@ -71,7 +71,10 @@ impl FlexSoc {
     ///
     /// Returns [`CacheGeometryError`] for invalid memory geometry.
     pub fn new(soc: SocConfig, fabric: FabricConfig) -> Result<Self, CacheGeometryError> {
-        Ok(FlexSoc { fabric: Fabric::new(soc.num_cores, fabric), soc: Soc::new(soc)? })
+        Ok(FlexSoc {
+            fabric: Fabric::new(soc.num_cores, fabric),
+            soc: Soc::new(soc)?,
+        })
     }
 
     // ----- Tab. I custom-ISA operations ------------------------------------
@@ -165,9 +168,10 @@ impl FlexSoc {
         rs2_value: u64,
     ) -> Result<(), FlexError> {
         let result: Result<u64, FlexError> = match op {
-            FlexOp::GIdsContain => {
-                self.fabric.ids_contain(rs1_value as usize).map(CoreAttr::to_bits)
-            }
+            FlexOp::GIdsContain => self
+                .fabric
+                .ids_contain(rs1_value as usize)
+                .map(CoreAttr::to_bits),
             FlexOp::GConfigure => {
                 let mains = bits_to_cores(rs1_value);
                 let checkers = bits_to_cores(rs2_value);
@@ -178,9 +182,10 @@ impl FlexSoc {
                 self.fabric.associate(core, &checkers).map(|()| 0)
             }
             FlexOp::MCheck => self.fabric.set_check(core, rs1_value != 0).map(|()| 0),
-            FlexOp::CCheckState => {
-                self.fabric.set_check_state(core, rs1_value != 0).map(|()| 0)
-            }
+            FlexOp::CCheckState => self
+                .fabric
+                .set_check_state(core, rs1_value != 0)
+                .map(|()| 0),
             FlexOp::CRecord => self.op_c_record(core).map(|()| 0),
             FlexOp::CApply => {
                 // Applies the staged SCP to the register file.
@@ -244,12 +249,15 @@ impl FlexSoc {
                 let unit = self.fabric.unit_mut(core);
                 let consumers = unit.fifo.consumers() as u64;
                 let scp = unit.tracker.open_segment(snap);
-                unit.fifo.push(Packet::Scp(scp)).expect("space reserved above");
+                unit.fifo
+                    .push(Packet::Scp(scp))
+                    .expect("space reserved above");
                 // The ASS forwards the checkpoint once per associated
                 // checker (§III-A): wider verification modes serialise
                 // more beats through the channel — the source of Fig. 6's
                 // dual→triple slowdown increase.
-                self.soc.stall_core(core, cfg.scp_extract_cycles * consumers);
+                self.soc
+                    .stall_core(core, cfg.scp_extract_cycles * consumers);
             }
         }
 
@@ -258,20 +266,23 @@ impl FlexSoc {
             StepKind::Retired(retired) if live && retired.prv == PrivMode::User => {
                 self.after_user_retire(core, retired, &cfg);
             }
-            StepKind::Trap { .. } | StepKind::Interrupted { .. } => {
+            StepKind::Trap { .. } | StepKind::Interrupted { .. }
                 // Leaving user mode: premature segment extermination
                 // (Fig. 3.1). The ECP is the state at the boundary.
-                if live && self.fabric.unit(core).tracker.is_open() {
+                if live && self.fabric.unit(core).tracker.is_open() => {
                     let snap = self.soc.core(core).state.snapshot();
                     let unit = self.fabric.unit_mut(core);
                     let consumers = unit.fifo.consumers() as u64;
-                    let (count, ecp) =
-                        unit.tracker.close_segment(snap, SegmentClose::PrivilegeSwitch);
-                    unit.fifo.push(Packet::InstCount(count)).expect("space reserved");
+                    let (count, ecp) = unit
+                        .tracker
+                        .close_segment(snap, SegmentClose::PrivilegeSwitch);
+                    unit.fifo
+                        .push(Packet::InstCount(count))
+                        .expect("space reserved");
                     unit.fifo.push(Packet::Ecp(ecp)).expect("cp slot reserved");
-                    self.soc.stall_core(core, cfg.ecp_extract_cycles * consumers);
+                    self.soc
+                        .stall_core(core, cfg.ecp_extract_cycles * consumers);
                 }
-            }
             _ => {}
         }
         EngineStep::Core(result.kind)
@@ -297,9 +308,12 @@ impl FlexSoc {
             let unit = self.fabric.unit_mut(core);
             let consumers = unit.fifo.consumers() as u64;
             let (count, ecp) = unit.tracker.close_segment(snap, SegmentClose::CountLimit);
-            unit.fifo.push(Packet::InstCount(count)).expect("space reserved");
+            unit.fifo
+                .push(Packet::InstCount(count))
+                .expect("space reserved");
             unit.fifo.push(Packet::Ecp(ecp)).expect("cp slot reserved");
-            self.soc.stall_core(core, cfg.ecp_extract_cycles * consumers);
+            self.soc
+                .stall_core(core, cfg.ecp_extract_cycles * consumers);
         }
         // Charge DMA cost for packets that spilled past the SRAM.
         let unit = self.fabric.unit_mut(core);
@@ -336,7 +350,12 @@ impl FlexSoc {
                 // the paper's SRAM-only datapath (mid-replay gaps simply
                 // stall the checker for a beat).
                 if cfg.dma_spill
-                    && self.fabric.unit(main).fifo.complete_segments_ahead(consumer) == 0
+                    && self
+                        .fabric
+                        .unit(main)
+                        .fifo
+                        .complete_segments_ahead(consumer)
+                        == 0
                 {
                     self.fabric.stats.checker_wait_stalls += 1;
                     self.soc.stall_core(core, cfg.checker_wait_cycles);
@@ -384,7 +403,12 @@ impl FlexSoc {
                     }
                 }
             }
-            CheckPhase::Replaying { seq, tag, count, ic } => {
+            CheckPhase::Replaying {
+                seq,
+                tag,
+                count,
+                ic,
+            } => {
                 let head = {
                     let unit = self.fabric.unit_mut(main);
                     unit.fifo.peek(consumer).copied()
@@ -406,7 +430,10 @@ impl FlexSoc {
                         main,
                         seq,
                         tag,
-                        MismatchKind::CountOverrun { expected: v, actual: count },
+                        MismatchKind::CountOverrun {
+                            expected: v,
+                            actual: count,
+                        },
                     ),
                     Some(Packet::Scp(_)) | Some(Packet::Ecp(_)) if ic.is_none() => {
                         // A checkpoint where entries or the count should
@@ -417,8 +444,12 @@ impl FlexSoc {
                         // Record the count when first observed, then
                         // replay one instruction.
                         if let Packet::InstCount(v) = other {
-                            self.fabric.unit_mut(core).checker.phase =
-                                CheckPhase::Replaying { seq, tag, count, ic: Some(v) };
+                            self.fabric.unit_mut(core).checker.phase = CheckPhase::Replaying {
+                                seq,
+                                tag,
+                                count,
+                                ic: Some(v),
+                            };
                         }
                         self.replay_one(core, main, consumer, seq, tag)
                     }
@@ -443,9 +474,17 @@ impl FlexSoc {
                         let at = self.soc.now();
                         let _ = count;
                         if diffs.is_empty() {
-                            let result = SegmentResult { seq, tag, mismatch: None, at };
+                            let result = SegmentResult {
+                                seq,
+                                tag,
+                                mismatch: None,
+                                at,
+                            };
                             self.fabric.stats.segments_ok += 1;
-                            self.fabric.unit_mut(core).checker.finish_segment(result.clone());
+                            self.fabric
+                                .unit_mut(core)
+                                .checker
+                                .finish_segment(result.clone());
                             EngineStep::CheckerSegmentDone(result)
                         } else {
                             let kind = MismatchKind::Ecp { diffs };
@@ -459,18 +498,19 @@ impl FlexSoc {
                                 detected_at: at,
                             };
                             self.fabric.detections.push(event.clone());
-                            self.fabric.unit_mut(core).checker.finish_segment(SegmentResult {
-                                seq,
-                                tag,
-                                mismatch: Some(kind),
-                                at,
-                            });
+                            self.fabric
+                                .unit_mut(core)
+                                .checker
+                                .finish_segment(SegmentResult {
+                                    seq,
+                                    tag,
+                                    mismatch: Some(kind),
+                                    at,
+                                });
                             EngineStep::CheckerDetected(event)
                         }
                     }
-                    Some(_) => {
-                        self.abort_segment(core, main, seq, tag, MismatchKind::LogUnderrun)
-                    }
+                    Some(_) => self.abort_segment(core, main, seq, tag, MismatchKind::LogUnderrun),
                 }
             }
         }
@@ -523,7 +563,9 @@ impl FlexSoc {
                 main,
                 seq,
                 tag,
-                MismatchKind::CheckerFault { what: format!("unexpected replay stop: {other:?}") },
+                MismatchKind::CheckerFault {
+                    what: format!("unexpected replay stop: {other:?}"),
+                },
             ),
         }
     }
@@ -551,7 +593,12 @@ impl FlexSoc {
         self.fabric
             .unit_mut(core)
             .checker
-            .finish_segment(SegmentResult { seq, tag, mismatch: Some(kind), at });
+            .finish_segment(SegmentResult {
+                seq,
+                tag,
+                mismatch: Some(kind),
+                at,
+            });
         EngineStep::CheckerDetected(event)
     }
 

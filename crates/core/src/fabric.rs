@@ -188,7 +188,10 @@ impl fmt::Display for FlexError {
             FlexError::CoreOutOfRange { core } => write!(f, "core {core} out of range"),
             FlexError::NotMain { core } => write!(f, "core {core} is not a main core"),
             FlexError::NotChecker { core } => write!(f, "core {core} is not a checker core"),
-            FlexError::CheckerTaken { checker, current_main } => {
+            FlexError::CheckerTaken {
+                checker,
+                current_main,
+            } => {
                 write!(f, "checker {checker} already serves main {current_main}")
             }
             FlexError::StreamNotDrained { main } => {
@@ -426,7 +429,10 @@ impl Fabric {
             }
             if let Some(&(m, _)) = self.reverse.get(&ch) {
                 if m != main {
-                    return Err(FlexError::CheckerTaken { checker: ch, current_main: m });
+                    return Err(FlexError::CheckerTaken {
+                        checker: ch,
+                        current_main: m,
+                    });
                 }
             }
         }
@@ -497,7 +503,10 @@ impl Fabric {
             return if m == main {
                 Ok(())
             } else {
-                Err(FlexError::CheckerTaken { checker, current_main: m })
+                Err(FlexError::CheckerTaken {
+                    checker,
+                    current_main: m,
+                })
             };
         }
         match self.assoc.get_mut(&main) {
@@ -523,7 +532,10 @@ impl Fabric {
     /// data, or the checker is mid-segment.
     pub fn revoke(&mut self, checker: usize) -> Result<usize, FlexError> {
         self.check_core(checker)?;
-        let (main, _) = *self.reverse.get(&checker).ok_or(FlexError::NoChannel { checker })?;
+        let (main, _) = *self
+            .reverse
+            .get(&checker)
+            .ok_or(FlexError::NoChannel { checker })?;
         if !self.units[main].fifo.is_fully_drained() {
             return Err(FlexError::StreamNotDrained { main });
         }
@@ -651,7 +663,10 @@ mod tests {
         f.associate(0, &[1]).unwrap();
         assert_eq!(
             f.associate(2, &[1]),
-            Err(FlexError::CheckerTaken { checker: 1, current_main: 0 })
+            Err(FlexError::CheckerTaken {
+                checker: 1,
+                current_main: 0
+            })
         );
     }
 
@@ -682,7 +697,10 @@ mod tests {
         let mut f = fabric(2);
         f.configure(&[0], &[1]).unwrap();
         f.set_check_state(1, true).unwrap();
-        assert_eq!(f.configure(&[1], &[0]), Err(FlexError::CheckerBusy { checker: 1 }));
+        assert_eq!(
+            f.configure(&[1], &[0]),
+            Err(FlexError::CheckerBusy { checker: 1 })
+        );
         f.set_check_state(1, false).unwrap();
         f.configure(&[1], &[0]).unwrap();
         assert_eq!(f.ids_contain(1).unwrap(), CoreAttr::Main);

@@ -91,7 +91,12 @@ pub fn inject_random_fault<R: Rng>(
             (FaultTarget::InstCount, bit)
         }
     };
-    Some(InjectionRecord { main_core: main, target, bit, at_cycle: now })
+    Some(InjectionRecord {
+        main_core: main,
+        target,
+        bit,
+        at_cycle: now,
+    })
 }
 
 /// Record of a targeted (coverage-sweep) injection: one packet of the
@@ -181,7 +186,12 @@ pub fn inject_targeted_fault<R: Rng>(
             _ => unreachable!("candidate class checked above"),
         }
     }
-    Some(TargetedInjection { main_core: main, target, bits: flipped, at_cycle: now })
+    Some(TargetedInjection {
+        main_core: main,
+        target,
+        bits: flipped,
+        at_cycle: now,
+    })
 }
 
 /// One sample of a detection-latency campaign.
@@ -274,13 +284,15 @@ mod tests {
     #[test]
     fn injection_mutates_exactly_one_packet() {
         let mut f = fabric_with_entries(8);
-        let before: Vec<Packet> =
-            (0..8).map(|i| *f.unit_mut(0).fifo.packet_mut(i).unwrap()).collect();
+        let before: Vec<Packet> = (0..8)
+            .map(|i| *f.unit_mut(0).fifo.packet_mut(i).unwrap())
+            .collect();
         let mut rng = StdRng::seed_from_u64(7);
         let rec = inject_random_fault(&mut f, 0, 55, &mut rng).unwrap();
         assert_eq!(rec.at_cycle, 55);
-        let after: Vec<Packet> =
-            (0..8).map(|i| *f.unit_mut(0).fifo.packet_mut(i).unwrap()).collect();
+        let after: Vec<Packet> = (0..8)
+            .map(|i| *f.unit_mut(0).fifo.packet_mut(i).unwrap())
+            .collect();
         let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         assert_eq!(changed, 1, "exactly one packet must change");
     }
@@ -292,7 +304,11 @@ mod tests {
         let mut f = fabric_with_entries(4);
         f.unit_mut(0)
             .fifo
-            .push(Packet::Scp(Checkpoint { snapshot: ArchState::new(0).snapshot(), seq: 0, tag: 0 }))
+            .push(Packet::Scp(Checkpoint {
+                snapshot: ArchState::new(0).snapshot(),
+                seq: 0,
+                tag: 0,
+            }))
             .unwrap();
         f.unit_mut(0).fifo.push(Packet::InstCount(100)).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
@@ -314,8 +330,7 @@ mod tests {
     fn targeted_injection_multi_bit_flips_are_distinct() {
         let mut f = fabric_with_entries(2);
         let mut rng = StdRng::seed_from_u64(9);
-        let rec =
-            inject_targeted_fault(&mut f, 0, FaultTarget::EntryData, 8, 0, &mut rng).unwrap();
+        let rec = inject_targeted_fault(&mut f, 0, FaultTarget::EntryData, 8, 0, &mut rng).unwrap();
         assert_eq!(rec.bits.len(), 8);
         let mut sorted = rec.bits.clone();
         sorted.sort_unstable();

@@ -94,7 +94,13 @@ impl VerifiedRun {
         fs.soc.core_mut(0).state.pc = program.entry;
         fs.soc.core_mut(0).state.prv = PrivMode::User;
         fs.soc.core_mut(0).unpark();
-        Ok(VerifiedRun { fs, main: 0, checkers, main_done: false, main_finish_cycle: 0 })
+        Ok(VerifiedRun {
+            fs,
+            main: 0,
+            checkers,
+            main_done: false,
+            main_finish_cycle: 0,
+        })
     }
 
     /// Dual-core verification (one checker) — the Fig. 4 configuration.
@@ -132,7 +138,10 @@ impl VerifiedRun {
     pub fn drained(&self) -> bool {
         self.fs.fabric.unit(self.main).fifo.is_fully_drained()
             && self.checkers.iter().all(|&c| {
-                matches!(self.fs.fabric.unit(c).checker.phase, crate::checker::CheckPhase::WaitScp)
+                matches!(
+                    self.fs.fabric.unit(c).checker.phase,
+                    crate::checker::CheckPhase::WaitScp
+                )
             })
     }
 
@@ -149,7 +158,8 @@ impl VerifiedRun {
         let step = self.fs.step(core);
         if core == self.main {
             if let EngineStep::Core(StepKind::Trap {
-                cause: TrapCause::EcallFromU, ..
+                cause: TrapCause::EcallFromU,
+                ..
             }) = &step
             {
                 self.main_done = true;
@@ -282,7 +292,10 @@ mod tests {
         let r = run.run_to_completion(50_000_000);
         assert!(r.completed);
         let slowdown = r.main_finish_cycle as f64 / base as f64;
-        assert!(slowdown >= 1.0, "verification cannot speed things up: {slowdown}");
+        assert!(
+            slowdown >= 1.0,
+            "verification cannot speed things up: {slowdown}"
+        );
         assert!(slowdown < 1.25, "slowdown should be modest: {slowdown}");
     }
 
@@ -299,9 +312,7 @@ mod tests {
             // Let the pipeline fill, then corrupt an in-flight packet.
             assert!(run.run_until_cycle(20_000));
             let now = run.fs.soc.now();
-            if crate::fault::inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng)
-                .is_some()
-            {
+            if crate::fault::inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng).is_some() {
                 injected += 1;
                 let r = run.run_to_completion(50_000_000);
                 if !r.detections.is_empty() || r.segments_failed > 0 {
@@ -309,7 +320,10 @@ mod tests {
                 }
             }
         }
-        assert!(injected >= 10, "campaign must inject in most runs: {injected}");
+        assert!(
+            injected >= 10,
+            "campaign must inject in most runs: {injected}"
+        );
         // A small number of flips can be architecturally masked (dead
         // registers overwritten before the ECP); coverage must still be
         // high, mirroring the paper's >99.9% claim at scale.

@@ -81,15 +81,30 @@ impl fmt::Display for LogKind {
 pub fn log_entries(access: &MemAccess) -> (LogEntry, Option<LogEntry>) {
     match access.kind {
         MemAccessKind::Load => (
-            LogEntry { kind: LogKind::Load, addr: access.addr, size: access.size, data: access.data },
+            LogEntry {
+                kind: LogKind::Load,
+                addr: access.addr,
+                size: access.size,
+                data: access.data,
+            },
             None,
         ),
         MemAccessKind::Store => (
-            LogEntry { kind: LogKind::Store, addr: access.addr, size: access.size, data: access.data },
+            LogEntry {
+                kind: LogKind::Store,
+                addr: access.addr,
+                size: access.size,
+                data: access.data,
+            },
             None,
         ),
         MemAccessKind::Lr => (
-            LogEntry { kind: LogKind::Lr, addr: access.addr, size: access.size, data: access.data },
+            LogEntry {
+                kind: LogKind::Lr,
+                addr: access.addr,
+                size: access.size,
+                data: access.data,
+            },
             None,
         ),
         MemAccessKind::Sc { success } => (
@@ -113,7 +128,12 @@ pub fn log_entries(access: &MemAccess) -> (LogEntry, Option<LogEntry>) {
                 size: access.size,
                 data: access.data,
             },
-            Some(LogEntry { kind: LogKind::AmoLoad, addr: 0, size: access.size, data: loaded }),
+            Some(LogEntry {
+                kind: LogKind::AmoLoad,
+                addr: 0,
+                size: access.size,
+                data: loaded,
+            }),
         ),
     }
 }
@@ -163,12 +183,22 @@ mod tests {
 
     #[test]
     fn simple_accesses_make_one_entry() {
-        let a = MemAccess { kind: MemAccessKind::Load, addr: 0x100, size: 8, data: 7 };
+        let a = MemAccess {
+            kind: MemAccessKind::Load,
+            addr: 0x100,
+            size: 8,
+            data: 7,
+        };
         let (e, extra) = log_entries(&a);
         assert_eq!(e.kind, LogKind::Load);
         assert_eq!(e.data, 7);
         assert!(extra.is_none());
-        let a = MemAccess { kind: MemAccessKind::Store, addr: 0x100, size: 4, data: 9 };
+        let a = MemAccess {
+            kind: MemAccessKind::Store,
+            addr: 0x100,
+            size: 4,
+            data: 9,
+        };
         let (e, extra) = log_entries(&a);
         assert_eq!(e.kind, LogKind::Store);
         assert!(extra.is_none());
@@ -176,7 +206,12 @@ mod tests {
 
     #[test]
     fn sc_packs_two_entries() {
-        let a = MemAccess { kind: MemAccessKind::Sc { success: true }, addr: 0x80, size: 8, data: 5 };
+        let a = MemAccess {
+            kind: MemAccessKind::Sc { success: true },
+            addr: 0x80,
+            size: 8,
+            data: 5,
+        };
         let (e, extra) = log_entries(&a);
         assert_eq!(e.kind, LogKind::ScAddrData);
         assert_eq!(e.data, 5);
@@ -187,7 +222,12 @@ mod tests {
 
     #[test]
     fn amo_packs_two_entries() {
-        let a = MemAccess { kind: MemAccessKind::Amo { loaded: 10 }, addr: 0x80, size: 8, data: 13 };
+        let a = MemAccess {
+            kind: MemAccessKind::Amo { loaded: 10 },
+            addr: 0x80,
+            size: 8,
+            data: 13,
+        };
         let (e, extra) = log_entries(&a);
         assert_eq!(e.kind, LogKind::AmoAddrData);
         assert_eq!(e.data, 13, "first µop carries stored value");
@@ -198,11 +238,25 @@ mod tests {
 
     #[test]
     fn packet_sizes_reflect_multi_uop_packaging() {
-        let full = Packet::Mem(LogEntry { kind: LogKind::Load, addr: 0, size: 8, data: 0 });
-        let half = Packet::Mem(LogEntry { kind: LogKind::ScResult, addr: 0, size: 8, data: 1 });
+        let full = Packet::Mem(LogEntry {
+            kind: LogKind::Load,
+            addr: 0,
+            size: 8,
+            data: 0,
+        });
+        let half = Packet::Mem(LogEntry {
+            kind: LogKind::ScResult,
+            addr: 0,
+            size: 8,
+            data: 1,
+        });
         assert_eq!(full.bytes(), 16);
         assert_eq!(half.bytes(), 8, "supplementary µop entries are half-width");
-        let cp = Packet::Scp(Checkpoint { snapshot: snap(), seq: 0, tag: 0 });
+        let cp = Packet::Scp(Checkpoint {
+            snapshot: snap(),
+            seq: 0,
+            tag: 0,
+        });
         assert_eq!(cp.bytes(), ArchSnapshot::BYTES + 8);
         assert!(cp.is_checkpoint());
         assert_eq!(Packet::InstCount(5).bytes(), 8);

@@ -50,7 +50,13 @@ struct OpenSegment {
 impl SegmentTracker {
     /// Creates a tracker with the given count limit.
     pub fn new(limit: u64) -> Self {
-        SegmentTracker { limit, open: None, next_seq: 0, tag: 0, segments_closed: 0 }
+        SegmentTracker {
+            limit,
+            open: None,
+            next_seq: 0,
+            tag: 0,
+            segments_closed: 0,
+        }
     }
 
     /// The configured segment limit.
@@ -89,7 +95,11 @@ impl SegmentTracker {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.open = Some(OpenSegment { seq, count: 0 });
-        Checkpoint { snapshot: at, seq, tag: self.tag }
+        Checkpoint {
+            snapshot: at,
+            seq,
+            tag: self.tag,
+        }
     }
 
     /// Records one user-mode retirement; returns `true` when the segment
@@ -113,7 +123,14 @@ impl SegmentTracker {
     pub fn close_segment(&mut self, at: ArchSnapshot, _why: SegmentClose) -> (u64, Checkpoint) {
         let seg = self.open.take().expect("close without open segment");
         self.segments_closed += 1;
-        (seg.count, Checkpoint { snapshot: at, seq: seg.seq, tag: self.tag })
+        (
+            seg.count,
+            Checkpoint {
+                snapshot: at,
+                seq: seg.seq,
+                tag: self.tag,
+            },
+        )
     }
 
     /// Abandons an open segment without emitting checkpoints (association
@@ -245,7 +262,11 @@ mod tests {
         assert!(!a.has_saved());
         a.record(snap(0x99));
         assert!(a.has_saved());
-        let scp = Checkpoint { snapshot: snap(0x50), seq: 7, tag: 0 };
+        let scp = Checkpoint {
+            snapshot: snap(0x50),
+            seq: 7,
+            tag: 0,
+        };
         a.stage_scp(scp);
         assert!(a.has_scp());
         assert_eq!(a.take_scp().unwrap().seq, 7);

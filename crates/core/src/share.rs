@@ -265,7 +265,10 @@ impl SharedCheckerRun {
     /// Whether every main finished and every stream drained.
     pub fn finished(&self) -> bool {
         self.done.iter().all(|&d| d)
-            && self.mains.iter().all(|&m| self.fs.fabric.unit(m).fifo.is_fully_drained())
+            && self
+                .mains
+                .iter()
+                .all(|&m| self.fs.fabric.unit(m).fifo.is_fully_drained())
             && self.fs.fabric.unit(self.checker).checker.phase == CheckPhase::WaitScp
     }
 
@@ -282,7 +285,10 @@ impl SharedCheckerRun {
         let step = self.fs.step(core);
         if let Some(slot) = self.mains.iter().position(|&m| m == core) {
             match &step {
-                EngineStep::Core(StepKind::Trap { cause: TrapCause::EcallFromU, .. }) => {
+                EngineStep::Core(StepKind::Trap {
+                    cause: TrapCause::EcallFromU,
+                    ..
+                }) => {
                     self.done[slot] = true;
                     self.finish_cycle[slot] = self.fs.soc.now();
                     self.fs.soc.core_mut(core).park();
@@ -433,13 +439,10 @@ mod tests {
             if !run.step_once() {
                 break;
             }
-            if !injected
-                && run.arbiter.granted() == Some(0)
-                && run.fs.fabric.unit(1).fifo.len() > 4
+            if !injected && run.arbiter.granted() == Some(0) && run.fs.fabric.unit(1).fifo.len() > 4
             {
                 let now = run.fs.soc.now();
-                if crate::fault::inject_random_fault(&mut run.fs.fabric, 1, now, &mut rng)
-                    .is_some()
+                if crate::fault::inject_random_fault(&mut run.fs.fabric, 1, now, &mut rng).is_some()
                 {
                     injected = true;
                 }
@@ -476,7 +479,11 @@ mod tests {
         assert!(!arb.request(&mut fabric, 1).unwrap());
         assert_eq!(arb.poll(&mut fabric), None, "granted main not released");
         arb.release(0);
-        assert_eq!(arb.poll(&mut fabric), Some(1), "drained + released => switch");
+        assert_eq!(
+            arb.poll(&mut fabric),
+            Some(1),
+            "drained + released => switch"
+        );
         assert_eq!(arb.granted(), Some(1));
         assert!(fabric.checkers_of(1).contains(&3));
         assert!(fabric.checkers_of(0).is_empty(), "main 0 back to pending");

@@ -34,17 +34,34 @@ enum PacketShape {
 fn packet_of(shape: PacketShape, n: u64) -> Packet {
     let snap = ArchState::new(n).snapshot();
     match shape {
-        PacketShape::Load => {
-            Packet::Mem(LogEntry { kind: LogKind::Load, addr: 0x1000 + n * 8, size: 8, data: n })
-        }
-        PacketShape::Store => {
-            Packet::Mem(LogEntry { kind: LogKind::Store, addr: 0x2000 + n * 8, size: 8, data: n })
-        }
-        PacketShape::ScPair => {
-            Packet::Mem(LogEntry { kind: LogKind::ScResult, addr: 0, size: 8, data: n & 1 })
-        }
-        PacketShape::Scp => Packet::Scp(Checkpoint { snapshot: snap, seq: n, tag: 7 }),
-        PacketShape::Ecp => Packet::Ecp(Checkpoint { snapshot: snap, seq: n, tag: 7 }),
+        PacketShape::Load => Packet::Mem(LogEntry {
+            kind: LogKind::Load,
+            addr: 0x1000 + n * 8,
+            size: 8,
+            data: n,
+        }),
+        PacketShape::Store => Packet::Mem(LogEntry {
+            kind: LogKind::Store,
+            addr: 0x2000 + n * 8,
+            size: 8,
+            data: n,
+        }),
+        PacketShape::ScPair => Packet::Mem(LogEntry {
+            kind: LogKind::ScResult,
+            addr: 0,
+            size: 8,
+            data: n & 1,
+        }),
+        PacketShape::Scp => Packet::Scp(Checkpoint {
+            snapshot: snap,
+            seq: n,
+            tag: 7,
+        }),
+        PacketShape::Ecp => Packet::Ecp(Checkpoint {
+            snapshot: snap,
+            seq: n,
+            tag: 7,
+        }),
         PacketShape::Count => Packet::InstCount(n),
     }
 }
@@ -71,7 +88,9 @@ struct Reference {
 
 impl Reference {
     fn new(consumers: usize) -> Self {
-        Reference { streams: (0..consumers).map(|_| VecDeque::new()).collect() }
+        Reference {
+            streams: (0..consumers).map(|_| VecDeque::new()).collect(),
+        }
     }
     fn push(&mut self, p: Packet) {
         for s in &mut self.streams {

@@ -46,8 +46,10 @@ fn run_verified(fs: &mut FlexSoc, main: usize, checker: usize, program: &Program
     let mut done = false;
     for _ in 0..30_000_000u64 {
         if !done {
-            if let EngineStep::Core(StepKind::Trap { cause: TrapCause::EcallFromU, .. }) =
-                fs.step(main)
+            if let EngineStep::Core(StepKind::Trap {
+                cause: TrapCause::EcallFromU,
+                ..
+            }) = fs.step(main)
             {
                 done = true;
                 fs.soc.core_mut(main).park();
@@ -90,7 +92,10 @@ fn roles_swap_between_runs() {
 
     let p2 = store_loop("second", 2_000, 1);
     let (checked, failed) = run_verified(&mut fs, 1, 0, &p2);
-    assert!(checked > 0, "phase 2 verified segments on the swapped roles");
+    assert!(
+        checked > 0,
+        "phase 2 verified segments on the swapped roles"
+    );
     assert_eq!(failed, 0);
 }
 
@@ -148,7 +153,10 @@ fn associate_validates_roles_and_ownership() {
     let mut fs = FlexSoc::new(SocConfig::paper(4), FabricConfig::paper()).unwrap();
     fs.op_g_configure(&[0, 2], &[1]).unwrap();
     // Checker list cannot be empty.
-    assert_eq!(fs.op_m_associate(0, &[]).unwrap_err(), FlexError::NoCheckers);
+    assert_eq!(
+        fs.op_m_associate(0, &[]).unwrap_err(),
+        FlexError::NoCheckers
+    );
     // A compute core is not a checker.
     assert_eq!(
         fs.op_m_associate(0, &[3]).unwrap_err(),
@@ -163,14 +171,24 @@ fn associate_validates_roles_and_ownership() {
     fs.op_m_associate(0, &[1]).unwrap();
     assert_eq!(
         fs.op_m_associate(2, &[1]).unwrap_err(),
-        FlexError::CheckerTaken { checker: 1, current_main: 0 }
+        FlexError::CheckerTaken {
+            checker: 1,
+            current_main: 0
+        }
     );
     // Checker-only ops on the wrong attribute.
-    assert_eq!(fs.op_c_record(0).unwrap_err(), FlexError::NotChecker { core: 0 });
-    assert_eq!(fs.op_c_result(0).unwrap_err(), FlexError::NotChecker { core: 0 });
+    assert_eq!(
+        fs.op_c_record(0).unwrap_err(),
+        FlexError::NotChecker { core: 0 }
+    );
+    assert_eq!(
+        fs.op_c_result(0).unwrap_err(),
+        FlexError::NotChecker { core: 0 }
+    );
 }
 
 #[test]
+#[allow(clippy::needless_range_loop)] // `core` is a core id, not just an index
 fn compute_cores_run_unchecked_alongside_verification() {
     // 4 cores: 0 verified by 1; cores 2 and 3 are plain compute running
     // their own programs with zero FlexStep involvement.
@@ -200,8 +218,10 @@ fn compute_cores_run_unchecked_alongside_verification() {
             if finished[core] && core != 1 {
                 continue;
             }
-            if let EngineStep::Core(StepKind::Trap { cause: TrapCause::EcallFromU, .. }) =
-                fs.step(core)
+            if let EngineStep::Core(StepKind::Trap {
+                cause: TrapCause::EcallFromU,
+                ..
+            }) = fs.step(core)
             {
                 finished[core] = true;
                 fs.soc.core_mut(core).park();
@@ -211,7 +231,10 @@ fn compute_cores_run_unchecked_alongside_verification() {
             break;
         }
     }
-    assert!(finished.iter().all(|&f| f), "all programs finish: {finished:?}");
+    assert!(
+        finished.iter().all(|&f| f),
+        "all programs finish: {finished:?}"
+    );
     assert_eq!(fs.checker_state(1).segments_failed, 0);
     assert!(fs.checker_state(1).segments_checked > 0);
     // Compute cores never produced checking traffic.

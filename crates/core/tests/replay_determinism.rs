@@ -16,24 +16,76 @@ use proptest::prelude::*;
 
 /// Registers the generator may freely clobber (a2 = data base, a1 = loop
 /// counter are reserved).
-const SCRATCH: [XReg; 8] =
-    [XReg::A0, XReg::A3, XReg::A4, XReg::A5, XReg::A6, XReg::A7, XReg::T0, XReg::T1];
+const SCRATCH: [XReg; 8] = [
+    XReg::A0,
+    XReg::A3,
+    XReg::A4,
+    XReg::A5,
+    XReg::A6,
+    XReg::A7,
+    XReg::T0,
+    XReg::T1,
+];
 
 const FP: [u32; 6] = [0, 1, 2, 3, 4, 5];
 
 #[derive(Debug, Clone)]
 enum BodyOp {
-    Alu { op: IntOp, rd: usize, rs1: usize, rs2: usize },
-    AluImm { op: IntImmOp, rd: usize, rs1: usize, imm: i64 },
-    Load { rd: usize, offset: i64 },
-    Store { rs: usize, offset: i64 },
-    Amo { op: AmoOp, rd: usize, rs: usize, offset_slot: i64 },
-    LrSc { rd: usize, rs: usize, offset_slot: i64 },
-    Fld { fd: usize, offset: i64 },
-    Fsd { fs: usize, offset: i64 },
-    Fp { op: FpOp, fd: usize, fa: usize, fb: usize },
-    Fma { fd: usize, fa: usize, fb: usize, fc: usize },
-    FCvt { rd: usize, fa: usize },
+    Alu {
+        op: IntOp,
+        rd: usize,
+        rs1: usize,
+        rs2: usize,
+    },
+    AluImm {
+        op: IntImmOp,
+        rd: usize,
+        rs1: usize,
+        imm: i64,
+    },
+    Load {
+        rd: usize,
+        offset: i64,
+    },
+    Store {
+        rs: usize,
+        offset: i64,
+    },
+    Amo {
+        op: AmoOp,
+        rd: usize,
+        rs: usize,
+        offset_slot: i64,
+    },
+    LrSc {
+        rd: usize,
+        rs: usize,
+        offset_slot: i64,
+    },
+    Fld {
+        fd: usize,
+        offset: i64,
+    },
+    Fsd {
+        fs: usize,
+        offset: i64,
+    },
+    Fp {
+        op: FpOp,
+        fd: usize,
+        fa: usize,
+        fb: usize,
+    },
+    Fma {
+        fd: usize,
+        fa: usize,
+        fb: usize,
+        fc: usize,
+    },
+    FCvt {
+        rd: usize,
+        fa: usize,
+    },
 }
 
 fn body_op() -> impl Strategy<Value = BodyOp> {
@@ -57,7 +109,11 @@ fn body_op() -> impl Strategy<Value = BodyOp> {
         )
             .prop_map(|(op, rd, rs1, rs2)| BodyOp::Alu { op, rd, rs1, rs2 }),
         (
-            prop_oneof![Just(IntImmOp::Addi), Just(IntImmOp::Xori), Just(IntImmOp::Andi)],
+            prop_oneof![
+                Just(IntImmOp::Addi),
+                Just(IntImmOp::Xori),
+                Just(IntImmOp::Andi)
+            ],
             reg.clone(),
             reg.clone(),
             -512i64..512
@@ -66,18 +122,36 @@ fn body_op() -> impl Strategy<Value = BodyOp> {
         (reg.clone(), off.clone()).prop_map(|(rd, offset)| BodyOp::Load { rd, offset }),
         (reg.clone(), off.clone()).prop_map(|(rs, offset)| BodyOp::Store { rs, offset }),
         (
-            prop_oneof![Just(AmoOp::Add), Just(AmoOp::Swap), Just(AmoOp::Xor), Just(AmoOp::Max)],
+            prop_oneof![
+                Just(AmoOp::Add),
+                Just(AmoOp::Swap),
+                Just(AmoOp::Xor),
+                Just(AmoOp::Max)
+            ],
             reg.clone(),
             reg.clone(),
             0i64..8
         )
-            .prop_map(|(op, rd, rs, slot)| BodyOp::Amo { op, rd, rs, offset_slot: slot * 8 }),
-        (reg.clone(), reg.clone(), 0i64..8)
-            .prop_map(|(rd, rs, slot)| BodyOp::LrSc { rd, rs, offset_slot: slot * 8 }),
+            .prop_map(|(op, rd, rs, slot)| BodyOp::Amo {
+                op,
+                rd,
+                rs,
+                offset_slot: slot * 8
+            }),
+        (reg.clone(), reg.clone(), 0i64..8).prop_map(|(rd, rs, slot)| BodyOp::LrSc {
+            rd,
+            rs,
+            offset_slot: slot * 8
+        }),
         (freg.clone(), off.clone()).prop_map(|(fd, offset)| BodyOp::Fld { fd, offset }),
         (freg.clone(), off.clone()).prop_map(|(fs, offset)| BodyOp::Fsd { fs, offset }),
         (
-            prop_oneof![Just(FpOp::Add), Just(FpOp::Sub), Just(FpOp::Mul), Just(FpOp::Min)],
+            prop_oneof![
+                Just(FpOp::Add),
+                Just(FpOp::Sub),
+                Just(FpOp::Mul),
+                Just(FpOp::Min)
+            ],
             freg.clone(),
             freg.clone(),
             freg.clone()
@@ -105,16 +179,30 @@ fn build_program(body: &[BodyOp], iters: i64) -> Program {
     }
     for (i, &f) in FP.iter().enumerate() {
         asm.li(XReg::T2, i as i64 + 1);
-        asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: f, rs1: XReg::T2.index() as u32 });
+        asm.push(Inst::FpCvt {
+            op: FpCvtOp::LToD,
+            rd: f,
+            rs1: XReg::T2.index() as u32,
+        });
     }
     asm.label("loop").unwrap();
     for op in body {
         match *op {
             BodyOp::Alu { op, rd, rs1, rs2 } => {
-                asm.push(Inst::Op { op, rd: SCRATCH[rd], rs1: SCRATCH[rs1], rs2: SCRATCH[rs2] });
+                asm.push(Inst::Op {
+                    op,
+                    rd: SCRATCH[rd],
+                    rs1: SCRATCH[rs1],
+                    rs2: SCRATCH[rs2],
+                });
             }
             BodyOp::AluImm { op, rd, rs1, imm } => {
-                asm.push(Inst::OpImm { op, rd: SCRATCH[rd], rs1: SCRATCH[rs1], imm });
+                asm.push(Inst::OpImm {
+                    op,
+                    rd: SCRATCH[rd],
+                    rs1: SCRATCH[rs1],
+                    imm,
+                });
             }
             BodyOp::Load { rd, offset } => {
                 asm.ld(SCRATCH[rd], XReg::A2, offset);
@@ -122,7 +210,12 @@ fn build_program(body: &[BodyOp], iters: i64) -> Program {
             BodyOp::Store { rs, offset } => {
                 asm.sd(XReg::A2, SCRATCH[rs], offset);
             }
-            BodyOp::Amo { op, rd, rs, offset_slot } => {
+            BodyOp::Amo {
+                op,
+                rd,
+                rs,
+                offset_slot,
+            } => {
                 // Compute the address in t2 = a2 + slot.
                 asm.addi(XReg::T2, XReg::A2, offset_slot);
                 asm.push(Inst::Amo {
@@ -133,9 +226,17 @@ fn build_program(body: &[BodyOp], iters: i64) -> Program {
                     rs2: SCRATCH[rs],
                 });
             }
-            BodyOp::LrSc { rd, rs, offset_slot } => {
+            BodyOp::LrSc {
+                rd,
+                rs,
+                offset_slot,
+            } => {
                 asm.addi(XReg::T2, XReg::A2, offset_slot);
-                asm.push(Inst::Lr { width: AmoWidth::D, rd: SCRATCH[rd], rs1: XReg::T2 });
+                asm.push(Inst::Lr {
+                    width: AmoWidth::D,
+                    rd: SCRATCH[rd],
+                    rs1: XReg::T2,
+                });
                 asm.push(Inst::Sc {
                     width: AmoWidth::D,
                     rd: SCRATCH[rd],

@@ -37,9 +37,15 @@ fn three_mains_share_one_checker_cleanly() {
     let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
     let report = run.run_to_completion(100_000_000);
 
-    assert!(report.mains.iter().all(|m| m.completed), "all mains finish: {report:?}");
+    assert!(
+        report.mains.iter().all(|m| m.completed),
+        "all mains finish: {report:?}"
+    );
     assert_eq!(report.segments_failed, 0, "clean streams verify clean");
-    assert!(report.segments_checked >= 3, "every stream produced segments");
+    assert!(
+        report.segments_checked >= 3,
+        "every stream produced segments"
+    );
     assert!(report.detections.is_empty());
     // Exactly one immediate grant; the other two conflicted and queued.
     assert_eq!(report.arbiter.immediate_grants, 1);
@@ -75,7 +81,10 @@ fn shared_checker_detection_attributes_the_right_main() {
         "the corrupted stream must be detected: {report:?}"
     );
     for d in &report.detections {
-        assert_eq!(d.main_core, 1, "detection must blame the corrupted main: {d}");
+        assert_eq!(
+            d.main_core, 1,
+            "detection must blame the corrupted main: {d}"
+        );
         assert_eq!(d.checker_core, 2, "the shared checker reports it");
     }
     // Main 0's stream still verified clean alongside.

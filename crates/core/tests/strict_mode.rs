@@ -59,7 +59,10 @@ fn strict_mode_is_slower_but_correct() {
     let rs = spill.run_to_completion(100_000_000);
     let mut strict = VerifiedRun::dual_core(
         &program,
-        FabricConfig { fifo_entry_bytes: 256, ..FabricConfig::paper_strict() },
+        FabricConfig {
+            fifo_entry_bytes: 256,
+            ..FabricConfig::paper_strict()
+        },
     )
     .unwrap();
     let rt = strict.run_to_completion(100_000_000);
@@ -75,7 +78,10 @@ fn strict_mode_is_slower_but_correct() {
         rt.main_finish_cycle,
         rs.main_finish_cycle
     );
-    assert!(rt.main_finish_cycle >= base, "verification never speeds the main core up");
+    assert!(
+        rt.main_finish_cycle >= base,
+        "verification never speeds the main core up"
+    );
 }
 
 #[test]
@@ -84,7 +90,10 @@ fn strict_mode_detects_injected_faults_too() {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    let tight = FabricConfig { fifo_entry_bytes: 256, ..FabricConfig::paper_strict() };
+    let tight = FabricConfig {
+        fifo_entry_bytes: 256,
+        ..FabricConfig::paper_strict()
+    };
     let program = memory_heavy(5_000);
     let mut injected = 0;
     let mut detected = 0;
@@ -101,7 +110,10 @@ fn strict_mode_detects_injected_faults_too() {
             }
         }
     }
-    assert!(injected >= 6, "faults must land in the smaller in-flight window: {injected}");
+    assert!(
+        injected >= 6,
+        "faults must land in the smaller in-flight window: {injected}"
+    );
     assert!(
         detected * 10 >= injected * 8,
         "streaming replay must still verify: {detected}/{injected}"

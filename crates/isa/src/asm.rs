@@ -141,7 +141,12 @@ enum Item {
     /// A fully formed instruction.
     Inst(Inst),
     /// Conditional branch to a label (1 word).
-    BranchTo { op: BranchOp, rs1: XReg, rs2: XReg, label: String },
+    BranchTo {
+        op: BranchOp,
+        rs1: XReg,
+        rs2: XReg,
+        label: String,
+    },
     /// `jal` to a label (1 word).
     JalTo { rd: XReg, label: String },
     /// Absolute-address materialisation (`lui`+`addiw`, 2 words).
@@ -270,9 +275,20 @@ impl Assembler {
     // ----- label-relative control flow -------------------------------------
 
     /// Conditional branch to `label`.
-    pub fn branch(&mut self, op: BranchOp, rs1: XReg, rs2: XReg, label: impl Into<String>) -> &mut Self {
+    pub fn branch(
+        &mut self,
+        op: BranchOp,
+        rs1: XReg,
+        rs2: XReg,
+        label: impl Into<String>,
+    ) -> &mut Self {
         self.text_len += 1;
-        self.items.push(Item::BranchTo { op, rs1, rs2, label: label.into() });
+        self.items.push(Item::BranchTo {
+            op,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
 
@@ -319,26 +335,39 @@ impl Assembler {
     /// Unconditional jump to `label`.
     pub fn j(&mut self, label: impl Into<String>) -> &mut Self {
         self.text_len += 1;
-        self.items.push(Item::JalTo { rd: XReg::ZERO, label: label.into() });
+        self.items.push(Item::JalTo {
+            rd: XReg::ZERO,
+            label: label.into(),
+        });
         self
     }
 
     /// `call label` (`jal ra, label`).
     pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
         self.text_len += 1;
-        self.items.push(Item::JalTo { rd: XReg::RA, label: label.into() });
+        self.items.push(Item::JalTo {
+            rd: XReg::RA,
+            label: label.into(),
+        });
         self
     }
 
     /// `ret` (`jalr x0, 0(ra)`).
     pub fn ret(&mut self) -> &mut Self {
-        self.push(Inst::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 })
+        self.push(Inst::Jalr {
+            rd: XReg::ZERO,
+            rs1: XReg::RA,
+            offset: 0,
+        })
     }
 
     /// Loads the absolute address of `label` into `rd` (`lui`+`addiw`).
     pub fn la(&mut self, rd: XReg, label: impl Into<String>) -> &mut Self {
         self.text_len += 2;
-        self.items.push(Item::LoadAddr { rd, label: label.into() });
+        self.items.push(Item::LoadAddr {
+            rd,
+            label: label.into(),
+        });
         self
     }
 
@@ -355,7 +384,12 @@ impl Assembler {
 
     /// `mv rd, rs` (`addi rd, rs, 0`).
     pub fn mv(&mut self, rd: XReg, rs: XReg) -> &mut Self {
-        self.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1: rs, imm: 0 })
+        self.push(Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd,
+            rs1: rs,
+            imm: 0,
+        })
     }
 
     /// `nop`.
@@ -365,32 +399,62 @@ impl Assembler {
 
     /// `addi rd, rs1, imm`.
     pub fn addi(&mut self, rd: XReg, rs1: XReg, imm: i64) -> &mut Self {
-        self.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1, imm })
+        self.push(Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `add rd, rs1, rs2`.
     pub fn add(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
-        self.push(Inst::Op { op: IntOp::Add, rd, rs1, rs2 })
+        self.push(Inst::Op {
+            op: IntOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `sub rd, rs1, rs2`.
     pub fn sub(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
-        self.push(Inst::Op { op: IntOp::Sub, rd, rs1, rs2 })
+        self.push(Inst::Op {
+            op: IntOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `mul rd, rs1, rs2`.
     pub fn mul(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
-        self.push(Inst::Op { op: IntOp::Mul, rd, rs1, rs2 })
+        self.push(Inst::Op {
+            op: IntOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// Integer load.
     pub fn load(&mut self, op: LoadOp, rd: XReg, rs1: XReg, offset: i64) -> &mut Self {
-        self.push(Inst::Load { op, rd, rs1, offset })
+        self.push(Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// Integer store.
     pub fn store(&mut self, op: StoreOp, rs1: XReg, rs2: XReg, offset: i64) -> &mut Self {
-        self.push(Inst::Store { op, rs1, rs2, offset })
+        self.push(Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        })
     }
 
     /// `ld rd, offset(rs1)`.
@@ -432,7 +496,9 @@ impl Assembler {
             self.labels
                 .get(label)
                 .copied()
-                .ok_or_else(|| AsmError::UnknownLabel { label: label.to_string() })
+                .ok_or_else(|| AsmError::UnknownLabel {
+                    label: label.to_string(),
+                })
         };
         let enc = |inst: &Inst, index: usize| -> Result<u32, AsmError> {
             encode(inst).map_err(|source| AsmError::Encode { index, source })
@@ -443,10 +509,20 @@ impl Assembler {
                 Item::Inst(inst) => {
                     text.push(enc(inst, text.len())?);
                 }
-                Item::BranchTo { op, rs1, rs2, label } => {
+                Item::BranchTo {
+                    op,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let target = lookup(label)?;
                     let offset = target.wrapping_sub(pc) as i64;
-                    let inst = Inst::Branch { op: *op, rs1: *rs1, rs2: *rs2, offset };
+                    let inst = Inst::Branch {
+                        op: *op,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset,
+                    };
                     text.push(enc(&inst, text.len())?);
                 }
                 Item::JalTo { rd, label } => {
@@ -463,7 +539,12 @@ impl Assembler {
                     let (hi, lo) = split_hi_lo(addr as i64);
                     text.push(enc(&Inst::Lui { rd: *rd, imm: hi }, text.len())?);
                     text.push(enc(
-                        &Inst::OpImmW { op: IntImmWOp::Addiw, rd: *rd, rs1: *rd, imm: lo },
+                        &Inst::OpImmW {
+                            op: IntImmWOp::Addiw,
+                            rd: *rd,
+                            rs1: *rd,
+                            imm: lo,
+                        },
                         text.len(),
                     )?);
                 }
@@ -486,7 +567,7 @@ impl Assembler {
 /// Splits a 32-bit-range value into `lui` upper and `addiw` lower parts such
 /// that `hi + lo == value` after sign extension of `lo`.
 fn split_hi_lo(value: i64) -> (i64, i64) {
-    let lo = ((value & 0xFFF) as i64).wrapping_sub(if value & 0x800 != 0 { 0x1000 } else { 0 });
+    let lo = (value & 0xFFF).wrapping_sub(if value & 0x800 != 0 { 0x1000 } else { 0 });
     let hi = (value - lo) & 0xFFFF_F000;
     (hi as i32 as i64, lo)
 }
@@ -500,7 +581,12 @@ pub fn materialize_const(rd: XReg, value: i64) -> Vec<Inst> {
 
 fn emit_const(out: &mut Vec<Inst>, rd: XReg, value: i64) {
     if (-2048..=2047).contains(&value) {
-        out.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1: XReg::ZERO, imm: value });
+        out.push(Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd,
+            rs1: XReg::ZERO,
+            imm: value,
+        });
         return;
     }
     if value >= i32::MIN as i64 && value <= i32::MAX as i64 {
@@ -508,24 +594,44 @@ fn emit_const(out: &mut Vec<Inst>, rd: XReg, value: i64) {
         if hi == 0 {
             // value fits in 12 bits after all (handled above), unreachable,
             // but keep a safe fallback.
-            out.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1: XReg::ZERO, imm: lo });
+            out.push(Inst::OpImm {
+                op: IntImmOp::Addi,
+                rd,
+                rs1: XReg::ZERO,
+                imm: lo,
+            });
             return;
         }
         out.push(Inst::Lui { rd, imm: hi });
         if lo != 0 {
-            out.push(Inst::OpImmW { op: IntImmWOp::Addiw, rd, rs1: rd, imm: lo });
+            out.push(Inst::OpImmW {
+                op: IntImmWOp::Addiw,
+                rd,
+                rs1: rd,
+                imm: lo,
+            });
         }
         return;
     }
     // 64-bit: materialise the upper part, shift, then add the low 12 bits.
-    let lo = ((value & 0xFFF) as i64).wrapping_sub(if value & 0x800 != 0 { 0x1000 } else { 0 });
+    let lo = (value & 0xFFF).wrapping_sub(if value & 0x800 != 0 { 0x1000 } else { 0 });
     // Wrapping subtraction: register arithmetic is modulo 2⁶⁴, so the
     // materialised result is exact even when `value - lo` overflows i64.
     let upper = value.wrapping_sub(lo) >> 12;
     emit_const(out, rd, upper);
-    out.push(Inst::OpImm { op: IntImmOp::Slli, rd, rs1: rd, imm: 12 });
+    out.push(Inst::OpImm {
+        op: IntImmOp::Slli,
+        rd,
+        rs1: rd,
+        imm: 12,
+    });
     if lo != 0 {
-        out.push(Inst::OpImm { op: IntImmOp::Addi, rd, rs1: rd, imm: lo });
+        out.push(Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd,
+            rs1: rd,
+            imm: lo,
+        });
     }
 }
 
@@ -539,13 +645,28 @@ mod tests {
         let mut regs = [0i64; 32];
         for inst in insts {
             match *inst {
-                Inst::OpImm { op: IntImmOp::Addi, rd, rs1, imm } => {
+                Inst::OpImm {
+                    op: IntImmOp::Addi,
+                    rd,
+                    rs1,
+                    imm,
+                } => {
                     regs[rd.index() as usize] = regs[rs1.index() as usize].wrapping_add(imm);
                 }
-                Inst::OpImm { op: IntImmOp::Slli, rd, rs1, imm } => {
+                Inst::OpImm {
+                    op: IntImmOp::Slli,
+                    rd,
+                    rs1,
+                    imm,
+                } => {
                     regs[rd.index() as usize] = regs[rs1.index() as usize] << imm;
                 }
-                Inst::OpImmW { op: IntImmWOp::Addiw, rd, rs1, imm } => {
+                Inst::OpImmW {
+                    op: IntImmWOp::Addiw,
+                    rd,
+                    rs1,
+                    imm,
+                } => {
                     let v = regs[rs1.index() as usize].wrapping_add(imm);
                     regs[rd.index() as usize] = v as i32 as i64;
                 }
@@ -569,7 +690,14 @@ mod tests {
 
     #[test]
     fn li_32bit_values() {
-        for v in [4096i64, -4096, 0x12345678, -0x12345678, i32::MAX as i64, i32::MIN as i64] {
+        for v in [
+            4096i64,
+            -4096,
+            0x12345678,
+            -0x12345678,
+            i32::MAX as i64,
+            i32::MIN as i64,
+        ] {
             let seq = materialize_const(XReg::A0, v);
             assert!(seq.len() <= 2, "value {v} took {} insts", seq.len());
             assert_eq!(eval_const_seq(&seq, XReg::A0), v, "value {v:#x}");
@@ -604,11 +732,22 @@ mod tests {
         let p = asm.finish().unwrap();
         assert_eq!(p.len(), 4);
         // The jump at index 1 must skip one instruction (offset +8).
-        assert_eq!(decode(p.text[1]).unwrap(), Inst::Jal { rd: XReg::ZERO, offset: 8 });
+        assert_eq!(
+            decode(p.text[1]).unwrap(),
+            Inst::Jal {
+                rd: XReg::ZERO,
+                offset: 8
+            }
+        );
         // The branch at index 3 goes back to start (offset -12).
         assert_eq!(
             decode(p.text[3]).unwrap(),
-            Inst::Branch { op: BranchOp::Eq, rs1: XReg::ZERO, rs2: XReg::ZERO, offset: -12 }
+            Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: XReg::ZERO,
+                rs2: XReg::ZERO,
+                offset: -12
+            }
         );
     }
 
@@ -616,7 +755,10 @@ mod tests {
     fn duplicate_label_rejected() {
         let mut asm = Assembler::new("t");
         asm.label("x").unwrap();
-        assert_eq!(asm.label("x"), Err(AsmError::DuplicateLabel { label: "x".into() }));
+        assert_eq!(
+            asm.label("x"),
+            Err(AsmError::DuplicateLabel { label: "x".into() })
+        );
     }
 
     #[test]
@@ -625,7 +767,9 @@ mod tests {
         asm.j("nowhere");
         assert_eq!(
             asm.finish().unwrap_err(),
-            AsmError::UnknownLabel { label: "nowhere".into() }
+            AsmError::UnknownLabel {
+                label: "nowhere".into()
+            }
         );
     }
 
@@ -646,7 +790,12 @@ mod tests {
         for inst in seq {
             match inst {
                 Inst::Lui { rd, imm } => regs[rd.index() as usize] = imm,
-                Inst::OpImmW { op: IntImmWOp::Addiw, rd, rs1, imm } => {
+                Inst::OpImmW {
+                    op: IntImmWOp::Addiw,
+                    rd,
+                    rs1,
+                    imm,
+                } => {
                     regs[rd.index() as usize] =
                         (regs[rs1.index() as usize].wrapping_add(imm)) as i32 as i64;
                 }

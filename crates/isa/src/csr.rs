@@ -92,8 +92,8 @@ pub fn is_read_only(addr: u16) -> bool {
 
 /// The complete list of implemented CSR addresses, in ascending order.
 pub const IMPLEMENTED: [u16; 14] = [
-    FCSR, MSTATUS, MISA, MIE, MTVEC, MSCRATCH, MEPC, MCAUSE, MTVAL, MIP,
-    CYCLE, TIME, INSTRET, MHARTID,
+    FCSR, MSTATUS, MISA, MIE, MTVEC, MSCRATCH, MEPC, MCAUSE, MTVAL, MIP, CYCLE, TIME, INSTRET,
+    MHARTID,
 ];
 
 #[cfg(test)]

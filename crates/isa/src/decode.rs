@@ -36,7 +36,11 @@ impl DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal instruction word {:#010x} at pc {:#x}", self.word, self.pc)
+        write!(
+            f,
+            "illegal instruction word {:#010x} at pc {:#x}",
+            self.word, self.pc
+        )
     }
 }
 
@@ -144,12 +148,23 @@ fn imm_j(w: u32) -> i64 {
 pub fn decode(w: u32) -> Result<Inst, DecodeError> {
     let err = || DecodeError::new(w);
     let inst = match opcode(w) {
-        OP_LUI => Inst::Lui { rd: xrd(w), imm: imm_u(w) },
-        OP_AUIPC => Inst::Auipc { rd: xrd(w), imm: imm_u(w) },
-        OP_JAL => Inst::Jal { rd: xrd(w), offset: imm_j(w) },
-        OP_JALR if funct3(w) == 0 => {
-            Inst::Jalr { rd: xrd(w), rs1: xrs1(w), offset: imm_i(w) }
-        }
+        OP_LUI => Inst::Lui {
+            rd: xrd(w),
+            imm: imm_u(w),
+        },
+        OP_AUIPC => Inst::Auipc {
+            rd: xrd(w),
+            imm: imm_u(w),
+        },
+        OP_JAL => Inst::Jal {
+            rd: xrd(w),
+            offset: imm_j(w),
+        },
+        OP_JALR if funct3(w) == 0 => Inst::Jalr {
+            rd: xrd(w),
+            rs1: xrs1(w),
+            offset: imm_i(w),
+        },
         OP_BRANCH => {
             let op = match funct3(w) {
                 0b000 => BranchOp::Eq,
@@ -160,7 +175,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 0b111 => BranchOp::Geu,
                 _ => return Err(err()),
             };
-            Inst::Branch { op, rs1: xrs1(w), rs2: xrs2(w), offset: imm_b(w) }
+            Inst::Branch {
+                op,
+                rs1: xrs1(w),
+                rs2: xrs2(w),
+                offset: imm_b(w),
+            }
         }
         OP_LOAD => {
             let op = match funct3(w) {
@@ -173,7 +193,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 0b110 => LoadOp::Lwu,
                 _ => return Err(err()),
             };
-            Inst::Load { op, rd: xrd(w), rs1: xrs1(w), offset: imm_i(w) }
+            Inst::Load {
+                op,
+                rd: xrd(w),
+                rs1: xrs1(w),
+                offset: imm_i(w),
+            }
         }
         OP_STORE => {
             let op = match funct3(w) {
@@ -183,26 +208,74 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 0b011 => StoreOp::Sd,
                 _ => return Err(err()),
             };
-            Inst::Store { op, rs1: xrs1(w), rs2: xrs2(w), offset: imm_s(w) }
+            Inst::Store {
+                op,
+                rs1: xrs1(w),
+                rs2: xrs2(w),
+                offset: imm_s(w),
+            }
         }
         OP_IMM => {
             let rd = xrd(w);
             let rs1 = xrs1(w);
             match funct3(w) {
-                0b000 => Inst::OpImm { op: IntImmOp::Addi, rd, rs1, imm: imm_i(w) },
-                0b010 => Inst::OpImm { op: IntImmOp::Slti, rd, rs1, imm: imm_i(w) },
-                0b011 => Inst::OpImm { op: IntImmOp::Sltiu, rd, rs1, imm: imm_i(w) },
-                0b100 => Inst::OpImm { op: IntImmOp::Xori, rd, rs1, imm: imm_i(w) },
-                0b110 => Inst::OpImm { op: IntImmOp::Ori, rd, rs1, imm: imm_i(w) },
-                0b111 => Inst::OpImm { op: IntImmOp::Andi, rd, rs1, imm: imm_i(w) },
-                0b001 if (w >> 26) == 0 => {
-                    Inst::OpImm { op: IntImmOp::Slli, rd, rs1, imm: ((w >> 20) & 0x3F) as i64 }
-                }
+                0b000 => Inst::OpImm {
+                    op: IntImmOp::Addi,
+                    rd,
+                    rs1,
+                    imm: imm_i(w),
+                },
+                0b010 => Inst::OpImm {
+                    op: IntImmOp::Slti,
+                    rd,
+                    rs1,
+                    imm: imm_i(w),
+                },
+                0b011 => Inst::OpImm {
+                    op: IntImmOp::Sltiu,
+                    rd,
+                    rs1,
+                    imm: imm_i(w),
+                },
+                0b100 => Inst::OpImm {
+                    op: IntImmOp::Xori,
+                    rd,
+                    rs1,
+                    imm: imm_i(w),
+                },
+                0b110 => Inst::OpImm {
+                    op: IntImmOp::Ori,
+                    rd,
+                    rs1,
+                    imm: imm_i(w),
+                },
+                0b111 => Inst::OpImm {
+                    op: IntImmOp::Andi,
+                    rd,
+                    rs1,
+                    imm: imm_i(w),
+                },
+                0b001 if (w >> 26) == 0 => Inst::OpImm {
+                    op: IntImmOp::Slli,
+                    rd,
+                    rs1,
+                    imm: ((w >> 20) & 0x3F) as i64,
+                },
                 0b101 => {
                     let shamt = ((w >> 20) & 0x3F) as i64;
                     match w >> 26 {
-                        0b000000 => Inst::OpImm { op: IntImmOp::Srli, rd, rs1, imm: shamt },
-                        0b010000 => Inst::OpImm { op: IntImmOp::Srai, rd, rs1, imm: shamt },
+                        0b000000 => Inst::OpImm {
+                            op: IntImmOp::Srli,
+                            rd,
+                            rs1,
+                            imm: shamt,
+                        },
+                        0b010000 => Inst::OpImm {
+                            op: IntImmOp::Srai,
+                            rd,
+                            rs1,
+                            imm: shamt,
+                        },
                         _ => return Err(err()),
                     }
                 }
@@ -232,23 +305,42 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 (0b111, 0b0000001) => IntOp::Remu,
                 _ => return Err(err()),
             };
-            Inst::Op { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+            Inst::Op {
+                op,
+                rd: xrd(w),
+                rs1: xrs1(w),
+                rs2: xrs2(w),
+            }
         }
         OP_IMM_32 => {
             let rd = xrd(w);
             let rs1 = xrs1(w);
             match funct3(w) {
-                0b000 => Inst::OpImmW { op: IntImmWOp::Addiw, rd, rs1, imm: imm_i(w) },
-                0b001 if funct7(w) == 0 => {
-                    Inst::OpImmW { op: IntImmWOp::Slliw, rd, rs1, imm: rs2(w) as i64 }
-                }
+                0b000 => Inst::OpImmW {
+                    op: IntImmWOp::Addiw,
+                    rd,
+                    rs1,
+                    imm: imm_i(w),
+                },
+                0b001 if funct7(w) == 0 => Inst::OpImmW {
+                    op: IntImmWOp::Slliw,
+                    rd,
+                    rs1,
+                    imm: rs2(w) as i64,
+                },
                 0b101 => match funct7(w) {
-                    0b0000000 => {
-                        Inst::OpImmW { op: IntImmWOp::Srliw, rd, rs1, imm: rs2(w) as i64 }
-                    }
-                    0b0100000 => {
-                        Inst::OpImmW { op: IntImmWOp::Sraiw, rd, rs1, imm: rs2(w) as i64 }
-                    }
+                    0b0000000 => Inst::OpImmW {
+                        op: IntImmWOp::Srliw,
+                        rd,
+                        rs1,
+                        imm: rs2(w) as i64,
+                    },
+                    0b0100000 => Inst::OpImmW {
+                        op: IntImmWOp::Sraiw,
+                        rd,
+                        rs1,
+                        imm: rs2(w) as i64,
+                    },
                     _ => return Err(err()),
                 },
                 _ => return Err(err()),
@@ -269,7 +361,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 (0b111, 0b0000001) => IntWOp::Remuw,
                 _ => return Err(err()),
             };
-            Inst::OpW { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+            Inst::OpW {
+                op,
+                rd: xrd(w),
+                rs1: xrs1(w),
+                rs2: xrs2(w),
+            }
         }
         OP_AMO => {
             let width = match funct3(w) {
@@ -279,10 +376,17 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
             };
             let funct5 = funct7(w) >> 2; // ignore aq/rl bits
             match funct5 {
-                LR_FUNCT5 if rs2(w) == 0 => Inst::Lr { width, rd: xrd(w), rs1: xrs1(w) },
-                SC_FUNCT5 => {
-                    Inst::Sc { width, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
-                }
+                LR_FUNCT5 if rs2(w) == 0 => Inst::Lr {
+                    width,
+                    rd: xrd(w),
+                    rs1: xrs1(w),
+                },
+                SC_FUNCT5 => Inst::Sc {
+                    width,
+                    rd: xrd(w),
+                    rs1: xrs1(w),
+                    rs2: xrs2(w),
+                },
                 f5 => {
                     let op = match f5 {
                         0b00000 => AmoOp::Add,
@@ -296,7 +400,13 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                         0b11100 => AmoOp::Maxu,
                         _ => return Err(err()),
                     };
-                    Inst::Amo { op, width, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+                    Inst::Amo {
+                        op,
+                        width,
+                        rd: xrd(w),
+                        rs1: xrs1(w),
+                        rs2: xrs2(w),
+                    }
                 }
             }
         }
@@ -322,16 +432,25 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                     0b111 => CsrOp::Rci,
                     _ => return Err(err()),
                 };
-                Inst::Csr { op, rd: xrd(w), src: rs1(w), csr: (w >> 20) as u16 }
+                Inst::Csr {
+                    op,
+                    rd: xrd(w),
+                    src: rs1(w),
+                    csr: (w >> 20) as u16,
+                }
             }
         },
         OP_MISC_MEM if funct3(w) == 0 => Inst::Fence,
-        OP_LOAD_FP if funct3(w) == 0b011 => {
-            Inst::Fld { rd: frd(w), rs1: xrs1(w), offset: imm_i(w) }
-        }
-        OP_STORE_FP if funct3(w) == 0b011 => {
-            Inst::Fsd { rs1: xrs1(w), rs2: frs2(w), offset: imm_s(w) }
-        }
+        OP_LOAD_FP if funct3(w) == 0b011 => Inst::Fld {
+            rd: frd(w),
+            rs1: xrs1(w),
+            offset: imm_i(w),
+        },
+        OP_STORE_FP if funct3(w) == 0b011 => Inst::Fsd {
+            rs1: xrs1(w),
+            rs2: frs2(w),
+            offset: imm_s(w),
+        },
         OP_FMADD | OP_FMSUB | OP_FNMSUB | OP_FNMADD => {
             if (w >> 25) & 0b11 != 0b01 {
                 return Err(err()); // only double precision implemented
@@ -351,11 +470,34 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
             }
         }
         OP_OP_FP => match funct7(w) {
-            0b0000001 => Inst::Fp { op: FpOp::Add, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
-            0b0000101 => Inst::Fp { op: FpOp::Sub, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
-            0b0001001 => Inst::Fp { op: FpOp::Mul, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
-            0b0001101 => Inst::Fp { op: FpOp::Div, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
-            0b0101101 if rs2(w) == 0 => Inst::FpSqrt { rd: frd(w), rs1: frs1(w) },
+            0b0000001 => Inst::Fp {
+                op: FpOp::Add,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+            },
+            0b0000101 => Inst::Fp {
+                op: FpOp::Sub,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+            },
+            0b0001001 => Inst::Fp {
+                op: FpOp::Mul,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+            },
+            0b0001101 => Inst::Fp {
+                op: FpOp::Div,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+            },
+            0b0101101 if rs2(w) == 0 => Inst::FpSqrt {
+                rd: frd(w),
+                rs1: frs1(w),
+            },
             0b0010001 => {
                 let op = match funct3(w) {
                     0b000 => FpOp::SgnJ,
@@ -363,7 +505,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                     0b010 => FpOp::SgnJX,
                     _ => return Err(err()),
                 };
-                Inst::Fp { op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }
+                Inst::Fp {
+                    op,
+                    rd: frd(w),
+                    rs1: frs1(w),
+                    rs2: frs2(w),
+                }
             }
             0b0010101 => {
                 let op = match funct3(w) {
@@ -371,7 +518,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                     0b001 => FpOp::Max,
                     _ => return Err(err()),
                 };
-                Inst::Fp { op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }
+                Inst::Fp {
+                    op,
+                    rd: frd(w),
+                    rs1: frs1(w),
+                    rs2: frs2(w),
+                }
             }
             0b1010001 => {
                 let op = match funct3(w) {
@@ -380,7 +532,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                     0b000 => FpCmpOp::Le,
                     _ => return Err(err()),
                 };
-                Inst::FpCmp { op, rd: xrd(w), rs1: frs1(w), rs2: frs2(w) }
+                Inst::FpCmp {
+                    op,
+                    rd: xrd(w),
+                    rs1: frs1(w),
+                    rs2: frs2(w),
+                }
             }
             0b1100001 => {
                 let op = match rs2(w) {
@@ -389,7 +546,11 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                     0b00011 => FpCvtOp::DToLu,
                     _ => return Err(err()),
                 };
-                Inst::FpCvt { op, rd: rd(w), rs1: rs1(w) }
+                Inst::FpCvt {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                }
             }
             0b1101001 => {
                 let op = match rs2(w) {
@@ -398,14 +559,20 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                     0b00011 => FpCvtOp::LuToD,
                     _ => return Err(err()),
                 };
-                Inst::FpCvt { op, rd: rd(w), rs1: rs1(w) }
+                Inst::FpCvt {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                }
             }
-            0b1110001 if rs2(w) == 0 && funct3(w) == 0 => {
-                Inst::FmvXD { rd: xrd(w), rs1: frs1(w) }
-            }
-            0b1111001 if rs2(w) == 0 && funct3(w) == 0 => {
-                Inst::FmvDX { rd: frd(w), rs1: xrs1(w) }
-            }
+            0b1110001 if rs2(w) == 0 && funct3(w) == 0 => Inst::FmvXD {
+                rd: xrd(w),
+                rs1: frs1(w),
+            },
+            0b1111001 if rs2(w) == 0 && funct3(w) == 0 => Inst::FmvDX {
+                rd: frd(w),
+                rs1: xrs1(w),
+            },
             _ => return Err(err()),
         },
         OP_CUSTOM0 if funct3(w) == 0 => {
@@ -421,7 +588,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 8 => FlexOp::CResult,
                 _ => return Err(err()),
             };
-            Inst::Flex { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) }
+            Inst::Flex {
+                op,
+                rd: xrd(w),
+                rs1: xrs1(w),
+                rs2: xrs2(w),
+            }
         }
         _ => return Err(err()),
     };
@@ -437,7 +609,12 @@ mod tests {
     fn decode_known_words() {
         assert_eq!(
             decode(0x02A5_8513).unwrap(),
-            Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A1, imm: 42 }
+            Inst::OpImm {
+                op: IntImmOp::Addi,
+                rd: XReg::A0,
+                rs1: XReg::A1,
+                imm: 42
+            }
         );
         assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
         assert_eq!(decode(0x3020_0073).unwrap(), Inst::Mret);
@@ -448,7 +625,12 @@ mod tests {
         // addi a0, a0, -1  => 0xFFF50513
         assert_eq!(
             decode(0xFFF5_0513).unwrap(),
-            Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A0, imm: -1 }
+            Inst::OpImm {
+                op: IntImmOp::Addi,
+                rd: XReg::A0,
+                rs1: XReg::A0,
+                imm: -1
+            }
         );
     }
 
@@ -496,13 +678,21 @@ mod tests {
 
     #[test]
     fn negative_branch_offset_roundtrip() {
-        let i = Inst::Branch { op: BranchOp::Ne, rs1: XReg::A0, rs2: XReg::ZERO, offset: -64 };
+        let i = Inst::Branch {
+            op: BranchOp::Ne,
+            rs1: XReg::A0,
+            rs2: XReg::ZERO,
+            offset: -64,
+        };
         assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
     }
 
     #[test]
     fn negative_jal_offset_roundtrip() {
-        let i = Inst::Jal { rd: XReg::ZERO, offset: -2048 };
+        let i = Inst::Jal {
+            rd: XReg::ZERO,
+            offset: -2048,
+        };
         assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
     }
 }

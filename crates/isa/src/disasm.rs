@@ -21,7 +21,12 @@ impl fmt::Display for Inst {
             Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm >> 12) & 0xFFFFF),
             Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
             Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let m = match op {
                     BranchOp::Eq => "beq",
                     BranchOp::Ne => "bne",
@@ -32,7 +37,12 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{m} {rs1}, {rs2}, {offset}")
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let m = match op {
                     LoadOp::Lb => "lb",
                     LoadOp::Lh => "lh",
@@ -44,7 +54,12 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{m} {rd}, {offset}({rs1})")
             }
-            Inst::Store { op, rs1, rs2, offset } => {
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let m = match op {
                     StoreOp::Sb => "sb",
                     StoreOp::Sh => "sh",
@@ -117,10 +132,21 @@ impl fmt::Display for Inst {
             Inst::Lr { width, rd, rs1 } => {
                 write!(f, "lr.{} {rd}, ({rs1})", width_suffix(width))
             }
-            Inst::Sc { width, rd, rs1, rs2 } => {
+            Inst::Sc {
+                width,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 write!(f, "sc.{} {rd}, {rs2}, ({rs1})", width_suffix(width))
             }
-            Inst::Amo { op, width, rd, rs1, rs2 } => {
+            Inst::Amo {
+                op,
+                width,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 let m = match op {
                     AmoOp::Swap => "amoswap",
                     AmoOp::Add => "amoadd",
@@ -134,7 +160,12 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{m}.{} {rd}, {rs2}, ({rs1})", width_suffix(width))
             }
-            Inst::Csr { op, rd, src, csr: addr } => {
+            Inst::Csr {
+                op,
+                rd,
+                src,
+                csr: addr,
+            } => {
                 let m = match op {
                     CsrOp::Rw => "csrrw",
                     CsrOp::Rs => "csrrs",
@@ -143,7 +174,9 @@ impl fmt::Display for Inst {
                     CsrOp::Rsi => "csrrsi",
                     CsrOp::Rci => "csrrci",
                 };
-                let csr_name = csr::name(addr).map(String::from).unwrap_or_else(|| format!("{addr:#x}"));
+                let csr_name = csr::name(addr)
+                    .map(String::from)
+                    .unwrap_or_else(|| format!("{addr:#x}"));
                 if op.is_immediate() {
                     write!(f, "{m} {rd}, {csr_name}, {src}")
                 } else {
@@ -167,7 +200,13 @@ impl fmt::Display for Inst {
                 write!(f, "{m} {rd}, {rs1}, {rs2}")
             }
             Inst::FpSqrt { rd, rs1 } => write!(f, "fsqrt.d {rd}, {rs1}"),
-            Inst::Fma { op, rd, rs1, rs2, rs3 } => {
+            Inst::Fma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
                 let m = match op {
                     FmaOp::Madd => "fmadd.d",
                     FmaOp::Msub => "fmsub.d",
@@ -227,17 +266,37 @@ mod tests {
 
     #[test]
     fn common_mnemonics() {
-        let i = Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A1, imm: 42 };
+        let i = Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            imm: 42,
+        };
         assert_eq!(i.to_string(), "addi a0, a1, 42");
-        let i = Inst::Load { op: LoadOp::Ld, rd: XReg::A0, rs1: XReg::SP, offset: 16 };
+        let i = Inst::Load {
+            op: LoadOp::Ld,
+            rd: XReg::A0,
+            rs1: XReg::SP,
+            offset: 16,
+        };
         assert_eq!(i.to_string(), "ld a0, 16(sp)");
-        let i = Inst::Store { op: StoreOp::Sd, rs1: XReg::SP, rs2: XReg::A0, offset: -8 };
+        let i = Inst::Store {
+            op: StoreOp::Sd,
+            rs1: XReg::SP,
+            rs2: XReg::A0,
+            offset: -8,
+        };
         assert_eq!(i.to_string(), "sd a0, -8(sp)");
     }
 
     #[test]
     fn csr_uses_symbolic_names() {
-        let i = Inst::Csr { op: CsrOp::Rs, rd: XReg::A0, src: 0, csr: crate::csr::MHARTID };
+        let i = Inst::Csr {
+            op: CsrOp::Rs,
+            rd: XReg::A0,
+            src: 0,
+            csr: crate::csr::MHARTID,
+        };
         assert_eq!(i.to_string(), "csrrs a0, mhartid, zero");
     }
 
@@ -263,13 +322,21 @@ mod tests {
 
     #[test]
     fn flex_ops_display_paper_names() {
-        let i = Inst::Flex { op: FlexOp::MAssociate, rd: XReg::ZERO, rs1: XReg::A0, rs2: XReg::ZERO };
+        let i = Inst::Flex {
+            op: FlexOp::MAssociate,
+            rd: XReg::ZERO,
+            rs1: XReg::A0,
+            rs2: XReg::ZERO,
+        };
         assert_eq!(i.to_string(), "m.associate zero, a0, zero");
     }
 
     #[test]
     fn lui_shows_upper_immediate() {
-        let i = Inst::Lui { rd: XReg::A0, imm: 0x12345 << 12 };
+        let i = Inst::Lui {
+            rd: XReg::A0,
+            imm: 0x12345 << 12,
+        };
         assert_eq!(i.to_string(), "lui a0, 0x12345");
     }
 }

@@ -111,7 +111,7 @@ fn check_simm(value: i64, bits: u8) -> Result<u32, EncodeError> {
     if value < min || value > max {
         return Err(EncodeError::ImmOutOfRange { value, bits });
     }
-    Ok((value as u32) & ((1u32 << bits) - 1).max(0))
+    Ok((value as u32) & ((1u32 << bits) - 1))
 }
 
 fn enc_r(opcode: u32, funct3: u32, funct7: u32, rd: u32, rs1: u32, rs2: u32) -> u32 {
@@ -153,8 +153,11 @@ fn enc_u(opcode: u32, rd: u32, imm: i64) -> Result<u32, EncodeError> {
     if imm & 0xFFF != 0 {
         return Err(EncodeError::UnalignedUpperImm { value: imm });
     }
-    if imm < -(1i64 << 31) || imm > (1i64 << 31) - 4096 {
-        return Err(EncodeError::ImmOutOfRange { value: imm, bits: 32 });
+    if !(-(1i64 << 31)..=(1i64 << 31) - 4096).contains(&imm) {
+        return Err(EncodeError::ImmOutOfRange {
+            value: imm,
+            bits: 32,
+        });
     }
     Ok(((imm as u32) & 0xFFFF_F000) | (rd << 7) | opcode)
 }
@@ -171,15 +174,7 @@ fn enc_j(opcode: u32, rd: u32, offset: i64) -> Result<u32, EncodeError> {
     Ok((b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | (rd << 7) | opcode)
 }
 
-fn enc_r4(
-    opcode: u32,
-    funct2: u32,
-    rm: u32,
-    rd: u32,
-    rs1: u32,
-    rs2: u32,
-    rs3: u32,
-) -> u32 {
+fn enc_r4(opcode: u32, funct2: u32, rm: u32, rd: u32, rs1: u32, rs2: u32, rs3: u32) -> u32 {
     (rs3 << 27) | (funct2 << 25) | (rs2 << 20) | (rs1 << 15) | (rm << 12) | (rd << 7) | opcode
 }
 
@@ -370,25 +365,39 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
         Inst::Lui { rd, imm } => enc_u(OP_LUI, rd.into(), imm)?,
         Inst::Auipc { rd, imm } => enc_u(OP_AUIPC, rd.into(), imm)?,
         Inst::Jal { rd, offset } => enc_j(OP_JAL, rd.into(), offset)?,
-        Inst::Jalr { rd, rs1, offset } => {
-            enc_i(OP_JALR, 0b000, rd.into(), rs1.into(), offset)?
-        }
-        Inst::Branch { op, rs1, rs2, offset } => {
-            enc_b(OP_BRANCH, branch_funct3(op), rs1.into(), rs2.into(), offset)?
-        }
-        Inst::Load { op, rd, rs1, offset } => {
-            enc_i(OP_LOAD, load_funct3(op), rd.into(), rs1.into(), offset)?
-        }
-        Inst::Store { op, rs1, rs2, offset } => {
-            enc_s(OP_STORE, store_funct3(op), rs1.into(), rs2.into(), offset)?
-        }
+        Inst::Jalr { rd, rs1, offset } => enc_i(OP_JALR, 0b000, rd.into(), rs1.into(), offset)?,
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => enc_b(OP_BRANCH, branch_funct3(op), rs1.into(), rs2.into(), offset)?,
+        Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => enc_i(OP_LOAD, load_funct3(op), rd.into(), rs1.into(), offset)?,
+        Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => enc_s(OP_STORE, store_funct3(op), rs1.into(), rs2.into(), offset)?,
         Inst::OpImm { op, rd, rs1, imm } => match op {
             IntImmOp::Slli | IntImmOp::Srli | IntImmOp::Srai => {
                 if !(0..64).contains(&imm) {
-                    return Err(EncodeError::ShiftAmountTooLarge { value: imm, max: 63 });
+                    return Err(EncodeError::ShiftAmountTooLarge {
+                        value: imm,
+                        max: 63,
+                    });
                 }
                 let funct3 = if op == IntImmOp::Slli { 0b001 } else { 0b101 };
-                let hi = if op == IntImmOp::Srai { 0b010000u32 << 6 } else { 0 };
+                let hi = if op == IntImmOp::Srai {
+                    0b010000u32 << 6
+                } else {
+                    0
+                };
                 let imm12 = hi | imm as u32;
                 (imm12 << 20)
                     | (u32::from(rs1) << 15)
@@ -417,10 +426,17 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
             IntImmWOp::Addiw => enc_i(OP_IMM_32, 0b000, rd.into(), rs1.into(), imm)?,
             IntImmWOp::Slliw | IntImmWOp::Srliw | IntImmWOp::Sraiw => {
                 if !(0..32).contains(&imm) {
-                    return Err(EncodeError::ShiftAmountTooLarge { value: imm, max: 31 });
+                    return Err(EncodeError::ShiftAmountTooLarge {
+                        value: imm,
+                        max: 31,
+                    });
                 }
                 let funct3 = if op == IntImmWOp::Slliw { 0b001 } else { 0b101 };
-                let f7 = if op == IntImmWOp::Sraiw { 0b0100000u32 } else { 0 };
+                let f7 = if op == IntImmWOp::Sraiw {
+                    0b0100000u32
+                } else {
+                    0
+                };
                 enc_r(OP_IMM_32, funct3, f7, rd.into(), rs1.into(), imm as u32)
             }
         },
@@ -432,13 +448,38 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
             let f3 = if width == AmoWidth::W { 0b010 } else { 0b011 };
             enc_r(OP_AMO, f3, LR_FUNCT5 << 2, rd.into(), rs1.into(), 0)
         }
-        Inst::Sc { width, rd, rs1, rs2 } => {
+        Inst::Sc {
+            width,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let f3 = if width == AmoWidth::W { 0b010 } else { 0b011 };
-            enc_r(OP_AMO, f3, SC_FUNCT5 << 2, rd.into(), rs1.into(), rs2.into())
+            enc_r(
+                OP_AMO,
+                f3,
+                SC_FUNCT5 << 2,
+                rd.into(),
+                rs1.into(),
+                rs2.into(),
+            )
         }
-        Inst::Amo { op, width, rd, rs1, rs2 } => {
+        Inst::Amo {
+            op,
+            width,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let f3 = if width == AmoWidth::W { 0b010 } else { 0b011 };
-            enc_r(OP_AMO, f3, amo_funct5(op) << 2, rd.into(), rs1.into(), rs2.into())
+            enc_r(
+                OP_AMO,
+                f3,
+                amo_funct5(op) << 2,
+                rd.into(),
+                rs1.into(),
+                rs2.into(),
+            )
         }
         Inst::Csr { op, rd, src, csr } => {
             if src >= 32 {
@@ -454,9 +495,7 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
                 | (u32::from(rd) << 7)
                 | OP_SYSTEM
         }
-        Inst::Fld { rd, rs1, offset } => {
-            enc_i(OP_LOAD_FP, 0b011, rd.into(), rs1.into(), offset)?
-        }
+        Inst::Fld { rd, rs1, offset } => enc_i(OP_LOAD_FP, 0b011, rd.into(), rs1.into(), offset)?,
         Inst::Fsd { rs1, rs2, offset } => {
             enc_s(OP_STORE_FP, 0b011, rs1.into(), rs2.into(), offset)?
         }
@@ -464,10 +503,14 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
             let (f7, f3) = fp_op_functs(op);
             enc_r(OP_OP_FP, f3, f7, rd.into(), rs1.into(), rs2.into())
         }
-        Inst::FpSqrt { rd, rs1 } => {
-            enc_r(OP_OP_FP, RM_DYN, 0b0101101, rd.into(), rs1.into(), 0)
-        }
-        Inst::Fma { op, rd, rs1, rs2, rs3 } => enc_r4(
+        Inst::FpSqrt { rd, rs1 } => enc_r(OP_OP_FP, RM_DYN, 0b0101101, rd.into(), rs1.into(), 0),
+        Inst::Fma {
+            op,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => enc_r4(
             fma_opcode(op),
             0b01,
             RM_DYN,
@@ -490,12 +533,8 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
             let (f7, rs2) = fp_cvt_functs(op);
             enc_r(OP_OP_FP, RM_DYN, f7, rd, rs1, rs2)
         }
-        Inst::FmvXD { rd, rs1 } => {
-            enc_r(OP_OP_FP, 0b000, 0b1110001, rd.into(), rs1.into(), 0)
-        }
-        Inst::FmvDX { rd, rs1 } => {
-            enc_r(OP_OP_FP, 0b000, 0b1111001, rd.into(), rs1.into(), 0)
-        }
+        Inst::FmvXD { rd, rs1 } => enc_r(OP_OP_FP, 0b000, 0b1110001, rd.into(), rs1.into(), 0),
+        Inst::FmvDX { rd, rs1 } => enc_r(OP_OP_FP, 0b000, 0b1111001, rd.into(), rs1.into(), 0),
         Inst::Fence => enc_i(OP_MISC_MEM, 0b000, 0, 0, 0)?,
         Inst::Ecall => enc_i(OP_SYSTEM, 0b000, 0, 0, 0)?,
         Inst::Ebreak => enc_i(OP_SYSTEM, 0b000, 0, 0, 1)?,
@@ -523,7 +562,6 @@ pub fn encode_unchecked(inst: &Inst) -> u32 {
     encode(inst).unwrap_or_else(|e| panic!("encode failed for {inst:?}: {e}"))
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,27 +570,48 @@ mod tests {
     #[test]
     fn known_words_i_type() {
         // addi a0, a1, 42
-        let i = Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A1, imm: 42 };
+        let i = Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            imm: 42,
+        };
         assert_eq!(encode(&i).unwrap(), 0x02A5_8513);
     }
 
     #[test]
     fn known_words_u_j_types() {
         // lui a0, 0x12345
-        let i = Inst::Lui { rd: XReg::A0, imm: 0x12345 << 12 };
+        let i = Inst::Lui {
+            rd: XReg::A0,
+            imm: 0x12345 << 12,
+        };
         assert_eq!(encode(&i).unwrap(), 0x1234_5537);
         // jal ra, +8
-        let i = Inst::Jal { rd: XReg::RA, offset: 8 };
+        let i = Inst::Jal {
+            rd: XReg::RA,
+            offset: 8,
+        };
         assert_eq!(encode(&i).unwrap(), 0x0080_00EF);
     }
 
     #[test]
     fn known_words_loads_stores() {
         // ld a0, 16(sp)
-        let i = Inst::Load { op: LoadOp::Ld, rd: XReg::A0, rs1: XReg::SP, offset: 16 };
+        let i = Inst::Load {
+            op: LoadOp::Ld,
+            rd: XReg::A0,
+            rs1: XReg::SP,
+            offset: 16,
+        };
         assert_eq!(encode(&i).unwrap(), 0x0101_3503);
         // sd a0, 16(sp)
-        let i = Inst::Store { op: StoreOp::Sd, rs1: XReg::SP, rs2: XReg::A0, offset: 16 };
+        let i = Inst::Store {
+            op: StoreOp::Sd,
+            rs1: XReg::SP,
+            rs2: XReg::A0,
+            offset: 16,
+        };
         assert_eq!(encode(&i).unwrap(), 0x00A1_3823);
     }
 
@@ -577,42 +636,91 @@ mod tests {
 
     #[test]
     fn imm_range_enforced() {
-        let i = Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A0, imm: 4096 };
+        let i = Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd: XReg::A0,
+            rs1: XReg::A0,
+            imm: 4096,
+        };
         assert!(matches!(encode(&i), Err(EncodeError::ImmOutOfRange { .. })));
-        let i = Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::A0, imm: -2048 };
+        let i = Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd: XReg::A0,
+            rs1: XReg::A0,
+            imm: -2048,
+        };
         assert!(encode(&i).is_ok());
     }
 
     #[test]
     fn shift_amount_range() {
-        let i = Inst::OpImm { op: IntImmOp::Slli, rd: XReg::A0, rs1: XReg::A0, imm: 64 };
-        assert!(matches!(encode(&i), Err(EncodeError::ShiftAmountTooLarge { .. })));
-        let i = Inst::OpImmW { op: IntImmWOp::Slliw, rd: XReg::A0, rs1: XReg::A0, imm: 32 };
-        assert!(matches!(encode(&i), Err(EncodeError::ShiftAmountTooLarge { .. })));
+        let i = Inst::OpImm {
+            op: IntImmOp::Slli,
+            rd: XReg::A0,
+            rs1: XReg::A0,
+            imm: 64,
+        };
+        assert!(matches!(
+            encode(&i),
+            Err(EncodeError::ShiftAmountTooLarge { .. })
+        ));
+        let i = Inst::OpImmW {
+            op: IntImmWOp::Slliw,
+            rd: XReg::A0,
+            rs1: XReg::A0,
+            imm: 32,
+        };
+        assert!(matches!(
+            encode(&i),
+            Err(EncodeError::ShiftAmountTooLarge { .. })
+        ));
     }
 
     #[test]
     fn lui_rejects_low_bits() {
-        let i = Inst::Lui { rd: XReg::A0, imm: 0x1001 };
-        assert_eq!(encode(&i), Err(EncodeError::UnalignedUpperImm { value: 0x1001 }));
+        let i = Inst::Lui {
+            rd: XReg::A0,
+            imm: 0x1001,
+        };
+        assert_eq!(
+            encode(&i),
+            Err(EncodeError::UnalignedUpperImm { value: 0x1001 })
+        );
     }
 
     #[test]
     fn fp_cvt_validates_indices() {
-        let i = Inst::FpCvt { op: FpCvtOp::DToL, rd: 32, rs1: 0 };
-        assert_eq!(encode(&i), Err(EncodeError::RegIndexOutOfRange { index: 32 }));
+        let i = Inst::FpCvt {
+            op: FpCvtOp::DToL,
+            rd: 32,
+            rs1: 0,
+        };
+        assert_eq!(
+            encode(&i),
+            Err(EncodeError::RegIndexOutOfRange { index: 32 })
+        );
     }
 
     #[test]
     fn csr_imm_range() {
-        let i = Inst::Csr { op: CsrOp::Rwi, rd: XReg::A0, src: 32, csr: crate::csr::MEPC };
+        let i = Inst::Csr {
+            op: CsrOp::Rwi,
+            rd: XReg::A0,
+            src: 32,
+            csr: crate::csr::MEPC,
+        };
         assert_eq!(encode(&i), Err(EncodeError::CsrImmOutOfRange { value: 32 }));
     }
 
     #[test]
     fn flex_ops_encode_in_custom0() {
         for op in FlexOp::ALL {
-            let i = Inst::Flex { op, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 };
+            let i = Inst::Flex {
+                op,
+                rd: XReg::A0,
+                rs1: XReg::A1,
+                rs2: XReg::A2,
+            };
             let w = encode(&i).unwrap();
             assert_eq!(w & 0x7F, OP_CUSTOM0, "{op:?} not in custom-0");
         }
@@ -620,7 +728,11 @@ mod tests {
 
     #[test]
     fn fsd_encodes_store_fp() {
-        let i = Inst::Fsd { rs1: XReg::SP, rs2: FReg::of(1), offset: -8 };
+        let i = Inst::Fsd {
+            rs1: XReg::SP,
+            rs2: FReg::of(1),
+            offset: -8,
+        };
         let w = encode(&i).unwrap();
         assert_eq!(w & 0x7F, OP_STORE_FP);
     }

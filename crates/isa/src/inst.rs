@@ -431,40 +431,111 @@ pub enum Inst {
     /// `jalr rd, offset(rs1)`: indirect jump and link.
     Jalr { rd: XReg, rs1: XReg, offset: i64 },
     /// Conditional branch.
-    Branch { op: BranchOp, rs1: XReg, rs2: XReg, offset: i64 },
+    Branch {
+        op: BranchOp,
+        rs1: XReg,
+        rs2: XReg,
+        offset: i64,
+    },
     /// Integer load.
-    Load { op: LoadOp, rd: XReg, rs1: XReg, offset: i64 },
+    Load {
+        op: LoadOp,
+        rd: XReg,
+        rs1: XReg,
+        offset: i64,
+    },
     /// Integer store.
-    Store { op: StoreOp, rs1: XReg, rs2: XReg, offset: i64 },
+    Store {
+        op: StoreOp,
+        rs1: XReg,
+        rs2: XReg,
+        offset: i64,
+    },
     /// Register-immediate ALU operation.
-    OpImm { op: IntImmOp, rd: XReg, rs1: XReg, imm: i64 },
+    OpImm {
+        op: IntImmOp,
+        rd: XReg,
+        rs1: XReg,
+        imm: i64,
+    },
     /// Register-register ALU operation.
-    Op { op: IntOp, rd: XReg, rs1: XReg, rs2: XReg },
+    Op {
+        op: IntOp,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+    },
     /// 32-bit register-immediate ALU operation.
-    OpImmW { op: IntImmWOp, rd: XReg, rs1: XReg, imm: i64 },
+    OpImmW {
+        op: IntImmWOp,
+        rd: XReg,
+        rs1: XReg,
+        imm: i64,
+    },
     /// 32-bit register-register ALU operation.
-    OpW { op: IntWOp, rd: XReg, rs1: XReg, rs2: XReg },
+    OpW {
+        op: IntWOp,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+    },
     /// `lr.w`/`lr.d`: load-reserved.
-    Lr { width: AmoWidth, rd: XReg, rs1: XReg },
+    Lr {
+        width: AmoWidth,
+        rd: XReg,
+        rs1: XReg,
+    },
     /// `sc.w`/`sc.d`: store-conditional.
-    Sc { width: AmoWidth, rd: XReg, rs1: XReg, rs2: XReg },
+    Sc {
+        width: AmoWidth,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+    },
     /// Atomic read-modify-write.
-    Amo { op: AmoOp, width: AmoWidth, rd: XReg, rs1: XReg, rs2: XReg },
+    Amo {
+        op: AmoOp,
+        width: AmoWidth,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+    },
     /// CSR access; `src` is `rs1` for register forms and the zero-extended
     /// 5-bit immediate for the `*i` forms.
-    Csr { op: CsrOp, rd: XReg, src: u32, csr: u16 },
+    Csr {
+        op: CsrOp,
+        rd: XReg,
+        src: u32,
+        csr: u16,
+    },
     /// `fld rd, offset(rs1)`: double-precision load.
     Fld { rd: FReg, rs1: XReg, offset: i64 },
     /// `fsd rs2, offset(rs1)`: double-precision store.
     Fsd { rs1: XReg, rs2: FReg, offset: i64 },
     /// Two-operand double-precision computation.
-    Fp { op: FpOp, rd: FReg, rs1: FReg, rs2: FReg },
+    Fp {
+        op: FpOp,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// `fsqrt.d`.
     FpSqrt { rd: FReg, rs1: FReg },
     /// Fused multiply-add family.
-    Fma { op: FmaOp, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg },
+    Fma {
+        op: FmaOp,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rs3: FReg,
+    },
     /// Double-precision comparison into an integer register.
-    FpCmp { op: FpCmpOp, rd: XReg, rs1: FReg, rs2: FReg },
+    FpCmp {
+        op: FpCmpOp,
+        rd: XReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// Integer/double conversions.
     FpCvt { op: FpCvtOp, rd: u32, rs1: u32 },
     /// `fmv.x.d rd, rs1`: move raw bits f→x.
@@ -482,7 +553,12 @@ pub enum Inst {
     /// `wfi`: wait for interrupt.
     Wfi,
     /// FlexStep custom instruction (Tab. I).
-    Flex { op: FlexOp, rd: XReg, rs1: XReg, rs2: XReg },
+    Flex {
+        op: FlexOp,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+    },
 }
 
 impl Inst {
@@ -595,12 +671,8 @@ impl Inst {
             | Inst::Sc { rs1, rs2, .. }
             | Inst::Amo { rs1, rs2, .. }
             | Inst::Flex { rs1, rs2, .. } => (some(rs1), some(rs2)),
-            Inst::Csr { op, src, .. } if !op.is_immediate() => {
-                (some(XReg::of(src)), None)
-            }
-            Inst::FpCvt { op, rs1, .. } if !op.writes_xreg() => {
-                (some(XReg::of(rs1)), None)
-            }
+            Inst::Csr { op, src, .. } if !op.is_immediate() => (some(XReg::of(src)), None),
+            Inst::FpCvt { op, rs1, .. } if !op.writes_xreg() => (some(XReg::of(rs1)), None),
             _ => (None, None),
         }
     }
@@ -614,18 +686,10 @@ impl Inst {
             Inst::Branch { .. } => InstClass::Branch,
             Inst::Jal { .. } | Inst::Jalr { .. } => InstClass::Jump,
             Inst::Op { op, .. } if op.is_muldiv() => InstClass::MulDiv,
-            Inst::OpW { op, .. }
-                if matches!(
-                    op,
-                    IntWOp::Mulw
-                        | IntWOp::Divw
-                        | IntWOp::Divuw
-                        | IntWOp::Remw
-                        | IntWOp::Remuw
-                ) =>
-            {
-                InstClass::MulDiv
-            }
+            Inst::OpW {
+                op: IntWOp::Mulw | IntWOp::Divw | IntWOp::Divuw | IntWOp::Remw | IntWOp::Remuw,
+                ..
+            } => InstClass::MulDiv,
             i if i.is_fp() => InstClass::Fp,
             i if i.is_system() => InstClass::System,
             Inst::Flex { .. } => InstClass::Flex,
@@ -701,14 +765,24 @@ mod tests {
     fn nop_is_addi_x0() {
         assert_eq!(
             Inst::NOP,
-            Inst::OpImm { op: IntImmOp::Addi, rd: XReg::ZERO, rs1: XReg::ZERO, imm: 0 }
+            Inst::OpImm {
+                op: IntImmOp::Addi,
+                rd: XReg::ZERO,
+                rs1: XReg::ZERO,
+                imm: 0
+            }
         );
         assert_eq!(Inst::NOP.writes_xreg(), None);
     }
 
     #[test]
     fn mem_classification() {
-        let ld = Inst::Load { op: LoadOp::Ld, rd: XReg::A0, rs1: XReg::SP, offset: 8 };
+        let ld = Inst::Load {
+            op: LoadOp::Ld,
+            rd: XReg::A0,
+            rs1: XReg::SP,
+            offset: 8,
+        };
         assert!(ld.is_mem());
         assert!(!ld.is_atomic());
         assert_eq!(ld.class(), InstClass::Load);
@@ -727,17 +801,35 @@ mod tests {
 
     #[test]
     fn writes_xreg_skips_x0() {
-        let i = Inst::Op { op: IntOp::Add, rd: XReg::ZERO, rs1: XReg::A0, rs2: XReg::A1 };
+        let i = Inst::Op {
+            op: IntOp::Add,
+            rd: XReg::ZERO,
+            rs1: XReg::A0,
+            rs2: XReg::A1,
+        };
         assert_eq!(i.writes_xreg(), None);
-        let i = Inst::Op { op: IntOp::Add, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 };
+        let i = Inst::Op {
+            op: IntOp::Add,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
         assert_eq!(i.writes_xreg(), Some(XReg::A0));
     }
 
     #[test]
     fn fcvt_destination_register_file() {
-        let to_int = Inst::FpCvt { op: FpCvtOp::DToL, rd: 10, rs1: 3 };
+        let to_int = Inst::FpCvt {
+            op: FpCvtOp::DToL,
+            rd: 10,
+            rs1: 3,
+        };
         assert_eq!(to_int.writes_xreg(), Some(XReg::A0));
-        let to_fp = Inst::FpCvt { op: FpCvtOp::LToD, rd: 3, rs1: 10 };
+        let to_fp = Inst::FpCvt {
+            op: FpCvtOp::LToD,
+            rd: 3,
+            rs1: 10,
+        };
         assert_eq!(to_fp.writes_xreg(), None);
         assert_eq!(to_fp.reads_xregs().0, Some(XReg::A0));
     }
@@ -768,15 +860,30 @@ mod tests {
 
     #[test]
     fn reads_xregs_for_store() {
-        let st = Inst::Store { op: StoreOp::Sd, rs1: XReg::SP, rs2: XReg::A0, offset: 0 };
+        let st = Inst::Store {
+            op: StoreOp::Sd,
+            rs1: XReg::SP,
+            rs2: XReg::A0,
+            offset: 0,
+        };
         assert_eq!(st.reads_xregs(), (Some(XReg::SP), Some(XReg::A0)));
     }
 
     #[test]
     fn class_covers_muldiv_words() {
-        let i = Inst::OpW { op: IntWOp::Mulw, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 };
+        let i = Inst::OpW {
+            op: IntWOp::Mulw,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
         assert_eq!(i.class(), InstClass::MulDiv);
-        let i = Inst::OpW { op: IntWOp::Addw, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 };
+        let i = Inst::OpW {
+            op: IntWOp::Addw,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
         assert_eq!(i.class(), InstClass::Alu);
     }
 }

@@ -61,9 +61,9 @@ named_xregs! {
 }
 
 const XREG_NAMES: [&str; 32] = [
-    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1",
-    "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
-    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
 ];
 
 impl XReg {
@@ -199,7 +199,10 @@ mod tests {
     #[test]
     fn xreg_rejects_out_of_range() {
         assert_eq!(XReg::new(32), Err(InvalidRegError { index: 32 }));
-        assert_eq!(XReg::new(u32::MAX), Err(InvalidRegError { index: u32::MAX }));
+        assert_eq!(
+            XReg::new(u32::MAX),
+            Err(InvalidRegError { index: u32::MAX })
+        );
     }
 
     #[test]

@@ -132,12 +132,26 @@ fn inst() -> impl Strategy<Value = Inst> {
         (xreg(), upper_imm()).prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
         (xreg(), jal_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
         (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (branch_op(), xreg(), xreg(), branch_offset())
-            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
-        (load_op(), xreg(), xreg(), imm12())
-            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
-        (store_op(), xreg(), xreg(), imm12())
-            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
+        (branch_op(), xreg(), xreg(), branch_offset()).prop_map(|(op, rs1, rs2, offset)| {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            }
+        }),
+        (load_op(), xreg(), xreg(), imm12()).prop_map(|(op, rd, rs1, offset)| Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset
+        }),
+        (store_op(), xreg(), xreg(), imm12()).prop_map(|(op, rs1, rs2, offset)| Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset
+        }),
         (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, imm)| Inst::OpImm {
             op: IntImmOp::Addi,
             rd,
@@ -150,8 +164,12 @@ fn inst() -> impl Strategy<Value = Inst> {
             rs1,
             imm
         }),
-        (int_op(), xreg(), xreg(), xreg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (int_op(), xreg(), xreg(), xreg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (xreg(), xreg(), imm12()).prop_map(|(rd, rs1, imm)| Inst::OpImmW {
             op: IntImmWOp::Addiw,
             rd,
@@ -164,24 +182,57 @@ fn inst() -> impl Strategy<Value = Inst> {
             rs1,
             imm
         }),
-        (int_w_op(), xreg(), xreg(), xreg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::OpW { op, rd, rs1, rs2 }),
+        (int_w_op(), xreg(), xreg(), xreg()).prop_map(|(op, rd, rs1, rs2)| Inst::OpW {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (amo_width(), xreg(), xreg()).prop_map(|(width, rd, rs1)| Inst::Lr { width, rd, rs1 }),
-        (amo_width(), xreg(), xreg(), xreg())
-            .prop_map(|(width, rd, rs1, rs2)| Inst::Sc { width, rd, rs1, rs2 }),
-        (amo_op(), amo_width(), xreg(), xreg(), xreg())
-            .prop_map(|(op, width, rd, rs1, rs2)| Inst::Amo { op, width, rd, rs1, rs2 }),
-        (csr_op(), xreg(), 0u32..32, any::<u16>().prop_map(|c| c & 0xFFF))
+        (amo_width(), xreg(), xreg(), xreg()).prop_map(|(width, rd, rs1, rs2)| Inst::Sc {
+            width,
+            rd,
+            rs1,
+            rs2
+        }),
+        (amo_op(), amo_width(), xreg(), xreg(), xreg()).prop_map(|(op, width, rd, rs1, rs2)| {
+            Inst::Amo {
+                op,
+                width,
+                rd,
+                rs1,
+                rs2,
+            }
+        }),
+        (
+            csr_op(),
+            xreg(),
+            0u32..32,
+            any::<u16>().prop_map(|c| c & 0xFFF)
+        )
             .prop_map(|(op, rd, src, csr)| Inst::Csr { op, rd, src, csr }),
         (freg(), xreg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Fld { rd, rs1, offset }),
         (xreg(), freg(), imm12()).prop_map(|(rs1, rs2, offset)| Inst::Fsd { rs1, rs2, offset }),
-        (fp_op(), freg(), freg(), freg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Fp { op, rd, rs1, rs2 }),
+        (fp_op(), freg(), freg(), freg()).prop_map(|(op, rd, rs1, rs2)| Inst::Fp {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (freg(), freg()).prop_map(|(rd, rs1)| Inst::FpSqrt { rd, rs1 }),
-        (fma_op(), freg(), freg(), freg(), freg())
-            .prop_map(|(op, rd, rs1, rs2, rs3)| Inst::Fma { op, rd, rs1, rs2, rs3 }),
-        (fp_cmp_op(), xreg(), freg(), freg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::FpCmp { op, rd, rs1, rs2 }),
+        (fma_op(), freg(), freg(), freg(), freg()).prop_map(|(op, rd, rs1, rs2, rs3)| Inst::Fma {
+            op,
+            rd,
+            rs1,
+            rs2,
+            rs3
+        }),
+        (fp_cmp_op(), xreg(), freg(), freg()).prop_map(|(op, rd, rs1, rs2)| Inst::FpCmp {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (fp_cvt_op(), 0u32..32, 0u32..32).prop_map(|(op, rd, rs1)| Inst::FpCvt { op, rd, rs1 }),
         (xreg(), freg()).prop_map(|(rd, rs1)| Inst::FmvXD { rd, rs1 }),
         (freg(), xreg()).prop_map(|(rd, rs1)| Inst::FmvDX { rd, rs1 }),
@@ -190,8 +241,12 @@ fn inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Ebreak),
         Just(Inst::Mret),
         Just(Inst::Wfi),
-        (flex_op(), xreg(), xreg(), xreg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Flex { op, rd, rs1, rs2 }),
+        (flex_op(), xreg(), xreg(), xreg()).prop_map(|(op, rd, rs1, rs2)| Inst::Flex {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
     ]
 }
 

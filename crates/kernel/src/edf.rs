@@ -99,7 +99,10 @@ mod tests {
         let mut q = EdfQueue::new();
         assert!(!q.would_preempt(Some(500)));
         q.insert(TaskId(1), 600);
-        assert!(!q.would_preempt(Some(500)), "later deadline must not preempt");
+        assert!(
+            !q.would_preempt(Some(500)),
+            "later deadline must not preempt"
+        );
         q.insert(TaskId(2), 400);
         assert!(q.would_preempt(Some(500)), "earlier deadline preempts");
         assert!(q.would_preempt(None), "idle core always dispatches");

@@ -28,7 +28,11 @@ pub struct KernelConfig {
 
 impl Default for KernelConfig {
     fn default() -> Self {
-        KernelConfig { context_switch_cycles: 300, trap_cycles: 120, checker_yield: true }
+        KernelConfig {
+            context_switch_cycles: 300,
+            trap_cycles: 120,
+            checker_yield: true,
+        }
     }
 }
 
@@ -273,7 +277,9 @@ impl System {
                     id: cid,
                     name: format!("{}✓@{}", def.name, checker_core),
                     class: TaskClass::Normal,
-                    body: TaskBody::CheckerThread { main_core: def.core },
+                    body: TaskBody::CheckerThread {
+                        main_core: def.core,
+                    },
                     period: def.period,
                     phase: def.phase,
                     core: checker_core,
@@ -398,7 +404,8 @@ impl System {
                 if old.state != JobState::Done {
                     tcb.misses += 1;
                     let old_k = old.k;
-                    self.trace.push(now, TraceEvent::DeadlineMiss { task: id, k: old_k });
+                    self.trace
+                        .push(now, TraceEvent::DeadlineMiss { task: id, k: old_k });
                     // Abandon the overrun job: remove it from queues and,
                     // if running, evict it.
                     self.queues[self.tasks[&id].def.core].remove(id, old.deadline);
@@ -425,7 +432,14 @@ impl System {
             tcb.context = None; // fresh job starts from the entry point
             let core = tcb.def.core;
             self.queues[core].insert(id, deadline);
-            self.trace.push(now, TraceEvent::Release { task: id, k, deadline });
+            self.trace.push(
+                now,
+                TraceEvent::Release {
+                    task: id,
+                    k,
+                    deadline,
+                },
+            );
         }
         if !self.queues.is_empty() {
             self.rearm_timers();
@@ -434,8 +448,8 @@ impl System {
 
     /// Performs the Al. 1 context switch on `core` when EDF demands it.
     fn schedule_core(&mut self, core: usize) {
-        let running_deadline = self.running[core]
-            .and_then(|id| self.tasks[&id].live_job.as_ref().map(|j| j.deadline));
+        let running_deadline =
+            self.running[core].and_then(|id| self.tasks[&id].live_job.as_ref().map(|j| j.deadline));
         if !self.queues[core].would_preempt(running_deadline) {
             return;
         }
@@ -456,14 +470,19 @@ impl System {
         if let Some(cur) = self.running[core].take() {
             let state = self.fs.soc.core(core).state.clone();
             let tcb = self.tasks.get_mut(&cur).expect("running task exists");
-            if tcb.live_job.as_ref().is_some_and(|j| j.state != JobState::Done) {
+            if tcb
+                .live_job
+                .as_ref()
+                .is_some_and(|j| j.state != JobState::Done)
+            {
                 tcb.context = Some(state);
                 if let Some(j) = &mut tcb.live_job {
                     j.state = JobState::Ready;
                 }
                 let deadline = tcb.live_job.as_ref().expect("live").deadline;
                 self.queues[core].insert(cur, deadline);
-                self.trace.push(now, TraceEvent::Preempt { core, task: cur });
+                self.trace
+                    .push(now, TraceEvent::Preempt { core, task: cur });
             }
         }
 
@@ -511,11 +530,9 @@ impl System {
         let check_this_job = tcb.def.is_verified() && tcb.check_demanded;
         let tag = u64::from(next.0);
         match self.fs.fabric.ids_contain(core).expect("core exists") {
-            CoreAttr::Main => {
-                if check_this_job {
-                    self.fs.fabric.unit_mut(core).tracker.set_tag(tag);
-                    let _ = self.fs.op_m_check(core, true);
-                }
+            CoreAttr::Main if check_this_job => {
+                self.fs.fabric.unit_mut(core).tracker.set_tag(tag);
+                let _ = self.fs.op_m_check(core, true);
             }
             CoreAttr::Checker if is_checker_thread => {
                 let _ = self.fs.op_c_check_state(core, true);
@@ -527,7 +544,8 @@ impl System {
         self.fs.soc.core_mut(core).clear_reservation();
         self.fs.soc.core_mut(core).unpark();
         self.fs.soc.stall_core(core, self.cfg.context_switch_cycles);
-        self.trace.push(now, TraceEvent::Dispatch { core, task: next });
+        self.trace
+            .push(now, TraceEvent::Dispatch { core, task: next });
     }
 
     /// Marks the running job on `core` complete.
@@ -549,7 +567,15 @@ impl System {
         }
         tcb.context = None;
         self.running[core] = None;
-        self.trace.push(now, TraceEvent::Complete { core, task: id, k, met_deadline: met });
+        self.trace.push(
+            now,
+            TraceEvent::Complete {
+                core,
+                task: id,
+                k,
+                met_deadline: met,
+            },
+        );
         self.fs.soc.core_mut(core).park();
         self.fs.soc.stall_core(core, self.cfg.trap_cycles);
     }
@@ -557,7 +583,9 @@ impl System {
     /// Whether a checker-thread job has finished: its verified task's job
     /// is done and the stream is fully consumed.
     fn checker_job_finished(&self, checker_task: TaskId, core: usize) -> bool {
-        let Some(&orig) = self.verif_of.get(&checker_task) else { return false };
+        let Some(&orig) = self.verif_of.get(&checker_task) else {
+            return false;
+        };
         let orig_tcb = &self.tasks[&orig];
         let orig_done = orig_tcb
             .live_job
@@ -566,7 +594,9 @@ impl System {
         if !orig_done {
             return false;
         }
-        let Some((main, consumer)) = self.fs.fabric.channel_of(core) else { return false };
+        let Some((main, consumer)) = self.fs.fabric.channel_of(core) else {
+            return false;
+        };
         self.fs.fabric.unit(main).fifo.backlog(consumer) == 0
             && matches!(
                 self.fs.fabric.unit(core).checker.phase,
@@ -617,7 +647,10 @@ impl System {
 
     fn handle_step(&mut self, core: usize, step: EngineStep) {
         match step {
-            EngineStep::Core(StepKind::Trap { cause: TrapCause::EcallFromU, .. }) => {
+            EngineStep::Core(StepKind::Trap {
+                cause: TrapCause::EcallFromU,
+                ..
+            }) => {
                 // Guest job completion protocol: ecall ends the job.
                 self.complete_job(core);
             }
@@ -628,7 +661,13 @@ impl System {
                 self.fs.soc.stall_core(core, self.cfg.trap_cycles);
                 self.rearm_timers();
             }
-            EngineStep::Core(StepKind::Flex { op, rd, rs1_value, rs2_value, .. }) => {
+            EngineStep::Core(StepKind::Flex {
+                op,
+                rd,
+                rs1_value,
+                rs2_value,
+                ..
+            }) => {
                 let _ = self.fs.exec_flex(core, op, rd, rs1_value, rs2_value);
             }
             EngineStep::Core(StepKind::Trap { cause, tval, pc }) => {
@@ -642,7 +681,10 @@ impl System {
             EngineStep::CheckerDetected(event) => {
                 self.trace.push(
                     self.fs.soc.now(),
-                    TraceEvent::Detection { checker_core: core, tag: event.tag },
+                    TraceEvent::Detection {
+                        checker_core: core,
+                        tag: event.tag,
+                    },
                 );
                 self.detections.push(event);
                 self.maybe_finish_checker(core);
@@ -693,7 +735,8 @@ impl System {
             if let Some(j) = &tcb.live_job {
                 if j.state != JobState::Done && j.deadline <= horizon {
                     tcb.misses += 1;
-                    self.trace.push(horizon, TraceEvent::DeadlineMiss { task: *id, k: j.k });
+                    self.trace
+                        .push(horizon, TraceEvent::DeadlineMiss { task: *id, k: j.k });
                 }
             }
         }
@@ -719,7 +762,10 @@ impl System {
     }
 
     fn demand_of(&self, task: TaskId) -> CheckDemand {
-        self.demands.get(&task).copied().unwrap_or(CheckDemand::Always)
+        self.demands
+            .get(&task)
+            .copied()
+            .unwrap_or(CheckDemand::Always)
     }
 
     /// The selective-checking demand currently in force for `task`
@@ -744,7 +790,10 @@ impl System {
         task: TaskId,
         demand: CheckDemand,
     ) -> Result<(), KernelError> {
-        let tcb = self.tasks.get(&task).ok_or(KernelError::UnknownTask { id: task })?;
+        let tcb = self
+            .tasks
+            .get(&task)
+            .ok_or(KernelError::UnknownTask { id: task })?;
         if !tcb.def.is_verified() {
             return Err(KernelError::NotVerified { id: task });
         }
@@ -765,13 +814,17 @@ impl System {
         task: TaskId,
         jobs: u64,
     ) -> Result<(u64, u64), KernelError> {
-        let tcb = self.tasks.get(&task).ok_or(KernelError::UnknownTask { id: task })?;
+        let tcb = self
+            .tasks
+            .get(&task)
+            .ok_or(KernelError::UnknownTask { id: task })?;
         if !tcb.def.is_verified() {
             return Err(KernelError::NotVerified { id: task });
         }
         let from = tcb.next_release_idx;
         let until = from + jobs;
-        self.demands.insert(task, CheckDemand::Window { from, until });
+        self.demands
+            .insert(task, CheckDemand::Window { from, until });
         Ok((from, until))
     }
 

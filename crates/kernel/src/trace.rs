@@ -147,24 +147,82 @@ mod tests {
     #[test]
     fn busy_intervals_pair_dispatch_with_end() {
         let mut tr = Trace::new();
-        tr.push(0, TraceEvent::Dispatch { core: 0, task: TaskId(1) });
-        tr.push(100, TraceEvent::Preempt { core: 0, task: TaskId(1) });
-        tr.push(100, TraceEvent::Dispatch { core: 0, task: TaskId(2) });
-        tr.push(150, TraceEvent::Complete { core: 0, task: TaskId(2), k: 0, met_deadline: true });
-        tr.push(150, TraceEvent::Dispatch { core: 0, task: TaskId(1) });
-        tr.push(220, TraceEvent::Complete { core: 0, task: TaskId(1), k: 0, met_deadline: true });
+        tr.push(
+            0,
+            TraceEvent::Dispatch {
+                core: 0,
+                task: TaskId(1),
+            },
+        );
+        tr.push(
+            100,
+            TraceEvent::Preempt {
+                core: 0,
+                task: TaskId(1),
+            },
+        );
+        tr.push(
+            100,
+            TraceEvent::Dispatch {
+                core: 0,
+                task: TaskId(2),
+            },
+        );
+        tr.push(
+            150,
+            TraceEvent::Complete {
+                core: 0,
+                task: TaskId(2),
+                k: 0,
+                met_deadline: true,
+            },
+        );
+        tr.push(
+            150,
+            TraceEvent::Dispatch {
+                core: 0,
+                task: TaskId(1),
+            },
+        );
+        tr.push(
+            220,
+            TraceEvent::Complete {
+                core: 0,
+                task: TaskId(1),
+                k: 0,
+                met_deadline: true,
+            },
+        );
         let iv = tr.busy_intervals(0);
         assert_eq!(
             iv,
-            vec![(0, 100, TaskId(1)), (100, 150, TaskId(2)), (150, 220, TaskId(1))]
+            vec![
+                (0, 100, TaskId(1)),
+                (100, 150, TaskId(2)),
+                (150, 220, TaskId(1))
+            ]
         );
     }
 
     #[test]
     fn other_core_events_ignored() {
         let mut tr = Trace::new();
-        tr.push(0, TraceEvent::Dispatch { core: 1, task: TaskId(1) });
-        tr.push(50, TraceEvent::Complete { core: 1, task: TaskId(1), k: 0, met_deadline: true });
+        tr.push(
+            0,
+            TraceEvent::Dispatch {
+                core: 1,
+                task: TaskId(1),
+            },
+        );
+        tr.push(
+            50,
+            TraceEvent::Complete {
+                core: 1,
+                task: TaskId(1),
+                k: 0,
+                met_deadline: true,
+            },
+        );
         assert!(tr.busy_intervals(0).is_empty());
         assert_eq!(tr.busy_intervals(1).len(), 1);
     }
@@ -172,8 +230,22 @@ mod tests {
     #[test]
     fn render_produces_fixed_width() {
         let mut tr = Trace::new();
-        tr.push(0, TraceEvent::Dispatch { core: 0, task: TaskId(1) });
-        tr.push(500, TraceEvent::Complete { core: 0, task: TaskId(1), k: 0, met_deadline: true });
+        tr.push(
+            0,
+            TraceEvent::Dispatch {
+                core: 0,
+                task: TaskId(1),
+            },
+        );
+        tr.push(
+            500,
+            TraceEvent::Complete {
+                core: 0,
+                task: TaskId(1),
+                k: 0,
+                met_deadline: true,
+            },
+        );
         let s = tr.render_core(0, 1000, 100);
         assert!(s.starts_with("core 0 |"));
         assert!(s.contains('1'));

@@ -28,6 +28,7 @@ fn spin_program(name: &str, iters: i64, slot: u64) -> Arc<Program> {
     Arc::new(asm.finish().unwrap())
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors TaskDef field-for-field
 fn guest(
     id: u32,
     name: &str,
@@ -54,15 +55,38 @@ fn guest(
 
 #[test]
 fn two_normal_tasks_share_a_core_by_edf() {
-    let mut sys =
-        System::new(SocConfig::paper(1), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(1),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
     // Short-period task must preempt the long-period one.
     let short = spin_program("short", 2_000, 0);
     let long = spin_program("long", 40_000, 1);
-    sys.add_task(guest(1, "short", short, TaskClass::Normal, 100_000, 0, 0, vec![], 5))
-        .unwrap();
-    sys.add_task(guest(2, "long", long, TaskClass::Normal, 600_000, 0, 0, vec![], 1))
-        .unwrap();
+    sys.add_task(guest(
+        1,
+        "short",
+        short,
+        TaskClass::Normal,
+        100_000,
+        0,
+        0,
+        vec![],
+        5,
+    ))
+    .unwrap();
+    sys.add_task(guest(
+        2,
+        "long",
+        long,
+        TaskClass::Normal,
+        600_000,
+        0,
+        0,
+        vec![],
+        1,
+    ))
+    .unwrap();
     sys.boot().unwrap();
     let summary = sys.run_until(1_000_000);
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 5);
@@ -73,18 +97,42 @@ fn two_normal_tasks_share_a_core_by_edf() {
         .trace
         .events()
         .iter()
-        .filter(|(_, e)| matches!(e, TraceEvent::Preempt { task: TaskId(2), .. }))
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                TraceEvent::Preempt {
+                    task: TaskId(2),
+                    ..
+                }
+            )
+        })
         .count();
-    assert!(preempts >= 1, "EDF must preempt the long job, got {preempts} preemptions");
+    assert!(
+        preempts >= 1,
+        "EDF must preempt the long job, got {preempts} preemptions"
+    );
 }
 
 #[test]
 fn verified_task_verifies_all_segments() {
-    let mut sys =
-        System::new(SocConfig::paper(2), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(2),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
     let p = spin_program("v", 30_000, 0);
-    sys.add_task(guest(1, "v", p, TaskClass::Verified2, 2_000_000, 0, 0, vec![1], 2))
-        .unwrap();
+    sys.add_task(guest(
+        1,
+        "v",
+        p,
+        TaskClass::Verified2,
+        2_000_000,
+        0,
+        0,
+        vec![1],
+        2,
+    ))
+    .unwrap();
     sys.boot().unwrap();
     let summary = sys.run_until(4_500_000);
     let t = summary.task(TaskId(1)).unwrap();
@@ -102,18 +150,34 @@ fn verified_task_verifies_all_segments() {
 
 #[test]
 fn triple_check_uses_two_checkers() {
-    let mut sys =
-        System::new(SocConfig::paper(3), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(3),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
     let p = spin_program("v3", 20_000, 0);
-    sys.add_task(guest(1, "v3", p, TaskClass::Verified3, 3_000_000, 0, 0, vec![1, 2], 1))
-        .unwrap();
+    sys.add_task(guest(
+        1,
+        "v3",
+        p,
+        TaskClass::Verified3,
+        3_000_000,
+        0,
+        0,
+        vec![1, 2],
+        1,
+    ))
+    .unwrap();
     sys.boot().unwrap();
     let summary = sys.run_until(3_000_000);
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 1);
     assert_eq!(summary.total_misses(), 0);
     let c1 = sys.fs.checker_state(1).segments_checked;
     let c2 = sys.fs.checker_state(2).segments_checked;
-    assert!(c1 > 0 && c1 == c2, "both checkers verify the same stream: {c1} vs {c2}");
+    assert!(
+        c1 > 0 && c1 == c2,
+        "both checkers verify the same stream: {c1} vs {c2}"
+    );
 }
 
 #[test]
@@ -123,47 +187,130 @@ fn fig1c_emergency_scenario_meets_deadlines() {
     // verification runs asynchronously on core 1 and can be preempted by
     // τ3 — everyone meets their deadlines.
     let clock_ms = 1_600_000u64; // 1 ms at 1.6 GHz
-    let mut sys =
-        System::new(SocConfig::paper(2), FabricConfig::paper_async(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(2),
+        FabricConfig::paper_async(),
+        KernelConfig::default(),
+    );
     let t1 = spin_program("t1", 150_000, 0); // ~"WCET 15"
     let t2 = spin_program("t2", 150_000, 1); // ~"WCET 15", verified
     let t3 = spin_program("t3", 50_000, 2); // ~"WCET 5"
-    sys.add_task(guest(1, "t1", t1, TaskClass::Normal, 2 * clock_ms, 0, 0, vec![], 3))
-        .unwrap();
-    sys.add_task(guest(2, "t2", t2, TaskClass::Verified2, 5 * clock_ms, 0, 0, vec![1], 1))
-        .unwrap();
-    sys.add_task(guest(3, "t3", t3, TaskClass::Normal, 2 * clock_ms, 0, 1, vec![], 3))
-        .unwrap();
+    sys.add_task(guest(
+        1,
+        "t1",
+        t1,
+        TaskClass::Normal,
+        2 * clock_ms,
+        0,
+        0,
+        vec![],
+        3,
+    ))
+    .unwrap();
+    sys.add_task(guest(
+        2,
+        "t2",
+        t2,
+        TaskClass::Verified2,
+        5 * clock_ms,
+        0,
+        0,
+        vec![1],
+        1,
+    ))
+    .unwrap();
+    sys.add_task(guest(
+        3,
+        "t3",
+        t3,
+        TaskClass::Normal,
+        2 * clock_ms,
+        0,
+        1,
+        vec![],
+        3,
+    ))
+    .unwrap();
     sys.boot().unwrap();
     let summary = sys.run_until(7 * clock_ms);
-    assert_eq!(summary.total_misses(), 0, "FlexStep schedule must meet all deadlines");
+    assert_eq!(
+        summary.total_misses(),
+        0,
+        "FlexStep schedule must meet all deadlines"
+    );
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 3);
     assert_eq!(summary.task(TaskId(2)).unwrap().completed, 1);
     assert_eq!(summary.task(TaskId(3)).unwrap().completed, 3);
     assert_eq!(sys.fs.checker_state(1).segments_failed, 0);
-    assert!(sys.fs.checker_state(1).segments_checked > 0, "τ2 was verified");
+    assert!(
+        sys.fs.checker_state(1).segments_checked > 0,
+        "τ2 was verified"
+    );
 }
 
 #[test]
 fn add_task_validates_configuration() {
-    let mut sys =
-        System::new(SocConfig::paper(2), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(2),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
     let p = spin_program("x", 100, 0);
     // Core out of range.
     assert!(sys
-        .add_task(guest(1, "x", p.clone(), TaskClass::Normal, 1000, 0, 7, vec![], 1))
+        .add_task(guest(
+            1,
+            "x",
+            p.clone(),
+            TaskClass::Normal,
+            1000,
+            0,
+            7,
+            vec![],
+            1
+        ))
         .is_err());
     // Verified without checkers.
     assert!(sys
-        .add_task(guest(2, "x", p.clone(), TaskClass::Verified2, 1000, 0, 0, vec![], 1))
+        .add_task(guest(
+            2,
+            "x",
+            p.clone(),
+            TaskClass::Verified2,
+            1000,
+            0,
+            0,
+            vec![],
+            1
+        ))
         .is_err());
     // Triple-check with only one checker.
     assert!(sys
-        .add_task(guest(3, "x", p.clone(), TaskClass::Verified3, 1000, 0, 0, vec![1], 1))
+        .add_task(guest(
+            3,
+            "x",
+            p.clone(),
+            TaskClass::Verified3,
+            1000,
+            0,
+            0,
+            vec![1],
+            1
+        ))
         .is_err());
     // Valid, then duplicate id.
-    sys.add_task(guest(4, "x", p.clone(), TaskClass::Normal, 1000, 0, 0, vec![], 1))
-        .unwrap();
+    sys.add_task(guest(
+        4,
+        "x",
+        p.clone(),
+        TaskClass::Normal,
+        1000,
+        0,
+        0,
+        vec![],
+        1,
+    ))
+    .unwrap();
     assert!(sys
         .add_task(guest(4, "x", p, TaskClass::Normal, 1000, 0, 0, vec![], 1))
         .is_err());
@@ -171,13 +318,29 @@ fn add_task_validates_configuration() {
 
 #[test]
 fn overloaded_core_misses_deadlines() {
-    let mut sys =
-        System::new(SocConfig::paper(1), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(1),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
     // A job that takes far longer than its period.
     let p = spin_program("hog", 400_000, 0);
-    sys.add_task(guest(1, "hog", p, TaskClass::Normal, 200_000, 0, 0, vec![], 3))
-        .unwrap();
+    sys.add_task(guest(
+        1,
+        "hog",
+        p,
+        TaskClass::Normal,
+        200_000,
+        0,
+        0,
+        vec![],
+        3,
+    ))
+    .unwrap();
     sys.boot().unwrap();
     let summary = sys.run_until(3_000_000);
-    assert!(summary.task(TaskId(1)).unwrap().misses > 0, "overload must miss deadlines");
+    assert!(
+        summary.task(TaskId(1)).unwrap().misses > 0,
+        "overload must miss deadlines"
+    );
 }

@@ -32,8 +32,11 @@ fn spin_program(name: &str, iters: i64, slot: u64) -> Arc<Program> {
 }
 
 fn v2_system(max_jobs: u64) -> System {
-    let mut sys =
-        System::new(SocConfig::paper(2), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(2),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
     sys.add_task(TaskDef {
         id: TaskId(1),
         name: "v".into(),
@@ -72,7 +75,8 @@ fn demand_never_checks_nothing() {
 fn window_checks_exactly_the_flagged_jobs() {
     let mut sys = v2_system(4);
     // Jobs 1 and 2 flagged; jobs 0 and 3 not.
-    sys.set_check_demand(TaskId(1), CheckDemand::Window { from: 1, until: 3 }).unwrap();
+    sys.set_check_demand(TaskId(1), CheckDemand::Window { from: 1, until: 3 })
+        .unwrap();
     sys.boot().unwrap();
 
     // Track per-job verification by sampling after each period.
@@ -90,7 +94,11 @@ fn window_checks_exactly_the_flagged_jobs() {
     assert!(seg_at[2] > seg_at[1], "job 2 verified");
     assert_eq!(seg_at[3], seg_at[2], "job 3 not demanded");
     let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
-    assert_eq!(summary.task(ct).unwrap().completed, 2, "two checker-thread jobs ran");
+    assert_eq!(
+        summary.task(ct).unwrap().completed,
+        2,
+        "two checker-thread jobs ran"
+    );
     assert_eq!(sys.fs.checker_state(1).segments_failed, 0);
 }
 
@@ -104,7 +112,11 @@ fn emergency_trigger_covers_next_jobs_only() {
     sys.run_until(2_000_000);
     assert_eq!(sys.fs.checker_state(1).segments_checked, 0);
     let (from, until) = sys.trigger_check_window(TaskId(1), 1).unwrap();
-    assert_eq!((from, until), (1, 2), "emergency flags exactly the next release");
+    assert_eq!(
+        (from, until),
+        (1, 2),
+        "emergency flags exactly the next release"
+    );
 
     let summary = sys.run_until(7_000_000);
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 3);
@@ -114,7 +126,11 @@ fn emergency_trigger_covers_next_jobs_only() {
         "the flagged job was verified"
     );
     let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
-    assert_eq!(summary.task(ct).unwrap().completed, 1, "one emergency job checked");
+    assert_eq!(
+        summary.task(ct).unwrap().completed,
+        1,
+        "one emergency job checked"
+    );
 }
 
 #[test]
@@ -132,10 +148,15 @@ fn demand_validation_rejects_bad_targets() {
         max_jobs: Some(1),
     })
     .unwrap();
-    assert!(sys.set_check_demand(TaskId(2), CheckDemand::Always).is_err(),
-        "normal tasks carry no checking demand");
-    assert!(sys.set_check_demand(TaskId(9), CheckDemand::Never).is_err(),
-        "unknown task must be rejected");
+    assert!(
+        sys.set_check_demand(TaskId(2), CheckDemand::Always)
+            .is_err(),
+        "normal tasks carry no checking demand"
+    );
+    assert!(
+        sys.set_check_demand(TaskId(9), CheckDemand::Never).is_err(),
+        "unknown task must be rejected"
+    );
     assert!(sys.trigger_check_window(TaskId(9), 1).is_err());
 }
 
@@ -146,7 +167,10 @@ fn default_demand_is_always() {
     sys.boot().unwrap();
     let summary = sys.run_until(4_500_000);
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 2);
-    assert!(sys.fs.checker_state(1).segments_checked > 0, "default checks every job");
+    assert!(
+        sys.fs.checker_state(1).segments_checked > 0,
+        "default checks every job"
+    );
     let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
     assert_eq!(summary.task(ct).unwrap().completed, 2);
 }
@@ -156,8 +180,11 @@ fn v2_task_may_carry_extra_redundancy() {
     // A V2 task on a shared 1:2 channel is verified by BOTH checkers —
     // more redundancy than its class requires, which the hardware's
     // "one-to-two, or more modes" explicitly allows.
-    let mut sys =
-        System::new(SocConfig::paper(3), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(3),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
     sys.add_task(TaskDef {
         id: TaskId(1),
         name: "v2wide".into(),

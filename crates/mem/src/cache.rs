@@ -34,12 +34,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The 16 KiB 4-way L1 configuration of Tab. II.
     pub fn paper_l1() -> Self {
-        CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
     }
 
     /// The 512 KiB 8-way L2 configuration of Tab. II.
     pub fn paper_l2() -> Self {
-        CacheConfig { size_bytes: 512 * 1024, ways: 8, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -58,9 +66,11 @@ impl CacheConfig {
             return Err(CacheGeometryError::Zero);
         }
         if !self.line_bytes.is_power_of_two() {
-            return Err(CacheGeometryError::LineNotPowerOfTwo { line_bytes: self.line_bytes });
+            return Err(CacheGeometryError::LineNotPowerOfTwo {
+                line_bytes: self.line_bytes,
+            });
         }
-        if self.size_bytes % (self.ways * self.line_bytes) != 0 {
+        if !self.size_bytes.is_multiple_of(self.ways * self.line_bytes) {
             return Err(CacheGeometryError::NotDivisible);
         }
         if !self.sets().is_power_of_two() {
@@ -147,7 +157,11 @@ struct Line {
     lru: u64,
 }
 
-const INVALID_LINE: Line = Line { tag: 0, state: LineState::Invalid, lru: 0 };
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    state: LineState::Invalid,
+    lru: 0,
+};
 
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,7 +199,12 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Result<Self, CacheGeometryError> {
         config.validate()?;
         let n = config.sets() * config.ways;
-        Ok(Cache { config, lines: vec![INVALID_LINE; n], stats: CacheStats::default(), tick: 0 })
+        Ok(Cache {
+            config,
+            lines: vec![INVALID_LINE; n],
+            stats: CacheStats::default(),
+            tick: 0,
+        })
     }
 
     /// The cache geometry.
@@ -240,7 +259,10 @@ impl Cache {
                     line.state = LineState::Modified;
                 }
                 self.stats.hits += 1;
-                return AccessOutcome { hit: true, writeback: None };
+                return AccessOutcome {
+                    hit: true,
+                    writeback: None,
+                };
             }
         }
 
@@ -250,7 +272,9 @@ impl Cache {
             .clone()
             .find(|&i| self.lines[i].state == LineState::Invalid)
             .unwrap_or_else(|| {
-                range.min_by_key(|&i| self.lines[i].lru).expect("non-zero ways")
+                range
+                    .min_by_key(|&i| self.lines[i].lru)
+                    .expect("non-zero ways")
             });
 
         let mut writeback = None;
@@ -264,10 +288,17 @@ impl Cache {
         }
         self.lines[victim] = Line {
             tag,
-            state: if write { LineState::Modified } else { LineState::Shared },
+            state: if write {
+                LineState::Modified
+            } else {
+                LineState::Shared
+            },
             lru: self.tick,
         };
-        AccessOutcome { hit: false, writeback }
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Looks up the state of the line containing `addr` without touching
@@ -322,7 +353,10 @@ impl Cache {
 
     /// Number of resident (non-invalid) lines.
     pub fn resident_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.state != LineState::Invalid).count()
+        self.lines
+            .iter()
+            .filter(|l| l.state != LineState::Invalid)
+            .count()
     }
 
     /// Invalidates everything (e.g. at task-image reload).
@@ -339,7 +373,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512B
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 }).unwrap()
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -352,11 +391,23 @@ mod tests {
 
     #[test]
     fn invalid_geometry_rejected() {
-        let bad = CacheConfig { size_bytes: 500, ways: 2, line_bytes: 64 };
+        let bad = CacheConfig {
+            size_bytes: 500,
+            ways: 2,
+            line_bytes: 64,
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { size_bytes: 0, ways: 2, line_bytes: 64 };
+        let bad = CacheConfig {
+            size_bytes: 0,
+            ways: 2,
+            line_bytes: 64,
+        };
         assert_eq!(bad.validate(), Err(CacheGeometryError::Zero));
-        let bad = CacheConfig { size_bytes: 384, ways: 2, line_bytes: 64 };
+        let bad = CacheConfig {
+            size_bytes: 384,
+            ways: 2,
+            line_bytes: 64,
+        };
         assert!(matches!(
             bad.validate(),
             Err(CacheGeometryError::SetsNotPowerOfTwo { sets: 3 })

@@ -42,7 +42,12 @@ pub struct LatencyConfig {
 impl LatencyConfig {
     /// The latencies of the evaluated configuration (Tab. II).
     pub fn paper() -> Self {
-        LatencyConfig { l1_hit: 2, l2_hit: 40, dram: 100, snoop: 12 }
+        LatencyConfig {
+            l1_hit: 2,
+            l2_hit: 40,
+            dram: 100,
+            snoop: 12,
+        }
     }
 }
 
@@ -332,7 +337,10 @@ mod tests {
         let lat = LatencyConfig::paper();
         let (v, t) = m.read(1, 0x3000, 8);
         assert_eq!(v, 1);
-        assert!(t > lat.l1_hit, "remote read after invalidation must miss L1");
+        assert!(
+            t > lat.l1_hit,
+            "remote read after invalidation must miss L1"
+        );
     }
 
     #[test]

@@ -8,18 +8,34 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
 enum Access {
-    Read { core: usize, slot: u64, size: u8 },
-    Write { core: usize, slot: u64, size: u8, value: u64 },
+    Read {
+        core: usize,
+        slot: u64,
+        size: u8,
+    },
+    Write {
+        core: usize,
+        slot: u64,
+        size: u8,
+        value: u64,
+    },
 }
 
 fn access() -> impl Strategy<Value = Access> {
     let size = prop_oneof![Just(1u8), Just(2), Just(4), Just(8)];
     let slot = 0u64..64; // 64 line-aligned slots over several cache sets
     prop_oneof![
-        (0usize..3, slot.clone(), size.clone())
-            .prop_map(|(core, slot, size)| Access::Read { core, slot, size }),
-        (0usize..3, slot, size, any::<u64>())
-            .prop_map(|(core, slot, size, value)| Access::Write { core, slot, size, value }),
+        (0usize..3, slot.clone(), size.clone()).prop_map(|(core, slot, size)| Access::Read {
+            core,
+            slot,
+            size
+        }),
+        (0usize..3, slot, size, any::<u64>()).prop_map(|(core, slot, size, value)| Access::Write {
+            core,
+            slot,
+            size,
+            value
+        }),
     ]
 }
 

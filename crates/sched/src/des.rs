@@ -110,9 +110,16 @@ fn simulate_core(streams: &[Stream], horizon: f64) -> CoreSimResult {
         // finish; jobs that never finish within the horizon are swept
         // below.
     }
-    misses += live.iter().filter(|j| j.deadline < horizon && j.remaining > 1e-9).count() as u64;
+    misses += live
+        .iter()
+        .filter(|j| j.deadline < horizon && j.remaining > 1e-9)
+        .count() as u64;
 
-    CoreSimResult { released, misses, busy_fraction: busy / horizon }
+    CoreSimResult {
+        released,
+        misses,
+        busy_fraction: busy / horizon,
+    }
 }
 
 /// Simulates a whole partition; returns per-core results.
@@ -124,8 +131,12 @@ pub fn simulate_partition(
     partition: &Partition,
     horizon_periods: f64,
 ) -> Vec<CoreSimResult> {
-    let max_period =
-        ts.tasks().iter().map(|t| t.period).fold(0.0, f64::max).max(1.0);
+    let max_period = ts
+        .tasks()
+        .iter()
+        .map(|t| t.period)
+        .fold(0.0, f64::max)
+        .max(1.0);
     let horizon = max_period * horizon_periods;
     let cores = partition.core_density.len();
     let mut results = Vec::with_capacity(cores);
@@ -172,12 +183,22 @@ mod tests {
     use crate::partition::{FlexStepPartitioner, Partitioner};
 
     fn t(id: usize, wcet: f64, period: f64, class: ReliabilityClass) -> SpTask {
-        SpTask { id, wcet, period, class }
+        SpTask {
+            id,
+            wcet,
+            period,
+            class,
+        }
     }
 
     #[test]
     fn single_stream_meets_deadlines() {
-        let s = [Stream { offset: 0.0, period: 10.0, rel_deadline: 10.0, wcet: 4.0 }];
+        let s = [Stream {
+            offset: 0.0,
+            period: 10.0,
+            rel_deadline: 10.0,
+            wcet: 4.0,
+        }];
         let r = simulate_core(&s, 100.0);
         assert_eq!(r.released, 10);
         assert_eq!(r.misses, 0);
@@ -187,8 +208,18 @@ mod tests {
     #[test]
     fn overload_misses() {
         let s = [
-            Stream { offset: 0.0, period: 10.0, rel_deadline: 10.0, wcet: 6.0 },
-            Stream { offset: 0.0, period: 10.0, rel_deadline: 10.0, wcet: 6.0 },
+            Stream {
+                offset: 0.0,
+                period: 10.0,
+                rel_deadline: 10.0,
+                wcet: 6.0,
+            },
+            Stream {
+                offset: 0.0,
+                period: 10.0,
+                rel_deadline: 10.0,
+                wcet: 6.0,
+            },
         ];
         let r = simulate_core(&s, 100.0);
         assert!(r.misses > 0, "120% load must miss");
@@ -199,8 +230,18 @@ mod tests {
         // A long job plus a short tight job released later: EDF must
         // preempt and both meet deadlines (total demand fits).
         let s = [
-            Stream { offset: 0.0, period: 100.0, rel_deadline: 100.0, wcet: 50.0 },
-            Stream { offset: 10.0, period: 100.0, rel_deadline: 20.0, wcet: 10.0 },
+            Stream {
+                offset: 0.0,
+                period: 100.0,
+                rel_deadline: 100.0,
+                wcet: 50.0,
+            },
+            Stream {
+                offset: 10.0,
+                period: 100.0,
+                rel_deadline: 20.0,
+                wcet: 10.0,
+            },
         ];
         let r = simulate_core(&s, 100.0);
         assert_eq!(r.misses, 0);
@@ -225,7 +266,10 @@ mod tests {
                 );
             }
         }
-        assert!(accepted > 0, "the experiment needs accepted sets to be meaningful");
+        assert!(
+            accepted > 0,
+            "the experiment needs accepted sets to be meaningful"
+        );
     }
 
     #[test]

@@ -24,12 +24,60 @@ impl Fig5Config {
     /// The six published sub-plots (a)–(f).
     pub fn paper_all() -> [(char, Fig5Config); 6] {
         [
-            ('a', Fig5Config { m: 8, n: 160, alpha: 0.0625, beta: 0.0625 }),
-            ('b', Fig5Config { m: 8, n: 160, alpha: 0.125, beta: 0.125 }),
-            ('c', Fig5Config { m: 8, n: 160, alpha: 0.25, beta: 0.25 }),
-            ('d', Fig5Config { m: 8, n: 160, alpha: 0.25, beta: 0.0 }),
-            ('e', Fig5Config { m: 16, n: 160, alpha: 0.125, beta: 0.125 }),
-            ('f', Fig5Config { m: 8, n: 80, alpha: 0.25, beta: 0.25 }),
+            (
+                'a',
+                Fig5Config {
+                    m: 8,
+                    n: 160,
+                    alpha: 0.0625,
+                    beta: 0.0625,
+                },
+            ),
+            (
+                'b',
+                Fig5Config {
+                    m: 8,
+                    n: 160,
+                    alpha: 0.125,
+                    beta: 0.125,
+                },
+            ),
+            (
+                'c',
+                Fig5Config {
+                    m: 8,
+                    n: 160,
+                    alpha: 0.25,
+                    beta: 0.25,
+                },
+            ),
+            (
+                'd',
+                Fig5Config {
+                    m: 8,
+                    n: 160,
+                    alpha: 0.25,
+                    beta: 0.0,
+                },
+            ),
+            (
+                'e',
+                Fig5Config {
+                    m: 16,
+                    n: 160,
+                    alpha: 0.125,
+                    beta: 0.125,
+                },
+            ),
+            (
+                'f',
+                Fig5Config {
+                    m: 8,
+                    n: 80,
+                    alpha: 0.25,
+                    beta: 0.25,
+                },
+            ),
         ]
     }
 }
@@ -68,9 +116,8 @@ pub fn sweep(
             // Seed from the utilisation *value* (not the slice index) so
             // a sweep over [a, b] and two single-point sweeps draw the
             // same task sets — sweep_parallel relies on this.
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ u.to_bits().rotate_left(17) ^ (s as u64) << 24,
-            );
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ u.to_bits().rotate_left(17) ^ (s as u64) << 24);
             let params = GenParams::fig5(config.n, u * config.m as f64, config.alpha, config.beta);
             let ts = generate(&mut rng, &params);
             if lockstep.schedulable(&ts, config.m) {
@@ -103,16 +150,17 @@ pub fn sweep_parallel(
     seed: u64,
 ) -> Vec<SweepPoint> {
     let mut out: Vec<Option<SweepPoint>> = vec![None; utils.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &u) in out.iter_mut().zip(utils) {
             let config = *config;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(sweep(&config, &[u], sets_per_point, seed)[0]);
             });
         }
-    })
-    .expect("worker panicked");
-    out.into_iter().map(|p| p.expect("all points computed")).collect()
+    });
+    out.into_iter()
+        .map(|p| p.expect("all points computed"))
+        .collect()
 }
 
 /// The paper's x-axis: 0.35 to 0.95 in steps of 0.05.
@@ -134,7 +182,12 @@ mod tests {
 
     #[test]
     fn sweep_is_deterministic() {
-        let cfg = Fig5Config { m: 4, n: 24, alpha: 0.125, beta: 0.125 };
+        let cfg = Fig5Config {
+            m: 4,
+            n: 24,
+            alpha: 0.125,
+            beta: 0.125,
+        };
         let a = sweep(&cfg, &[0.5, 0.7], 40, 99);
         let b = sweep(&cfg, &[0.5, 0.7], 40, 99);
         assert_eq!(a, b);
@@ -142,7 +195,12 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let cfg = Fig5Config { m: 4, n: 24, alpha: 0.125, beta: 0.125 };
+        let cfg = Fig5Config {
+            m: 4,
+            n: 24,
+            alpha: 0.125,
+            beta: 0.125,
+        };
         let a = sweep(&cfg, &[0.5, 0.8], 30, 7);
         let b = sweep_parallel(&cfg, &[0.5, 0.8], 30, 7);
         assert_eq!(a, b);
@@ -154,7 +212,12 @@ mod tests {
         // LockStep, with LockStep collapsing first (its rigid fusion
         // halves the usable cores). On the copy-inclusive axis the
         // LockStep cliff for this mix falls just past 0.5.
-        let cfg = Fig5Config { m: 8, n: 40, alpha: 0.125, beta: 0.125 };
+        let cfg = Fig5Config {
+            m: 8,
+            n: 40,
+            alpha: 0.125,
+            beta: 0.125,
+        };
         let pts = sweep(&cfg, &[0.35, 0.58], 60, 13);
         for p in &pts {
             assert!(
@@ -175,7 +238,12 @@ mod tests {
 
     #[test]
     fn acceptance_decreases_with_utilisation() {
-        let cfg = Fig5Config { m: 8, n: 40, alpha: 0.125, beta: 0.125 };
+        let cfg = Fig5Config {
+            m: 8,
+            n: 40,
+            alpha: 0.125,
+            beta: 0.125,
+        };
         let pts = sweep(&cfg, &[0.4, 0.95], 60, 5);
         assert!(pts[0].flexstep >= pts[1].flexstep);
         assert!(pts[0].lockstep >= pts[1].lockstep);

@@ -130,8 +130,7 @@ impl TaskSet {
 
     /// Normal tasks sorted by descending utilisation.
     pub fn normal_desc_util(&self) -> Vec<SpTask> {
-        let mut v: Vec<SpTask> =
-            self.of_class(ReliabilityClass::Normal).copied().collect();
+        let mut v: Vec<SpTask> = self.of_class(ReliabilityClass::Normal).copied().collect();
         v.sort_by(|a, b| {
             b.utilization()
                 .partial_cmp(&a.utilization())
@@ -174,7 +173,10 @@ pub struct VdPolicy {
 impl VdPolicy {
     /// The paper's density-optimal split: `D/2` and `(√2 − 1)·D`.
     pub fn paper() -> Self {
-        VdPolicy { theta_v2: 0.5, theta_v3: 2.0_f64.sqrt() - 1.0 }
+        VdPolicy {
+            theta_v2: 0.5,
+            theta_v3: 2.0_f64.sqrt() - 1.0,
+        }
     }
 
     /// The same fraction for both verification classes (ablation knob).
@@ -184,8 +186,14 @@ impl VdPolicy {
     /// Panics unless `0 < theta < 1` — the original and the checks each
     /// need a positive share of the deadline.
     pub fn uniform(theta: f64) -> Self {
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1): {theta}");
-        VdPolicy { theta_v2: theta, theta_v3: theta }
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1): {theta}"
+        );
+        VdPolicy {
+            theta_v2: theta,
+            theta_v3: theta,
+        }
     }
 
     /// The deadline fraction for a class (`None` for normal tasks).
@@ -234,7 +242,12 @@ mod tests {
     use super::*;
 
     fn task(wcet: f64, period: f64, class: ReliabilityClass) -> SpTask {
-        SpTask { id: 0, wcet, period, class }
+        SpTask {
+            id: 0,
+            wcet,
+            period,
+            class,
+        }
     }
 
     #[test]
@@ -283,10 +296,10 @@ mod tests {
     #[test]
     fn sorting_helpers() {
         let ts = TaskSet::new(vec![
-            task(1.0, 10.0, ReliabilityClass::Normal), // u=0.1
+            task(1.0, 10.0, ReliabilityClass::Normal),      // u=0.1
             task(5.0, 10.0, ReliabilityClass::DoubleCheck), // u=0.5
             task(3.0, 10.0, ReliabilityClass::TripleCheck), // u=0.3
-            task(8.0, 10.0, ReliabilityClass::Normal), // u=0.8
+            task(8.0, 10.0, ReliabilityClass::Normal),      // u=0.8
         ]);
         let v = ts.verification_desc_util();
         assert_eq!(v.len(), 2);

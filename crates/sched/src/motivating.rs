@@ -99,7 +99,10 @@ impl Scenario {
                     wcet: 10,
                     period: 50,
                     phase: 18,
-                    demand: Demand::Verified { check_work: 10, check_jobs: 1 },
+                    demand: Demand::Verified {
+                        check_work: 10,
+                        check_jobs: 1,
+                    },
                     core: 0,
                 },
                 MTask {
@@ -223,7 +226,11 @@ impl LiveJob {
 /// example is a dual-core scenario by construction.
 pub fn simulate(scenario: &Scenario, arch: Arch) -> SimOutcome {
     for t in &scenario.tasks {
-        assert!(t.core < 2, "Fig. 1 is a dual-core scenario; got core {}", t.core);
+        assert!(
+            t.core < 2,
+            "Fig. 1 is a dual-core scenario; got core {}",
+            t.core
+        );
     }
     let mut timeline = vec![vec![Slot::Idle; scenario.horizon as usize]; 2];
     let mut misses: Vec<Miss> = Vec::new();
@@ -246,7 +253,13 @@ pub fn simulate(scenario: &Scenario, arch: Arch) -> SimOutcome {
                     // (static, non-selective).
                     (Arch::Hmr, Demand::Verified { check_work, .. }) => check_work,
                     // FlexStep checks only the emergency-flagged jobs.
-                    (Arch::FlexStep, Demand::Verified { check_work, check_jobs }) => {
+                    (
+                        Arch::FlexStep,
+                        Demand::Verified {
+                            check_work,
+                            check_jobs,
+                        },
+                    ) => {
                         if k < check_jobs {
                             check_work
                         } else {
@@ -308,7 +321,11 @@ pub fn simulate(scenario: &Scenario, arch: Arch) -> SimOutcome {
     // Sweep misses at the horizon for jobs whose deadline lies beyond it
     // but which already cannot finish (keeps short horizons honest).
     misses.sort_by_key(|m| (m.deadline, m.task, m.k));
-    SimOutcome { arch, timeline, misses }
+    SimOutcome {
+        arch,
+        timeline,
+        misses,
+    }
 }
 
 /// EDF pick over candidate indices; ties broken by task index then job.
@@ -321,10 +338,7 @@ fn edf_pick(live: &[LiveJob], candidates: impl Iterator<Item = usize>) -> Option
 
 fn dispatch_lockstep(live: &mut [LiveJob]) -> [Slot; 2] {
     // All tasks on core 0; core 1 mirrors it as the bound checker.
-    let pick = edf_pick(
-        live,
-        (0..live.len()).filter(|&i| !live[i].original_done()),
-    );
+    let pick = edf_pick(live, (0..live.len()).filter(|&i| !live[i].original_done()));
     match pick {
         Some(i) => {
             live[i].remaining -= 1;
@@ -339,9 +353,8 @@ fn dispatch_hmr(scenario: &Scenario, live: &mut [LiveJob]) -> [Slot; 2] {
     // A verified job inside its checked section locks BOTH cores: the
     // main core executes it, the checker core verifies in sync, and
     // non-verification work cannot preempt either side.
-    let locked = (0..live.len()).find(|&i| {
-        live[i].hmr_locked && !live[i].original_done() && live[i].check_remaining > 0
-    });
+    let locked = (0..live.len())
+        .find(|&i| live[i].hmr_locked && !live[i].original_done() && live[i].check_remaining > 0);
     if let Some(i) = locked {
         live[i].remaining -= 1;
         live[i].produced += 1;
@@ -366,9 +379,8 @@ fn dispatch_hmr(scenario: &Scenario, live: &mut [LiveJob]) -> [Slot; 2] {
         }
         let pick = edf_pick(
             live,
-            (0..live.len()).filter(|&i| {
-                !live[i].original_done() && scenario.tasks[live[i].task].core == core
-            }),
+            (0..live.len())
+                .filter(|&i| !live[i].original_done() && scenario.tasks[live[i].task].core == core),
         );
         let Some(i) = pick else { continue };
         let t = live[i].task;
@@ -397,16 +409,14 @@ fn dispatch_flexstep(scenario: &Scenario, live: &mut [LiveJob]) -> [Slot; 2] {
     // whenever buffered work exists (consumed < produced), preemptible
     // and asynchronous.
     let mut slots = [Slot::Idle, Slot::Idle];
-    for core in 0..2 {
+    for (core, slot) in slots.iter_mut().enumerate() {
         // Candidates: originals partitioned here, plus check streams
         // whose original runs on the other core and has produced work.
-        let original =
-            edf_pick(
-                live,
-                (0..live.len()).filter(|&i| {
-                    !live[i].original_done() && scenario.tasks[live[i].task].core == core
-                }),
-            );
+        let original = edf_pick(
+            live,
+            (0..live.len())
+                .filter(|&i| !live[i].original_done() && scenario.tasks[live[i].task].core == core),
+        );
         let check = edf_pick(
             live,
             (0..live.len()).filter(|&i| {
@@ -432,12 +442,12 @@ fn dispatch_flexstep(scenario: &Scenario, live: &mut [LiveJob]) -> [Slot; 2] {
             Some((i, false)) => {
                 live[i].remaining -= 1;
                 live[i].produced += 1;
-                slots[core] = Slot::Run(live[i].task);
+                *slot = Slot::Run(live[i].task);
             }
             Some((i, true)) => {
                 live[i].check_remaining -= 1;
                 live[i].consumed += 1;
-                slots[core] = Slot::Check(live[i].task);
+                *slot = Slot::Check(live[i].task);
             }
             None => {}
         }
@@ -528,16 +538,26 @@ mod tests {
             o.misses
         );
         // The check occupies core 1 in sync with τ2 on core 0.
-        let sync_units = o.timeline[1].iter().filter(|s| matches!(s, Slot::Check(1))).count();
+        let sync_units = o.timeline[1]
+            .iter()
+            .filter(|s| matches!(s, Slot::Check(1)))
+            .count();
         assert_eq!(sync_units, 10, "τ2's full checked section runs on core 1");
     }
 
     #[test]
     fn flexstep_meets_every_deadline() {
         let (_, o) = paper_run(Arch::FlexStep);
-        assert!(o.misses.is_empty(), "FlexStep must meet all deadlines: {:?}", o.misses);
+        assert!(
+            o.misses.is_empty(),
+            "FlexStep must meet all deadlines: {:?}",
+            o.misses
+        );
         // Verification really happened (asynchronously, on core 1).
-        let checked = o.timeline[1].iter().filter(|s| matches!(s, Slot::Check(1))).count();
+        let checked = o.timeline[1]
+            .iter()
+            .filter(|s| matches!(s, Slot::Check(1)))
+            .count();
         assert_eq!(checked, 10, "τ2's flagged job is fully verified");
     }
 
@@ -548,8 +568,12 @@ mod tests {
         let mut s = Scenario::paper();
         s.horizon = 120;
         let o = simulate(&s, Arch::FlexStep);
-        let checked: usize =
-            o.timeline.iter().flatten().filter(|s| matches!(s, Slot::Check(1))).count();
+        let checked: usize = o
+            .timeline
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, Slot::Check(1)))
+            .count();
         assert_eq!(checked, 10, "only the emergency-flagged job is verified");
         assert!(o.misses.is_empty());
     }
@@ -559,8 +583,12 @@ mod tests {
         let mut s = Scenario::paper();
         s.horizon = 110; // τ2 jobs at t=18 and t=68 complete; t=118 is out
         let o = simulate(&s, Arch::Hmr);
-        let checked: usize =
-            o.timeline.iter().flatten().filter(|s| matches!(s, Slot::Check(1))).count();
+        let checked: usize = o
+            .timeline
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, Slot::Check(1)))
+            .count();
         assert_eq!(checked, 20, "HMR checks every job of a verification task");
     }
 
@@ -608,11 +636,18 @@ mod tests {
             // count the units actually scheduled (unfinished tail jobs may
             // be partial, so compare against an upper bound and a lower
             // bound from completed jobs only).
-            let units: usize =
-                o.timeline.iter().flatten().filter(|s| matches!(s, Slot::Run(2))).count();
+            let units: usize = o
+                .timeline
+                .iter()
+                .flatten()
+                .filter(|s| matches!(s, Slot::Run(2)))
+                .count();
             assert!(units <= 32, "{arch}: τ3 cannot exceed released demand");
             if o.misses_of(2).is_empty() && arch != Arch::LockStep {
-                assert!(units >= 24, "{arch}: three τ3 jobs complete inside the horizon");
+                assert!(
+                    units >= 24,
+                    "{arch}: three τ3 jobs complete inside the horizon"
+                );
             }
         }
     }
@@ -635,7 +670,9 @@ mod tests {
         for w in o.misses.windows(2) {
             assert!(w[0].deadline <= w[1].deadline);
             assert!(
-                !(w[0].task == w[1].task && w[0].k == w[1].k && w[0].verification == w[1].verification),
+                !(w[0].task == w[1].task
+                    && w[0].k == w[1].k
+                    && w[0].verification == w[1].verification),
                 "duplicate miss recorded"
             );
         }

@@ -165,7 +165,9 @@ impl Partitioner for VdFlexStepPartitioner {
             delta[k] += d_o;
             assignments.push(Assignment {
                 task: t.id,
-                piece: Piece::Original { effective_deadline: dp },
+                piece: Piece::Original {
+                    effective_deadline: dp,
+                },
                 core: k,
                 density: d_o,
             });
@@ -198,7 +200,9 @@ impl Partitioner for VdFlexStepPartitioner {
             delta[k] += d_o;
             assignments.push(Assignment {
                 task: t.id,
-                piece: Piece::Original { effective_deadline: t.deadline() },
+                piece: Piece::Original {
+                    effective_deadline: t.deadline(),
+                },
                 core: k,
                 density: d_o,
             });
@@ -208,7 +212,10 @@ impl Partitioner for VdFlexStepPartitioner {
         if delta.iter().any(|&d| d > 1.0 + 1e-12) {
             return None;
         }
-        Some(Partition { assignments, core_density: delta })
+        Some(Partition {
+            assignments,
+            core_density: delta,
+        })
     }
 }
 
@@ -246,9 +253,9 @@ impl Partitioner for LockStepPartitioner {
         let mut assignments = Vec::new();
 
         let place = |bins: &mut Vec<(BinKind, f64)>,
-                         free_cores: &mut usize,
-                         t: &SpTask,
-                         want: Option<BinKind>|
+                     free_cores: &mut usize,
+                     t: &SpTask,
+                     want: Option<BinKind>|
          -> Option<usize> {
             let u = t.utilization();
             // Fit into an existing eligible bin (TCLS covers V2 and
@@ -286,20 +293,30 @@ impl Partitioner for LockStepPartitioner {
         // V2 demand but not vice versa), each class by descending
         // utilisation.
         let verif = ts.verification_desc_util();
-        for t in verif.iter().filter(|t| t.class == ReliabilityClass::TripleCheck) {
+        for t in verif
+            .iter()
+            .filter(|t| t.class == ReliabilityClass::TripleCheck)
+        {
             let bin = place(&mut bins, &mut free_cores, t, Some(BinKind::Tcls))?;
             assignments.push(Assignment {
                 task: t.id,
-                piece: Piece::Original { effective_deadline: t.deadline() },
+                piece: Piece::Original {
+                    effective_deadline: t.deadline(),
+                },
                 core: bin,
                 density: t.utilization(),
             });
         }
-        for t in verif.iter().filter(|t| t.class == ReliabilityClass::DoubleCheck) {
+        for t in verif
+            .iter()
+            .filter(|t| t.class == ReliabilityClass::DoubleCheck)
+        {
             let bin = place(&mut bins, &mut free_cores, t, Some(BinKind::Dcls))?;
             assignments.push(Assignment {
                 task: t.id,
-                piece: Piece::Original { effective_deadline: t.deadline() },
+                piece: Piece::Original {
+                    effective_deadline: t.deadline(),
+                },
                 core: bin,
                 density: t.utilization(),
             });
@@ -316,7 +333,9 @@ impl Partitioner for LockStepPartitioner {
             let bin = place(&mut bins, &mut free_cores, &t, None)?;
             assignments.push(Assignment {
                 task: t.id,
-                piece: Piece::Original { effective_deadline: t.deadline() },
+                piece: Piece::Original {
+                    effective_deadline: t.deadline(),
+                },
                 core: bin,
                 density: t.utilization(),
             });
@@ -326,7 +345,10 @@ impl Partitioner for LockStepPartitioner {
         if core_density.iter().any(|&d| d > 1.0 + 1e-12) {
             return None;
         }
-        Some(Partition { assignments, core_density })
+        Some(Partition {
+            assignments,
+            core_density,
+        })
     }
 }
 
@@ -365,7 +387,11 @@ impl Partitioner for HmrPartitioner {
         let pairs = m / 2;
         if pairs == 0 {
             // A single core cannot split-lock; only pure-normal sets fit.
-            if ts.tasks().iter().any(|t| t.class != ReliabilityClass::Normal) {
+            if ts
+                .tasks()
+                .iter()
+                .any(|t| t.class != ReliabilityClass::Normal)
+            {
                 return None;
             }
         }
@@ -381,9 +407,7 @@ impl Partitioner for HmrPartitioner {
         for t in ts.verification_desc_util() {
             let u = t.utilization();
             let best = (0..pairs)
-                .filter(|&p| {
-                    load[2 * p] + u <= 1.0 + 1e-12 && load[2 * p + 1] + u <= 1.0 + 1e-12
-                })
+                .filter(|&p| load[2 * p] + u <= 1.0 + 1e-12 && load[2 * p + 1] + u <= 1.0 + 1e-12)
                 .min_by(|&a, &b| {
                     (load[2 * a] + load[2 * a + 1])
                         .partial_cmp(&(load[2 * b] + load[2 * b + 1]))
@@ -396,7 +420,9 @@ impl Partitioner for HmrPartitioner {
                 assignments.push(Assignment {
                     task: t.id,
                     piece: if copy == 0 {
-                        Piece::Original { effective_deadline: t.deadline() }
+                        Piece::Original {
+                            effective_deadline: t.deadline(),
+                        }
                     } else {
                         Piece::Check { copy: copy - 1 }
                     },
@@ -435,7 +461,11 @@ impl Partitioner for HmrPartitioner {
                         <= 1.0 + 1e-12
             };
             let free_first = (0..m)
-                .filter(|&c| per_core[c].iter().all(|o| o.class == ReliabilityClass::Normal))
+                .filter(|&c| {
+                    per_core[c]
+                        .iter()
+                        .all(|o| o.class == ReliabilityClass::Normal)
+                })
                 .filter(|&c| fits(c))
                 .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite"));
             let chosen = free_first.or_else(|| {
@@ -447,7 +477,9 @@ impl Partitioner for HmrPartitioner {
             per_core[chosen].push(t);
             assignments.push(Assignment {
                 task: t.id,
-                piece: Piece::Original { effective_deadline: t.deadline() },
+                piece: Piece::Original {
+                    effective_deadline: t.deadline(),
+                },
                 core: chosen,
                 density: u,
             });
@@ -475,7 +507,10 @@ impl Partitioner for HmrPartitioner {
                 return None;
             }
         }
-        Some(Partition { assignments, core_density: load })
+        Some(Partition {
+            assignments,
+            core_density: load,
+        })
     }
 }
 
@@ -484,7 +519,12 @@ mod tests {
     use super::*;
 
     fn t(id: usize, wcet: f64, period: f64, class: ReliabilityClass) -> SpTask {
-        SpTask { id, wcet, period, class }
+        SpTask {
+            id,
+            wcet,
+            period,
+            class,
+        }
     }
 
     fn set(tasks: Vec<SpTask>) -> TaskSet {
@@ -498,7 +538,12 @@ mod tests {
             t(1, 1.0, 10.0, ReliabilityClass::Normal),
         ]);
         let p = FlexStepPartitioner.partition(&ts, 4).expect("schedulable");
-        let cores: Vec<usize> = p.assignments.iter().filter(|a| a.task == 0).map(|a| a.core).collect();
+        let cores: Vec<usize> = p
+            .assignments
+            .iter()
+            .filter(|a| a.task == 0)
+            .map(|a| a.core)
+            .collect();
         assert_eq!(cores.len(), 3, "V3 = original + two checks");
         let mut unique = cores.clone();
         unique.sort_unstable();
@@ -516,9 +561,15 @@ mod tests {
         let orig = p.original_core_of(0).expect("placed");
         let checkers = p.checker_cores_of(0);
         assert_eq!(checkers.len(), 2, "V3 has two checking copies");
-        assert!(!checkers.contains(&orig), "copies avoid the original's core");
+        assert!(
+            !checkers.contains(&orig),
+            "copies avoid the original's core"
+        );
         assert!(p.original_core_of(1).is_some());
-        assert!(p.checker_cores_of(1).is_empty(), "normal tasks have no copies");
+        assert!(
+            p.checker_cores_of(1).is_empty(),
+            "normal tasks have no copies"
+        );
         assert_eq!(p.original_core_of(7), None);
     }
 
@@ -543,7 +594,10 @@ mod tests {
     #[test]
     fn flexstep_needs_enough_cores_for_v3() {
         let ts = set(vec![t(0, 1.0, 10.0, ReliabilityClass::TripleCheck)]);
-        assert!(FlexStepPartitioner.partition(&ts, 2).is_none(), "3 pieces need 3 cores");
+        assert!(
+            FlexStepPartitioner.partition(&ts, 2).is_none(),
+            "3 pieces need 3 cores"
+        );
         assert!(FlexStepPartitioner.partition(&ts, 3).is_some());
     }
 
@@ -591,7 +645,10 @@ mod tests {
         let ts = set(vec![t(0, 4.0, 10.0, ReliabilityClass::DoubleCheck)]);
         let p = HmrPartitioner.partition(&ts, 2).expect("fits");
         assert!((p.core_density[0] - 0.4).abs() < 1e-12);
-        assert!((p.core_density[1] - 0.4).abs() < 1e-12, "synchronous copy occupies partner");
+        assert!(
+            (p.core_density[1] - 0.4).abs() < 1e-12,
+            "synchronous copy occupies partner"
+        );
     }
 
     #[test]
@@ -605,12 +662,18 @@ mod tests {
             t(1, 6.0, 10.0, ReliabilityClass::Normal),
             t(2, 6.0, 10.0, ReliabilityClass::Normal),
         ]);
-        assert!(FlexStepPartitioner.partition(&ts, 2).is_some(), "FlexStep fits on 2 cores");
+        assert!(
+            FlexStepPartitioner.partition(&ts, 2).is_some(),
+            "FlexStep fits on 2 cores"
+        );
         assert!(
             LockStepPartitioner.partition(&ts, 2).is_none(),
             "one fused pair cannot host 0.05 + 0.6 + 0.6"
         );
-        assert!(HmrPartitioner.partition(&ts, 2).is_some(), "HMR sits in between");
+        assert!(
+            HmrPartitioner.partition(&ts, 2).is_some(),
+            "HMR sits in between"
+        );
     }
 
     #[test]
@@ -637,11 +700,15 @@ mod tests {
         ]);
         assert!(FlexStepPartitioner.partition(&ts, 2).is_some());
         assert!(
-            VdFlexStepPartitioner::new(VdPolicy::uniform(0.3)).partition(&ts, 2).is_none(),
+            VdFlexStepPartitioner::new(VdPolicy::uniform(0.3))
+                .partition(&ts, 2)
+                .is_none(),
             "tight original window overloads its core"
         );
         assert!(
-            VdFlexStepPartitioner::new(VdPolicy::uniform(0.7)).partition(&ts, 2).is_none(),
+            VdFlexStepPartitioner::new(VdPolicy::uniform(0.7))
+                .partition(&ts, 2)
+                .is_none(),
             "tight checking window overloads the other core"
         );
     }

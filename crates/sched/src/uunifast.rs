@@ -98,7 +98,12 @@ pub fn generate<R: Rng>(rng: &mut R, params: &GenParams) -> TaskSet {
             let period = (log_min + rng.gen::<f64>() * (log_max - log_min)).exp();
             // Cap utilisation at 1: a single task cannot exceed a core.
             let u = u.min(1.0);
-            SpTask { id: 0, wcet: u * period, period, class: ReliabilityClass::Normal }
+            SpTask {
+                id: 0,
+                wcet: u * period,
+                period,
+                class: ReliabilityClass::Normal,
+            }
         })
         .collect();
 
@@ -114,8 +119,10 @@ pub fn generate<R: Rng>(rng: &mut R, params: &GenParams) -> TaskSet {
     }
     if params.normalization == UtilNorm::WithCopies {
         // Rescale so originals + verification copies hit the target.
-        let with_copies: f64 =
-            tasks.iter().map(|t| t.utilization() * (1.0 + t.class.copies() as f64)).sum();
+        let with_copies: f64 = tasks
+            .iter()
+            .map(|t| t.utilization() * (1.0 + t.class.copies() as f64))
+            .sum();
         if with_copies > 0.0 {
             let scale = params.total_utilization / with_copies;
             for t in &mut tasks {
@@ -168,7 +175,10 @@ mod tests {
             assert!(t.wcet > 0.0);
             assert!(t.utilization() <= 1.0 + 1e-12);
         }
-        assert!((ts.utilization() - 2.0).abs() < 0.05, "caps may trim slightly");
+        assert!(
+            (ts.utilization() - 2.0).abs() < 0.05,
+            "caps may trim slightly"
+        );
     }
 
     #[test]
@@ -181,7 +191,10 @@ mod tests {
             "copy-inclusive total must hit the target: {}",
             ts.utilization_with_copies()
         );
-        assert!(ts.utilization() < 4.0, "originals alone must be below the target");
+        assert!(
+            ts.utilization() < 4.0,
+            "originals alone must be below the target"
+        );
         for t in ts.tasks() {
             assert!(t.period >= 10.0 && t.period <= 100.0, "fig5 period decade");
         }

@@ -6,8 +6,15 @@ use flexstep_sched::motivating::{simulate, Arch, Demand, MTask, Scenario, Slot};
 use proptest::prelude::*;
 
 fn scenario() -> impl Strategy<Value = Scenario> {
-    let task = (1u64..8, 1u64..20, 0u64..12, 0usize..2, any::<bool>(), 1u64..6).prop_map(
-        |(wcet, slack, phase, core, verified, check)| {
+    let task = (
+        1u64..8,
+        1u64..20,
+        0u64..12,
+        0usize..2,
+        any::<bool>(),
+        1u64..6,
+    )
+        .prop_map(|(wcet, slack, phase, core, verified, check)| {
             let period = wcet + slack;
             MTask {
                 name: "τ",
@@ -15,14 +22,16 @@ fn scenario() -> impl Strategy<Value = Scenario> {
                 period,
                 phase,
                 demand: if verified {
-                    Demand::Verified { check_work: check.min(wcet), check_jobs: 2 }
+                    Demand::Verified {
+                        check_work: check.min(wcet),
+                        check_jobs: 2,
+                    }
                 } else {
                     Demand::Normal
                 },
                 core,
             }
-        },
-    );
+        });
     (proptest::collection::vec(task, 1..4), 20u64..80)
         .prop_map(|(tasks, horizon)| Scenario { tasks, horizon })
 }

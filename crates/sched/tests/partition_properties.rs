@@ -27,12 +27,12 @@ use std::collections::BTreeMap;
 /// Strategy: a generation configuration in the Fig. 5 neighbourhood.
 fn gen_config() -> impl Strategy<Value = (u64, usize, usize, f64, f64, f64)> {
     (
-        any::<u64>(),           // seed
-        2usize..10,             // m
-        4usize..40,             // n
-        0.3f64..0.95,           // per-core utilisation
-        0.0f64..0.3,            // alpha
-        0.0f64..0.2,            // beta
+        any::<u64>(), // seed
+        2usize..10,   // m
+        4usize..40,   // n
+        0.3f64..0.95, // per-core utilisation
+        0.0f64..0.3,  // alpha
+        0.0f64..0.2,  // beta
     )
 }
 

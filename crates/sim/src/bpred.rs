@@ -22,7 +22,12 @@ impl BpredConfig {
     /// The evaluated configuration: 512-entry BHT, 28-entry BTB, 6-entry
     /// RAS, 3-cycle redirect on the 5-stage pipeline.
     pub fn paper() -> Self {
-        BpredConfig { bht_entries: 512, btb_entries: 28, ras_depth: 6, mispredict_penalty: 3 }
+        BpredConfig {
+            bht_entries: 512,
+            btb_entries: 28,
+            ras_depth: 6,
+            mispredict_penalty: 3,
+        }
     }
 }
 
@@ -82,7 +87,12 @@ impl BranchPredictor {
             config,
             bht: vec![1; config.bht_entries.max(1)], // weakly not-taken
             btb: vec![
-                BtbEntry { pc: 0, target: 0, lru: 0, valid: false };
+                BtbEntry {
+                    pc: 0,
+                    target: 0,
+                    lru: 0,
+                    valid: false
+                };
                 config.btb_entries.max(1)
             ],
             ras: Vec::with_capacity(config.ras_depth),
@@ -101,7 +111,10 @@ impl BranchPredictor {
     }
 
     fn btb_lookup(&self, pc: u64) -> Option<u64> {
-        self.btb.iter().find(|e| e.valid && e.pc == pc).map(|e| e.target)
+        self.btb
+            .iter()
+            .find(|e| e.valid && e.pc == pc)
+            .map(|e| e.target)
     }
 
     fn btb_insert(&mut self, pc: u64, target: u64) {
@@ -117,7 +130,12 @@ impl BranchPredictor {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
             .expect("btb is non-empty");
-        *victim = BtbEntry { pc, target, lru: tick, valid: true };
+        *victim = BtbEntry {
+            pc,
+            target,
+            lru: tick,
+            valid: true,
+        };
     }
 
     /// Resolves a conditional branch: predicts, updates state, and returns
@@ -136,7 +154,11 @@ impl BranchPredictor {
         };
 
         // Update the 2-bit counter and BTB.
-        self.bht[idx] = if taken { (counter + 1).min(3) } else { counter.saturating_sub(1) };
+        self.bht[idx] = if taken {
+            (counter + 1).min(3)
+        } else {
+            counter.saturating_sub(1)
+        };
         if taken {
             self.btb_insert(pc, target);
         }
@@ -172,7 +194,11 @@ impl BranchPredictor {
     /// conventional `ret` shape (`jalr x0, 0(ra)`), predicted via the RAS.
     pub fn resolve_jalr(&mut self, pc: u64, target: u64, is_return: bool) -> u64 {
         self.stats.indirect_jumps += 1;
-        let predicted = if is_return { self.ras.pop() } else { self.btb_lookup(pc) };
+        let predicted = if is_return {
+            self.ras.pop()
+        } else {
+            self.btb_lookup(pc)
+        };
         if !is_return {
             self.btb_insert(pc, target);
         }
@@ -221,7 +247,10 @@ mod tests {
                 mispredicts += 1;
             }
         }
-        assert!(mispredicts >= 8, "alternating pattern defeats bimodal: {mispredicts}");
+        assert!(
+            mispredicts >= 8,
+            "alternating pattern defeats bimodal: {mispredicts}"
+        );
     }
 
     #[test]
@@ -242,7 +271,10 @@ mod tests {
 
     #[test]
     fn ras_depth_bounded() {
-        let mut p = BranchPredictor::new(BpredConfig { ras_depth: 2, ..BpredConfig::paper() });
+        let mut p = BranchPredictor::new(BpredConfig {
+            ras_depth: 2,
+            ..BpredConfig::paper()
+        });
         p.push_return(0x10);
         p.push_return(0x20);
         p.push_return(0x30); // evicts 0x10
@@ -253,13 +285,20 @@ mod tests {
 
     #[test]
     fn btb_capacity_evicts_lru() {
-        let cfg = BpredConfig { btb_entries: 2, ..BpredConfig::paper() };
+        let cfg = BpredConfig {
+            btb_entries: 2,
+            ..BpredConfig::paper()
+        };
         let mut p = BranchPredictor::new(cfg);
         p.resolve_jal(0x100, 0x1000);
         p.resolve_jal(0x200, 0x2000);
         p.resolve_jal(0x300, 0x3000); // evicts 0x100
         assert_eq!(p.resolve_jal(0x200, 0x2000), 0);
-        assert_eq!(p.resolve_jal(0x100, 0x1000), 1, "evicted entry redirects again");
+        assert_eq!(
+            p.resolve_jal(0x100, 0x1000),
+            1,
+            "evicted entry redirects again"
+        );
     }
 
     #[test]

@@ -161,13 +161,7 @@ fn int_op(op: IntOp, a: u64, b: u64) -> u64 {
                 (a / b) as u64
             }
         }
-        IntOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        IntOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         IntOp::Rem => {
             let (a, b) = (a as i64, b as i64);
             if b == 0 {
@@ -208,13 +202,7 @@ fn int_w_op(op: IntWOp, a: u64, b: u64) -> u64 {
                 (a / b) as u32
             }
         }
-        IntWOp::Divuw => {
-            if b32 == 0 {
-                u32::MAX
-            } else {
-                a32 / b32
-            }
-        }
+        IntWOp::Divuw => a32.checked_div(b32).unwrap_or(u32::MAX),
         IntWOp::Remw => {
             let (a, b) = (a32 as i32, b32 as i32);
             if b == 0 {
@@ -238,9 +226,7 @@ fn int_w_op(op: IntWOp, a: u64, b: u64) -> u64 {
 
 /// Saturating f64 → i64 conversion per the RISC-V spec.
 fn fcvt_l(v: f64) -> i64 {
-    if v.is_nan() {
-        i64::MAX
-    } else if v >= i64::MAX as f64 {
+    if v.is_nan() || v >= i64::MAX as f64 {
         i64::MAX
     } else if v <= i64::MIN as f64 {
         i64::MIN
@@ -251,9 +237,7 @@ fn fcvt_l(v: f64) -> i64 {
 
 /// Saturating f64 → u64 conversion per the RISC-V spec.
 fn fcvt_lu(v: f64) -> u64 {
-    if v.is_nan() {
-        u64::MAX
-    } else if v >= u64::MAX as f64 {
+    if v.is_nan() || v >= u64::MAX as f64 {
         u64::MAX
     } else if v <= 0.0 {
         0
@@ -264,9 +248,7 @@ fn fcvt_lu(v: f64) -> u64 {
 
 /// Saturating f64 → i32 conversion per the RISC-V spec.
 fn fcvt_w(v: f64) -> i32 {
-    if v.is_nan() {
-        i32::MAX
-    } else if v >= i32::MAX as f64 {
+    if v.is_nan() || v >= i32::MAX as f64 {
         i32::MAX
     } else if v <= i32::MIN as f64 {
         i32::MIN
@@ -304,24 +286,42 @@ pub fn execute(
         Inst::Auipc { rd, imm } => state.set_x(rd, pc.wrapping_add(imm as u64)),
         Inst::Jal { rd, offset } => {
             let target = pc.wrapping_add(offset as u64);
-            if target % 4 != 0 {
-                return Err(Stop::Trap { cause: TrapCause::InstAddrMisaligned, tval: target });
+            if !target.is_multiple_of(4) {
+                return Err(Stop::Trap {
+                    cause: TrapCause::InstAddrMisaligned,
+                    tval: target,
+                });
             }
             state.set_x(rd, seq_pc);
             next_pc = target;
-            branch = Some(BranchOutcome::Jal { target, link: !rd.is_zero() });
+            branch = Some(BranchOutcome::Jal {
+                target,
+                link: !rd.is_zero(),
+            });
         }
         Inst::Jalr { rd, rs1, offset } => {
             let target = state.x(rs1).wrapping_add(offset as u64) & !1;
-            if target % 4 != 0 {
-                return Err(Stop::Trap { cause: TrapCause::InstAddrMisaligned, tval: target });
+            if !target.is_multiple_of(4) {
+                return Err(Stop::Trap {
+                    cause: TrapCause::InstAddrMisaligned,
+                    tval: target,
+                });
             }
             let is_return = rd.is_zero() && rs1 == XReg::RA && offset == 0;
             state.set_x(rd, seq_pc);
             next_pc = target;
-            branch = Some(BranchOutcome::Jalr { target, link: !rd.is_zero(), is_return });
+            branch = Some(BranchOutcome::Jalr {
+                target,
+                link: !rd.is_zero(),
+                is_return,
+            });
         }
-        Inst::Branch { op, rs1, rs2, offset } => {
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let a = state.x(rs1);
             let b = state.x(rs2);
             let taken = match op {
@@ -334,7 +334,7 @@ pub fn execute(
             };
             let target = pc.wrapping_add(offset as u64);
             if taken {
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return Err(Stop::Trap {
                         cause: TrapCause::InstAddrMisaligned,
                         tval: target,
@@ -344,29 +344,63 @@ pub fn execute(
             }
             branch = Some(BranchOutcome::Cond { taken, target });
         }
-        Inst::Load { op, rd, rs1, offset } => {
+        Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
             let addr = state.x(rs1).wrapping_add(offset as u64);
             let size = op.size();
             if misaligned(addr, size) {
-                return Err(Stop::Trap { cause: TrapCause::LoadAddrMisaligned, tval: addr });
+                return Err(Stop::Trap {
+                    cause: TrapCause::LoadAddrMisaligned,
+                    tval: addr,
+                });
             }
             let (raw, cycles) = port.read(addr, size).map_err(Stop::Port)?;
             extra += cycles;
-            let value = if op.is_signed() { sign_extend(raw, size) } else { raw };
+            let value = if op.is_signed() {
+                sign_extend(raw, size)
+            } else {
+                raw
+            };
             state.set_x(rd, value);
-            mem = Some(MemAccess { kind: MemAccessKind::Load, addr, size, data: raw });
+            mem = Some(MemAccess {
+                kind: MemAccessKind::Load,
+                addr,
+                size,
+                data: raw,
+            });
         }
-        Inst::Store { op, rs1, rs2, offset } => {
+        Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let addr = state.x(rs1).wrapping_add(offset as u64);
             let size = op.size();
             if misaligned(addr, size) {
-                return Err(Stop::Trap { cause: TrapCause::StoreAddrMisaligned, tval: addr });
+                return Err(Stop::Trap {
+                    cause: TrapCause::StoreAddrMisaligned,
+                    tval: addr,
+                });
             }
-            let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+            let mask = if size == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (size * 8)) - 1
+            };
             let value = state.x(rs2) & mask;
             let cycles = port.write(addr, value, size).map_err(Stop::Port)?;
             extra += cycles;
-            mem = Some(MemAccess { kind: MemAccessKind::Store, addr, size, data: value });
+            mem = Some(MemAccess {
+                kind: MemAccessKind::Store,
+                addr,
+                size,
+                data: value,
+            });
         }
         Inst::OpImm { op, rd, rs1, imm } => {
             let a = state.x(rs1);
@@ -405,41 +439,80 @@ pub fn execute(
             let addr = state.x(rs1);
             let size = width.size();
             if misaligned(addr, size) {
-                return Err(Stop::Trap { cause: TrapCause::LoadAddrMisaligned, tval: addr });
+                return Err(Stop::Trap {
+                    cause: TrapCause::LoadAddrMisaligned,
+                    tval: addr,
+                });
             }
             let (raw, cycles) = port.read(addr, size).map_err(Stop::Port)?;
             extra += cycles;
             state.set_x(rd, sign_extend(raw, size));
             *resv = Some(addr);
-            mem = Some(MemAccess { kind: MemAccessKind::Lr, addr, size, data: raw });
+            mem = Some(MemAccess {
+                kind: MemAccessKind::Lr,
+                addr,
+                size,
+                data: raw,
+            });
         }
-        Inst::Sc { width, rd, rs1, rs2 } => {
+        Inst::Sc {
+            width,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let addr = state.x(rs1);
             let size = width.size();
             if misaligned(addr, size) {
-                return Err(Stop::Trap { cause: TrapCause::StoreAddrMisaligned, tval: addr });
+                return Err(Stop::Trap {
+                    cause: TrapCause::StoreAddrMisaligned,
+                    tval: addr,
+                });
             }
-            let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+            let mask = if size == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (size * 8)) - 1
+            };
             let value = state.x(rs2) & mask;
             let resv_valid = *resv == Some(addr);
-            let (success, cycles) =
-                port.store_conditional(addr, value, size, resv_valid).map_err(Stop::Port)?;
+            let (success, cycles) = port
+                .store_conditional(addr, value, size, resv_valid)
+                .map_err(Stop::Port)?;
             extra += cycles;
             *resv = None;
             state.set_x(rd, u64::from(!success));
-            mem = Some(MemAccess { kind: MemAccessKind::Sc { success }, addr, size, data: value });
+            mem = Some(MemAccess {
+                kind: MemAccessKind::Sc { success },
+                addr,
+                size,
+                data: value,
+            });
         }
-        Inst::Amo { op, width, rd, rs1, rs2 } => {
+        Inst::Amo {
+            op,
+            width,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let addr = state.x(rs1);
             let size = width.size();
             if misaligned(addr, size) {
-                return Err(Stop::Trap { cause: TrapCause::StoreAddrMisaligned, tval: addr });
+                return Err(Stop::Trap {
+                    cause: TrapCause::StoreAddrMisaligned,
+                    tval: addr,
+                });
             }
             let src = state.x(rs2);
             let (old, cycles) = port.amo(addr, width, op, src).map_err(Stop::Port)?;
             extra += cycles;
             let stored = amo_apply(op, width, old, src);
-            let mask = if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+            let mask = if size == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (size * 8)) - 1
+            };
             state.set_x(rd, sign_extend(old & mask, size));
             mem = Some(MemAccess {
                 kind: MemAccessKind::Amo { loaded: old & mask },
@@ -453,8 +526,11 @@ pub fn execute(
                 cause: TrapCause::IllegalInstruction,
                 tval: 0,
             })?;
-            let operand =
-                if op.is_immediate() { u64::from(src) } else { state.x(XReg::of(src)) };
+            let operand = if op.is_immediate() {
+                u64::from(src)
+            } else {
+                state.x(XReg::of(src))
+            };
             let new = match op {
                 CsrOp::Rw | CsrOp::Rwi => Some(operand),
                 CsrOp::Rs | CsrOp::Rsi => {
@@ -475,7 +551,10 @@ pub fn execute(
             // CSR access requires privilege: machine CSRs fault from U-mode.
             let machine_csr = csr < 0xC00 && csr != flexstep_isa::csr::FCSR;
             if machine_csr && state.prv == PrivMode::User {
-                return Err(Stop::Trap { cause: TrapCause::IllegalInstruction, tval: 0 });
+                return Err(Stop::Trap {
+                    cause: TrapCause::IllegalInstruction,
+                    tval: 0,
+                });
             }
             if let Some(new) = new {
                 state.write_csr(csr, new).map_err(|_| Stop::Trap {
@@ -488,22 +567,38 @@ pub fn execute(
         Inst::Fld { rd, rs1, offset } => {
             let addr = state.x(rs1).wrapping_add(offset as u64);
             if misaligned(addr, 8) {
-                return Err(Stop::Trap { cause: TrapCause::LoadAddrMisaligned, tval: addr });
+                return Err(Stop::Trap {
+                    cause: TrapCause::LoadAddrMisaligned,
+                    tval: addr,
+                });
             }
             let (raw, cycles) = port.read(addr, 8).map_err(Stop::Port)?;
             extra += cycles;
             state.set_f_bits(rd, raw);
-            mem = Some(MemAccess { kind: MemAccessKind::Load, addr, size: 8, data: raw });
+            mem = Some(MemAccess {
+                kind: MemAccessKind::Load,
+                addr,
+                size: 8,
+                data: raw,
+            });
         }
         Inst::Fsd { rs1, rs2, offset } => {
             let addr = state.x(rs1).wrapping_add(offset as u64);
             if misaligned(addr, 8) {
-                return Err(Stop::Trap { cause: TrapCause::StoreAddrMisaligned, tval: addr });
+                return Err(Stop::Trap {
+                    cause: TrapCause::StoreAddrMisaligned,
+                    tval: addr,
+                });
             }
             let value = state.f_bits(rs2);
             let cycles = port.write(addr, value, 8).map_err(Stop::Port)?;
             extra += cycles;
-            mem = Some(MemAccess { kind: MemAccessKind::Store, addr, size: 8, data: value });
+            mem = Some(MemAccess {
+                kind: MemAccessKind::Store,
+                addr,
+                size: 8,
+                data: value,
+            });
         }
         Inst::Fp { op, rd, rs1, rs2 } => {
             let a = state.f(rs1);
@@ -521,9 +616,7 @@ pub fn execute(
                 FpOp::SgnJN => f64::from_bits(
                     (state.f_bits(rs1) & !(1 << 63)) | (!state.f_bits(rs2) & (1 << 63)),
                 ),
-                FpOp::SgnJX => f64::from_bits(
-                    state.f_bits(rs1) ^ (state.f_bits(rs2) & (1 << 63)),
-                ),
+                FpOp::SgnJX => f64::from_bits(state.f_bits(rs1) ^ (state.f_bits(rs2) & (1 << 63))),
             };
             state.set_f(rd, v);
         }
@@ -531,7 +624,13 @@ pub fn execute(
             let v = state.f(rs1).sqrt();
             state.set_f(rd, v);
         }
-        Inst::Fma { op, rd, rs1, rs2, rs3 } => {
+        Inst::Fma {
+            op,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => {
             let a = state.f(rs1);
             let b = state.f(rs2);
             let c = state.f(rs3);
@@ -596,14 +695,25 @@ pub fn execute(
             return Err(Stop::Trap { cause, tval: 0 });
         }
         Inst::Ebreak => {
-            return Err(Stop::Trap { cause: TrapCause::Breakpoint, tval: pc });
+            return Err(Stop::Trap {
+                cause: TrapCause::Breakpoint,
+                tval: pc,
+            });
         }
         Inst::Mret => {
             if state.prv != PrivMode::Machine {
-                return Err(Stop::Trap { cause: TrapCause::IllegalInstruction, tval: 0 });
+                return Err(Stop::Trap {
+                    cause: TrapCause::IllegalInstruction,
+                    tval: 0,
+                });
             }
             state.leave_trap();
-            return Ok(Exec { next_pc: state.pc, mem: None, extra_cycles: extra, branch: None });
+            return Ok(Exec {
+                next_pc: state.pc,
+                mem: None,
+                extra_cycles: extra,
+                branch: None,
+            });
         }
         Inst::Wfi => return Err(Stop::Wfi),
         Inst::Flex { op, rd, rs1, rs2 } => {
@@ -617,7 +727,12 @@ pub fn execute(
     }
 
     state.pc = next_pc;
-    Ok(Exec { next_pc, mem, extra_cycles: extra, branch })
+    Ok(Exec {
+        next_pc,
+        mem,
+        extra_cycles: extra,
+        branch,
+    })
 }
 
 #[cfg(test)]
@@ -638,22 +753,38 @@ mod tests {
             let mut state = ArchState::new(0);
             state.prv = PrivMode::User;
             state.pc = 0x1000;
-            Ctx { state, mem: MemorySystem::new(1, MemoryConfig::paper()).unwrap(), resv: None }
+            Ctx {
+                state,
+                mem: MemorySystem::new(1, MemoryConfig::paper()).unwrap(),
+                resv: None,
+            }
         }
 
         fn run(&mut self, inst: Inst) -> Result<Exec, Stop> {
             let counters = CsrCounters::default();
             let costs = ExecCosts::paper();
             let mut port = SocDataPort::new(&mut self.mem, 0);
-            execute(&mut self.state, &inst, &counters, &costs, &mut port, &mut self.resv)
+            execute(
+                &mut self.state,
+                &inst,
+                &counters,
+                &costs,
+                &mut port,
+                &mut self.resv,
+            )
         }
     }
 
     #[test]
     fn addi_and_pc_advance() {
         let mut c = Ctx::new();
-        c.run(Inst::OpImm { op: IntImmOp::Addi, rd: XReg::A0, rs1: XReg::ZERO, imm: 5 })
-            .unwrap();
+        c.run(Inst::OpImm {
+            op: IntImmOp::Addi,
+            rd: XReg::A0,
+            rs1: XReg::ZERO,
+            imm: 5,
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A0), 5);
         assert_eq!(c.state.pc, 0x1004);
     }
@@ -663,15 +794,37 @@ mod tests {
         let mut c = Ctx::new();
         c.state.set_x(XReg::A0, 1);
         let e = c
-            .run(Inst::Branch { op: BranchOp::Eq, rs1: XReg::A0, rs2: XReg::ZERO, offset: 16 })
+            .run(Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: XReg::A0,
+                rs2: XReg::ZERO,
+                offset: 16,
+            })
             .unwrap();
         assert_eq!(c.state.pc, 0x1004);
-        assert_eq!(e.branch, Some(BranchOutcome::Cond { taken: false, target: 0x1010 }));
+        assert_eq!(
+            e.branch,
+            Some(BranchOutcome::Cond {
+                taken: false,
+                target: 0x1010
+            })
+        );
         let e = c
-            .run(Inst::Branch { op: BranchOp::Ne, rs1: XReg::A0, rs2: XReg::ZERO, offset: -4 })
+            .run(Inst::Branch {
+                op: BranchOp::Ne,
+                rs1: XReg::A0,
+                rs2: XReg::ZERO,
+                offset: -4,
+            })
             .unwrap();
         assert_eq!(c.state.pc, 0x1000);
-        assert_eq!(e.branch, Some(BranchOutcome::Cond { taken: true, target: 0x1000 }));
+        assert_eq!(
+            e.branch,
+            Some(BranchOutcome::Cond {
+                taken: true,
+                target: 0x1000
+            })
+        );
     }
 
     #[test]
@@ -679,11 +832,28 @@ mod tests {
         let mut c = Ctx::new();
         c.state.set_x(XReg::A1, 0x2000);
         c.state.set_x(XReg::A2, 0xFF80);
-        c.run(Inst::Store { op: StoreOp::Sh, rs1: XReg::A1, rs2: XReg::A2, offset: 0 })
-            .unwrap();
-        c.run(Inst::Load { op: LoadOp::Lh, rd: XReg::A3, rs1: XReg::A1, offset: 0 }).unwrap();
+        c.run(Inst::Store {
+            op: StoreOp::Sh,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+            offset: 0,
+        })
+        .unwrap();
+        c.run(Inst::Load {
+            op: LoadOp::Lh,
+            rd: XReg::A3,
+            rs1: XReg::A1,
+            offset: 0,
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A3) as i64, -128);
-        c.run(Inst::Load { op: LoadOp::Lhu, rd: XReg::A4, rs1: XReg::A1, offset: 0 }).unwrap();
+        c.run(Inst::Load {
+            op: LoadOp::Lhu,
+            rd: XReg::A4,
+            rs1: XReg::A1,
+            offset: 0,
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A4), 0xFF80);
     }
 
@@ -691,10 +861,18 @@ mod tests {
     fn misaligned_load_traps_without_state_change() {
         let mut c = Ctx::new();
         c.state.set_x(XReg::A1, 0x2001);
-        let r = c.run(Inst::Load { op: LoadOp::Lw, rd: XReg::A0, rs1: XReg::A1, offset: 0 });
+        let r = c.run(Inst::Load {
+            op: LoadOp::Lw,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            offset: 0,
+        });
         assert_eq!(
             r,
-            Err(Stop::Trap { cause: TrapCause::LoadAddrMisaligned, tval: 0x2001 })
+            Err(Stop::Trap {
+                cause: TrapCause::LoadAddrMisaligned,
+                tval: 0x2001
+            })
         );
         assert_eq!(c.state.pc, 0x1000, "trap must not advance pc");
         assert_eq!(c.state.x(XReg::A0), 0, "trap must not write rd");
@@ -705,14 +883,36 @@ mod tests {
         let mut c = Ctx::new();
         c.state.set_x(XReg::A1, 10);
         c.state.set_x(XReg::A2, 0);
-        c.run(Inst::Op { op: IntOp::Div, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 }).unwrap();
+        c.run(Inst::Op {
+            op: IntOp::Div,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A0), u64::MAX, "div by zero is all-ones");
-        c.run(Inst::Op { op: IntOp::Rem, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 }).unwrap();
+        c.run(Inst::Op {
+            op: IntOp::Rem,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A0), 10, "rem by zero returns dividend");
         c.state.set_x(XReg::A1, i64::MIN as u64);
         c.state.set_x(XReg::A2, (-1i64) as u64);
-        c.run(Inst::Op { op: IntOp::Div, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 }).unwrap();
-        assert_eq!(c.state.x(XReg::A0), i64::MIN as u64, "overflow wraps to MIN");
+        c.run(Inst::Op {
+            op: IntOp::Div,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        })
+        .unwrap();
+        assert_eq!(
+            c.state.x(XReg::A0),
+            i64::MIN as u64,
+            "overflow wraps to MIN"
+        );
     }
 
     #[test]
@@ -720,8 +920,13 @@ mod tests {
         let mut c = Ctx::new();
         c.state.set_x(XReg::A1, 0x7FFF_FFFF);
         c.state.set_x(XReg::A2, 1);
-        c.run(Inst::OpW { op: IntWOp::Addw, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 })
-            .unwrap();
+        c.run(Inst::OpW {
+            op: IntWOp::Addw,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A0), 0xFFFF_FFFF_8000_0000);
     }
 
@@ -730,24 +935,45 @@ mod tests {
         let mut c = Ctx::new();
         c.state.set_x(XReg::A1, 0x3000);
         c.state.set_x(XReg::A2, 42);
-        c.run(Inst::Lr { width: AmoWidth::D, rd: XReg::A0, rs1: XReg::A1 }).unwrap();
+        c.run(Inst::Lr {
+            width: AmoWidth::D,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+        })
+        .unwrap();
         let e = c
-            .run(Inst::Sc { width: AmoWidth::D, rd: XReg::A3, rs1: XReg::A1, rs2: XReg::A2 })
+            .run(Inst::Sc {
+                width: AmoWidth::D,
+                rd: XReg::A3,
+                rs1: XReg::A1,
+                rs2: XReg::A2,
+            })
             .unwrap();
         assert_eq!(c.state.x(XReg::A3), 0, "sc success writes 0");
         assert!(matches!(
             e.mem,
-            Some(MemAccess { kind: MemAccessKind::Sc { success: true }, .. })
+            Some(MemAccess {
+                kind: MemAccessKind::Sc { success: true },
+                ..
+            })
         ));
         assert_eq!(c.mem.phys().read_u64(0x3000), 42);
         // Second SC without a reservation fails.
         let e = c
-            .run(Inst::Sc { width: AmoWidth::D, rd: XReg::A3, rs1: XReg::A1, rs2: XReg::A2 })
+            .run(Inst::Sc {
+                width: AmoWidth::D,
+                rd: XReg::A3,
+                rs1: XReg::A1,
+                rs2: XReg::A2,
+            })
             .unwrap();
         assert_eq!(c.state.x(XReg::A3), 1, "sc failure writes 1");
         assert!(matches!(
             e.mem,
-            Some(MemAccess { kind: MemAccessKind::Sc { success: false }, .. })
+            Some(MemAccess {
+                kind: MemAccessKind::Sc { success: false },
+                ..
+            })
         ));
     }
 
@@ -778,8 +1004,13 @@ mod tests {
         let mut c = Ctx::new();
         c.state.set_f(FReg::of(1), 1.5);
         c.state.set_f(FReg::of(2), 2.5);
-        c.run(Inst::Fp { op: FpOp::Add, rd: FReg::of(0), rs1: FReg::of(1), rs2: FReg::of(2) })
-            .unwrap();
+        c.run(Inst::Fp {
+            op: FpOp::Add,
+            rd: FReg::of(0),
+            rs1: FReg::of(1),
+            rs2: FReg::of(2),
+        })
+        .unwrap();
         assert_eq!(c.state.f(FReg::of(0)), 4.0);
         c.run(Inst::Fma {
             op: FmaOp::Madd,
@@ -790,8 +1021,13 @@ mod tests {
         })
         .unwrap();
         assert_eq!(c.state.f(FReg::of(3)), 1.5 * 2.5 + 4.0);
-        c.run(Inst::FpCmp { op: FpCmpOp::Lt, rd: XReg::A0, rs1: FReg::of(1), rs2: FReg::of(2) })
-            .unwrap();
+        c.run(Inst::FpCmp {
+            op: FpCmpOp::Lt,
+            rd: XReg::A0,
+            rs1: FReg::of(1),
+            rs2: FReg::of(2),
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A0), 1);
     }
 
@@ -799,10 +1035,20 @@ mod tests {
     fn fcvt_saturates() {
         let mut c = Ctx::new();
         c.state.set_f(FReg::of(1), f64::NAN);
-        c.run(Inst::FpCvt { op: FpCvtOp::DToL, rd: 10, rs1: 1 }).unwrap();
+        c.run(Inst::FpCvt {
+            op: FpCvtOp::DToL,
+            rd: 10,
+            rs1: 1,
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A0), i64::MAX as u64);
         c.state.set_f(FReg::of(1), -1.0);
-        c.run(Inst::FpCvt { op: FpCvtOp::DToLu, rd: 10, rs1: 1 }).unwrap();
+        c.run(Inst::FpCvt {
+            op: FpCvtOp::DToLu,
+            rd: 10,
+            rs1: 1,
+        })
+        .unwrap();
         assert_eq!(c.state.x(XReg::A0), 0);
     }
 
@@ -811,12 +1057,18 @@ mod tests {
         let mut c = Ctx::new();
         assert_eq!(
             c.run(Inst::Ecall),
-            Err(Stop::Trap { cause: TrapCause::EcallFromU, tval: 0 })
+            Err(Stop::Trap {
+                cause: TrapCause::EcallFromU,
+                tval: 0
+            })
         );
         c.state.prv = PrivMode::Machine;
         assert_eq!(
             c.run(Inst::Ecall),
-            Err(Stop::Trap { cause: TrapCause::EcallFromM, tval: 0 })
+            Err(Stop::Trap {
+                cause: TrapCause::EcallFromM,
+                tval: 0
+            })
         );
     }
 
@@ -829,10 +1081,21 @@ mod tests {
             src: 10,
             csr: flexstep_isa::csr::MEPC,
         });
-        assert_eq!(r, Err(Stop::Trap { cause: TrapCause::IllegalInstruction, tval: 0 }));
+        assert_eq!(
+            r,
+            Err(Stop::Trap {
+                cause: TrapCause::IllegalInstruction,
+                tval: 0
+            })
+        );
         // User counters are readable from U-mode.
-        c.run(Inst::Csr { op: CsrOp::Rs, rd: XReg::A0, src: 0, csr: flexstep_isa::csr::CYCLE })
-            .unwrap();
+        c.run(Inst::Csr {
+            op: CsrOp::Rs,
+            rd: XReg::A0,
+            src: 0,
+            csr: flexstep_isa::csr::CYCLE,
+        })
+        .unwrap();
     }
 
     #[test]
@@ -855,7 +1118,10 @@ mod tests {
                 rs2_value: 0xBB
             })
         );
-        assert_eq!(c.state.pc, 0x1000, "platform instruction does not self-advance");
+        assert_eq!(
+            c.state.pc, 0x1000,
+            "platform instruction does not self-advance"
+        );
     }
 
     #[test]
@@ -874,10 +1140,20 @@ mod tests {
     fn jalr_return_shape_detected() {
         let mut c = Ctx::new();
         c.state.set_x(XReg::RA, 0x1234);
-        let e = c.run(Inst::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 }).unwrap();
+        let e = c
+            .run(Inst::Jalr {
+                rd: XReg::ZERO,
+                rs1: XReg::RA,
+                offset: 0,
+            })
+            .unwrap();
         assert_eq!(
             e.branch,
-            Some(BranchOutcome::Jalr { target: 0x1234, link: false, is_return: true })
+            Some(BranchOutcome::Jalr {
+                target: 0x1234,
+                link: false,
+                is_return: true
+            })
         );
     }
 }

@@ -164,8 +164,10 @@ impl ArchState {
     /// Creates a reset state for the given hart, starting in M-mode at
     /// pc = 0 (the kernel boot path repositions it).
     pub fn new(hartid: u64) -> Self {
-        let mut csrs = CsrFile::default();
-        csrs.mhartid = hartid;
+        let csrs = CsrFile {
+            mhartid: hartid,
+            ..CsrFile::default()
+        };
         ArchState {
             pc: 0,
             xregs: [0; 32],
@@ -216,7 +218,7 @@ impl ArchState {
     pub fn read_csr(&self, addr: u16, counters: &CsrCounters) -> Result<u64, CsrAccessError> {
         Ok(match addr {
             csr::MSTATUS => self.csrs.mstatus,
-            csr::MISA => (2u64 << 62) | 0x1411_09, // RV64 IMAFD+U (informational)
+            csr::MISA => (2u64 << 62) | 0x0014_1109, // RV64 IMAFD+U (informational)
             csr::MIE => self.csrs.mie,
             csr::MTVEC => self.csrs.mtvec,
             csr::MSCRATCH => self.csrs.mscratch,
@@ -297,7 +299,12 @@ impl ArchState {
 
     /// Captures the register-checkpoint payload (PRFs + pc + fcsr).
     pub fn snapshot(&self) -> ArchSnapshot {
-        ArchSnapshot { pc: self.pc, xregs: self.xregs, fregs: self.fregs, fcsr: self.fcsr }
+        ArchSnapshot {
+            pc: self.pc,
+            xregs: self.xregs,
+            fregs: self.fregs,
+            fcsr: self.fcsr,
+        }
     }
 
     /// Restores a register-checkpoint payload (CSRs and privilege are not
@@ -335,7 +342,11 @@ impl ArchSnapshot {
     pub fn diff(&self, other: &ArchSnapshot) -> Vec<SnapshotDiff> {
         let mut out = Vec::new();
         if self.pc != other.pc {
-            out.push(SnapshotDiff { field: "pc".into(), expected: self.pc, actual: other.pc });
+            out.push(SnapshotDiff {
+                field: "pc".into(),
+                expected: self.pc,
+                actual: other.pc,
+            });
         }
         for i in 0..32 {
             if self.xregs[i] != other.xregs[i] {
@@ -453,7 +464,11 @@ mod tests {
     #[test]
     fn csr_read_write_and_errors() {
         let mut s = ArchState::new(3);
-        let counters = CsrCounters { cycle: 55, time: 66, instret: 77 };
+        let counters = CsrCounters {
+            cycle: 55,
+            time: 66,
+            instret: 77,
+        };
         assert_eq!(s.read_csr(flexstep_isa::csr::MHARTID, &counters), Ok(3));
         assert_eq!(s.read_csr(flexstep_isa::csr::CYCLE, &counters), Ok(55));
         assert!(s.write_csr(flexstep_isa::csr::MHARTID, 0).is_err());

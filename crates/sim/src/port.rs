@@ -26,7 +26,9 @@ pub struct PortStop {
 impl PortStop {
     /// Creates a stop with the given reason.
     pub fn new(reason: impl Into<String>) -> Self {
-        PortStop { reason: reason.into() }
+        PortStop {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -174,8 +176,9 @@ impl DataPort for SocDataPort<'_> {
         op: AmoOp,
         src: u64,
     ) -> Result<(u64, u64), PortStop> {
-        let (old, cycles) =
-            self.mem.amo(self.core, addr, width.size(), |old| amo_apply(op, width, old, src));
+        let (old, cycles) = self.mem.amo(self.core, addr, width.size(), |old| {
+            amo_apply(op, width, old, src)
+        });
         Ok((old, self.penalty(cycles)))
     }
 }
@@ -193,10 +196,16 @@ mod tests {
         assert_eq!(amo_apply(Xor, AmoWidth::D, 0b1100, 0b1010), 0b0110);
         assert_eq!(amo_apply(And, AmoWidth::D, 0b1100, 0b1010), 0b1000);
         assert_eq!(amo_apply(Or, AmoWidth::D, 0b1100, 0b1010), 0b1110);
-        assert_eq!(amo_apply(Min, AmoWidth::D, (-5i64) as u64, 3), (-5i64) as u64);
+        assert_eq!(
+            amo_apply(Min, AmoWidth::D, (-5i64) as u64, 3),
+            (-5i64) as u64
+        );
         assert_eq!(amo_apply(Max, AmoWidth::D, (-5i64) as u64, 3), 3);
         assert_eq!(amo_apply(Minu, AmoWidth::D, (-5i64) as u64, 3), 3);
-        assert_eq!(amo_apply(Maxu, AmoWidth::D, (-5i64) as u64, 3), (-5i64) as u64);
+        assert_eq!(
+            amo_apply(Maxu, AmoWidth::D, (-5i64) as u64, 3),
+            (-5i64) as u64
+        );
     }
 
     #[test]

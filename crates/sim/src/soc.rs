@@ -150,8 +150,16 @@ impl Soc {
     /// invalid.
     pub fn new(config: SocConfig) -> Result<Self, CacheGeometryError> {
         let mem = MemorySystem::new(config.num_cores, config.mem)?;
-        let cores = (0..config.num_cores).map(|i| Core::new(i, config.bpred)).collect();
-        Ok(Soc { cores, mem, clock: config.clock, costs: config.costs, now: 0 })
+        let cores = (0..config.num_cores)
+            .map(|i| Core::new(i, config.bpred))
+            .collect();
+        Ok(Soc {
+            cores,
+            mem,
+            clock: config.clock,
+            costs: config.costs,
+            now: 0,
+        })
     }
 
     /// Number of cores.
@@ -195,7 +203,9 @@ impl Soc {
     /// Loads a program image into physical memory (no cache effects; call
     /// [`MemorySystem::flush_all`] when reloading over a live system).
     pub fn load_program(&mut self, program: &Program) {
-        self.mem.phys_mut().load_words(program.text_base, &program.text);
+        self.mem
+            .phys_mut()
+            .load_words(program.text_base, &program.text);
         self.mem.phys_mut().load(program.data_base, &program.data);
     }
 
@@ -258,7 +268,11 @@ impl Soc {
 
     fn step_impl(&mut self, id: usize, custom: Option<&mut dyn DataPort>) -> StepResult {
         if !self.cores[id].is_running() {
-            return StepResult { kind: StepKind::Idle, cycles: 0, now: self.now };
+            return StepResult {
+                kind: StepKind::Idle,
+                cycles: 0,
+                now: self.now,
+            };
         }
         // Advance the global clock to this core's ready time.
         self.now = self.now.max(self.cores[id].ready_at);
@@ -274,7 +288,9 @@ impl Soc {
             }
             if core.timer_interrupt_deliverable() {
                 return StepResult {
-                    kind: StepKind::Interrupted { cause: TrapCause::MachineTimer },
+                    kind: StepKind::Interrupted {
+                        cause: TrapCause::MachineTimer,
+                    },
                     cycles: 0,
                     now,
                 };
@@ -303,17 +319,35 @@ impl Soc {
 
         // Execute through the selected data port.
         let prv = self.cores[id].state.prv;
-        let counters = CsrCounters { cycle: now, time: now, instret: self.cores[id].instret };
+        let counters = CsrCounters {
+            cycle: now,
+            time: now,
+            instret: self.cores[id].instret,
+        };
         let outcome = match custom {
             None => {
                 let mem = &mut self.mem;
                 let core = &mut self.cores[id];
                 let mut port = SocDataPort::new(mem, id);
-                execute(&mut core.state, &inst, &counters, &self.costs, &mut port, &mut core.resv)
+                execute(
+                    &mut core.state,
+                    &inst,
+                    &counters,
+                    &self.costs,
+                    &mut port,
+                    &mut core.resv,
+                )
             }
             Some(port) => {
                 let core = &mut self.cores[id];
-                execute(&mut core.state, &inst, &counters, &self.costs, port, &mut core.resv)
+                execute(
+                    &mut core.state,
+                    &inst,
+                    &counters,
+                    &self.costs,
+                    port,
+                    &mut core.resv,
+                )
             }
         };
 
@@ -355,7 +389,11 @@ impl Soc {
                                 core.bpred.push_return(seq_pc);
                             }
                         }
-                        BranchOutcome::Jalr { target, link, is_return } => {
+                        BranchOutcome::Jalr {
+                            target,
+                            link,
+                            is_return,
+                        } => {
                             cycles += core.bpred.resolve_jalr(pc, target, is_return);
                             if link {
                                 core.bpred.push_return(seq_pc);
@@ -388,15 +426,30 @@ impl Soc {
                 cycles: fetch_cycles,
                 now,
             },
-            Err(Stop::Flex { op, rd, rs1_value, rs2_value }) => StepResult {
-                kind: StepKind::Flex { op, rd, rs1_value, rs2_value, pc },
+            Err(Stop::Flex {
+                op,
+                rd,
+                rs1_value,
+                rs2_value,
+            }) => StepResult {
+                kind: StepKind::Flex {
+                    op,
+                    rd,
+                    rs1_value,
+                    rs2_value,
+                    pc,
+                },
                 cycles: fetch_cycles,
                 now,
             },
             Err(Stop::Wfi) => {
                 core.park();
                 core.state.pc = pc.wrapping_add(4);
-                StepResult { kind: StepKind::Wfi, cycles: 1 + fetch_cycles, now }
+                StepResult {
+                    kind: StepKind::Wfi,
+                    cycles: 1 + fetch_cycles,
+                    now,
+                }
             }
             Err(Stop::Port(stop)) => StepResult {
                 kind: StepKind::Stopped(stop),
@@ -438,7 +491,10 @@ impl Soc {
         while retired < max_instructions {
             match self.step_core(0).kind {
                 StepKind::Retired(_) => retired += 1,
-                StepKind::Trap { cause: TrapCause::EcallFromU, .. } => {
+                StepKind::Trap {
+                    cause: TrapCause::EcallFromU,
+                    ..
+                } => {
                     self.core_mut(0).park();
                     return retired;
                 }
@@ -496,7 +552,10 @@ mod tests {
         let r = soc.step_core(0);
         assert!(matches!(
             r.kind,
-            StepKind::Trap { cause: TrapCause::IllegalInstruction, .. }
+            StepKind::Trap {
+                cause: TrapCause::IllegalInstruction,
+                ..
+            }
         ));
     }
 
@@ -519,7 +578,9 @@ mod tests {
         let mut interrupted = false;
         for _ in 0..10_000 {
             match soc.step_core(0).kind {
-                StepKind::Interrupted { cause: TrapCause::MachineTimer } => {
+                StepKind::Interrupted {
+                    cause: TrapCause::MachineTimer,
+                } => {
                     interrupted = true;
                     break;
                 }
@@ -567,7 +628,12 @@ mod tests {
         let mut asm = Assembler::new("hazard");
         asm.li(XReg::SP, 0x2000);
         asm.ld(XReg::A0, XReg::SP, 0);
-        asm.push(Inst::Op { op: IntOp::Add, rd: XReg::A1, rs1: XReg::A0, rs2: XReg::A0 });
+        asm.push(Inst::Op {
+            op: IntOp::Add,
+            rd: XReg::A1,
+            rs1: XReg::A0,
+            rs2: XReg::A0,
+        });
         asm.ecall();
         let p = asm.finish().unwrap();
 
@@ -575,7 +641,12 @@ mod tests {
         let mut asm = Assembler::new("no_hazard");
         asm.li(XReg::SP, 0x2000);
         asm.ld(XReg::A0, XReg::SP, 0);
-        asm.push(Inst::Op { op: IntOp::Add, rd: XReg::A1, rs1: XReg::T1, rs2: XReg::T1 });
+        asm.push(Inst::Op {
+            op: IntOp::Add,
+            rd: XReg::A1,
+            rs1: XReg::T1,
+            rs2: XReg::T1,
+        });
         asm.ecall();
         let p2 = asm.finish().unwrap();
 

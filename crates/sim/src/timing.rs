@@ -132,9 +132,17 @@ mod tests {
     #[test]
     fn long_latency_units_charged() {
         let c = ExecCosts::paper();
-        let div = Inst::Op { op: IntOp::Div, rd: XReg::A0, rs1: XReg::A1, rs2: XReg::A2 };
+        let div = Inst::Op {
+            op: IntOp::Div,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
         assert_eq!(c.extra_cycles(&div), 32);
-        let fsqrt = Inst::FpSqrt { rd: flexstep_isa::FReg::of(0), rs1: flexstep_isa::FReg::of(1) };
+        let fsqrt = Inst::FpSqrt {
+            rd: flexstep_isa::FReg::of(0),
+            rs1: flexstep_isa::FReg::of(1),
+        };
         assert_eq!(c.extra_cycles(&fsqrt), 25);
     }
 

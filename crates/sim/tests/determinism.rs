@@ -47,7 +47,10 @@ fn identical_runs_are_cycle_deterministic() {
     let (t2, i2, s2) = run();
     assert_eq!(t1, t2, "cycle counts must be identical");
     assert_eq!(i1, i2, "retired counts must be identical");
-    assert!(s1.diff(&s2).is_empty(), "final architectural state must be identical");
+    assert!(
+        s1.diff(&s2).is_empty(),
+        "final architectural state must be identical"
+    );
 }
 
 #[test]
@@ -68,14 +71,20 @@ fn timer_interrupt_fires_at_or_after_deadline() {
                 interrupted_at = Some(soc.now());
                 break;
             }
-            StepKind::Trap { cause: TrapCause::EcallFromU, .. } => {
+            StepKind::Trap {
+                cause: TrapCause::EcallFromU,
+                ..
+            } => {
                 panic!("program finished before the timer fired");
             }
             _ => {}
         }
     }
     let at = interrupted_at.expect("timer must fire");
-    assert!(at >= deadline, "interrupt cannot fire early: {at} < {deadline}");
+    assert!(
+        at >= deadline,
+        "interrupt cannot fire early: {at} < {deadline}"
+    );
     assert!(
         at < deadline + 1_000,
         "interrupt latency must be bounded: fired at {at} for deadline {deadline}"
@@ -85,7 +94,11 @@ fn timer_interrupt_fires_at_or_after_deadline() {
     soc.core_mut(0).clear_timer();
     let mut finished = false;
     for _ in 0..10_000_000 {
-        if let StepKind::Trap { cause: TrapCause::EcallFromU, .. } = soc.step_core(0).kind {
+        if let StepKind::Trap {
+            cause: TrapCause::EcallFromU,
+            ..
+        } = soc.step_core(0).kind
+        {
             finished = true;
             break;
         }
@@ -119,8 +132,14 @@ fn cores_execute_independently() {
     }
     let mut done = [false; 2];
     for _ in 0..40_000_000u64 {
-        let Some(core) = soc.next_ready_core() else { break };
-        if let StepKind::Trap { cause: TrapCause::EcallFromU, .. } = soc.step_core(core).kind {
+        let Some(core) = soc.next_ready_core() else {
+            break;
+        };
+        if let StepKind::Trap {
+            cause: TrapCause::EcallFromU,
+            ..
+        } = soc.step_core(core).kind
+        {
             done[core] = true;
             soc.core_mut(core).park();
         }
@@ -128,7 +147,10 @@ fn cores_execute_independently() {
             break;
         }
     }
-    assert!(done.iter().all(|&d| d), "both programs must finish: {done:?}");
+    assert!(
+        done.iter().all(|&d| d),
+        "both programs must finish: {done:?}"
+    );
     // Register results match the solo runs (pc differs by text base).
     let ma = soc.core(0).state.snapshot();
     let mb = soc.core(1).state.snapshot();

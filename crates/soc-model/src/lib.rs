@@ -123,14 +123,24 @@ pub struct Component {
 impl Component {
     /// A leaf component.
     pub fn leaf(name: impl Into<String>, area_mm2: f64, power_w: f64) -> Self {
-        Component { name: name.into(), area_mm2, power_w, children: Vec::new() }
+        Component {
+            name: name.into(),
+            area_mm2,
+            power_w,
+            children: Vec::new(),
+        }
     }
 
     /// A group whose own area/power is the sum of its children.
     pub fn group(name: impl Into<String>, children: Vec<Component>) -> Self {
         let area = children.iter().map(|c| c.area_mm2).sum();
         let power = children.iter().map(|c| c.power_w).sum();
-        Component { name: name.into(), area_mm2: area, power_w: power, children }
+        Component {
+            name: name.into(),
+            area_mm2: area,
+            power_w: power,
+            children,
+        }
     }
 
     fn render(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
@@ -213,21 +223,23 @@ fn core_component(tech: &Tech, flexstep: bool) -> Component {
 /// Builds the Vanilla (unmodified Rocket) SoC model with explicit
 /// technology constants.
 pub fn vanilla_soc_with(tech: &Tech, cores: usize) -> SocModel {
-    let mut children: Vec<Component> =
-        (0..cores).map(|_| core_component(tech, false)).collect();
+    let mut children: Vec<Component> = (0..cores).map(|_| core_component(tech, false)).collect();
     children.push(Component::leaf(
         "L2 (512 KiB)",
         512.0 * 1024.0 * tech.sram_mm2_per_byte,
         512.0 * 1024.0 * tech.sram_w_per_byte,
     ));
     children.push(Component::leaf("uncore", tech.uncore_mm2, tech.uncore_w));
-    SocModel { name: "Vanilla".into(), cores, top: Component::group("soc", children) }
+    SocModel {
+        name: "Vanilla".into(),
+        cores,
+        top: Component::group("soc", children),
+    }
 }
 
 /// Builds the FlexStep SoC model with explicit technology constants.
 pub fn flexstep_soc_with(tech: &Tech, cores: usize) -> SocModel {
-    let mut children: Vec<Component> =
-        (0..cores).map(|_| core_component(tech, true)).collect();
+    let mut children: Vec<Component> = (0..cores).map(|_| core_component(tech, true)).collect();
     children.push(Component::leaf(
         "L2 (512 KiB)",
         512.0 * 1024.0 * tech.sram_mm2_per_byte,
@@ -243,7 +255,11 @@ pub fn flexstep_soc_with(tech: &Tech, cores: usize) -> SocModel {
         links * tech.interconnect_mm2_per_link,
         links * tech.interconnect_w_per_link,
     ));
-    SocModel { name: "FlexStep".into(), cores, top: Component::group("soc", children) }
+    SocModel {
+        name: "FlexStep".into(),
+        cores,
+        top: Component::group("soc", children),
+    }
 }
 
 /// Vanilla SoC at the calibrated 28 nm node.
@@ -269,12 +285,23 @@ mod tests {
     fn tab3_anchors_reproduced() {
         let v = vanilla_soc(4);
         let f = flexstep_soc(4);
-        assert!((v.area_mm2() - 2.71).abs() < 0.05, "vanilla area: {}", v.area_mm2());
-        assert!((v.power_w() - 0.485).abs() < 0.02, "vanilla power: {}", v.power_w());
+        assert!(
+            (v.area_mm2() - 2.71).abs() < 0.05,
+            "vanilla area: {}",
+            v.area_mm2()
+        );
+        assert!(
+            (v.power_w() - 0.485).abs() < 0.02,
+            "vanilla power: {}",
+            v.power_w()
+        );
         let area_oh = (f.area_mm2() - v.area_mm2()) / v.area_mm2();
         let power_oh = (f.power_w() - v.power_w()) / v.power_w();
         assert!((area_oh - 0.0221).abs() < 0.006, "area overhead {area_oh}");
-        assert!((power_oh - 0.0289).abs() < 0.008, "power overhead {power_oh}");
+        assert!(
+            (power_oh - 0.0289).abs() < 0.008,
+            "power overhead {power_oh}"
+        );
     }
 
     #[test]
@@ -323,7 +350,10 @@ mod tests {
     fn component_tree_sums() {
         let c = Component::group(
             "g",
-            vec![Component::leaf("a", 1.0, 0.1), Component::leaf("b", 2.0, 0.2)],
+            vec![
+                Component::leaf("a", 1.0, 0.1),
+                Component::leaf("b", 2.0, 0.2),
+            ],
         );
         assert!((c.area_mm2 - 3.0).abs() < 1e-12);
         assert!((c.power_w - 0.3).abs() < 1e-12);

@@ -54,11 +54,22 @@ fn f(i: u32) -> FReg {
 }
 
 fn fp(asm: &mut Assembler, op: FpOp, rd: u32, rs1: u32, rs2: u32) {
-    asm.push(Inst::Fp { op, rd: f(rd), rs1: f(rs1), rs2: f(rs2) });
+    asm.push(Inst::Fp {
+        op,
+        rd: f(rd),
+        rs1: f(rs1),
+        rs2: f(rs2),
+    });
 }
 
 fn fma(asm: &mut Assembler, rd: u32, rs1: u32, rs2: u32, rs3: u32) {
-    asm.push(Inst::Fma { op: FmaOp::Madd, rd: f(rd), rs1: f(rs1), rs2: f(rs2), rs3: f(rs3) });
+    asm.push(Inst::Fma {
+        op: FmaOp::Madd,
+        rd: f(rd),
+        rs1: f(rs1),
+        rs2: f(rs2),
+        rs3: f(rs3),
+    });
 }
 
 /// Black-Scholes-style closed-form pricing over an option table:
@@ -90,19 +101,31 @@ pub fn fp_pricing_kernel(name: &str, options: i64, rounds: i64) -> Program {
     asm.fld(f(2), BASE, 16); // r
     asm.fld(f(3), BASE, 24); // v
     asm.fld(f(4), BASE, 32); // T
-    // d1 = (ln(S/K) + (r + v²/2)T) / (v√T), with ln approximated by a
-    // 3-term series around 1 (inputs are near the money).
+                             // d1 = (ln(S/K) + (r + v²/2)T) / (v√T), with ln approximated by a
+                             // 3-term series around 1 (inputs are near the money).
     fp(&mut asm, FpOp::Div, 5, 0, 1); // x = S/K
     asm.li(I1, 1);
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 6, rs1: I1.index() as u32 }); // 1.0
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 6,
+        rs1: I1.index() as u32,
+    }); // 1.0
     fp(&mut asm, FpOp::Sub, 7, 5, 6); // t = x-1
     fp(&mut asm, FpOp::Mul, 8, 7, 7); // t²
     fp(&mut asm, FpOp::Mul, 9, 8, 7); // t³
     asm.li(I1, 2);
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 10, rs1: I1.index() as u32 });
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 10,
+        rs1: I1.index() as u32,
+    });
     fp(&mut asm, FpOp::Div, 8, 8, 10); // t²/2
     asm.li(I1, 3);
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 11, rs1: I1.index() as u32 });
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 11,
+        rs1: I1.index() as u32,
+    });
     fp(&mut asm, FpOp::Div, 9, 9, 11); // t³/3
     fp(&mut asm, FpOp::Sub, 7, 7, 8);
     fp(&mut asm, FpOp::Add, 7, 7, 9); // ln(x) ≈ t - t²/2 + t³/3
@@ -110,11 +133,14 @@ pub fn fp_pricing_kernel(name: &str, options: i64, rounds: i64) -> Program {
     fp(&mut asm, FpOp::Div, 8, 8, 10); // v²/2
     fp(&mut asm, FpOp::Add, 8, 8, 2); // r + v²/2
     fma(&mut asm, 7, 8, 4, 7); // + (r+v²/2)T
-    asm.push(Inst::FpSqrt { rd: f(9), rs1: f(4) }); // √T
+    asm.push(Inst::FpSqrt {
+        rd: f(9),
+        rs1: f(4),
+    }); // √T
     fp(&mut asm, FpOp::Mul, 9, 9, 3); // v√T
     fp(&mut asm, FpOp::Div, 12, 7, 9); // d1
-    // N(d1) via the logistic approximation 1/(1+e^-1.702d), with e^y
-    // approximated by a 4-term series.
+                                       // N(d1) via the logistic approximation 1/(1+e^-1.702d), with e^y
+                                       // approximated by a 4-term series.
     fp(&mut asm, FpOp::Mul, 13, 12, 12); // d²
     fp(&mut asm, FpOp::Div, 13, 13, 10); // d²/2
     fp(&mut asm, FpOp::Add, 13, 13, 6); // 1 + d²/2
@@ -122,8 +148,8 @@ pub fn fp_pricing_kernel(name: &str, options: i64, rounds: i64) -> Program {
     fp(&mut asm, FpOp::Div, 14, 6, 13); // e^-d ≈ 1/e^d
     fp(&mut asm, FpOp::Add, 14, 14, 6); // 1 + e^-d
     fp(&mut asm, FpOp::Div, 14, 6, 14); // N(d1)
-    // price ≈ S·N(d1) − K·N(d1 − v√T) (second term approximated with the
-    // same N evaluated at d1, scaled).
+                                        // price ≈ S·N(d1) − K·N(d1 − v√T) (second term approximated with the
+                                        // same N evaluated at d1, scaled).
     fp(&mut asm, FpOp::Mul, 15, 0, 14);
     fp(&mut asm, FpOp::Mul, 13, 1, 14);
     fp(&mut asm, FpOp::Sub, 15, 15, 13);
@@ -163,21 +189,47 @@ pub fn hash_chunk_kernel(name: &str, bytes: i64, rounds: i64, table_slots: i64) 
     asm.load(LoadOp::Lbu, A0, PTR, 0);
     // h = h*31 + b
     asm.li(A1, 31);
-    asm.push(Inst::Op { op: IntOp::Mul, rd: ACC, rs1: ACC, rs2: A1 });
+    asm.push(Inst::Op {
+        op: IntOp::Mul,
+        rd: ACC,
+        rs1: ACC,
+        rs2: A1,
+    });
     asm.add(ACC, ACC, A0);
     // Chunk boundary when low 6 bits of the hash vanish.
-    asm.push(Inst::OpImm { op: IntImmOp::Andi, rd: A2, rs1: ACC, imm: 0x3F });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Andi,
+        rd: A2,
+        rs1: ACC,
+        imm: 0x3F,
+    });
     asm.bnez(A2, "no_boundary");
     // Store the chunk hash into its table slot.
     asm.li(A3, (table_slots - 1) * 8);
-    asm.push(Inst::OpImm { op: IntImmOp::Slli, rd: A2, rs1: ACC, imm: 3 });
-    asm.push(Inst::Op { op: IntOp::And, rd: A2, rs1: A2, rs2: A3 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Slli,
+        rd: A2,
+        rs1: ACC,
+        imm: 3,
+    });
+    asm.push(Inst::Op {
+        op: IntOp::And,
+        rd: A2,
+        rs1: A2,
+        rs2: A3,
+    });
     asm.add(A2, A2, BASE);
     asm.sd(A2, ACC, 0);
     // Atomically bump the shared chunk refcount.
     asm.la(A2, "refcount");
     asm.li(A1, 1);
-    asm.push(Inst::Amo { op: AmoOp::Add, width: AmoWidth::D, rd: A0, rs1: A2, rs2: A1 });
+    asm.push(Inst::Amo {
+        op: AmoOp::Add,
+        width: AmoWidth::D,
+        rd: A0,
+        rs1: A2,
+        rs2: A1,
+    });
     asm.li(ACC, 0);
     asm.label("no_boundary").unwrap();
     asm.addi(PTR, PTR, 1);
@@ -209,8 +261,13 @@ pub fn pointer_chase_kernel(name: &str, nodes: i64, hops: i64) -> Program {
     asm.add(A0, BASE, PTR);
     asm.ld(PTR, A0, 0); // next offset
     asm.ld(A1, A0, 8); // payload
-    // Data-dependent branch: accumulate only odd payloads.
-    asm.push(Inst::OpImm { op: IntImmOp::Andi, rd: A2, rs1: A1, imm: 1 });
+                       // Data-dependent branch: accumulate only odd payloads.
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Andi,
+        rd: A2,
+        rs1: A1,
+        imm: 1,
+    });
     asm.beqz(A2, "skip");
     asm.add(ACC, ACC, A1);
     asm.label("skip").unwrap();
@@ -247,10 +304,18 @@ pub fn stencil_kernel(name: &str, width: i64, height: i64, sweeps: i64) -> Progr
     fp(&mut asm, FpOp::Add, 1, 1, 3);
     // new = 0.5*old + 0.125*neighbours
     asm.li(A0, 2);
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 5, rs1: A0.index() as u32 });
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 5,
+        rs1: A0.index() as u32,
+    });
     fp(&mut asm, FpOp::Div, 0, 0, 5);
     asm.li(A0, 8);
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 6, rs1: A0.index() as u32 });
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 6,
+        rs1: A0.index() as u32,
+    });
     fp(&mut asm, FpOp::Div, 1, 1, 6);
     fp(&mut asm, FpOp::Add, 0, 0, 1);
     asm.fsd(PTR, f(0), 0);
@@ -280,18 +345,40 @@ pub fn monte_carlo_kernel(name: &str, paths: i64, steps: i64) -> Program {
     asm.label("path").unwrap();
     asm.li(I0, steps);
     asm.li(A0, 0);
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 0, rs1: A0.index() as u32 }); // sum = 0
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 0,
+        rs1: A0.index() as u32,
+    }); // sum = 0
     asm.label("step").unwrap();
     // LCG: x = x * 6364136223846793005 + 1442695040888963407
     asm.li(A1, 0x5851_F42D_4C95_7F2Du64 as i64);
-    asm.push(Inst::Op { op: IntOp::Mul, rd: ACC, rs1: ACC, rs2: A1 });
+    asm.push(Inst::Op {
+        op: IntOp::Mul,
+        rd: ACC,
+        rs1: ACC,
+        rs2: A1,
+    });
     asm.li(A2, 0x1405_7B7E_F767_814Fu64 as i64);
     asm.add(ACC, ACC, A2);
     // Normalise the top bits to [0,1) and accumulate exp-like weight.
-    asm.push(Inst::OpImm { op: IntImmOp::Srli, rd: A3, rs1: ACC, imm: 40 });
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 1, rs1: A3.index() as u32 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Srli,
+        rd: A3,
+        rs1: ACC,
+        imm: 40,
+    });
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 1,
+        rs1: A3.index() as u32,
+    });
     asm.li(A0, 1 << 24);
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 2, rs1: A0.index() as u32 });
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 2,
+        rs1: A0.index() as u32,
+    });
     fp(&mut asm, FpOp::Div, 1, 1, 2); // u in [0,1)
     fma(&mut asm, 0, 1, 1, 0); // sum += u²
     asm.addi(I0, I0, -1);
@@ -331,8 +418,18 @@ pub fn sad_kernel(name: &str, blocks: i64, block_bytes: i64, rounds: i64) -> Pro
     asm.load(LoadOp::Lbu, A1, PTR, 0);
     asm.sub(A0, A0, A1);
     // |x| without a branch: (x ^ (x>>63)) - (x>>63)
-    asm.push(Inst::OpImm { op: IntImmOp::Srai, rd: A2, rs1: A0, imm: 63 });
-    asm.push(Inst::Op { op: IntOp::Xor, rd: A0, rs1: A0, rs2: A2 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Srai,
+        rd: A2,
+        rs1: A0,
+        imm: 63,
+    });
+    asm.push(Inst::Op {
+        op: IntOp::Xor,
+        rd: A0,
+        rs1: A0,
+        rs2: A2,
+    });
     asm.sub(A0, A0, A2);
     asm.add(ACC, ACC, A0);
     asm.addi(BASE, BASE, 1);
@@ -365,10 +462,30 @@ pub fn stream_kernel(name: &str, words: i64, rounds: i64) -> Program {
     asm.li(I0, words);
     asm.label("word").unwrap();
     asm.ld(A0, PTR, 0);
-    asm.push(Inst::OpImm { op: IntImmOp::Xori, rd: A0, rs1: A0, imm: 0x2D5 });
-    asm.push(Inst::OpImm { op: IntImmOp::Slli, rd: A1, rs1: A0, imm: 13 });
-    asm.push(Inst::OpImm { op: IntImmOp::Srli, rd: A2, rs1: A0, imm: 51 });
-    asm.push(Inst::Op { op: IntOp::Or, rd: A0, rs1: A1, rs2: A2 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Xori,
+        rd: A0,
+        rs1: A0,
+        imm: 0x2D5,
+    });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Slli,
+        rd: A1,
+        rs1: A0,
+        imm: 13,
+    });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Srli,
+        rd: A2,
+        rs1: A0,
+        imm: 51,
+    });
+    asm.push(Inst::Op {
+        op: IntOp::Or,
+        rd: A0,
+        rs1: A1,
+        rs2: A2,
+    });
     asm.sd(PTR, A0, 0);
     asm.addi(PTR, PTR, 8);
     asm.addi(I0, I0, -1);
@@ -399,12 +516,22 @@ pub fn dp_band_kernel(name: &str, cols: i64, rows: i64) -> Program {
     asm.ld(A0, PTR, 0); // prev[j-1]
     asm.ld(A1, PTR, 8); // prev[j]
     asm.ld(A2, PTR, 16); // prev[j+1]
-    // max3 with slt-based selection (branch-free like optimised hmmer).
-    asm.push(Inst::Op { op: IntOp::Slt, rd: A3, rs1: A0, rs2: A1 });
+                         // max3 with slt-based selection (branch-free like optimised hmmer).
+    asm.push(Inst::Op {
+        op: IntOp::Slt,
+        rd: A3,
+        rs1: A0,
+        rs2: A1,
+    });
     asm.beqz(A3, "keep_a");
     asm.mv(A0, A1);
     asm.label("keep_a").unwrap();
-    asm.push(Inst::Op { op: IntOp::Slt, rd: A3, rs1: A0, rs2: A2 });
+    asm.push(Inst::Op {
+        op: IntOp::Slt,
+        rd: A3,
+        rs1: A0,
+        rs2: A2,
+    });
     asm.beqz(A3, "keep_b");
     asm.mv(A0, A2);
     asm.label("keep_b").unwrap();
@@ -437,9 +564,19 @@ pub fn bitboard_kernel(name: &str, positions: i64, rounds: i64) -> Program {
     asm.ld(A0, PTR, 0);
     asm.li(I1, 16); // scan 16 squares
     asm.label("square").unwrap();
-    asm.push(Inst::OpImm { op: IntImmOp::Andi, rd: A1, rs1: A0, imm: 1 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Andi,
+        rd: A1,
+        rs1: A0,
+        imm: 1,
+    });
     asm.beqz(A1, "empty");
-    asm.push(Inst::OpImm { op: IntImmOp::Andi, rd: A2, rs1: A0, imm: 6 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Andi,
+        rd: A2,
+        rs1: A0,
+        imm: 6,
+    });
     asm.beqz(A2, "lone");
     asm.addi(ACC, ACC, 3);
     asm.j("next_sq");
@@ -449,7 +586,12 @@ pub fn bitboard_kernel(name: &str, positions: i64, rounds: i64) -> Program {
     asm.label("empty").unwrap();
     asm.addi(ACC, ACC, 0);
     asm.label("next_sq").unwrap();
-    asm.push(Inst::OpImm { op: IntImmOp::Srli, rd: A0, rs1: A0, imm: 2 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Srli,
+        rd: A0,
+        rs1: A0,
+        imm: 2,
+    });
     asm.addi(I1, I1, -1);
     asm.bnez(I1, "square");
     asm.addi(PTR, PTR, 8);
@@ -476,18 +618,33 @@ pub fn heap_kernel(name: &str, heap_slots: i64, operations: i64) -> Program {
     asm.la(BASE, "heap");
     asm.mv(A0, ACC); // i
     asm.label("sift").unwrap();
-    asm.push(Inst::OpImm { op: IntImmOp::Slli, rd: A1, rs1: A0, imm: 1 }); // 2i
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Slli,
+        rd: A1,
+        rs1: A0,
+        imm: 1,
+    }); // 2i
     asm.li(A3, heap_slots - 1);
     asm.bge(A1, A3, "done_sift");
     // load heap[i], heap[2i]
-    asm.push(Inst::OpImm { op: IntImmOp::Slli, rd: A2, rs1: A0, imm: 3 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Slli,
+        rd: A2,
+        rs1: A0,
+        imm: 3,
+    });
     asm.add(A2, A2, BASE);
     asm.ld(I1, A2, 0);
-    asm.push(Inst::OpImm { op: IntImmOp::Slli, rd: A3, rs1: A1, imm: 3 });
+    asm.push(Inst::OpImm {
+        op: IntImmOp::Slli,
+        rd: A3,
+        rs1: A1,
+        imm: 3,
+    });
     asm.add(A3, A3, BASE);
     asm.ld(I2, A3, 0);
     asm.bge(I2, I1, "done_sift"); // child >= parent: heap ok
-    // swap
+                                  // swap
     asm.sd(A2, I2, 0);
     asm.sd(A3, I1, 0);
     asm.mv(A0, A1);
@@ -526,7 +683,11 @@ pub fn feature_search_kernel(name: &str, vectors: i64, dims: i64, rounds: i64) -
     asm.la(PTR, "query");
     asm.li(I1, dims);
     asm.li(A0, 0);
-    asm.push(Inst::FpCvt { op: FpCvtOp::LToD, rd: 0, rs1: A0.index() as u32 }); // dist = 0
+    asm.push(Inst::FpCvt {
+        op: FpCvtOp::LToD,
+        rd: 0,
+        rs1: A0.index() as u32,
+    }); // dist = 0
     asm.label("dim").unwrap();
     asm.fld(f(1), BASE, 0);
     asm.fld(f(2), PTR, 0);
@@ -541,7 +702,13 @@ pub fn feature_search_kernel(name: &str, vectors: i64, dims: i64, rounds: i64) -
     // multi-µop log path in the stream).
     asm.la(A2, "scanned");
     asm.li(A1, 1);
-    asm.push(Inst::Amo { op: AmoOp::Add, width: AmoWidth::D, rd: A0, rs1: A2, rs2: A1 });
+    asm.push(Inst::Amo {
+        op: AmoOp::Add,
+        width: AmoWidth::D,
+        rd: A0,
+        rs1: A2,
+        rs2: A1,
+    });
     asm.addi(I0, I0, -1);
     asm.bnez(I0, "vector");
     asm.addi(CNT, CNT, -1);
@@ -615,9 +782,9 @@ mod tests {
         let mut soc = Soc::new(SocConfig::paper(1)).unwrap();
         // Snapshot initial data, run, compare.
         let base = p.symbol("state").unwrap();
-        let before: Vec<u64> = (0..32).map(|i| {
-            u64::from_le_bytes(p.data[(i * 8)..(i * 8 + 8)].try_into().unwrap())
-        }).collect();
+        let before: Vec<u64> = (0..32)
+            .map(|i| u64::from_le_bytes(p.data[(i * 8)..(i * 8 + 8)].try_into().unwrap()))
+            .collect();
         soc.run_to_ecall(&p, 5_000_000);
         for (i, b) in before.iter().enumerate() {
             let after = soc.mem.phys().read_u64(base + (i as u64) * 8);

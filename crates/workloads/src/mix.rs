@@ -88,7 +88,11 @@ impl fmt::Display for InstMix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} insts:", self.total)?;
         for (name, count) in &self.counts {
-            write!(f, " {name}={:.1}%", 100.0 * *count as f64 / self.total.max(1) as f64)?;
+            write!(
+                f,
+                " {name}={:.1}%",
+                100.0 * *count as f64 / self.total.max(1) as f64
+            )?;
         }
         Ok(())
     }
@@ -102,7 +106,9 @@ mod tests {
 
     #[test]
     fn blackscholes_is_fp_heavy() {
-        let p = by_name("blackscholes").unwrap().program(builder::Scale::Test);
+        let p = by_name("blackscholes")
+            .unwrap()
+            .program(builder::Scale::Test);
         let mix = InstMix::of_program(&p);
         assert!(
             mix.fraction(InstClass::Fp) > 0.35,
@@ -115,8 +121,14 @@ mod tests {
         let p = by_name("dedup").unwrap().program(builder::Scale::Test);
         let mix = InstMix::of_program(&p);
         assert!(mix.memory_fraction() > 0.06, "dedup touches memory: {mix}");
-        assert!(mix.control_fraction() > 0.10, "dedup branches per byte: {mix}");
-        assert!(mix.fraction(InstClass::Fp) < 0.05, "dedup is integer code: {mix}");
+        assert!(
+            mix.control_fraction() > 0.10,
+            "dedup branches per byte: {mix}"
+        );
+        assert!(
+            mix.fraction(InstClass::Fp) < 0.05,
+            "dedup is integer code: {mix}"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl fmt::Display for NzdcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NzdcError::RegisterOutOfPalette { index, reg } => {
-                write!(f, "instruction {index}: register x{reg} outside the nZDC palette")
+                write!(
+                    f,
+                    "instruction {index}: register x{reg} outside the nZDC palette"
+                )
             }
             NzdcError::IndirectControlFlow { index } => {
                 write!(f, "instruction {index}: indirect control flow unsupported")
@@ -91,11 +94,17 @@ fn fshadow(r: FReg) -> Option<FReg> {
 }
 
 fn xs(r: XReg, index: usize) -> Result<XReg, NzdcError> {
-    xshadow(r).ok_or(NzdcError::RegisterOutOfPalette { index, reg: u32::from(r.index()) })
+    xshadow(r).ok_or(NzdcError::RegisterOutOfPalette {
+        index,
+        reg: u32::from(r.index()),
+    })
 }
 
 fn fs(r: FReg, index: usize) -> Result<FReg, NzdcError> {
-    fshadow(r).ok_or(NzdcError::RegisterOutOfPalette { index, reg: u32::from(r.index()) })
+    fshadow(r).ok_or(NzdcError::RegisterOutOfPalette {
+        index,
+        reg: u32::from(r.index()),
+    })
 }
 
 /// The emitted instructions for one input instruction. Checks branch to
@@ -121,7 +130,12 @@ fn check_x(insts: &mut Vec<Inst>, err_slots: &mut Vec<usize>, r: XReg, shadow: X
         return;
     }
     err_slots.push(insts.len());
-    insts.push(Inst::Branch { op: BranchOp::Ne, rs1: r, rs2: shadow, offset: 0 });
+    insts.push(Inst::Branch {
+        op: BranchOp::Ne,
+        rs1: r,
+        rs2: shadow,
+        offset: 0,
+    });
 }
 
 /// Transforms a program into its nZDC-protected equivalent.
@@ -163,7 +177,11 @@ pub fn transform(program: &Program) -> Result<Program, NzdcError> {
     for (i, g) in groups.into_iter().enumerate() {
         match g {
             Emitted::Plain(v) => out.extend(v),
-            Emitted::WithRelocs { mut insts, branch, err_slots } => {
+            Emitted::WithRelocs {
+                mut insts,
+                branch,
+                err_slots,
+            } => {
                 if let Some((slot, target)) = branch {
                     let from = base[i] + slot;
                     let to = base[target];
@@ -216,32 +234,72 @@ fn emit_one(
     let plain = |v: Vec<Inst>| Ok(Emitted::Plain(v));
     match inst {
         // Pure computation: duplicate on shadows.
-        Inst::Lui { rd, imm } => plain(vec![inst, Inst::Lui { rd: xs(rd, index)?, imm }]),
+        Inst::Lui { rd, imm } => plain(vec![
+            inst,
+            Inst::Lui {
+                rd: xs(rd, index)?,
+                imm,
+            },
+        ]),
         Inst::OpImm { op, rd, rs1, imm } => plain(vec![
             inst,
-            Inst::OpImm { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, imm },
+            Inst::OpImm {
+                op,
+                rd: xs(rd, index)?,
+                rs1: xs(rs1, index)?,
+                imm,
+            },
         ]),
         Inst::Op { op, rd, rs1, rs2 } => plain(vec![
             inst,
-            Inst::Op { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, rs2: xs(rs2, index)? },
+            Inst::Op {
+                op,
+                rd: xs(rd, index)?,
+                rs1: xs(rs1, index)?,
+                rs2: xs(rs2, index)?,
+            },
         ]),
         Inst::OpImmW { op, rd, rs1, imm } => plain(vec![
             inst,
-            Inst::OpImmW { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, imm },
+            Inst::OpImmW {
+                op,
+                rd: xs(rd, index)?,
+                rs1: xs(rs1, index)?,
+                imm,
+            },
         ]),
         Inst::OpW { op, rd, rs1, rs2 } => plain(vec![
             inst,
-            Inst::OpW { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, rs2: xs(rs2, index)? },
+            Inst::OpW {
+                op,
+                rd: xs(rd, index)?,
+                rs1: xs(rs1, index)?,
+                rs2: xs(rs2, index)?,
+            },
         ]),
         Inst::Fp { op, rd, rs1, rs2 } => plain(vec![
             inst,
-            Inst::Fp { op, rd: fs(rd, index)?, rs1: fs(rs1, index)?, rs2: fs(rs2, index)? },
+            Inst::Fp {
+                op,
+                rd: fs(rd, index)?,
+                rs1: fs(rs1, index)?,
+                rs2: fs(rs2, index)?,
+            },
         ]),
         Inst::FpSqrt { rd, rs1 } => plain(vec![
             inst,
-            Inst::FpSqrt { rd: fs(rd, index)?, rs1: fs(rs1, index)? },
+            Inst::FpSqrt {
+                rd: fs(rd, index)?,
+                rs1: fs(rs1, index)?,
+            },
         ]),
-        Inst::Fma { op, rd, rs1, rs2, rs3 } => plain(vec![
+        Inst::Fma {
+            op,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => plain(vec![
             inst,
             Inst::Fma {
                 op,
@@ -253,56 +311,122 @@ fn emit_one(
         ]),
         Inst::FpCmp { op, rd, rs1, rs2 } => plain(vec![
             inst,
-            Inst::FpCmp { op, rd: xs(rd, index)?, rs1: fs(rs1, index)?, rs2: fs(rs2, index)? },
+            Inst::FpCmp {
+                op,
+                rd: xs(rd, index)?,
+                rs1: fs(rs1, index)?,
+                rs2: fs(rs2, index)?,
+            },
         ]),
         Inst::FpCvt { op, rd, rs1 } => {
             let (srd, srs1) = if op.writes_xreg() {
-                (u32::from(xs(XReg::of(rd), index)?.index()), u32::from(fs(FReg::of(rs1), index)?.index()))
+                (
+                    u32::from(xs(XReg::of(rd), index)?.index()),
+                    u32::from(fs(FReg::of(rs1), index)?.index()),
+                )
             } else {
-                (u32::from(fs(FReg::of(rd), index)?.index()), u32::from(xs(XReg::of(rs1), index)?.index()))
+                (
+                    u32::from(fs(FReg::of(rd), index)?.index()),
+                    u32::from(xs(XReg::of(rs1), index)?.index()),
+                )
             };
-            plain(vec![inst, Inst::FpCvt { op, rd: srd, rs1: srs1 }])
+            plain(vec![
+                inst,
+                Inst::FpCvt {
+                    op,
+                    rd: srd,
+                    rs1: srs1,
+                },
+            ])
         }
         Inst::FmvXD { rd, rs1 } => plain(vec![
             inst,
-            Inst::FmvXD { rd: xs(rd, index)?, rs1: fs(rs1, index)? },
+            Inst::FmvXD {
+                rd: xs(rd, index)?,
+                rs1: fs(rs1, index)?,
+            },
         ]),
         Inst::FmvDX { rd, rs1 } => plain(vec![
             inst,
-            Inst::FmvDX { rd: fs(rd, index)?, rs1: xs(rs1, index)? },
+            Inst::FmvDX {
+                rd: fs(rd, index)?,
+                rs1: xs(rs1, index)?,
+            },
         ]),
 
         // Loads: perform the access twice (nZDC duplicates load
         // instructions so the shadow stream has its own input).
-        Inst::Load { op, rd, rs1, offset } => plain(vec![
+        Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => plain(vec![
             inst,
-            Inst::Load { op, rd: xs(rd, index)?, rs1: xs(rs1, index)?, offset },
+            Inst::Load {
+                op,
+                rd: xs(rd, index)?,
+                rs1: xs(rs1, index)?,
+                offset,
+            },
         ]),
         Inst::Fld { rd, rs1, offset } => plain(vec![
             inst,
-            Inst::Fld { rd: fs(rd, index)?, rs1: xs(rs1, index)?, offset },
+            Inst::Fld {
+                rd: fs(rd, index)?,
+                rs1: xs(rs1, index)?,
+                offset,
+            },
         ]),
 
         // Stores: check address and data against shadows, then store once.
-        Inst::Store { op: _, rs1, rs2, offset: _ } => {
+        Inst::Store {
+            op: _,
+            rs1,
+            rs2,
+            offset: _,
+        } => {
             let mut v = Vec::new();
             let mut err = Vec::new();
             check_x(&mut v, &mut err, rs1, xs(rs1, index)?);
             check_x(&mut v, &mut err, rs2, xs(rs2, index)?);
             v.push(inst);
-            Ok(Emitted::WithRelocs { insts: v, branch: None, err_slots: err })
+            Ok(Emitted::WithRelocs {
+                insts: v,
+                branch: None,
+                err_slots: err,
+            })
         }
-        Inst::Fsd { rs1, rs2, offset: _ } => {
+        Inst::Fsd {
+            rs1,
+            rs2,
+            offset: _,
+        } => {
             let mut v = Vec::new();
             let mut err = Vec::new();
             check_x(&mut v, &mut err, rs1, xs(rs1, index)?);
             // FP data compared through the integer file.
-            v.push(Inst::FmvXD { rd: SCRATCH0, rs1: rs2 });
-            v.push(Inst::FmvXD { rd: SCRATCH1, rs1: fs(rs2, index)? });
+            v.push(Inst::FmvXD {
+                rd: SCRATCH0,
+                rs1: rs2,
+            });
+            v.push(Inst::FmvXD {
+                rd: SCRATCH1,
+                rs1: fs(rs2, index)?,
+            });
             err.push(v.len());
-            v.push(Inst::Branch { op: BranchOp::Ne, rs1: SCRATCH0, rs2: SCRATCH1, offset: 0 });
+            v.push(Inst::Branch {
+                op: BranchOp::Ne,
+                rs1: SCRATCH0,
+                rs2: SCRATCH1,
+                offset: 0,
+            });
             v.push(inst);
-            Ok(Emitted::WithRelocs { insts: v, branch: None, err_slots: err })
+            Ok(Emitted::WithRelocs {
+                insts: v,
+                branch: None,
+                err_slots: err,
+            })
         }
 
         // Atomics: single execution (side effects must not double), with
@@ -320,7 +444,11 @@ fn emit_one(
                     imm: 0,
                 });
             }
-            Ok(Emitted::WithRelocs { insts: v, branch: None, err_slots: err })
+            Ok(Emitted::WithRelocs {
+                insts: v,
+                branch: None,
+                err_slots: err,
+            })
         }
         Inst::Sc { rd, rs1, rs2, .. } => {
             let mut v = Vec::new();
@@ -336,13 +464,21 @@ fn emit_one(
                     imm: 0,
                 });
             }
-            Ok(Emitted::WithRelocs { insts: v, branch: None, err_slots: err })
+            Ok(Emitted::WithRelocs {
+                insts: v,
+                branch: None,
+                err_slots: err,
+            })
         }
 
         // Branches: check both operands, then branch (relocated).
-        Inst::Branch { op, rs1, rs2, offset } => {
-            let target_addr =
-                (program.text_base + (index as u64) * 4).wrapping_add(offset as u64);
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let target_addr = (program.text_base + (index as u64) * 4).wrapping_add(offset as u64);
             let target_index = (target_addr.wrapping_sub(program.text_base) / 4) as usize;
             if target_index > insts.len() {
                 return Err(NzdcError::OffsetOverflow { index });
@@ -352,15 +488,23 @@ fn emit_one(
             check_x(&mut v, &mut err, rs1, xs(rs1, index)?);
             check_x(&mut v, &mut err, rs2, xs(rs2, index)?);
             let slot = v.len();
-            v.push(Inst::Branch { op, rs1, rs2, offset: 0 });
-            Ok(Emitted::WithRelocs { insts: v, branch: Some((slot, target_index)), err_slots: err })
+            v.push(Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: 0,
+            });
+            Ok(Emitted::WithRelocs {
+                insts: v,
+                branch: Some((slot, target_index)),
+                err_slots: err,
+            })
         }
         Inst::Jal { rd, offset } => {
             if !rd.is_zero() {
                 return Err(NzdcError::IndirectControlFlow { index });
             }
-            let target_addr =
-                (program.text_base + (index as u64) * 4).wrapping_add(offset as u64);
+            let target_addr = (program.text_base + (index as u64) * 4).wrapping_add(offset as u64);
             let target_index = (target_addr.wrapping_sub(program.text_base) / 4) as usize;
             if target_index > insts.len() {
                 return Err(NzdcError::OffsetOverflow { index });
@@ -437,7 +581,12 @@ mod tests {
         for w in suites::parsec().into_iter().chain(suites::spec()) {
             let p = w.program(builder::Scale::Test);
             let t = transform(&p);
-            assert!(t.is_ok(), "{} must be nZDC-compatible: {:?}", w.name, t.err());
+            assert!(
+                t.is_ok(),
+                "{} must be nZDC-compatible: {:?}",
+                w.name,
+                t.err()
+            );
         }
     }
 

@@ -46,18 +46,20 @@ impl Workload {
 
 macro_rules! workload {
     ($name:literal, $suite:expr, $builder:expr) => {
-        Workload { name: $name, suite: $suite, build: $builder }
+        Workload {
+            name: $name,
+            suite: $suite,
+            build: $builder,
+        }
     };
 }
 
 /// The eight Parsec workloads evaluated in Fig. 4(a)/6/7.
 pub fn parsec() -> Vec<Workload> {
     vec![
-        workload!("blackscholes", Suite::Parsec, |s| builder::fp_pricing_kernel(
-            "blackscholes",
-            64,
-            6 * s.factor()
-        )),
+        workload!("blackscholes", Suite::Parsec, |s| {
+            builder::fp_pricing_kernel("blackscholes", 64, 6 * s.factor())
+        }),
         workload!("bodytrack", Suite::Parsec, |s| builder::monte_carlo_kernel(
             "bodytrack",
             40 * s.factor(),
@@ -92,12 +94,9 @@ pub fn parsec() -> Vec<Workload> {
             64,
             2 * s.factor()
         )),
-        workload!("streamcluster", Suite::Parsec, |s| builder::feature_search_kernel(
-            "streamcluster",
-            96,
-            16,
-            3 * s.factor()
-        )),
+        workload!("streamcluster", Suite::Parsec, |s| {
+            builder::feature_search_kernel("streamcluster", 96, 16, 3 * s.factor())
+        }),
     ]
 }
 
@@ -181,8 +180,11 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<&str> =
-            parsec().iter().chain(spec().iter()).map(|w| w.name).collect();
+        let mut names: Vec<&str> = parsec()
+            .iter()
+            .chain(spec().iter())
+            .map(|w| w.name)
+            .collect();
         let before = names.len();
         names.sort_unstable();
         names.dedup();

@@ -22,7 +22,10 @@ fn dynamic_mix(w: &Workload) -> InstMix {
     for _ in 0..50_000_000u64 {
         match soc.step_core(0).kind {
             StepKind::Retired(r) => mix.record(r.inst.class()),
-            StepKind::Trap { cause: TrapCause::EcallFromU, .. } => return mix,
+            StepKind::Trap {
+                cause: TrapCause::EcallFromU,
+                ..
+            } => return mix,
             StepKind::Trap { cause, pc, .. } => {
                 panic!("{} faulted: {cause:?} at {pc:#x}", w.name)
             }
@@ -70,7 +73,15 @@ fn fp_workloads_execute_fp() {
 
 #[test]
 fn integer_workloads_execute_no_fp() {
-    for name in ["bzip2", "gobmk", "sjeng", "mcf", "libquantum", "dedup", "xalancbmk"] {
+    for name in [
+        "bzip2",
+        "gobmk",
+        "sjeng",
+        "mcf",
+        "libquantum",
+        "dedup",
+        "xalancbmk",
+    ] {
         let mix = dynamic_mix(&by_name(name).unwrap());
         assert_eq!(
             mix.fraction(InstClass::Fp),

@@ -37,7 +37,12 @@ fn assert_nzdc_contract(program: &Program) -> Result<(), TestCaseError> {
     );
     let (base_cycles, base_mem) = run_and_dump(program);
     let (nzdc_cycles, nzdc_mem) = run_and_dump(&transformed);
-    prop_assert_eq!(base_mem, nzdc_mem, "nZDC changed results of {}", program.name);
+    prop_assert_eq!(
+        base_mem,
+        nzdc_mem,
+        "nZDC changed results of {}",
+        program.name
+    );
     let slowdown = nzdc_cycles as f64 / base_cycles as f64;
     prop_assert!(
         slowdown > 1.15,
@@ -104,8 +109,7 @@ fn every_named_workload_transforms_and_matches() {
     // must transform and agree with their originals at test scale.
     for w in parsec().into_iter().chain(spec()) {
         let program = w.program(Scale::Test);
-        let transformed =
-            nzdc_transform(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let transformed = nzdc_transform(&program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let (_, base_mem) = run_and_dump(&program);
         let (_, nzdc_mem) = run_and_dump(&transformed);
         assert_eq!(base_mem, nzdc_mem, "{} diverged under nZDC", w.name);

@@ -5,16 +5,9 @@
 //! cargo run --release --example detection_latency -- [workload] [injections]
 //! ```
 
-use flexstep_bench_shim::*;
-
-// The bench crate owns the campaign runner; re-implement the thin loop
-// here so the example depends only on the public stack.
-mod flexstep_bench_shim {
-    pub use flexstep::core::{inject_random_fault, FabricConfig, LatencyStats, VerifiedRun};
-    pub use flexstep::sim::Clock;
-    pub use flexstep::workloads::{by_name, Scale};
-}
-
+use flexstep_bench::{
+    by_name, inject_random_fault, Clock, FabricConfig, LatencyStats, Scale, VerifiedRun,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("workload {name}: {} detections, {masked} masked", latencies.len());
+    println!(
+        "workload {name}: {} detections, {masked} masked",
+        latencies.len()
+    );
     if let Some(stats) = LatencyStats::from_cycles(&latencies, clock) {
         println!(
             "latency µs: mean {:.1}  p50 {:.1}  p99 {:.1}  max {:.1}",

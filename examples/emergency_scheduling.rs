@@ -105,6 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         checker.segments_failed,
         summary.total_misses() == 0
     );
-    assert_eq!(summary.total_misses(), 0, "the Fig. 1(c) schedule meets every deadline");
+    assert_eq!(
+        summary.total_misses(),
+        0,
+        "the Fig. 1(c) schedule meets every deadline"
+    );
     Ok(())
 }

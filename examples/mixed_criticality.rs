@@ -55,11 +55,32 @@ fn workload(name: &str, ms: f64, slot: u64) -> Arc<Program> {
 /// one 1:2 channel to checkers {1, 2}, nav on core 3 with a 1:1 channel
 /// to checker 4, and the non-verification tasks on the remaining
 /// capacity — a channel-aware realisation of the demand Al. 3 admits.
-type Placed = (&'static str, f64, f64, ReliabilityClass, usize, &'static [usize]);
+type Placed = (
+    &'static str,
+    f64,
+    f64,
+    ReliabilityClass,
+    usize,
+    &'static [usize],
+);
 
 const SPEC: &[Placed] = &[
-    ("attitude", 1.0, 5.0, ReliabilityClass::TripleCheck, 0, &[1, 2]), // flight-critical
-    ("actuator", 0.8, 5.0, ReliabilityClass::DoubleCheck, 0, &[1, 2]), // shares the channel
+    (
+        "attitude",
+        1.0,
+        5.0,
+        ReliabilityClass::TripleCheck,
+        0,
+        &[1, 2],
+    ), // flight-critical
+    (
+        "actuator",
+        0.8,
+        5.0,
+        ReliabilityClass::DoubleCheck,
+        0,
+        &[1, 2],
+    ), // shares the channel
     ("nav", 1.2, 10.0, ReliabilityClass::DoubleCheck, 3, &[4]),
     ("telemetry", 1.5, 10.0, ReliabilityClass::Normal, 3, &[]),
     ("logging", 2.0, 20.0, ReliabilityClass::Normal, 5, &[]),
@@ -72,7 +93,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ts = TaskSet::new(
         SPEC.iter()
             .enumerate()
-            .map(|(id, &(_, c, t, class, ..))| SpTask { id, wcet: c, period: t, class })
+            .map(|(id, &(_, c, t, class, ..))| SpTask {
+                id,
+                wcet: c,
+                period: t,
+                class,
+            })
             .collect(),
     );
     let partition = FlexStepPartitioner
@@ -143,9 +169,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t.max_response as f64 / 1600.0
         );
     }
-    let verified_segments: u64 =
-        (0..m).map(|c| sys.fs.checker_state(c).segments_checked).sum();
-    let failed: u64 = (0..m).map(|c| sys.fs.checker_state(c).segments_failed).sum();
+    let verified_segments: u64 = (0..m)
+        .map(|c| sys.fs.checker_state(c).segments_checked)
+        .sum();
+    let failed: u64 = (0..m)
+        .map(|c| sys.fs.checker_state(c).segments_failed)
+        .sum();
     println!(
         "\nverification: {verified_segments} segments replay-checked, {failed} failed, \
          {} deadline misses — the admitted set held at runtime",
@@ -153,6 +182,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(summary.total_misses(), 0, "admission must hold at runtime");
     assert_eq!(failed, 0, "fault-free run must verify clean");
-    assert!(verified_segments > 0, "verified tasks were actually checked");
+    assert!(
+        verified_segments > 0,
+        "verified tasks were actually checked"
+    );
     Ok(())
 }

@@ -46,11 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run.run_until_cycle(5_000);
     let mut rng = StdRng::seed_from_u64(1);
     let now = run.fs.soc.now();
-    let injected = inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng)
-        .expect("data in flight");
+    let injected =
+        inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng).expect("data in flight");
     let report = run.run_to_completion(10_000_000);
     println!("— faulty run —");
-    println!("  injected         : {} bit {} @ cycle {}", injected.target, injected.bit, injected.at_cycle);
+    println!(
+        "  injected         : {} bit {} @ cycle {}",
+        injected.target, injected.bit, injected.at_cycle
+    );
     match report.detections.first() {
         Some(d) => {
             let clock = run.fs.soc.clock();

@@ -8,7 +8,12 @@
 use flexstep::sched::{sweep, Fig5Config};
 
 fn main() {
-    let cfg = Fig5Config { m: 8, n: 160, alpha: 0.125, beta: 0.125 };
+    let cfg = Fig5Config {
+        m: 8,
+        n: 160,
+        alpha: 0.125,
+        beta: 0.125,
+    };
     println!(
         "m={} n={} α={}% β={}%   (100 sets per point)",
         cfg.m,
@@ -16,7 +21,10 @@ fn main() {
         cfg.alpha * 100.0,
         cfg.beta * 100.0
     );
-    println!("{:>6} {:>10} {:>8} {:>10}", "util", "LockStep", "HMR", "FlexStep");
+    println!(
+        "{:>6} {:>10} {:>8} {:>10}",
+        "util", "LockStep", "HMR", "FlexStep"
+    );
     let axis: Vec<f64> = (0..=12).map(|i| 0.35 + 0.05 * f64::from(i)).collect();
     for p in sweep(&cfg, &axis, 100, 42) {
         let bar = |v: f64| "▮".repeat((v / 10.0).round() as usize);

@@ -38,8 +38,11 @@ fn spin(name: &str, iters: i64, slot: u64) -> Arc<flexstep::isa::Program> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let period = 2_000_000u64; // 1.25 ms at 1.6 GHz
-    let mut sys =
-        System::new(SocConfig::paper(2), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(2),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
 
     // τ1 *may* require checking (T^V2), but starts with no demand.
     sys.add_task(TaskDef {
@@ -81,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "τ1: {}/{} jobs completed, {} misses; checker thread ran {} jobs (exactly the window)",
         t1.completed, t1.released, t1.misses, ct_summary.completed
     );
-    assert_eq!(ct_summary.completed, 2, "only the flagged jobs were verified");
+    assert_eq!(
+        ct_summary.completed, 2,
+        "only the flagged jobs were verified"
+    );
     assert_eq!(summary.total_misses(), 0);
     Ok(())
 }

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Shared-checker run: 3 main cores -> 1 checker core");
     println!();
-    println!("{:<8} {:>10} {:>14} {:>10}", "main", "completed", "finish cycle", "retired");
+    println!(
+        "{:<8} {:>10} {:>14} {:>10}",
+        "main", "completed", "finish cycle", "retired"
+    );
     for m in &report.mains {
         println!(
             "{:<8} {:>10} {:>14} {:>10}",

@@ -8,7 +8,10 @@
 use flexstep::soc::{flexstep_soc, vanilla_soc};
 
 fn main() {
-    let cores: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(4);
+    let cores: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let v = vanilla_soc(cores);
     let f = flexstep_soc(cores);
     println!("{v}");

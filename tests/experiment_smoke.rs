@@ -23,7 +23,10 @@ fn fig1_mini() {
 
 #[test]
 fn fig4_mini() {
-    let rows = fig4(&[by_name("dedup").unwrap(), by_name("mcf").unwrap()], Scale::Test);
+    let rows = fig4(
+        &[by_name("dedup").unwrap(), by_name("mcf").unwrap()],
+        Scale::Test,
+    );
     assert_eq!(rows.len(), 2);
     let flex = geomean(rows.iter().map(|r| r.flexstep));
     let nzdc = geomean(rows.iter().filter_map(|r| r.nzdc));
@@ -35,9 +38,17 @@ fn fig4_mini() {
 fn fig5_mini() {
     let axis = paper_utilization_axis();
     assert_eq!(axis.len(), 13);
-    let cfg = Fig5Config { m: 4, n: 20, alpha: 0.1, beta: 0.05 };
+    let cfg = Fig5Config {
+        m: 4,
+        n: 20,
+        alpha: 0.1,
+        beta: 0.05,
+    };
     let pts = sweep(&cfg, &[0.4, 0.9], 25, 3);
-    assert!(pts[0].flexstep >= pts[1].flexstep, "acceptance must not rise with load");
+    assert!(
+        pts[0].flexstep >= pts[1].flexstep,
+        "acceptance must not rise with load"
+    );
     assert!(pts[0].flexstep > 50.0, "low load mostly schedulable");
     assert!(pts[1].lockstep < 50.0, "high load kills LockStep");
 }
@@ -68,7 +79,10 @@ fn fig8_and_tab3_mini() {
         let f = flexstep_soc(n);
         assert!(f.area_mm2() > v.area_mm2());
         let overhead = (f.power_w() - v.power_w()) / v.power_w();
-        assert!(overhead > 0.0 && overhead < 0.05, "{n}-core power overhead {overhead}");
+        assert!(
+            overhead > 0.0 && overhead < 0.05,
+            "{n}-core power overhead {overhead}"
+        );
     }
 }
 
@@ -78,7 +92,10 @@ fn coverage_mini() {
     assert_eq!(rows.len(), 12, "full target × burst grid");
     let total_injected: usize = rows.iter().map(|r| r.injected).sum();
     let total_detected: usize = rows.iter().map(|r| r.detected).sum();
-    assert!(total_injected >= 12, "injections must land: {total_injected}");
+    assert!(
+        total_injected >= 12,
+        "injections must land: {total_injected}"
+    );
     assert!(
         total_detected * 10 >= total_injected * 7,
         "coverage must be high: {total_detected}/{total_injected}"

@@ -19,12 +19,15 @@ use std::sync::Arc;
 fn every_workload_verifies_clean_end_to_end() {
     for w in parsec().into_iter().chain(spec()) {
         let program = w.program(Scale::Test);
-        let mut run =
-            VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+        let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
         let report = run.run_to_completion(u64::MAX);
         assert!(report.completed, "{} must finish", w.name);
         assert_eq!(report.segments_failed, 0, "{} must verify clean", w.name);
-        assert!(report.segments_checked > 0, "{} must produce segments", w.name);
+        assert!(
+            report.segments_checked > 0,
+            "{} must produce segments",
+            w.name
+        );
     }
 }
 
@@ -32,11 +35,13 @@ fn every_workload_verifies_clean_end_to_end() {
 fn fault_injection_detects_across_workloads() {
     let mut detected = 0;
     let mut injected = 0;
-    for (i, name) in ["dedup", "hmmer", "streamcluster", "x264"].iter().enumerate() {
+    for (i, name) in ["dedup", "hmmer", "streamcluster", "x264"]
+        .iter()
+        .enumerate()
+    {
         let program = by_name(name).expect("known workload").program(Scale::Test);
         let mut rng = StdRng::seed_from_u64(1000 + i as u64);
-        let mut run =
-            VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+        let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
         assert!(run.run_until_cycle(30_000), "{name} too short");
         // Step until forwarded data is in flight, then corrupt it.
         let mut record = None;
@@ -59,7 +64,10 @@ fn fault_injection_detects_across_workloads() {
         }
     }
     assert!(injected >= 3, "campaign must inject: {injected}");
-    assert!(detected >= injected - 1, "detections {detected} of {injected}");
+    assert!(
+        detected >= injected - 1,
+        "detections {detected} of {injected}"
+    );
 }
 
 #[test]
@@ -104,8 +112,11 @@ fn kernel_detects_fault_during_scheduled_verification() {
     asm.ecall();
     let program = Arc::new(asm.finish().unwrap());
 
-    let mut sys =
-        System::new(SocConfig::paper(2), FabricConfig::paper(), KernelConfig::default());
+    let mut sys = System::new(
+        SocConfig::paper(2),
+        FabricConfig::paper(),
+        KernelConfig::default(),
+    );
     sys.add_task(TaskDef {
         id: TaskId(1),
         name: "victim".into(),
@@ -132,7 +143,10 @@ fn kernel_detects_fault_during_scheduled_verification() {
         );
         let d = &summary.detections[0];
         assert_eq!(d.tag, 1, "detection attributed to τ1's stream");
-        assert!(!matches!(d.kind, MismatchKind::LogUnderrun), "typed mismatch expected");
+        assert!(
+            !matches!(d.kind, MismatchKind::LogUnderrun),
+            "typed mismatch expected"
+        );
     }
 }
 
@@ -179,7 +193,13 @@ fn custom_isa_instructions_execute_from_guest_code() {
 
     for _ in 0..100 {
         match fs.step(0) {
-            EngineStep::Core(StepKind::Flex { op, rd, rs1_value, rs2_value, .. }) => {
+            EngineStep::Core(StepKind::Flex {
+                op,
+                rd,
+                rs1_value,
+                rs2_value,
+                ..
+            }) => {
                 fs.exec_flex(0, op, rd, rs1_value, rs2_value).unwrap();
             }
             EngineStep::Core(StepKind::Trap { .. }) => break,

@@ -1,0 +1,33 @@
+//! Tier-1 smoke test: the exact quick-start path the umbrella crate's
+//! docs and the README promise, end to end, on the smallest workload
+//! scale so it stays fast.
+
+use flexstep::core::{FabricConfig, VerifiedRun};
+use flexstep::workloads::{by_name, Scale};
+
+#[test]
+fn readme_quickstart_path() {
+    let program = by_name("dedup")
+        .expect("dedup is a published workload")
+        .program(Scale::Test);
+    let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())
+        .expect("dual-core fabric configures");
+    let report = run.run_to_completion(100_000_000);
+    assert!(
+        report.completed,
+        "quick-start run must finish within budget"
+    );
+    assert_eq!(
+        report.segments_failed, 0,
+        "fault-free run must verify clean"
+    );
+    assert!(
+        report.segments_checked > 0,
+        "verification must actually cover segments"
+    );
+}
+
+#[test]
+fn unknown_workload_is_a_clean_none() {
+    assert!(by_name("no-such-workload").is_none());
+}

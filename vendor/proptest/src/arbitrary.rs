@@ -1,0 +1,74 @@
+//! `any::<T>()` for the primitive types the workspace draws.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Returns the canonical strategy for `Self`.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Strategy over the full domain of a primitive type.
+#[derive(Clone, Copy, Debug)]
+pub struct ArbitraryStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+        impl Strategy for ArbitraryStrategy<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(bool, u8, u16, u32, u64, f64);
+
+macro_rules! impl_arbitrary_signed {
+    ($($t:ty as $u:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+        impl Strategy for ArbitraryStrategy<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen::<$u>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_signed!(i8 as u8, i16 as u16, i32 as u32, i64 as u64);
+
+impl Arbitrary for usize {
+    fn arbitrary() -> ArbitraryStrategy<usize> {
+        ArbitraryStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+impl Strategy for ArbitraryStrategy<usize> {
+    type Value = usize;
+    fn new_value(&self, rng: &mut StdRng) -> usize {
+        rng.gen::<u64>() as usize
+    }
+}
+
+/// Returns the canonical whole-domain strategy for `T`, mirroring
+/// `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}

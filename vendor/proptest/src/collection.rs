@@ -1,0 +1,69 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A length specification for [`vec`]: a fixed size or a range of sizes.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty vec size range");
+        SizeRange {
+            lo,
+            hi_inclusive: hi,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Returns a strategy generating vectors of `element` values with a length
+/// drawn from `size`, mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

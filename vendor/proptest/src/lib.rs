@@ -1,0 +1,44 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate implements the subset of the proptest 1.x API that the
+//! FlexStep property tests use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map`, ranges, tuples,
+//!   [`strategy::Just`] and weighted [`prop_oneof!`] unions;
+//! - [`arbitrary::any`] for the primitive types the tests draw;
+//! - [`collection::vec`] with a size range;
+//! - the [`proptest!`], [`prop_compose!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros with `ProptestConfig::with_cases`.
+//!
+//! The semantics intentionally differ from upstream in one way: there is
+//! **no shrinking**. A failing case reports its generated inputs (via the
+//! panic message) and the deterministic per-test RNG makes every failure
+//! reproducible, which is what a CI reproduction needs; minimisation is a
+//! debugging luxury this offline stub drops.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+
+    /// Namespace alias so `prop::collection::vec` style paths work.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
