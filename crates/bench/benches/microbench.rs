@@ -107,6 +107,39 @@ fn bench_dbc_fifo(c: &mut Criterion) {
             black_box(f.total_pushed())
         });
     });
+    g.bench_function("push_burst_drain_segment", |b| {
+        use flexstep_core::Checkpoint;
+        let snap = flexstep_sim::ArchState::new(0).snapshot();
+        b.iter(|| {
+            let mut f = BufferFifo::new(1088, 4);
+            f.set_spill(true);
+            // 128 segments of 30 entries each, produced as bursts and
+            // consumed segment-at-a-time.
+            let mut out = Vec::new();
+            for seg in 0..128u64 {
+                f.push(Packet::Scp(Checkpoint {
+                    snapshot: snap,
+                    seq: seg,
+                    tag: 0,
+                }))
+                .unwrap();
+                let burst: Vec<Packet> = (0..30).map(|i| entry(seg * 30 + i)).collect();
+                f.push_burst(&burst).unwrap();
+                f.push_burst(&[
+                    Packet::InstCount(30),
+                    Packet::Ecp(Checkpoint {
+                        snapshot: snap,
+                        seq: seg,
+                        tag: 0,
+                    }),
+                ])
+                .unwrap();
+                out.clear();
+                black_box(f.drain_segment_into(0, &mut out));
+            }
+            black_box(f.total_pushed())
+        });
+    });
     g.bench_function("push_pop_2_consumers", |b| {
         b.iter(|| {
             let mut f = BufferFifo::new(1088, 4);

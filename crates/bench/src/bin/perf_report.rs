@@ -1,0 +1,313 @@
+//! Wall-clock performance report for the checker-replay hot path.
+//!
+//! Re-runs the `flexstep_pipeline` and `dbc_fifo` microbenches plus a
+//! `VerifiedRun::run_to_completion` macro-bench under a plain
+//! `Instant`-based harness, A/B's the event-queue scheduler against the
+//! naive linear scan, and writes everything as JSON (default
+//! `BENCH_pr2.json`).
+//!
+//! Usage: `perf_report [--quick] [--naive] [--out PATH]`
+//!
+//! - `--quick`: reduced repetitions (CI keep-alive — proves the binary
+//!   and the measurement path work, not a stable measurement).
+//! - `--naive`: force the naive linear-scan scheduler on every run (the
+//!   macro A/B runs both regardless; this flips the default used by the
+//!   pipeline/macro sections for external A/B driving).
+//! - `--out PATH`: output file.
+//!
+//! The embedded `seed_baseline` block records the same microbenches
+//! measured at the pre-optimisation commit (`cargo bench`, same
+//! container class) so the report always carries its before/after table.
+
+use flexstep_bench::{FabricConfig, VerifiedRun};
+use flexstep_core::{BufferFifo, LogEntry, LogKind, Packet};
+use flexstep_sim::{SchedMode, Soc, SocConfig};
+use flexstep_workloads::{by_name, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Microbench numbers measured at the seed commit (db8f81f) with
+/// `cargo bench --bench microbench` on the same container, before the
+/// event-queue scheduler, zero-copy DBC datapath, L0 fetch buffer and
+/// page-map changes landed. Seconds per iteration (min/mean over 10
+/// samples).
+const SEED_BASELINE: &[(&str, f64, f64)] = &[
+    (
+        "flexstep_pipeline/dual_core_verified_run",
+        38.365e-3,
+        40.422e-3,
+    ),
+    ("simulator/unverified_run", 11.121e-3, 13.447e-3),
+    ("dbc_fifo/push_pop_1_consumer", 229.816e-6, 238.194e-6),
+    ("dbc_fifo/push_pop_2_consumers", 386.476e-6, 397.305e-6),
+];
+
+struct Args {
+    quick: bool,
+    naive: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag = |k: &str| argv.iter().any(|a| a == k);
+    let value = |k: &str| {
+        argv.iter()
+            .position(|a| a == k)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    Args {
+        quick: flag("--quick"),
+        naive: flag("--naive"),
+        out: value("--out").unwrap_or_else(|| "BENCH_pr2.json".into()),
+    }
+}
+
+/// Times `f` `reps` times after one untimed warm-up; returns
+/// (min, mean) seconds.
+fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
+    std::hint::black_box(f());
+    let mut min = f64::INFINITY;
+    let mut sum = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let s = t.elapsed().as_secs_f64();
+        min = min.min(s);
+        sum += s;
+    }
+    (min, sum / reps as f64)
+}
+
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::from("{\n"))
+    }
+
+    fn section(&mut self, key: &str, body: &str) {
+        if !self.0.ends_with("{\n") {
+            self.0.push_str(",\n");
+        }
+        let _ = write!(self.0, "  \"{key}\": {body}");
+    }
+
+    fn finish(mut self) -> String {
+        self.0.push_str("\n}\n");
+        self.0
+    }
+}
+
+fn bench_obj(min_s: f64, mean_s: f64, extra: &str) -> String {
+    format!("{{\"min_s\": {min_s:.6e}, \"mean_s\": {mean_s:.6e}{extra}}}")
+}
+
+fn main() {
+    let args = parse_args();
+    // `--naive` forces the reference linear scan; otherwise runs keep the
+    // SoC's adaptive default (linear scan below SCAN_CROSSOVER cores, so
+    // at dual-core scale the two coincide — the pipeline speedup vs the
+    // seed comes from the datapath, and the scheduler section below
+    // shows where the event queue pays).
+    let forced = args.naive.then_some(SchedMode::LinearScan);
+    let reps = if args.quick { 2 } else { 8 };
+    let mut out = Json::new();
+    out.section(
+        "meta",
+        &format!(
+            "{{\"tool\": \"perf_report\", \"quick\": {}, \"forced_naive\": {}, \"reps\": {reps}}}",
+            args.quick, args.naive
+        ),
+    );
+
+    // --- flexstep_pipeline/dual_core_verified_run -----------------------
+    let program = by_name("libquantum")
+        .expect("workload exists")
+        .program(Scale::Test);
+    let mut steps = 0u64;
+    let mut retired = 0u64;
+    let (min_s, mean_s) = time_reps(reps, || {
+        let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+        if let Some(m) = forced {
+            run.set_sched_mode(m);
+        }
+        let r = run.run_to_completion(200_000_000);
+        assert!(r.completed && r.segments_failed == 0);
+        steps = r.engine_steps;
+        retired = r.retired;
+        r.segments_checked
+    });
+    out.section(
+        "flexstep_pipeline/dual_core_verified_run",
+        &bench_obj(
+            min_s,
+            mean_s,
+            &format!(
+                ", \"engine_steps\": {steps}, \"retired\": {retired}, \"steps_per_sec\": {:.4e}, \"ns_per_step\": {:.2}",
+                steps as f64 / min_s,
+                min_s * 1e9 / steps as f64
+            ),
+        ),
+    );
+
+    // --- macro-bench: run_to_completion, both schedulers ----------------
+    let mut macro_obj = String::from("{");
+    let mut per_mode = Vec::new();
+    for (label, m) in [
+        ("event_queue", SchedMode::EventQueue),
+        ("linear_scan", SchedMode::LinearScan),
+    ] {
+        let (mn, me) = time_reps(reps, || {
+            let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+            run.set_sched_mode(m);
+            let r = run.run_to_completion(200_000_000);
+            assert!(r.completed);
+            r.drain_cycle
+        });
+        let _ = write!(
+            macro_obj,
+            "\"{label}\": {}, ",
+            bench_obj(
+                mn,
+                me,
+                &format!(", \"ns_per_step\": {:.2}", mn * 1e9 / steps as f64)
+            )
+        );
+        per_mode.push(mn);
+    }
+    let _ = write!(
+        macro_obj,
+        "\"event_vs_naive_speedup\": {:.4}}}",
+        per_mode[1] / per_mode[0]
+    );
+    out.section("macro/run_to_completion_sched_ab", &macro_obj);
+
+    // --- unverified simulator throughput --------------------------------
+    let (mn, me) = time_reps(reps, || {
+        let mut soc = Soc::new(SocConfig::paper(1)).expect("config");
+        soc.run_to_ecall(&program, 50_000_000)
+    });
+    out.section("simulator/unverified_run", &bench_obj(mn, me, ""));
+
+    // --- dbc_fifo microbenches ------------------------------------------
+    let entry = |i: u64| {
+        Packet::Mem(LogEntry {
+            kind: LogKind::Load,
+            addr: 0x1000 + i * 8,
+            size: 8,
+            data: i,
+        })
+    };
+    let fifo_reps = reps * 16;
+    let (mn, me) = time_reps(fifo_reps, || {
+        let mut f = BufferFifo::new(1088, 4);
+        f.set_spill(true);
+        for i in 0..4096u64 {
+            f.push(entry(i)).unwrap();
+            if i % 2 == 1 {
+                std::hint::black_box(f.pop(0));
+                std::hint::black_box(f.pop(0));
+            }
+        }
+        f.total_pushed()
+    });
+    out.section("dbc_fifo/push_pop_1_consumer", &bench_obj(mn, me, ""));
+    let (mn, me) = time_reps(fifo_reps, || {
+        let mut f = BufferFifo::new(1088, 4);
+        f.set_spill(true);
+        let burst: Vec<Packet> = (0..8).map(entry).collect();
+        for _ in 0..512 {
+            f.push_burst(&burst).unwrap();
+            for _ in 0..8 {
+                std::hint::black_box(f.pop(0));
+            }
+        }
+        f.total_pushed()
+    });
+    out.section("dbc_fifo/push_burst_pop_1_consumer", &bench_obj(mn, me, ""));
+
+    // --- scheduler scaling microbench -----------------------------------
+    // Pure next_ready+stall loops at growing core counts: the event
+    // queue's O(log n) against the naive O(n) scan. This is the
+    // measurement behind `SchedMode::SCAN_CROSSOVER`.
+    let mut sched_obj = String::from("{");
+    let iters = if args.quick { 20_000 } else { 200_000 };
+    for n in [2usize, 8, 16, 32, 64] {
+        let mut per_mode = Vec::new();
+        for m in [SchedMode::EventQueue, SchedMode::LinearScan] {
+            let (mn, _) = time_reps(3, || {
+                let mut soc = Soc::new(SocConfig::paper(n)).expect("config");
+                soc.set_sched_mode(m);
+                let mut x = 0x9e3779b97f4a7c15u64;
+                for i in 0..n {
+                    soc.core_mut(i).unpark();
+                }
+                for _ in 0..iters {
+                    let id = soc.next_ready().expect("cores running");
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    soc.stall_core(id, 1 + (x % 64));
+                }
+                soc.now()
+            });
+            per_mode.push(mn * 1e9 / iters as f64);
+        }
+        let _ = write!(
+            sched_obj,
+            "\"cores_{n}\": {{\"event_queue_ns_per_step\": {:.2}, \"linear_scan_ns_per_step\": {:.2}}}, ",
+            per_mode[0], per_mode[1]
+        );
+    }
+    let _ = write!(sched_obj, "\"iters\": {iters}}}");
+    out.section("scheduler/next_ready_scaling", &sched_obj);
+
+    // --- embedded seed baseline -----------------------------------------
+    let mut base_obj =
+        String::from("{\"commit\": \"db8f81f\", \"harness\": \"cargo bench --bench microbench\", ");
+    for (name, mn, me) in SEED_BASELINE {
+        let _ = write!(
+            base_obj,
+            "\"{name}\": {{\"min_s\": {mn:.6e}, \"mean_s\": {me:.6e}}}, "
+        );
+    }
+    let _ = write!(
+        base_obj,
+        "\"note\": \"measured before this PR's scheduler/DBC/fetch-path changes\"}}"
+    );
+    out.section("seed_baseline", &base_obj);
+    out.section(
+        "pipeline_speedup_vs_seed",
+        &format!(
+            "{{\"min\": {:.4}, \"mean\": {:.4}}}",
+            SEED_BASELINE[0].1 / min_of_pipeline(&out.0),
+            SEED_BASELINE[0].2 / mean_of_pipeline(&out.0)
+        ),
+    );
+
+    let json = out.finish();
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("{json}");
+    println!("wrote {}", args.out);
+}
+
+fn min_of_pipeline(s: &str) -> f64 {
+    field_of_pipeline(s, "\"min_s\": ")
+}
+
+fn mean_of_pipeline(s: &str) -> f64 {
+    field_of_pipeline(s, "\"mean_s\": ")
+}
+
+/// Pulls the pipeline section's min/mean back out of the JSON under
+/// construction (keeps the speedup computation tied to what is reported).
+fn field_of_pipeline(s: &str, key: &str) -> f64 {
+    let sec = s
+        .find("flexstep_pipeline/dual_core_verified_run")
+        .expect("pipeline section present");
+    let rest = &s[sec..];
+    let v = &rest[rest.find(key).expect("field present") + key.len()..];
+    let end = v.find([',', '}']).expect("terminated");
+    v[..end].trim().parse().expect("parseable float")
+}

@@ -46,40 +46,74 @@ pub struct Fig4Row {
     pub nzdc: Option<f64>,
 }
 
+/// Computes one Fig. 4 row.
+///
+/// # Panics
+///
+/// Panics if the workload fails to run to completion (a bug, not a
+/// result).
+pub fn fig4_row(w: &Workload, scale: Scale) -> Fig4Row {
+    let program = w.program(scale);
+    let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
+
+    let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+    let report = run.run_to_completion(MAX_STEPS);
+    assert!(report.completed, "{} did not finish verified", w.name);
+    assert_eq!(report.segments_failed, 0, "{} failed verification", w.name);
+    let flexstep = report.main_finish_cycle as f64 / base as f64;
+
+    // Nzdc: the transformed program runs unprotected on one core.
+    // (The real nZDC fails to compile some workloads; ours all
+    // transform, but keep the Option for parity with the figure.)
+    let nzdc = nzdc_transform(&program).ok().map(|t| {
+        let mut soc = Soc::new(SocConfig::paper(1)).expect("config");
+        soc.run_to_ecall(&t, MAX_INSTRUCTIONS);
+        soc.now() as f64 / base as f64
+    });
+
+    Fig4Row {
+        name: w.name,
+        lockstep: 1.0,
+        flexstep,
+        nzdc,
+    }
+}
+
 /// Runs the Fig. 4 experiment over a suite.
 ///
 /// # Panics
 ///
 /// Panics if a workload fails to run to completion (a bug, not a result).
 pub fn fig4(workloads: &[Workload], scale: Scale) -> Vec<Fig4Row> {
-    workloads
-        .iter()
-        .map(|w| {
-            let program = w.program(scale);
-            let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
+    workloads.iter().map(|w| fig4_row(w, scale)).collect()
+}
 
-            let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
-            let report = run.run_to_completion(MAX_STEPS);
-            assert!(report.completed, "{} did not finish verified", w.name);
-            assert_eq!(report.segments_failed, 0, "{} failed verification", w.name);
-            let flexstep = report.main_finish_cycle as f64 / base as f64;
+/// [`fig4`] with per-workload parallelism: each workload's three runs
+/// execute on their own thread (simulations are independent and
+/// deterministic, so the rows are identical to the sequential runner's).
+pub fn fig4_parallel(workloads: &[Workload], scale: Scale) -> Vec<Fig4Row> {
+    run_rows_parallel(workloads, |w| fig4_row(w, scale))
+}
 
-            // Nzdc: the transformed program runs unprotected on one core.
-            // (The real nZDC fails to compile some workloads; ours all
-            // transform, but keep the Option for parity with the figure.)
-            let nzdc = nzdc_transform(&program).ok().map(|t| {
-                let mut soc = Soc::new(SocConfig::paper(1)).expect("config");
-                soc.run_to_ecall(&t, MAX_INSTRUCTIONS);
-                soc.now() as f64 / base as f64
+/// Runs `row` for every workload on its own scoped thread, preserving
+/// input order — the campaign-level counterpart of
+/// `flexstep_sched::sweep_parallel`.
+fn run_rows_parallel<R: Send>(
+    workloads: &[Workload],
+    row: impl Fn(&Workload) -> R + Sync,
+) -> Vec<R> {
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(workloads.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, w) in out.iter_mut().zip(workloads) {
+            let row = &row;
+            scope.spawn(move || {
+                *slot = Some(row(w));
             });
-
-            Fig4Row {
-                name: w.name,
-                lockstep: 1.0,
-                flexstep,
-                nzdc,
-            }
-        })
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("all rows computed"))
         .collect()
 }
 
@@ -109,30 +143,38 @@ pub struct Fig6Row {
     pub triple: f64,
 }
 
+/// Computes one Fig. 6 row.
+///
+/// # Panics
+///
+/// Panics if the workload fails to complete.
+pub fn fig6_row(w: &Workload, scale: Scale) -> Fig6Row {
+    let program = w.program(scale);
+    let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
+    let mut dual = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+    let rd = dual.run_to_completion(MAX_STEPS);
+    let mut triple = VerifiedRun::triple_core(&program, FabricConfig::paper()).expect("setup");
+    let rt = triple.run_to_completion(MAX_STEPS);
+    assert!(rd.completed && rt.completed, "{} did not finish", w.name);
+    Fig6Row {
+        name: w.name,
+        dual: rd.main_finish_cycle as f64 / base as f64,
+        triple: rt.main_finish_cycle as f64 / base as f64,
+    }
+}
+
 /// Runs the Fig. 6 experiment (Parsec under both verification modes).
 ///
 /// # Panics
 ///
 /// Panics if a workload fails to complete.
 pub fn fig6(workloads: &[Workload], scale: Scale) -> Vec<Fig6Row> {
-    workloads
-        .iter()
-        .map(|w| {
-            let program = w.program(scale);
-            let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
-            let mut dual = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
-            let rd = dual.run_to_completion(MAX_STEPS);
-            let mut triple =
-                VerifiedRun::triple_core(&program, FabricConfig::paper()).expect("setup");
-            let rt = triple.run_to_completion(MAX_STEPS);
-            assert!(rd.completed && rt.completed, "{} did not finish", w.name);
-            Fig6Row {
-                name: w.name,
-                dual: rd.main_finish_cycle as f64 / base as f64,
-                triple: rt.main_finish_cycle as f64 / base as f64,
-            }
-        })
-        .collect()
+    workloads.iter().map(|w| fig6_row(w, scale)).collect()
+}
+
+/// [`fig6`] with per-workload parallelism (see [`fig4_parallel`]).
+pub fn fig6_parallel(workloads: &[Workload], scale: Scale) -> Vec<Fig6Row> {
+    run_rows_parallel(workloads, |w| fig6_row(w, scale))
 }
 
 /// One Fig. 7 row: the detection-latency distribution of one workload.
@@ -221,6 +263,18 @@ pub fn fig7_campaign_with(
         stats: LatencyStats::from_cycles(&latencies, clock),
         latencies_us: latencies.iter().map(|&c| clock.cycles_to_us(c)).collect(),
     }
+}
+
+/// Runs the Fig. 7 campaign over a suite with per-workload parallelism
+/// (see [`fig4_parallel`]); each workload's campaign keeps its own
+/// deterministic RNG stream, so rows match the sequential runner's.
+pub fn fig7_parallel(
+    workloads: &[Workload],
+    scale: Scale,
+    injections: usize,
+    seed: u64,
+) -> Vec<Fig7Row> {
+    run_rows_parallel(workloads, |w| fig7_campaign(w, scale, injections, seed))
 }
 
 /// Renders a µs histogram line (8 µs buckets to 120 µs, like the Fig. 7

@@ -8,7 +8,7 @@
 
 use crate::dbc::BufferFifo;
 use crate::detect::{MismatchKind, SegmentResult};
-use crate::packet::{LogKind, Packet};
+use crate::packet::{LogKind, PacketRef};
 use crate::rcpm::Ass;
 use flexstep_isa::inst::{AmoOp, AmoWidth};
 use flexstep_sim::port::{amo_apply, DataPort, PortStop};
@@ -128,18 +128,23 @@ impl<'a> ReplayPort<'a> {
 
     /// Takes the next log entry, expecting one of `want`; records a
     /// mismatch otherwise.
+    ///
+    /// Only the (small) `LogEntry` is copied out: the packet itself is
+    /// consumed with the zero-copy [`BufferFifo::advance`], never moved —
+    /// packets are `ArchSnapshot`-sized and this runs once per replayed
+    /// memory access.
     fn take_entry(
         &mut self,
         want: &[LogKind],
         actual: &str,
     ) -> Result<crate::packet::LogEntry, PortStop> {
         match self.fifo.peek(self.consumer) {
-            Some(Packet::Mem(e)) if want.contains(&e.kind) => {
+            Some(PacketRef::Mem(e)) if want.contains(&e.kind) => {
                 let e = *e;
-                self.fifo.pop(self.consumer);
+                self.fifo.advance(self.consumer);
                 Ok(e)
             }
-            Some(Packet::Mem(e)) => {
+            Some(PacketRef::Mem(e)) => {
                 let kind = MismatchKind::LogKind {
                     expected: e.kind.to_string(),
                     actual: actual.to_string(),
@@ -255,7 +260,7 @@ impl DataPort for ReplayPort<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::LogEntry;
+    use crate::packet::{LogEntry, Packet};
 
     fn fifo_with(entries: &[LogEntry]) -> BufferFifo {
         let mut f = BufferFifo::new(4096, 4);

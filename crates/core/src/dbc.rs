@@ -10,30 +10,57 @@
 //! dual-core mode in Fig. 6 — the slower checker gates reclamation and
 //! back-pressures the main core sooner.
 
-use crate::packet::Packet;
+use crate::packet::{entry_bytes, Checkpoint, LogEntry, Packet, PacketMut, PacketRef};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// Error returned when a push would exceed the FIFO capacity.
+///
+/// Entry-class packets need `needed` bytes of DBC SRAM; checkpoint
+/// packets need `needed_slots` ASS slots — the rejected push reports the
+/// class it actually failed in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FifoFull {
-    /// Bytes the rejected packet needed.
+    /// Entry bytes the rejected push needed (0 for pure checkpoints).
     pub needed: usize,
-    /// Bytes currently free.
+    /// Entry bytes currently free.
     pub free: usize,
+    /// Checkpoint slots the rejected push needed (0 for pure entries).
+    pub needed_slots: usize,
+    /// Checkpoint slots currently free.
+    pub free_slots: usize,
 }
 
 impl fmt::Display for FifoFull {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fifo full: need {} bytes, {} free",
-            self.needed, self.free
+            "fifo full: need {} bytes + {} slots, {} bytes + {} slots free",
+            self.needed, self.needed_slots, self.free, self.free_slots
         )
     }
 }
 
 impl std::error::Error for FifoFull {}
+
+/// One stream position in the FIFO. Entry-class payloads are stored
+/// inline; checkpoint payloads (>0.5 KiB of [`ArchSnapshot`]) live out of
+/// line in the checkpoint ring — the in-order queue stays small and
+/// cache-resident, mirroring the paper's physical split between the DBC
+/// entry SRAM and the ASS checkpoint slots.
+///
+/// [`ArchSnapshot`]: flexstep_sim::ArchSnapshot
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// SCP; payload at absolute checkpoint index `.0` in the ring.
+    Scp(u64),
+    /// A memory-access log entry, inline.
+    Mem(LogEntry),
+    /// The segment's instruction count, inline.
+    InstCount(u64),
+    /// ECP; payload at absolute checkpoint index `.0` in the ring.
+    Ecp(u64),
+}
 
 /// An SRAM data-buffer FIFO with independent consumer cursors.
 ///
@@ -49,12 +76,23 @@ pub struct BufferFifo {
     entry_capacity: usize,
     checkpoint_slots: usize,
     spill: bool,
-    /// Packets not yet consumed by *all* consumers, oldest first.
-    queue: VecDeque<Packet>,
+    /// Stream positions not yet consumed by *all* consumers, oldest
+    /// first.
+    queue: VecDeque<Slot>,
+    /// Out-of-line checkpoint payloads, in stream order.
+    cps: VecDeque<Checkpoint>,
+    /// Absolute checkpoint index of `cps[0]`.
+    cp_head: u64,
+    /// Absolute checkpoint index the next pushed checkpoint gets.
+    cp_next: u64,
     /// Absolute sequence number of `queue[0]`.
     head_seq: u64,
     /// Absolute position of each consumer (next packet to read).
     cursors: Vec<u64>,
+    /// Number of cursors currently equal to `head_seq`. Storage reclaim
+    /// only needs a cursor scan when this count drops to zero — i.e.
+    /// when the *minimum* cursor actually moves.
+    at_min: usize,
     /// Entry-class bytes held by `queue`.
     used: usize,
     /// Checkpoint packets held by `queue`.
@@ -80,8 +118,12 @@ impl BufferFifo {
             checkpoint_slots,
             spill: false,
             queue: VecDeque::new(),
+            cps: VecDeque::new(),
+            cp_head: 0,
+            cp_next: 0,
             head_seq: 0,
             cursors: vec![0],
+            at_min: 1,
             used: 0,
             checkpoints: 0,
             peak_used: 0,
@@ -116,6 +158,7 @@ impl BufferFifo {
         assert!(self.queue.is_empty(), "cannot re-channel a non-empty FIFO");
         assert!(n >= 1, "at least one consumer required");
         self.cursors = vec![self.head_seq; n];
+        self.at_min = n;
         self.ecps_consumed = vec![self.ecps_pushed; n];
     }
 
@@ -152,10 +195,72 @@ impl BufferFifo {
 
     /// Whether `entry_bytes` more entry bytes and `cps` more checkpoints
     /// would fit right now (always `true` with spill enabled).
+    #[inline]
     pub fn can_accept(&self, entry_bytes: usize, cps: usize) -> bool {
         self.spill
             || (self.used + entry_bytes <= self.entry_capacity
                 && self.checkpoints + cps <= self.checkpoint_slots)
+    }
+
+    /// Storage cost of a packet: `(entry bytes, checkpoint slots)`.
+    #[inline]
+    fn cost(packet: &Packet) -> (usize, usize) {
+        if packet.is_checkpoint() {
+            (0, 1)
+        } else {
+            (packet.bytes(), 0)
+        }
+    }
+
+    fn full_error(&self, needed: usize, needed_slots: usize) -> FifoFull {
+        FifoFull {
+            needed,
+            free: self.entry_capacity.saturating_sub(self.used),
+            needed_slots,
+            free_slots: self.checkpoint_slots.saturating_sub(self.checkpoints),
+        }
+    }
+
+    /// Accounting + enqueue for a packet whose capacity was already
+    /// checked (or that spills).
+    #[inline]
+    fn push_unchecked(&mut self, packet: Packet, entry_bytes: usize, cps: usize) {
+        if self.used + entry_bytes > self.entry_capacity
+            || self.checkpoints + cps > self.checkpoint_slots
+        {
+            self.spilled += 1;
+        }
+        self.used += entry_bytes;
+        self.checkpoints += cps;
+        self.peak_used = self.peak_used.max(self.used);
+        self.pushed += 1;
+        let slot = match packet {
+            Packet::Mem(e) => Slot::Mem(e),
+            Packet::InstCount(v) => Slot::InstCount(v),
+            Packet::Scp(cp) => {
+                self.cps.push_back(cp);
+                self.cp_next += 1;
+                Slot::Scp(self.cp_next - 1)
+            }
+            Packet::Ecp(cp) => {
+                self.cps.push_back(cp);
+                self.cp_next += 1;
+                self.ecps_pushed += 1;
+                Slot::Ecp(self.cp_next - 1)
+            }
+        };
+        self.queue.push_back(slot);
+    }
+
+    /// Resolves a slot to a borrowed packet view.
+    #[inline]
+    fn slot_ref<'a>(&'a self, slot: &'a Slot) -> PacketRef<'a> {
+        match slot {
+            Slot::Mem(e) => PacketRef::Mem(e),
+            Slot::InstCount(v) => PacketRef::InstCount(*v),
+            Slot::Scp(i) => PacketRef::Scp(&self.cps[(i - self.cp_head) as usize]),
+            Slot::Ecp(i) => PacketRef::Ecp(&self.cps[(i - self.cp_head) as usize]),
+        }
     }
 
     /// Whether all consumers have drained everything.
@@ -171,42 +276,81 @@ impl BufferFifo {
     /// (main core) must stall — this is the backpressure path. With spill
     /// enabled, never fails.
     pub fn push(&mut self, packet: Packet) -> Result<(), FifoFull> {
-        let (entry_bytes, cps) = if packet.is_checkpoint() {
-            (0, 1)
-        } else {
-            (packet.bytes(), 0)
-        };
+        let (entry_bytes, cps) = Self::cost(&packet);
         if !self.can_accept(entry_bytes, cps) {
-            return Err(FifoFull {
-                needed: entry_bytes.max(cps * Packet::bytes(&packet)),
-                free: self.entry_capacity.saturating_sub(self.used),
-            });
+            return Err(self.full_error(entry_bytes, cps));
         }
-        if self.used + entry_bytes > self.entry_capacity
-            || self.checkpoints + cps > self.checkpoint_slots
-        {
-            self.spilled += 1;
-        }
-        self.used += entry_bytes;
-        self.checkpoints += cps;
-        self.peak_used = self.peak_used.max(self.used);
-        self.pushed += 1;
-        if matches!(packet, Packet::Ecp(_)) {
-            self.ecps_pushed += 1;
-        }
-        self.queue.push_back(packet);
+        self.push_unchecked(packet, entry_bytes, cps);
         Ok(())
     }
 
-    /// Peeks the next packet for `consumer` without consuming it.
+    /// Pushes a burst of packets under a *single* capacity check: either
+    /// the whole burst fits (or spills) and is enqueued in order, or
+    /// nothing is enqueued. This is the producer half of the
+    /// segment-granular datapath — the engine pushes a retire's log
+    /// entries and a segment-close `InstCount`+ECP pair as one burst.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFull`] with the burst's aggregate byte/slot need
+    /// when it does not fit; with spill enabled, never fails.
+    pub fn push_burst(&mut self, packets: &[Packet]) -> Result<(), FifoFull> {
+        let mut total_bytes = 0;
+        let mut total_cps = 0;
+        for p in packets {
+            let (b, c) = Self::cost(p);
+            total_bytes += b;
+            total_cps += c;
+        }
+        if !self.can_accept(total_bytes, total_cps) {
+            return Err(self.full_error(total_bytes, total_cps));
+        }
+        self.queue.reserve(packets.len());
+        for &p in packets {
+            let (b, c) = Self::cost(&p);
+            self.push_unchecked(p, b, c);
+        }
+        Ok(())
+    }
+
+    /// Peeks the next packet for `consumer` without consuming it. The
+    /// packet is handed out *by reference* ([`PacketRef`]) — checkpoint
+    /// payloads are >0.5 KiB and the hot path must not move them.
     ///
     /// # Panics
     ///
     /// Panics if `consumer` is out of range.
-    pub fn peek(&self, consumer: usize) -> Option<&Packet> {
+    #[inline]
+    pub fn peek(&self, consumer: usize) -> Option<PacketRef<'_>> {
         let pos = self.cursors[consumer];
         let idx = (pos - self.head_seq) as usize;
-        self.queue.get(idx)
+        self.queue.get(idx).map(|s| self.slot_ref(s))
+    }
+
+    /// Consumes the next packet for `consumer` *without returning it* —
+    /// the zero-copy companion of [`BufferFifo::peek`]. Packets are
+    /// ~`ArchSnapshot`-sized, so the replay hot path borrows via `peek`
+    /// and then advances, never copying the packet out.
+    ///
+    /// Returns `false` if the consumer has no packet ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    #[inline]
+    pub fn advance(&mut self, consumer: usize) -> bool {
+        let pos = self.cursors[consumer];
+        let idx = (pos - self.head_seq) as usize;
+        let is_ecp = match self.queue.get(idx) {
+            Some(s) => matches!(s, Slot::Ecp(_)),
+            None => return false,
+        };
+        self.cursors[consumer] = pos + 1;
+        if is_ecp {
+            self.ecps_consumed[consumer] += 1;
+        }
+        self.note_min_leave(pos);
+        true
     }
 
     /// Consumes the next packet for `consumer`. Storage is reclaimed once
@@ -215,16 +359,131 @@ impl BufferFifo {
     /// # Panics
     ///
     /// Panics if `consumer` is out of range.
+    #[inline]
     pub fn pop(&mut self, consumer: usize) -> Option<Packet> {
-        let pos = self.cursors[consumer];
-        let idx = (pos - self.head_seq) as usize;
-        let packet = *self.queue.get(idx)?;
-        self.cursors[consumer] += 1;
-        if matches!(packet, Packet::Ecp(_)) {
-            self.ecps_consumed[consumer] += 1;
+        if self.cursors.len() == 1 && self.cursors[0] == self.head_seq {
+            // Single consumer at the head: the packet is reclaimed the
+            // moment it is consumed — pop the queue directly.
+            let slot = self.queue.pop_front()?;
+            self.cursors[0] += 1;
+            self.head_seq += 1;
+            let packet = match slot {
+                Slot::Mem(e) => {
+                    self.used -= entry_bytes(&e);
+                    Packet::Mem(e)
+                }
+                Slot::InstCount(v) => {
+                    self.used -= 8;
+                    Packet::InstCount(v)
+                }
+                Slot::Scp(_) => {
+                    self.checkpoints -= 1;
+                    self.cp_head += 1;
+                    Packet::Scp(self.cps.pop_front().expect("checkpoint in ring"))
+                }
+                Slot::Ecp(_) => {
+                    self.checkpoints -= 1;
+                    self.cp_head += 1;
+                    self.ecps_consumed[0] += 1;
+                    Packet::Ecp(self.cps.pop_front().expect("checkpoint in ring"))
+                }
+            };
+            return Some(packet);
         }
-        self.reclaim();
+        let packet = self.peek(consumer)?.to_packet();
+        self.advance(consumer);
         Some(packet)
+    }
+
+    /// Bookkeeping after `consumer` moved off position `pos`: reclaims
+    /// storage only when the minimum cursor actually moved.
+    #[inline]
+    fn note_min_leave(&mut self, pos: u64) {
+        if pos == self.head_seq {
+            self.at_min -= 1;
+            if self.at_min == 0 {
+                self.reclaim();
+            }
+        }
+    }
+
+    /// Length (in packets, ECPs included) of the next *complete* segment
+    /// ahead of `consumer`, or `None` when no complete segment is
+    /// buffered.
+    fn segment_len_ahead(&self, consumer: usize) -> Option<usize> {
+        if self.complete_segments_ahead(consumer) == 0 {
+            return None;
+        }
+        let idx = (self.cursors[consumer] - self.head_seq) as usize;
+        let len = self
+            .queue
+            .iter()
+            .skip(idx)
+            .position(|s| matches!(s, Slot::Ecp(_)))
+            .expect("a complete segment must end in an ECP")
+            + 1;
+        Some(len)
+    }
+
+    /// Advances `consumer` by `n` packets of which `ecps` are ECPs, with
+    /// a single reclaim pass.
+    fn advance_n(&mut self, consumer: usize, n: usize, ecps: u64) {
+        let pos = self.cursors[consumer];
+        self.cursors[consumer] = pos + n as u64;
+        self.ecps_consumed[consumer] += ecps;
+        self.note_min_leave(pos);
+    }
+
+    /// Hands `consumer` its next complete segment (through the ECP) in
+    /// one call: packets are appended to `out` in stream order, the
+    /// cursor advances past the segment, and storage is reclaimed once —
+    /// the consumer half of the segment-granular datapath. Returns the
+    /// number of packets transferred, or `None` when no complete segment
+    /// is buffered.
+    ///
+    /// End state (cursor, ECP accounting, reclaim) is byte-for-byte
+    /// identical to popping the same packets one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    pub fn drain_segment_into(&mut self, consumer: usize, out: &mut Vec<Packet>) -> Option<usize> {
+        let len = self.segment_len_ahead(consumer)?;
+        let idx = (self.cursors[consumer] - self.head_seq) as usize;
+        out.extend(
+            self.queue
+                .iter()
+                .skip(idx)
+                .take(len)
+                .map(|s| self.slot_ref(s).to_packet()),
+        );
+        self.advance_n(consumer, len, 1);
+        Some(len)
+    }
+
+    /// [`BufferFifo::drain_segment_into`], allocating the output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    pub fn drain_segment(&mut self, consumer: usize) -> Option<Vec<Packet>> {
+        let mut out = Vec::new();
+        self.drain_segment_into(consumer, &mut out)?;
+        Some(out)
+    }
+
+    /// Skips `consumer` past its next complete segment without copying
+    /// any packet out — segment-granular resynchronisation after an
+    /// aborted replay. Returns the number of packets skipped, or `None`
+    /// when no complete segment is buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    pub fn skip_segment(&mut self, consumer: usize) -> Option<usize> {
+        let len = self.segment_len_ahead(consumer)?;
+        self.advance_n(consumer, len, 1);
+        Some(len)
     }
 
     /// Number of *complete* segments (terminated by an ECP) ahead of
@@ -236,6 +495,7 @@ impl BufferFifo {
     /// # Panics
     ///
     /// Panics if `consumer` is out of range.
+    #[inline]
     pub fn complete_segments_ahead(&self, consumer: usize) -> u64 {
         self.ecps_pushed - self.ecps_consumed[consumer]
     }
@@ -245,22 +505,32 @@ impl BufferFifo {
     /// # Panics
     ///
     /// Panics if `consumer` is out of range.
+    #[inline]
     pub fn backlog(&self, consumer: usize) -> usize {
         let pos = self.cursors[consumer];
         self.queue.len() - (pos - self.head_seq) as usize
     }
 
+    /// Reclaims storage up to the minimum cursor. Only called when the
+    /// minimum provably moved ([`BufferFifo::note_min_leave`]), so the
+    /// cursor scan is amortised over the min's progress instead of
+    /// running on every pop.
     fn reclaim(&mut self) {
         let min_pos = *self.cursors.iter().min().expect("at least one consumer");
         while self.head_seq < min_pos {
-            let packet = self.queue.pop_front().expect("cursor past queue head");
-            if packet.is_checkpoint() {
-                self.checkpoints -= 1;
-            } else {
-                self.used -= packet.bytes();
+            let slot = self.queue.pop_front().expect("cursor past queue head");
+            match slot {
+                Slot::Mem(e) => self.used -= entry_bytes(&e),
+                Slot::InstCount(_) => self.used -= 8,
+                Slot::Scp(_) | Slot::Ecp(_) => {
+                    self.checkpoints -= 1;
+                    self.cps.pop_front();
+                    self.cp_head += 1;
+                }
             }
             self.head_seq += 1;
         }
+        self.at_min = self.cursors.iter().filter(|&&c| c == min_pos).count();
     }
 
     /// Drops all buffered packets and realigns cursors (used when the OS
@@ -268,6 +538,8 @@ impl BufferFifo {
     pub fn reset(&mut self) {
         let dropped = self.queue.len() as u64;
         self.queue.clear();
+        self.cps.clear();
+        self.cp_head = self.cp_next;
         self.used = 0;
         self.checkpoints = 0;
         let max = *self.cursors.iter().max().unwrap_or(&0);
@@ -276,15 +548,47 @@ impl BufferFifo {
         for c in &mut self.cursors {
             *c = base;
         }
+        self.at_min = self.cursors.len();
         for e in &mut self.ecps_consumed {
             *e = self.ecps_pushed;
         }
     }
 
+    /// Borrowed view of a buffered packet by queue index (fault-injection
+    /// candidate scans).
+    pub(crate) fn packet_ref_at(&self, idx: usize) -> Option<PacketRef<'_>> {
+        self.queue.get(idx).map(|s| self.slot_ref(s))
+    }
+
+    /// Copy of a buffered packet by queue index (test convenience).
+    #[cfg(test)]
+    pub(crate) fn packet_at(&self, idx: usize) -> Option<Packet> {
+        self.packet_ref_at(idx).map(|r| r.to_packet())
+    }
+
     /// Mutable access to a buffered packet by queue index (fault
     /// injection into in-flight data).
-    pub(crate) fn packet_mut(&mut self, idx: usize) -> Option<&mut Packet> {
-        self.queue.get_mut(idx)
+    pub(crate) fn packet_mut(&mut self, idx: usize) -> Option<PacketMut<'_>> {
+        // Checkpoint payloads live in the ring: resolve the index first so
+        // the queue borrow ends before the ring is borrowed mutably.
+        let cp_idx = match self.queue.get(idx)? {
+            Slot::Scp(i) | Slot::Ecp(i) => Some(*i),
+            _ => None,
+        };
+        if let Some(i) = cp_idx {
+            let is_scp = matches!(self.queue[idx], Slot::Scp(_));
+            let cp = &mut self.cps[(i - self.cp_head) as usize];
+            return Some(if is_scp {
+                PacketMut::Scp(cp)
+            } else {
+                PacketMut::Ecp(cp)
+            });
+        }
+        match self.queue.get_mut(idx)? {
+            Slot::Mem(e) => Some(PacketMut::Mem(e)),
+            Slot::InstCount(v) => Some(PacketMut::InstCount(v)),
+            Slot::Scp(_) | Slot::Ecp(_) => unreachable!("handled above"),
+        }
     }
 
     /// Number of packets currently buffered.
@@ -332,11 +636,102 @@ mod tests {
             err,
             FifoFull {
                 needed: 16,
-                free: 8
+                free: 8,
+                needed_slots: 0,
+                free_slots: 2,
             }
         );
         f.pop(0);
         assert!(f.push(entry(3)).is_ok());
+    }
+
+    #[test]
+    fn rejected_checkpoint_reports_slot_need() {
+        use crate::packet::Checkpoint;
+        use flexstep_sim::ArchState;
+        let cp = |n: u64| {
+            Packet::Scp(Checkpoint {
+                snapshot: ArchState::new(n).snapshot(),
+                seq: n,
+                tag: 0,
+            })
+        };
+        let mut f = BufferFifo::new(1024, 1);
+        f.push(cp(0)).unwrap();
+        let err = f.push(cp(1)).unwrap_err();
+        assert_eq!(
+            err,
+            FifoFull {
+                needed: 0,
+                free: 1024,
+                needed_slots: 1,
+                free_slots: 0,
+            },
+            "a checkpoint reject is a slot shortage, not a byte shortage"
+        );
+    }
+
+    #[test]
+    fn push_burst_is_all_or_nothing() {
+        let mut f = BufferFifo::new(40, 2); // fits two 16-byte entries
+        f.push(entry(0)).unwrap();
+        let err = f.push_burst(&[entry(1), entry(2)]).unwrap_err();
+        assert_eq!(err.needed, 32, "burst reports aggregate need");
+        assert_eq!(f.len(), 1, "failed burst enqueues nothing");
+        f.push_burst(&[entry(1)]).unwrap();
+        assert_eq!(f.pop(0), Some(entry(0)));
+        assert_eq!(f.pop(0), Some(entry(1)));
+    }
+
+    #[test]
+    fn advance_consumes_without_copying_out() {
+        let mut f = BufferFifo::new(64, 2);
+        f.push(entry(1)).unwrap();
+        f.push(entry(2)).unwrap();
+        assert!(f.advance(0));
+        assert_eq!(f.peek(0).map(|r| r.to_packet()), Some(entry(2)));
+        assert_eq!(f.used_bytes(), 16, "advanced packet was reclaimed");
+        assert!(f.advance(0));
+        assert!(!f.advance(0), "nothing left");
+        assert!(f.is_fully_drained());
+    }
+
+    #[test]
+    fn drain_segment_hands_whole_segment() {
+        use crate::packet::Checkpoint;
+        use flexstep_sim::ArchState;
+        let snap = ArchState::new(0).snapshot();
+        let scp = Packet::Scp(Checkpoint {
+            snapshot: snap,
+            seq: 0,
+            tag: 0,
+        });
+        let ecp = Packet::Ecp(Checkpoint {
+            snapshot: snap,
+            seq: 0,
+            tag: 0,
+        });
+        let mut f = BufferFifo::new(4096, 4);
+        f.push_burst(&[scp, entry(1), entry(2), Packet::InstCount(2)])
+            .unwrap();
+        assert_eq!(f.drain_segment(0), None, "segment still open");
+        f.push(ecp).unwrap();
+        // The ECP completes it — now the whole segment comes out at once.
+        let seg = {
+            let mut f2 = f.clone();
+            f2.push(entry(9)).unwrap(); // next segment's first packet
+            f2.drain_segment(0).unwrap()
+        };
+        assert_eq!(seg.len(), 5);
+        assert_eq!(seg[0], scp);
+        assert_eq!(seg[4], ecp);
+        // skip_segment reaches the same cursor/reclaim state.
+        let mut f3 = f.clone();
+        f3.push(entry(9)).unwrap();
+        assert_eq!(f3.skip_segment(0), Some(5));
+        assert_eq!(f3.peek(0).map(|r| r.to_packet()), Some(entry(9)));
+        assert_eq!(f3.len(), 1, "segment storage reclaimed in one pass");
+        assert_eq!(f3.complete_segments_ahead(0), 0);
     }
 
     #[test]
@@ -361,11 +756,11 @@ mod tests {
     fn peek_does_not_consume() {
         let mut f = BufferFifo::new(64, 2);
         f.push(entry(9)).unwrap();
-        assert_eq!(f.peek(0), Some(&entry(9)));
-        assert_eq!(f.peek(0), Some(&entry(9)));
+        assert_eq!(f.peek(0).map(|r| r.to_packet()), Some(entry(9)));
+        assert_eq!(f.peek(0).map(|r| r.to_packet()), Some(entry(9)));
         assert_eq!(f.backlog(0), 1);
         f.pop(0);
-        assert_eq!(f.peek(0), None);
+        assert!(f.peek(0).is_none());
         assert_eq!(f.backlog(0), 0);
     }
 

@@ -19,7 +19,7 @@
 use crate::checker::{CheckPhase, CheckerState, ReplayPort};
 use crate::detect::{DetectionEvent, MismatchKind, SegmentResult};
 use crate::fabric::{CoreAttr, Fabric, FabricConfig, FlexError};
-use crate::packet::{log_entries, Packet};
+use crate::packet::{log_entries, Packet, PacketRef};
 use crate::rcpm::SegmentClose;
 use flexstep_isa::inst::FlexOp;
 use flexstep_isa::XReg;
@@ -229,66 +229,76 @@ impl FlexSoc {
     /// backpressure.
     pub fn step_main(&mut self, core: usize) -> EngineStep {
         let live = self.fabric.checking_live(core);
-        let in_user = self.soc.core(core).state.prv == PrivMode::User;
-        let cfg = *self.fabric.config();
 
-        if live && in_user && self.soc.core(core).is_running() {
-            // Worst-case needs for this step: two log entries, plus a
-            // close burst (IC + ECP) if a segment is or will be open, plus
-            // an SCP if we must open one.
-            let opening = !self.fabric.unit(core).tracker.is_open();
-            let need_cps = 1 + usize::from(opening);
-            let need_bytes = 32 + 8; // two entries + instruction count
-            if !self.fabric.unit(core).fifo.can_accept(need_bytes, need_cps) {
-                self.fabric.stats.backpressure_stalls += 1;
-                self.soc.stall_core(core, cfg.backpressure_retry_cycles);
-                return EngineStep::Backpressured;
-            }
-            if opening {
-                let snap = self.soc.core(core).state.snapshot();
-                let unit = self.fabric.unit_mut(core);
-                let consumers = unit.fifo.consumers() as u64;
-                let scp = unit.tracker.open_segment(snap);
-                unit.fifo
-                    .push(Packet::Scp(scp))
-                    .expect("space reserved above");
-                // The ASS forwards the checkpoint once per associated
-                // checker (§III-A): wider verification modes serialise
-                // more beats through the channel — the source of Fig. 6's
-                // dual→triple slowdown increase.
-                self.soc
-                    .stall_core(core, cfg.scp_extract_cycles * consumers);
+        if live {
+            let soc_core = self.soc.core(core);
+            if soc_core.state.prv == PrivMode::User && soc_core.is_running() {
+                // One fabric borrow for the whole pre-step check: config
+                // scalars are copied out so the borrow can end before the
+                // stat/stall mutations.
+                let cfg = self.fabric.config();
+                let retry_cycles = cfg.backpressure_retry_cycles;
+                let scp_cycles = cfg.scp_extract_cycles;
+                let unit = self.fabric.unit(core);
+                // Worst-case needs for this step: two log entries, plus a
+                // close burst (IC + ECP) if a segment is or will be open,
+                // plus an SCP if we must open one.
+                let opening = !unit.tracker.is_open();
+                let need_cps = 1 + usize::from(opening);
+                let need_bytes = 32 + 8; // two entries + instruction count
+                if !unit.fifo.can_accept(need_bytes, need_cps) {
+                    self.fabric.stats.backpressure_stalls += 1;
+                    self.soc.stall_core(core, retry_cycles);
+                    return EngineStep::Backpressured;
+                }
+                if opening {
+                    let snap = self.soc.core(core).state.snapshot();
+                    let unit = self.fabric.unit_mut(core);
+                    let consumers = unit.fifo.consumers() as u64;
+                    let scp = unit.tracker.open_segment(snap);
+                    unit.fifo
+                        .push(Packet::Scp(scp))
+                        .expect("space reserved above");
+                    // The ASS forwards the checkpoint once per associated
+                    // checker (§III-A): wider verification modes serialise
+                    // more beats through the channel — the source of
+                    // Fig. 6's dual→triple slowdown increase.
+                    self.soc.stall_core(core, scp_cycles * consumers);
+                }
             }
         }
 
         let result: StepResult = self.soc.step_core(core);
         match &result.kind {
             StepKind::Retired(retired) if live && retired.prv == PrivMode::User => {
-                self.after_user_retire(core, retired, &cfg);
+                self.after_user_retire(core, retired);
             }
             StepKind::Trap { .. } | StepKind::Interrupted { .. }
                 // Leaving user mode: premature segment extermination
                 // (Fig. 3.1). The ECP is the state at the boundary.
                 if live && self.fabric.unit(core).tracker.is_open() => {
-                    let snap = self.soc.core(core).state.snapshot();
-                    let unit = self.fabric.unit_mut(core);
-                    let consumers = unit.fifo.consumers() as u64;
-                    let (count, ecp) = unit
-                        .tracker
-                        .close_segment(snap, SegmentClose::PrivilegeSwitch);
-                    unit.fifo
-                        .push(Packet::InstCount(count))
-                        .expect("space reserved");
-                    unit.fifo.push(Packet::Ecp(ecp)).expect("cp slot reserved");
-                    self.soc
-                        .stall_core(core, cfg.ecp_extract_cycles * consumers);
+                    self.close_segment(core, SegmentClose::PrivilegeSwitch);
                 }
             _ => {}
         }
         EngineStep::Core(result.kind)
     }
 
-    fn after_user_retire(&mut self, core: usize, retired: &Retired, cfg: &FabricConfig) {
+    /// Closes the open segment on `core`, pushing the `InstCount` + ECP
+    /// pair as one burst and charging the extraction stall.
+    fn close_segment(&mut self, core: usize, why: SegmentClose) {
+        let ecp_cycles = self.fabric.config().ecp_extract_cycles;
+        let snap = self.soc.core(core).state.snapshot();
+        let unit = self.fabric.unit_mut(core);
+        let consumers = unit.fifo.consumers() as u64;
+        let (count, ecp) = unit.tracker.close_segment(snap, why);
+        unit.fifo
+            .push_burst(&[Packet::InstCount(count), Packet::Ecp(ecp)])
+            .expect("space and cp slot reserved");
+        self.soc.stall_core(core, ecp_cycles * consumers);
+    }
+
+    fn after_user_retire(&mut self, core: usize, retired: &Retired) {
         let unit = self.fabric.unit_mut(core);
         if !unit.tracker.is_open() {
             // Checking was enabled mid-flight (first user instruction
@@ -297,43 +307,49 @@ impl FlexSoc {
         }
         if let Some(access) = &retired.mem {
             let (first, second) = log_entries(access);
-            unit.fifo.push(Packet::Mem(first)).expect("space reserved");
-            if let Some(second) = second {
-                unit.fifo.push(Packet::Mem(second)).expect("space reserved");
+            match second {
+                // Multi-µop instructions push both entries as one burst.
+                Some(second) => unit
+                    .fifo
+                    .push_burst(&[Packet::Mem(first), Packet::Mem(second)])
+                    .expect("space reserved"),
+                None => unit.fifo.push(Packet::Mem(first)).expect("space reserved"),
             }
         }
         let at_limit = unit.tracker.on_user_retire();
         if at_limit {
-            let snap = self.soc.core(core).state.snapshot();
-            let unit = self.fabric.unit_mut(core);
-            let consumers = unit.fifo.consumers() as u64;
-            let (count, ecp) = unit.tracker.close_segment(snap, SegmentClose::CountLimit);
-            unit.fifo
-                .push(Packet::InstCount(count))
-                .expect("space reserved");
-            unit.fifo.push(Packet::Ecp(ecp)).expect("cp slot reserved");
-            self.soc
-                .stall_core(core, cfg.ecp_extract_cycles * consumers);
+            self.close_segment(core, SegmentClose::CountLimit);
         }
         // Charge DMA cost for packets that spilled past the SRAM.
+        let dma_cycles = self.fabric.config().dma_cycles;
         let unit = self.fabric.unit_mut(core);
         let spilled = unit.fifo.spilled_packets();
         if spilled > unit.spill_charged {
             let new = spilled - unit.spill_charged;
             unit.spill_charged = spilled;
-            self.soc.stall_core(core, cfg.dma_cycles * new);
+            self.soc.stall_core(core, dma_cycles * new);
         }
     }
 
     /// Steps a busy checker core through the Al. 2 loop.
+    ///
+    /// The stream head is always classified *by reference*: packets are
+    /// `ArchSnapshot`-sized, and this runs once per replayed instruction,
+    /// so the hot path copies out at most a few words (checkpoint
+    /// snapshots are restored/compared straight from the buffered
+    /// packet).
     pub fn step_checker(&mut self, core: usize) -> EngineStep {
-        let cfg = *self.fabric.config();
         let Some((main, consumer)) = self.fabric.channel_of(core) else {
             return EngineStep::Idle;
         };
         if !self.soc.core(core).is_running() {
             return EngineStep::Idle;
         }
+        let cfg = self.fabric.config();
+        let dma_spill = cfg.dma_spill;
+        let wait_cycles = cfg.checker_wait_cycles;
+        let scp_apply_cycles = cfg.scp_apply_cycles;
+        let ecp_compare_cycles = cfg.ecp_compare_cycles;
 
         let phase = self.fabric.unit(core).checker.phase;
         match phase {
@@ -349,7 +365,7 @@ impl FlexSoc {
                 // checker must consume *streaming*, entry by entry, as on
                 // the paper's SRAM-only datapath (mid-replay gaps simply
                 // stall the checker for a beat).
-                if cfg.dma_spill
+                if dma_spill
                     && self
                         .fabric
                         .unit(main)
@@ -358,46 +374,51 @@ impl FlexSoc {
                         == 0
                 {
                     self.fabric.stats.checker_wait_stalls += 1;
-                    self.soc.stall_core(core, cfg.checker_wait_cycles);
+                    self.soc.stall_core(core, wait_cycles);
                     return EngineStep::CheckerWaiting;
                 }
-                let head = {
-                    let unit = self.fabric.unit_mut(main);
-                    unit.fifo.peek(consumer).copied()
-                };
-                match head {
-                    None => {
-                        self.fabric.stats.checker_wait_stalls += 1;
-                        self.soc.stall_core(core, cfg.checker_wait_cycles);
-                        EngineStep::CheckerWaiting
-                    }
-                    Some(Packet::Scp(cp)) => {
-                        self.fabric.unit_mut(main).fifo.pop(consumer);
-                        // Stage then apply: C.apply + C.jal.
-                        self.fabric.unit_mut(core).checker.ass.stage_scp(cp);
-                        let cp2 = self
-                            .fabric
-                            .unit_mut(core)
-                            .checker
-                            .ass
-                            .take_scp()
-                            .expect("just staged");
+                // Classify the head in place; on an SCP, restore the
+                // checker's register file directly from the buffered
+                // snapshot (C.apply + C.jal) without copying the packet.
+                enum ScpHead {
+                    Empty,
+                    Applied { seq: u64, tag: u64 },
+                    Stale,
+                }
+                let head = match self.fabric.unit(main).fifo.peek(consumer) {
+                    None => ScpHead::Empty,
+                    Some(PacketRef::Scp(cp)) => {
                         let state = &mut self.soc.core_mut(core).state;
-                        state.restore(&cp2.snapshot);
+                        state.restore(&cp.snapshot);
                         state.prv = PrivMode::User;
-                        self.soc.core_mut(core).clear_reservation();
-                        self.soc.stall_core(core, cfg.scp_apply_cycles);
-                        self.fabric.unit_mut(core).checker.phase = CheckPhase::Replaying {
+                        ScpHead::Applied {
                             seq: cp.seq,
                             tag: cp.tag,
+                        }
+                    }
+                    Some(_) => ScpHead::Stale,
+                };
+                match head {
+                    ScpHead::Empty => {
+                        self.fabric.stats.checker_wait_stalls += 1;
+                        self.soc.stall_core(core, wait_cycles);
+                        EngineStep::CheckerWaiting
+                    }
+                    ScpHead::Applied { seq, tag } => {
+                        self.fabric.unit_mut(main).fifo.advance(consumer);
+                        self.soc.core_mut(core).clear_reservation();
+                        self.soc.stall_core(core, scp_apply_cycles);
+                        self.fabric.unit_mut(core).checker.phase = CheckPhase::Replaying {
+                            seq,
+                            tag,
                             count: 0,
                             ic: None,
                         };
-                        EngineStep::CheckerApplied { seq: cp.seq }
+                        EngineStep::CheckerApplied { seq }
                     }
-                    Some(_) => {
+                    ScpHead::Stale => {
                         // Stale packet from an aborted segment: discard.
-                        self.fabric.unit_mut(main).fifo.pop(consumer);
+                        self.fabric.unit_mut(main).fifo.advance(consumer);
                         self.fabric.unit_mut(core).checker.skipped_packets += 1;
                         EngineStep::CheckerProgress
                     }
@@ -409,25 +430,34 @@ impl FlexSoc {
                 count,
                 ic,
             } => {
-                let head = {
-                    let unit = self.fabric.unit_mut(main);
-                    unit.fifo.peek(consumer).copied()
+                enum ReplayHead {
+                    Empty,
+                    Count(u64),
+                    Checkpoint,
+                    Entry,
+                }
+                let head = match self.fabric.unit(main).fifo.peek(consumer) {
+                    None => ReplayHead::Empty,
+                    Some(PacketRef::InstCount(v)) => ReplayHead::Count(v),
+                    Some(PacketRef::Scp(_)) | Some(PacketRef::Ecp(_)) => ReplayHead::Checkpoint,
+                    Some(PacketRef::Mem(_)) => ReplayHead::Entry,
                 };
                 match head {
-                    None => {
+                    ReplayHead::Empty => {
                         self.fabric.stats.checker_wait_stalls += 1;
-                        self.soc.stall_core(core, cfg.checker_wait_cycles);
+                        self.soc.stall_core(core, wait_cycles);
                         EngineStep::CheckerWaiting
                     }
-                    Some(Packet::InstCount(v)) if count == v => {
-                        self.fabric.unit_mut(main).fifo.pop(consumer);
+                    ReplayHead::Count(v) if count == v => {
+                        self.fabric.unit_mut(main).fifo.advance(consumer);
                         self.fabric.unit_mut(core).checker.phase =
                             CheckPhase::WaitEcp { seq, tag, count };
                         EngineStep::CheckerProgress
                     }
-                    Some(Packet::InstCount(v)) if count > v => self.abort_segment(
+                    ReplayHead::Count(v) if count > v => self.abort_segment(
                         core,
                         main,
+                        consumer,
                         seq,
                         tag,
                         MismatchKind::CountOverrun {
@@ -435,42 +465,59 @@ impl FlexSoc {
                             actual: count,
                         },
                     ),
-                    Some(Packet::Scp(_)) | Some(Packet::Ecp(_)) if ic.is_none() => {
+                    ReplayHead::Checkpoint if ic.is_none() => {
                         // A checkpoint where entries or the count should
                         // be: the stream is inconsistent.
-                        self.abort_segment(core, main, seq, tag, MismatchKind::LogUnderrun)
+                        self.abort_segment(
+                            core,
+                            main,
+                            consumer,
+                            seq,
+                            tag,
+                            MismatchKind::LogUnderrun,
+                        )
                     }
-                    Some(other) => {
+                    ReplayHead::Count(v) => {
                         // Record the count when first observed, then
                         // replay one instruction.
-                        if let Packet::InstCount(v) = other {
-                            self.fabric.unit_mut(core).checker.phase = CheckPhase::Replaying {
-                                seq,
-                                tag,
-                                count,
-                                ic: Some(v),
-                            };
-                        }
+                        self.fabric.unit_mut(core).checker.phase = CheckPhase::Replaying {
+                            seq,
+                            tag,
+                            count,
+                            ic: Some(v),
+                        };
+                        self.replay_one(core, main, consumer, seq, tag)
+                    }
+                    ReplayHead::Checkpoint | ReplayHead::Entry => {
                         self.replay_one(core, main, consumer, seq, tag)
                     }
                 }
             }
             CheckPhase::WaitEcp { seq, tag, count } => {
-                let head = {
-                    let unit = self.fabric.unit_mut(main);
-                    unit.fifo.peek(consumer).copied()
+                // Compare the buffered ECP snapshot against the replayed
+                // state in place; only the diff list leaves the borrow.
+                enum EcpHead {
+                    Empty,
+                    Compared(Vec<flexstep_sim::hart::SnapshotDiff>),
+                    Unexpected,
+                }
+                let head = match self.fabric.unit(main).fifo.peek(consumer) {
+                    None => EcpHead::Empty,
+                    Some(PacketRef::Ecp(cp)) => {
+                        let mine = self.soc.core(core).state.snapshot();
+                        EcpHead::Compared(cp.snapshot.diff(&mine))
+                    }
+                    Some(_) => EcpHead::Unexpected,
                 };
                 match head {
-                    None => {
+                    EcpHead::Empty => {
                         self.fabric.stats.checker_wait_stalls += 1;
-                        self.soc.stall_core(core, cfg.checker_wait_cycles);
+                        self.soc.stall_core(core, wait_cycles);
                         EngineStep::CheckerWaiting
                     }
-                    Some(Packet::Ecp(cp)) => {
-                        self.fabric.unit_mut(main).fifo.pop(consumer);
-                        self.soc.stall_core(core, cfg.ecp_compare_cycles);
-                        let mine = self.soc.core(core).state.snapshot();
-                        let diffs = cp.snapshot.diff(&mine);
+                    EcpHead::Compared(diffs) => {
+                        self.fabric.unit_mut(main).fifo.advance(consumer);
+                        self.soc.stall_core(core, ecp_compare_cycles);
                         let at = self.soc.now();
                         let _ = count;
                         if diffs.is_empty() {
@@ -510,7 +557,14 @@ impl FlexSoc {
                             EngineStep::CheckerDetected(event)
                         }
                     }
-                    Some(_) => self.abort_segment(core, main, seq, tag, MismatchKind::LogUnderrun),
+                    EcpHead::Unexpected => self.abort_segment(
+                        core,
+                        main,
+                        consumer,
+                        seq,
+                        tag,
+                        MismatchKind::LogUnderrun,
+                    ),
                 }
             }
         }
@@ -545,11 +599,12 @@ impl FlexSoc {
             }
             StepKind::Stopped(_) => {
                 let kind = mismatch.unwrap_or(MismatchKind::LogUnderrun);
-                self.abort_segment(core, main, seq, tag, kind)
+                self.abort_segment(core, main, consumer, seq, tag, kind)
             }
             StepKind::Trap { cause, tval, pc } => self.abort_segment(
                 core,
                 main,
+                consumer,
                 seq,
                 tag,
                 MismatchKind::CheckerFault {
@@ -561,6 +616,7 @@ impl FlexSoc {
             other => self.abort_segment(
                 core,
                 main,
+                consumer,
                 seq,
                 tag,
                 MismatchKind::CheckerFault {
@@ -575,10 +631,22 @@ impl FlexSoc {
         &mut self,
         core: usize,
         main: usize,
+        consumer: usize,
         seq: u64,
         tag: u64,
         kind: MismatchKind,
     ) -> EngineStep {
+        // Segment-granular resynchronisation: in spill mode the aborted
+        // segment is fully buffered (through its ECP), so the remainder
+        // is skipped in one cursor move instead of one stale-packet
+        // discard per engine step. Without spill the ECP may not have
+        // been produced yet; the per-packet discard path in `WaitScp`
+        // handles the tail as it arrives.
+        if self.fabric.config().dma_spill {
+            if let Some(skipped) = self.fabric.unit_mut(main).fifo.skip_segment(consumer) {
+                self.fabric.unit_mut(core).checker.skipped_packets += skipped as u64;
+            }
+        }
         let at = self.soc.now();
         let event = DetectionEvent {
             main_core: main,

@@ -11,7 +11,6 @@ use crate::checker::CheckerState;
 use crate::dbc::BufferFifo;
 use crate::detect::DetectionEvent;
 use crate::rcpm::{SegmentTracker, DEFAULT_SEGMENT_LIMIT};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Runtime attribute of a core (visible to the OS via `G.IDs.contain`).
@@ -267,10 +266,13 @@ pub struct FabricStats {
 pub struct Fabric {
     config: FabricConfig,
     units: Vec<CoreUnit>,
-    /// Main core → its associated checkers, in consumer-index order.
-    assoc: BTreeMap<usize, Vec<usize>>,
-    /// Checker core → (main core, consumer index).
-    reverse: BTreeMap<usize, (usize, usize)>,
+    /// Per main core: its associated checkers in consumer-index order
+    /// (`Some(vec![])` = pending association, buffering with no consumer
+    /// granted yet; `None` = no association). Indexed by core id so the
+    /// per-step `checking_live` test is O(1), not a map lookup.
+    assoc: Vec<Option<Vec<usize>>>,
+    /// Per checker core: `(main core, consumer index)` of its channel.
+    reverse: Vec<Option<(usize, usize)>>,
     /// Detection events not yet drained by the OS.
     pub detections: Vec<DetectionEvent>,
     /// Aggregate statistics.
@@ -283,8 +285,8 @@ impl Fabric {
         Fabric {
             units: (0..num_cores).map(|_| CoreUnit::new(&config)).collect(),
             config,
-            assoc: BTreeMap::new(),
-            reverse: BTreeMap::new(),
+            assoc: vec![None; num_cores],
+            reverse: vec![None; num_cores],
             detections: Vec::new(),
             stats: FabricStats::default(),
         }
@@ -390,17 +392,17 @@ impl Fabric {
     }
 
     fn dissolve_associations_of(&mut self, core: usize) {
-        if let Some(checkers) = self.assoc.remove(&core) {
+        if let Some(checkers) = self.assoc[core].take() {
             for ch in checkers {
-                self.reverse.remove(&ch);
+                self.reverse[ch] = None;
             }
             self.units[core].fifo.reset();
         }
-        if let Some((main, _)) = self.reverse.remove(&core) {
-            if let Some(list) = self.assoc.get_mut(&main) {
+        if let Some((main, _)) = self.reverse[core].take() {
+            if let Some(list) = self.assoc[main].as_mut() {
                 list.retain(|&c| c != core);
                 if list.is_empty() {
-                    self.assoc.remove(&main);
+                    self.assoc[main] = None;
                 }
             }
         }
@@ -427,7 +429,7 @@ impl Fabric {
             if self.units[ch].attr != CoreAttr::Checker {
                 return Err(FlexError::NotChecker { core: ch });
             }
-            if let Some(&(m, _)) = self.reverse.get(&ch) {
+            if let Some((m, _)) = self.reverse[ch] {
                 if m != main {
                     return Err(FlexError::CheckerTaken {
                         checker: ch,
@@ -440,16 +442,16 @@ impl Fabric {
             return Err(FlexError::StreamNotDrained { main });
         }
         // Replace the previous association.
-        if let Some(old) = self.assoc.remove(&main) {
+        if let Some(old) = self.assoc[main].take() {
             for ch in old {
-                self.reverse.remove(&ch);
+                self.reverse[ch] = None;
             }
         }
         self.units[main].fifo.set_consumers(checkers.len());
         for (idx, &ch) in checkers.iter().enumerate() {
-            self.reverse.insert(ch, (main, idx));
+            self.reverse[ch] = Some((main, idx));
         }
-        self.assoc.insert(main, checkers.to_vec());
+        self.assoc[main] = Some(checkers.to_vec());
         Ok(())
     }
 
@@ -474,13 +476,13 @@ impl Fabric {
         if !self.units[main].fifo.is_fully_drained() {
             return Err(FlexError::StreamNotDrained { main });
         }
-        if let Some(old) = self.assoc.remove(&main) {
+        if let Some(old) = self.assoc[main].take() {
             for ch in old {
-                self.reverse.remove(&ch);
+                self.reverse[ch] = None;
             }
         }
         self.units[main].fifo.set_consumers(1);
-        self.assoc.insert(main, Vec::new());
+        self.assoc[main] = Some(Vec::new());
         Ok(())
     }
 
@@ -499,7 +501,7 @@ impl Fabric {
         if self.units[checker].attr != CoreAttr::Checker {
             return Err(FlexError::NotChecker { core: checker });
         }
-        if let Some(&(m, _)) = self.reverse.get(&checker) {
+        if let Some((m, _)) = self.reverse[checker] {
             return if m == main {
                 Ok(())
             } else {
@@ -509,10 +511,10 @@ impl Fabric {
                 })
             };
         }
-        match self.assoc.get_mut(&main) {
+        match self.assoc[main].as_mut() {
             Some(list) if list.is_empty() => {
                 list.push(checker);
-                self.reverse.insert(checker, (main, 0));
+                self.reverse[checker] = Some((main, 0));
                 Ok(())
             }
             _ => Err(FlexError::NotPending { main }),
@@ -532,21 +534,24 @@ impl Fabric {
     /// data, or the checker is mid-segment.
     pub fn revoke(&mut self, checker: usize) -> Result<usize, FlexError> {
         self.check_core(checker)?;
-        let (main, _) = *self
-            .reverse
-            .get(&checker)
-            .ok_or(FlexError::NoChannel { checker })?;
+        let (main, _) = self.reverse[checker].ok_or(FlexError::NoChannel { checker })?;
         if !self.units[main].fifo.is_fully_drained() {
             return Err(FlexError::StreamNotDrained { main });
         }
         if self.units[checker].checker.phase != crate::checker::CheckPhase::WaitScp {
             return Err(FlexError::CheckerBusy { checker });
         }
-        self.reverse.remove(&checker);
-        if let Some(list) = self.assoc.get_mut(&main) {
+        self.reverse[checker] = None;
+        if let Some(list) = self.assoc[main].as_mut() {
             list.retain(|&c| c != checker);
         }
         Ok(main)
+    }
+
+    /// Whether `main` has an association (granted *or* pending).
+    #[inline]
+    fn has_assoc(&self, main: usize) -> bool {
+        self.assoc[main].is_some()
     }
 
     /// `M.check`: enables or disables checking on a main core.
@@ -564,7 +569,7 @@ impl Fabric {
             if self.units[main].attr != CoreAttr::Main {
                 return Err(FlexError::NotMain { core: main });
             }
-            if !self.assoc.contains_key(&main) {
+            if !self.has_assoc(main) {
                 return Err(FlexError::NoCheckers);
             }
             self.units[main].checking_enabled = true;
@@ -591,21 +596,28 @@ impl Fabric {
         Ok(())
     }
 
-    /// The checkers associated with a main core (consumer-index order).
+    /// The checkers associated with a main core (consumer-index order);
+    /// empty for out-of-range ids.
     pub fn checkers_of(&self, main: usize) -> &[usize] {
-        self.assoc.get(&main).map_or(&[], |v| v.as_slice())
+        self.assoc
+            .get(main)
+            .and_then(|a| a.as_deref())
+            .unwrap_or(&[])
     }
 
-    /// The channel endpoint of a checker: `(main core, consumer index)`.
+    /// The channel endpoint of a checker: `(main core, consumer index)`;
+    /// `None` for unconnected or out-of-range ids.
+    #[inline]
     pub fn channel_of(&self, checker: usize) -> Option<(usize, usize)> {
-        self.reverse.get(&checker).copied()
+        self.reverse.get(checker).copied().flatten()
     }
 
     /// Whether checking is live on a main core (attribute, enable bit and
     /// association all in place).
+    #[inline]
     pub fn checking_live(&self, main: usize) -> bool {
         let unit = &self.units[main];
-        unit.attr == CoreAttr::Main && unit.checking_enabled && self.assoc.contains_key(&main)
+        unit.attr == CoreAttr::Main && unit.checking_enabled && self.has_assoc(main)
     }
 
     /// Drains all pending detection events.

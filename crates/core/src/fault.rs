@@ -8,7 +8,7 @@
 //! error-detection latency of Fig. 7.
 
 use crate::fabric::Fabric;
-use crate::packet::Packet;
+use crate::packet::{PacketMut, PacketRef};
 use rand::Rng;
 use std::fmt;
 
@@ -69,7 +69,7 @@ pub fn inject_random_fault<R: Rng>(
     let idx = rng.gen_range(0..len);
     let packet = unit.fifo.packet_mut(idx).expect("index in range");
     let (target, bit) = match packet {
-        Packet::Mem(e) => {
+        PacketMut::Mem(e) => {
             if rng.gen_bool(0.5) && !matches!(e.kind, crate::packet::LogKind::ScResult) {
                 let bit = rng.gen_range(0..32u32); // plausible physical address bits
                 e.addr ^= 1 << bit;
@@ -80,12 +80,12 @@ pub fn inject_random_fault<R: Rng>(
                 (FaultTarget::EntryData, bit)
             }
         }
-        Packet::Scp(cp) | Packet::Ecp(cp) => {
+        PacketMut::Scp(cp) | PacketMut::Ecp(cp) => {
             let bit = rng.gen_range(0..(66 * 64) as u32);
             cp.snapshot.flip_bit(bit as usize);
             (FaultTarget::Checkpoint, bit)
         }
-        Packet::InstCount(v) => {
+        PacketMut::InstCount(v) => {
             let bit = rng.gen_range(0..8u32); // low bits keep counts plausible
             *v ^= 1 << bit;
             (FaultTarget::InstCount, bit)
@@ -136,18 +136,18 @@ pub fn inject_targeted_fault<R: Rng>(
     // Collect candidate packet indices of the requested class.
     let mut candidates = Vec::new();
     for idx in 0..len {
-        let p = unit.fifo.packet_mut(idx).expect("index in range");
-        let matches = match (target, &*p) {
-            (FaultTarget::EntryAddr, Packet::Mem(e)) => {
+        let p = unit.fifo.packet_ref_at(idx).expect("index in range");
+        let matches = match (target, p) {
+            (FaultTarget::EntryAddr, PacketRef::Mem(e)) => {
                 // Supplementary µop entries carry no address.
                 !matches!(
                     e.kind,
                     crate::packet::LogKind::ScResult | crate::packet::LogKind::AmoLoad
                 )
             }
-            (FaultTarget::EntryData, Packet::Mem(_)) => true,
-            (FaultTarget::Checkpoint, Packet::Scp(_) | Packet::Ecp(_)) => true,
-            (FaultTarget::InstCount, Packet::InstCount(_)) => true,
+            (FaultTarget::EntryData, PacketRef::Mem(_)) => true,
+            (FaultTarget::Checkpoint, PacketRef::Scp(_) | PacketRef::Ecp(_)) => true,
+            (FaultTarget::InstCount, PacketRef::InstCount(_)) => true,
             _ => false,
         };
         if matches {
@@ -158,11 +158,9 @@ pub fn inject_targeted_fault<R: Rng>(
         return None;
     }
     let idx = candidates[rng.gen_range(0..candidates.len())];
-    let packet = unit.fifo.packet_mut(idx).expect("candidate in range");
-
-    let width = match (target, &*packet) {
+    let width = match (target, unit.fifo.packet_ref_at(idx).expect("in range")) {
         (FaultTarget::EntryAddr, _) => 32,
-        (FaultTarget::EntryData, Packet::Mem(e)) => u32::from(e.size) * 8,
+        (FaultTarget::EntryData, PacketRef::Mem(e)) => u32::from(e.size) * 8,
         (FaultTarget::Checkpoint, _) => (66 * 64) as u32,
         (FaultTarget::InstCount, _) => 13, // log2(5000) ≈ 12.3: plausible counts
         _ => unreachable!("candidate class checked above"),
@@ -175,14 +173,15 @@ pub fn inject_targeted_fault<R: Rng>(
             flipped.push(b);
         }
     }
+    let mut packet = unit.fifo.packet_mut(idx).expect("candidate in range");
     for &b in &flipped {
-        match (target, &mut *packet) {
-            (FaultTarget::EntryAddr, Packet::Mem(e)) => e.addr ^= 1 << b,
-            (FaultTarget::EntryData, Packet::Mem(e)) => e.data ^= 1 << b,
-            (FaultTarget::Checkpoint, Packet::Scp(cp) | Packet::Ecp(cp)) => {
+        match (target, &mut packet) {
+            (FaultTarget::EntryAddr, PacketMut::Mem(e)) => e.addr ^= 1 << b,
+            (FaultTarget::EntryData, PacketMut::Mem(e)) => e.data ^= 1 << b,
+            (FaultTarget::Checkpoint, PacketMut::Scp(cp) | PacketMut::Ecp(cp)) => {
                 cp.snapshot.flip_bit(b as usize);
             }
-            (FaultTarget::InstCount, Packet::InstCount(v)) => *v ^= 1 << b,
+            (FaultTarget::InstCount, PacketMut::InstCount(v)) => **v ^= 1 << b,
             _ => unreachable!("candidate class checked above"),
         }
     }
@@ -252,7 +251,7 @@ impl LatencyStats {
 mod tests {
     use super::*;
     use crate::fabric::FabricConfig;
-    use crate::packet::{LogEntry, LogKind};
+    use crate::packet::{LogEntry, LogKind, Packet};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -285,13 +284,13 @@ mod tests {
     fn injection_mutates_exactly_one_packet() {
         let mut f = fabric_with_entries(8);
         let before: Vec<Packet> = (0..8)
-            .map(|i| *f.unit_mut(0).fifo.packet_mut(i).unwrap())
+            .map(|i| f.unit_mut(0).fifo.packet_at(i).unwrap())
             .collect();
         let mut rng = StdRng::seed_from_u64(7);
         let rec = inject_random_fault(&mut f, 0, 55, &mut rng).unwrap();
         assert_eq!(rec.at_cycle, 55);
         let after: Vec<Packet> = (0..8)
-            .map(|i| *f.unit_mut(0).fifo.packet_mut(i).unwrap())
+            .map(|i| f.unit_mut(0).fifo.packet_at(i).unwrap())
             .collect();
         let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         assert_eq!(changed, 1, "exactly one packet must change");
@@ -360,10 +359,10 @@ mod tests {
         // injections into a 1-entry FIFO must leave the packet corrupted
         // relative to pristine unless the two draws coincide exactly.
         let mut f = fabric_with_entries(1);
-        let pristine = *f.unit_mut(0).fifo.packet_mut(0).unwrap();
+        let pristine = f.unit_mut(0).fifo.packet_at(0).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let a = inject_targeted_fault(&mut f, 0, FaultTarget::EntryData, 2, 0, &mut rng).unwrap();
-        let now = *f.unit_mut(0).fifo.packet_mut(0).unwrap();
+        let now = f.unit_mut(0).fifo.packet_at(0).unwrap();
         assert_ne!(pristine, now, "two distinct flips cannot cancel: {a:?}");
     }
 

@@ -33,6 +33,9 @@ pub struct RunReport {
     pub detections: Vec<DetectionEvent>,
     /// Backpressure stalls suffered by the main core.
     pub backpressure_stalls: u64,
+    /// Engine steps executed over the run's lifetime (throughput
+    /// accounting for the perf harness).
+    pub engine_steps: u64,
 }
 
 /// A single-workload verified-execution driver.
@@ -66,6 +69,7 @@ pub struct VerifiedRun {
     checkers: Vec<usize>,
     main_done: bool,
     main_finish_cycle: u64,
+    steps: u64,
 }
 
 impl VerifiedRun {
@@ -100,6 +104,7 @@ impl VerifiedRun {
             checkers,
             main_done: false,
             main_finish_cycle: 0,
+            steps: 0,
         })
     }
 
@@ -145,16 +150,24 @@ impl VerifiedRun {
             })
     }
 
+    /// Selects the ready-core scheduler; see
+    /// [`SchedMode`](flexstep_sim::SchedMode). Both modes produce
+    /// bit-identical runs — `LinearScan` exists for A/B benchmarking.
+    pub fn set_sched_mode(&mut self, mode: flexstep_sim::SchedMode) {
+        self.fs.soc.set_sched_mode(mode);
+    }
+
     /// Executes one scheduling quantum: steps the earliest-ready core.
     /// Returns `false` once the run is fully complete.
     pub fn step_once(&mut self) -> bool {
         if self.main_done && self.drained() {
             return false;
         }
-        let core = match self.fs.soc.next_ready_core() {
+        let core = match self.fs.soc.next_ready() {
             Some(c) => c,
             None => return false,
         };
+        self.steps += 1;
         let step = self.fs.step(core);
         if core == self.main {
             if let EngineStep::Core(StepKind::Trap {
@@ -209,6 +222,7 @@ impl VerifiedRun {
             segments_failed: failed,
             detections: self.fs.fabric.take_detections(),
             backpressure_stalls: self.fs.fabric.stats.backpressure_stalls,
+            engine_steps: self.steps,
         }
     }
 }

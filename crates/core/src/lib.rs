@@ -99,6 +99,6 @@ pub use fault::{
     LatencyStats, TargetedInjection,
 };
 pub use harness::{baseline_cycles, RunReport, VerifiedRun};
-pub use packet::{log_entries, Checkpoint, LogEntry, LogKind, Packet};
+pub use packet::{log_entries, Checkpoint, LogEntry, LogKind, Packet, PacketMut, PacketRef};
 pub use rcpm::{Ass, SegmentClose, SegmentTracker, DEFAULT_SEGMENT_LIMIT};
 pub use share::{ArbiterStats, CheckerArbiter, SharedCheckerRun, SharedRunReport};

@@ -158,10 +158,7 @@ impl Packet {
     pub fn bytes(&self) -> usize {
         match self {
             Packet::Scp(_) | Packet::Ecp(_) => ArchSnapshot::BYTES + 8,
-            Packet::Mem(e) => match e.kind {
-                LogKind::ScResult | LogKind::AmoLoad => 8,
-                _ => 16,
-            },
+            Packet::Mem(e) => entry_bytes(e),
             Packet::InstCount(_) => 8,
         }
     }
@@ -170,6 +167,60 @@ impl Packet {
     pub fn is_checkpoint(&self) -> bool {
         matches!(self, Packet::Scp(_) | Packet::Ecp(_))
     }
+}
+
+/// FIFO occupancy of one memory-access log entry, in bytes.
+#[inline]
+pub(crate) fn entry_bytes(e: &LogEntry) -> usize {
+    match e.kind {
+        LogKind::ScResult | LogKind::AmoLoad => 8,
+        _ => 16,
+    }
+}
+
+/// A borrowed view of a buffered packet.
+///
+/// [`Packet`] is dominated by its checkpoint variants (an
+/// [`ArchSnapshot`] is >0.5 KiB), so the replay hot path never moves
+/// packets around — the FIFO hands out this view and consumers copy at
+/// most the small payload they need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PacketRef<'a> {
+    /// Start register checkpoint.
+    Scp(&'a Checkpoint),
+    /// A memory-access log entry.
+    Mem(&'a LogEntry),
+    /// The segment's user-mode instruction count.
+    InstCount(u64),
+    /// End register checkpoint.
+    Ecp(&'a Checkpoint),
+}
+
+impl PacketRef<'_> {
+    /// Materialises the packet (copies the checkpoint payload — test and
+    /// tooling convenience, not for the hot path).
+    pub fn to_packet(&self) -> Packet {
+        match *self {
+            PacketRef::Scp(cp) => Packet::Scp(*cp),
+            PacketRef::Mem(e) => Packet::Mem(*e),
+            PacketRef::InstCount(v) => Packet::InstCount(v),
+            PacketRef::Ecp(cp) => Packet::Ecp(*cp),
+        }
+    }
+}
+
+/// A mutable view of a buffered packet (fault injection into in-flight
+/// data).
+#[derive(Debug)]
+pub enum PacketMut<'a> {
+    /// Start register checkpoint.
+    Scp(&'a mut Checkpoint),
+    /// A memory-access log entry.
+    Mem(&'a mut LogEntry),
+    /// The segment's user-mode instruction count.
+    InstCount(&'a mut u64),
+    /// End register checkpoint.
+    Ecp(&'a mut Checkpoint),
 }
 
 #[cfg(test)]

@@ -279,7 +279,7 @@ impl SharedCheckerRun {
             return false;
         }
         self.arbiter.poll(&mut self.fs.fabric);
-        let Some(core) = self.fs.soc.next_ready_core() else {
+        let Some(core) = self.fs.soc.next_ready() else {
             return false;
         };
         let step = self.fs.step(core);

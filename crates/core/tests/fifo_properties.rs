@@ -21,6 +21,19 @@ enum Op {
     Pop(usize),
 }
 
+/// Operations for the burst-API equivalence property.
+#[derive(Debug, Clone)]
+enum BurstOp {
+    /// Push a burst of packets in one `push_burst` call.
+    PushBurst(Vec<PacketShape>),
+    /// Pop one packet for consumer `c`.
+    Pop(usize),
+    /// Drain one complete segment for consumer `c`.
+    DrainSegment(usize),
+    /// Skip one complete segment for consumer `c`.
+    SkipSegment(usize),
+}
+
 #[derive(Debug, Clone, Copy)]
 enum PacketShape {
     Load,
@@ -64,6 +77,26 @@ fn packet_of(shape: PacketShape, n: u64) -> Packet {
         }),
         PacketShape::Count => Packet::InstCount(n),
     }
+}
+
+fn shape_strategy() -> impl Strategy<Value = PacketShape> {
+    prop_oneof![
+        Just(PacketShape::Load),
+        Just(PacketShape::Store),
+        Just(PacketShape::ScPair),
+        Just(PacketShape::Scp),
+        Just(PacketShape::Ecp),
+        Just(PacketShape::Count),
+    ]
+}
+
+fn burst_op_strategy() -> impl Strategy<Value = BurstOp> {
+    prop_oneof![
+        3 => proptest::collection::vec(shape_strategy(), 1..6).prop_map(BurstOp::PushBurst),
+        2 => (0usize..3).prop_map(BurstOp::Pop),
+        1 => (0usize..3).prop_map(BurstOp::DrainSegment),
+        1 => (0usize..3).prop_map(BurstOp::SkipSegment),
+    ]
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -176,7 +209,16 @@ proptest! {
                         }
                         Err(e) => {
                             prop_assert!(!fits, "push failed though can_accept was true");
-                            prop_assert!(e.needed > 0);
+                            // The error reports the rejected packet's need
+                            // in its own storage class: bytes for entries,
+                            // slots for checkpoints.
+                            if p.is_checkpoint() {
+                                prop_assert_eq!(e.needed, 0);
+                                prop_assert_eq!(e.needed_slots, 1);
+                            } else {
+                                prop_assert_eq!(e.needed, p.bytes());
+                                prop_assert_eq!(e.needed_slots, 0);
+                            }
                         }
                     }
                 }
@@ -234,6 +276,100 @@ proptest! {
                 fifo.complete_segments_ahead(0),
                 pushed_ecps - consumed_ecps
             );
+        }
+    }
+
+    /// The burst APIs are byte-for-byte equivalent to per-packet
+    /// `push`/`pop`: the same consumer-visible packet sequence, the same
+    /// cursors (observed through `backlog`), and the same reclaim
+    /// accounting (`used_bytes`/`checkpoints_in_flight`), under random
+    /// interleavings with 1–2 consumers.
+    #[test]
+    fn burst_apis_match_per_packet_ops(
+        ops in proptest::collection::vec(burst_op_strategy(), 1..80),
+        consumers in 1usize..3,
+    ) {
+        let mut batched = BufferFifo::new(256, 4);
+        batched.set_spill(true);
+        batched.set_consumers(consumers);
+        let mut single = batched.clone();
+        let mut n = 0u64;
+        for op in ops {
+            match op {
+                BurstOp::PushBurst(shapes) => {
+                    let burst: Vec<Packet> = shapes
+                        .iter()
+                        .map(|&s| {
+                            let p = packet_of(s, n);
+                            n += 1;
+                            p
+                        })
+                        .collect();
+                    batched.push_burst(&burst).expect("spill enabled");
+                    for &p in &burst {
+                        single.push(p).expect("spill enabled");
+                    }
+                }
+                BurstOp::Pop(c) => {
+                    let c = c % consumers;
+                    prop_assert_eq!(batched.pop(c), single.pop(c));
+                }
+                BurstOp::DrainSegment(c) => {
+                    let c = c % consumers;
+                    let drained = batched.drain_segment(c);
+                    // Reference: pop one at a time through the next ECP.
+                    let expect = if single.complete_segments_ahead(c) == 0 {
+                        None
+                    } else {
+                        let mut v = Vec::new();
+                        loop {
+                            let p = single.pop(c).expect("segment is buffered");
+                            let is_ecp = matches!(p, Packet::Ecp(_));
+                            v.push(p);
+                            if is_ecp {
+                                break;
+                            }
+                        }
+                        Some(v)
+                    };
+                    prop_assert_eq!(drained, expect);
+                }
+                BurstOp::SkipSegment(c) => {
+                    let c = c % consumers;
+                    let skipped = batched.skip_segment(c);
+                    let expect = if single.complete_segments_ahead(c) == 0 {
+                        None
+                    } else {
+                        let mut count = 0usize;
+                        loop {
+                            let p = single.pop(c).expect("segment is buffered");
+                            count += 1;
+                            if matches!(p, Packet::Ecp(_)) {
+                                break;
+                            }
+                        }
+                        Some(count)
+                    };
+                    prop_assert_eq!(skipped, expect);
+                }
+            }
+            // The two FIFOs must be indistinguishable after every op.
+            prop_assert_eq!(batched.used_bytes(), single.used_bytes());
+            prop_assert_eq!(
+                batched.checkpoints_in_flight(),
+                single.checkpoints_in_flight()
+            );
+            prop_assert_eq!(batched.len(), single.len());
+            prop_assert_eq!(batched.total_pushed(), single.total_pushed());
+            prop_assert_eq!(batched.spilled_packets(), single.spilled_packets());
+            prop_assert_eq!(batched.is_fully_drained(), single.is_fully_drained());
+            for c in 0..consumers {
+                prop_assert_eq!(batched.backlog(c), single.backlog(c), "cursor {} diverged", c);
+                prop_assert_eq!(
+                    batched.complete_segments_ahead(c),
+                    single.complete_segments_ahead(c)
+                );
+            }
         }
     }
 

@@ -622,7 +622,7 @@ impl System {
                 self.schedule_core(core);
             }
 
-            let Some(core) = self.fs.soc.next_ready_core() else {
+            let Some(core) = self.fs.soc.next_ready() else {
                 // Everything parked: jump to the next release.
                 match self.next_release_time() {
                     Some(t) if t < horizon => {

@@ -188,6 +188,9 @@ pub struct Cache {
     lines: Vec<Line>,
     stats: CacheStats,
     tick: u64,
+    /// Count of non-Invalid lines; lets coherence probes of untouched
+    /// caches (e.g. a checker core's never-used L1D) exit in O(1).
+    resident: usize,
 }
 
 impl Cache {
@@ -204,6 +207,7 @@ impl Cache {
             lines: vec![INVALID_LINE; n],
             stats: CacheStats::default(),
             tick: 0,
+            resident: 0,
         })
     }
 
@@ -285,6 +289,8 @@ impl Cache {
                 self.stats.writebacks += 1;
                 writeback = Some(self.line_base(set, old.tag));
             }
+        } else {
+            self.resident += 1;
         }
         self.lines[victim] = Line {
             tag,
@@ -304,6 +310,9 @@ impl Cache {
     /// Looks up the state of the line containing `addr` without touching
     /// LRU or statistics.
     pub fn probe(&self, addr: u64) -> LineState {
+        if self.resident == 0 {
+            return LineState::Invalid;
+        }
         let set = self.set_index(addr);
         let tag = self.tag(addr);
         for i in self.set_range(set) {
@@ -329,6 +338,7 @@ impl Cache {
                 }
                 self.stats.invalidations += 1;
                 line.state = LineState::Invalid;
+                self.resident -= 1;
                 return old;
             }
         }
@@ -353,10 +363,7 @@ impl Cache {
 
     /// Number of resident (non-invalid) lines.
     pub fn resident_lines(&self) -> usize {
-        self.lines
-            .iter()
-            .filter(|l| l.state != LineState::Invalid)
-            .count()
+        self.resident
     }
 
     /// Invalidates everything (e.g. at task-image reload).
@@ -364,6 +371,7 @@ impl Cache {
         for line in &mut self.lines {
             *line = INVALID_LINE;
         }
+        self.resident = 0;
     }
 }
 

@@ -8,11 +8,49 @@
 //! coherence-state* models layered on top (a standard split in
 //! architectural simulators — see `DESIGN.md` §5).
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 /// Page size of the sparse backing store (4 KiB).
 pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Multiplicative page-index hasher. The page map sits on the
+/// one-lookup-per-memory-access hot path of the simulator; page indices
+/// are small, trusted integers, so SipHash's DoS resistance buys nothing
+/// and its latency is pure overhead.
+#[derive(Debug, Clone, Copy, Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BuildPageHasher;
+
+impl BuildHasher for BuildPageHasher {
+    type Hasher = PageHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> PageHasher {
+        PageHasher(0)
+    }
+}
 
 /// Sparse, page-granular physical memory.
 ///
@@ -30,7 +68,7 @@ pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PhysMem {
-    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildPageHasher>,
 }
 
 impl PhysMem {

@@ -45,6 +45,14 @@ pub struct Core {
     pub(crate) timer_pending: bool,
     /// Destination of the previously retired load (load-use interlock).
     pub(crate) last_load_rd: Option<XReg>,
+    /// I-cache line of the previous fetch (L0 fetch fast path): a repeat
+    /// fetch of the same line is a guaranteed L1 hit and cannot change
+    /// any replacement decision, so the tag-array walk is skipped.
+    pub(crate) last_fetch_line: u64,
+    /// The words of `last_fetch_line` (valid when the line is 64 bytes):
+    /// repeat fetches read straight from this buffer, skipping the sparse
+    /// page map. Invalidated when this core stores to the line.
+    pub(crate) line_buf: [u32; 16],
 }
 
 impl Core {
@@ -62,6 +70,8 @@ impl Core {
             timer_cmp: None,
             timer_pending: false,
             last_load_rd: None,
+            last_fetch_line: u64::MAX,
+            line_buf: [0; 16],
         }
     }
 

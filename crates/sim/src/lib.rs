@@ -41,6 +41,7 @@ pub mod core;
 pub mod exec;
 pub mod hart;
 pub mod port;
+pub(crate) mod ready;
 pub mod soc;
 pub mod timing;
 
@@ -49,5 +50,5 @@ pub use bpred::{BpredConfig, BranchPredictor};
 pub use exec::{BranchOutcome, MemAccess, MemAccessKind};
 pub use hart::{ArchSnapshot, ArchState, CsrCounters, PrivMode, TrapCause};
 pub use port::{amo_apply, DataPort, PortStop, SocDataPort};
-pub use soc::{Retired, Soc, SocConfig, StepKind, StepResult};
+pub use soc::{Retired, SchedMode, Soc, SocConfig, StepKind, StepResult};
 pub use timing::{Clock, ExecCosts};

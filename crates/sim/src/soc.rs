@@ -15,6 +15,8 @@ use crate::core::{Core, RunState};
 use crate::exec::{execute, BranchOutcome, MemAccess, Stop};
 use crate::hart::{CsrCounters, PrivMode, TrapCause};
 use crate::port::{DataPort, PortStop, SocDataPort};
+use crate::ready::ReadyQueue;
+pub use crate::ready::SchedMode;
 use crate::timing::{Clock, ExecCosts};
 use flexstep_isa::asm::Program;
 use flexstep_isa::decode::decode;
@@ -122,6 +124,11 @@ pub struct StepResult {
     pub now: u64,
 }
 
+/// Slots in the decoded-instruction cache (power of two). Decoding is a
+/// pure function of the fetched word, so memoising it is invisible to
+/// both architectural results and timing.
+const DECODE_SLOTS: usize = 4096;
+
 /// The simulated SoC.
 pub struct Soc {
     cores: Vec<Core>,
@@ -130,6 +137,14 @@ pub struct Soc {
     clock: Clock,
     costs: ExecCosts,
     now: u64,
+    ready: ReadyQueue,
+    sched_mode: SchedMode,
+    /// Direct-mapped memo of `decode`, keyed by instruction word.
+    decode_cache: Box<[Option<(u32, Inst)>]>,
+    /// Mask selecting the I-cache line address of a pc (L0 fetch path).
+    fetch_line_mask: u64,
+    /// Whether the per-core 16-word line buffer applies (64-byte lines).
+    line_buf_ok: bool,
 }
 
 impl std::fmt::Debug for Soc {
@@ -150,16 +165,33 @@ impl Soc {
     /// invalid.
     pub fn new(config: SocConfig) -> Result<Self, CacheGeometryError> {
         let mem = MemorySystem::new(config.num_cores, config.mem)?;
-        let cores = (0..config.num_cores)
+        let cores: Vec<Core> = (0..config.num_cores)
             .map(|i| Core::new(i, config.bpred))
             .collect();
         Ok(Soc {
+            ready: ReadyQueue::new(cores.len()),
             cores,
             mem,
             clock: config.clock,
             costs: config.costs,
             now: 0,
+            sched_mode: SchedMode::default_for(config.num_cores),
+            decode_cache: vec![None; DECODE_SLOTS].into_boxed_slice(),
+            fetch_line_mask: !(config.mem.l1i.line_bytes as u64 - 1),
+            line_buf_ok: config.mem.l1i.line_bytes == 64,
         })
+    }
+
+    /// Selects the ready-core scheduling algorithm (see [`SchedMode`]).
+    /// Both modes pick identical cores; `LinearScan` exists for A/B
+    /// benchmarking and determinism cross-checks.
+    pub fn set_sched_mode(&mut self, mode: SchedMode) {
+        self.sched_mode = mode;
+    }
+
+    /// The active scheduling algorithm.
+    pub fn sched_mode(&self) -> SchedMode {
+        self.sched_mode
     }
 
     /// Number of cores.
@@ -192,6 +224,9 @@ impl Soc {
     ///
     /// Panics if `id` is out of range.
     pub fn core_mut(&mut self, id: usize) -> &mut Core {
+        // The caller may change `ready_at` or the run state through this
+        // borrow; conservatively refresh the core's ready-queue entry.
+        self.ready.mark_dirty(id);
         &mut self.cores[id]
     }
 
@@ -207,16 +242,32 @@ impl Soc {
             .phys_mut()
             .load_words(program.text_base, &program.text);
         self.mem.phys_mut().load(program.data_base, &program.data);
+        // The image may overwrite text the L0 fetch buffers still hold.
+        for core in &mut self.cores {
+            core.last_fetch_line = u64::MAX;
+        }
     }
 
     /// The earliest-ready running core (ties to the lowest id), or `None`
-    /// if no core is running.
+    /// if no core is running — the O(num_cores) reference scan. Driver
+    /// loops should prefer [`Soc::next_ready`].
     pub fn next_ready_core(&self) -> Option<usize> {
         self.cores
             .iter()
             .filter(|c| c.is_running())
             .min_by_key(|c| (c.ready_at, c.id))
             .map(|c| c.id)
+    }
+
+    /// The earliest-ready running core under the configured
+    /// [`SchedMode`]. The event queue answers in O(log n) amortised and
+    /// picks exactly the core the linear scan would.
+    #[inline]
+    pub fn next_ready(&mut self) -> Option<usize> {
+        match self.sched_mode {
+            SchedMode::EventQueue => self.ready.peek_min(&self.cores),
+            SchedMode::LinearScan => self.next_ready_core(),
+        }
     }
 
     /// The earliest armed timer among parked cores, used by drivers to
@@ -243,6 +294,27 @@ impl Soc {
     pub fn stall_core(&mut self, id: usize, cycles: u64) {
         let base = self.now.max(self.cores[id].ready_at);
         self.cores[id].ready_at = base + cycles;
+        self.ready.mark_dirty(id);
+    }
+
+    /// Memoised instruction decode: a direct-mapped, word-keyed cache in
+    /// front of the pure `decode` function. Misses (including words that
+    /// do not decode) fall through to the real decoder.
+    #[inline]
+    fn decode_cached(&mut self, word: u32) -> Option<Inst> {
+        let idx = (word ^ word.rotate_right(16)) as usize & (DECODE_SLOTS - 1);
+        if let Some((w, inst)) = self.decode_cache[idx] {
+            if w == word {
+                return Some(inst);
+            }
+        }
+        match decode(word) {
+            Ok(inst) => {
+                self.decode_cache[idx] = Some((word, inst));
+                Some(inst)
+            }
+            Err(_) => None,
+        }
     }
 
     /// Steps `core` one instruction through the normal memory port.
@@ -274,7 +346,9 @@ impl Soc {
                 now: self.now,
             };
         }
-        // Advance the global clock to this core's ready time.
+        // Advance the global clock to this core's ready time. The step
+        // may move `ready_at` or park the core; refresh its queue entry.
+        self.ready.mark_dirty(id);
         self.now = self.now.max(self.cores[id].ready_at);
         let now = self.now;
 
@@ -299,12 +373,37 @@ impl Soc {
 
         // Fetch through the I-cache. A pipelined front end hides the L1
         // hit; only the penalty beyond the hit stalls the core.
+        //
+        // L0 fast path: a fetch from the line fetched immediately before
+        // is a guaranteed L1 hit (nothing can evict it in between — the
+        // I-cache is only mutated by this core's own fetches and is not
+        // snooped), and skipping its LRU refresh cannot change any
+        // replacement decision because no other line in the set was
+        // touched since. Timing and replacement stay bit-exact.
         let pc = self.cores[id].state.pc;
-        let (word, fetch_total) = self.mem.fetch(id, pc);
-        let fetch_cycles = fetch_total.saturating_sub(self.mem.latency().l1_hit);
-        let inst = match decode(word) {
-            Ok(inst) => inst,
-            Err(_) => {
+        let line = pc & self.fetch_line_mask;
+        let (word, fetch_cycles) = if self.cores[id].last_fetch_line == line {
+            let w = if self.line_buf_ok {
+                self.cores[id].line_buf[(pc as usize >> 2) & 15]
+            } else {
+                self.mem.phys().read_u32(pc)
+            };
+            (w, 0)
+        } else {
+            let (word, fetch_total) = self.mem.fetch(id, pc);
+            self.cores[id].last_fetch_line = line;
+            if self.line_buf_ok {
+                let phys = self.mem.phys();
+                let core = &mut self.cores[id];
+                for (i, slot) in core.line_buf.iter_mut().enumerate() {
+                    *slot = phys.read_u32(line + 4 * i as u64);
+                }
+            }
+            (word, fetch_total.saturating_sub(self.mem.latency().l1_hit))
+        };
+        let inst = match self.decode_cached(word) {
+            Some(inst) => inst,
+            None => {
                 return StepResult {
                     kind: StepKind::Trap {
                         cause: TrapCause::IllegalInstruction,
@@ -364,6 +463,19 @@ impl Soc {
                         cycles += self.costs.load_use;
                     }
                 }
+                // Self-modifying code: a store into a line some L0 fetch
+                // buffer holds invalidates it on *every* core (cross-core
+                // code patching included), so the affected cores refetch
+                // through the modelled I-cache — and live memory — on
+                // their next step.
+                let stored_line = exec.mem.as_ref().and_then(|m| {
+                    (!matches!(
+                        m.kind,
+                        crate::exec::MemAccessKind::Load | crate::exec::MemAccessKind::Lr
+                    ))
+                    .then_some(m.addr & self.fetch_line_mask)
+                });
+
                 core.last_load_rd = match (&exec.mem, inst.writes_xreg()) {
                     (Some(m), Some(rd))
                         if matches!(
@@ -407,6 +519,14 @@ impl Soc {
                     core.user_instret += 1;
                 }
                 core.ready_at = now + cycles;
+
+                if let Some(line) = stored_line {
+                    for c in &mut self.cores {
+                        if c.last_fetch_line == line {
+                            c.last_fetch_line = u64::MAX;
+                        }
+                    }
+                }
 
                 StepResult {
                     kind: StepKind::Retired(Retired {
@@ -472,6 +592,7 @@ impl Soc {
         core.state.pc = core.state.pc.wrapping_add(4);
         core.instret += 1;
         core.ready_at = self.now.max(core.ready_at) + 1;
+        self.ready.mark_dirty(id);
     }
 
     /// Runs a single program on core 0 until it traps with an `ecall`,
@@ -604,6 +725,27 @@ mod tests {
         assert_eq!(soc.next_ready_core(), Some(0));
         soc.core_mut(0).park();
         assert_eq!(soc.next_ready_core(), None);
+    }
+
+    #[test]
+    fn event_queue_matches_linear_scan() {
+        let mut soc = Soc::new(SocConfig::paper(3)).unwrap();
+        assert_eq!(soc.next_ready(), None);
+        soc.core_mut(0).unpark();
+        soc.core_mut(1).unpark();
+        soc.core_mut(2).unpark();
+        soc.core_mut(0).ready_at = 30;
+        soc.core_mut(1).ready_at = 10;
+        soc.core_mut(2).ready_at = 10;
+        for _ in 0..4 {
+            assert_eq!(soc.next_ready(), soc.next_ready_core());
+            let id = soc.next_ready().unwrap();
+            soc.stall_core(id, 25);
+        }
+        soc.core_mut(1).park();
+        assert_eq!(soc.next_ready(), soc.next_ready_core());
+        soc.set_sched_mode(SchedMode::LinearScan);
+        assert_eq!(soc.next_ready(), soc.next_ready_core());
     }
 
     #[test]
