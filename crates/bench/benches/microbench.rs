@@ -3,8 +3,7 @@
 //! schedulability machinery.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use flexstep_core::harness::VerifiedRun;
-use flexstep_core::FabricConfig;
+use flexstep_core::Scenario;
 use flexstep_isa::{decode, encode};
 use flexstep_sched::{generate, FlexStepPartitioner, GenParams, Partitioner};
 use flexstep_sim::{Soc, SocConfig};
@@ -53,7 +52,7 @@ fn bench_verified_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("flexstep_pipeline");
     g.bench_function("dual_core_verified_run", |b| {
         b.iter(|| {
-            let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).unwrap();
+            let mut run = Scenario::new(&program).cores(2).build().unwrap();
             let r = run.run_to_completion(200_000_000);
             assert_eq!(r.segments_failed, 0);
             black_box(r.segments_checked)
@@ -117,7 +116,7 @@ fn bench_dbc_fifo(c: &mut Criterion) {
             // consumed segment-at-a-time.
             let mut out = Vec::new();
             for seg in 0..128u64 {
-                f.push(Packet::Scp(Checkpoint {
+                f.push(Packet::scp(Checkpoint {
                     snapshot: snap,
                     seq: seg,
                     tag: 0,
@@ -127,7 +126,7 @@ fn bench_dbc_fifo(c: &mut Criterion) {
                 f.push_burst(&burst).unwrap();
                 f.push_burst(&[
                     Packet::InstCount(30),
-                    Packet::Ecp(Checkpoint {
+                    Packet::ecp(Checkpoint {
                         snapshot: snap,
                         seq: seg,
                         tag: 0,

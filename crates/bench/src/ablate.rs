@@ -13,8 +13,8 @@
 //!   `(√2 − 1)·D` (V3) as the density-minimising split; the sweep shows
 //!   schedulability peaking there.
 
-use crate::{fig7_campaign_with, MAX_INSTRUCTIONS, MAX_STEPS};
-use flexstep_core::harness::{baseline_cycles, VerifiedRun};
+use crate::{dual_core_run, fig7_campaign_with, MAX_INSTRUCTIONS, MAX_STEPS};
+use flexstep_core::harness::baseline_cycles;
 use flexstep_core::{FabricConfig, LatencyStats};
 use flexstep_sched::model::VdPolicy;
 use flexstep_sched::partition::{Partitioner, VdFlexStepPartitioner};
@@ -59,7 +59,7 @@ pub fn segment_sweep(
                 segment_limit: limit,
                 ..FabricConfig::paper()
             };
-            let mut run = VerifiedRun::dual_core(&program, fabric).expect("setup");
+            let mut run = dual_core_run(&program, fabric);
             let report = run.run_to_completion(MAX_STEPS);
             assert!(
                 report.completed,
@@ -115,7 +115,7 @@ pub fn fifo_sweep(workload: &Workload, scale: Scale, sizes: &[usize]) -> Vec<Fif
                 checkpoint_slots: if dma_spill { 4 } else { 2 },
                 ..FabricConfig::paper()
             };
-            let mut run = VerifiedRun::dual_core(&program, fabric).expect("setup");
+            let mut run = dual_core_run(&program, fabric);
             let report = run.run_to_completion(MAX_STEPS);
             assert!(
                 report.completed,
@@ -123,7 +123,7 @@ pub fn fifo_sweep(workload: &Workload, scale: Scale, sizes: &[usize]) -> Vec<Fif
                 workload.name
             );
             assert_eq!(report.segments_failed, 0);
-            let fifo = &run.fs.fabric.unit(0).fifo;
+            let fifo = &run.fabric().unit(0).fifo;
             rows.push(FifoSweepRow {
                 entry_bytes,
                 dma_spill,

@@ -1,14 +1,37 @@
-//! Fig. 8: average power and area of Vanilla vs FlexStep SoCs from 2 to
-//! 32 cores (analytical 28 nm model calibrated to the paper's anchors).
+//! Fig. 8: many-core scaling — the analytical 28 nm area/power model
+//! (2–32 cores, calibrated to the paper's anchors) **plus** actual
+//! many-core simulations: 16/32/64-core SoCs with §III-C shared-checker
+//! pools built through the `Scenario` front door, reporting detection
+//! latency and scheduler scaling, and emitting a JSON artifact.
+//!
+//! Usage: `fig8 [--quick] [--no-sim] [--out PATH]`
+//!
+//! - `--quick`: 16-core simulation only, reduced workloads (CI).
+//! - `--no-sim`: analytical model tables only.
+//! - `--out PATH`: JSON artifact path (default `FIG8.json`).
 
+use flexstep_bench::manycore::fig8_sweep;
+use flexstep_core::json::{array, JsonObject};
 use flexstep_soc::{flexstep_soc, vanilla_soc};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |k: &str| args.iter().any(|a| a == k);
+    let quick = flag("--quick");
+    let no_sim = flag("--no-sim");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "FIG8.json".into());
+
+    // --- analytical model (the paper's actual Fig. 8) -------------------
     println!("Fig. 8(a) — average power (W)");
     println!(
         "{:>8} {:>10} {:>10} {:>9}",
         "cores", "Vanilla", "FlexStep", "overhead"
     );
+    let mut model_rows = Vec::new();
     for n in [2usize, 4, 8, 16, 32] {
         let v = vanilla_soc(n);
         let f = flexstep_soc(n);
@@ -19,6 +42,13 @@ fn main() {
             f.power_w(),
             100.0 * (f.power_w() - v.power_w()) / v.power_w()
         );
+        let mut o = JsonObject::new();
+        o.field_u64("cores", n as u64)
+            .field_f64("vanilla_power_w", v.power_w())
+            .field_f64("flexstep_power_w", f.power_w())
+            .field_f64("vanilla_area_mm2", v.area_mm2())
+            .field_f64("flexstep_area_mm2", f.area_mm2());
+        model_rows.push(o.finish());
     }
     println!();
     println!("Fig. 8(b) — area (mm²)");
@@ -37,4 +67,59 @@ fn main() {
             100.0 * (f.area_mm2() - v.area_mm2()) / v.area_mm2()
         );
     }
+
+    // --- many-core shared-checker simulations ---------------------------
+    let mut sim_rows_json = Vec::new();
+    if !no_sim {
+        let cores: &[usize] = if quick { &[16] } else { &[16, 32, 64] };
+        println!();
+        println!("Fig. 8(c) — simulated many-core SoCs with shared-checker pools");
+        println!(
+            "{:>6} {:>6} {:>6} {:>12} {:>12} {:>9} {:>5} {:>5} {:>12} {:>9}",
+            "cores",
+            "mains",
+            "chk",
+            "steps",
+            "steps/s",
+            "segments",
+            "inj",
+            "det",
+            "latency µs",
+            "switches"
+        );
+        for row in fig8_sweep(cores, quick) {
+            assert!(row.completed, "many-core run must finish: {row:?}");
+            println!(
+                "{:>6} {:>6} {:>6} {:>12} {:>12.3e} {:>9} {:>5} {:>5} {:>12} {:>9}",
+                row.cores,
+                row.mains,
+                row.checkers,
+                row.engine_steps,
+                row.steps_per_sec,
+                row.segments_checked,
+                row.injected,
+                row.detected,
+                row.mean_detection_latency_us
+                    .map_or("n/a".into(), |v| format!("{v:.2}")),
+                row.arbiter_switches,
+            );
+            sim_rows_json.push(row.to_json());
+        }
+    }
+
+    // --- JSON artifact ---------------------------------------------------
+    let mut out = JsonObject::new();
+    {
+        let mut meta = JsonObject::new();
+        meta.field_str("tool", "fig8")
+            .field_bool("quick", quick)
+            .field_bool("simulated", !no_sim);
+        out.field_raw("meta", &meta.finish());
+    }
+    out.field_raw("model", &array(&model_rows));
+    out.field_raw("simulation", &array(&sim_rows_json));
+    let json = out.finish();
+    std::fs::write(&out_path, &json).expect("write artifact");
+    println!();
+    println!("wrote {out_path}");
 }

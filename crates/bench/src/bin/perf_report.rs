@@ -1,10 +1,10 @@
 //! Wall-clock performance report for the checker-replay hot path.
 //!
 //! Re-runs the `flexstep_pipeline` and `dbc_fifo` microbenches plus a
-//! `VerifiedRun::run_to_completion` macro-bench under a plain
-//! `Instant`-based harness, A/B's the event-queue scheduler against the
-//! naive linear scan, and writes everything as JSON (default
-//! `BENCH_pr2.json`).
+//! `run_to_completion` macro-bench under a plain `Instant`-based
+//! harness, A/B's the event-queue scheduler against the naive linear
+//! scan, and writes everything as JSON (default `BENCH_pr2.json`) via
+//! the shared [`flexstep_core::json`] writer.
 //!
 //! Usage: `perf_report [--quick] [--naive] [--out PATH]`
 //!
@@ -19,11 +19,12 @@
 //! measured at the pre-optimisation commit (`cargo bench`, same
 //! container class) so the report always carries its before/after table.
 
-use flexstep_bench::{FabricConfig, VerifiedRun};
+use flexstep_bench::{FabricConfig, Scenario, VerifiedRun};
+use flexstep_core::json::JsonObject;
 use flexstep_core::{BufferFifo, LogEntry, LogKind, Packet};
+use flexstep_isa::asm::Program;
 use flexstep_sim::{SchedMode, Soc, SocConfig};
 use flexstep_workloads::{by_name, Scale};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Microbench numbers measured at the seed commit (db8f81f) with
@@ -79,28 +80,21 @@ fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
     (min, sum / reps as f64)
 }
 
-struct Json(String);
-
-impl Json {
-    fn new() -> Self {
-        Json(String::from("{\n"))
-    }
-
-    fn section(&mut self, key: &str, body: &str) {
-        if !self.0.ends_with("{\n") {
-            self.0.push_str(",\n");
-        }
-        let _ = write!(self.0, "  \"{key}\": {body}");
-    }
-
-    fn finish(mut self) -> String {
-        self.0.push_str("\n}\n");
-        self.0
-    }
+/// A measurement object: min/mean seconds plus caller-added fields.
+fn bench_obj(min_s: f64, mean_s: f64) -> JsonObject {
+    let mut o = JsonObject::new();
+    o.field_raw("min_s", &format!("{min_s:.6e}"))
+        .field_raw("mean_s", &format!("{mean_s:.6e}"));
+    o
 }
 
-fn bench_obj(min_s: f64, mean_s: f64, extra: &str) -> String {
-    format!("{{\"min_s\": {min_s:.6e}, \"mean_s\": {mean_s:.6e}{extra}}}")
+/// The dual-core pipeline scenario every section runs.
+fn dual_core(program: &Program) -> VerifiedRun {
+    Scenario::new(program)
+        .cores(2)
+        .fabric(FabricConfig::paper())
+        .build()
+        .expect("setup")
 }
 
 fn main() {
@@ -112,14 +106,15 @@ fn main() {
     // shows where the event queue pays).
     let forced = args.naive.then_some(SchedMode::LinearScan);
     let reps = if args.quick { 2 } else { 8 };
-    let mut out = Json::new();
-    out.section(
-        "meta",
-        &format!(
-            "{{\"tool\": \"perf_report\", \"quick\": {}, \"forced_naive\": {}, \"reps\": {reps}}}",
-            args.quick, args.naive
-        ),
-    );
+    let mut out = JsonObject::new();
+    {
+        let mut meta = JsonObject::new();
+        meta.field_str("tool", "perf_report")
+            .field_bool("quick", args.quick)
+            .field_bool("forced_naive", args.naive)
+            .field_u64("reps", reps as u64);
+        out.field_raw("meta", &meta.finish());
+    }
 
     // --- flexstep_pipeline/dual_core_verified_run -----------------------
     let program = by_name("libquantum")
@@ -127,8 +122,8 @@ fn main() {
         .program(Scale::Test);
     let mut steps = 0u64;
     let mut retired = 0u64;
-    let (min_s, mean_s) = time_reps(reps, || {
-        let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+    let (pipe_min, pipe_mean) = time_reps(reps, || {
+        let mut run = dual_core(&program);
         if let Some(m) = forced {
             run.set_sched_mode(m);
         }
@@ -138,57 +133,45 @@ fn main() {
         retired = r.retired;
         r.segments_checked
     });
-    out.section(
-        "flexstep_pipeline/dual_core_verified_run",
-        &bench_obj(
-            min_s,
-            mean_s,
-            &format!(
-                ", \"engine_steps\": {steps}, \"retired\": {retired}, \"steps_per_sec\": {:.4e}, \"ns_per_step\": {:.2}",
-                steps as f64 / min_s,
-                min_s * 1e9 / steps as f64
-            ),
-        ),
-    );
+    {
+        let mut o = bench_obj(pipe_min, pipe_mean);
+        o.field_u64("engine_steps", steps)
+            .field_u64("retired", retired)
+            .field_raw("steps_per_sec", &format!("{:.4e}", steps as f64 / pipe_min))
+            .field_f64("ns_per_step", pipe_min * 1e9 / steps as f64);
+        out.field_raw("flexstep_pipeline/dual_core_verified_run", &o.finish());
+    }
 
     // --- macro-bench: run_to_completion, both schedulers ----------------
-    let mut macro_obj = String::from("{");
-    let mut per_mode = Vec::new();
-    for (label, m) in [
-        ("event_queue", SchedMode::EventQueue),
-        ("linear_scan", SchedMode::LinearScan),
-    ] {
-        let (mn, me) = time_reps(reps, || {
-            let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
-            run.set_sched_mode(m);
-            let r = run.run_to_completion(200_000_000);
-            assert!(r.completed);
-            r.drain_cycle
-        });
-        let _ = write!(
-            macro_obj,
-            "\"{label}\": {}, ",
-            bench_obj(
-                mn,
-                me,
-                &format!(", \"ns_per_step\": {:.2}", mn * 1e9 / steps as f64)
-            )
-        );
-        per_mode.push(mn);
+    {
+        let mut macro_obj = JsonObject::new();
+        let mut per_mode = Vec::new();
+        for (label, m) in [
+            ("event_queue", SchedMode::EventQueue),
+            ("linear_scan", SchedMode::LinearScan),
+        ] {
+            let (mn, me) = time_reps(reps, || {
+                let mut run = dual_core(&program);
+                run.set_sched_mode(m);
+                let r = run.run_to_completion(200_000_000);
+                assert!(r.completed);
+                r.drain_cycle
+            });
+            let mut o = bench_obj(mn, me);
+            o.field_f64("ns_per_step", mn * 1e9 / steps as f64);
+            macro_obj.field_raw(label, &o.finish());
+            per_mode.push(mn);
+        }
+        macro_obj.field_f64("event_vs_naive_speedup", per_mode[1] / per_mode[0]);
+        out.field_raw("macro/run_to_completion_sched_ab", &macro_obj.finish());
     }
-    let _ = write!(
-        macro_obj,
-        "\"event_vs_naive_speedup\": {:.4}}}",
-        per_mode[1] / per_mode[0]
-    );
-    out.section("macro/run_to_completion_sched_ab", &macro_obj);
 
     // --- unverified simulator throughput --------------------------------
     let (mn, me) = time_reps(reps, || {
         let mut soc = Soc::new(SocConfig::paper(1)).expect("config");
         soc.run_to_ecall(&program, 50_000_000)
     });
-    out.section("simulator/unverified_run", &bench_obj(mn, me, ""));
+    out.field_raw("simulator/unverified_run", &bench_obj(mn, me).finish());
 
     // --- dbc_fifo microbenches ------------------------------------------
     let entry = |i: u64| {
@@ -212,7 +195,7 @@ fn main() {
         }
         f.total_pushed()
     });
-    out.section("dbc_fifo/push_pop_1_consumer", &bench_obj(mn, me, ""));
+    out.field_raw("dbc_fifo/push_pop_1_consumer", &bench_obj(mn, me).finish());
     let (mn, me) = time_reps(fifo_reps, || {
         let mut f = BufferFifo::new(1088, 4);
         f.set_spill(true);
@@ -225,89 +208,75 @@ fn main() {
         }
         f.total_pushed()
     });
-    out.section("dbc_fifo/push_burst_pop_1_consumer", &bench_obj(mn, me, ""));
+    out.field_raw(
+        "dbc_fifo/push_burst_pop_1_consumer",
+        &bench_obj(mn, me).finish(),
+    );
 
     // --- scheduler scaling microbench -----------------------------------
     // Pure next_ready+stall loops at growing core counts: the event
     // queue's O(log n) against the naive O(n) scan. This is the
     // measurement behind `SchedMode::SCAN_CROSSOVER`.
-    let mut sched_obj = String::from("{");
-    let iters = if args.quick { 20_000 } else { 200_000 };
-    for n in [2usize, 8, 16, 32, 64] {
-        let mut per_mode = Vec::new();
-        for m in [SchedMode::EventQueue, SchedMode::LinearScan] {
-            let (mn, _) = time_reps(3, || {
-                let mut soc = Soc::new(SocConfig::paper(n)).expect("config");
-                soc.set_sched_mode(m);
-                let mut x = 0x9e3779b97f4a7c15u64;
-                for i in 0..n {
-                    soc.core_mut(i).unpark();
-                }
-                for _ in 0..iters {
-                    let id = soc.next_ready().expect("cores running");
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    soc.stall_core(id, 1 + (x % 64));
-                }
-                soc.now()
-            });
-            per_mode.push(mn * 1e9 / iters as f64);
+    {
+        let mut sched_obj = JsonObject::new();
+        let iters = if args.quick { 20_000 } else { 200_000 };
+        for n in [2usize, 8, 16, 32, 64] {
+            let mut per_mode = Vec::new();
+            for m in [SchedMode::EventQueue, SchedMode::LinearScan] {
+                let (mn, _) = time_reps(3, || {
+                    let mut soc = Soc::new(SocConfig::paper(n)).expect("config");
+                    soc.set_sched_mode(m);
+                    let mut x = 0x9e3779b97f4a7c15u64;
+                    for i in 0..n {
+                        soc.core_mut(i).unpark();
+                    }
+                    for _ in 0..iters {
+                        let id = soc.next_ready().expect("cores running");
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        soc.stall_core(id, 1 + (x % 64));
+                    }
+                    soc.now()
+                });
+                per_mode.push(mn * 1e9 / iters as f64);
+            }
+            let mut o = JsonObject::new();
+            o.field_f64("event_queue_ns_per_step", per_mode[0])
+                .field_f64("linear_scan_ns_per_step", per_mode[1]);
+            sched_obj.field_raw(&format!("cores_{n}"), &o.finish());
         }
-        let _ = write!(
-            sched_obj,
-            "\"cores_{n}\": {{\"event_queue_ns_per_step\": {:.2}, \"linear_scan_ns_per_step\": {:.2}}}, ",
-            per_mode[0], per_mode[1]
-        );
+        sched_obj.field_u64("iters", iters as u64);
+        out.field_raw("scheduler/next_ready_scaling", &sched_obj.finish());
     }
-    let _ = write!(sched_obj, "\"iters\": {iters}}}");
-    out.section("scheduler/next_ready_scaling", &sched_obj);
 
     // --- embedded seed baseline -----------------------------------------
-    let mut base_obj =
-        String::from("{\"commit\": \"db8f81f\", \"harness\": \"cargo bench --bench microbench\", ");
-    for (name, mn, me) in SEED_BASELINE {
-        let _ = write!(
-            base_obj,
-            "\"{name}\": {{\"min_s\": {mn:.6e}, \"mean_s\": {me:.6e}}}, "
+    {
+        let mut base_obj = JsonObject::new();
+        base_obj
+            .field_str("commit", "db8f81f")
+            .field_str("harness", "cargo bench --bench microbench");
+        for (name, mn, me) in SEED_BASELINE {
+            let mut o = JsonObject::new();
+            o.field_raw("min_s", &format!("{mn:.6e}"))
+                .field_raw("mean_s", &format!("{me:.6e}"));
+            base_obj.field_raw(name, &o.finish());
+        }
+        base_obj.field_str(
+            "note",
+            "measured before the PR 2 scheduler/DBC/fetch-path changes",
         );
+        out.field_raw("seed_baseline", &base_obj.finish());
     }
-    let _ = write!(
-        base_obj,
-        "\"note\": \"measured before this PR's scheduler/DBC/fetch-path changes\"}}"
-    );
-    out.section("seed_baseline", &base_obj);
-    out.section(
-        "pipeline_speedup_vs_seed",
-        &format!(
-            "{{\"min\": {:.4}, \"mean\": {:.4}}}",
-            SEED_BASELINE[0].1 / min_of_pipeline(&out.0),
-            SEED_BASELINE[0].2 / mean_of_pipeline(&out.0)
-        ),
-    );
+    {
+        let mut o = JsonObject::new();
+        o.field_f64("min", SEED_BASELINE[0].1 / pipe_min)
+            .field_f64("mean", SEED_BASELINE[0].2 / pipe_mean);
+        out.field_raw("pipeline_speedup_vs_seed", &o.finish());
+    }
 
     let json = out.finish();
     std::fs::write(&args.out, &json).expect("write report");
     println!("{json}");
     println!("wrote {}", args.out);
-}
-
-fn min_of_pipeline(s: &str) -> f64 {
-    field_of_pipeline(s, "\"min_s\": ")
-}
-
-fn mean_of_pipeline(s: &str) -> f64 {
-    field_of_pipeline(s, "\"mean_s\": ")
-}
-
-/// Pulls the pipeline section's min/mean back out of the JSON under
-/// construction (keeps the speedup computation tied to what is reported).
-fn field_of_pipeline(s: &str, key: &str) -> f64 {
-    let sec = s
-        .find("flexstep_pipeline/dual_core_verified_run")
-        .expect("pipeline section present");
-    let rest = &s[sec..];
-    let v = &rest[rest.find(key).expect("field present") + key.len()..];
-    let end = v.find([',', '}']).expect("terminated");
-    v[..end].trim().parse().expect("parseable float")
 }

@@ -9,9 +9,8 @@
 //! replay derailment), giving the coverage table the paper's claim
 //! implies.
 
-use crate::MAX_STEPS;
-use flexstep_core::harness::VerifiedRun;
-use flexstep_core::{inject_targeted_fault, FabricConfig, FaultTarget, MismatchKind};
+use crate::{dual_core_run, MAX_STEPS};
+use flexstep_core::{FabricConfig, FaultPlan, FaultTarget, MismatchKind, Scenario};
 use flexstep_workloads::{Scale, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,7 +109,7 @@ pub fn coverage_campaign(
 ) -> Vec<CoverageRow> {
     let program = workload.program(scale);
     // Fault-free span for drawing injection instants.
-    let mut probe = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+    let mut probe = dual_core_run(&program, FabricConfig::paper());
     let span = probe.run_to_completion(MAX_STEPS);
     assert!(span.completed, "{} did not finish", workload.name);
     let horizon = span.main_finish_cycle.max(1);
@@ -124,31 +123,24 @@ pub fn coverage_campaign(
             let mut by_point: BTreeMap<DetectionPoint, usize> = BTreeMap::new();
             for _ in 0..per_cell {
                 let at = rng.gen_range(horizon / 20..horizon);
-                let mut run =
-                    VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
-                if !run.run_until_cycle(at) {
-                    continue;
-                }
-                // Step until a packet of the requested class is in
-                // flight, then corrupt it.
-                let mut rec = None;
-                for _ in 0..200_000 {
-                    let now = run.fs.soc.now();
-                    if let Some(r) =
-                        inject_targeted_fault(&mut run.fs.fabric, 0, target, bits, now, &mut rng)
-                    {
-                        rec = Some(r);
-                        break;
-                    }
-                    if !run.step_once() {
-                        break;
-                    }
-                }
-                if rec.is_none() {
+                // Declarative targeted shot: arms at `at`, fires once a
+                // packet of the requested class is in flight. Runs that
+                // end first report no injection and are skipped.
+                let shot_seed: u64 = rng.gen();
+                let mut run = Scenario::new(&program)
+                    .cores(2)
+                    .fault_plan(
+                        FaultPlan::bit_flip_at(at, target)
+                            .bits(bits)
+                            .with_seed(shot_seed),
+                    )
+                    .build()
+                    .expect("setup");
+                let report = run.run_to_completion(MAX_STEPS);
+                if report.injections.is_empty() {
                     continue;
                 }
                 injected += 1;
-                let report = run.run_to_completion(MAX_STEPS);
                 if let Some(d) = report.detections.first() {
                     detected += 1;
                     *by_point.entry(detection_point(&d.kind)).or_insert(0) += 1;

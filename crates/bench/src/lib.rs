@@ -20,12 +20,27 @@
 pub mod ablate;
 pub mod coverage;
 
+pub mod manycore;
+
 pub use flexstep_core::harness::{baseline_cycles, VerifiedRun};
-pub use flexstep_core::{inject_random_fault, FabricConfig, LatencyStats};
+pub use flexstep_core::{
+    inject_random_fault, FabricConfig, FaultPlan, LatencyStats, Scenario, Topology,
+};
+use flexstep_isa::asm::Program;
 pub use flexstep_sim::{Clock, Soc, SocConfig};
 pub use flexstep_workloads::{by_name, nzdc_transform, Scale, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Builds the Fig. 4 dual-core scenario (core 0 main, core 1 checker)
+/// for a workload program — the bench crates' canonical front door.
+pub(crate) fn dual_core_run(program: &Program, fabric: FabricConfig) -> VerifiedRun {
+    Scenario::new(program)
+        .cores(2)
+        .fabric(fabric)
+        .build()
+        .expect("dual-core scenario configures")
+}
 
 /// Instruction budget per single workload run.
 pub(crate) const MAX_INSTRUCTIONS: u64 = 500_000_000;
@@ -56,7 +71,7 @@ pub fn fig4_row(w: &Workload, scale: Scale) -> Fig4Row {
     let program = w.program(scale);
     let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
 
-    let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+    let mut run = dual_core_run(&program, FabricConfig::paper());
     let report = run.run_to_completion(MAX_STEPS);
     assert!(report.completed, "{} did not finish verified", w.name);
     assert_eq!(report.segments_failed, 0, "{} failed verification", w.name);
@@ -151,9 +166,14 @@ pub struct Fig6Row {
 pub fn fig6_row(w: &Workload, scale: Scale) -> Fig6Row {
     let program = w.program(scale);
     let base = baseline_cycles(&program, MAX_INSTRUCTIONS).expect("baseline runs");
-    let mut dual = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+    let mut dual = dual_core_run(&program, FabricConfig::paper());
     let rd = dual.run_to_completion(MAX_STEPS);
-    let mut triple = VerifiedRun::triple_core(&program, FabricConfig::paper()).expect("setup");
+    let mut triple = Scenario::new(&program)
+        .cores(3)
+        .topology(Topology::Custom(vec![(0, vec![1, 2])]))
+        .fabric(FabricConfig::paper())
+        .build()
+        .expect("setup");
     let rt = triple.run_to_completion(MAX_STEPS);
     assert!(rd.completed && rt.completed, "{} did not finish", w.name);
     Fig6Row {
@@ -219,7 +239,7 @@ pub fn fig7_campaign_with(
     let program = workload.program(scale);
     let clock = Clock::paper();
     // Measure the fault-free span once to draw injection times.
-    let mut probe = VerifiedRun::dual_core(&program, fabric).expect("setup");
+    let mut probe = dual_core_run(&program, fabric);
     let span = probe.run_to_completion(MAX_STEPS);
     assert!(span.completed, "{} did not finish", workload.name);
     let horizon = span.main_finish_cycle.max(1);
@@ -229,30 +249,24 @@ pub fn fig7_campaign_with(
     let mut latencies = Vec::new();
     for _ in 0..injections {
         let at = rng.gen_range(horizon / 20..horizon);
-        let mut run = VerifiedRun::dual_core(&program, fabric).expect("setup");
-        if !run.run_until_cycle(at) {
-            continue; // finished before the injection point
-        }
-        // If nothing is in flight at this instant (the checker keeps up
-        // with the main core most of the time), keep stepping until the
-        // stream carries data — matching the paper's methodology of
-        // injecting into *forwarded* data.
-        let mut record = None;
-        for _ in 0..200_000 {
-            let now = run.fs.soc.now();
-            if let Some(r) = inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng) {
-                record = Some(r);
-                break;
-            }
-            if !run.step_once() {
-                break;
-            }
-        }
-        let Some(record) = record else { continue };
-        injected += 1;
+        // A declarative one-shot plan: the run loop arms it at `at` and
+        // fires as soon as the stream carries data — the paper's
+        // methodology of injecting into *forwarded* data. Runs that end
+        // before the shot lands report no injection and are skipped.
+        let shot_seed: u64 = rng.gen();
+        let mut run = Scenario::new(&program)
+            .cores(2)
+            .fabric(fabric)
+            .fault_plan(FaultPlan::random_with_seed(at, shot_seed))
+            .build()
+            .expect("setup");
         let report = run.run_to_completion(MAX_STEPS);
+        let Some(injection) = report.injections.first() else {
+            continue;
+        };
+        injected += 1;
         if let Some(d) = report.detections.first() {
-            latencies.push(d.detected_at.saturating_sub(record.at_cycle));
+            latencies.push(d.detected_at.saturating_sub(injection.at_cycle));
         }
     }
     let detected = latencies.len();

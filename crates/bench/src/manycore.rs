@@ -1,0 +1,317 @@
+//! Many-core (Fig. 8-style) shared-checker experiments.
+//!
+//! The paper's Fig. 8 scales the FlexStep SoC model to 32 cores; the
+//! ROADMAP asks for experiments that actually *simulate* 16–64 core
+//! SoCs. This module runs them through the [`Scenario`] front door: `n`
+//! cores split into main cores and a pool of §III-C arbitrated shared
+//! checkers, every main running its own workload in a private address
+//! window, with a declarative fault plan spraying bit flips across the
+//! streams. Each row reports detection latency and the wall-clock
+//! scheduler throughput (the event-queue scheduler was built for
+//! exactly this scale).
+
+use crate::{FabricConfig, FaultPlan, Scenario, Topology};
+use flexstep_core::json::JsonObject;
+use flexstep_core::RunReport;
+use flexstep_isa::asm::{Assembler, Program};
+use flexstep_isa::XReg;
+use flexstep_sim::Clock;
+use std::time::Instant;
+
+/// One many-core experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ManyCoreConfig {
+    /// Total cores in the SoC.
+    pub cores: usize,
+    /// Cores per shared checker (4 → a 16-core SoC gets 4 checkers
+    /// serving 12 mains).
+    pub cores_per_checker: usize,
+    /// Loop iterations per main-core workload.
+    pub iters_per_main: i64,
+    /// Random bit flips sprayed across the streams.
+    pub injections: usize,
+    /// RNG seed for the fault plan.
+    pub seed: u64,
+}
+
+impl ManyCoreConfig {
+    /// The default sweep configuration at `cores` cores.
+    pub fn at(cores: usize) -> Self {
+        ManyCoreConfig {
+            cores,
+            cores_per_checker: 4,
+            iters_per_main: 2_000,
+            injections: 4,
+            seed: 0xF168 ^ cores as u64,
+        }
+    }
+
+    /// Reduced workload for CI keep-alive runs.
+    pub fn quick(cores: usize) -> Self {
+        ManyCoreConfig {
+            iters_per_main: 600,
+            injections: 2,
+            ..Self::at(cores)
+        }
+    }
+}
+
+/// One row of the many-core sweep.
+#[derive(Debug, Clone)]
+pub struct ManyCoreRow {
+    /// Total cores simulated.
+    pub cores: usize,
+    /// Main cores.
+    pub mains: usize,
+    /// Shared checker cores.
+    pub checkers: usize,
+    /// Whether every main finished.
+    pub completed: bool,
+    /// Engine steps executed.
+    pub engine_steps: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Engine steps per wall-clock second (scheduler scaling).
+    pub steps_per_sec: f64,
+    /// Segments verified across the checker pool.
+    pub segments_checked: u64,
+    /// Faults that landed.
+    pub injected: usize,
+    /// Detections attributed to a landed fault.
+    pub detected: usize,
+    /// Mean detection latency over matched (injection, detection)
+    /// pairs, µs.
+    pub mean_detection_latency_us: Option<f64>,
+    /// Arbitration conflicts across the checker pool.
+    pub arbiter_conflicts: u64,
+    /// Channel hand-overs across the checker pool.
+    pub arbiter_switches: u64,
+    /// Main-core backpressure stalls.
+    pub backpressure_stalls: u64,
+    /// Cycle at which the last stream drained.
+    pub drain_cycle: u64,
+}
+
+impl ManyCoreRow {
+    /// Renders the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("cores", self.cores as u64)
+            .field_u64("mains", self.mains as u64)
+            .field_u64("checkers", self.checkers as u64)
+            .field_bool("completed", self.completed)
+            .field_u64("engine_steps", self.engine_steps)
+            .field_f64("wall_s", self.wall_s)
+            .field_f64("steps_per_sec", self.steps_per_sec)
+            .field_u64("segments_checked", self.segments_checked)
+            .field_u64("injected", self.injected as u64)
+            .field_u64("detected", self.detected as u64);
+        match self.mean_detection_latency_us {
+            Some(v) => o.field_f64("mean_detection_latency_us", v),
+            None => o.field_raw("mean_detection_latency_us", "null"),
+        };
+        o.field_u64("arbiter_conflicts", self.arbiter_conflicts)
+            .field_u64("arbiter_switches", self.arbiter_switches)
+            .field_u64("backpressure_stalls", self.backpressure_stalls)
+            .field_u64("drain_cycle", self.drain_cycle);
+        o.finish()
+    }
+}
+
+/// A store/load checksum loop in a private text/data window per main
+/// core, so any number of mains coexist in the shared physical memory.
+pub fn many_core_job(slot: u64, iters: i64) -> Program {
+    let text = 0x1000_0000 + slot * 0x10_0000;
+    let data = 0x2000_0000 + slot * 0x10_0000;
+    let mut asm = Assembler::with_bases(format!("job{slot}"), text, data);
+    asm.la(XReg::A2, "buf");
+    asm.data_label("buf").unwrap();
+    asm.data_zeros(64);
+    asm.li(XReg::A0, iters);
+    asm.li(XReg::A4, 0);
+    asm.label("l").unwrap();
+    asm.sd(XReg::A2, XReg::A0, 0);
+    asm.ld(XReg::A3, XReg::A2, 0);
+    asm.add(XReg::A4, XReg::A4, XReg::A3);
+    asm.addi(XReg::A0, XReg::A0, -1);
+    asm.bnez(XReg::A0, "l");
+    asm.ecall();
+    asm.finish().unwrap()
+}
+
+/// Matches detections to the latest preceding injection on the same
+/// main core; returns the latency of each matched pair, in cycles.
+pub fn detection_latencies(report: &RunReport) -> Vec<u64> {
+    report
+        .detections
+        .iter()
+        .filter_map(|d| {
+            report
+                .injections
+                .iter()
+                .filter(|i| i.main_core == d.main_core && i.at_cycle <= d.detected_at)
+                .map(|i| i.at_cycle)
+                .max()
+                .map(|at| d.detected_at - at)
+        })
+        .collect()
+}
+
+/// Runs one many-core shared-checker experiment.
+///
+/// # Panics
+///
+/// Panics if the scenario fails to configure (a bug, not a result).
+pub fn many_core_row(cfg: &ManyCoreConfig) -> ManyCoreRow {
+    let checkers = (cfg.cores / cfg.cores_per_checker).max(1);
+    assert!(checkers < cfg.cores, "need at least one main core");
+    let mains = cfg.cores - checkers;
+    let programs: Vec<Program> = (0..mains)
+        .map(|i| many_core_job(i as u64, cfg.iters_per_main))
+        .collect();
+
+    // Spray the injections across channels, staggered in time so the
+    // streams carry data when each shot arms; later channels wait
+    // longest for their shared checker and buffer the longest.
+    let mut plan = FaultPlan::none().with_seed(cfg.seed);
+    for k in 0..cfg.injections {
+        let cycle = 4_000 + 5_000 * k as u64;
+        plan = plan
+            .then_random_at(cycle)
+            .on_channel(mains - 1 - (k % mains));
+    }
+
+    let mut scenario = Scenario::new(&programs[0])
+        .cores(cfg.cores)
+        .topology(Topology::SharedChecker { checkers })
+        .fabric(FabricConfig::paper())
+        .fault_plan(plan);
+    for p in &programs[1..] {
+        scenario = scenario.program(p);
+    }
+    let mut run = scenario.build().expect("many-core scenario configures");
+
+    let start = Instant::now();
+    let report = run.run_to_completion(u64::MAX);
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let clock = Clock::paper();
+    let latencies = detection_latencies(&report);
+    let mean_us = if latencies.is_empty() {
+        None
+    } else {
+        Some(
+            latencies
+                .iter()
+                .map(|&c| clock.cycles_to_us(c))
+                .sum::<f64>()
+                / latencies.len() as f64,
+        )
+    };
+    ManyCoreRow {
+        cores: cfg.cores,
+        mains,
+        checkers,
+        completed: report.completed,
+        engine_steps: report.engine_steps,
+        wall_s,
+        steps_per_sec: report.engine_steps as f64 / wall_s,
+        segments_checked: report.segments_checked,
+        injected: report.injections.len(),
+        detected: latencies.len(),
+        mean_detection_latency_us: mean_us,
+        arbiter_conflicts: report.arbiters.iter().map(|a| a.conflicts).sum(),
+        arbiter_switches: report.arbiters.iter().map(|a| a.switches).sum(),
+        backpressure_stalls: report.backpressure_stalls,
+        drain_cycle: report.drain_cycle,
+    }
+}
+
+/// Runs the Fig. 8-style sweep over the given core counts.
+pub fn fig8_sweep(cores: &[usize], quick: bool) -> Vec<ManyCoreRow> {
+    cores
+        .iter()
+        .map(|&n| {
+            let cfg = if quick {
+                ManyCoreConfig::quick(n)
+            } else {
+                ManyCoreConfig::at(n)
+            };
+            many_core_row(&cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_core_shared_pool_completes_and_detects() {
+        let cfg = ManyCoreConfig {
+            cores: 8,
+            cores_per_checker: 4,
+            iters_per_main: 400,
+            injections: 2,
+            seed: 11,
+        };
+        let row = many_core_row(&cfg);
+        assert_eq!(row.mains, 6);
+        assert_eq!(row.checkers, 2);
+        assert!(row.completed, "{row:?}");
+        assert!(row.segments_checked >= row.mains as u64);
+        assert!(
+            row.arbiter_switches >= 1,
+            "shared checkers must hand over: {row:?}"
+        );
+        assert!(row.injected >= 1, "shots must land: {row:?}");
+        assert!(row.steps_per_sec > 0.0);
+        let json = row.to_json();
+        assert!(json.contains("\"cores\": 8"));
+    }
+
+    #[test]
+    fn latency_matching_pairs_same_main() {
+        use flexstep_core::{DetectionEvent, Injection, MismatchKind};
+        let mut report = RunReport {
+            completed: true,
+            main_finish_cycle: 0,
+            drain_cycle: 0,
+            retired: 0,
+            segments_checked: 0,
+            segments_failed: 0,
+            detections: vec![DetectionEvent {
+                main_core: 1,
+                checker_core: 6,
+                segment_seq: 0,
+                tag: 0,
+                kind: MismatchKind::LogUnderrun,
+                detected_at: 5_000,
+            }],
+            backpressure_stalls: 0,
+            engine_steps: 0,
+            per_main: vec![],
+            arbiters: vec![],
+            injections: vec![
+                Injection {
+                    main_core: 1,
+                    target: flexstep_core::FaultTarget::EntryData,
+                    bits: vec![3],
+                    at_cycle: 1_000,
+                },
+                Injection {
+                    main_core: 2,
+                    target: flexstep_core::FaultTarget::EntryData,
+                    bits: vec![4],
+                    at_cycle: 4_900,
+                },
+            ],
+        };
+        assert_eq!(detection_latencies(&report), vec![4_000]);
+        report.detections[0].main_core = 3;
+        assert!(
+            detection_latencies(&report).is_empty(),
+            "no injection on main 3"
+        );
+    }
+}

@@ -238,12 +238,12 @@ impl BufferFifo {
             Packet::Mem(e) => Slot::Mem(e),
             Packet::InstCount(v) => Slot::InstCount(v),
             Packet::Scp(cp) => {
-                self.cps.push_back(cp);
+                self.cps.push_back(*cp);
                 self.cp_next += 1;
                 Slot::Scp(self.cp_next - 1)
             }
             Packet::Ecp(cp) => {
-                self.cps.push_back(cp);
+                self.cps.push_back(*cp);
                 self.cp_next += 1;
                 self.ecps_pushed += 1;
                 Slot::Ecp(self.cp_next - 1)
@@ -290,6 +290,10 @@ impl BufferFifo {
     /// segment-granular datapath — the engine pushes a retire's log
     /// entries and a segment-close `InstCount`+ECP pair as one burst.
     ///
+    /// Borrowed packets are cloned in; the hot path uses
+    /// [`BufferFifo::push_burst_owned`] to move boxed checkpoint
+    /// payloads without the extra allocation.
+    ///
     /// # Errors
     ///
     /// Returns [`FifoFull`] with the burst's aggregate byte/slot need
@@ -306,7 +310,37 @@ impl BufferFifo {
             return Err(self.full_error(total_bytes, total_cps));
         }
         self.queue.reserve(packets.len());
-        for &p in packets {
+        for p in packets {
+            let (b, c) = Self::cost(p);
+            self.push_unchecked(p.clone(), b, c);
+        }
+        Ok(())
+    }
+
+    /// [`BufferFifo::push_burst`] taking the packets by value: boxed
+    /// checkpoint payloads move straight into the ring with no clone —
+    /// the engine's segment open/close path uses this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFull`] with the burst's aggregate byte/slot need
+    /// when it does not fit; with spill enabled, never fails.
+    pub fn push_burst_owned<const N: usize>(
+        &mut self,
+        packets: [Packet; N],
+    ) -> Result<(), FifoFull> {
+        let mut total_bytes = 0;
+        let mut total_cps = 0;
+        for p in &packets {
+            let (b, c) = Self::cost(p);
+            total_bytes += b;
+            total_cps += c;
+        }
+        if !self.can_accept(total_bytes, total_cps) {
+            return Err(self.full_error(total_bytes, total_cps));
+        }
+        self.queue.reserve(N);
+        for p in packets {
             let (b, c) = Self::cost(&p);
             self.push_unchecked(p, b, c);
         }
@@ -379,13 +413,13 @@ impl BufferFifo {
                 Slot::Scp(_) => {
                     self.checkpoints -= 1;
                     self.cp_head += 1;
-                    Packet::Scp(self.cps.pop_front().expect("checkpoint in ring"))
+                    Packet::scp(self.cps.pop_front().expect("checkpoint in ring"))
                 }
                 Slot::Ecp(_) => {
                     self.checkpoints -= 1;
                     self.cp_head += 1;
                     self.ecps_consumed[0] += 1;
-                    Packet::Ecp(self.cps.pop_front().expect("checkpoint in ring"))
+                    Packet::ecp(self.cps.pop_front().expect("checkpoint in ring"))
                 }
             };
             return Some(packet);
@@ -650,7 +684,7 @@ mod tests {
         use crate::packet::Checkpoint;
         use flexstep_sim::ArchState;
         let cp = |n: u64| {
-            Packet::Scp(Checkpoint {
+            Packet::scp(Checkpoint {
                 snapshot: ArchState::new(n).snapshot(),
                 seq: n,
                 tag: 0,
@@ -684,6 +718,34 @@ mod tests {
     }
 
     #[test]
+    fn push_burst_owned_matches_borrowed_burst() {
+        use crate::packet::Checkpoint;
+        use flexstep_sim::ArchState;
+        let cp = Packet::ecp(Checkpoint {
+            snapshot: ArchState::new(3).snapshot(),
+            seq: 0,
+            tag: 0,
+        });
+        let mut borrowed = BufferFifo::new(64, 2);
+        borrowed
+            .push_burst(&[Packet::InstCount(2), cp.clone()])
+            .unwrap();
+        let mut owned = BufferFifo::new(64, 2);
+        owned
+            .push_burst_owned([Packet::InstCount(2), cp.clone()])
+            .unwrap();
+        for c in [&mut borrowed, &mut owned] {
+            assert_eq!(c.pop(0), Some(Packet::InstCount(2)));
+            assert_eq!(c.pop(0), Some(cp.clone()));
+        }
+        // All-or-nothing holds for the owned variant too.
+        let mut tight = BufferFifo::new(24, 2);
+        let err = tight.push_burst_owned([entry(1), entry(2)]).unwrap_err();
+        assert_eq!(err.needed, 32, "owned burst reports aggregate need");
+        assert_eq!(tight.len(), 0, "failed owned burst enqueues nothing");
+    }
+
+    #[test]
     fn advance_consumes_without_copying_out() {
         let mut f = BufferFifo::new(64, 2);
         f.push(entry(1)).unwrap();
@@ -701,21 +763,21 @@ mod tests {
         use crate::packet::Checkpoint;
         use flexstep_sim::ArchState;
         let snap = ArchState::new(0).snapshot();
-        let scp = Packet::Scp(Checkpoint {
+        let scp = Packet::scp(Checkpoint {
             snapshot: snap,
             seq: 0,
             tag: 0,
         });
-        let ecp = Packet::Ecp(Checkpoint {
+        let ecp = Packet::ecp(Checkpoint {
             snapshot: snap,
             seq: 0,
             tag: 0,
         });
         let mut f = BufferFifo::new(4096, 4);
-        f.push_burst(&[scp, entry(1), entry(2), Packet::InstCount(2)])
+        f.push_burst(&[scp.clone(), entry(1), entry(2), Packet::InstCount(2)])
             .unwrap();
         assert_eq!(f.drain_segment(0), None, "segment still open");
-        f.push(ecp).unwrap();
+        f.push(ecp.clone()).unwrap();
         // The ECP completes it — now the whole segment comes out at once.
         let seg = {
             let mut f2 = f.clone();

@@ -257,7 +257,7 @@ impl FlexSoc {
                     let consumers = unit.fifo.consumers() as u64;
                     let scp = unit.tracker.open_segment(snap);
                     unit.fifo
-                        .push(Packet::Scp(scp))
+                        .push(Packet::scp(scp))
                         .expect("space reserved above");
                     // The ASS forwards the checkpoint once per associated
                     // checker (§III-A): wider verification modes serialise
@@ -293,7 +293,7 @@ impl FlexSoc {
         let consumers = unit.fifo.consumers() as u64;
         let (count, ecp) = unit.tracker.close_segment(snap, why);
         unit.fifo
-            .push_burst(&[Packet::InstCount(count), Packet::Ecp(ecp)])
+            .push_burst_owned([Packet::InstCount(count), Packet::ecp(ecp)])
             .expect("space and cp slot reserved");
         self.soc.stall_core(core, ecp_cycles * consumers);
     }
@@ -311,7 +311,7 @@ impl FlexSoc {
                 // Multi-µop instructions push both entries as one burst.
                 Some(second) => unit
                     .fifo
-                    .push_burst(&[Packet::Mem(first), Packet::Mem(second)])
+                    .push_burst_owned([Packet::Mem(first), Packet::Mem(second)])
                     .expect("space reserved"),
                 None => unit.fifo.push(Packet::Mem(first)).expect("space reserved"),
             }

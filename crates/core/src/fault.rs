@@ -303,7 +303,7 @@ mod tests {
         let mut f = fabric_with_entries(4);
         f.unit_mut(0)
             .fifo
-            .push(Packet::Scp(Checkpoint {
+            .push(Packet::scp(Checkpoint {
                 snapshot: ArchState::new(0).snapshot(),
                 seq: 0,
                 tag: 0,

@@ -1,29 +1,53 @@
-//! A self-contained run harness for verified execution.
+//! The verified-execution run harness.
 //!
-//! Drives one main core plus its checker(s) through a guest program
-//! without a full OS: the performance (Fig. 4, Fig. 6) and
-//! detection-latency (Fig. 7) experiments use exactly this configuration
-//! — dual- or triple-core verification of a single workload — while the
-//! scheduling experiments use `flexstep-kernel` on top.
+//! [`VerifiedRun`] drives any [`Scenario`]-built platform — from the
+//! paper's dual-core (Fig. 4) and triple-core (Fig. 6) single-workload
+//! configurations up to many-core SoCs with arbitrated shared checkers
+//! (Fig. 8-style) — through its guest programs without a full OS: it
+//! interleaves ready cores, executes the scenario's fault plan, feeds
+//! observers, and produces a [`RunReport`].
+//!
+//! Construct runs with [`Scenario`]; the old `dual_core`/`triple_core`
+//! constructors remain as deprecated shims for one release.
 
-use crate::detect::DetectionEvent;
+use crate::checker::{CheckPhase, CheckerState};
+use crate::detect::{DetectionEvent, SegmentResult};
 use crate::engine::{EngineStep, FlexSoc};
-use crate::fabric::FabricConfig;
+use crate::fabric::{Fabric, FabricConfig};
+use crate::scenario::{
+    Binding, FaultDriver, FaultPlan, Injection, Observer, ResolvedTopology, Scenario,
+    ScenarioError, Topology,
+};
+use crate::share::{ArbiterStats, CheckerArbiter};
 use flexstep_isa::asm::Program;
 use flexstep_mem::cache::CacheGeometryError;
-use flexstep_sim::{PrivMode, SocConfig, StepKind, TrapCause};
+use flexstep_sim::{Clock, PrivMode, Soc, SocConfig, StepKind, TrapCause};
+
+/// Per-main-core outcome of a verified run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MainReport {
+    /// The main core index.
+    pub core: usize,
+    /// Whether this main reached its final `ecall`.
+    pub completed: bool,
+    /// Cycle at which this main finished (0 if it did not).
+    pub finish_cycle: u64,
+    /// Instructions retired by this main.
+    pub retired: u64,
+}
 
 /// Outcome of a verified run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
-    /// Whether the program reached its final `ecall` within the step
+    /// Whether every main core reached its final `ecall` within the step
     /// budget.
     pub completed: bool,
-    /// Cycle at which the main core finished (excludes checker drain).
+    /// Cycle at which the last main core finished (excludes checker
+    /// drain).
     pub main_finish_cycle: u64,
     /// Cycle at which the last checker drained.
     pub drain_cycle: u64,
-    /// Instructions retired by the main core.
+    /// Instructions retired across all main cores.
     pub retired: u64,
     /// Segments verified across all checkers.
     pub segments_checked: u64,
@@ -31,18 +55,81 @@ pub struct RunReport {
     pub segments_failed: u64,
     /// Detection events raised during the run.
     pub detections: Vec<DetectionEvent>,
-    /// Backpressure stalls suffered by the main core.
+    /// Backpressure stalls suffered by main cores.
     pub backpressure_stalls: u64,
     /// Engine steps executed over the run's lifetime (throughput
     /// accounting for the perf harness).
     pub engine_steps: u64,
+    /// Per-main outcomes, in channel order.
+    pub per_main: Vec<MainReport>,
+    /// Arbitration statistics, one entry per shared checker (empty for
+    /// dedicated topologies).
+    pub arbiters: Vec<ArbiterStats>,
+    /// Fault-plan injections that landed during the run.
+    pub injections: Vec<Injection>,
 }
 
-/// A single-workload verified-execution driver.
+impl RunReport {
+    /// Renders the report as a JSON object (hand-rolled; see
+    /// [`json`](crate::json)).
+    pub fn to_json(&self) -> String {
+        use crate::json::{array, JsonObject};
+        let mains = array(self.per_main.iter().map(|m| {
+            let mut o = JsonObject::new();
+            o.field_u64("core", m.core as u64)
+                .field_bool("completed", m.completed)
+                .field_u64("finish_cycle", m.finish_cycle)
+                .field_u64("retired", m.retired);
+            o.finish()
+        }));
+        let arbiters = array(self.arbiters.iter().map(|a| {
+            let mut o = JsonObject::new();
+            o.field_u64("immediate_grants", a.immediate_grants)
+                .field_u64("conflicts", a.conflicts)
+                .field_u64("switches", a.switches);
+            o.finish()
+        }));
+        let detections = array(self.detections.iter().map(|d| {
+            let mut o = JsonObject::new();
+            o.field_u64("main_core", d.main_core as u64)
+                .field_u64("checker_core", d.checker_core as u64)
+                .field_u64("segment_seq", d.segment_seq)
+                .field_u64("tag", d.tag)
+                .field_str("kind", &d.kind.to_string())
+                .field_u64("detected_at", d.detected_at);
+            o.finish()
+        }));
+        let injections = array(self.injections.iter().map(|i| {
+            let mut o = JsonObject::new();
+            o.field_u64("main_core", i.main_core as u64)
+                .field_str("target", &i.target.to_string())
+                .field_array("bits", i.bits.iter().map(u32::to_string))
+                .field_u64("at_cycle", i.at_cycle);
+            o.finish()
+        }));
+        let mut o = JsonObject::new();
+        o.field_bool("completed", self.completed)
+            .field_u64("main_finish_cycle", self.main_finish_cycle)
+            .field_u64("drain_cycle", self.drain_cycle)
+            .field_u64("retired", self.retired)
+            .field_u64("segments_checked", self.segments_checked)
+            .field_u64("segments_failed", self.segments_failed)
+            .field_u64("backpressure_stalls", self.backpressure_stalls)
+            .field_u64("engine_steps", self.engine_steps)
+            .field_raw("per_main", &mains)
+            .field_raw("arbiters", &arbiters)
+            .field_raw("detections", &detections)
+            .field_raw("injections", &injections);
+        o.finish()
+    }
+}
+
+/// A verified-execution driver over any scenario topology.
+///
+/// Build one with [`Scenario`]:
 ///
 /// ```
-/// use flexstep_core::harness::VerifiedRun;
-/// use flexstep_core::FabricConfig;
+/// use flexstep_core::{FabricConfig, Scenario, Topology};
 /// use flexstep_isa::{asm::Assembler, XReg};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -54,58 +141,156 @@ pub struct RunReport {
 /// asm.ecall();
 /// let program = asm.finish()?;
 ///
-/// let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
+/// let mut run = Scenario::new(&program)
+///     .cores(2)
+///     .topology(Topology::PairedLockstep)
+///     .fabric(FabricConfig::paper())
+///     .build()?;
 /// let report = run.run_to_completion(1_000_000);
 /// assert!(report.completed);
 /// assert_eq!(report.segments_failed, 0);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct VerifiedRun {
-    /// The platform under test.
-    pub fs: FlexSoc,
-    main: usize,
+    /// The platform under test (crate-internal; use the accessor
+    /// methods).
+    pub(crate) fs: FlexSoc,
+    /// Main cores in channel order.
+    mains: Vec<usize>,
+    /// Checker cores, ascending.
     checkers: Vec<usize>,
-    main_done: bool,
-    main_finish_cycle: u64,
+    /// Arbiters for shared checkers (empty for dedicated topologies).
+    arbiters: Vec<CheckerArbiter>,
+    /// Per main slot: index into `arbiters` when the main competes for a
+    /// shared checker.
+    arbiter_of: Vec<Option<usize>>,
+    /// Main slot of each core id (dense reverse map).
+    slot_of: Vec<Option<usize>>,
+    done: Vec<bool>,
+    done_count: usize,
+    finish_cycle: Vec<u64>,
     steps: u64,
+    observers: Vec<Box<dyn Observer>>,
+    faults: FaultDriver,
+    injections: Vec<Injection>,
+}
+
+impl std::fmt::Debug for VerifiedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifiedRun")
+            .field("mains", &self.mains)
+            .field("checkers", &self.checkers)
+            .field("arbiters", &self.arbiters.len())
+            .field("done", &self.done)
+            .field("steps", &self.steps)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl VerifiedRun {
+    /// Builds the platform from a validated scenario (called by
+    /// [`Scenario::build`]).
+    pub(crate) fn from_scenario(
+        cores: usize,
+        resolved: ResolvedTopology,
+        programs: Vec<Program>,
+        fabric: FabricConfig,
+        sched_mode: Option<flexstep_sim::SchedMode>,
+        fault_plan: FaultPlan,
+        observers: Vec<Box<dyn Observer>>,
+    ) -> Result<Self, ScenarioError> {
+        let ResolvedTopology {
+            mains,
+            checkers,
+            binding,
+        } = resolved;
+        let mut fs = FlexSoc::new(SocConfig::paper(cores), fabric)?;
+        fs.op_g_configure(&mains, &checkers)?;
+
+        // Shared checkers get one arbiter each; mains request in channel
+        // order (first request per checker is granted immediately, the
+        // rest queue — the §III-C conflict path).
+        let mut arbiters: Vec<CheckerArbiter> = Vec::new();
+        let mut arbiter_of: Vec<Option<usize>> = vec![None; mains.len()];
+        for (slot, bind) in binding.iter().enumerate() {
+            let main = mains[slot];
+            match bind {
+                Binding::Dedicated(cs) => {
+                    fs.op_m_associate(main, cs)?;
+                    fs.op_m_check(main, true)?;
+                }
+                Binding::Shared(ch) => {
+                    let idx = match arbiters.iter().position(|a| a.checker() == *ch) {
+                        Some(i) => i,
+                        None => {
+                            arbiters.push(CheckerArbiter::new(*ch));
+                            arbiters.len() - 1
+                        }
+                    };
+                    arbiters[idx].request(&mut fs.fabric, main)?;
+                    fs.fabric.set_check(main, true)?;
+                    arbiter_of[slot] = Some(idx);
+                }
+            }
+        }
+        for &c in &checkers {
+            fs.op_c_check_state(c, true)?;
+            fs.soc.core_mut(c).unpark();
+        }
+        for (slot, program) in programs.iter().enumerate() {
+            let main = mains[slot];
+            fs.soc.load_program(program);
+            fs.soc.core_mut(main).state.pc = program.entry;
+            fs.soc.core_mut(main).state.prv = PrivMode::User;
+            fs.soc.core_mut(main).unpark();
+        }
+        if let Some(mode) = sched_mode {
+            fs.soc.set_sched_mode(mode);
+        }
+        let mut slot_of = vec![None; cores];
+        for (slot, &m) in mains.iter().enumerate() {
+            slot_of[m] = Some(slot);
+        }
+        let n = mains.len();
+        Ok(VerifiedRun {
+            fs,
+            mains,
+            checkers,
+            arbiters,
+            arbiter_of,
+            slot_of,
+            done: vec![false; n],
+            done_count: 0,
+            finish_cycle: vec![0; n],
+            steps: 0,
+            observers,
+            faults: FaultDriver::new(fault_plan),
+            injections: Vec::new(),
+        })
+    }
+
+    // ----- deprecated constructors -----------------------------------------
+
     /// Builds a platform with core 0 as main and cores `1..=n` as its
     /// checkers (n = 1 for dual-core mode, 2 for triple-core mode).
     ///
     /// # Errors
     ///
     /// Propagates configuration errors.
+    #[deprecated(note = "use Scenario::new(program).cores(1 + n).topology(Topology::Custom(..))")]
     pub fn with_checkers(
         program: &Program,
         fabric: FabricConfig,
         num_checkers: usize,
     ) -> Result<Self, Box<dyn std::error::Error>> {
-        let num_cores = 1 + num_checkers;
-        let mut fs = FlexSoc::new(SocConfig::paper(num_cores), fabric)?;
-        let checkers: Vec<usize> = (1..num_cores).collect();
-        fs.op_g_configure(&[0], &checkers)?;
-        fs.op_m_associate(0, &checkers)?;
-        fs.op_m_check(0, true)?;
-        for &c in &checkers {
-            fs.op_c_check_state(c, true)?;
-            fs.soc.core_mut(c).unpark();
-        }
-        fs.soc.load_program(program);
-        fs.soc.core_mut(0).state.pc = program.entry;
-        fs.soc.core_mut(0).state.prv = PrivMode::User;
-        fs.soc.core_mut(0).unpark();
-        Ok(VerifiedRun {
-            fs,
-            main: 0,
-            checkers,
-            main_done: false,
-            main_finish_cycle: 0,
-            steps: 0,
-        })
+        let run = Scenario::new(program)
+            .cores(1 + num_checkers)
+            .topology(Topology::Custom(vec![(0, (1..=num_checkers).collect())]))
+            .fabric(fabric)
+            .build()?;
+        Ok(run)
     }
 
     /// Dual-core verification (one checker) — the Fig. 4 configuration.
@@ -113,10 +298,12 @@ impl VerifiedRun {
     /// # Errors
     ///
     /// Propagates configuration errors.
+    #[deprecated(note = "use Scenario::new(program).cores(2).build()")]
     pub fn dual_core(
         program: &Program,
         fabric: FabricConfig,
     ) -> Result<Self, Box<dyn std::error::Error>> {
+        #[allow(deprecated)]
         Self::with_checkers(program, fabric, 1)
     }
 
@@ -126,28 +313,99 @@ impl VerifiedRun {
     /// # Errors
     ///
     /// Propagates configuration errors.
+    #[deprecated(note = "use Scenario::new(program).cores(3).topology(Topology::Custom(..))")]
     pub fn triple_core(
         program: &Program,
         fabric: FabricConfig,
     ) -> Result<Self, Box<dyn std::error::Error>> {
+        #[allow(deprecated)]
         Self::with_checkers(program, fabric, 2)
     }
 
-    /// Whether the main core has reached its final `ecall`.
-    pub fn main_done(&self) -> bool {
-        self.main_done
+    // ----- accessors --------------------------------------------------------
+
+    /// The current cycle.
+    pub fn now(&self) -> u64 {
+        self.fs.soc.now()
     }
 
-    /// Whether every checker has drained its stream and returned to the
-    /// wait-for-SCP state.
+    /// The platform clock.
+    pub fn clock(&self) -> Clock {
+        self.fs.soc.clock()
+    }
+
+    /// The underlying simulator (cores, memory).
+    pub fn soc(&self) -> &Soc {
+        &self.fs.soc
+    }
+
+    /// Mutable simulator access (test/tooling escape hatch).
+    pub fn soc_mut(&mut self) -> &mut Soc {
+        &mut self.fs.soc
+    }
+
+    /// The FlexStep fabric state (FIFOs, stats, detections).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fs.fabric
+    }
+
+    /// Mutable fabric access (custom fault injection, reconfiguration
+    /// experiments).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fs.fabric
+    }
+
+    /// The whole platform — simulator plus fabric plus the Tab. I
+    /// operations (reconfiguration experiments).
+    pub fn platform_mut(&mut self) -> &mut FlexSoc {
+        &mut self.fs
+    }
+
+    /// Checker-role state of a core.
+    pub fn checker_state(&self, core: usize) -> &CheckerState {
+        self.fs.checker_state(core)
+    }
+
+    /// The main cores, in channel order.
+    pub fn mains(&self) -> &[usize] {
+        &self.mains
+    }
+
+    /// The checker cores, ascending.
+    pub fn checkers(&self) -> &[usize] {
+        &self.checkers
+    }
+
+    /// Arbitration state per shared checker (empty for dedicated
+    /// topologies).
+    pub fn arbiter_stats(&self) -> Vec<ArbiterStats> {
+        self.arbiters.iter().map(|a| a.stats).collect()
+    }
+
+    /// The main currently granted a shared checker, if that checker is
+    /// connected.
+    pub fn granted_main(&self, checker: usize) -> Option<usize> {
+        self.arbiters
+            .iter()
+            .find(|a| a.checker() == checker)
+            .and_then(CheckerArbiter::granted)
+    }
+
+    /// Whether every main core has reached its final `ecall`.
+    pub fn main_done(&self) -> bool {
+        self.done_count == self.mains.len()
+    }
+
+    /// Whether every stream has drained and every checker returned to
+    /// the wait-for-SCP state.
     pub fn drained(&self) -> bool {
-        self.fs.fabric.unit(self.main).fifo.is_fully_drained()
-            && self.checkers.iter().all(|&c| {
-                matches!(
-                    self.fs.fabric.unit(c).checker.phase,
-                    crate::checker::CheckPhase::WaitScp
-                )
-            })
+        self.mains
+            .iter()
+            .all(|&m| self.fs.fabric.unit(m).fifo.is_fully_drained())
+            && self
+                .checkers
+                .iter()
+                .all(|&c| self.fs.fabric.unit(c).checker.phase == CheckPhase::WaitScp)
     }
 
     /// Selects the ready-core scheduler; see
@@ -157,32 +415,147 @@ impl VerifiedRun {
         self.fs.soc.set_sched_mode(mode);
     }
 
-    /// Executes one scheduling quantum: steps the earliest-ready core.
-    /// Returns `false` once the run is fully complete.
+    // ----- stepping ---------------------------------------------------------
+
+    fn complete(&self) -> bool {
+        self.main_done() && self.drained() && self.arbiters.iter().all(CheckerArbiter::is_idle)
+    }
+
+    /// Executes one scheduling quantum: polls arbiters, fires due fault
+    /// shots, then steps the earliest-ready core. Returns `false` once
+    /// the run is fully complete.
     pub fn step_once(&mut self) -> bool {
-        if self.main_done && self.drained() {
+        if self.complete() {
             return false;
+        }
+        for a in &mut self.arbiters {
+            if a.poll(&mut self.fs.fabric).is_some() {
+                // A hand-over reconnects the checker; wake it in case it
+                // parked while its queue was empty.
+                let checker = a.checker();
+                self.fs.soc.core_mut(checker).unpark();
+            }
+        }
+        if self.faults.pending() {
+            let now = self.fs.soc.now();
+            let done = &self.done;
+            let fired =
+                self.faults
+                    .fire_due(&mut self.fs.fabric, &self.mains, |slot| done[slot], now);
+            for injection in fired {
+                for o in &mut self.observers {
+                    o.on_fault_injected(&injection);
+                }
+                self.injections.push(injection);
+            }
         }
         let core = match self.fs.soc.next_ready() {
             Some(c) => c,
             None => return false,
         };
         self.steps += 1;
+        // Segment open/close observation needs the tracker state from
+        // before the step; skip the probe entirely when nobody watches.
+        let seg_before = if self.observers.is_empty() {
+            None
+        } else {
+            self.slot_of[core].map(|_| self.fs.fabric.unit(core).tracker.open_seq())
+        };
         let step = self.fs.step(core);
-        if core == self.main {
-            if let EngineStep::Core(StepKind::Trap {
-                cause: TrapCause::EcallFromU,
-                ..
-            }) = &step
-            {
-                self.main_done = true;
-                self.main_finish_cycle = self.fs.soc.now();
-                self.fs.soc.core_mut(self.main).park();
-            } else if let EngineStep::Core(StepKind::Trap { cause, tval, pc }) = &step {
-                panic!("main core faulted: {cause:?} tval={tval:#x} pc={pc:#x}");
+        if matches!(step, EngineStep::Idle)
+            && self.slot_of[core].is_none()
+            && self.fs.fabric.channel_of(core).is_none()
+        {
+            // A busy checker whose arbitration queue has drained: no
+            // channel and nothing to replay. `step_checker` returns
+            // `Idle` without stalling, so at a fixed cycle it would
+            // monopolise the ready queue and starve every other core —
+            // park it (a later grant unparks it in the poll loop above).
+            self.fs.soc.core_mut(core).park();
+        }
+        if let Some(slot) = self.slot_of[core] {
+            if !self.done[slot] {
+                if let EngineStep::Core(StepKind::Trap {
+                    cause: TrapCause::EcallFromU,
+                    ..
+                }) = &step
+                {
+                    let now = self.fs.soc.now();
+                    self.done[slot] = true;
+                    self.done_count += 1;
+                    self.finish_cycle[slot] = now;
+                    self.fs.soc.core_mut(core).park();
+                    if let Some(arb) = self.arbiter_of[slot] {
+                        // The job is done: stop producing and let the
+                        // arbiter hand the checker over once the stream
+                        // drains.
+                        self.fs.fabric.set_check(core, false).expect("main core");
+                        self.arbiters[arb].release(core);
+                    }
+                    for o in &mut self.observers {
+                        o.on_main_finished(core, now);
+                    }
+                } else if let EngineStep::Core(StepKind::Trap { cause, tval, pc }) = &step {
+                    panic!("main core {core} faulted: {cause:?} tval={tval:#x} pc={pc:#x}");
+                }
             }
         }
+        if !self.observers.is_empty() {
+            self.notify_observers(core, seg_before, &step);
+        }
         true
+    }
+
+    /// Dispatches observer callbacks for one engine step.
+    fn notify_observers(
+        &mut self,
+        core: usize,
+        seg_before: Option<Option<u64>>,
+        step: &EngineStep,
+    ) {
+        let cycle = self.fs.soc.now();
+        if let Some(before) = seg_before {
+            let after = self.fs.fabric.unit(core).tracker.open_seq();
+            match (before, after) {
+                (None, Some(seq)) => {
+                    for o in &mut self.observers {
+                        o.on_segment_open(core, seq, cycle);
+                    }
+                }
+                (Some(seq), None) => {
+                    for o in &mut self.observers {
+                        o.on_segment_close(core, seq, cycle);
+                    }
+                }
+                (Some(closed), Some(opened)) if closed != opened => {
+                    for o in &mut self.observers {
+                        o.on_segment_close(core, closed, cycle);
+                        o.on_segment_open(core, opened, cycle);
+                    }
+                }
+                _ => {}
+            }
+        }
+        match step {
+            EngineStep::CheckerSegmentDone(result) => {
+                for o in &mut self.observers {
+                    o.on_check_pass(core, result);
+                }
+            }
+            EngineStep::CheckerDetected(event) => {
+                let result = SegmentResult {
+                    seq: event.segment_seq,
+                    tag: event.tag,
+                    mismatch: Some(event.kind.clone()),
+                    at: event.detected_at,
+                };
+                for o in &mut self.observers {
+                    o.on_check_fail(core, &result);
+                    o.on_detection(event);
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Runs until the cycle counter passes `cycle` or the run completes.
@@ -196,8 +569,8 @@ impl VerifiedRun {
         true
     }
 
-    /// Runs to completion (program end + checker drain), bounded by
-    /// `max_steps` engine steps.
+    /// Runs to completion (programs ended + checkers drained), bounded
+    /// by `max_steps` engine steps.
     pub fn run_to_completion(&mut self, max_steps: u64) -> RunReport {
         let mut steps = 0;
         while steps < max_steps && self.step_once() {
@@ -207,22 +580,39 @@ impl VerifiedRun {
     }
 
     /// Produces the report for the current state.
+    ///
+    /// Draining: detection events are moved out of the fabric, so a
+    /// second call reports them empty.
     pub fn report(&mut self) -> RunReport {
         let (mut checked, mut failed) = (0, 0);
         for &c in &self.checkers {
             checked += self.fs.fabric.unit(c).checker.segments_checked;
             failed += self.fs.fabric.unit(c).checker.segments_failed;
         }
+        let per_main: Vec<MainReport> = self
+            .mains
+            .iter()
+            .enumerate()
+            .map(|(slot, &core)| MainReport {
+                core,
+                completed: self.done[slot],
+                finish_cycle: self.finish_cycle[slot],
+                retired: self.fs.soc.core(core).instret,
+            })
+            .collect();
         RunReport {
-            completed: self.main_done,
-            main_finish_cycle: self.main_finish_cycle,
+            completed: self.main_done(),
+            main_finish_cycle: per_main.iter().map(|m| m.finish_cycle).max().unwrap_or(0),
             drain_cycle: self.fs.soc.now(),
-            retired: self.fs.soc.core(self.main).instret,
+            retired: per_main.iter().map(|m| m.retired).sum(),
             segments_checked: checked,
             segments_failed: failed,
             detections: self.fs.fabric.take_detections(),
             backpressure_stalls: self.fs.fabric.stats.backpressure_stalls,
             engine_steps: self.steps,
+            per_main,
+            arbiters: self.arbiters.iter().map(|a| a.stats).collect(),
+            injections: self.injections.clone(),
         }
     }
 }
@@ -249,6 +639,8 @@ pub fn baseline_cycles(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultTarget;
+    use crate::scenario::RecordingObserver;
     use flexstep_isa::asm::Assembler;
     use flexstep_isa::XReg;
 
@@ -270,24 +662,34 @@ mod tests {
         asm.finish().unwrap()
     }
 
+    fn dual(p: &Program, fabric: FabricConfig) -> VerifiedRun {
+        Scenario::new(p).cores(2).fabric(fabric).build().unwrap()
+    }
+
     #[test]
     fn dual_core_clean_run_verifies() {
         let p = store_loop(2000);
-        let mut run = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
+        let mut run = dual(&p, FabricConfig::paper());
         let r = run.run_to_completion(10_000_000);
         assert!(r.completed);
         assert!(r.segments_checked >= 2, "10k instructions => >=2 segments");
         assert_eq!(r.segments_failed, 0);
         assert!(r.detections.is_empty());
         assert!(r.drain_cycle >= r.main_finish_cycle);
+        assert_eq!(r.per_main.len(), 1);
+        assert!(r.arbiters.is_empty());
     }
 
     #[test]
     fn triple_core_clean_run_verifies_twice() {
         let p = store_loop(500);
-        let mut dual = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
-        let rd = dual.run_to_completion(10_000_000);
-        let mut triple = VerifiedRun::triple_core(&p, FabricConfig::paper()).unwrap();
+        let mut dual_run = dual(&p, FabricConfig::paper());
+        let rd = dual_run.run_to_completion(10_000_000);
+        let mut triple = Scenario::new(&p)
+            .cores(3)
+            .topology(Topology::Custom(vec![(0, vec![1, 2])]))
+            .build()
+            .unwrap();
         let rt = triple.run_to_completion(10_000_000);
         assert!(rt.completed);
         assert_eq!(rt.segments_failed, 0);
@@ -302,7 +704,7 @@ mod tests {
     fn slowdown_is_small_but_nonzero() {
         let p = store_loop(3000);
         let base = baseline_cycles(&p, 10_000_000).unwrap();
-        let mut run = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
+        let mut run = dual(&p, FabricConfig::paper());
         let r = run.run_to_completion(50_000_000);
         assert!(r.completed);
         let slowdown = r.main_finish_cycle as f64 / base as f64;
@@ -314,24 +716,23 @@ mod tests {
     }
 
     #[test]
-    fn injected_faults_are_detected_with_high_coverage() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+    fn fault_plan_faults_are_detected_with_high_coverage() {
         let p = store_loop(5000);
         let mut injected = 0;
         let mut detected = 0;
         for seed in 0..12u64 {
-            let mut run = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
-            let mut rng = StdRng::seed_from_u64(seed);
-            // Let the pipeline fill, then corrupt an in-flight packet.
-            assert!(run.run_until_cycle(20_000));
-            let now = run.fs.soc.now();
-            if crate::fault::inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng).is_some() {
-                injected += 1;
-                let r = run.run_to_completion(50_000_000);
-                if !r.detections.is_empty() || r.segments_failed > 0 {
-                    detected += 1;
-                }
+            let mut run = Scenario::new(&p)
+                .cores(2)
+                .fault_plan(FaultPlan::random_with_seed(20_000, seed))
+                .build()
+                .unwrap();
+            let r = run.run_to_completion(50_000_000);
+            if r.injections.is_empty() {
+                continue;
+            }
+            injected += 1;
+            if !r.detections.is_empty() || r.segments_failed > 0 {
+                detected += 1;
             }
         }
         assert!(
@@ -345,5 +746,61 @@ mod tests {
             detected * 10 >= injected * 9,
             "detected {detected} of {injected} injected faults"
         );
+    }
+
+    #[test]
+    fn deprecated_constructors_match_scenario_builds() {
+        let p = store_loop(1200);
+        #[allow(deprecated)]
+        let mut old = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
+        let ro = old.run_to_completion(50_000_000);
+        let mut new = dual(&p, FabricConfig::paper());
+        let rn = new.run_to_completion(50_000_000);
+        assert_eq!(ro, rn, "Scenario dual-core must be bit-identical");
+    }
+
+    #[test]
+    fn observers_see_the_whole_protocol_without_perturbing_it() {
+        let p = store_loop(2000);
+        let mut plain = dual(&p, FabricConfig::paper());
+        let rp = plain.run_to_completion(10_000_000);
+
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .observer(RecordingObserver::new())
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(10_000_000);
+        assert_eq!(rp, r, "observers must not perturb the run");
+    }
+
+    #[test]
+    fn targeted_fault_plan_lands_and_reports() {
+        let p = store_loop(4000);
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData).with_seed(3))
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(50_000_000);
+        assert_eq!(r.injections.len(), 1);
+        let inj = &r.injections[0];
+        assert_eq!(inj.target, FaultTarget::EntryData);
+        assert!(inj.at_cycle >= 20_000);
+        assert!(
+            !r.detections.is_empty() || r.segments_failed > 0,
+            "a data flip in a store-heavy loop must be caught"
+        );
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let p = store_loop(300);
+        let mut run = dual(&p, FabricConfig::paper());
+        let r = run.run_to_completion(10_000_000);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"segments_checked\": "));
+        assert!(json.contains("\"per_main\": ["));
     }
 }

@@ -1,0 +1,201 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The experiment binaries (`perf_report`, `fig8`) and the run reports
+//! emit machine-readable artifacts; the build image has no registry
+//! access for `serde`, so this module provides the small, allocation-
+//! light subset they need: objects, arrays, strings with escaping, and
+//! numbers. Output is deterministic (insertion order preserved).
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON document (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest round-trippable form.
+        let mut s = format!("{v}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".into()
+    }
+}
+
+/// An incremental JSON object writer.
+///
+/// ```
+/// use flexstep_core::json::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.field_str("name", "fig8");
+/// o.field_u64("cores", 16);
+/// o.field_raw("nested", "{\"ok\": true}");
+/// assert_eq!(o.finish(), r#"{"name": "fig8", "cores": 16, "nested": {"ok": true}}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push_str(", ");
+        }
+        self.any = true;
+        let _ = write!(self.buf, "\"{}\": ", escape(key));
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (nested object/array).
+    pub fn field_raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Adds an array of pre-rendered JSON values.
+    pub fn field_array<I>(&mut self, key: &str, values: I) -> &mut Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push_str(", ");
+            }
+            self.buf.push_str(v.as_ref());
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Renders an array of pre-rendered JSON values.
+pub fn array<I>(values: I) -> String
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let mut buf = String::from("[");
+    for (i, v) in values.into_iter().enumerate() {
+        if i > 0 {
+            buf.push_str(", ");
+        }
+        buf.push_str(v.as_ref());
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_null_out() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(2.0), "2.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builds_in_order() {
+        let mut o = JsonObject::new();
+        o.field_str("a", "x")
+            .field_u64("b", 3)
+            .field_bool("c", true);
+        o.field_f64("d", 0.25);
+        o.field_array("e", ["1", "2"]);
+        assert_eq!(
+            o.finish(),
+            r#"{"a": "x", "b": 3, "c": true, "d": 0.25, "e": [1, 2]}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(array(std::iter::empty::<&str>()), "[]");
+    }
+}

@@ -21,6 +21,10 @@
 //!   stepping and main-core backpressure.
 //! - [`fault`]: bit-flip injection into forwarded data for the
 //!   detection-latency experiments (Fig. 7).
+//! - [`scenario`] / [`harness`]: the [`Scenario`] builder — the single
+//!   front door for experiments (topology, fault plans, observers) —
+//!   and the [`VerifiedRun`] driver it builds, from dual-core Fig. 4
+//!   runs to many-core shared-checker SoCs.
 //!
 //! ## Example: verified execution end to end
 //!
@@ -85,8 +89,10 @@ pub mod engine;
 pub mod fabric;
 pub mod fault;
 pub mod harness;
+pub mod json;
 pub mod packet;
 pub mod rcpm;
+pub mod scenario;
 pub mod share;
 
 pub use checker::{CheckPhase, CheckerState, ReplayPort};
@@ -98,7 +104,13 @@ pub use fault::{
     inject_random_fault, inject_targeted_fault, FaultTarget, InjectionRecord, LatencySample,
     LatencyStats, TargetedInjection,
 };
-pub use harness::{baseline_cycles, RunReport, VerifiedRun};
+pub use harness::{baseline_cycles, MainReport, RunReport, VerifiedRun};
 pub use packet::{log_entries, Checkpoint, LogEntry, LogKind, Packet, PacketMut, PacketRef};
 pub use rcpm::{Ass, SegmentClose, SegmentTracker, DEFAULT_SEGMENT_LIMIT};
-pub use share::{ArbiterStats, CheckerArbiter, SharedCheckerRun, SharedRunReport};
+pub use scenario::{
+    FaultPlan, Injection, Observer, ObserverEvent, ObserverSummary, RecordingObserver, Scenario,
+    ScenarioError, Topology,
+};
+#[allow(deprecated)]
+pub use share::SharedCheckerRun;
+pub use share::{ArbiterStats, CheckerArbiter, SharedRunReport};

@@ -139,19 +139,36 @@ pub fn log_entries(access: &MemAccess) -> (LogEntry, Option<LogEntry>) {
 }
 
 /// A packet in a Data Buffer FIFO.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Checkpoint payloads are boxed: an [`ArchSnapshot`] is >0.5 KiB, and
+/// `Packet` values cross the public API boundary (`pop`,
+/// `drain_segment`, burst pushes), so the enum itself stays a few words
+/// and moving a packet never copies a checkpoint-sized value. The
+/// in-FIFO storage is unaffected — the DBC keeps checkpoint payloads
+/// out of line in its own ring either way.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Packet {
     /// Start register checkpoint: opens a segment.
-    Scp(Checkpoint),
+    Scp(Box<Checkpoint>),
     /// A memory-access log entry.
     Mem(LogEntry),
     /// The segment's user-mode instruction count.
     InstCount(u64),
     /// End register checkpoint: closes a segment.
-    Ecp(Checkpoint),
+    Ecp(Box<Checkpoint>),
 }
 
 impl Packet {
+    /// Builds an SCP packet, boxing the checkpoint payload.
+    pub fn scp(cp: Checkpoint) -> Self {
+        Packet::Scp(Box::new(cp))
+    }
+
+    /// Builds an ECP packet, boxing the checkpoint payload.
+    pub fn ecp(cp: Checkpoint) -> Self {
+        Packet::Ecp(Box::new(cp))
+    }
+
     /// Occupancy of this packet in the FIFO, in bytes. Checkpoints carry
     /// the full snapshot plus the pc/seq header; entries carry
     /// address + data words.
@@ -197,14 +214,14 @@ pub enum PacketRef<'a> {
 }
 
 impl PacketRef<'_> {
-    /// Materialises the packet (copies the checkpoint payload — test and
-    /// tooling convenience, not for the hot path).
+    /// Materialises the packet (copies the checkpoint payload into a
+    /// fresh box — test and tooling convenience, not for the hot path).
     pub fn to_packet(&self) -> Packet {
         match *self {
-            PacketRef::Scp(cp) => Packet::Scp(*cp),
+            PacketRef::Scp(cp) => Packet::scp(*cp),
             PacketRef::Mem(e) => Packet::Mem(*e),
             PacketRef::InstCount(v) => Packet::InstCount(v),
-            PacketRef::Ecp(cp) => Packet::Ecp(*cp),
+            PacketRef::Ecp(cp) => Packet::ecp(*cp),
         }
     }
 }
@@ -303,7 +320,7 @@ mod tests {
         });
         assert_eq!(full.bytes(), 16);
         assert_eq!(half.bytes(), 8, "supplementary µop entries are half-width");
-        let cp = Packet::Scp(Checkpoint {
+        let cp = Packet::scp(Checkpoint {
             snapshot: snap(),
             seq: 0,
             tag: 0,
@@ -311,5 +328,18 @@ mod tests {
         assert_eq!(cp.bytes(), ArchSnapshot::BYTES + 8);
         assert!(cp.is_checkpoint());
         assert_eq!(Packet::InstCount(5).bytes(), 8);
+    }
+
+    #[test]
+    fn packet_enum_is_small_at_the_api_boundary() {
+        // The checkpoint payload is boxed precisely so API-boundary
+        // moves (pop, drain_segment, burst slices) never copy an
+        // ArchSnapshot-sized value.
+        assert!(
+            std::mem::size_of::<Packet>() <= 32,
+            "Packet must stay a few words: {} bytes",
+            std::mem::size_of::<Packet>()
+        );
+        assert!(std::mem::size_of::<Packet>() < ArchSnapshot::BYTES);
     }
 }

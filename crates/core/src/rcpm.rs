@@ -84,6 +84,11 @@ impl SegmentTracker {
         self.open.map_or(0, |s| s.count)
     }
 
+    /// Sequence number of the open segment, if any (observer hooks).
+    pub fn open_seq(&self) -> Option<u64> {
+        self.open.map(|s| s.seq)
+    }
+
     /// Opens a segment at the given pre-instruction snapshot, producing
     /// the SCP to send.
     ///

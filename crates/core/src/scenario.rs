@@ -1,0 +1,970 @@
+//! The [`Scenario`] builder — the single front door for FlexStep
+//! experiments.
+//!
+//! Every experiment in this repository is some arrangement of the same
+//! ingredients: an N-core SoC, a main/checker topology, guest programs
+//! on the main cores, an optional fault-injection schedule, and a way to
+//! watch what happened. Historically each example and bench binary wired
+//! those up by reaching through [`VerifiedRun`] internals; the builder
+//! makes the whole space declarative:
+//!
+//! ```
+//! use flexstep_core::{FabricConfig, FaultPlan, Scenario, Topology};
+//! use flexstep_isa::{asm::Assembler, XReg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut asm = Assembler::new("tiny");
+//! asm.li(XReg::A0, 50);
+//! asm.li(XReg::A1, 0x2000_0000);
+//! asm.label("l")?;
+//! asm.sd(XReg::A1, XReg::A0, 0);
+//! asm.addi(XReg::A0, XReg::A0, -1);
+//! asm.bnez(XReg::A0, "l");
+//! asm.ecall();
+//! let program = asm.finish()?;
+//!
+//! // Dual-core verified execution (core 0 main, core 1 checker).
+//! let mut run = Scenario::new(&program)
+//!     .cores(2)
+//!     .topology(Topology::PairedLockstep)
+//!     .fabric(FabricConfig::paper())
+//!     .build()?;
+//! let report = run.run_to_completion(10_000_000);
+//! assert!(report.completed);
+//! assert_eq!(report.segments_failed, 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Topologies cover the paper's whole configuration space: per-main
+//! dedicated checkers ([`Topology::PairedLockstep`], or
+//! [`Topology::Custom`] for 1:2/1:3 fan-out), and §III-C arbitrated
+//! checker sharing ([`Topology::SharedChecker`]) at any core count —
+//! including the many-core (Fig. 8-style) 16–64 core sweeps.
+
+use crate::detect::{DetectionEvent, SegmentResult};
+use crate::fabric::{FabricConfig, FlexError};
+use crate::fault::{inject_random_fault, inject_targeted_fault, FaultTarget};
+use crate::harness::VerifiedRun;
+use flexstep_isa::asm::Program;
+use flexstep_mem::cache::CacheGeometryError;
+use flexstep_sim::SchedMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+/// How main cores map to checker cores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Topology {
+    /// Cores come in (main, checker) pairs: core `2i` is a main core
+    /// verified by its dedicated checker `2i + 1` — the DCLS-like layout
+    /// of Fig. 4 at two cores, scaled sideways at higher counts.
+    #[default]
+    PairedLockstep,
+    /// The last `checkers` cores are checker cores shared by all
+    /// preceding main cores through §III-C FIFO arbitration; main `i` is
+    /// bound to checker `mains + (i % checkers)`. This is the
+    /// consolidation topology of the paper's introduction and the
+    /// many-core Fig. 8-style experiments.
+    SharedChecker {
+        /// Number of shared checker cores (≥ 1).
+        checkers: usize,
+    },
+    /// An explicit map `(main core, its checker cores)`. A checker
+    /// listed by exactly one main is dedicated (1:1, 1:2, … channels); a
+    /// checker listed by several mains is shared through arbitration (in
+    /// which case each of those mains must list only that checker).
+    /// Cores not mentioned are plain compute cores.
+    Custom(Vec<(usize, Vec<usize>)>),
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+/// What one scheduled fault injection does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShotKind {
+    /// Flip `bits` random bits in one in-flight packet of class
+    /// `target`.
+    Targeted { target: FaultTarget, bits: u32 },
+    /// Flip one random bit in one random in-flight packet.
+    Random,
+}
+
+/// One scheduled injection of a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FaultShot {
+    /// Earliest cycle at which the shot may fire.
+    at_cycle: u64,
+    /// Channel index: the *i*-th main core of the scenario.
+    channel: usize,
+    kind: ShotKind,
+}
+
+/// A declarative fault-injection schedule, executed by the run loop.
+///
+/// Replaces the manual `run_until_cycle` + `inject_random_fault` +
+/// field-poking idiom: each shot arms at its cycle and fires as soon as
+/// the target channel has matching data in flight (the paper's §VI-C
+/// methodology injects into *forwarded* data, so an empty FIFO defers
+/// the shot to the next step). Fired shots are reported in
+/// [`RunReport::injections`](crate::RunReport::injections) and surfaced
+/// to observers via [`Observer::on_fault_injected`].
+///
+/// ```
+/// use flexstep_core::{FaultPlan, FaultTarget};
+/// let plan = FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData)
+///     .then_random_at(60_000)
+///     .with_seed(7);
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    shots: Vec<FaultShot>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (the default): no injections.
+    pub fn none() -> Self {
+        FaultPlan {
+            shots: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// One single-bit flip in an in-flight packet of class `target` on
+    /// the first main core's stream, armed at `cycle`.
+    pub fn bit_flip_at(cycle: u64, target: FaultTarget) -> Self {
+        FaultPlan::none().then_bit_flip_at(cycle, target)
+    }
+
+    /// One random single-bit flip in a random in-flight packet on the
+    /// first main core's stream, armed at `cycle`, with the plan's RNG
+    /// seeded to `seed`.
+    pub fn random_with_seed(cycle: u64, seed: u64) -> Self {
+        FaultPlan::none().then_random_at(cycle).with_seed(seed)
+    }
+
+    /// Appends a targeted single-bit flip armed at `cycle`.
+    pub fn then_bit_flip_at(mut self, cycle: u64, target: FaultTarget) -> Self {
+        self.shots.push(FaultShot {
+            at_cycle: cycle,
+            channel: 0,
+            kind: ShotKind::Targeted { target, bits: 1 },
+        });
+        self
+    }
+
+    /// Appends a random flip armed at `cycle`.
+    pub fn then_random_at(mut self, cycle: u64) -> Self {
+        self.shots.push(FaultShot {
+            at_cycle: cycle,
+            channel: 0,
+            kind: ShotKind::Random,
+        });
+        self
+    }
+
+    /// Retargets the most recent shot at the `channel`-th main core of
+    /// the scenario (default 0). Validated at `build()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no shots.
+    pub fn on_channel(mut self, channel: usize) -> Self {
+        self.shots
+            .last_mut()
+            .expect("on_channel requires a shot")
+            .channel = channel;
+        self
+    }
+
+    /// Widens the most recent targeted shot to an `n`-bit burst upset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no shots or the last shot is random.
+    pub fn bits(mut self, n: u32) -> Self {
+        match &mut self.shots.last_mut().expect("bits requires a shot").kind {
+            ShotKind::Targeted { bits, .. } => *bits = n,
+            ShotKind::Random => panic!("random shots are always single-bit"),
+        }
+        self
+    }
+
+    /// Seeds the plan's RNG (bit positions, packet choice).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of scheduled shots.
+    pub fn len(&self) -> usize {
+        self.shots.len()
+    }
+
+    /// Whether the plan schedules no injections.
+    pub fn is_empty(&self) -> bool {
+        self.shots.is_empty()
+    }
+
+    /// Highest channel index any shot targets.
+    fn max_channel(&self) -> Option<usize> {
+        self.shots.iter().map(|s| s.channel).max()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// One fault injection that actually fired during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// The main core whose stream was corrupted.
+    pub main_core: usize,
+    /// The corrupted packet class.
+    pub target: FaultTarget,
+    /// Bit indices flipped.
+    pub bits: Vec<u32>,
+    /// Cycle at which the flip landed (may be later than the armed
+    /// cycle if the stream was empty at arming time).
+    pub at_cycle: u64,
+}
+
+/// Executes a compiled fault plan against the run's fabric.
+#[derive(Debug)]
+pub(crate) struct FaultDriver {
+    shots: Vec<FaultShot>,
+    /// Next shot to fire (shots fire strictly in order).
+    next: usize,
+    rng: StdRng,
+}
+
+impl FaultDriver {
+    pub(crate) fn new(mut plan: FaultPlan) -> Self {
+        plan.shots.sort_by_key(|s| s.at_cycle);
+        FaultDriver {
+            rng: StdRng::seed_from_u64(plan.seed),
+            shots: plan.shots,
+            next: 0,
+        }
+    }
+
+    /// Whether any shot is still pending.
+    #[inline]
+    pub(crate) fn pending(&self) -> bool {
+        self.next < self.shots.len()
+    }
+
+    /// Fires every due shot whose channel has data in flight; returns
+    /// the injections that landed this call. A due shot whose target
+    /// stream can never carry data again (`expired` for its channel)
+    /// is dropped so it cannot block later shots.
+    pub(crate) fn fire_due(
+        &mut self,
+        fabric: &mut crate::fabric::Fabric,
+        mains: &[usize],
+        expired: impl Fn(usize) -> bool,
+        now: u64,
+    ) -> Vec<Injection> {
+        let mut fired = Vec::new();
+        while self.next < self.shots.len() {
+            let shot = self.shots[self.next];
+            if now < shot.at_cycle {
+                break;
+            }
+            let main = mains[shot.channel];
+            if expired(shot.channel) && fabric.unit(main).fifo.is_fully_drained() {
+                // The main finished and its stream drained before the
+                // shot could land: nothing left to corrupt, ever.
+                self.next += 1;
+                continue;
+            }
+            let landed = match shot.kind {
+                ShotKind::Random => {
+                    inject_random_fault(fabric, main, now, &mut self.rng).map(|r| Injection {
+                        main_core: r.main_core,
+                        target: r.target,
+                        bits: vec![r.bit],
+                        at_cycle: r.at_cycle,
+                    })
+                }
+                ShotKind::Targeted { target, bits } => {
+                    inject_targeted_fault(fabric, main, target, bits, now, &mut self.rng).map(|r| {
+                        Injection {
+                            main_core: r.main_core,
+                            target: r.target,
+                            bits: r.bits,
+                            at_cycle: r.at_cycle,
+                        }
+                    })
+                }
+            };
+            match landed {
+                Some(injection) => {
+                    fired.push(injection);
+                    self.next += 1;
+                }
+                // Nothing in flight yet: retry on a later step.
+                None => break,
+            }
+        }
+        fired
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observers
+// ---------------------------------------------------------------------------
+
+/// Callbacks invoked by the run loop as verification progresses.
+///
+/// All methods have empty defaults — implement only what you watch.
+/// Observers are notification-only: they cannot perturb the run, so a
+/// run with observers is bit-identical to one without.
+pub trait Observer {
+    /// A main core opened a checking segment.
+    fn on_segment_open(&mut self, main: usize, seq: u64, cycle: u64) {
+        let _ = (main, seq, cycle);
+    }
+    /// A main core closed a checking segment (count limit or privilege
+    /// switch).
+    fn on_segment_close(&mut self, main: usize, seq: u64, cycle: u64) {
+        let _ = (main, seq, cycle);
+    }
+    /// A checker verified a segment clean.
+    fn on_check_pass(&mut self, checker: usize, result: &SegmentResult) {
+        let _ = (checker, result);
+    }
+    /// A checker failed a segment (the matching detection event follows
+    /// via [`Observer::on_detection`]).
+    fn on_check_fail(&mut self, checker: usize, result: &SegmentResult) {
+        let _ = (checker, result);
+    }
+    /// An error was detected.
+    fn on_detection(&mut self, event: &DetectionEvent) {
+        let _ = event;
+    }
+    /// A scheduled fault landed in a stream.
+    fn on_fault_injected(&mut self, injection: &Injection) {
+        let _ = injection;
+    }
+    /// A main core finished its program.
+    fn on_main_finished(&mut self, main: usize, cycle: u64) {
+        let _ = (main, cycle);
+    }
+}
+
+/// Shared-handle observers: attach `Rc<RefCell<MyObserver>>` to a
+/// scenario and keep a clone to inspect after the run.
+///
+/// ```
+/// use flexstep_core::{Observer, RecordingObserver};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+/// let handle: Box<dyn Observer> = Box::new(recorder.clone());
+/// // ... scenario.observer(recorder.clone()) ... run ...
+/// let _summary = recorder.borrow().summary();
+/// # let _ = handle;
+/// ```
+impl<T: Observer> Observer for std::rc::Rc<std::cell::RefCell<T>> {
+    fn on_segment_open(&mut self, main: usize, seq: u64, cycle: u64) {
+        self.borrow_mut().on_segment_open(main, seq, cycle);
+    }
+    fn on_segment_close(&mut self, main: usize, seq: u64, cycle: u64) {
+        self.borrow_mut().on_segment_close(main, seq, cycle);
+    }
+    fn on_check_pass(&mut self, checker: usize, result: &SegmentResult) {
+        self.borrow_mut().on_check_pass(checker, result);
+    }
+    fn on_check_fail(&mut self, checker: usize, result: &SegmentResult) {
+        self.borrow_mut().on_check_fail(checker, result);
+    }
+    fn on_detection(&mut self, event: &DetectionEvent) {
+        self.borrow_mut().on_detection(event);
+    }
+    fn on_fault_injected(&mut self, injection: &Injection) {
+        self.borrow_mut().on_fault_injected(injection);
+    }
+    fn on_main_finished(&mut self, main: usize, cycle: u64) {
+        self.borrow_mut().on_main_finished(main, cycle);
+    }
+}
+
+/// Everything a [`RecordingObserver`] captures, in event order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObserverEvent {
+    /// Segment opened on a main core: `(main, seq, cycle)`.
+    SegmentOpen(usize, u64, u64),
+    /// Segment closed on a main core: `(main, seq, cycle)`.
+    SegmentClose(usize, u64, u64),
+    /// Checker passed a segment: `(checker, seq, cycle)`.
+    CheckPass(usize, u64, u64),
+    /// Checker failed a segment: `(checker, seq, cycle)`.
+    CheckFail(usize, u64, u64),
+    /// Detection event.
+    Detection(DetectionEvent),
+    /// Fault injection landed.
+    Fault(Injection),
+    /// Main core finished: `(main, cycle)`.
+    MainFinished(usize, u64),
+}
+
+/// Aggregate counters over an observed run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObserverSummary {
+    /// Segments opened across all mains.
+    pub segments_opened: u64,
+    /// Segments closed across all mains.
+    pub segments_closed: u64,
+    /// Segments verified clean.
+    pub checks_passed: u64,
+    /// Segments that failed verification.
+    pub checks_failed: u64,
+    /// Detection events.
+    pub detections: u64,
+    /// Faults that landed.
+    pub faults_injected: u64,
+    /// Cycle of the first detection, if any (with
+    /// [`ObserverSummary::first_fault_cycle`], the headline detection
+    /// latency).
+    pub first_detection_cycle: Option<u64>,
+    /// Cycle of the first landed fault, if any.
+    pub first_fault_cycle: Option<u64>,
+}
+
+impl ObserverSummary {
+    /// Detection latency in cycles from the first landed fault to the
+    /// first detection, if both happened.
+    pub fn detection_latency_cycles(&self) -> Option<u64> {
+        match (self.first_fault_cycle, self.first_detection_cycle) {
+            (Some(f), Some(d)) => Some(d.saturating_sub(f)),
+            _ => None,
+        }
+    }
+
+    /// Renders the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = crate::json::JsonObject::new();
+        o.field_u64("segments_opened", self.segments_opened)
+            .field_u64("segments_closed", self.segments_closed)
+            .field_u64("checks_passed", self.checks_passed)
+            .field_u64("checks_failed", self.checks_failed)
+            .field_u64("detections", self.detections)
+            .field_u64("faults_injected", self.faults_injected);
+        match self.detection_latency_cycles() {
+            Some(l) => o.field_u64("detection_latency_cycles", l),
+            None => o.field_raw("detection_latency_cycles", "null"),
+        };
+        o.finish()
+    }
+}
+
+/// A ready-made [`Observer`] that records every event and keeps the
+/// aggregate [`ObserverSummary`].
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    events: Vec<ObserverEvent>,
+    summary: ObserverSummary,
+}
+
+impl RecordingObserver {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[ObserverEvent] {
+        &self.events
+    }
+
+    /// The aggregate counters.
+    pub fn summary(&self) -> ObserverSummary {
+        self.summary
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn on_segment_open(&mut self, main: usize, seq: u64, cycle: u64) {
+        self.summary.segments_opened += 1;
+        self.events
+            .push(ObserverEvent::SegmentOpen(main, seq, cycle));
+    }
+    fn on_segment_close(&mut self, main: usize, seq: u64, cycle: u64) {
+        self.summary.segments_closed += 1;
+        self.events
+            .push(ObserverEvent::SegmentClose(main, seq, cycle));
+    }
+    fn on_check_pass(&mut self, checker: usize, result: &SegmentResult) {
+        self.summary.checks_passed += 1;
+        self.events
+            .push(ObserverEvent::CheckPass(checker, result.seq, result.at));
+    }
+    fn on_check_fail(&mut self, checker: usize, result: &SegmentResult) {
+        self.summary.checks_failed += 1;
+        self.events
+            .push(ObserverEvent::CheckFail(checker, result.seq, result.at));
+    }
+    fn on_detection(&mut self, event: &DetectionEvent) {
+        self.summary.detections += 1;
+        if self.summary.first_detection_cycle.is_none() {
+            self.summary.first_detection_cycle = Some(event.detected_at);
+        }
+        self.events.push(ObserverEvent::Detection(event.clone()));
+    }
+    fn on_fault_injected(&mut self, injection: &Injection) {
+        self.summary.faults_injected += 1;
+        if self.summary.first_fault_cycle.is_none() {
+            self.summary.first_fault_cycle = Some(injection.at_cycle);
+        }
+        self.events.push(ObserverEvent::Fault(injection.clone()));
+    }
+    fn on_main_finished(&mut self, main: usize, cycle: u64) {
+        self.events.push(ObserverEvent::MainFinished(main, cycle));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Validation errors from [`Scenario::build`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// The scenario has zero cores.
+    NoCores,
+    /// The topology yields no main cores.
+    NoMains,
+    /// [`Topology::PairedLockstep`] needs an even core count.
+    UnpairedCores {
+        /// The odd core count.
+        cores: usize,
+    },
+    /// [`Topology::SharedChecker`] needs `1 ≤ checkers < cores`.
+    BadCheckerCount {
+        /// Requested checkers.
+        checkers: usize,
+        /// Total cores.
+        cores: usize,
+    },
+    /// A topology references a core outside `0..cores`.
+    CoreOutOfRange {
+        /// The offending core.
+        core: usize,
+        /// Total cores.
+        cores: usize,
+    },
+    /// A custom map lists a core as checking itself.
+    SelfCheck {
+        /// The offending core.
+        core: usize,
+    },
+    /// A custom map lists the same main twice.
+    DuplicateMain {
+        /// The duplicated main.
+        main: usize,
+    },
+    /// A custom map uses a core as both main and checker.
+    RoleConflict {
+        /// The conflicted core.
+        core: usize,
+    },
+    /// A main in a custom map has an empty checker list.
+    NoCheckersFor {
+        /// The checker-less main.
+        main: usize,
+    },
+    /// A shared checker's mains must bind to exactly that checker
+    /// (arbitration hands over whole FIFOs, not sub-channels).
+    SharedCheckerFanOut {
+        /// The main with the extra checkers.
+        main: usize,
+        /// The shared checker.
+        checker: usize,
+    },
+    /// Not enough programs for the topology's main cores.
+    MissingProgram {
+        /// Index of the first main slot without a program.
+        main_slot: usize,
+        /// Programs provided.
+        programs: usize,
+    },
+    /// More programs than main cores.
+    ExtraPrograms {
+        /// Main slots available.
+        mains: usize,
+        /// Programs provided.
+        programs: usize,
+    },
+    /// The fault plan targets a channel (main slot) that does not exist.
+    FaultChannelOutOfRange {
+        /// The offending channel.
+        channel: usize,
+        /// Main slots available.
+        mains: usize,
+    },
+    /// The underlying fabric rejected the configuration.
+    Fabric(FlexError),
+    /// The memory geometry is invalid.
+    Cache(CacheGeometryError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoCores => write!(f, "scenario has zero cores"),
+            ScenarioError::NoMains => write!(f, "topology yields no main cores"),
+            ScenarioError::UnpairedCores { cores } => {
+                write!(f, "paired-lockstep needs an even core count, got {cores}")
+            }
+            ScenarioError::BadCheckerCount { checkers, cores } => {
+                write!(
+                    f,
+                    "shared-checker topology needs 1 <= checkers < cores, got {checkers} of {cores}"
+                )
+            }
+            ScenarioError::CoreOutOfRange { core, cores } => {
+                write!(f, "core {core} out of range (scenario has {cores} cores)")
+            }
+            ScenarioError::SelfCheck { core } => {
+                write!(f, "core {core} cannot check itself")
+            }
+            ScenarioError::DuplicateMain { main } => {
+                write!(f, "main {main} listed twice in the custom map")
+            }
+            ScenarioError::RoleConflict { core } => {
+                write!(f, "core {core} used as both main and checker")
+            }
+            ScenarioError::NoCheckersFor { main } => {
+                write!(f, "main {main} has an empty checker list")
+            }
+            ScenarioError::SharedCheckerFanOut { main, checker } => {
+                write!(
+                    f,
+                    "main {main} shares checker {checker} but lists other checkers; \
+                     a shared checker must be its main's only checker"
+                )
+            }
+            ScenarioError::MissingProgram {
+                main_slot,
+                programs,
+            } => {
+                write!(
+                    f,
+                    "main slot {main_slot} has no program ({programs} provided); \
+                     add one with Scenario::program"
+                )
+            }
+            ScenarioError::ExtraPrograms { mains, programs } => {
+                write!(f, "{programs} programs for {mains} main core(s)")
+            }
+            ScenarioError::FaultChannelOutOfRange { channel, mains } => {
+                write!(
+                    f,
+                    "fault plan targets channel {channel}, scenario has {mains} main core(s)"
+                )
+            }
+            ScenarioError::Fabric(e) => write!(f, "fabric: {e}"),
+            ScenarioError::Cache(e) => write!(f, "memory geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<FlexError> for ScenarioError {
+    fn from(e: FlexError) -> Self {
+        ScenarioError::Fabric(e)
+    }
+}
+
+impl From<CacheGeometryError> for ScenarioError {
+    fn from(e: CacheGeometryError) -> Self {
+        ScenarioError::Cache(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The builder
+// ---------------------------------------------------------------------------
+
+/// Resolved topology, shared between `build` and `VerifiedRun`.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedTopology {
+    /// Main cores, in channel order.
+    pub mains: Vec<usize>,
+    /// Checker cores, ascending.
+    pub checkers: Vec<usize>,
+    /// Per main (same order as `mains`): dedicated checkers, or the
+    /// shared checker it competes for.
+    pub binding: Vec<Binding>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Binding {
+    /// Dedicated channel to these checkers (1:1, 1:2, …).
+    Dedicated(Vec<usize>),
+    /// Arbitrated access to this shared checker.
+    Shared(usize),
+}
+
+/// A declarative description of one FlexStep experiment; `build()` turns
+/// it into a ready-to-run [`VerifiedRun`].
+///
+/// See the [module documentation](self) for a worked example.
+pub struct Scenario {
+    programs: Vec<Program>,
+    cores: Option<usize>,
+    topology: Topology,
+    fabric: FabricConfig,
+    sched_mode: Option<SchedMode>,
+    fault_plan: FaultPlan,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("programs", &self.programs.len())
+            .field("cores", &self.cores)
+            .field("topology", &self.topology)
+            .field("fabric", &self.fabric)
+            .field("sched_mode", &self.sched_mode)
+            .field("fault_plan", &self.fault_plan)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Starts a scenario running `program` on the first main core.
+    pub fn new(program: &Program) -> Self {
+        Scenario {
+            programs: vec![program.clone()],
+            cores: None,
+            topology: Topology::default(),
+            fabric: FabricConfig::paper(),
+            sched_mode: None,
+            fault_plan: FaultPlan::none(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Adds a program for the next main core (multi-main topologies).
+    /// Programs bind to main cores in channel order; they must use
+    /// disjoint text/data windows (build them with
+    /// [`Assembler::with_bases`](flexstep_isa::asm::Assembler::with_bases)).
+    pub fn program(mut self, program: &Program) -> Self {
+        self.programs.push(program.clone());
+        self
+    }
+
+    /// Sets the total core count. Defaults to the smallest count the
+    /// topology and program list imply.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cores = Some(n);
+        self
+    }
+
+    /// Sets the main/checker topology (default
+    /// [`Topology::PairedLockstep`]).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the fabric configuration (default
+    /// [`FabricConfig::paper`]).
+    pub fn fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Forces a ready-core scheduler (default: the SoC's adaptive
+    /// choice; see [`SchedMode`]). Both modes are bit-identical.
+    pub fn sched_mode(mut self, mode: SchedMode) -> Self {
+        self.sched_mode = Some(mode);
+        self
+    }
+
+    /// Schedules fault injections (default: none).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Attaches an observer; may be called repeatedly.
+    pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Default core count implied by the topology and program list.
+    fn default_cores(&self) -> usize {
+        match &self.topology {
+            Topology::PairedLockstep => 2 * self.programs.len(),
+            Topology::SharedChecker { checkers } => self.programs.len() + checkers,
+            Topology::Custom(map) => map
+                .iter()
+                .flat_map(|(m, cs)| std::iter::once(*m).chain(cs.iter().copied()))
+                .max()
+                .map_or(0, |c| c + 1),
+        }
+    }
+
+    /// Resolves the topology into explicit main/checker bindings.
+    fn resolve(&self, cores: usize) -> Result<ResolvedTopology, ScenarioError> {
+        match &self.topology {
+            Topology::PairedLockstep => {
+                if !cores.is_multiple_of(2) {
+                    return Err(ScenarioError::UnpairedCores { cores });
+                }
+                let mains: Vec<usize> = (0..cores).step_by(2).collect();
+                let checkers: Vec<usize> = (0..cores).skip(1).step_by(2).collect();
+                let binding = mains
+                    .iter()
+                    .map(|&m| Binding::Dedicated(vec![m + 1]))
+                    .collect();
+                Ok(ResolvedTopology {
+                    mains,
+                    checkers,
+                    binding,
+                })
+            }
+            Topology::SharedChecker { checkers } => {
+                let c = *checkers;
+                if c == 0 || c >= cores {
+                    return Err(ScenarioError::BadCheckerCount { checkers: c, cores });
+                }
+                let num_mains = cores - c;
+                let mains: Vec<usize> = (0..num_mains).collect();
+                let checker_ids: Vec<usize> = (num_mains..cores).collect();
+                let binding = mains
+                    .iter()
+                    .map(|&m| Binding::Shared(num_mains + (m % c)))
+                    .collect();
+                Ok(ResolvedTopology {
+                    mains,
+                    checkers: checker_ids,
+                    binding,
+                })
+            }
+            Topology::Custom(map) => {
+                let mut mains = Vec::new();
+                let mut checkers: Vec<usize> = Vec::new();
+                // How many mains list each checker.
+                let mut users: Vec<Vec<usize>> = vec![Vec::new(); cores];
+                for (main, cs) in map {
+                    if *main >= cores {
+                        return Err(ScenarioError::CoreOutOfRange { core: *main, cores });
+                    }
+                    if mains.contains(main) {
+                        return Err(ScenarioError::DuplicateMain { main: *main });
+                    }
+                    if cs.is_empty() {
+                        return Err(ScenarioError::NoCheckersFor { main: *main });
+                    }
+                    for &ch in cs {
+                        if ch >= cores {
+                            return Err(ScenarioError::CoreOutOfRange { core: ch, cores });
+                        }
+                        if ch == *main {
+                            return Err(ScenarioError::SelfCheck { core: ch });
+                        }
+                        if !checkers.contains(&ch) {
+                            checkers.push(ch);
+                        }
+                        users[ch].push(*main);
+                    }
+                    mains.push(*main);
+                }
+                for &m in &mains {
+                    if checkers.contains(&m) {
+                        return Err(ScenarioError::RoleConflict { core: m });
+                    }
+                }
+                // Bindings: shared checkers must be exclusive on their
+                // mains' side.
+                let mut binding = Vec::with_capacity(mains.len());
+                for (main, cs) in map {
+                    let shared = cs.iter().find(|&&ch| users[ch].len() > 1);
+                    match shared {
+                        Some(&ch) if cs.len() > 1 => {
+                            return Err(ScenarioError::SharedCheckerFanOut {
+                                main: *main,
+                                checker: ch,
+                            });
+                        }
+                        Some(&ch) => binding.push(Binding::Shared(ch)),
+                        None => binding.push(Binding::Dedicated(cs.clone())),
+                    }
+                }
+                checkers.sort_unstable();
+                Ok(ResolvedTopology {
+                    mains,
+                    checkers,
+                    binding,
+                })
+            }
+        }
+    }
+
+    /// Validates the scenario and builds the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] describing the first violated
+    /// constraint; never panics on bad configuration.
+    pub fn build(self) -> Result<VerifiedRun, ScenarioError> {
+        let cores = self.cores.unwrap_or_else(|| self.default_cores());
+        if cores == 0 {
+            return Err(ScenarioError::NoCores);
+        }
+        let resolved = self.resolve(cores)?;
+        if resolved.mains.is_empty() {
+            return Err(ScenarioError::NoMains);
+        }
+        if self.programs.len() < resolved.mains.len() {
+            return Err(ScenarioError::MissingProgram {
+                main_slot: self.programs.len(),
+                programs: self.programs.len(),
+            });
+        }
+        if self.programs.len() > resolved.mains.len() {
+            return Err(ScenarioError::ExtraPrograms {
+                mains: resolved.mains.len(),
+                programs: self.programs.len(),
+            });
+        }
+        if let Some(ch) = self.fault_plan.max_channel() {
+            if ch >= resolved.mains.len() {
+                return Err(ScenarioError::FaultChannelOutOfRange {
+                    channel: ch,
+                    mains: resolved.mains.len(),
+                });
+            }
+        }
+        VerifiedRun::from_scenario(
+            cores,
+            resolved,
+            self.programs,
+            self.fabric,
+            self.sched_mode,
+            self.fault_plan,
+            self.observers,
+        )
+    }
+}

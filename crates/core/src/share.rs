@@ -182,9 +182,14 @@ pub struct SharedRunReport {
 /// Programs must use disjoint text/data ranges (build them with
 /// [`Assembler::with_bases`](flexstep_isa::asm::Assembler::with_bases)).
 ///
+/// Deprecated: build shared-checker platforms through
+/// [`Scenario`](crate::Scenario) with
+/// [`Topology::SharedChecker`](crate::Topology::SharedChecker), which
+/// supports any main/checker ratio and the full observer/fault-plan
+/// machinery:
+///
 /// ```
-/// use flexstep_core::share::SharedCheckerRun;
-/// use flexstep_core::FabricConfig;
+/// use flexstep_core::{FabricConfig, Scenario, Topology};
 /// use flexstep_isa::{asm::Assembler, XReg};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -204,18 +209,24 @@ pub struct SharedRunReport {
 ///     asm.ecall();
 ///     programs.push(asm.finish()?);
 /// }
-/// let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper())?;
+/// let mut run = Scenario::new(&programs[0])
+///     .program(&programs[1])
+///     .cores(3)
+///     .topology(Topology::SharedChecker { checkers: 1 })
+///     .fabric(FabricConfig::paper())
+///     .build()?;
 /// let report = run.run_to_completion(10_000_000);
-/// assert!(report.mains.iter().all(|m| m.completed));
+/// assert!(report.per_main.iter().all(|m| m.completed));
 /// assert_eq!(report.segments_failed, 0);
-/// assert!(report.arbiter.conflicts >= 1, "second main had to wait");
+/// assert!(report.arbiters[0].conflicts >= 1, "second main had to wait");
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
+#[deprecated(note = "use Scenario with Topology::SharedChecker")]
 pub struct SharedCheckerRun {
     /// The platform under test.
-    pub fs: FlexSoc,
+    pub(crate) fs: FlexSoc,
     /// The §III-C arbiter.
     pub arbiter: CheckerArbiter,
     mains: Vec<usize>,
@@ -224,6 +235,7 @@ pub struct SharedCheckerRun {
     finish_cycle: Vec<u64>,
 }
 
+#[allow(deprecated)]
 impl SharedCheckerRun {
     /// Builds the platform: one main core per program plus one shared
     /// checker, every main requesting the checker at time zero.
@@ -342,9 +354,10 @@ impl SharedCheckerRun {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::harness::VerifiedRun;
+    use crate::scenario::Scenario;
     use flexstep_isa::asm::Assembler;
     use flexstep_isa::XReg;
 
@@ -397,7 +410,7 @@ mod tests {
         // The same program verified (a) with a dedicated checker and
         // (b) through a shared checker: identical segment counts.
         let p = job(0, 2500);
-        let mut dedicated = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
+        let mut dedicated = Scenario::new(&p).cores(2).build().unwrap();
         let rd = dedicated.run_to_completion(50_000_000);
 
         let programs = vec![job(0, 2500), job(1, 400)];

@@ -65,12 +65,12 @@ fn packet_of(shape: PacketShape, n: u64) -> Packet {
             size: 8,
             data: n & 1,
         }),
-        PacketShape::Scp => Packet::Scp(Checkpoint {
+        PacketShape::Scp => Packet::scp(Checkpoint {
             snapshot: snap,
             seq: n,
             tag: 7,
         }),
-        PacketShape::Ecp => Packet::Ecp(Checkpoint {
+        PacketShape::Ecp => Packet::ecp(Checkpoint {
             snapshot: snap,
             seq: n,
             tag: 7,
@@ -125,9 +125,9 @@ impl Reference {
             streams: (0..consumers).map(|_| VecDeque::new()).collect(),
         }
     }
-    fn push(&mut self, p: Packet) {
+    fn push(&mut self, p: &Packet) {
         for s in &mut self.streams {
-            s.push_back(p);
+            s.push_back(p.clone());
         }
     }
     fn pop(&mut self, c: usize) -> Option<Packet> {
@@ -155,8 +155,8 @@ proptest! {
                 Op::Push(shape) => {
                     let p = packet_of(shape, n);
                     n += 1;
+                    reference.push(&p);
                     fifo.push(p).expect("spill-enabled push cannot fail");
-                    reference.push(p);
                 }
                 Op::Pop(c) => {
                     let c = c % consumers;
@@ -200,11 +200,11 @@ proptest! {
                     let (bytes, cps) =
                         if p.is_checkpoint() { (0, 1) } else { (p.bytes(), 0) };
                     let fits = fifo.can_accept(bytes, cps);
-                    match fifo.push(p) {
+                    match fifo.push(p.clone()) {
                         Ok(()) => {
                             prop_assert!(fits, "push succeeded though can_accept was false");
                             n += 1;
-                            reference.push(p);
+                            reference.push(&p);
                             held.push_back(p);
                         }
                         Err(e) => {
@@ -306,8 +306,8 @@ proptest! {
                         })
                         .collect();
                     batched.push_burst(&burst).expect("spill enabled");
-                    for &p in &burst {
-                        single.push(p).expect("spill enabled");
+                    for p in &burst {
+                        single.push(p.clone()).expect("spill enabled");
                     }
                 }
                 BurstOp::Pop(c) => {
@@ -402,9 +402,9 @@ proptest! {
         prop_assert_eq!(fifo.complete_segments_ahead(0), 0);
         // The FIFO stays usable with aligned cursors.
         let p = packet_of(PacketShape::Load, 9999);
-        fifo.push(p).expect("post-reset push");
+        fifo.push(p.clone()).expect("post-reset push");
         for c in 0..consumers {
-            prop_assert_eq!(fifo.pop(c), Some(p), "consumer {} misaligned after reset", c);
+            prop_assert_eq!(fifo.pop(c), Some(p.clone()), "consumer {} misaligned after reset", c);
         }
     }
 }

@@ -3,7 +3,7 @@
 //! core" — exercised end to end through the Tab. I operations, plus the
 //! teardown preconditions that make runtime reconfiguration safe.
 
-use flexstep_core::{CoreAttr, EngineStep, FabricConfig, FlexError, FlexSoc, VerifiedRun};
+use flexstep_core::{CoreAttr, EngineStep, FabricConfig, FlexError, FlexSoc, Scenario, Topology};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::XReg;
 use flexstep_sim::{PrivMode, SocConfig, StepKind, TrapCause};
@@ -104,9 +104,13 @@ fn quad_mode_verifies_three_times() {
     // 1:3 — beyond the paper's 1:1 / 1:2 figures, supported by the same
     // multi-consumer FIFO ("one-to-two, or more modes").
     let p = store_loop("quad", 1_500, 0);
-    let mut dual = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
+    let mut dual = Scenario::new(&p).cores(2).build().unwrap();
     let rd = dual.run_to_completion(50_000_000);
-    let mut quad = VerifiedRun::with_checkers(&p, FabricConfig::paper(), 3).unwrap();
+    let mut quad = Scenario::new(&p)
+        .cores(4)
+        .topology(Topology::Custom(vec![(0, vec![1, 2, 3])]))
+        .build()
+        .unwrap();
     let rq = quad.run_to_completion(50_000_000);
     assert!(rd.completed && rq.completed);
     assert_eq!(rq.segments_failed, 0);
@@ -127,17 +131,17 @@ fn quad_mode_verifies_three_times() {
 #[test]
 fn reconfiguration_rejected_while_checking_live() {
     let p = store_loop("live", 50_000, 0);
-    let mut run = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
+    let mut run = Scenario::new(&p).cores(2).build().unwrap();
     assert!(run.run_until_cycle(20_000), "run must still be live");
     // Checking is enabled on main core 0: role change must be refused.
-    let err = run.fs.op_g_configure(&[1], &[0]).unwrap_err();
+    let err = run.platform_mut().op_g_configure(&[1], &[0]).unwrap_err();
     assert_eq!(err, FlexError::CheckingEnabled { main: 0 });
 
     // Disabling checking exposes the next precondition: the undrained
     // stream (data is still buffered for the checker).
-    run.fs.op_m_check(0, false).unwrap();
-    if !run.fs.fabric.unit(0).fifo.is_fully_drained() {
-        let err = run.fs.op_g_configure(&[1], &[0]).unwrap_err();
+    run.platform_mut().op_m_check(0, false).unwrap();
+    if !run.fabric().unit(0).fifo.is_fully_drained() {
+        let err = run.platform_mut().op_g_configure(&[1], &[0]).unwrap_err();
         assert!(
             matches!(
                 err,

@@ -6,8 +6,8 @@
 //! run must verify clean, and the verified run's architectural results
 //! must equal an unverified run's.
 
-use flexstep_core::harness::{baseline_cycles, VerifiedRun};
-use flexstep_core::FabricConfig;
+use flexstep_core::harness::baseline_cycles;
+use flexstep_core::{FabricConfig, Scenario};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::inst::*;
 use flexstep_isa::reg::{FReg, XReg};
@@ -302,7 +302,7 @@ proptest! {
         // Verified run with an intentionally small segment limit so even
         // short programs cross several segment boundaries.
         let fabric = FabricConfig { segment_limit: 150, ..FabricConfig::paper() };
-        let mut run = VerifiedRun::dual_core(&program, fabric).expect("setup");
+        let mut run = Scenario::new(&program).cores(2).fabric(fabric).build().expect("setup");
         let report = run.run_to_completion(20_000_000);
 
         prop_assert!(report.completed, "verified run must finish");
@@ -311,7 +311,7 @@ proptest! {
         prop_assert!(report.segments_checked >= 1);
 
         // Verification must not perturb architectural results.
-        let verified_state = run.fs.soc.core(0).state.snapshot();
+        let verified_state = run.soc().core(0).state.snapshot();
         prop_assert_eq!(verified_state.xregs, base_state.xregs);
         prop_assert_eq!(verified_state.fregs, base_state.fregs);
 
@@ -320,7 +320,7 @@ proptest! {
         for slot in 0..80 {
             let addr = region + slot * 8;
             prop_assert_eq!(
-                run.fs.soc.mem.phys().read_u64(addr),
+                run.soc().mem.phys().read_u64(addr),
                 plain.mem.phys().read_u64(addr),
                 "memory diverged at {:#x}", addr
             );
@@ -340,7 +340,7 @@ proptest! {
             segment_limit: 200,
             ..FabricConfig::paper_strict()
         };
-        let mut run = VerifiedRun::dual_core(&program, tight).expect("setup");
+        let mut run = Scenario::new(&program).cores(2).fabric(tight).build().expect("setup");
         let report = run.run_to_completion(50_000_000);
         prop_assert!(report.completed);
         prop_assert_eq!(report.segments_failed, 0);

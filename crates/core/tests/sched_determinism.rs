@@ -7,8 +7,7 @@
 //! pick order would change interleaving, segment boundaries and cycle
 //! accounting, and show up here immediately.
 
-use flexstep_core::harness::VerifiedRun;
-use flexstep_core::{FabricConfig, RunReport};
+use flexstep_core::{FabricConfig, RunReport, Scenario, Topology};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::XReg;
 use flexstep_sim::SchedMode;
@@ -38,8 +37,13 @@ fn run_with(
     checkers: usize,
     mode: SchedMode,
 ) -> RunReport {
-    let mut run = VerifiedRun::with_checkers(program, fabric, checkers).expect("setup");
-    run.set_sched_mode(mode);
+    let mut run = Scenario::new(program)
+        .cores(1 + checkers)
+        .topology(Topology::Custom(vec![(0, (1..=checkers).collect())]))
+        .fabric(fabric)
+        .sched_mode(mode)
+        .build()
+        .expect("setup");
     let report = run.run_to_completion(100_000_000);
     assert!(report.completed, "run must finish under {mode:?}");
     report

@@ -3,9 +3,11 @@
 //! access at segment boundaries while waiting mains buffer into their own
 //! FIFOs, so every stream is eventually verified and detections stay
 //! attributed to the right main core.
+//!
+//! Built through the `Scenario` front door with
+//! [`Topology::SharedChecker`].
 
-use flexstep_core::share::SharedCheckerRun;
-use flexstep_core::{inject_random_fault, FabricConfig};
+use flexstep_core::{inject_random_fault, FabricConfig, Scenario, Topology, VerifiedRun};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::XReg;
 use rand::rngs::StdRng;
@@ -31,14 +33,26 @@ fn job(i: u64, iters: i64) -> Program {
     asm.finish().unwrap()
 }
 
+/// N mains sharing one checker (cores = n + 1).
+fn shared(programs: &[Program]) -> VerifiedRun {
+    let mut scenario = Scenario::new(&programs[0])
+        .cores(programs.len() + 1)
+        .topology(Topology::SharedChecker { checkers: 1 })
+        .fabric(FabricConfig::paper());
+    for p in &programs[1..] {
+        scenario = scenario.program(p);
+    }
+    scenario.build().unwrap()
+}
+
 #[test]
 fn three_mains_share_one_checker_cleanly() {
     let programs: Vec<Program> = (0..3).map(|i| job(i, 1_200 + 400 * i as i64)).collect();
-    let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+    let mut run = shared(&programs);
     let report = run.run_to_completion(100_000_000);
 
     assert!(
-        report.mains.iter().all(|m| m.completed),
+        report.per_main.iter().all(|m| m.completed),
         "all mains finish: {report:?}"
     );
     assert_eq!(report.segments_failed, 0, "clean streams verify clean");
@@ -48,16 +62,25 @@ fn three_mains_share_one_checker_cleanly() {
     );
     assert!(report.detections.is_empty());
     // Exactly one immediate grant; the other two conflicted and queued.
-    assert_eq!(report.arbiter.immediate_grants, 1);
-    assert_eq!(report.arbiter.conflicts, 2);
-    assert_eq!(report.arbiter.switches, 2, "the channel handed over twice");
-    assert!(report.drain_cycle >= report.mains.iter().map(|m| m.finish_cycle).max().unwrap());
+    let arb = &report.arbiters[0];
+    assert_eq!(arb.immediate_grants, 1);
+    assert_eq!(arb.conflicts, 2);
+    assert_eq!(arb.switches, 2, "the channel handed over twice");
+    assert!(
+        report.drain_cycle
+            >= report
+                .per_main
+                .iter()
+                .map(|m| m.finish_cycle)
+                .max()
+                .unwrap()
+    );
 }
 
 #[test]
 fn shared_checker_detection_attributes_the_right_main() {
     let programs: Vec<Program> = (0..2).map(|i| job(i, 4_000)).collect();
-    let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+    let mut run = shared(&programs);
 
     // Let both mains produce, then corrupt a packet in main 1's stream
     // specifically (its own FIFO buffers while waiting for the checker).
@@ -67,9 +90,9 @@ fn shared_checker_detection_attributes_the_right_main() {
         if !run.step_once() {
             break;
         }
-        if !corrupted && run.fs.fabric.unit(1).fifo.len() > 4 {
-            let now = run.fs.soc.now();
-            if inject_random_fault(&mut run.fs.fabric, 1, now, &mut rng).is_some() {
+        if !corrupted && run.fabric().unit(1).fifo.len() > 4 {
+            let now = run.now();
+            if inject_random_fault(run.fabric_mut(), 1, now, &mut rng).is_some() {
                 corrupted = true;
             }
         }
@@ -94,13 +117,14 @@ fn shared_checker_detection_attributes_the_right_main() {
 #[test]
 fn single_main_degenerates_to_dual_core() {
     let programs = vec![job(0, 2_000)];
-    let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+    let mut run = shared(&programs);
     let report = run.run_to_completion(50_000_000);
-    assert!(report.mains[0].completed);
+    assert!(report.per_main[0].completed);
     assert_eq!(report.segments_failed, 0);
-    assert_eq!(report.arbiter.immediate_grants, 1);
-    assert_eq!(report.arbiter.conflicts, 0);
-    assert_eq!(report.arbiter.switches, 0);
+    let arb = &report.arbiters[0];
+    assert_eq!(arb.immediate_grants, 1);
+    assert_eq!(arb.conflicts, 0);
+    assert_eq!(arb.switches, 0);
 }
 
 #[test]
@@ -108,23 +132,46 @@ fn mains_progress_while_waiting_for_the_checker() {
     // The §III-C point: a waiting main is NOT stalled — it keeps
     // executing, buffering its checking data (DMA spill beyond SRAM).
     let programs: Vec<Program> = (0..2).map(|i| job(i, 2_500)).collect();
-    let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+    let mut run = shared(&programs);
     // Run a while; before any switch, the waiting main (core 1) must have
     // retired instructions even though core 0 holds the checker.
     for _ in 0..200_000 {
-        if run.arbiter.stats.switches > 0 {
+        if run.arbiter_stats()[0].switches > 0 {
             break;
         }
         if !run.step_once() {
             break;
         }
     }
-    let waiting_retired = run.fs.soc.core(1).instret;
+    let waiting_retired = run.soc().core(1).instret;
     assert!(
         waiting_retired > 100,
         "waiting main must keep executing asynchronously: {waiting_retired}"
     );
     let report = run.run_to_completion(100_000_000);
-    assert!(report.mains.iter().all(|m| m.completed));
+    assert!(report.per_main.iter().all(|m| m.completed));
     assert_eq!(report.segments_failed, 0);
+}
+
+#[test]
+fn shared_topology_with_two_checkers_balances_mains() {
+    // 4 mains over 2 shared checkers: mains 0/2 bind to checker 4,
+    // mains 1/3 to checker 5.
+    let programs: Vec<Program> = (0..4).map(|i| job(i, 1_000)).collect();
+    let mut scenario = Scenario::new(&programs[0])
+        .cores(6)
+        .topology(Topology::SharedChecker { checkers: 2 });
+    for p in &programs[1..] {
+        scenario = scenario.program(p);
+    }
+    let mut run = scenario.build().unwrap();
+    let report = run.run_to_completion(200_000_000);
+    assert!(report.per_main.iter().all(|m| m.completed), "{report:?}");
+    assert_eq!(report.segments_failed, 0);
+    assert_eq!(report.arbiters.len(), 2, "one arbiter per shared checker");
+    for arb in &report.arbiters {
+        assert_eq!(arb.immediate_grants, 1);
+        assert_eq!(arb.conflicts, 1);
+        assert_eq!(arb.switches, 1);
+    }
 }

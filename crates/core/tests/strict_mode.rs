@@ -7,8 +7,8 @@
 //! main core's backpressure. These tests pin that down (regression: the
 //! segment-granular consumption rule must only apply with spill enabled).
 
-use flexstep_core::harness::{baseline_cycles, VerifiedRun};
-use flexstep_core::FabricConfig;
+use flexstep_core::harness::baseline_cycles;
+use flexstep_core::{FabricConfig, FaultPlan, Scenario};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::XReg;
 
@@ -39,7 +39,11 @@ fn segment_larger_than_sram_streams_without_deadlock() {
         ..FabricConfig::paper_strict()
     };
     let program = memory_heavy(2_000);
-    let mut run = VerifiedRun::dual_core(&program, tight).unwrap();
+    let mut run = Scenario::new(&program)
+        .cores(2)
+        .fabric(tight)
+        .build()
+        .unwrap();
     let report = run.run_to_completion(80_000_000);
     assert!(report.completed, "SRAM-only mode must stream, not deadlock");
     assert_eq!(report.segments_failed, 0);
@@ -55,16 +59,16 @@ fn strict_mode_is_slower_but_correct() {
     let program = memory_heavy(3_000);
     let base = baseline_cycles(&program, 10_000_000).unwrap();
 
-    let mut spill = VerifiedRun::dual_core(&program, FabricConfig::paper()).unwrap();
+    let mut spill = Scenario::new(&program).cores(2).build().unwrap();
     let rs = spill.run_to_completion(100_000_000);
-    let mut strict = VerifiedRun::dual_core(
-        &program,
-        FabricConfig {
+    let mut strict = Scenario::new(&program)
+        .cores(2)
+        .fabric(FabricConfig {
             fifo_entry_bytes: 256,
             ..FabricConfig::paper_strict()
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let rt = strict.run_to_completion(100_000_000);
 
     assert!(rs.completed && rt.completed);
@@ -86,10 +90,6 @@ fn strict_mode_is_slower_but_correct() {
 
 #[test]
 fn strict_mode_detects_injected_faults_too() {
-    use flexstep_core::inject_random_fault;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     let tight = FabricConfig {
         fifo_entry_bytes: 256,
         ..FabricConfig::paper_strict()
@@ -98,13 +98,15 @@ fn strict_mode_detects_injected_faults_too() {
     let mut injected = 0;
     let mut detected = 0;
     for seed in 0..8u64 {
-        let mut run = VerifiedRun::dual_core(&program, tight).unwrap();
-        assert!(run.run_until_cycle(20_000));
-        let mut rng = StdRng::seed_from_u64(seed);
-        let now = run.fs.soc.now();
-        if inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng).is_some() {
+        let mut run = Scenario::new(&program)
+            .cores(2)
+            .fabric(tight)
+            .fault_plan(FaultPlan::random_with_seed(20_000, seed))
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(100_000_000);
+        if !r.injections.is_empty() {
             injected += 1;
-            let r = run.run_to_completion(100_000_000);
             if !r.detections.is_empty() || r.segments_failed > 0 {
                 detected += 1;
             }

@@ -186,8 +186,8 @@ impl RunSummary {
 
 /// The FlexStep kernel over a [`FlexSoc`].
 pub struct System {
-    /// The platform.
-    pub fs: FlexSoc,
+    /// The platform (kernel-internal; use the accessor methods).
+    pub(crate) fs: FlexSoc,
     cfg: KernelConfig,
     tasks: BTreeMap<TaskId, Tcb>,
     /// Checker-thread task ids generated for verified tasks:
@@ -238,6 +238,31 @@ impl System {
             detections: Vec::new(),
             next_auto_id: 0x8000_0000,
         }
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> u64 {
+        self.fs.soc.now()
+    }
+
+    /// The underlying simulator (cores, memory).
+    pub fn soc(&self) -> &flexstep_sim::Soc {
+        &self.fs.soc
+    }
+
+    /// The FlexStep fabric state (FIFOs, stats).
+    pub fn fabric(&self) -> &flexstep_core::Fabric {
+        &self.fs.fabric
+    }
+
+    /// Mutable fabric access (fault-injection experiments).
+    pub fn fabric_mut(&mut self) -> &mut flexstep_core::Fabric {
+        &mut self.fs.fabric
+    }
+
+    /// Checker-role state of a core.
+    pub fn checker_state(&self, core: usize) -> &flexstep_core::CheckerState {
+        self.fs.checker_state(core)
     }
 
     /// Adds a task. Verified tasks automatically get one checker-thread

@@ -140,7 +140,7 @@ fn verified_task_verifies_all_segments() {
     assert_eq!(summary.total_misses(), 0);
     assert!(summary.detections.is_empty(), "clean run must not detect");
     // The checker verified segments.
-    let checker = sys.fs.checker_state(1);
+    let checker = sys.checker_state(1);
     assert!(checker.segments_checked > 0);
     assert_eq!(checker.segments_failed, 0);
     // The checker-thread jobs completed too.
@@ -172,8 +172,8 @@ fn triple_check_uses_two_checkers() {
     let summary = sys.run_until(3_000_000);
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 1);
     assert_eq!(summary.total_misses(), 0);
-    let c1 = sys.fs.checker_state(1).segments_checked;
-    let c2 = sys.fs.checker_state(2).segments_checked;
+    let c1 = sys.checker_state(1).segments_checked;
+    let c2 = sys.checker_state(2).segments_checked;
     assert!(
         c1 > 0 && c1 == c2,
         "both checkers verify the same stream: {c1} vs {c2}"
@@ -241,11 +241,8 @@ fn fig1c_emergency_scenario_meets_deadlines() {
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 3);
     assert_eq!(summary.task(TaskId(2)).unwrap().completed, 1);
     assert_eq!(summary.task(TaskId(3)).unwrap().completed, 3);
-    assert_eq!(sys.fs.checker_state(1).segments_failed, 0);
-    assert!(
-        sys.fs.checker_state(1).segments_checked > 0,
-        "τ2 was verified"
-    );
+    assert_eq!(sys.checker_state(1).segments_failed, 0);
+    assert!(sys.checker_state(1).segments_checked > 0, "τ2 was verified");
 }
 
 #[test]

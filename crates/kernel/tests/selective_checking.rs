@@ -61,7 +61,7 @@ fn demand_never_checks_nothing() {
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 3);
     assert_eq!(summary.total_misses(), 0);
     assert_eq!(
-        sys.fs.checker_state(1).segments_checked,
+        sys.checker_state(1).segments_checked,
         0,
         "no job was demanded, nothing may be verified"
     );
@@ -83,7 +83,7 @@ fn window_checks_exactly_the_flagged_jobs() {
     let mut seg_at = Vec::new();
     for p in 1..=4u64 {
         sys.run_until(p * 2_000_000);
-        seg_at.push(sys.fs.checker_state(1).segments_checked);
+        seg_at.push(sys.checker_state(1).segments_checked);
     }
     let summary = sys.run_until(9_500_000);
 
@@ -99,7 +99,7 @@ fn window_checks_exactly_the_flagged_jobs() {
         2,
         "two checker-thread jobs ran"
     );
-    assert_eq!(sys.fs.checker_state(1).segments_failed, 0);
+    assert_eq!(sys.checker_state(1).segments_failed, 0);
 }
 
 #[test]
@@ -110,7 +110,7 @@ fn emergency_trigger_covers_next_jobs_only() {
 
     // Let job 0 pass unchecked, then the emergency arrives.
     sys.run_until(2_000_000);
-    assert_eq!(sys.fs.checker_state(1).segments_checked, 0);
+    assert_eq!(sys.checker_state(1).segments_checked, 0);
     let (from, until) = sys.trigger_check_window(TaskId(1), 1).unwrap();
     assert_eq!(
         (from, until),
@@ -122,7 +122,7 @@ fn emergency_trigger_covers_next_jobs_only() {
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 3);
     assert_eq!(summary.total_misses(), 0);
     assert!(
-        sys.fs.checker_state(1).segments_checked > 0,
+        sys.checker_state(1).segments_checked > 0,
         "the flagged job was verified"
     );
     let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
@@ -168,7 +168,7 @@ fn default_demand_is_always() {
     let summary = sys.run_until(4_500_000);
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 2);
     assert!(
-        sys.fs.checker_state(1).segments_checked > 0,
+        sys.checker_state(1).segments_checked > 0,
         "default checks every job"
     );
     let ct = sys.checker_thread_of(TaskId(1), 1).unwrap();
@@ -201,12 +201,12 @@ fn v2_task_may_carry_extra_redundancy() {
     let summary = sys.run_until(6_000_000);
     assert_eq!(summary.task(TaskId(1)).unwrap().completed, 2);
     assert_eq!(summary.total_misses(), 0);
-    let c1 = sys.fs.checker_state(1).segments_checked;
-    let c2 = sys.fs.checker_state(2).segments_checked;
+    let c1 = sys.checker_state(1).segments_checked;
+    let c2 = sys.checker_state(2).segments_checked;
     assert!(c1 > 0, "first checker verified");
     assert_eq!(c1, c2, "both checkers verify the same stream: {c1} vs {c2}");
     assert_eq!(
-        sys.fs.checker_state(1).segments_failed + sys.fs.checker_state(2).segments_failed,
+        sys.checker_state(1).segments_failed + sys.checker_state(2).segments_failed,
         0
     );
 }
@@ -245,5 +245,5 @@ fn unchecked_jobs_free_the_checker_core_for_normal_work() {
     let summary = sys.run_until(7_500_000);
     assert_eq!(summary.total_misses(), 0);
     assert_eq!(summary.task(TaskId(2)).unwrap().completed, 3);
-    assert_eq!(sys.fs.checker_state(1).segments_checked, 0);
+    assert_eq!(sys.checker_state(1).segments_checked, 0);
 }

@@ -1,13 +1,12 @@
 //! A miniature Fig. 7: inject faults into the forwarded data of one
-//! workload and plot the detection-latency distribution.
+//! workload via declarative fault plans and plot the detection-latency
+//! distribution.
 //!
 //! ```sh
 //! cargo run --release --example detection_latency -- [workload] [injections]
 //! ```
 
-use flexstep_bench::{
-    by_name, inject_random_fault, Clock, FabricConfig, LatencyStats, Scale, VerifiedRun,
-};
+use flexstep_bench::{by_name, Clock, FaultPlan, LatencyStats, Scale, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -20,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clock = Clock::paper();
 
     // Fault-free span, to draw injection instants from.
-    let mut probe = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
+    let mut probe = Scenario::new(&program).cores(2).build()?;
     let horizon = probe.run_to_completion(u64::MAX).main_finish_cycle;
 
     let mut rng = StdRng::seed_from_u64(99);
@@ -28,25 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut masked = 0;
     for _ in 0..injections {
         let at = rng.gen_range(horizon / 10..horizon);
-        let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
-        if !run.run_until_cycle(at) {
-            continue;
-        }
-        let mut record = None;
-        loop {
-            let now = run.fs.soc.now();
-            if let Some(r) = inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng) {
-                record = Some(r);
-                break;
-            }
-            if !run.step_once() {
-                break;
-            }
-        }
-        let Some(record) = record else { continue };
+        let shot_seed: u64 = rng.gen();
+        let mut run = Scenario::new(&program)
+            .cores(2)
+            .fault_plan(FaultPlan::random_with_seed(at, shot_seed))
+            .build()?;
         let report = run.run_to_completion(u64::MAX);
+        let Some(injection) = report.injections.first() else {
+            continue; // finished before the shot landed
+        };
         match report.detections.first() {
-            Some(d) => latencies.push(d.detected_at - record.at_cycle),
+            Some(d) => latencies.push(d.detected_at - injection.at_cycle),
             None => masked += 1,
         }
     }

@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    let checker = sys.fs.checker_state(1);
+    let checker = sys.checker_state(1);
     println!(
         "τ2 verification: {} segments checked, {} failed — all deadlines met: {}",
         checker.segments_checked,

@@ -169,12 +169,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t.max_response as f64 / 1600.0
         );
     }
-    let verified_segments: u64 = (0..m)
-        .map(|c| sys.fs.checker_state(c).segments_checked)
-        .sum();
-    let failed: u64 = (0..m)
-        .map(|c| sys.fs.checker_state(c).segments_failed)
-        .sum();
+    let verified_segments: u64 = (0..m).map(|c| sys.checker_state(c).segments_checked).sum();
+    let failed: u64 = (0..m).map(|c| sys.checker_state(c).segments_failed).sum();
     println!(
         "\nverification: {verified_segments} segments replay-checked, {failed} failed, \
          {} deadline misses — the admitted set held at runtime",

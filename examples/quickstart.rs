@@ -1,14 +1,15 @@
 //! Quickstart: verify a small program on a FlexStep dual-core platform,
-//! then corrupt the forwarded data and watch the checker catch it.
+//! then corrupt the forwarded data with a declarative fault plan and
+//! watch the checker catch it — all through the `Scenario` front door.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use flexstep::core::{inject_random_fault, FabricConfig, VerifiedRun};
+use flexstep::core::{FabricConfig, FaultPlan, RecordingObserver, Scenario, Topology};
 use flexstep::isa::{asm::Assembler, XReg};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Write a guest program with the built-in assembler: a checksum
@@ -31,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Clean run: core 0 executes, core 1 replays and verifies every
     //    checking segment (SCP → log → IC → ECP, §III of the paper).
-    let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
+    let mut run = Scenario::new(&program)
+        .cores(2)
+        .topology(Topology::PairedLockstep)
+        .fabric(FabricConfig::paper())
+        .build()?;
     let report = run.run_to_completion(10_000_000);
     println!("— clean run —");
     println!("  retired          : {} instructions", report.retired);
@@ -40,23 +45,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  segments failed  : {}", report.segments_failed);
     assert_eq!(report.segments_failed, 0);
 
-    // 3. Faulty run: flip one bit in the in-flight forwarded data
-    //    mid-run. The checker must detect the divergence.
-    let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
-    run.run_until_cycle(5_000);
-    let mut rng = StdRng::seed_from_u64(1);
-    let now = run.fs.soc.now();
-    let injected =
-        inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng).expect("data in flight");
+    // 3. Faulty run: the fault plan arms at cycle 5 000 and flips one
+    //    bit in the in-flight forwarded data as soon as the stream
+    //    carries a packet. The checker must detect the divergence; the
+    //    shared recorder handle lets us read the protocol afterwards.
+    let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+    let mut run = Scenario::new(&program)
+        .cores(2)
+        .fault_plan(FaultPlan::random_with_seed(5_000, 1))
+        .observer(recorder.clone())
+        .build()?;
+    let clock = run.clock();
     let report = run.run_to_completion(10_000_000);
     println!("— faulty run —");
+    let injected = report
+        .injections
+        .first()
+        .expect("the plan fires once data is in flight");
     println!(
-        "  injected         : {} bit {} @ cycle {}",
-        injected.target, injected.bit, injected.at_cycle
+        "  injected         : {} bit(s) {:?} @ cycle {}",
+        injected.target, injected.bits, injected.at_cycle
     );
     match report.detections.first() {
         Some(d) => {
-            let clock = run.fs.soc.clock();
             let latency = d.detected_at - injected.at_cycle;
             println!("  detected         : {}", d.kind);
             println!(
@@ -67,5 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         None => println!("  fault was architecturally masked (dead value)"),
     }
+    println!(
+        "  observer summary : {}",
+        recorder.borrow().summary().to_json()
+    );
     Ok(())
 }

@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.run_until(2 * period);
     println!(
         "after 2 quiet jobs: segments verified = {}",
-        sys.fs.checker_state(1).segments_checked
+        sys.checker_state(1).segments_checked
     );
 
     // …then the emergency: flag the next two jobs for checking.
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("emergency! checking demanded for jobs {from}..{until}");
 
     let summary = sys.run_until(6 * period);
-    let checker = sys.fs.checker_state(1);
+    let checker = sys.checker_state(1);
     println!(
         "after the emergency window: segments verified = {}, failed = {}",
         checker.segments_checked, checker.segments_failed

@@ -9,8 +9,7 @@
 //! cargo run --release --example shared_checker
 //! ```
 
-use flexstep::core::share::SharedCheckerRun;
-use flexstep::core::FabricConfig;
+use flexstep::core::{FabricConfig, Scenario, Topology};
 use flexstep::isa::{asm::Assembler, Program, XReg};
 
 /// A checksum loop in a private text/data window per main core.
@@ -32,8 +31,15 @@ fn job(slot: u64, iters: i64) -> Result<Program, Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let programs = vec![job(0, 12_000)?, job(1, 8_000)?, job(2, 4_000)?];
-    let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper())?;
+    let programs = [job(0, 12_000)?, job(1, 8_000)?, job(2, 4_000)?];
+    // Cores 0–2 are mains, core 3 the single shared checker.
+    let mut run = Scenario::new(&programs[0])
+        .program(&programs[1])
+        .program(&programs[2])
+        .cores(4)
+        .topology(Topology::SharedChecker { checkers: 1 })
+        .fabric(FabricConfig::paper())
+        .build()?;
     let report = run.run_to_completion(500_000_000);
 
     println!("Shared-checker run: 3 main cores -> 1 checker core");
@@ -42,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<8} {:>10} {:>14} {:>10}",
         "main", "completed", "finish cycle", "retired"
     );
-    for m in &report.mains {
+    for m in &report.per_main {
         println!(
             "{:<8} {:>10} {:>14} {:>10}",
             format!("core {}", m.core),
@@ -52,15 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
+    let arbiter = &report.arbiters[0];
     println!(
         "arbiter: {} immediate grant(s), {} conflict(s), {} hand-over(s)",
-        report.arbiter.immediate_grants, report.arbiter.conflicts, report.arbiter.switches
+        arbiter.immediate_grants, arbiter.conflicts, arbiter.switches
     );
     println!(
         "checker: {} segments verified, {} failed, drained at cycle {}",
         report.segments_checked, report.segments_failed, report.drain_cycle
     );
-    assert!(report.mains.iter().all(|m| m.completed));
+    assert!(report.per_main.iter().all(|m| m.completed));
     assert_eq!(report.segments_failed, 0, "clean run must verify clean");
     Ok(())
 }

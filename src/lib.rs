@@ -21,13 +21,19 @@
 //!
 //! ## Quick start
 //!
+//! Every experiment goes through the [`core::Scenario`] builder:
+//!
 //! ```
-//! use flexstep::core::{FabricConfig, VerifiedRun};
+//! use flexstep::core::{FabricConfig, Scenario, Topology};
 //! use flexstep::workloads::{by_name, Scale};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let program = by_name("dedup").unwrap().program(Scale::Test);
-//! let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())?;
+//! let mut run = Scenario::new(&program)
+//!     .cores(2)
+//!     .topology(Topology::PairedLockstep)
+//!     .fabric(FabricConfig::paper())
+//!     .build()?;
 //! let report = run.run_to_completion(100_000_000);
 //! assert!(report.completed);
 //! assert_eq!(report.segments_failed, 0);

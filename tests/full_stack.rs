@@ -2,7 +2,7 @@
 //! kernel to detection, exercised through the umbrella crate's public
 //! API exactly as a downstream user would.
 
-use flexstep::core::{inject_random_fault, FabricConfig, MismatchKind, VerifiedRun};
+use flexstep::core::{inject_random_fault, FabricConfig, FaultPlan, MismatchKind, Scenario};
 use flexstep::isa::{asm::Assembler, XReg};
 use flexstep::kernel::task::{TaskBody, TaskClass, TaskDef, TaskId};
 use flexstep::kernel::{KernelConfig, System};
@@ -19,7 +19,11 @@ use std::sync::Arc;
 fn every_workload_verifies_clean_end_to_end() {
     for w in parsec().into_iter().chain(spec()) {
         let program = w.program(Scale::Test);
-        let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
+        let mut run = Scenario::new(&program)
+            .cores(2)
+            .fabric(FabricConfig::paper())
+            .build()
+            .expect("setup");
         let report = run.run_to_completion(u64::MAX);
         assert!(report.completed, "{} must finish", w.name);
         assert_eq!(report.segments_failed, 0, "{} must verify clean", w.name);
@@ -40,24 +44,16 @@ fn fault_injection_detects_across_workloads() {
         .enumerate()
     {
         let program = by_name(name).expect("known workload").program(Scale::Test);
-        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
-        let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper()).expect("setup");
-        assert!(run.run_until_cycle(30_000), "{name} too short");
-        // Step until forwarded data is in flight, then corrupt it.
-        let mut record = None;
-        for _ in 0..100_000 {
-            let now = run.fs.soc.now();
-            if let Some(r) = inject_random_fault(&mut run.fs.fabric, 0, now, &mut rng) {
-                record = Some(r);
-                break;
-            }
-            if !run.step_once() {
-                break;
-            }
-        }
-        if record.is_some() {
+        // The declarative plan arms at cycle 30 000 and fires as soon
+        // as forwarded data is in flight.
+        let mut run = Scenario::new(&program)
+            .cores(2)
+            .fault_plan(FaultPlan::random_with_seed(30_000, 1000 + i as u64))
+            .build()
+            .expect("setup");
+        let report = run.run_to_completion(u64::MAX);
+        if !report.injections.is_empty() {
             injected += 1;
-            let report = run.run_to_completion(u64::MAX);
             if !report.detections.is_empty() {
                 detected += 1;
             }
@@ -133,8 +129,8 @@ fn kernel_detects_fault_during_scheduled_verification() {
     // Run a while, inject, then finish.
     sys.run_until(200_000);
     let mut rng = StdRng::seed_from_u64(5);
-    let now = sys.fs.soc.now();
-    let injected = inject_random_fault(&mut sys.fs.fabric, 0, now, &mut rng);
+    let now = sys.now();
+    let injected = inject_random_fault(sys.fabric_mut(), 0, now, &mut rng);
     let summary = sys.run_until(9_000_000);
     if injected.is_some() {
         assert!(

@@ -1,0 +1,244 @@
+//! `Scenario` front-door contract tests: every validation path returns a
+//! typed [`ScenarioError`] (never a panic), and builder-constructed runs
+//! reproduce the deprecated `dual_core`/`triple_core` constructors
+//! bit-for-bit.
+
+use flexstep::core::{
+    FabricConfig, FaultPlan, FaultTarget, RunReport, Scenario, ScenarioError, Topology, VerifiedRun,
+};
+use flexstep::isa::asm::{Assembler, Program};
+use flexstep::isa::XReg;
+
+fn store_loop(n: i64) -> Program {
+    let mut asm = Assembler::new("store_loop");
+    asm.li(XReg::A0, 0);
+    asm.li(XReg::A1, n);
+    asm.li(XReg::A2, 0x2000_0000);
+    asm.li(XReg::A4, 0);
+    asm.label("loop").unwrap();
+    asm.add(XReg::A0, XReg::A0, XReg::A1);
+    asm.sd(XReg::A2, XReg::A0, 0);
+    asm.ld(XReg::A3, XReg::A2, 0);
+    asm.add(XReg::A4, XReg::A4, XReg::A3);
+    asm.addi(XReg::A1, XReg::A1, -1);
+    asm.bnez(XReg::A1, "loop");
+    asm.ecall();
+    asm.finish().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Validation errors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_cores_is_an_error_not_a_panic() {
+    let p = store_loop(10);
+    let err = Scenario::new(&p).cores(0).build().unwrap_err();
+    assert_eq!(err, ScenarioError::NoCores);
+    assert!(err.to_string().contains("zero cores"));
+}
+
+#[test]
+fn paired_lockstep_rejects_odd_core_counts() {
+    let p = store_loop(10);
+    let err = Scenario::new(&p).cores(3).build().unwrap_err();
+    assert_eq!(err, ScenarioError::UnpairedCores { cores: 3 });
+}
+
+#[test]
+fn checker_index_out_of_range_is_reported() {
+    let p = store_loop(10);
+    let err = Scenario::new(&p)
+        .cores(2)
+        .topology(Topology::Custom(vec![(0, vec![7])]))
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::CoreOutOfRange { core: 7, cores: 2 });
+
+    let err = Scenario::new(&p)
+        .cores(2)
+        .topology(Topology::Custom(vec![(9, vec![1])]))
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::CoreOutOfRange { core: 9, cores: 2 });
+}
+
+#[test]
+fn custom_map_rejects_self_checking_core() {
+    let p = store_loop(10);
+    let err = Scenario::new(&p)
+        .cores(2)
+        .topology(Topology::Custom(vec![(0, vec![0])]))
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::SelfCheck { core: 0 });
+}
+
+#[test]
+fn fault_plan_on_nonexistent_channel_is_rejected() {
+    let p = store_loop(10);
+    let err = Scenario::new(&p)
+        .cores(2)
+        .fault_plan(FaultPlan::bit_flip_at(100, FaultTarget::EntryData).on_channel(3))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::FaultChannelOutOfRange {
+            channel: 3,
+            mains: 1
+        }
+    );
+}
+
+#[test]
+fn shared_checker_needs_a_sane_pool() {
+    let p = store_loop(10);
+    let err = Scenario::new(&p)
+        .cores(4)
+        .topology(Topology::SharedChecker { checkers: 0 })
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::BadCheckerCount {
+            checkers: 0,
+            cores: 4
+        }
+    );
+    let err = Scenario::new(&p)
+        .cores(4)
+        .topology(Topology::SharedChecker { checkers: 4 })
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::BadCheckerCount {
+            checkers: 4,
+            cores: 4
+        }
+    );
+}
+
+#[test]
+fn custom_map_misuse_is_typed() {
+    let p = store_loop(10);
+    // Duplicate main.
+    let err = Scenario::new(&p)
+        .program(&p)
+        .cores(4)
+        .topology(Topology::Custom(vec![(0, vec![1]), (0, vec![2])]))
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::DuplicateMain { main: 0 });
+    // Empty checker list.
+    let err = Scenario::new(&p)
+        .cores(2)
+        .topology(Topology::Custom(vec![(0, vec![])]))
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::NoCheckersFor { main: 0 });
+    // Main also used as checker.
+    let err = Scenario::new(&p)
+        .program(&p)
+        .cores(3)
+        .topology(Topology::Custom(vec![(0, vec![1]), (1, vec![2])]))
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::RoleConflict { core: 1 });
+    // A shared checker must be its mains' only checker.
+    let err = Scenario::new(&p)
+        .program(&p)
+        .cores(4)
+        .topology(Topology::Custom(vec![(0, vec![2, 3]), (1, vec![2])]))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::SharedCheckerFanOut {
+            main: 0,
+            checker: 2
+        }
+    );
+}
+
+#[test]
+fn program_count_must_match_main_count() {
+    let p = store_loop(10);
+    // 2 mains, 1 program.
+    let err = Scenario::new(&p).cores(4).build().unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::MissingProgram {
+            main_slot: 1,
+            programs: 1
+        }
+    );
+    // 1 main, 2 programs.
+    let err = Scenario::new(&p).program(&p).cores(2).build().unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::ExtraPrograms {
+            mains: 1,
+            programs: 2
+        }
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Determinism vs the deprecated constructors
+// ---------------------------------------------------------------------------
+
+fn assert_bit_identical(a: &RunReport, b: &RunReport, what: &str) {
+    // `RunReport` derives PartialEq over every field, including cycle
+    // counts, per-main breakdowns and detections — equality IS
+    // bit-for-bit reproduction.
+    assert_eq!(a, b, "{what}: reports must be identical");
+}
+
+#[test]
+fn scenario_dual_core_reproduces_deprecated_constructor_bit_for_bit() {
+    let p = store_loop(2_000);
+    #[allow(deprecated)]
+    let mut old = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
+    let ro = old.run_to_completion(100_000_000);
+    let mut new = Scenario::new(&p)
+        .cores(2)
+        .topology(Topology::PairedLockstep)
+        .fabric(FabricConfig::paper())
+        .build()
+        .unwrap();
+    let rn = new.run_to_completion(100_000_000);
+    assert!(ro.completed && ro.segments_checked >= 2);
+    assert_bit_identical(&ro, &rn, "dual-core");
+}
+
+#[test]
+fn scenario_triple_core_reproduces_deprecated_constructor_bit_for_bit() {
+    let p = store_loop(900);
+    #[allow(deprecated)]
+    let mut old = VerifiedRun::triple_core(&p, FabricConfig::paper()).unwrap();
+    let ro = old.run_to_completion(100_000_000);
+    let mut new = Scenario::new(&p)
+        .cores(3)
+        .topology(Topology::Custom(vec![(0, vec![1, 2])]))
+        .fabric(FabricConfig::paper())
+        .build()
+        .unwrap();
+    let rn = new.run_to_completion(100_000_000);
+    assert!(ro.completed);
+    assert_bit_identical(&ro, &rn, "triple-core");
+}
+
+#[test]
+fn scenario_builds_are_self_deterministic() {
+    let p = store_loop(1_500);
+    let run_once = || {
+        Scenario::new(&p)
+            .cores(2)
+            .build()
+            .unwrap()
+            .run_to_completion(100_000_000)
+    };
+    assert_bit_identical(&run_once(), &run_once(), "repeat build");
+}

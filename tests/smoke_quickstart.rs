@@ -2,7 +2,7 @@
 //! docs and the README promise, end to end, on the smallest workload
 //! scale so it stays fast.
 
-use flexstep::core::{FabricConfig, VerifiedRun};
+use flexstep::core::{FabricConfig, Scenario, Topology};
 use flexstep::workloads::{by_name, Scale};
 
 #[test]
@@ -10,8 +10,12 @@ fn readme_quickstart_path() {
     let program = by_name("dedup")
         .expect("dedup is a published workload")
         .program(Scale::Test);
-    let mut run = VerifiedRun::dual_core(&program, FabricConfig::paper())
-        .expect("dual-core fabric configures");
+    let mut run = Scenario::new(&program)
+        .cores(2)
+        .topology(Topology::PairedLockstep)
+        .fabric(FabricConfig::paper())
+        .build()
+        .expect("dual-core scenario configures");
     let report = run.run_to_completion(100_000_000);
     assert!(
         report.completed,
