@@ -1,0 +1,102 @@
+//! Fig. 7 × Fig. 8: the many-core fault-injection campaign — thousands
+//! of `FaultPlan` shots across 16/32/64-core shared-checker SoCs, with
+//! per-main and per-checker-pool detection-latency distributions and
+//! coverage (detected/landed and detected/armed), emitted as a JSON
+//! artifact.
+//!
+//! Usage: `fig7_manycore [--quick] [--cores N] [--out PATH]`
+//!
+//! - `--quick`: one 64-core campaign with 240 armed shots (CI).
+//! - `--cores N`: override the core counts with a single count.
+//! - `--out PATH`: JSON artifact path (default `FIG7_MANYCORE.json`).
+
+use flexstep_bench::campaign::{fig7_manycore_sweep, CampaignRow};
+use flexstep_bench::latency_histogram;
+use flexstep_core::json::{array, JsonObject};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "FIG7_MANYCORE.json".into());
+    let cores: Vec<usize> = match arg_value(&args, "--cores").and_then(|v| v.parse().ok()) {
+        Some(n) => vec![n],
+        // Quick keeps the 64-core row: the artifact's floor is a
+        // >=64-core campaign with >=200 armed shots.
+        None if quick => vec![64],
+        None => vec![16, 32, 64],
+    };
+
+    println!("Fig. 7 (many-core) — error-detection latency under a shared-checker campaign");
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}  histogram 0..120µs",
+        "cores", "mains", "pools", "armed", "landed", "det", "expired", "cov/land", "cov/armed",
+        "mean µs", "p99 µs", "max µs"
+    );
+    let rows = fig7_manycore_sweep(&cores, quick).expect("campaign configurations are valid");
+    let mut rows_json = Vec::new();
+    for row in &rows {
+        assert!(row.completed, "campaign chunks must finish: {row:?}");
+        assert!(
+            row.detected <= row.landed && row.landed <= row.armed,
+            "attribution invariant violated: {row:?}"
+        );
+        print_row(row);
+        rows_json.push(row.to_json());
+    }
+
+    let mut out = JsonObject::new();
+    {
+        let mut meta = JsonObject::new();
+        meta.field_str("tool", "fig7_manycore")
+            .field_bool("quick", quick);
+        out.field_raw("meta", &meta.finish());
+    }
+    out.field_raw("rows", &array(&rows_json));
+    let json = out.finish();
+    std::fs::write(&out_path, &json).expect("write artifact");
+    println!();
+    println!("wrote {out_path}");
+}
+
+fn print_row(row: &CampaignRow) {
+    let (mean, p99, max) = row
+        .stats
+        .map_or(("n/a".into(), "n/a".into(), "n/a".into()), |s| {
+            (
+                format!("{:.1}", s.mean_us),
+                format!("{:.1}", s.p99_us),
+                format!("{:.1}", s.max_us),
+            )
+        });
+    println!(
+        "{:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7.1}% {:>7.1}% {:>8} {:>8} {:>8}  |{}|",
+        row.cores,
+        row.mains,
+        row.checkers,
+        row.armed,
+        row.landed,
+        row.detected,
+        row.expired,
+        100.0 * row.coverage_landed(),
+        100.0 * row.coverage_armed(),
+        mean,
+        p99,
+        max,
+        latency_histogram(&row.latencies_us),
+    );
+    for pool in &row.per_pool {
+        let mean = pool
+            .stats
+            .map_or("n/a".into(), |s| format!("{:.1}", s.mean_us));
+        println!(
+            "       pool @core {:>3}: {:>4} armed {:>4} landed {:>4} detected  mean {:>7} µs",
+            pool.core, pool.armed, pool.landed, pool.detected, mean
+        );
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}

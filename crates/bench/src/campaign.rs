@@ -1,0 +1,608 @@
+//! Many-core fault-injection campaign (Fig. 7 × Fig. 8, DESIGN.md §10).
+//!
+//! The paper's Fig. 7 measures the error-detection latency distribution
+//! under thousands of injections; Fig. 8 scales the SoC to many cores.
+//! This module combines both: it fires a large [`FaultPlan`] campaign
+//! across a 16/32/64-core shared-checker SoC and reports the latency
+//! distribution **per main core and per checker pool**, plus coverage
+//! as both `detected / landed` and `detected / armed`.
+//!
+//! The campaign is chunked: `runs` independent simulations each execute
+//! `shots_per_run` shots (so arming cycles stay dense without a single
+//! run's FIFO-ordered fault driver serialising thousands of shots), and
+//! the chunks run concurrently under `std::thread::scope`. Every chunk
+//! derives its own RNG stream as `seed ^ fxhash64("chunk-{k}")`, so the
+//! campaign is deterministic for a given seed regardless of thread
+//! interleaving.
+//!
+//! Attribution uses [`RunReport::matched_detections`]: each detection
+//! consumes the earliest unconsumed preceding injection on the same
+//! main, so `detected <= landed <= armed` holds in every row by
+//! construction — the invariant the `fig7_manycore` artifact pins.
+
+use crate::manycore::{checker_split, many_core_job};
+use crate::{fxhash64, FabricConfig, FaultPlan, LatencyStats, Scenario, Topology};
+use flexstep_core::json::{array, numbers, numbers_u64, JsonObject};
+use flexstep_core::{MatchedDetection, ScenarioError};
+use flexstep_isa::asm::Program;
+use flexstep_sim::Clock;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Histogram bucket width, µs (the Fig. 7 x-axis granularity).
+pub const HISTOGRAM_BUCKET_US: f64 = 8.0;
+/// Histogram bucket count (0–120 µs, last bucket open-ended).
+pub const HISTOGRAM_BUCKETS: usize = 15;
+
+/// Buckets a latency series into the Fig. 7 histogram (8 µs bins to
+/// 120 µs; the last bin absorbs the tail).
+pub fn latency_buckets(latencies_us: &[f64]) -> [u64; HISTOGRAM_BUCKETS] {
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    for &l in latencies_us {
+        let b = ((l / HISTOGRAM_BUCKET_US) as usize).min(HISTOGRAM_BUCKETS - 1);
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+/// One many-core campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Total cores in the SoC.
+    pub cores: usize,
+    /// Cores per shared checker (4 → a 64-core SoC gets 16 checkers
+    /// serving 48 mains).
+    pub cores_per_checker: usize,
+    /// Loop iterations per main-core workload.
+    pub iters_per_main: i64,
+    /// Independent simulation chunks (parallelised over threads).
+    pub runs: usize,
+    /// Shots armed per chunk.
+    pub shots_per_run: usize,
+    /// Campaign seed; chunk `k` runs on `seed ^ fxhash64("chunk-{k}")`.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The full campaign at `cores` cores (~1 200 armed shots). Chunks
+    /// arm one shot per main core — more per chunk piles shots onto the
+    /// same few-segment streams, where a segment's single failure
+    /// verdict can consume only one of them (see [`run_chunk`]) — and
+    /// the run count scales inversely so every core count fires a
+    /// comparable campaign.
+    pub fn at(cores: usize) -> Self {
+        let checkers = (cores / 4).max(1);
+        let mains = cores.saturating_sub(checkers).max(1);
+        CampaignConfig {
+            cores,
+            cores_per_checker: 4,
+            iters_per_main: 1_200,
+            runs: 1_200usize.div_ceil(mains),
+            shots_per_run: mains,
+            seed: 0xF167 ^ cores as u64,
+        }
+    }
+
+    /// Reduced campaign for CI keep-alive runs (240 armed shots — still
+    /// past the 200-shot artifact floor).
+    pub fn quick(cores: usize) -> Self {
+        let full = Self::at(cores);
+        let shots_per_run = full.shots_per_run.min(30);
+        CampaignConfig {
+            iters_per_main: 600,
+            runs: 240usize.div_ceil(shots_per_run),
+            shots_per_run,
+            ..full
+        }
+    }
+
+    /// Total shots the campaign arms.
+    pub fn armed(&self) -> usize {
+        self.runs * self.shots_per_run
+    }
+}
+
+/// Latency distribution and coverage of one checker pool (or one main).
+#[derive(Debug, Clone)]
+pub struct GroupStats {
+    /// Core id of the group (checker core for pools, main core for
+    /// mains).
+    pub core: usize,
+    /// Shots armed at streams this group serves.
+    pub armed: usize,
+    /// Shots that landed in those streams.
+    pub landed: usize,
+    /// Detections attributed one-to-one to a landed shot.
+    pub detected: usize,
+    /// Latency distribution over matched pairs, µs.
+    pub stats: Option<LatencyStats>,
+    /// Fig. 7 histogram of the matched-pair latencies.
+    pub histogram: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl GroupStats {
+    fn from_latencies(
+        core: usize,
+        armed: usize,
+        landed: usize,
+        latencies_us: &[f64],
+        latencies_cycles: &[u64],
+        clock: Clock,
+    ) -> Self {
+        GroupStats {
+            core,
+            armed,
+            landed,
+            detected: latencies_us.len(),
+            stats: LatencyStats::from_cycles(latencies_cycles, clock),
+            histogram: latency_buckets(latencies_us),
+        }
+    }
+
+    /// Renders the group as a JSON object.
+    pub fn to_json(&self, key: &str) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64(key, self.core as u64)
+            .field_u64("armed", self.armed as u64)
+            .field_u64("landed", self.landed as u64)
+            .field_u64("detected", self.detected as u64);
+        stats_fields(&mut o, &self.stats);
+        o.field_raw(
+            "histogram_8us",
+            &numbers_u64(self.histogram.iter().copied()),
+        );
+        o.finish()
+    }
+}
+
+fn stats_fields(o: &mut JsonObject, stats: &Option<LatencyStats>) {
+    match stats {
+        Some(s) => {
+            o.field_f64("mean_us", s.mean_us)
+                .field_f64("p50_us", s.p50_us)
+                .field_f64("p99_us", s.p99_us)
+                .field_f64("max_us", s.max_us);
+        }
+        None => {
+            o.field_raw("mean_us", "null")
+                .field_raw("p50_us", "null")
+                .field_raw("p99_us", "null")
+                .field_raw("max_us", "null");
+        }
+    }
+}
+
+/// One row of the many-core campaign (one core count).
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Total cores simulated.
+    pub cores: usize,
+    /// Main cores.
+    pub mains: usize,
+    /// Shared checker cores (= pools).
+    pub checkers: usize,
+    /// Simulation chunks executed.
+    pub runs: usize,
+    /// Whether every chunk ran every main to completion.
+    pub completed: bool,
+    /// Shots armed across all chunks.
+    pub armed: usize,
+    /// Shots that landed in a stream.
+    pub landed: usize,
+    /// Armed shots that expired without landing.
+    pub expired: usize,
+    /// Detections attributed one-to-one to a landed shot.
+    pub detected: usize,
+    /// Whole-campaign latency distribution, µs.
+    pub stats: Option<LatencyStats>,
+    /// Raw matched-pair latencies, µs (for external plotting).
+    pub latencies_us: Vec<f64>,
+    /// Fig. 7 histogram over all matched pairs.
+    pub histogram: [u64; HISTOGRAM_BUCKETS],
+    /// Per-checker-pool distributions, pool order.
+    pub per_pool: Vec<GroupStats>,
+    /// Per-main distributions, channel order.
+    pub per_main: Vec<GroupStats>,
+    /// Engine steps across all chunks.
+    pub engine_steps: u64,
+    /// Wall-clock seconds for the whole row.
+    pub wall_s: f64,
+}
+
+impl CampaignRow {
+    /// Detection coverage over shots that landed.
+    pub fn coverage_landed(&self) -> f64 {
+        if self.landed == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.landed as f64
+        }
+    }
+
+    /// Detection coverage over every armed shot (expired shots count
+    /// against it — the conservative campaign-level number).
+    pub fn coverage_armed(&self) -> f64 {
+        if self.armed == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.armed as f64
+        }
+    }
+
+    /// Renders the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("cores", self.cores as u64)
+            .field_u64("mains", self.mains as u64)
+            .field_u64("checkers", self.checkers as u64)
+            .field_u64("runs", self.runs as u64)
+            .field_bool("completed", self.completed)
+            .field_u64("armed", self.armed as u64)
+            .field_u64("landed", self.landed as u64)
+            .field_u64("expired", self.expired as u64)
+            .field_u64("detected", self.detected as u64)
+            .field_f64("coverage_landed", self.coverage_landed())
+            .field_f64("coverage_armed", self.coverage_armed());
+        stats_fields(&mut o, &self.stats);
+        o.field_raw("latencies_us", &numbers(self.latencies_us.iter().copied()))
+            .field_raw(
+                "histogram_8us",
+                &numbers_u64(self.histogram.iter().copied()),
+            )
+            .field_raw(
+                "per_pool",
+                &array(self.per_pool.iter().map(|p| p.to_json("checker_core"))),
+            )
+            .field_raw(
+                "per_main",
+                &array(self.per_main.iter().map(|m| m.to_json("main_core"))),
+            )
+            .field_u64("engine_steps", self.engine_steps)
+            .field_f64("wall_s", self.wall_s);
+        o.finish()
+    }
+}
+
+/// Outcome of one campaign chunk.
+struct ChunkOutcome {
+    completed: bool,
+    engine_steps: u64,
+    landed: usize,
+    expired: usize,
+    /// Channel (main slot) each armed shot targeted.
+    armed_channels: Vec<usize>,
+    /// Main slot of each landed injection.
+    landed_mains: Vec<usize>,
+    /// One-to-one (injection, detection) pairs.
+    pairs: Vec<MatchedDetection>,
+}
+
+/// Builds and runs one chunk: `shots_per_run` random shots at random
+/// instants within the fault-free span, spread over channels drawn from
+/// a shuffled deck (sampling without replacement until the deck
+/// empties). Uniform channel draws would pile several shots onto one
+/// main — and a short job is a *single* checking segment, whose one
+/// failure verdict can only consume one injection — silently deflating
+/// coverage with same-segment collisions instead of real misses.
+fn run_chunk(
+    cfg: &CampaignConfig,
+    programs: &[Program],
+    checkers: usize,
+    horizon: u64,
+    chunk: usize,
+) -> Result<ChunkOutcome, ScenarioError> {
+    let chunk_seed = cfg.seed ^ fxhash64(format!("chunk-{chunk}").as_bytes());
+    let mut rng = StdRng::seed_from_u64(chunk_seed);
+    let mains = programs.len();
+    let mut armed_channels = Vec::with_capacity(cfg.shots_per_run);
+    let mut plan = FaultPlan::none().with_seed(rng.gen());
+    let mut deck: Vec<usize> = Vec::new();
+    for _ in 0..cfg.shots_per_run {
+        if deck.is_empty() {
+            deck = (0..mains).collect();
+            deck.shuffle(&mut rng);
+        }
+        let at = rng.gen_range(horizon / 20..horizon);
+        let channel = deck.pop().expect("deck refilled above");
+        plan = plan.then_random_at(at).on_channel(channel);
+        armed_channels.push(channel);
+    }
+
+    let mut scenario = Scenario::new(&programs[0])
+        .cores(cfg.cores)
+        .topology(Topology::SharedChecker { checkers })
+        .fabric(FabricConfig::paper())
+        .fault_plan(plan);
+    for p in &programs[1..] {
+        scenario = scenario.program(p);
+    }
+    let mut run = scenario.build()?;
+    let report = run.run_to_completion(u64::MAX);
+    Ok(ChunkOutcome {
+        completed: report.completed,
+        engine_steps: report.engine_steps,
+        landed: report.injections.len(),
+        expired: report.shots_expired as usize,
+        armed_channels,
+        landed_mains: report.injections.iter().map(|i| i.main_core).collect(),
+        pairs: report.matched_detections(),
+    })
+}
+
+/// Runs the campaign at one configuration: `runs` chunks across scoped
+/// threads, aggregated into per-pool and per-main distributions.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] when the configuration is invalid (e.g.
+/// a `cores_per_checker` that leaves no main core).
+pub fn campaign_row(cfg: &CampaignConfig) -> Result<CampaignRow, ScenarioError> {
+    let (mains, checkers) = checker_split(cfg.cores, cfg.cores_per_checker)?;
+    let programs: Vec<Program> = (0..mains)
+        .map(|i| many_core_job(i as u64, cfg.iters_per_main))
+        .collect();
+    let start = Instant::now();
+
+    // Fault-free probe: measure the live span once so chunk RNGs draw
+    // arming cycles over it (the Fig. 7 methodology; shots drawn past
+    // the drain simply expire and land in the armed-only denominator).
+    let mut probe_scenario = Scenario::new(&programs[0])
+        .cores(cfg.cores)
+        .topology(Topology::SharedChecker { checkers })
+        .fabric(FabricConfig::paper());
+    for p in &programs[1..] {
+        probe_scenario = probe_scenario.program(p);
+    }
+    let mut probe = probe_scenario.build()?;
+    let span = probe.run_to_completion(u64::MAX);
+    let horizon = span.main_finish_cycle.max(1_000);
+
+    // One chunk per scoped thread, spawned in waves bounded by the
+    // machine's parallelism — a 100-chunk campaign must not hold 100
+    // simulated SoCs in memory at once. Slots keep chunk order (and
+    // every chunk derives its own RNG stream), so the aggregate is
+    // independent of wave size and interleaving.
+    let max_parallel = std::thread::available_parallelism().map_or(8, |n| n.get().max(2));
+    let mut outcomes: Vec<Option<Result<ChunkOutcome, ScenarioError>>> = Vec::new();
+    outcomes.resize_with(cfg.runs, || None);
+    for (wave, batch) in outcomes.chunks_mut(max_parallel).enumerate() {
+        std::thread::scope(|scope| {
+            for (offset, slot) in batch.iter_mut().enumerate() {
+                let programs = &programs;
+                let chunk = wave * max_parallel + offset;
+                scope.spawn(move || {
+                    *slot = Some(run_chunk(cfg, programs, checkers, horizon, chunk));
+                });
+            }
+        });
+    }
+
+    let clock = Clock::paper();
+    let mut completed = true;
+    // Chunk steps only: the fault-free horizon probe is setup, not
+    // campaign work.
+    let mut engine_steps = 0u64;
+    let (mut landed, mut expired) = (0usize, 0usize);
+    let mut armed_per_pool = vec![0usize; checkers];
+    let mut landed_per_pool = vec![0usize; checkers];
+    let mut armed_per_main = vec![0usize; mains];
+    let mut landed_per_main = vec![0usize; mains];
+    let mut cycles_all: Vec<u64> = Vec::new();
+    let mut cycles_per_pool: Vec<Vec<u64>> = vec![Vec::new(); checkers];
+    let mut cycles_per_main: Vec<Vec<u64>> = vec![Vec::new(); mains];
+    let mut armed = 0usize;
+    for outcome in outcomes {
+        let o = outcome.expect("all chunks computed")?;
+        completed &= o.completed;
+        engine_steps += o.engine_steps;
+        armed += o.armed_channels.len();
+        landed += o.landed;
+        expired += o.expired;
+        for &ch in &o.armed_channels {
+            armed_per_main[ch] += 1;
+            armed_per_pool[ch % checkers] += 1;
+        }
+        for &m in &o.landed_mains {
+            landed_per_main[m] += 1;
+            landed_per_pool[m % checkers] += 1;
+        }
+        for pair in &o.pairs {
+            let lat = pair.latency_cycles();
+            cycles_all.push(lat);
+            cycles_per_main[pair.main_core].push(lat);
+            // SharedChecker puts the pool at the top of the core range:
+            // checker_core = mains + pool index.
+            cycles_per_pool[pair.checker_core - mains].push(lat);
+        }
+    }
+
+    let us =
+        |cycles: &[u64]| -> Vec<f64> { cycles.iter().map(|&c| clock.cycles_to_us(c)).collect() };
+    let latencies_us = us(&cycles_all);
+    let per_pool = (0..checkers)
+        .map(|p| {
+            GroupStats::from_latencies(
+                mains + p,
+                armed_per_pool[p],
+                landed_per_pool[p],
+                &us(&cycles_per_pool[p]),
+                &cycles_per_pool[p],
+                clock,
+            )
+        })
+        .collect();
+    let per_main = (0..mains)
+        .map(|m| {
+            GroupStats::from_latencies(
+                m,
+                armed_per_main[m],
+                landed_per_main[m],
+                &us(&cycles_per_main[m]),
+                &cycles_per_main[m],
+                clock,
+            )
+        })
+        .collect();
+    Ok(CampaignRow {
+        cores: cfg.cores,
+        mains,
+        checkers,
+        runs: cfg.runs,
+        completed,
+        armed,
+        landed,
+        expired,
+        detected: cycles_all.len(),
+        stats: LatencyStats::from_cycles(&cycles_all, clock),
+        histogram: latency_buckets(&latencies_us),
+        latencies_us,
+        per_pool,
+        per_main,
+        engine_steps,
+        wall_s: start.elapsed().as_secs_f64().max(1e-9),
+    })
+}
+
+/// Runs the Fig. 7-style many-core campaign over the given core counts.
+///
+/// # Errors
+///
+/// Propagates the first invalid configuration.
+pub fn fig7_manycore_sweep(
+    core_counts: &[usize],
+    quick: bool,
+) -> Result<Vec<CampaignRow>, ScenarioError> {
+    core_counts
+        .iter()
+        .map(|&n| {
+            let cfg = if quick {
+                CampaignConfig::quick(n)
+            } else {
+                CampaignConfig::at(n)
+            };
+            campaign_row(&cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the acceptance bar: a ≥64-core campaign with ≥200 armed
+    /// shots where `detected <= landed <= armed` holds in every row,
+    /// pool and main, and the per-pool splits partition the totals.
+    #[test]
+    fn quick_64_core_campaign_meets_the_fig7_bar() {
+        let cfg = CampaignConfig::quick(64);
+        assert!(
+            cfg.armed() >= 200,
+            "quick must stay past the 200-shot floor"
+        );
+        let row = campaign_row(&cfg).expect("valid configuration");
+        assert!(row.completed, "every chunk must finish");
+        assert_eq!(row.cores, 64);
+        assert_eq!(row.mains, 48);
+        assert_eq!(row.checkers, 16);
+        assert_eq!(row.armed, cfg.armed());
+        assert!(
+            row.detected <= row.landed && row.landed <= row.armed,
+            "detected <= landed <= armed must hold: {row:?}"
+        );
+        assert_eq!(row.landed + row.expired, row.armed);
+        assert!(
+            row.detected * 10 >= row.landed * 7,
+            "most landed shots must be caught: {}/{}",
+            row.detected,
+            row.landed
+        );
+        assert!(row.coverage_armed() <= row.coverage_landed());
+
+        // Pools partition the campaign totals.
+        assert_eq!(row.per_pool.len(), 16);
+        assert_eq!(row.per_main.len(), 48);
+        assert_eq!(
+            row.per_pool.iter().map(|p| p.armed).sum::<usize>(),
+            row.armed
+        );
+        assert_eq!(
+            row.per_pool.iter().map(|p| p.landed).sum::<usize>(),
+            row.landed
+        );
+        assert_eq!(
+            row.per_pool.iter().map(|p| p.detected).sum::<usize>(),
+            row.detected
+        );
+        assert_eq!(
+            row.per_main.iter().map(|m| m.detected).sum::<usize>(),
+            row.detected
+        );
+        for p in &row.per_pool {
+            assert!(
+                p.detected <= p.landed && p.landed <= p.armed,
+                "pool invariant: {p:?}"
+            );
+            assert_eq!(
+                p.histogram.iter().sum::<u64>(),
+                p.detected as u64,
+                "pool histogram counts every matched pair"
+            );
+        }
+        assert_eq!(row.histogram.iter().sum::<u64>(), row.detected as u64);
+        let stats = row.stats.expect("a 240-shot campaign detects something");
+        assert!(stats.mean_us > 0.0 && stats.max_us >= stats.p99_us);
+
+        let json = row.to_json();
+        assert!(json.contains("\"per_pool\": ["));
+        assert!(json.contains("\"coverage_landed\": "));
+        assert!(json.contains("\"histogram_8us\": ["));
+    }
+
+    #[test]
+    fn campaign_rejects_checker_only_splits() {
+        let cfg = CampaignConfig {
+            cores_per_checker: 1,
+            ..CampaignConfig::quick(16)
+        };
+        assert!(matches!(
+            campaign_row(&cfg),
+            Err(flexstep_core::ScenarioError::BadCheckerCount { .. })
+        ));
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_interleavings() {
+        // Two identical small campaigns must aggregate identically —
+        // per-chunk RNG streams are derived, not shared.
+        let cfg = CampaignConfig {
+            cores: 8,
+            cores_per_checker: 4,
+            iters_per_main: 300,
+            runs: 3,
+            shots_per_run: 6,
+            seed: 77,
+        };
+        let a = campaign_row(&cfg).unwrap();
+        let b = campaign_row(&cfg).unwrap();
+        assert_eq!(a.armed, b.armed);
+        assert_eq!(a.landed, b.landed);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.histogram, b.histogram);
+        assert_eq!(
+            a.per_pool.iter().map(|p| p.detected).collect::<Vec<_>>(),
+            b.per_pool.iter().map(|p| p.detected).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn latency_buckets_bins_and_saturates() {
+        let buckets = latency_buckets(&[0.0, 7.9, 8.0, 16.1, 500.0]);
+        assert_eq!(buckets[0], 2);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[2], 1);
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1, "tail bucket absorbs");
+        assert_eq!(buckets.iter().sum::<u64>(), 5);
+    }
+}

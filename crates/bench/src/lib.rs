@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod campaign;
 pub mod coverage;
 
 pub mod manycore;
@@ -130,6 +131,20 @@ fn run_rows_parallel<R: Send>(
     out.into_iter()
         .map(|r| r.expect("all rows computed"))
         .collect()
+}
+
+/// FxHash-style 64-bit byte-string hash (rotate–xor–multiply with the
+/// golden-ratio constant). Used to derive decorrelated, deterministic
+/// RNG streams from one campaign seed: `seed ^ fxhash64(name)` gives
+/// every workload (or campaign chunk) its own stream while keeping runs
+/// reproducible.
+pub fn fxhash64(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = 0u64;
+    for &b in bytes {
+        h = (h.rotate_left(5) ^ u64::from(b)).wrapping_mul(K);
+    }
+    h
 }
 
 /// Geometric mean of a slowdown series.
@@ -280,25 +295,28 @@ pub fn fig7_campaign_with(
 }
 
 /// Runs the Fig. 7 campaign over a suite with per-workload parallelism
-/// (see [`fig4_parallel`]); each workload's campaign keeps its own
-/// deterministic RNG stream, so rows match the sequential runner's.
+/// (see [`fig4_parallel`]). Each workload's campaign runs with its own
+/// deterministic RNG stream derived as `seed ^ fxhash64(name)` — passing
+/// the raw `seed` to every workload (the old behaviour) correlated the
+/// injection sites across rows, so every workload sampled the same
+/// relative injection instants. Rows are still fully reproducible for a
+/// given `seed`.
 pub fn fig7_parallel(
     workloads: &[Workload],
     scale: Scale,
     injections: usize,
     seed: u64,
 ) -> Vec<Fig7Row> {
-    run_rows_parallel(workloads, |w| fig7_campaign(w, scale, injections, seed))
+    run_rows_parallel(workloads, |w| {
+        fig7_campaign(w, scale, injections, seed ^ fxhash64(w.name.as_bytes()))
+    })
 }
 
 /// Renders a µs histogram line (8 µs buckets to 120 µs, like the Fig. 7
-/// x-axis).
+/// x-axis; the binning is [`campaign::latency_buckets`], so the sparkline
+/// always agrees with the JSON `histogram_8us` arrays).
 pub fn latency_histogram(latencies_us: &[f64]) -> String {
-    let mut buckets = [0usize; 15];
-    for &l in latencies_us {
-        let b = ((l / 8.0) as usize).min(14);
-        buckets[b] += 1;
-    }
+    let buckets = campaign::latency_buckets(latencies_us);
     let max = buckets.iter().copied().max().unwrap_or(1).max(1);
     buckets
         .iter()
@@ -383,6 +401,26 @@ mod tests {
             "latency should be µs-scale: {}",
             stats.max_us
         );
+    }
+
+    #[test]
+    fn fxhash64_is_deterministic_and_separates_names() {
+        assert_eq!(fxhash64(b"dedup"), fxhash64(b"dedup"));
+        assert_ne!(fxhash64(b"dedup"), fxhash64(b"ferret"));
+        assert_ne!(fxhash64(b"streamcluster"), fxhash64(b"swaptions"));
+        assert_ne!(fxhash64(b"x"), 0);
+    }
+
+    #[test]
+    fn fig7_parallel_derives_per_workload_seed_streams() {
+        // Pins the decorrelation rule: row i runs with
+        // `seed ^ fxhash64(name)`, not the raw shared seed.
+        let w = by_name("libquantum").unwrap();
+        let rows = fig7_parallel(std::slice::from_ref(&w), Scale::Test, 4, 42);
+        let direct = fig7_campaign(&w, Scale::Test, 4, 42 ^ fxhash64(w.name.as_bytes()));
+        assert_eq!(rows[0].injected, direct.injected);
+        assert_eq!(rows[0].detected, direct.detected);
+        assert_eq!(rows[0].latencies_us, direct.latencies_us);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::{FabricConfig, FaultPlan, Scenario, Topology};
 use flexstep_core::json::JsonObject;
-use flexstep_core::RunReport;
+use flexstep_core::{RunReport, ScenarioError};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::XReg;
 use flexstep_sim::Clock;
@@ -75,9 +75,14 @@ pub struct ManyCoreRow {
     pub steps_per_sec: f64,
     /// Segments verified across the checker pool.
     pub segments_checked: u64,
+    /// Shots the fault plan scheduled.
+    pub armed: usize,
     /// Faults that landed.
     pub injected: usize,
-    /// Detections attributed to a landed fault.
+    /// Armed shots that expired without landing.
+    pub expired: usize,
+    /// Detections attributed one-to-one to a landed fault (never more
+    /// than `injected`).
     pub detected: usize,
     /// Mean detection latency over matched (injection, detection)
     /// pairs, µs.
@@ -104,7 +109,9 @@ impl ManyCoreRow {
             .field_f64("wall_s", self.wall_s)
             .field_f64("steps_per_sec", self.steps_per_sec)
             .field_u64("segments_checked", self.segments_checked)
+            .field_u64("armed", self.armed as u64)
             .field_u64("injected", self.injected as u64)
+            .field_u64("expired", self.expired as u64)
             .field_u64("detected", self.detected as u64);
         match self.mean_detection_latency_us {
             Some(v) => o.field_f64("mean_detection_latency_us", v),
@@ -139,33 +146,53 @@ pub fn many_core_job(slot: u64, iters: i64) -> Program {
     asm.finish().unwrap()
 }
 
-/// Matches detections to the latest preceding injection on the same
-/// main core; returns the latency of each matched pair, in cycles.
+/// Latency of each one-to-one (injection, detection) pair, in cycles.
+///
+/// Delegates to [`RunReport::matched_detections`]: each detection is
+/// attributed to the *earliest unconsumed* preceding injection on the
+/// same main core, and each injection is consumed by at most one
+/// detection — so `detection_latencies(r).len() <= r.injections.len()`
+/// always holds. (The previous latest-preceding rule double-counted in
+/// dense campaigns and collapsed latencies toward the newest shot.)
 pub fn detection_latencies(report: &RunReport) -> Vec<u64> {
     report
-        .detections
+        .matched_detections()
         .iter()
-        .filter_map(|d| {
-            report
-                .injections
-                .iter()
-                .filter(|i| i.main_core == d.main_core && i.at_cycle <= d.detected_at)
-                .map(|i| i.at_cycle)
-                .max()
-                .map(|at| d.detected_at - at)
-        })
+        .map(|m| m.latency_cycles())
         .collect()
+}
+
+/// Splits `cores` into `(mains, checkers)` for a shared-checker SoC at
+/// the given consolidation ratio.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::BadCheckerCount`] when the ratio leaves no
+/// main core (`cores_per_checker <= 1`, or zero cores), mirroring the
+/// validation [`Scenario::build`] performs.
+pub fn checker_split(
+    cores: usize,
+    cores_per_checker: usize,
+) -> Result<(usize, usize), ScenarioError> {
+    let checkers = match cores_per_checker {
+        0 => cores,
+        r => (cores / r).max(1),
+    };
+    if checkers >= cores {
+        return Err(ScenarioError::BadCheckerCount { checkers, cores });
+    }
+    Ok((cores - checkers, checkers))
 }
 
 /// Runs one many-core shared-checker experiment.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the scenario fails to configure (a bug, not a result).
-pub fn many_core_row(cfg: &ManyCoreConfig) -> ManyCoreRow {
-    let checkers = (cfg.cores / cfg.cores_per_checker).max(1);
-    assert!(checkers < cfg.cores, "need at least one main core");
-    let mains = cfg.cores - checkers;
+/// Returns a [`ScenarioError`] when the configuration is invalid (e.g.
+/// `cores_per_checker: 1` leaves no main core) instead of panicking
+/// mid-run.
+pub fn many_core_row(cfg: &ManyCoreConfig) -> Result<ManyCoreRow, ScenarioError> {
+    let (mains, checkers) = checker_split(cfg.cores, cfg.cores_per_checker)?;
     let programs: Vec<Program> = (0..mains)
         .map(|i| many_core_job(i as u64, cfg.iters_per_main))
         .collect();
@@ -189,7 +216,7 @@ pub fn many_core_row(cfg: &ManyCoreConfig) -> ManyCoreRow {
     for p in &programs[1..] {
         scenario = scenario.program(p);
     }
-    let mut run = scenario.build().expect("many-core scenario configures");
+    let mut run = scenario.build()?;
 
     let start = Instant::now();
     let report = run.run_to_completion(u64::MAX);
@@ -208,7 +235,7 @@ pub fn many_core_row(cfg: &ManyCoreConfig) -> ManyCoreRow {
                 / latencies.len() as f64,
         )
     };
-    ManyCoreRow {
+    Ok(ManyCoreRow {
         cores: cfg.cores,
         mains,
         checkers,
@@ -217,17 +244,25 @@ pub fn many_core_row(cfg: &ManyCoreConfig) -> ManyCoreRow {
         wall_s,
         steps_per_sec: report.engine_steps as f64 / wall_s,
         segments_checked: report.segments_checked,
+        armed: report.shots_armed as usize,
         injected: report.injections.len(),
+        expired: report.shots_expired as usize,
         detected: latencies.len(),
         mean_detection_latency_us: mean_us,
         arbiter_conflicts: report.arbiters.iter().map(|a| a.conflicts).sum(),
         arbiter_switches: report.arbiters.iter().map(|a| a.switches).sum(),
         backpressure_stalls: report.backpressure_stalls,
         drain_cycle: report.drain_cycle,
-    }
+    })
 }
 
 /// Runs the Fig. 8-style sweep over the given core counts.
+///
+/// # Panics
+///
+/// Panics if a sweep configuration fails to validate (the built-in
+/// [`ManyCoreConfig::at`]/[`ManyCoreConfig::quick`] configurations
+/// always do).
 pub fn fig8_sweep(cores: &[usize], quick: bool) -> Vec<ManyCoreRow> {
     cores
         .iter()
@@ -237,7 +272,7 @@ pub fn fig8_sweep(cores: &[usize], quick: bool) -> Vec<ManyCoreRow> {
             } else {
                 ManyCoreConfig::at(n)
             };
-            many_core_row(&cfg)
+            many_core_row(&cfg).expect("sweep configurations are valid")
         })
         .collect()
 }
@@ -255,7 +290,7 @@ mod tests {
             injections: 2,
             seed: 11,
         };
-        let row = many_core_row(&cfg);
+        let row = many_core_row(&cfg).expect("valid configuration");
         assert_eq!(row.mains, 6);
         assert_eq!(row.checkers, 2);
         assert!(row.completed, "{row:?}");
@@ -265,53 +300,123 @@ mod tests {
             "shared checkers must hand over: {row:?}"
         );
         assert!(row.injected >= 1, "shots must land: {row:?}");
+        assert!(
+            row.detected <= row.injected && row.injected <= row.armed,
+            "detected <= landed <= armed must hold: {row:?}"
+        );
+        assert_eq!(row.armed, row.injected + row.expired);
         assert!(row.steps_per_sec > 0.0);
         let json = row.to_json();
         assert!(json.contains("\"cores\": 8"));
+        assert!(json.contains("\"armed\": "));
     }
 
     #[test]
-    fn latency_matching_pairs_same_main() {
-        use flexstep_core::{DetectionEvent, Injection, MismatchKind};
-        let mut report = RunReport {
+    fn bad_cores_per_checker_is_a_typed_error_not_a_panic() {
+        // cores_per_checker: 1 makes every core a checker — previously
+        // an assert! panic mid-run, now a ScenarioError before building.
+        let cfg = ManyCoreConfig {
+            cores_per_checker: 1,
+            ..ManyCoreConfig::quick(8)
+        };
+        assert_eq!(
+            many_core_row(&cfg).unwrap_err(),
+            ScenarioError::BadCheckerCount {
+                checkers: 8,
+                cores: 8
+            }
+        );
+        let zero = ManyCoreConfig {
+            cores_per_checker: 0,
+            ..ManyCoreConfig::quick(8)
+        };
+        assert!(matches!(
+            many_core_row(&zero).unwrap_err(),
+            ScenarioError::BadCheckerCount { .. }
+        ));
+        assert_eq!(checker_split(16, 4), Ok((12, 4)));
+        assert_eq!(checker_split(8, 100), Ok((7, 1)));
+    }
+
+    fn test_report(
+        detections: Vec<flexstep_core::DetectionEvent>,
+        injections: Vec<flexstep_core::Injection>,
+    ) -> RunReport {
+        RunReport {
             completed: true,
             main_finish_cycle: 0,
             drain_cycle: 0,
             retired: 0,
             segments_checked: 0,
             segments_failed: 0,
-            detections: vec![DetectionEvent {
-                main_core: 1,
-                checker_core: 6,
-                segment_seq: 0,
-                tag: 0,
-                kind: MismatchKind::LogUnderrun,
-                detected_at: 5_000,
-            }],
+            detections,
             backpressure_stalls: 0,
             engine_steps: 0,
             per_main: vec![],
             arbiters: vec![],
-            injections: vec![
-                Injection {
-                    main_core: 1,
-                    target: flexstep_core::FaultTarget::EntryData,
-                    bits: vec![3],
-                    at_cycle: 1_000,
-                },
-                Injection {
-                    main_core: 2,
-                    target: flexstep_core::FaultTarget::EntryData,
-                    bits: vec![4],
-                    at_cycle: 4_900,
-                },
-            ],
-        };
+            shots_armed: injections.len() as u64,
+            shots_expired: 0,
+            injections,
+        }
+    }
+
+    fn det(main: usize, checker: usize, at: u64) -> flexstep_core::DetectionEvent {
+        flexstep_core::DetectionEvent {
+            main_core: main,
+            checker_core: checker,
+            segment_seq: 0,
+            tag: 0,
+            kind: flexstep_core::MismatchKind::LogUnderrun,
+            detected_at: at,
+        }
+    }
+
+    fn inj(main: usize, at: u64) -> flexstep_core::Injection {
+        flexstep_core::Injection {
+            main_core: main,
+            target: flexstep_core::FaultTarget::EntryData,
+            bits: vec![3],
+            at_cycle: at,
+        }
+    }
+
+    #[test]
+    fn latency_matching_pairs_same_main() {
+        let mut report = test_report(vec![det(1, 6, 5_000)], vec![inj(1, 1_000), inj(2, 4_900)]);
         assert_eq!(detection_latencies(&report), vec![4_000]);
         report.detections[0].main_core = 3;
         assert!(
             detection_latencies(&report).is_empty(),
             "no injection on main 3"
         );
+    }
+
+    #[test]
+    fn double_detection_cannot_double_count_one_injection() {
+        // Regression: two detections follow one injection on the same
+        // main. The latest-preceding rule matched both (detected >
+        // injected); one-to-one consumption matches exactly one.
+        let report = test_report(
+            vec![det(1, 6, 5_000), det(1, 6, 7_500)],
+            vec![inj(1, 1_000)],
+        );
+        let latencies = detection_latencies(&report);
+        assert_eq!(latencies, vec![4_000]);
+        assert!(
+            latencies.len() <= report.injections.len(),
+            "detected must never exceed injected"
+        );
+    }
+
+    #[test]
+    fn dense_same_main_shots_match_fifo_not_latest() {
+        // Two shots, two detections: the old rule matched BOTH
+        // detections to the newest shot (latencies 100 and 1_100);
+        // FIFO consumption attributes one pair each.
+        let report = test_report(
+            vec![det(0, 4, 5_000), det(0, 4, 6_000)],
+            vec![inj(0, 1_000), inj(0, 4_900)],
+        );
+        assert_eq!(detection_latencies(&report), vec![4_000, 1_100]);
     }
 }

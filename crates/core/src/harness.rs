@@ -67,9 +67,84 @@ pub struct RunReport {
     pub arbiters: Vec<ArbiterStats>,
     /// Fault-plan injections that landed during the run.
     pub injections: Vec<Injection>,
+    /// Shots the fault plan scheduled (armed). Always
+    /// `injections.len() <= shots_armed`.
+    pub shots_armed: u64,
+    /// Armed shots that expired without landing: their target stream
+    /// drained for good, or the run completed before their arming cycle.
+    /// They never appear in [`RunReport::injections`].
+    pub shots_expired: u64,
+}
+
+/// One (injection, detection) pair produced by the one-to-one
+/// attribution of [`RunReport::matched_detections`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchedDetection {
+    /// The main core whose stream was corrupted and caught.
+    pub main_core: usize,
+    /// The checker core that raised the detection — in shared-checker
+    /// topologies this identifies the pool member, so per-pool latency
+    /// splits are computable.
+    pub checker_core: usize,
+    /// Cycle at which the injection landed.
+    pub injected_at: u64,
+    /// Cycle at which the checker flagged the mismatch.
+    pub detected_at: u64,
+}
+
+impl MatchedDetection {
+    /// Error-detection latency of this pair, in cycles.
+    pub fn latency_cycles(&self) -> u64 {
+        self.detected_at - self.injected_at
+    }
 }
 
 impl RunReport {
+    /// Pairs injections and detections one-to-one: each detection is
+    /// attributed to the *earliest unconsumed* preceding injection on
+    /// the same main core, and each injection is consumed by at most
+    /// one detection.
+    ///
+    /// This is the campaign attribution rule (DESIGN.md §10). The naive
+    /// latest-preceding rule double-counts in dense campaigns — two
+    /// detections after one injection yield two "matches", so
+    /// `detected` can exceed `injected` and latencies collapse toward
+    /// the newest shot. Consumption makes `matched_detections().len()
+    /// <= injections.len()` hold by construction.
+    ///
+    /// Runs in `O(n log n + m log m)` over `n` injections and `m`
+    /// detections. Pairs are returned in detection-time order.
+    pub fn matched_detections(&self) -> Vec<MatchedDetection> {
+        use std::collections::HashMap;
+        // Per-main injection cycles in time order, with a cursor at the
+        // earliest unconsumed shot.
+        let mut pending: HashMap<usize, (Vec<u64>, usize)> = HashMap::new();
+        for i in &self.injections {
+            pending.entry(i.main_core).or_default().0.push(i.at_cycle);
+        }
+        for (cycles, _) in pending.values_mut() {
+            cycles.sort_unstable();
+        }
+        let mut order: Vec<&DetectionEvent> = self.detections.iter().collect();
+        order.sort_by_key(|d| d.detected_at);
+        let mut out = Vec::new();
+        for d in order {
+            let Some((cycles, cursor)) = pending.get_mut(&d.main_core) else {
+                continue;
+            };
+            if *cursor < cycles.len() && cycles[*cursor] <= d.detected_at {
+                out.push(MatchedDetection {
+                    main_core: d.main_core,
+                    checker_core: d.checker_core,
+                    injected_at: cycles[*cursor],
+                    detected_at: d.detected_at,
+                });
+                *cursor += 1;
+            }
+        }
+        out
+    }
+
     /// Renders the report as a JSON object (hand-rolled; see
     /// [`json`](crate::json)).
     pub fn to_json(&self) -> String {
@@ -116,6 +191,8 @@ impl RunReport {
             .field_u64("segments_failed", self.segments_failed)
             .field_u64("backpressure_stalls", self.backpressure_stalls)
             .field_u64("engine_steps", self.engine_steps)
+            .field_u64("shots_armed", self.shots_armed)
+            .field_u64("shots_expired", self.shots_expired)
             .field_raw("per_main", &mains)
             .field_raw("arbiters", &arbiters)
             .field_raw("detections", &detections)
@@ -426,6 +503,9 @@ impl VerifiedRun {
     /// the run is fully complete.
     pub fn step_once(&mut self) -> bool {
         if self.complete() {
+            // Every stream has drained for good: shots still pending can
+            // never land — count them as armed-but-expired.
+            self.faults.expire_remaining();
             return false;
         }
         for a in &mut self.arbiters {
@@ -584,6 +664,13 @@ impl VerifiedRun {
     /// Draining: detection events are moved out of the fabric, so a
     /// second call reports them empty.
     pub fn report(&mut self) -> RunReport {
+        // A caller may stop stepping the instant the run completes (an
+        // exactly-sized step budget, manual stepping): finalize shot
+        // expiry here too, so the armed/landed/expired accounts balance
+        // regardless of whether step_once observed completion.
+        if self.complete() {
+            self.faults.expire_remaining();
+        }
         let (mut checked, mut failed) = (0, 0);
         for &c in &self.checkers {
             checked += self.fs.fabric.unit(c).checker.segments_checked;
@@ -613,6 +700,8 @@ impl VerifiedRun {
             per_main,
             arbiters: self.arbiters.iter().map(|a| a.stats).collect(),
             injections: self.injections.clone(),
+            shots_armed: self.faults.armed(),
+            shots_expired: self.faults.expired(),
         }
     }
 }
@@ -791,6 +880,165 @@ mod tests {
             !r.detections.is_empty() || r.segments_failed > 0,
             "a data flip in a store-heavy loop must be caught"
         );
+    }
+
+    #[test]
+    fn matched_detections_consume_injections_one_to_one() {
+        use crate::detect::MismatchKind;
+        use crate::fault::FaultTarget;
+        let det = |main: usize, checker: usize, at: u64| DetectionEvent {
+            main_core: main,
+            checker_core: checker,
+            segment_seq: 0,
+            tag: 0,
+            kind: MismatchKind::LogUnderrun,
+            detected_at: at,
+        };
+        let inj = |main: usize, at: u64| crate::Injection {
+            main_core: main,
+            target: FaultTarget::EntryData,
+            bits: vec![1],
+            at_cycle: at,
+        };
+        let mut report = RunReport {
+            completed: true,
+            main_finish_cycle: 0,
+            drain_cycle: 0,
+            retired: 0,
+            segments_checked: 0,
+            segments_failed: 0,
+            // Two detections follow the single injection on main 0; the
+            // latest-preceding rule would match both.
+            detections: vec![det(0, 2, 5_000), det(0, 2, 9_000), det(1, 3, 800)],
+            backpressure_stalls: 0,
+            engine_steps: 0,
+            per_main: vec![],
+            arbiters: vec![],
+            injections: vec![inj(0, 1_000), inj(1, 2_000)],
+            shots_armed: 2,
+            shots_expired: 0,
+        };
+        let pairs = report.matched_detections();
+        assert_eq!(
+            pairs,
+            vec![MatchedDetection {
+                main_core: 0,
+                checker_core: 2,
+                injected_at: 1_000,
+                detected_at: 5_000,
+            }],
+            "one injection is consumed by at most one detection; the \
+             detection on main 1 precedes its injection and stays unmatched"
+        );
+        assert!(pairs.len() <= report.injections.len());
+
+        // Dense same-main campaign: FIFO consumption attributes each
+        // detection to the earliest live shot, not the newest.
+        report.injections = vec![inj(0, 1_000), inj(0, 4_900)];
+        report.detections = vec![det(0, 2, 5_000), det(0, 2, 6_000)];
+        let pairs = report.matched_detections();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].injected_at, 1_000);
+        assert_eq!(pairs[0].latency_cycles(), 4_000);
+        assert_eq!(pairs[1].injected_at, 4_900);
+        assert_eq!(pairs[1].latency_cycles(), 1_100);
+    }
+
+    #[test]
+    fn shot_armed_after_completion_expires_and_is_counted() {
+        let p = store_loop(300);
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(FaultPlan::random_with_seed(u64::MAX / 2, 1))
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(50_000_000);
+        assert!(r.completed);
+        assert!(
+            r.injections.is_empty(),
+            "an expired shot must never appear in injections: {:?}",
+            r.injections
+        );
+        assert_eq!(r.shots_armed, 1);
+        assert_eq!(r.shots_expired, 1);
+        assert_eq!(r.segments_failed, 0);
+    }
+
+    #[test]
+    fn expiry_is_finalized_even_when_the_step_budget_ends_the_run() {
+        // With a budget of exactly the steps the run needs, the loop in
+        // run_to_completion exits on the bound without a final
+        // step_once that would observe completion — report() must still
+        // balance the shot accounts.
+        let p = store_loop(300);
+        let build = || {
+            Scenario::new(&p)
+                .cores(2)
+                .fault_plan(FaultPlan::random_with_seed(u64::MAX / 2, 1))
+                .build()
+                .unwrap()
+        };
+        let steps = build().run_to_completion(u64::MAX).engine_steps;
+        let mut run = build();
+        let r = run.run_to_completion(steps);
+        assert!(r.completed);
+        assert!(r.injections.is_empty());
+        assert_eq!(r.shots_armed, 1);
+        assert_eq!(r.shots_expired, 1, "report() must finalize expiry");
+    }
+
+    #[test]
+    fn shot_on_drained_stream_expires_mid_run() {
+        // Main 0 (slot 0) is short: it finishes and its stream drains
+        // while main 1 (slot 1) is still running. A shot armed on
+        // channel 0 after that drain must expire through the live
+        // fire_due path — the run is NOT complete when it arms.
+        let short = {
+            let mut asm = Assembler::with_bases("short", 0x1000_0000, 0x2000_0000);
+            asm.li(XReg::A0, 100);
+            asm.li(XReg::A2, 0x2000_0000);
+            asm.label("l").unwrap();
+            asm.sd(XReg::A2, XReg::A0, 0);
+            asm.addi(XReg::A0, XReg::A0, -1);
+            asm.bnez(XReg::A0, "l");
+            asm.ecall();
+            asm.finish().unwrap()
+        };
+        let long = {
+            let mut asm = Assembler::with_bases("long", 0x1100_0000, 0x2100_0000);
+            asm.li(XReg::A0, 8_000);
+            asm.li(XReg::A2, 0x2100_0000);
+            asm.label("l").unwrap();
+            asm.sd(XReg::A2, XReg::A0, 0);
+            asm.addi(XReg::A0, XReg::A0, -1);
+            asm.bnez(XReg::A0, "l");
+            asm.ecall();
+            asm.finish().unwrap()
+        };
+        let mut run = Scenario::new(&short)
+            .program(&long)
+            .cores(4)
+            .topology(Topology::PairedLockstep)
+            .fault_plan(FaultPlan::none().then_random_at(10_000).on_channel(0))
+            .build()
+            .unwrap();
+        // The shot arms at 10k cycles: main 0 (~100 iterations) drains
+        // long before, main 1 (~8k iterations) is still producing.
+        let r = run.run_to_completion(50_000_000);
+        assert!(r.completed);
+        assert!(
+            r.per_main[0].finish_cycle < 10_000,
+            "short main must finish before the shot arms: {}",
+            r.per_main[0].finish_cycle
+        );
+        assert!(
+            r.per_main[1].finish_cycle > 10_000,
+            "long main must outlive the shot: {}",
+            r.per_main[1].finish_cycle
+        );
+        assert!(r.injections.is_empty());
+        assert_eq!(r.shots_armed, 1);
+        assert_eq!(r.shots_expired, 1);
     }
 
     #[test]

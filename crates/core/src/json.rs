@@ -143,6 +143,18 @@ impl JsonObject {
     }
 }
 
+/// Renders an array of JSON numbers (see [`number`] for formatting —
+/// non-finite values become `null`). The campaign artifacts use this
+/// for latency series and histogram buckets.
+pub fn numbers(values: impl IntoIterator<Item = f64>) -> String {
+    array(values.into_iter().map(number))
+}
+
+/// Renders an array of JSON unsigned integers.
+pub fn numbers_u64(values: impl IntoIterator<Item = u64>) -> String {
+    array(values.into_iter().map(|v| v.to_string()))
+}
+
 /// Renders an array of pre-rendered JSON values.
 pub fn array<I>(values: I) -> String
 where
@@ -197,5 +209,12 @@ mod tests {
     fn empty_object_and_array() {
         assert_eq!(JsonObject::new().finish(), "{}");
         assert_eq!(array(std::iter::empty::<&str>()), "[]");
+    }
+
+    #[test]
+    fn number_arrays_render_inline() {
+        assert_eq!(numbers([1.5, 2.0, f64::NAN]), "[1.5, 2.0, null]");
+        assert_eq!(numbers_u64([3, 4, 5]), "[3, 4, 5]");
+        assert_eq!(numbers(std::iter::empty()), "[]");
     }
 }

@@ -104,7 +104,7 @@ pub use fault::{
     inject_random_fault, inject_targeted_fault, FaultTarget, InjectionRecord, LatencySample,
     LatencyStats, TargetedInjection,
 };
-pub use harness::{baseline_cycles, MainReport, RunReport, VerifiedRun};
+pub use harness::{baseline_cycles, MainReport, MatchedDetection, RunReport, VerifiedRun};
 pub use packet::{log_entries, Checkpoint, LogEntry, LogKind, Packet, PacketMut, PacketRef};
 pub use rcpm::{Ass, SegmentClose, SegmentTracker, DEFAULT_SEGMENT_LIMIT};
 pub use scenario::{

@@ -247,6 +247,9 @@ pub(crate) struct FaultDriver {
     shots: Vec<FaultShot>,
     /// Next shot to fire (shots fire strictly in order).
     next: usize,
+    /// Shots that could no longer land (their target stream drained for
+    /// good, or the run completed before their arming cycle).
+    expired: u64,
     rng: StdRng,
 }
 
@@ -257,6 +260,7 @@ impl FaultDriver {
             rng: StdRng::seed_from_u64(plan.seed),
             shots: plan.shots,
             next: 0,
+            expired: 0,
         }
     }
 
@@ -264,6 +268,24 @@ impl FaultDriver {
     #[inline]
     pub(crate) fn pending(&self) -> bool {
         self.next < self.shots.len()
+    }
+
+    /// Total shots scheduled by the plan.
+    pub(crate) fn armed(&self) -> u64 {
+        self.shots.len() as u64
+    }
+
+    /// Shots that expired without landing.
+    pub(crate) fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Expires every shot that has not fired yet — called when the run
+    /// completes (all mains done, all streams drained): nothing is left
+    /// to corrupt, so the remaining shots can never land.
+    pub(crate) fn expire_remaining(&mut self) {
+        self.expired += (self.shots.len() - self.next) as u64;
+        self.next = self.shots.len();
     }
 
     /// Fires every due shot whose channel has data in flight; returns
@@ -288,6 +310,7 @@ impl FaultDriver {
                 // The main finished and its stream drained before the
                 // shot could land: nothing left to corrupt, ever.
                 self.next += 1;
+                self.expired += 1;
                 continue;
             }
             let landed = match shot.kind {

@@ -74,21 +74,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("arbitration: {conflicts} conflicts, {switches} channel hand-overs");
 
     println!();
-    println!("fault plan: {} shots landed", report.injections.len());
+    println!(
+        "fault plan: {} armed, {} landed, {} expired",
+        report.shots_armed,
+        report.injections.len(),
+        report.shots_expired
+    );
+    // One-to-one attribution: each detection consumes the earliest
+    // unconsumed injection on its main, so no shot is counted twice.
+    let matched = report.matched_detections();
     for injection in &report.injections {
-        let detection = report
-            .detections
+        let pair = matched
             .iter()
-            .find(|d| d.main_core == injection.main_core && d.detected_at >= injection.at_cycle);
-        match detection {
-            Some(d) => println!(
-                "  core {:>2} {} @ cycle {:>7} -> detected by checker {} after {} cycles ({})",
+            .find(|m| m.main_core == injection.main_core && m.injected_at == injection.at_cycle);
+        match pair {
+            Some(m) => println!(
+                "  core {:>2} {} @ cycle {:>7} -> detected by checker {} after {} cycles",
                 injection.main_core,
                 injection.target,
                 injection.at_cycle,
-                d.checker_core,
-                d.detected_at - injection.at_cycle,
-                d.kind
+                m.checker_core,
+                m.latency_cycles(),
             ),
             None => println!(
                 "  core {:>2} {} @ cycle {:>7} -> architecturally masked",

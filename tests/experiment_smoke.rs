@@ -6,6 +6,7 @@ use flexstep::sched::motivating::{gantt, simulate, Arch, Scenario};
 use flexstep::sched::{paper_utilization_axis, sweep, Fig5Config};
 use flexstep::soc::{flexstep_soc, vanilla_soc};
 use flexstep::workloads::{by_name, Scale};
+use flexstep_bench::campaign::{campaign_row, CampaignConfig};
 use flexstep_bench::coverage::coverage_campaign;
 use flexstep_bench::{fig4, fig6, fig7_campaign, geomean, latency_histogram};
 
@@ -70,6 +71,34 @@ fn fig7_mini() {
     assert!(row.detected * 10 >= row.injected * 7);
     let h = latency_histogram(&row.latencies_us);
     assert_eq!(h.chars().count(), 15);
+}
+
+#[test]
+fn fig7_manycore_mini() {
+    // A miniature of the fig7_manycore campaign: two chunks on an
+    // 8-core shared-checker SoC, one-to-one attribution end to end.
+    let cfg = CampaignConfig {
+        cores: 8,
+        cores_per_checker: 4,
+        iters_per_main: 300,
+        runs: 2,
+        shots_per_run: 5,
+        seed: 19,
+    };
+    let row = campaign_row(&cfg).expect("valid configuration");
+    assert!(row.completed);
+    assert_eq!(row.armed, 10);
+    assert!(
+        row.detected <= row.landed && row.landed <= row.armed,
+        "{row:?}"
+    );
+    assert_eq!(row.landed + row.expired, row.armed);
+    assert_eq!(row.per_pool.len(), 2);
+    assert_eq!(
+        row.per_pool.iter().map(|p| p.detected).sum::<usize>(),
+        row.detected
+    );
+    assert!(row.to_json().contains("\"per_pool\": ["));
 }
 
 #[test]
