@@ -4,20 +4,24 @@
 //! coverage (detected/landed and detected/armed), emitted as a JSON
 //! artifact.
 //!
-//! Usage: `fig7_manycore [--quick] [--cores N] [--out PATH]`
+//! Usage: `fig7_manycore [--quick] [--cores N] [--out PATH] [--trace PATH]`
 //!
 //! - `--quick`: one 64-core campaign with 240 armed shots (CI).
 //! - `--cores N`: override the core counts with a single count.
 //! - `--out PATH`: JSON artifact path (default `FIG7_MANYCORE.json`).
+//! - `--trace PATH`: additionally record the first row's chunk-0
+//!   schedule as size-bounded Chrome `trace_event` JSON (open in
+//!   `chrome://tracing` or Perfetto).
 
-use flexstep_bench::campaign::{fig7_manycore_sweep, CampaignRow};
-use flexstep_bench::latency_histogram;
+use flexstep_bench::campaign::{fig7_manycore_sweep_traced, CampaignRow};
+use flexstep_bench::{arg_value, latency_histogram};
 use flexstep_core::json::{array, JsonObject};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "FIG7_MANYCORE.json".into());
+    let trace_path = arg_value(&args, "--trace");
     let cores: Vec<usize> = match arg_value(&args, "--cores").and_then(|v| v.parse().ok()) {
         Some(n) => vec![n],
         // Quick keeps the 64-core row: the artifact's floor is a
@@ -32,7 +36,9 @@ fn main() {
         "cores", "mains", "pools", "armed", "landed", "det", "expired", "cov/land", "cov/armed",
         "mean µs", "p99 µs", "max µs"
     );
-    let rows = fig7_manycore_sweep(&cores, quick).expect("campaign configurations are valid");
+    let trace = trace_path.as_ref().map(std::path::Path::new);
+    let rows = fig7_manycore_sweep_traced(&cores, quick, trace)
+        .expect("campaign configurations are valid");
     let mut rows_json = Vec::new();
     for row in &rows {
         assert!(row.completed, "campaign chunks must finish: {row:?}");
@@ -56,6 +62,9 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write artifact");
     println!();
     println!("wrote {out_path}");
+    if let Some(path) = &trace_path {
+        println!("wrote schedule trace {path} (open in chrome://tracing or Perfetto)");
+    }
 }
 
 fn print_row(row: &CampaignRow) {
@@ -93,10 +102,4 @@ fn print_row(row: &CampaignRow) {
             pool.core, pool.armed, pool.landed, pool.detected, mean
         );
     }
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
 }

@@ -4,13 +4,17 @@
 //! pools built through the `Scenario` front door, reporting detection
 //! latency and scheduler scaling, and emitting a JSON artifact.
 //!
-//! Usage: `fig8 [--quick] [--no-sim] [--out PATH]`
+//! Usage: `fig8 [--quick] [--no-sim] [--out PATH] [--trace PATH]`
 //!
 //! - `--quick`: 16-core simulation only, reduced workloads (CI).
 //! - `--no-sim`: analytical model tables only.
 //! - `--out PATH`: JSON artifact path (default `FIG8.json`).
+//! - `--trace PATH`: additionally record the first simulated row's
+//!   schedule as size-bounded Chrome `trace_event` JSON (open in
+//!   `chrome://tracing` or Perfetto).
 
-use flexstep_bench::manycore::fig8_sweep;
+use flexstep_bench::arg_value;
+use flexstep_bench::manycore::fig8_sweep_traced;
 use flexstep_core::json::{array, JsonObject};
 use flexstep_soc::{flexstep_soc, vanilla_soc};
 
@@ -19,11 +23,11 @@ fn main() {
     let flag = |k: &str| args.iter().any(|a| a == k);
     let quick = flag("--quick");
     let no_sim = flag("--no-sim");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "FIG8.json".into());
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "FIG8.json".into());
+    let trace_path = arg_value(&args, "--trace");
+    if no_sim && trace_path.is_some() {
+        eprintln!("warning: --trace ignored with --no-sim (the trace records a simulated run)");
+    }
 
     // --- analytical model (the paper's actual Fig. 8) -------------------
     println!("Fig. 8(a) — average power (W)");
@@ -87,7 +91,8 @@ fn main() {
             "latency µs",
             "switches"
         );
-        for row in fig8_sweep(cores, quick) {
+        let trace = trace_path.as_ref().map(std::path::Path::new);
+        for row in fig8_sweep_traced(cores, quick, trace) {
             assert!(row.completed, "many-core run must finish: {row:?}");
             println!(
                 "{:>6} {:>6} {:>6} {:>12} {:>12.3e} {:>9} {:>5} {:>5} {:>12} {:>9}",
@@ -104,6 +109,10 @@ fn main() {
                 row.arbiter_switches,
             );
             sim_rows_json.push(row.to_json());
+        }
+        if let Some(path) = &trace_path {
+            println!();
+            println!("wrote schedule trace {path} (open in chrome://tracing or Perfetto)");
         }
     }
 

@@ -52,15 +52,10 @@ struct Args {
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().collect();
     let flag = |k: &str| argv.iter().any(|a| a == k);
-    let value = |k: &str| {
-        argv.iter()
-            .position(|a| a == k)
-            .and_then(|i| argv.get(i + 1).cloned())
-    };
     Args {
         quick: flag("--quick"),
         naive: flag("--naive"),
-        out: value("--out").unwrap_or_else(|| "BENCH_pr2.json".into()),
+        out: flexstep_bench::arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pr2.json".into()),
     }
 }
 

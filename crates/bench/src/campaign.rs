@@ -15,10 +15,33 @@
 //! campaign is deterministic for a given seed regardless of thread
 //! interleaving.
 //!
-//! Attribution uses [`RunReport::matched_detections`]: each detection
+//! Attribution uses
+//! [`RunReport::matched_detections`](flexstep_core::RunReport::matched_detections):
+//! each detection
 //! consumes the earliest unconsumed preceding injection on the same
 //! main, so `detected <= landed <= armed` holds in every row by
 //! construction — the invariant the `fig7_manycore` artifact pins.
+//!
+//! # Example: a one-chunk 8-core campaign
+//!
+//! ```
+//! use flexstep_bench::campaign::{campaign_row, CampaignConfig};
+//!
+//! let cfg = CampaignConfig {
+//!     cores: 8,
+//!     cores_per_checker: 4,
+//!     iters_per_main: 400,
+//!     runs: 1,
+//!     shots_per_run: 4,
+//!     seed: 7,
+//! };
+//! let row = campaign_row(&cfg).expect("valid configuration");
+//! assert!(row.completed);
+//! assert_eq!(row.armed, cfg.armed());
+//! assert!(row.detected <= row.landed && row.landed <= row.armed);
+//! assert_eq!(row.per_pool.len(), row.checkers);
+//! println!("{}", row.to_json());
+//! ```
 
 use crate::manycore::{checker_split, many_core_job};
 use crate::{fxhash64, FabricConfig, FaultPlan, LatencyStats, Scenario, Topology};
@@ -69,7 +92,7 @@ impl CampaignConfig {
     /// The full campaign at `cores` cores (~1 200 armed shots). Chunks
     /// arm one shot per main core — more per chunk piles shots onto the
     /// same few-segment streams, where a segment's single failure
-    /// verdict can consume only one of them (see [`run_chunk`]) — and
+    /// verdict can consume only one of them (see `run_chunk`) — and
     /// the run count scales inversely so every core count fires a
     /// comparable campaign.
     pub fn at(cores: usize) -> Self {
@@ -292,6 +315,7 @@ fn run_chunk(
     checkers: usize,
     horizon: u64,
     chunk: usize,
+    trace: Option<&std::path::Path>,
 ) -> Result<ChunkOutcome, ScenarioError> {
     let chunk_seed = cfg.seed ^ fxhash64(format!("chunk-{chunk}").as_bytes());
     let mut rng = StdRng::seed_from_u64(chunk_seed);
@@ -315,11 +339,15 @@ fn run_chunk(
         .topology(Topology::SharedChecker { checkers })
         .fabric(FabricConfig::paper())
         .fault_plan(plan);
+    if let Some(path) = trace {
+        scenario = scenario.trace_to_bounded(path, flexstep_core::DEFAULT_RING_CAPACITY);
+    }
     for p in &programs[1..] {
         scenario = scenario.program(p);
     }
     let mut run = scenario.build()?;
     let report = run.run_to_completion(u64::MAX);
+    run.write_trace().expect("write schedule trace");
     Ok(ChunkOutcome {
         completed: report.completed,
         engine_steps: report.engine_steps,
@@ -339,6 +367,27 @@ fn run_chunk(
 /// Returns a [`ScenarioError`] when the configuration is invalid (e.g.
 /// a `cores_per_checker` that leaves no main core).
 pub fn campaign_row(cfg: &CampaignConfig) -> Result<CampaignRow, ScenarioError> {
+    campaign_row_traced(cfg, None)
+}
+
+/// [`campaign_row`] with an optional Chrome-trace export: when `trace`
+/// is given, chunk 0 of the campaign records a size-bounded schedule
+/// trace ([`flexstep_core::trace`]) and writes it there. One chunk is
+/// one full SoC run — exactly the timeline `chrome://tracing` can
+/// render; tracing every chunk would just overwrite the same file from
+/// `runs` threads.
+///
+/// # Errors
+///
+/// As [`campaign_row`].
+///
+/// # Panics
+///
+/// Panics if the trace file cannot be written.
+pub fn campaign_row_traced(
+    cfg: &CampaignConfig,
+    trace: Option<&std::path::Path>,
+) -> Result<CampaignRow, ScenarioError> {
     let (mains, checkers) = checker_split(cfg.cores, cfg.cores_per_checker)?;
     let programs: Vec<Program> = (0..mains)
         .map(|i| many_core_job(i as u64, cfg.iters_per_main))
@@ -372,8 +421,9 @@ pub fn campaign_row(cfg: &CampaignConfig) -> Result<CampaignRow, ScenarioError> 
             for (offset, slot) in batch.iter_mut().enumerate() {
                 let programs = &programs;
                 let chunk = wave * max_parallel + offset;
+                let trace = if chunk == 0 { trace } else { None };
                 scope.spawn(move || {
-                    *slot = Some(run_chunk(cfg, programs, checkers, horizon, chunk));
+                    *slot = Some(run_chunk(cfg, programs, checkers, horizon, chunk, trace));
                 });
             }
         });
@@ -474,15 +524,30 @@ pub fn fig7_manycore_sweep(
     core_counts: &[usize],
     quick: bool,
 ) -> Result<Vec<CampaignRow>, ScenarioError> {
+    fig7_manycore_sweep_traced(core_counts, quick, None)
+}
+
+/// [`fig7_manycore_sweep`] with an optional Chrome-trace export of the
+/// first row's chunk 0 (see [`campaign_row_traced`]).
+///
+/// # Errors
+///
+/// Propagates the first invalid configuration.
+pub fn fig7_manycore_sweep_traced(
+    core_counts: &[usize],
+    quick: bool,
+    trace: Option<&std::path::Path>,
+) -> Result<Vec<CampaignRow>, ScenarioError> {
     core_counts
         .iter()
-        .map(|&n| {
+        .enumerate()
+        .map(|(i, &n)| {
             let cfg = if quick {
                 CampaignConfig::quick(n)
             } else {
                 CampaignConfig::at(n)
             };
-            campaign_row(&cfg)
+            campaign_row_traced(&cfg, if i == 0 { trace } else { None })
         })
         .collect()
 }

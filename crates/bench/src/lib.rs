@@ -43,6 +43,21 @@ pub(crate) fn dual_core_run(program: &Program, fabric: FabricConfig) -> Verified
         .expect("dual-core scenario configures")
 }
 
+/// Extracts the value following a `--flag value` pair from an argv
+/// slice — the experiment binaries' shared CLI parser.
+///
+/// ```
+/// let argv: Vec<String> = ["fig8", "--out", "x.json"]
+///     .iter().map(|s| s.to_string()).collect();
+/// assert_eq!(flexstep_bench::arg_value(&argv, "--out"), Some("x.json".into()));
+/// assert_eq!(flexstep_bench::arg_value(&argv, "--trace"), None);
+/// ```
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 /// Instruction budget per single workload run.
 pub(crate) const MAX_INSTRUCTIONS: u64 = 500_000_000;
 /// Engine-step budget per verified run.

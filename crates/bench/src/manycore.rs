@@ -192,6 +192,27 @@ pub fn checker_split(
 /// `cores_per_checker: 1` leaves no main core) instead of panicking
 /// mid-run.
 pub fn many_core_row(cfg: &ManyCoreConfig) -> Result<ManyCoreRow, ScenarioError> {
+    many_core_row_traced(cfg, None)
+}
+
+/// [`many_core_row`] with an optional Chrome-trace export: when `trace`
+/// is given, the run records a size-bounded schedule trace
+/// ([`flexstep_core::trace`], ring of
+/// [`DEFAULT_RING_CAPACITY`](flexstep_core::DEFAULT_RING_CAPACITY)
+/// events) and writes it there — load it in `chrome://tracing` or
+/// Perfetto.
+///
+/// # Errors
+///
+/// As [`many_core_row`].
+///
+/// # Panics
+///
+/// Panics if the trace file cannot be written.
+pub fn many_core_row_traced(
+    cfg: &ManyCoreConfig,
+    trace: Option<&std::path::Path>,
+) -> Result<ManyCoreRow, ScenarioError> {
     let (mains, checkers) = checker_split(cfg.cores, cfg.cores_per_checker)?;
     let programs: Vec<Program> = (0..mains)
         .map(|i| many_core_job(i as u64, cfg.iters_per_main))
@@ -213,6 +234,9 @@ pub fn many_core_row(cfg: &ManyCoreConfig) -> Result<ManyCoreRow, ScenarioError>
         .topology(Topology::SharedChecker { checkers })
         .fabric(FabricConfig::paper())
         .fault_plan(plan);
+    if let Some(path) = trace {
+        scenario = scenario.trace_to_bounded(path, flexstep_core::DEFAULT_RING_CAPACITY);
+    }
     for p in &programs[1..] {
         scenario = scenario.program(p);
     }
@@ -221,6 +245,7 @@ pub fn many_core_row(cfg: &ManyCoreConfig) -> Result<ManyCoreRow, ScenarioError>
     let start = Instant::now();
     let report = run.run_to_completion(u64::MAX);
     let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    run.write_trace().expect("write schedule trace");
 
     let clock = Clock::paper();
     let latencies = detection_latencies(&report);
@@ -264,15 +289,32 @@ pub fn many_core_row(cfg: &ManyCoreConfig) -> Result<ManyCoreRow, ScenarioError>
 /// [`ManyCoreConfig::at`]/[`ManyCoreConfig::quick`] configurations
 /// always do).
 pub fn fig8_sweep(cores: &[usize], quick: bool) -> Vec<ManyCoreRow> {
+    fig8_sweep_traced(cores, quick, None)
+}
+
+/// [`fig8_sweep`] with an optional Chrome-trace export for the *first*
+/// sweep row (one schedule timeline is what the visualisation needs;
+/// tracing all rows would multiply the artifact size for no insight).
+///
+/// # Panics
+///
+/// As [`fig8_sweep`], plus if the trace file cannot be written.
+pub fn fig8_sweep_traced(
+    cores: &[usize],
+    quick: bool,
+    trace: Option<&std::path::Path>,
+) -> Vec<ManyCoreRow> {
     cores
         .iter()
-        .map(|&n| {
+        .enumerate()
+        .map(|(i, &n)| {
             let cfg = if quick {
                 ManyCoreConfig::quick(n)
             } else {
                 ManyCoreConfig::at(n)
             };
-            many_core_row(&cfg).expect("sweep configurations are valid")
+            let trace = if i == 0 { trace } else { None };
+            many_core_row_traced(&cfg, trace).expect("sweep configurations are valid")
         })
         .collect()
 }

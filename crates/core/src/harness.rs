@@ -19,6 +19,7 @@ use crate::scenario::{
     ScenarioError, Topology,
 };
 use crate::share::{ArbiterStats, CheckerArbiter};
+use crate::trace::TraceHandle;
 use flexstep_isa::asm::Program;
 use flexstep_mem::cache::CacheGeometryError;
 use flexstep_sim::{Clock, PrivMode, Soc, SocConfig, StepKind, TrapCause};
@@ -251,6 +252,9 @@ pub struct VerifiedRun {
     observers: Vec<Box<dyn Observer>>,
     faults: FaultDriver,
     injections: Vec<Injection>,
+    /// Chrome-trace export configured via [`Scenario::trace_to`]:
+    /// the destination path and the recording observer's handle.
+    trace: Option<(std::path::PathBuf, TraceHandle)>,
 }
 
 impl std::fmt::Debug for VerifiedRun {
@@ -269,6 +273,7 @@ impl std::fmt::Debug for VerifiedRun {
 impl VerifiedRun {
     /// Builds the platform from a validated scenario (called by
     /// [`Scenario::build`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_scenario(
         cores: usize,
         resolved: ResolvedTopology,
@@ -276,7 +281,8 @@ impl VerifiedRun {
         fabric: FabricConfig,
         sched_mode: Option<flexstep_sim::SchedMode>,
         fault_plan: FaultPlan,
-        observers: Vec<Box<dyn Observer>>,
+        mut observers: Vec<Box<dyn Observer>>,
+        trace: Option<(std::path::PathBuf, TraceHandle)>,
     ) -> Result<Self, ScenarioError> {
         let ResolvedTopology {
             mains,
@@ -330,6 +336,15 @@ impl VerifiedRun {
         for (slot, &m) in mains.iter().enumerate() {
             slot_of[m] = Some(slot);
         }
+        // The build-time grants above happen before the first step;
+        // surface them so traces show checker occupancy from cycle 0.
+        for a in &arbiters {
+            if let Some(granted) = a.granted() {
+                for o in &mut observers {
+                    o.on_checker_granted(a.checker(), granted, 0);
+                }
+            }
+        }
         let n = mains.len();
         Ok(VerifiedRun {
             fs,
@@ -345,6 +360,7 @@ impl VerifiedRun {
             observers,
             faults: FaultDriver::new(fault_plan),
             injections: Vec::new(),
+            trace,
         })
     }
 
@@ -352,6 +368,31 @@ impl VerifiedRun {
 
     /// Builds a platform with core 0 as main and cores `1..=n` as its
     /// checkers (n = 1 for dual-core mode, 2 for triple-core mode).
+    ///
+    /// # Migration
+    ///
+    /// Replace `VerifiedRun::with_checkers(&program, fabric, k)` with
+    /// the equivalent [`Scenario`] (bit-identical report, pinned by
+    /// `tests/scenario_validation.rs`):
+    ///
+    /// ```
+    /// use flexstep_core::{FabricConfig, Scenario, Topology};
+    /// # use flexstep_isa::{asm::Assembler, XReg};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let mut asm = Assembler::new("tiny");
+    /// # asm.li(XReg::A0, 3);
+    /// # asm.ecall();
+    /// # let program = asm.finish()?;
+    /// let k: usize = 2; // number of checkers
+    /// let run = Scenario::new(&program)
+    ///     .cores(1 + k)
+    ///     .topology(Topology::Custom(vec![(0, (1..=k).collect())]))
+    ///     .fabric(FabricConfig::paper())
+    ///     .build()?;
+    /// # let _ = run;
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -372,6 +413,28 @@ impl VerifiedRun {
 
     /// Dual-core verification (one checker) — the Fig. 4 configuration.
     ///
+    /// # Migration
+    ///
+    /// Replace `VerifiedRun::dual_core(&program, fabric)` with the
+    /// equivalent [`Scenario`] (bit-identical report):
+    ///
+    /// ```
+    /// use flexstep_core::{FabricConfig, Scenario};
+    /// # use flexstep_isa::{asm::Assembler, XReg};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let mut asm = Assembler::new("tiny");
+    /// # asm.li(XReg::A0, 3);
+    /// # asm.ecall();
+    /// # let program = asm.finish()?;
+    /// let run = Scenario::new(&program)
+    ///     .cores(2)
+    ///     .fabric(FabricConfig::paper())
+    ///     .build()?;
+    /// # let _ = run;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates configuration errors.
@@ -386,6 +449,29 @@ impl VerifiedRun {
 
     /// Triple-core verification (two checkers) — the Fig. 6 comparison
     /// mode.
+    ///
+    /// # Migration
+    ///
+    /// Replace `VerifiedRun::triple_core(&program, fabric)` with the
+    /// equivalent [`Scenario`] (bit-identical report):
+    ///
+    /// ```
+    /// use flexstep_core::{FabricConfig, Scenario, Topology};
+    /// # use flexstep_isa::{asm::Assembler, XReg};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let mut asm = Assembler::new("tiny");
+    /// # asm.li(XReg::A0, 3);
+    /// # asm.ecall();
+    /// # let program = asm.finish()?;
+    /// let run = Scenario::new(&program)
+    ///     .cores(3)
+    ///     .topology(Topology::Custom(vec![(0, vec![1, 2])]))
+    ///     .fabric(FabricConfig::paper())
+    ///     .build()?;
+    /// # let _ = run;
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -468,6 +554,31 @@ impl VerifiedRun {
             .and_then(CheckerArbiter::granted)
     }
 
+    /// The Chrome-trace recorder configured via [`Scenario::trace_to`]
+    /// (a shared handle; `None` when tracing is off). Borrow it to read
+    /// the trace mid-run.
+    pub fn trace(&self) -> Option<TraceHandle> {
+        self.trace.as_ref().map(|(_, handle)| handle.clone())
+    }
+
+    /// Writes the Chrome trace configured via [`Scenario::trace_to`] to
+    /// its path and returns that path (`Ok(None)` when tracing is off).
+    /// Call after the run; the file loads in `chrome://tracing` or
+    /// Perfetto.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_trace(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        match &self.trace {
+            Some((path, handle)) => {
+                handle.borrow().write_to(path)?;
+                Ok(Some(path.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Whether every main core has reached its final `ecall`.
     pub fn main_done(&self) -> bool {
         self.done_count == self.mains.len()
@@ -498,6 +609,18 @@ impl VerifiedRun {
         self.main_done() && self.drained() && self.arbiters.iter().all(CheckerArbiter::is_idle)
     }
 
+    /// Expires every still-pending shot (the run is complete; nothing
+    /// is left to corrupt) and notifies observers. Idempotent.
+    fn expire_remaining_shots(&mut self) {
+        let now = self.fs.soc.now();
+        for channel in self.faults.expire_remaining() {
+            let main = self.mains[channel];
+            for o in &mut self.observers {
+                o.on_shot_expired(main, now);
+            }
+        }
+    }
+
     /// Executes one scheduling quantum: polls arbiters, fires due fault
     /// shots, then steps the earliest-ready core. Returns `false` once
     /// the run is fully complete.
@@ -505,21 +628,25 @@ impl VerifiedRun {
         if self.complete() {
             // Every stream has drained for good: shots still pending can
             // never land — count them as armed-but-expired.
-            self.faults.expire_remaining();
+            self.expire_remaining_shots();
             return false;
         }
         for a in &mut self.arbiters {
-            if a.poll(&mut self.fs.fabric).is_some() {
+            if let Some(granted) = a.poll(&mut self.fs.fabric) {
                 // A hand-over reconnects the checker; wake it in case it
                 // parked while its queue was empty.
                 let checker = a.checker();
                 self.fs.soc.core_mut(checker).unpark();
+                let now = self.fs.soc.now();
+                for o in &mut self.observers {
+                    o.on_checker_granted(checker, granted, now);
+                }
             }
         }
         if self.faults.pending() {
             let now = self.fs.soc.now();
             let done = &self.done;
-            let fired =
+            let (fired, expired) =
                 self.faults
                     .fire_due(&mut self.fs.fabric, &self.mains, |slot| done[slot], now);
             for injection in fired {
@@ -527,6 +654,12 @@ impl VerifiedRun {
                     o.on_fault_injected(&injection);
                 }
                 self.injections.push(injection);
+            }
+            for channel in expired {
+                let main = self.mains[channel];
+                for o in &mut self.observers {
+                    o.on_shot_expired(main, now);
+                }
             }
         }
         let core = match self.fs.soc.next_ready() {
@@ -552,6 +685,10 @@ impl VerifiedRun {
             // monopolise the ready queue and starve every other core —
             // park it (a later grant unparks it in the poll loop above).
             self.fs.soc.core_mut(core).park();
+            let now = self.fs.soc.now();
+            for o in &mut self.observers {
+                o.on_checker_parked(core, now);
+            }
         }
         if let Some(slot) = self.slot_of[core] {
             if !self.done[slot] {
@@ -617,6 +754,15 @@ impl VerifiedRun {
             }
         }
         match step {
+            EngineStep::CheckerApplied { seq } => {
+                // The SCP apply begins the checker-occupancy window; the
+                // connected channel names the main being verified.
+                if let Some((main, _)) = self.fs.fabric.channel_of(core) {
+                    for o in &mut self.observers {
+                        o.on_check_start(core, main, *seq, cycle);
+                    }
+                }
+            }
             EngineStep::CheckerSegmentDone(result) => {
                 for o in &mut self.observers {
                     o.on_check_pass(core, result);
@@ -669,7 +815,7 @@ impl VerifiedRun {
         // expiry here too, so the armed/landed/expired accounts balance
         // regardless of whether step_once observed completion.
         if self.complete() {
-            self.faults.expire_remaining();
+            self.expire_remaining_shots();
         }
         let (mut checked, mut failed) = (0, 0);
         for &c in &self.checkers {
@@ -846,6 +992,165 @@ mod tests {
         let mut new = dual(&p, FabricConfig::paper());
         let rn = new.run_to_completion(50_000_000);
         assert_eq!(ro, rn, "Scenario dual-core must be bit-identical");
+    }
+
+    #[test]
+    fn check_fail_fires_before_the_matching_detection() {
+        // The Observer doc promises: "the matching detection event
+        // follows via on_detection". Pin the emission order — every
+        // Detection must be immediately preceded by the CheckFail for
+        // the same checker and segment.
+        use crate::scenario::ObserverEvent;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let p = store_loop(4000);
+        let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData).with_seed(3))
+            .observer(recorder.clone())
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(50_000_000);
+        assert!(!r.detections.is_empty(), "the flip must be caught");
+        let rec = recorder.borrow();
+        let events = rec.events();
+        let mut detections_seen = 0;
+        for (i, e) in events.iter().enumerate() {
+            if let ObserverEvent::Detection(d) = e {
+                detections_seen += 1;
+                assert!(i > 0, "a detection can never be the first event");
+                assert!(
+                    matches!(
+                        &events[i - 1],
+                        ObserverEvent::CheckFail(checker, seq, _)
+                            if *checker == d.checker_core && *seq == d.segment_seq
+                    ),
+                    "on_check_fail must immediately precede on_detection \
+                     for the same segment; got {:?} before {:?}",
+                    events[i - 1],
+                    e
+                );
+            }
+        }
+        assert!(detections_seen >= 1);
+    }
+
+    #[test]
+    fn check_start_opens_every_verdict_window() {
+        // Every pass/fail verdict must have been preceded by a
+        // CheckStart for the same checker and segment — the pairing the
+        // trace exporter turns into checker-occupancy spans.
+        use crate::scenario::ObserverEvent;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let p = store_loop(2000);
+        let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .observer(recorder.clone())
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(10_000_000);
+        assert!(r.completed);
+        let rec = recorder.borrow();
+        let events = rec.events();
+        let mut open: Option<(usize, u64)> = None;
+        let mut verdicts = 0;
+        for e in events {
+            match e {
+                ObserverEvent::CheckStart(checker, _main, seq, _) => {
+                    assert_eq!(open, None, "a checker cannot start two replays at once");
+                    open = Some((*checker, *seq));
+                }
+                ObserverEvent::CheckPass(checker, seq, _)
+                | ObserverEvent::CheckFail(checker, seq, _) => {
+                    assert_eq!(
+                        open.take(),
+                        Some((*checker, *seq)),
+                        "verdict without a matching CheckStart"
+                    );
+                    verdicts += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(open, None, "a completed run leaves no replay window open");
+        assert_eq!(verdicts, r.segments_checked);
+    }
+
+    #[test]
+    fn expired_shots_notify_observers() {
+        use crate::scenario::ObserverEvent;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let p = store_loop(300);
+        let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(FaultPlan::random_with_seed(u64::MAX / 2, 1))
+            .observer(recorder.clone())
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(50_000_000);
+        assert_eq!(r.shots_expired, 1);
+        let rec = recorder.borrow();
+        let expiries: Vec<_> = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ObserverEvent::ShotExpired(0, _)))
+            .collect();
+        assert_eq!(expiries.len(), 1, "one expiry event for the one shot");
+    }
+
+    #[test]
+    fn shared_checker_grants_are_observable() {
+        use crate::scenario::ObserverEvent;
+        use flexstep_isa::asm::Assembler;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let job = |slot: u64, iters: i64| {
+            let mut asm = Assembler::with_bases(
+                format!("job{slot}"),
+                0x1000_0000 + slot * 0x10_0000,
+                0x2000_0000 + slot * 0x10_0000,
+            );
+            asm.li(XReg::A0, iters);
+            asm.li(XReg::A1, (0x2000_0000 + slot * 0x10_0000) as i64);
+            asm.label("l").unwrap();
+            asm.sd(XReg::A1, XReg::A0, 0);
+            asm.addi(XReg::A0, XReg::A0, -1);
+            asm.bnez(XReg::A0, "l");
+            asm.ecall();
+            asm.finish().unwrap()
+        };
+        let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+        let mut run = Scenario::new(&job(0, 1500))
+            .program(&job(1, 1500))
+            .cores(3)
+            .topology(Topology::SharedChecker { checkers: 1 })
+            .observer(recorder.clone())
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(50_000_000);
+        assert!(r.completed);
+        assert_eq!(r.arbiters[0].switches, 1, "one hand-over");
+        let rec = recorder.borrow();
+        let grants: Vec<(usize, usize, u64)> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ObserverEvent::CheckerGranted(c, m, at) => Some((*c, *m, *at)),
+                _ => None,
+            })
+            .collect();
+        // Initial grant to main 0 at cycle 0, then the hand-over to
+        // main 1 once main 0 released and drained.
+        assert_eq!(grants.len(), 2, "{grants:?}");
+        assert_eq!(grants[0], (2, 0, 0));
+        assert_eq!(grants[1].0, 2);
+        assert_eq!(grants[1].1, 1);
+        assert!(grants[1].2 > 0);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   front door for experiments (topology, fault plans, observers) —
 //!   and the [`VerifiedRun`] driver it builds, from dual-core Fig. 4
 //!   runs to many-core shared-checker SoCs.
+//! - [`trace`]: Chrome `trace_event` export of the schedule an observer
+//!   sees (segment spans, checker occupancy, arbitration, detections) —
+//!   load the file in `chrome://tracing`/Perfetto.
 //!
 //! ## Example: verified execution end to end
 //!
@@ -94,6 +97,7 @@ pub mod packet;
 pub mod rcpm;
 pub mod scenario;
 pub mod share;
+pub mod trace;
 
 pub use checker::{CheckPhase, CheckerState, ReplayPort};
 pub use dbc::{BufferFifo, FifoFull};
@@ -114,3 +118,4 @@ pub use scenario::{
 #[allow(deprecated)]
 pub use share::SharedCheckerRun;
 pub use share::{ArbiterStats, CheckerArbiter, SharedRunReport};
+pub use trace::{TraceHandle, TraceObserver, DEFAULT_RING_CAPACITY};

@@ -117,12 +117,21 @@ struct FaultShot {
 /// [`RunReport::injections`](crate::RunReport::injections) and surfaced
 /// to observers via [`Observer::on_fault_injected`].
 ///
+/// The combinators chain left to right: `then_*` appends a shot,
+/// [`FaultPlan::on_channel`] / [`FaultPlan::bits`] retarget/widen the
+/// *most recent* one, and [`FaultPlan::with_seed`] fixes the RNG for
+/// the whole plan:
+///
 /// ```
 /// use flexstep_core::{FaultPlan, FaultTarget};
 /// let plan = FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData)
+///     .bits(2)                       // widen shot 0 to a 2-bit upset
 ///     .then_random_at(60_000)
+///     .on_channel(1)                 // aim shot 1 at the second main
+///     .then_bit_flip_at(90_000, FaultTarget::EntryAddr)
 ///     .with_seed(7);
-/// assert_eq!(plan.len(), 2);
+/// assert_eq!(plan.len(), 3);
+/// assert!(!plan.is_empty());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -282,24 +291,29 @@ impl FaultDriver {
 
     /// Expires every shot that has not fired yet — called when the run
     /// completes (all mains done, all streams drained): nothing is left
-    /// to corrupt, so the remaining shots can never land.
-    pub(crate) fn expire_remaining(&mut self) {
+    /// to corrupt, so the remaining shots can never land. Returns the
+    /// channel of each newly expired shot (for observer notification).
+    pub(crate) fn expire_remaining(&mut self) -> Vec<usize> {
+        let channels = self.shots[self.next..].iter().map(|s| s.channel).collect();
         self.expired += (self.shots.len() - self.next) as u64;
         self.next = self.shots.len();
+        channels
     }
 
     /// Fires every due shot whose channel has data in flight; returns
-    /// the injections that landed this call. A due shot whose target
-    /// stream can never carry data again (`expired` for its channel)
-    /// is dropped so it cannot block later shots.
+    /// the injections that landed this call plus the channels of due
+    /// shots that expired. A due shot whose target stream can never
+    /// carry data again (`expired` for its channel) is dropped so it
+    /// cannot block later shots.
     pub(crate) fn fire_due(
         &mut self,
         fabric: &mut crate::fabric::Fabric,
         mains: &[usize],
         expired: impl Fn(usize) -> bool,
         now: u64,
-    ) -> Vec<Injection> {
+    ) -> (Vec<Injection>, Vec<usize>) {
         let mut fired = Vec::new();
+        let mut expired_channels = Vec::new();
         while self.next < self.shots.len() {
             let shot = self.shots[self.next];
             if now < shot.at_cycle {
@@ -311,6 +325,7 @@ impl FaultDriver {
                 // shot could land: nothing left to corrupt, ever.
                 self.next += 1;
                 self.expired += 1;
+                expired_channels.push(shot.channel);
                 continue;
             }
             let landed = match shot.kind {
@@ -342,7 +357,7 @@ impl FaultDriver {
                 None => break,
             }
         }
-        fired
+        (fired, expired_channels)
     }
 }
 
@@ -365,6 +380,15 @@ pub trait Observer {
     fn on_segment_close(&mut self, main: usize, seq: u64, cycle: u64) {
         let _ = (main, seq, cycle);
     }
+    /// A checker applied a segment's SCP and entered replay — the start
+    /// of the checker-occupancy window that ends with the verdict
+    /// ([`Observer::on_check_pass`] / [`Observer::on_check_fail`]).
+    /// `main` is the core whose stream is being verified; in
+    /// shared-checker topologies this attributes the busy span to the
+    /// granted main.
+    fn on_check_start(&mut self, checker: usize, main: usize, seq: u64, cycle: u64) {
+        let _ = (checker, main, seq, cycle);
+    }
     /// A checker verified a segment clean.
     fn on_check_pass(&mut self, checker: usize, result: &SegmentResult) {
         let _ = (checker, result);
@@ -381,6 +405,26 @@ pub trait Observer {
     /// A scheduled fault landed in a stream.
     fn on_fault_injected(&mut self, injection: &Injection) {
         let _ = injection;
+    }
+    /// An armed shot expired without landing: `main`'s stream drained
+    /// for good, or the run completed before the arming cycle. Expired
+    /// shots are counted in
+    /// [`RunReport::shots_expired`](crate::RunReport::shots_expired)
+    /// and never appear in
+    /// [`RunReport::injections`](crate::RunReport::injections).
+    fn on_shot_expired(&mut self, main: usize, cycle: u64) {
+        let _ = (main, cycle);
+    }
+    /// A §III-C arbiter connected `main`'s stream to a shared checker
+    /// (the initial grants fire at cycle 0, hand-overs when they
+    /// happen).
+    fn on_checker_granted(&mut self, checker: usize, main: usize, cycle: u64) {
+        let _ = (checker, main, cycle);
+    }
+    /// A shared checker with a drained arbitration queue was parked (a
+    /// later grant unparks it).
+    fn on_checker_parked(&mut self, checker: usize, cycle: u64) {
+        let _ = (checker, cycle);
     }
     /// A main core finished its program.
     fn on_main_finished(&mut self, main: usize, cycle: u64) {
@@ -408,6 +452,9 @@ impl<T: Observer> Observer for std::rc::Rc<std::cell::RefCell<T>> {
     fn on_segment_close(&mut self, main: usize, seq: u64, cycle: u64) {
         self.borrow_mut().on_segment_close(main, seq, cycle);
     }
+    fn on_check_start(&mut self, checker: usize, main: usize, seq: u64, cycle: u64) {
+        self.borrow_mut().on_check_start(checker, main, seq, cycle);
+    }
     fn on_check_pass(&mut self, checker: usize, result: &SegmentResult) {
         self.borrow_mut().on_check_pass(checker, result);
     }
@@ -419,6 +466,15 @@ impl<T: Observer> Observer for std::rc::Rc<std::cell::RefCell<T>> {
     }
     fn on_fault_injected(&mut self, injection: &Injection) {
         self.borrow_mut().on_fault_injected(injection);
+    }
+    fn on_shot_expired(&mut self, main: usize, cycle: u64) {
+        self.borrow_mut().on_shot_expired(main, cycle);
+    }
+    fn on_checker_granted(&mut self, checker: usize, main: usize, cycle: u64) {
+        self.borrow_mut().on_checker_granted(checker, main, cycle);
+    }
+    fn on_checker_parked(&mut self, checker: usize, cycle: u64) {
+        self.borrow_mut().on_checker_parked(checker, cycle);
     }
     fn on_main_finished(&mut self, main: usize, cycle: u64) {
         self.borrow_mut().on_main_finished(main, cycle);
@@ -432,6 +488,8 @@ pub enum ObserverEvent {
     SegmentOpen(usize, u64, u64),
     /// Segment closed on a main core: `(main, seq, cycle)`.
     SegmentClose(usize, u64, u64),
+    /// Checker entered replay: `(checker, main, seq, cycle)`.
+    CheckStart(usize, usize, u64, u64),
     /// Checker passed a segment: `(checker, seq, cycle)`.
     CheckPass(usize, u64, u64),
     /// Checker failed a segment: `(checker, seq, cycle)`.
@@ -440,6 +498,13 @@ pub enum ObserverEvent {
     Detection(DetectionEvent),
     /// Fault injection landed.
     Fault(Injection),
+    /// Armed shot expired without landing: `(main, cycle)`.
+    ShotExpired(usize, u64),
+    /// Arbiter connected a main to a shared checker:
+    /// `(checker, main, cycle)`.
+    CheckerGranted(usize, usize, u64),
+    /// Idle shared checker parked: `(checker, cycle)`.
+    CheckerParked(usize, u64),
     /// Main core finished: `(main, cycle)`.
     MainFinished(usize, u64),
 }
@@ -530,6 +595,10 @@ impl Observer for RecordingObserver {
         self.events
             .push(ObserverEvent::SegmentClose(main, seq, cycle));
     }
+    fn on_check_start(&mut self, checker: usize, main: usize, seq: u64, cycle: u64) {
+        self.events
+            .push(ObserverEvent::CheckStart(checker, main, seq, cycle));
+    }
     fn on_check_pass(&mut self, checker: usize, result: &SegmentResult) {
         self.summary.checks_passed += 1;
         self.events
@@ -553,6 +622,17 @@ impl Observer for RecordingObserver {
             self.summary.first_fault_cycle = Some(injection.at_cycle);
         }
         self.events.push(ObserverEvent::Fault(injection.clone()));
+    }
+    fn on_shot_expired(&mut self, main: usize, cycle: u64) {
+        self.events.push(ObserverEvent::ShotExpired(main, cycle));
+    }
+    fn on_checker_granted(&mut self, checker: usize, main: usize, cycle: u64) {
+        self.events
+            .push(ObserverEvent::CheckerGranted(checker, main, cycle));
+    }
+    fn on_checker_parked(&mut self, checker: usize, cycle: u64) {
+        self.events
+            .push(ObserverEvent::CheckerParked(checker, cycle));
     }
     fn on_main_finished(&mut self, main: usize, cycle: u64) {
         self.events.push(ObserverEvent::MainFinished(main, cycle));
@@ -756,6 +836,9 @@ pub struct Scenario {
     sched_mode: Option<SchedMode>,
     fault_plan: FaultPlan,
     observers: Vec<Box<dyn Observer>>,
+    /// Chrome-trace export: `(path, ring capacity)`; `None` capacity =
+    /// unbounded.
+    trace: Option<(std::path::PathBuf, Option<usize>)>,
 }
 
 impl fmt::Debug for Scenario {
@@ -768,6 +851,7 @@ impl fmt::Debug for Scenario {
             .field("sched_mode", &self.sched_mode)
             .field("fault_plan", &self.fault_plan)
             .field("observers", &self.observers.len())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -783,6 +867,7 @@ impl Scenario {
             sched_mode: None,
             fault_plan: FaultPlan::none(),
             observers: Vec::new(),
+            trace: None,
         }
     }
 
@@ -832,6 +917,30 @@ impl Scenario {
     /// Attaches an observer; may be called repeatedly.
     pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
         self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Records the schedule as Chrome `trace_event` JSON (see
+    /// [`trace`](crate::trace)) and remembers `path`;
+    /// [`VerifiedRun::write_trace`](crate::VerifiedRun::write_trace)
+    /// writes the file after the run. Unbounded — every event is kept;
+    /// for long campaigns use [`Scenario::trace_to_bounded`].
+    pub fn trace_to(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.trace = Some((path.into(), None));
+        self
+    }
+
+    /// Like [`Scenario::trace_to`], but keeps only the newest
+    /// `capacity` events (a ring), so arbitrarily long campaigns
+    /// produce bounded files.
+    /// [`DEFAULT_RING_CAPACITY`](crate::trace::DEFAULT_RING_CAPACITY)
+    /// is the binaries' default.
+    pub fn trace_to_bounded(
+        mut self,
+        path: impl Into<std::path::PathBuf>,
+        capacity: usize,
+    ) -> Self {
+        self.trace = Some((path.into(), Some(capacity)));
         self
     }
 
@@ -951,7 +1060,18 @@ impl Scenario {
     ///
     /// Returns a [`ScenarioError`] describing the first violated
     /// constraint; never panics on bad configuration.
-    pub fn build(self) -> Result<VerifiedRun, ScenarioError> {
+    pub fn build(mut self) -> Result<VerifiedRun, ScenarioError> {
+        // A configured trace is just one more observer, plus the
+        // (path, handle) pair the run needs for `write_trace`.
+        let trace = self.trace.take().map(|(path, capacity)| {
+            let observer = match capacity {
+                Some(n) => crate::trace::TraceObserver::bounded(n),
+                None => crate::trace::TraceObserver::new(),
+            };
+            let handle = observer.into_shared();
+            self.observers.push(Box::new(handle.clone()));
+            (path, handle)
+        });
         let cores = self.cores.unwrap_or_else(|| self.default_cores());
         if cores == 0 {
             return Err(ScenarioError::NoCores);
@@ -988,6 +1108,7 @@ impl Scenario {
             self.sched_mode,
             self.fault_plan,
             self.observers,
+            trace,
         )
     }
 }

@@ -1,6 +1,6 @@
 //! The named benchmark suites: Parsec 3.0 and SPECint 2006 equivalents.
 //!
-//! Each named workload instantiates a [`builder`](crate::builder)
+//! Each named workload instantiates a [`builder`]
 //! template with parameters matching the benchmark's published character
 //! (instruction mix, working-set shape). See `DESIGN.md` §2 for the
 //! substitution rationale.

@@ -7,7 +7,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// A length specification for [`vec`]: a fixed size or a range of sizes.
+/// A length specification for [`vec()`]: a fixed size or a range of sizes.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,

@@ -30,7 +30,7 @@ pub trait Strategy {
     }
 
     /// Type-erases the strategy so heterogeneous strategies with a common
-    /// `Value` can live in one collection (used by [`prop_oneof!`]).
+    /// `Value` can live in one collection (used by `prop_oneof!`).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
@@ -91,7 +91,7 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// Weighted union of strategies over a common value type; built by
-/// [`prop_oneof!`].
+/// `prop_oneof!`.
 #[derive(Clone)]
 pub struct Union<T> {
     options: Vec<(u32, BoxedStrategy<T>)>,
