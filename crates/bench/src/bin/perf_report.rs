@@ -3,16 +3,20 @@
 //! Re-runs the `flexstep_pipeline` and `dbc_fifo` microbenches plus a
 //! `run_to_completion` macro-bench under a plain `Instant`-based
 //! harness, A/B's the event-queue scheduler against the naive linear
-//! scan, and writes everything as JSON (default `BENCH_pr2.json`) via
-//! the shared [`flexstep_core::json`] writer.
+//! scan, A/B's the segment-verdict memo on its best-case control-loop
+//! workload (DESIGN.md §13), and writes everything as JSON (default
+//! `BENCH_pr6.json`) via the shared [`flexstep_core::json`] writer.
 //!
-//! Usage: `perf_report [--quick] [--naive] [--out PATH]`
+//! Usage: `perf_report [--quick] [--naive] [--guard] [--out PATH]`
 //!
 //! - `--quick`: reduced repetitions (CI keep-alive — proves the binary
 //!   and the measurement path work, not a stable measurement).
 //! - `--naive`: force the naive linear-scan scheduler on every run (the
 //!   macro A/B runs both regardless; this flips the default used by the
 //!   pipeline/macro sections for external A/B driving).
+//! - `--guard`: exit non-zero if the memo-on control-loop run regresses
+//!   below PR 2's dual-core pipeline figure (2.2251e7 steps/s) — the CI
+//!   floor for the PR 6 datapath.
 //! - `--out PATH`: output file.
 //!
 //! The embedded `seed_baseline` block records the same microbenches
@@ -24,6 +28,7 @@ use flexstep_core::json::JsonObject;
 use flexstep_core::{BufferFifo, LogEntry, LogKind, Packet};
 use flexstep_isa::asm::Program;
 use flexstep_sim::{SchedMode, Soc, SocConfig};
+use flexstep_workloads::builder::control_loop_kernel;
 use flexstep_workloads::{by_name, Scale};
 use std::time::Instant;
 
@@ -43,9 +48,15 @@ const SEED_BASELINE: &[(&str, f64, f64)] = &[
     ("dbc_fifo/push_pop_2_consumers", 386.476e-6, 397.305e-6),
 ];
 
+/// PR 2's dual-core pipeline throughput (BENCH_pr2.json,
+/// `flexstep_pipeline/dual_core_verified_run.steps_per_sec`): the floor
+/// `--guard` enforces on the memo-on control-loop run.
+const PR2_DUAL_CORE_STEPS_PER_SEC: f64 = 2.2251e7;
+
 struct Args {
     quick: bool,
     naive: bool,
+    guard: bool,
     out: String,
 }
 
@@ -55,7 +66,8 @@ fn parse_args() -> Args {
     Args {
         quick: flag("--quick"),
         naive: flag("--naive"),
-        out: flexstep_bench::arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pr2.json".into()),
+        guard: flag("--guard"),
+        out: flexstep_bench::arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pr6.json".into()),
     }
 }
 
@@ -117,6 +129,8 @@ fn main() {
         .program(Scale::Test);
     let mut steps = 0u64;
     let mut retired = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
     let (pipe_min, pipe_mean) = time_reps(reps, || {
         let mut run = dual_core(&program);
         if let Some(m) = forced {
@@ -126,6 +140,8 @@ fn main() {
         assert!(r.completed && r.segments_failed == 0);
         steps = r.engine_steps;
         retired = r.retired;
+        hits = run.fabric().stats.memo_hits;
+        misses = run.fabric().stats.memo_misses;
         r.segments_checked
     });
     {
@@ -133,8 +149,69 @@ fn main() {
         o.field_u64("engine_steps", steps)
             .field_u64("retired", retired)
             .field_raw("steps_per_sec", &format!("{:.4e}", steps as f64 / pipe_min))
-            .field_f64("ns_per_step", pipe_min * 1e9 / steps as f64);
+            .field_f64("ns_per_step", pipe_min * 1e9 / steps as f64)
+            .field_u64("memo_hits", hits)
+            .field_u64("memo_misses", misses);
         out.field_raw("flexstep_pipeline/dual_core_verified_run", &o.finish());
+    }
+
+    // --- memo A/B: segment-verdict cache on its best-case workload ------
+    // A segment-aligned stateless control loop (DESIGN.md §13): with the
+    // memo on, all but one segment per repetition replays from the cache.
+    // Reports are bit-identical either way; only wall-clock moves.
+    {
+        let seg = FabricConfig::paper().segment_limit as i64;
+        let ctrl = control_loop_kernel("control_loop", seg, 50, if args.quick { 4 } else { 12 });
+        let mut memo_obj = JsonObject::new();
+        let mut mins = Vec::new();
+        for (label, enabled) in [("memo_off", false), ("memo_on", true)] {
+            let mut ctrl_steps = 0u64;
+            let mut h = 0u64;
+            let mut m = 0u64;
+            let (mn, me) = time_reps(reps, || {
+                let mut run = Scenario::new(&ctrl)
+                    .cores(2)
+                    .fabric(FabricConfig::paper())
+                    .memo(enabled)
+                    .build()
+                    .expect("setup");
+                if let Some(fm) = forced {
+                    run.set_sched_mode(fm);
+                }
+                let r = run.run_to_completion(400_000_000);
+                assert!(r.completed && r.segments_failed == 0);
+                ctrl_steps = r.engine_steps;
+                h = run.fabric().stats.memo_hits;
+                m = run.fabric().stats.memo_misses;
+                r.drain_cycle
+            });
+            let mut o = bench_obj(mn, me);
+            o.field_u64("engine_steps", ctrl_steps)
+                .field_raw("steps_per_sec", &format!("{:.4e}", ctrl_steps as f64 / mn))
+                .field_f64("ns_per_step", mn * 1e9 / ctrl_steps as f64);
+            if enabled {
+                o.field_u64("memo_hits", h).field_u64("memo_misses", m);
+                if h + m > 0 {
+                    o.field_f64("hit_rate", h as f64 / (h + m) as f64);
+                }
+            }
+            memo_obj.field_raw(label, &o.finish());
+            mins.push((mn, ctrl_steps));
+        }
+        memo_obj.field_f64("memo_speedup", mins[0].0 / mins[1].0);
+        let memo_on_sps = mins[1].1 as f64 / mins[1].0;
+        memo_obj.field_f64(
+            "memo_on_vs_pr2_dual_core",
+            memo_on_sps / PR2_DUAL_CORE_STEPS_PER_SEC,
+        );
+        out.field_raw("memo/control_loop_ab", &memo_obj.finish());
+        if args.guard && memo_on_sps < PR2_DUAL_CORE_STEPS_PER_SEC {
+            eprintln!(
+                "perf regression: memo-on control loop ran at {memo_on_sps:.4e} steps/s, \
+                 below the PR 2 dual-core floor of {PR2_DUAL_CORE_STEPS_PER_SEC:.4e}"
+            );
+            std::process::exit(1);
+        }
     }
 
     // --- macro-bench: run_to_completion, both schedulers ----------------

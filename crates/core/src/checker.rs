@@ -8,6 +8,7 @@
 
 use crate::dbc::BufferFifo;
 use crate::detect::{MismatchKind, SegmentResult};
+use crate::memo::{Playback, Recording, VerdictMemo};
 use crate::packet::{LogKind, PacketRef};
 use crate::rcpm::Ass;
 use flexstep_isa::inst::{AmoOp, AmoWidth};
@@ -61,6 +62,14 @@ pub struct CheckerState {
     /// Stale packets discarded while waiting for an SCP (post-abort
     /// resynchronisation).
     pub skipped_packets: u64,
+    /// Segment-verdict memo (see `memo.rs`); capacity set by
+    /// `FabricConfig::memo_capacity` when the fabric builds the unit.
+    pub(crate) memo: VerdictMemo,
+    /// Active memo-hit playback: the cached timing profile being
+    /// re-charged in place of real replay.
+    pub(crate) playback: Option<Playback>,
+    /// In-progress profile recording for a memoizable segment.
+    pub(crate) recording: Option<Recording>,
 }
 
 impl Default for CheckerState {
@@ -73,6 +82,9 @@ impl Default for CheckerState {
             segments_checked: 0,
             segments_failed: 0,
             skipped_packets: 0,
+            memo: VerdictMemo::default(),
+            playback: None,
+            recording: None,
         }
     }
 }

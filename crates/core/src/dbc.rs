@@ -10,9 +10,21 @@
 //! dual-core mode in Fig. 6 — the slower checker gates reclamation and
 //! back-pressures the main core sooner.
 
-use crate::packet::{entry_bytes, Checkpoint, LogEntry, Packet, PacketMut, PacketRef};
+use crate::packet::{
+    entry_bytes, hash_mix, hash_snapshot, Checkpoint, CpHandle, CpSlab, LogEntry, Packet,
+    PacketMut, PacketRef, HASH_SEED,
+};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// Domain separators mixed into the segment fingerprint ahead of each
+/// packet's payload, so streams that differ only in packet framing (e.g.
+/// an `InstCount(3)` vs a Mem entry whose fields happen to collide) hash
+/// differently.
+const HASH_TAG_SCP: u64 = 0x53;
+const HASH_TAG_MEM: u64 = 0x4d;
+const HASH_TAG_COUNT: u64 = 0x49;
+const HASH_TAG_ECP: u64 = 0x45;
 
 /// Error returned when a push would exceed the FIFO capacity.
 ///
@@ -45,21 +57,22 @@ impl std::error::Error for FifoFull {}
 
 /// One stream position in the FIFO. Entry-class payloads are stored
 /// inline; checkpoint payloads (>0.5 KiB of [`ArchSnapshot`]) live out of
-/// line in the checkpoint ring — the in-order queue stays small and
-/// cache-resident, mirroring the paper's physical split between the DBC
-/// entry SRAM and the ASS checkpoint slots.
+/// line in the checkpoint slab behind generation-checked handles — the
+/// in-order queue stays small and cache-resident, mirroring the paper's
+/// physical split between the DBC entry SRAM and the ASS checkpoint
+/// slots.
 ///
 /// [`ArchSnapshot`]: flexstep_sim::ArchSnapshot
 #[derive(Debug, Clone, Copy)]
 enum Slot {
-    /// SCP; payload at absolute checkpoint index `.0` in the ring.
-    Scp(u64),
+    /// SCP; payload behind a generation-checked slab handle.
+    Scp(CpHandle),
     /// A memory-access log entry, inline.
     Mem(LogEntry),
     /// The segment's instruction count, inline.
     InstCount(u64),
-    /// ECP; payload at absolute checkpoint index `.0` in the ring.
-    Ecp(u64),
+    /// ECP; payload behind a generation-checked slab handle.
+    Ecp(CpHandle),
 }
 
 /// An SRAM data-buffer FIFO with independent consumer cursors.
@@ -79,14 +92,23 @@ pub struct BufferFifo {
     /// Stream positions not yet consumed by *all* consumers, oldest
     /// first.
     queue: VecDeque<Slot>,
-    /// Out-of-line checkpoint payloads, in stream order.
-    cps: VecDeque<Checkpoint>,
-    /// Absolute checkpoint index of `cps[0]`.
-    cp_head: u64,
-    /// Absolute checkpoint index the next pushed checkpoint gets.
-    cp_next: u64,
+    /// Out-of-line checkpoint payloads, slab-allocated.
+    slab: CpSlab,
     /// Absolute sequence number of `queue[0]`.
     head_seq: u64,
+    /// Running fingerprint of the currently-open segment (everything
+    /// pushed since the last ECP), folded in at push time.
+    seg_hash: u64,
+    /// Set when an in-flight packet of the open segment was mutated
+    /// (fault injection): the open fingerprint no longer describes the
+    /// buffered bytes and finalises to `None`.
+    seg_hash_poisoned: bool,
+    /// Finalised fingerprints of complete buffered segments, oldest
+    /// first; `None` marks a segment whose buffered packets were mutated
+    /// after hashing. Front entry describes ECP number `seg_hash_head`.
+    seg_hashes: VecDeque<Option<u64>>,
+    /// Absolute ECP number of `seg_hashes[0]`.
+    seg_hash_head: u64,
     /// Absolute position of each consumer (next packet to read).
     cursors: Vec<u64>,
     /// Number of cursors currently equal to `head_seq`. Storage reclaim
@@ -118,10 +140,12 @@ impl BufferFifo {
             checkpoint_slots,
             spill: false,
             queue: VecDeque::new(),
-            cps: VecDeque::new(),
-            cp_head: 0,
-            cp_next: 0,
+            slab: CpSlab::default(),
             head_seq: 0,
+            seg_hash: HASH_SEED,
+            seg_hash_poisoned: false,
+            seg_hashes: VecDeque::new(),
+            seg_hash_head: 0,
             cursors: vec![0],
             at_min: 1,
             used: 0,
@@ -160,6 +184,11 @@ impl BufferFifo {
         self.cursors = vec![self.head_seq; n];
         self.at_min = n;
         self.ecps_consumed = vec![self.ecps_pushed; n];
+        debug_assert!(
+            self.seg_hashes.is_empty(),
+            "empty FIFO cannot hold banked fingerprints"
+        );
+        self.seg_hash_head = self.ecps_pushed;
     }
 
     /// Number of consumers.
@@ -221,10 +250,10 @@ impl BufferFifo {
         }
     }
 
-    /// Accounting + enqueue for a packet whose capacity was already
-    /// checked (or that spills).
+    /// Occupancy accounting for one packet about to be enqueued whose
+    /// capacity was already checked (or that spills).
     #[inline]
-    fn push_unchecked(&mut self, packet: Packet, entry_bytes: usize, cps: usize) {
+    fn note_push(&mut self, entry_bytes: usize, cps: usize) {
         if self.used + entry_bytes > self.entry_capacity
             || self.checkpoints + cps > self.checkpoint_slots
         {
@@ -234,32 +263,77 @@ impl BufferFifo {
         self.checkpoints += cps;
         self.peak_used = self.peak_used.max(self.used);
         self.pushed += 1;
-        let slot = match packet {
-            Packet::Mem(e) => Slot::Mem(e),
-            Packet::InstCount(v) => Slot::InstCount(v),
-            Packet::Scp(cp) => {
-                self.cps.push_back(*cp);
-                self.cp_next += 1;
-                Slot::Scp(self.cp_next - 1)
-            }
-            Packet::Ecp(cp) => {
-                self.cps.push_back(*cp);
-                self.cp_next += 1;
-                self.ecps_pushed += 1;
-                Slot::Ecp(self.cp_next - 1)
-            }
-        };
-        self.queue.push_back(slot);
+    }
+
+    /// Enqueues an SCP, folding its architectural payload (not `seq`
+    /// or `tag`) into the open segment fingerprint.
+    #[inline]
+    fn enqueue_scp(&mut self, cp: Checkpoint) {
+        self.seg_hash = hash_snapshot(hash_mix(self.seg_hash, HASH_TAG_SCP), &cp.snapshot);
+        let h = self.slab.alloc(cp);
+        self.queue.push_back(Slot::Scp(h));
+    }
+
+    /// Enqueues a log entry, folding its fields into the fingerprint.
+    #[inline]
+    fn enqueue_mem(&mut self, e: LogEntry) {
+        let mut h = hash_mix(self.seg_hash, HASH_TAG_MEM);
+        h = hash_mix(h, ((e.kind as u64) << 8) | u64::from(e.size));
+        h = hash_mix(h, e.addr);
+        self.seg_hash = hash_mix(h, e.data);
+        self.queue.push_back(Slot::Mem(e));
+    }
+
+    /// Enqueues an instruction count, folding it into the fingerprint.
+    #[inline]
+    fn enqueue_count(&mut self, v: u64) {
+        self.seg_hash = hash_mix(hash_mix(self.seg_hash, HASH_TAG_COUNT), v);
+        self.queue.push_back(Slot::InstCount(v));
+    }
+
+    /// Enqueues an ECP and *finalises* the segment fingerprint: the
+    /// running hash (now covering SCP payload, every entry, the count and
+    /// the ECP payload) is banked in [`BufferFifo::seg_hashes`] — or
+    /// `None` if an in-flight mutation poisoned it — and reset for the
+    /// next segment.
+    #[inline]
+    fn enqueue_ecp(&mut self, cp: Checkpoint) {
+        self.seg_hash = hash_snapshot(hash_mix(self.seg_hash, HASH_TAG_ECP), &cp.snapshot);
+        let finalised = (!self.seg_hash_poisoned).then_some(self.seg_hash);
+        self.seg_hashes.push_back(finalised);
+        self.seg_hash = HASH_SEED;
+        self.seg_hash_poisoned = false;
+        let h = self.slab.alloc(cp);
+        self.ecps_pushed += 1;
+        self.queue.push_back(Slot::Ecp(h));
+    }
+
+    /// Accounting + enqueue for a packet whose capacity was already
+    /// checked (or that spills).
+    #[inline]
+    fn push_unchecked(&mut self, packet: Packet, entry_bytes: usize, cps: usize) {
+        self.note_push(entry_bytes, cps);
+        match packet {
+            Packet::Mem(e) => self.enqueue_mem(e),
+            Packet::InstCount(v) => self.enqueue_count(v),
+            Packet::Scp(cp) => self.enqueue_scp(*cp),
+            Packet::Ecp(cp) => self.enqueue_ecp(*cp),
+        }
     }
 
     /// Resolves a slot to a borrowed packet view.
     #[inline]
     fn slot_ref<'a>(&'a self, slot: &'a Slot) -> PacketRef<'a> {
+        let cp = |h: &CpHandle| {
+            self.slab
+                .get(*h)
+                .expect("buffered checkpoint handle is live")
+        };
         match slot {
             Slot::Mem(e) => PacketRef::Mem(e),
             Slot::InstCount(v) => PacketRef::InstCount(*v),
-            Slot::Scp(i) => PacketRef::Scp(&self.cps[(i - self.cp_head) as usize]),
-            Slot::Ecp(i) => PacketRef::Ecp(&self.cps[(i - self.cp_head) as usize]),
+            Slot::Scp(h) => PacketRef::Scp(cp(h)),
+            Slot::Ecp(h) => PacketRef::Ecp(cp(h)),
         }
     }
 
@@ -347,6 +421,44 @@ impl BufferFifo {
         Ok(())
     }
 
+    /// Pushes a segment-opening SCP straight into the checkpoint slab —
+    /// the engine's hot-loop entry point, taking the checkpoint by value
+    /// with no intermediate `Box` allocation ([`Packet`] keeps its boxed
+    /// variants for the public API boundary only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFull`] when no checkpoint slot is free; with spill
+    /// enabled, never fails.
+    pub fn push_scp(&mut self, cp: Checkpoint) -> Result<(), FifoFull> {
+        if !self.can_accept(0, 1) {
+            return Err(self.full_error(0, 1));
+        }
+        self.note_push(0, 1);
+        self.enqueue_scp(cp);
+        Ok(())
+    }
+
+    /// Pushes a segment-closing `InstCount` + ECP pair under a single
+    /// capacity check (all-or-nothing, like [`BufferFifo::push_burst`]),
+    /// taking the checkpoint by value with no `Box` — the engine's
+    /// hot-loop segment-close path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFull`] with the pair's aggregate need when it does
+    /// not fit; with spill enabled, never fails.
+    pub fn push_count_ecp(&mut self, count: u64, cp: Checkpoint) -> Result<(), FifoFull> {
+        if !self.can_accept(8, 1) {
+            return Err(self.full_error(8, 1));
+        }
+        self.note_push(8, 0);
+        self.enqueue_count(count);
+        self.note_push(0, 1);
+        self.enqueue_ecp(cp);
+        Ok(())
+    }
+
     /// Peeks the next packet for `consumer` without consuming it. The
     /// packet is handed out *by reference* ([`PacketRef`]) — checkpoint
     /// payloads are >0.5 KiB and the hot path must not move them.
@@ -410,16 +522,16 @@ impl BufferFifo {
                     self.used -= 8;
                     Packet::InstCount(v)
                 }
-                Slot::Scp(_) => {
+                Slot::Scp(h) => {
                     self.checkpoints -= 1;
-                    self.cp_head += 1;
-                    Packet::scp(self.cps.pop_front().expect("checkpoint in ring"))
+                    Packet::scp(self.slab.free(h))
                 }
-                Slot::Ecp(_) => {
+                Slot::Ecp(h) => {
                     self.checkpoints -= 1;
-                    self.cp_head += 1;
                     self.ecps_consumed[0] += 1;
-                    Packet::ecp(self.cps.pop_front().expect("checkpoint in ring"))
+                    let cp = self.slab.free(h);
+                    self.gc_seg_hashes();
+                    Packet::ecp(cp)
                 }
             };
             return Some(packet);
@@ -534,6 +646,33 @@ impl BufferFifo {
         self.ecps_pushed - self.ecps_consumed[consumer]
     }
 
+    /// Fingerprint of the next *complete* segment ahead of `consumer`:
+    /// the running hash folded over the segment's SCP payload, every log
+    /// entry, the instruction count and the ECP payload at push time
+    /// (checkpoint `seq`/`tag` excluded — they differ on every segment).
+    ///
+    /// `None` when the segment ahead is still open (its ECP has not been
+    /// pushed) or when its fingerprint was poisoned by an in-flight
+    /// mutation (`BufferFifo::packet_mut`) — both cases mean the
+    /// verdict memo must fall back to full replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumer` is out of range.
+    #[inline]
+    pub fn next_segment_hash(&self, consumer: usize) -> Option<u64> {
+        let idx = self.ecps_consumed[consumer].checked_sub(self.seg_hash_head)?;
+        self.seg_hashes.get(idx as usize).copied().flatten()
+    }
+
+    /// Absolute stream position of `consumer`'s cursor. The verdict-memo
+    /// recorder diffs this across a replay step to learn how many log
+    /// entries the step consumed.
+    #[inline]
+    pub(crate) fn cursor(&self, consumer: usize) -> u64 {
+        self.cursors[consumer]
+    }
+
     /// Number of packets still ahead of `consumer`.
     ///
     /// # Panics
@@ -556,15 +695,26 @@ impl BufferFifo {
             match slot {
                 Slot::Mem(e) => self.used -= entry_bytes(&e),
                 Slot::InstCount(_) => self.used -= 8,
-                Slot::Scp(_) | Slot::Ecp(_) => {
+                Slot::Scp(h) | Slot::Ecp(h) => {
                     self.checkpoints -= 1;
-                    self.cps.pop_front();
-                    self.cp_head += 1;
+                    self.slab.free(h);
                 }
             }
             self.head_seq += 1;
         }
         self.at_min = self.cursors.iter().filter(|&&c| c == min_pos).count();
+        self.gc_seg_hashes();
+    }
+
+    /// Drops banked segment fingerprints every consumer has moved past —
+    /// they can no longer be looked up, exactly like packet storage
+    /// behind the minimum cursor.
+    fn gc_seg_hashes(&mut self) {
+        let min_ecp = *self.ecps_consumed.iter().min().expect("consumer");
+        while self.seg_hash_head < min_ecp {
+            self.seg_hashes.pop_front();
+            self.seg_hash_head += 1;
+        }
     }
 
     /// Drops all buffered packets and realigns cursors (used when the OS
@@ -572,8 +722,11 @@ impl BufferFifo {
     pub fn reset(&mut self) {
         let dropped = self.queue.len() as u64;
         self.queue.clear();
-        self.cps.clear();
-        self.cp_head = self.cp_next;
+        self.slab.clear();
+        self.seg_hashes.clear();
+        self.seg_hash_head = self.ecps_pushed;
+        self.seg_hash = HASH_SEED;
+        self.seg_hash_poisoned = false;
         self.used = 0;
         self.checkpoints = 0;
         let max = *self.cursors.iter().max().unwrap_or(&0);
@@ -602,16 +755,40 @@ impl BufferFifo {
 
     /// Mutable access to a buffered packet by queue index (fault
     /// injection into in-flight data).
+    ///
+    /// Handing out the mutable view *poisons every buffered segment
+    /// fingerprint* (banked and open): a mutated stream no longer matches
+    /// the hash computed at push time, and a poisoned fingerprint can
+    /// never be looked up in — or inserted into — the verdict memo, so a
+    /// faulted stream is structurally incapable of being served from
+    /// cache.
     pub(crate) fn packet_mut(&mut self, idx: usize) -> Option<PacketMut<'_>> {
-        // Checkpoint payloads live in the ring: resolve the index first so
-        // the queue borrow ends before the ring is borrowed mutably.
-        let cp_idx = match self.queue.get(idx)? {
-            Slot::Scp(i) | Slot::Ecp(i) => Some(*i),
+        // Checkpoint payloads live in the slab: resolve the handle first
+        // so the queue borrow ends before the slab is borrowed mutably.
+        let handle = match self.queue.get(idx)? {
+            Slot::Scp(h) | Slot::Ecp(h) => Some(*h),
             _ => None,
         };
-        if let Some(i) = cp_idx {
+        for banked in &mut self.seg_hashes {
+            *banked = None;
+        }
+        // The open segment's running hash is only tainted when the
+        // mutated packet sits past the last buffered ECP, i.e. belongs to
+        // the segment still being produced.
+        if !self
+            .queue
+            .iter()
+            .skip(idx)
+            .any(|s| matches!(s, Slot::Ecp(_)))
+        {
+            self.seg_hash_poisoned = true;
+        }
+        if let Some(h) = handle {
             let is_scp = matches!(self.queue[idx], Slot::Scp(_));
-            let cp = &mut self.cps[(i - self.cp_head) as usize];
+            let cp = self
+                .slab
+                .get_mut(h)
+                .expect("buffered checkpoint handle is live");
             return Some(if is_scp {
                 PacketMut::Scp(cp)
             } else {
@@ -859,5 +1036,196 @@ mod tests {
         let mut f = BufferFifo::new(64, 2);
         f.push(entry(1)).unwrap();
         f.set_consumers(2);
+    }
+
+    use crate::packet::Checkpoint;
+    use flexstep_sim::ArchState;
+
+    /// Pushes one complete segment `[SCP, entry(d1), entry(d2), IC, ECP]`
+    /// built from `hart`'s reset state, with checkpoint bookkeeping
+    /// `seq`/`tag`.
+    fn push_segment(f: &mut BufferFifo, hart: u64, d: [u64; 2], seq: u64, tag: u64) {
+        let snap = ArchState::new(hart).snapshot();
+        f.push(Packet::scp(Checkpoint {
+            snapshot: snap,
+            seq,
+            tag,
+        }))
+        .unwrap();
+        f.push(entry(d[0])).unwrap();
+        f.push(entry(d[1])).unwrap();
+        f.push_burst_owned([
+            Packet::InstCount(2),
+            Packet::ecp(Checkpoint {
+                snapshot: snap,
+                seq,
+                tag,
+            }),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn identical_streams_fingerprint_identically_despite_seq_and_tag() {
+        let mut f = BufferFifo::new(4096, 8);
+        f.set_spill(true);
+        // Same architectural content, different seq/tag bookkeeping.
+        push_segment(&mut f, 1, [10, 20], 0, 7);
+        push_segment(&mut f, 1, [10, 20], 1, 8);
+        // Different content.
+        push_segment(&mut f, 1, [10, 21], 2, 7);
+        let h0 = f.next_segment_hash(0).expect("complete segment");
+        f.skip_segment(0).unwrap();
+        let h1 = f.next_segment_hash(0).expect("complete segment");
+        f.skip_segment(0).unwrap();
+        let h2 = f.next_segment_hash(0).expect("complete segment");
+        assert_eq!(h0, h1, "seq/tag must not perturb the fingerprint");
+        assert_ne!(h0, h2, "a one-bit data change must perturb it");
+    }
+
+    #[test]
+    fn open_segment_has_no_fingerprint_yet() {
+        let snap = ArchState::new(0).snapshot();
+        let mut f = BufferFifo::new(4096, 8);
+        f.push(Packet::scp(Checkpoint {
+            snapshot: snap,
+            seq: 0,
+            tag: 0,
+        }))
+        .unwrap();
+        f.push(entry(1)).unwrap();
+        assert_eq!(f.next_segment_hash(0), None, "no ECP pushed yet");
+        f.push_burst_owned([
+            Packet::InstCount(1),
+            Packet::ecp(Checkpoint {
+                snapshot: snap,
+                seq: 0,
+                tag: 0,
+            }),
+        ])
+        .unwrap();
+        assert!(f.next_segment_hash(0).is_some());
+    }
+
+    #[test]
+    fn direct_push_apis_match_the_packet_path_bit_for_bit() {
+        let snap = ArchState::new(3).snapshot();
+        let scp = Checkpoint {
+            snapshot: snap,
+            seq: 5,
+            tag: 1,
+        };
+        let ecp = Checkpoint {
+            snapshot: snap,
+            seq: 5,
+            tag: 1,
+        };
+        let mut boxed = BufferFifo::new(4096, 8);
+        boxed.push(Packet::scp(scp)).unwrap();
+        boxed.push(entry(9)).unwrap();
+        boxed
+            .push_burst_owned([Packet::InstCount(1), Packet::ecp(ecp)])
+            .unwrap();
+        let mut direct = BufferFifo::new(4096, 8);
+        direct.push_scp(scp).unwrap();
+        direct.push(entry(9)).unwrap();
+        direct.push_count_ecp(1, ecp).unwrap();
+        assert_eq!(direct.next_segment_hash(0), boxed.next_segment_hash(0));
+        assert_eq!(direct.len(), boxed.len());
+        assert_eq!(direct.used_bytes(), boxed.used_bytes());
+        for _ in 0..5 {
+            assert_eq!(direct.pop(0), boxed.pop(0));
+        }
+    }
+
+    #[test]
+    fn in_flight_mutation_poisons_every_buffered_fingerprint() {
+        let mut f = BufferFifo::new(4096, 8);
+        f.set_spill(true);
+        push_segment(&mut f, 1, [10, 20], 0, 0);
+        push_segment(&mut f, 1, [30, 40], 1, 0);
+        assert!(f.next_segment_hash(0).is_some());
+        // Mutate one in-flight entry (what fault injection does).
+        if let Some(PacketMut::Mem(e)) = f.packet_mut(1) {
+            e.data ^= 1 << 4;
+        } else {
+            panic!("expected a mem entry at index 1");
+        }
+        assert_eq!(f.next_segment_hash(0), None, "banked fingerprints die");
+        f.skip_segment(0).unwrap();
+        assert_eq!(f.next_segment_hash(0), None, "all segments are suspect");
+        // The poison does not outlive the buffered data: fresh segments
+        // pushed after the mutation fingerprint normally again.
+        f.skip_segment(0).unwrap();
+        push_segment(&mut f, 1, [50, 60], 2, 0);
+        assert!(f.next_segment_hash(0).is_some());
+    }
+
+    #[test]
+    fn open_segment_mutation_poisons_its_eventual_fingerprint() {
+        let snap = ArchState::new(0).snapshot();
+        let mut f = BufferFifo::new(4096, 8);
+        f.push(Packet::scp(Checkpoint {
+            snapshot: snap,
+            seq: 0,
+            tag: 0,
+        }))
+        .unwrap();
+        f.push(entry(1)).unwrap();
+        // Mutate while the segment is still open...
+        if let Some(PacketMut::Mem(e)) = f.packet_mut(1) {
+            e.data = 99;
+        }
+        // ...then close it: the finalised fingerprint must be poisoned.
+        f.push_burst_owned([
+            Packet::InstCount(1),
+            Packet::ecp(Checkpoint {
+                snapshot: snap,
+                seq: 0,
+                tag: 0,
+            }),
+        ])
+        .unwrap();
+        assert_eq!(f.next_segment_hash(0), None);
+    }
+
+    #[test]
+    fn slab_handles_die_across_skip_and_drain_resync() {
+        let mut f = BufferFifo::new(4096, 8);
+        f.set_spill(true);
+        push_segment(&mut f, 1, [10, 20], 0, 0);
+        push_segment(&mut f, 2, [30, 40], 1, 0);
+        // Capture the handles of the first segment's SCP and ECP straight
+        // from the queue slots.
+        let (scp_h, ecp_h) = match (f.queue[0], f.queue[4]) {
+            (Slot::Scp(s), Slot::Ecp(e)) => (s, e),
+            other => panic!("unexpected slots: {other:?}"),
+        };
+        assert_eq!(f.slab.get(scp_h).unwrap().seq, 0);
+        // Abort/resync path: skip the whole segment.
+        f.skip_segment(0).unwrap();
+        assert!(f.slab.get(scp_h).is_none(), "SCP handle freed on skip");
+        assert!(f.slab.get(ecp_h).is_none(), "ECP handle freed on skip");
+        // The second segment recycles slab slots under new generations;
+        // its packets are intact and the stale handles still miss.
+        let seg = f.drain_segment(0).unwrap();
+        assert_eq!(seg.len(), 5);
+        assert!(f.slab.get(scp_h).is_none(), "stale handle stays dead");
+        assert_eq!(f.slab.live(), 0, "drain freed the recycled slots too");
+    }
+
+    #[test]
+    fn reset_frees_all_slab_storage() {
+        let mut f = BufferFifo::new(4096, 8);
+        f.set_spill(true);
+        push_segment(&mut f, 1, [10, 20], 0, 0);
+        let h = match f.queue[0] {
+            Slot::Scp(h) => h,
+            _ => unreachable!(),
+        };
+        f.reset();
+        assert!(f.slab.get(h).is_none(), "reset invalidates handles");
+        assert_eq!(f.slab.live(), 0);
+        assert_eq!(f.next_segment_hash(0), None);
     }
 }

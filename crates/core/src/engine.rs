@@ -19,12 +19,23 @@
 use crate::checker::{CheckPhase, CheckerState, ReplayPort};
 use crate::detect::{DetectionEvent, MismatchKind, SegmentResult};
 use crate::fabric::{CoreAttr, Fabric, FabricConfig, FlexError};
-use crate::packet::{log_entries, Packet, PacketRef};
+use crate::memo::{Playback, Recording};
+use crate::packet::{hash_snapshot, log_entries, Packet, PacketRef, HASH_SEED};
 use crate::rcpm::SegmentClose;
-use flexstep_isa::inst::FlexOp;
+use flexstep_isa::inst::{FlexOp, InstClass};
 use flexstep_isa::XReg;
 use flexstep_mem::cache::CacheGeometryError;
 use flexstep_sim::{PrivMode, Retired, Soc, SocConfig, StepKind, StepResult};
+
+/// Most instructions a main-core logged superblock may retire in one
+/// engine step. Blocks also end at the next branch/system instruction
+/// and one short of the segment limit, so this only caps straight-line
+/// runs; it matches the simulator's decoded-block capacity.
+const MAIN_BLOCK_INSTS: u64 = 32;
+
+/// Most memoized profile steps a checker playback may consume in one
+/// engine step (spill mode only — see [`FlexSoc::step_checker`]).
+const PLAYBACK_BLOCK: usize = 32;
 
 /// Outcome of one engine step on a core.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,10 +43,33 @@ pub enum EngineStep {
     /// The core stepped; the underlying result (traps, `ecall`s, timer
     /// interrupts and custom instructions are the OS's to handle).
     Core(StepKind),
+    /// A main core retired a straight-line run of decoded µops as one
+    /// superblock, logging every access exactly as the equivalent
+    /// sequence of [`EngineStep::Core`] retirements would. Blocks never
+    /// open or close a segment and never cross a segment boundary.
+    MainBlock {
+        /// Instructions retired in the block (≥ 1).
+        retired: u64,
+    },
+    /// A main core opened a segment: SCP extracted and pushed, the
+    /// extraction stall charged. The first instruction of the segment
+    /// executes on the next step — charged from the same post-stall
+    /// ready time it always was, but as its own dispatch, so the global
+    /// clock never leaps past other cores' ready times mid-step (which
+    /// would make replay timing depend on dispatch interleaving).
+    SegmentOpened,
     /// A main core stalled on FIFO backpressure.
     Backpressured,
     /// A checker stalled on an empty stream.
     CheckerWaiting,
+    /// A checker advanced a memo-hit playback by a batch of recorded
+    /// steps, charging each step's recorded retire cost — the timing and
+    /// final state are those of the equivalent run of
+    /// [`EngineStep::CheckerProgress`] steps.
+    CheckerBlock {
+        /// Profile steps consumed in the batch (≥ 1).
+        replayed: u64,
+    },
     /// A checker applied an SCP and entered replay.
     CheckerApplied {
         /// The applied segment's sequence number.
@@ -62,6 +96,10 @@ pub struct FlexSoc {
     pub soc: Soc,
     /// The FlexStep hardware state.
     pub fabric: Fabric,
+    /// Whether `step_main` may dispatch logged superblocks. Harnesses
+    /// turn this off while fault shots are armed so injection windows
+    /// stay cycle-precise (shots are polled between engine steps).
+    main_batching: bool,
 }
 
 impl FlexSoc {
@@ -74,7 +112,17 @@ impl FlexSoc {
         Ok(FlexSoc {
             fabric: Fabric::new(soc.num_cores, fabric),
             soc: Soc::new(soc)?,
+            main_batching: true,
         })
+    }
+
+    /// Enables or disables logged-superblock dispatch on main cores.
+    ///
+    /// With batching off every instruction takes its own engine step —
+    /// required while fault shots are pending, since shots fire between
+    /// engine steps and a block would blur the injection cycle.
+    pub fn set_main_batching(&mut self, on: bool) {
+        self.main_batching = on;
     }
 
     // ----- Tab. I custom-ISA operations ------------------------------------
@@ -239,6 +287,7 @@ impl FlexSoc {
                 let cfg = self.fabric.config();
                 let retry_cycles = cfg.backpressure_retry_cycles;
                 let scp_cycles = cfg.scp_extract_cycles;
+                let dma_cycles = cfg.dma_cycles;
                 let unit = self.fabric.unit(core);
                 // Worst-case needs for this step: two log entries, plus a
                 // close burst (IC + ECP) if a segment is or will be open,
@@ -256,14 +305,67 @@ impl FlexSoc {
                     let unit = self.fabric.unit_mut(core);
                     let consumers = unit.fifo.consumers() as u64;
                     let scp = unit.tracker.open_segment(snap);
-                    unit.fifo
-                        .push(Packet::scp(scp))
-                        .expect("space reserved above");
+                    unit.fifo.push_scp(scp).expect("space reserved above");
                     // The ASS forwards the checkpoint once per associated
                     // checker (§III-A): wider verification modes serialise
                     // more beats through the channel — the source of
                     // Fig. 6's dual→triple slowdown increase.
                     self.soc.stall_core(core, scp_cycles * consumers);
+                    // Stop here: executing the first instruction in the
+                    // same dispatch would drag the global clock past the
+                    // post-stall ready time while other cores may still
+                    // be runnable earlier. Keeping dispatches warp-free
+                    // means a checker's replay charges are a pure
+                    // function of its own stream — the property the
+                    // verdict memo's recorded profiles rely on.
+                    return EngineStep::SegmentOpened;
+                }
+                // Logged-superblock dispatch: retire a straight-line run
+                // of decoded µops in one engine step. The budget stops
+                // one instruction short of the segment limit so the
+                // close (IC + ECP burst) always happens on the per-step
+                // path below, and the byte reserve covers the worst case
+                // of two log entries per retire — every in-block push
+                // therefore has the space the per-step gate would have
+                // demanded. Requires dma_cycles == 0 (the paper datapath)
+                // so deferring the spill charge to the block boundary
+                // cannot shift timing.
+                if self.main_batching && dma_cycles == 0 {
+                    let unit = self.fabric.unit(core);
+                    let remaining = unit.tracker.limit().saturating_sub(unit.tracker.count());
+                    let budget = MAIN_BLOCK_INSTS.min(remaining.saturating_sub(1));
+                    if budget >= 2 && unit.fifo.can_accept(budget as usize * 32 + 8, 1) {
+                        // Split borrows: the sink writes the *fabric*
+                        // unit's FIFO and tracker while the block runs on
+                        // the *soc* — disjoint fields of `self`.
+                        let soc = &mut self.soc;
+                        let unit = self.fabric.unit_mut(core);
+                        let retired = soc.run_superblock_logged(core, budget, |mem| {
+                            if let Some(access) = mem {
+                                let (first, second) = log_entries(access);
+                                match second {
+                                    Some(second) => unit
+                                        .fifo
+                                        .push_burst_owned([Packet::Mem(first), Packet::Mem(second)])
+                                        .expect("space reserved"),
+                                    None => {
+                                        unit.fifo.push(Packet::Mem(first)).expect("space reserved")
+                                    }
+                                }
+                            }
+                            let at_limit = unit.tracker.on_user_retire();
+                            debug_assert!(!at_limit, "block budget keeps the segment open");
+                        });
+                        if retired > 0 {
+                            // Spill charges are zero here (dma_cycles is
+                            // 0 by the gate above); keep the accounting
+                            // cursor in sync for later per-step retires.
+                            let unit = self.fabric.unit_mut(core);
+                            let spilled = unit.fifo.spilled_packets();
+                            unit.spill_charged = unit.spill_charged.max(spilled);
+                            return EngineStep::MainBlock { retired };
+                        }
+                    }
                 }
             }
         }
@@ -293,7 +395,7 @@ impl FlexSoc {
         let consumers = unit.fifo.consumers() as u64;
         let (count, ecp) = unit.tracker.close_segment(snap, why);
         unit.fifo
-            .push_burst_owned([Packet::InstCount(count), Packet::ecp(ecp)])
+            .push_count_ecp(count, ecp)
             .expect("space and cp slot reserved");
         self.soc.stall_core(core, ecp_cycles * consumers);
     }
@@ -345,13 +447,21 @@ impl FlexSoc {
         if !self.soc.core(core).is_running() {
             return EngineStep::Idle;
         }
+        let phase = self.fabric.unit(core).checker.phase;
+        // Memo-hit playback touches no config scalars: dispatch it
+        // before the per-step cfg reads — it runs once per replayed
+        // instruction on the hottest checker path.
+        if let CheckPhase::Replaying { seq, tag, .. } = phase {
+            if self.fabric.unit(core).checker.playback.is_some() {
+                return self.playback_step(core, main, consumer, seq, tag);
+            }
+        }
         let cfg = self.fabric.config();
         let dma_spill = cfg.dma_spill;
         let wait_cycles = cfg.checker_wait_cycles;
         let scp_apply_cycles = cfg.scp_apply_cycles;
         let ecp_compare_cycles = cfg.ecp_compare_cycles;
 
-        let phase = self.fabric.unit(core).checker.phase;
         match phase {
             CheckPhase::WaitScp => {
                 // Segment-granular consumption (spill mode): only start
@@ -382,7 +492,12 @@ impl FlexSoc {
                 // snapshot (C.apply + C.jal) without copying the packet.
                 enum ScpHead {
                     Empty,
-                    Applied { seq: u64, tag: u64 },
+                    Applied {
+                        seq: u64,
+                        tag: u64,
+                        start_hash: u64,
+                        stream_hash: Option<u64>,
+                    },
                     Stale,
                 }
                 let head = match self.fabric.unit(main).fifo.peek(consumer) {
@@ -394,6 +509,11 @@ impl FlexSoc {
                         ScpHead::Applied {
                             seq: cp.seq,
                             tag: cp.tag,
+                            start_hash: hash_snapshot(HASH_SEED, &cp.snapshot),
+                            // The DBC's banked fingerprint for the segment
+                            // this SCP opens: `Some` only when the segment
+                            // is fully buffered and untainted by injection.
+                            stream_hash: self.fabric.unit(main).fifo.next_segment_hash(consumer),
                         }
                     }
                     Some(_) => ScpHead::Stale,
@@ -404,7 +524,20 @@ impl FlexSoc {
                         self.soc.stall_core(core, wait_cycles);
                         EngineStep::CheckerWaiting
                     }
-                    ScpHead::Applied { seq, tag } => {
+                    ScpHead::Applied {
+                        seq,
+                        tag,
+                        start_hash,
+                        stream_hash,
+                    } => {
+                        // Every SCP apply is a replay context switch:
+                        // flush the checker's µarch timing state so
+                        // segment replay timing is a pure function of
+                        // (checkpoint, stream, code bytes). Runs memo-on
+                        // and memo-off alike — that purity is what makes
+                        // the verdict memo sound, and keeping it
+                        // unconditional keeps reports bit-identical.
+                        self.soc.core_mut(core).reset_replay_uarch();
                         self.fabric.unit_mut(main).fifo.advance(consumer);
                         self.soc.core_mut(core).clear_reservation();
                         self.soc.stall_core(core, scp_apply_cycles);
@@ -414,6 +547,28 @@ impl FlexSoc {
                             count: 0,
                             ic: None,
                         };
+                        // Verdict memo: a segment is memoizable only when
+                        // its full stream fingerprint is banked, no fault
+                        // shot is armed on this channel, and no checker
+                        // timer could preempt mid-replay.
+                        let memoizable = self.fabric.unit(core).checker.memo.is_enabled()
+                            && !self.fabric.unit(main).memo_blocked
+                            && self.soc.core(core).timer_cmp.is_none();
+                        if let (true, Some(stream_hash)) = (memoizable, stream_hash) {
+                            let epoch = self.soc.code_epoch();
+                            let checker = &mut self.fabric.unit_mut(core).checker;
+                            match checker.memo.lookup(start_hash, stream_hash, epoch) {
+                                Some((inst_count, profile)) => {
+                                    checker.playback = Some(Playback::new(inst_count, profile));
+                                    self.fabric.stats.memo_hits += 1;
+                                }
+                                None => {
+                                    checker.recording =
+                                        Some(Recording::new(start_hash, stream_hash, epoch));
+                                    self.fabric.stats.memo_misses += 1;
+                                }
+                            }
+                        }
                         EngineStep::CheckerApplied { seq }
                     }
                     ScpHead::Stale => {
@@ -528,12 +683,24 @@ impl FlexSoc {
                                 at,
                             };
                             self.fabric.stats.segments_ok += 1;
+                            // Harvest the recording: a clean verdict for a
+                            // fingerprinted stream is exactly what the memo
+                            // caches — unless the code bytes changed under
+                            // the replay, which would stale the profile.
+                            let epoch = self.soc.code_epoch();
+                            let checker = &mut self.fabric.unit_mut(core).checker;
+                            if let Some(rec) = checker.recording.take() {
+                                if rec.code_epoch == epoch {
+                                    checker.memo.insert(rec);
+                                }
+                            }
                             self.fabric
                                 .unit_mut(core)
                                 .checker
                                 .finish_segment(result.clone());
                             EngineStep::CheckerSegmentDone(result)
                         } else {
+                            self.fabric.unit_mut(core).checker.recording = None;
                             let kind = MismatchKind::Ecp { diffs };
                             self.fabric.stats.segments_failed += 1;
                             let event = DetectionEvent {
@@ -570,6 +737,106 @@ impl FlexSoc {
         }
     }
 
+    /// Advances a memo-hit playback by one engine step: charges the
+    /// recorded retire cost and consumes the recorded number of log
+    /// entries, reproducing the real replay's step sequence exactly.
+    /// When the profile runs dry it consumes the `InstCount` packet and
+    /// restores the replayed end state from the buffered ECP snapshot —
+    /// the memoized verdict was clean, so a real replay would end in
+    /// exactly that state — then falls through to the regular `WaitEcp`
+    /// compare, which emits the verdict with its usual stall and events.
+    fn playback_step(
+        &mut self,
+        core: usize,
+        main: usize,
+        consumer: usize,
+        seq: u64,
+        tag: u64,
+    ) -> EngineStep {
+        // In spill mode with free DMA the producer never observes FIFO
+        // occupancy (`can_accept` is unconditionally true), so draining
+        // a batch of profile steps in one engine step is indistinguishable
+        // — in report and in timing — from draining them one step at a
+        // time. Outside that regime occupancy feeds back into producer
+        // backpressure and spill charges, so playback stays per-step.
+        let cfg = self.fabric.config();
+        let max_batch = if cfg.dma_spill && cfg.dma_cycles == 0 {
+            PLAYBACK_BLOCK
+        } else {
+            1
+        };
+        let mut buf = [(0u64, 0u64); PLAYBACK_BLOCK];
+        let mut n = 0;
+        {
+            let pb = self
+                .fabric
+                .unit_mut(core)
+                .checker
+                .playback
+                .as_mut()
+                .expect("playback checked by caller");
+            while n < max_batch {
+                match pb.next_step() {
+                    Some(step) => {
+                        buf[n] = step;
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if n > 0 {
+            let mut total_cycles = 0u64;
+            let mut total_entries = 0u64;
+            for &(cycles, entries) in &buf[..n] {
+                total_cycles += cycles;
+                total_entries += entries;
+            }
+            self.soc.charge_replay_retires(core, n as u64, total_cycles);
+            let fifo = &mut self.fabric.unit_mut(main).fifo;
+            for _ in 0..total_entries {
+                let ok = fifo.advance(consumer);
+                debug_assert!(ok, "profile entries lie within the buffered segment");
+            }
+            if let CheckPhase::Replaying { count, .. } =
+                &mut self.fabric.unit_mut(core).checker.phase
+            {
+                *count += n as u64;
+            }
+            return EngineStep::CheckerBlock { replayed: n as u64 };
+        }
+        // Profile exhausted. The fingerprint match guarantees the stream
+        // is byte-identical to the recorded one, so the head must be the
+        // memoized segment's InstCount followed by its ECP — anything
+        // else is a memo bug or a 128-bit fingerprint collision: fail
+        // loudly rather than verify the wrong segment.
+        let inst_count = self
+            .fabric
+            .unit_mut(core)
+            .checker
+            .playback
+            .take()
+            .expect("playback checked by caller")
+            .inst_count;
+        match self.fabric.unit(main).fifo.peek(consumer) {
+            Some(PacketRef::InstCount(v)) if v == inst_count => {}
+            other => panic!(
+                "verdict-memo playback desynced: expected InstCount({inst_count}), found {other:?}"
+            ),
+        }
+        self.fabric.unit_mut(main).fifo.advance(consumer);
+        match self.fabric.unit(main).fifo.peek(consumer) {
+            Some(PacketRef::Ecp(cp)) => self.soc.core_mut(core).state.restore(&cp.snapshot),
+            other => panic!("verdict-memo playback desynced: expected ECP, found {other:?}"),
+        }
+        self.fabric.unit_mut(core).checker.phase = CheckPhase::WaitEcp {
+            seq,
+            tag,
+            count: inst_count,
+        };
+        EngineStep::CheckerProgress
+    }
+
     fn replay_one(
         &mut self,
         core: usize,
@@ -581,6 +848,7 @@ impl FlexSoc {
         // Split borrows: the replay port borrows the *main* core's FIFO
         // (fabric field), the step borrows the checker core and memory
         // (soc field) — disjoint fields of `self`.
+        let cursor_before = self.fabric.unit(main).fifo.cursor(consumer);
         let mismatch;
         let step;
         {
@@ -590,7 +858,25 @@ impl FlexSoc {
             mismatch = port.mismatch;
         }
         match step.kind {
-            StepKind::Retired(_) => {
+            StepKind::Retired(ref retired) => {
+                if self.fabric.unit(core).checker.recording.is_some() {
+                    // Cursors are absolute stream positions, so the delta
+                    // is exactly the log entries this step consumed.
+                    let entries = self.fabric.unit(main).fifo.cursor(consumer) - cursor_before;
+                    // System instructions (CSR reads of time-dependent
+                    // counters) make results depend on more than the
+                    // fingerprinted inputs: drop the recording.
+                    let system = retired.inst.class() == InstClass::System;
+                    let st = &mut self.fabric.unit_mut(core).checker;
+                    let kept = !system
+                        && st
+                            .recording
+                            .as_mut()
+                            .is_some_and(|r| r.push_step(step.cycles, entries));
+                    if !kept {
+                        st.recording = None;
+                    }
+                }
                 let st = &mut self.fabric.unit_mut(core).checker;
                 if let CheckPhase::Replaying { count, .. } = &mut st.phase {
                     *count += 1;
@@ -611,7 +897,11 @@ impl FlexSoc {
                     what: format!("{cause:?} at pc {pc:#x} (tval {tval:#x})"),
                 },
             ),
-            StepKind::Interrupted { .. } => EngineStep::CheckerInterrupted(step.kind),
+            StepKind::Interrupted { .. } => {
+                // Preemption mid-replay: the profile would be incomplete.
+                self.fabric.unit_mut(core).checker.recording = None;
+                EngineStep::CheckerInterrupted(step.kind)
+            }
             StepKind::Idle => EngineStep::Idle,
             other => self.abort_segment(
                 core,
@@ -636,6 +926,10 @@ impl FlexSoc {
         tag: u64,
         kind: MismatchKind,
     ) -> EngineStep {
+        // An aborted segment can never become a cached clean verdict.
+        let st = &mut self.fabric.unit_mut(core).checker;
+        st.recording = None;
+        st.playback = None;
         // Segment-granular resynchronisation: in spill mode the aborted
         // segment is fully buffered (through its ECP), so the remainder
         // is skipped in one cursor move instead of one stale-packet

@@ -72,6 +72,12 @@ pub struct FabricConfig {
     pub backpressure_retry_cycles: u64,
     /// Stall applied when a checker waits on an empty stream.
     pub checker_wait_cycles: u64,
+    /// Segment-verdict memo capacity per checker (entries). `0` disables
+    /// memoization entirely; any other value bounds the LRU verdict
+    /// cache. Memoization never changes results — a hit replays the
+    /// cached per-step timing profile, producing bit-identical reports —
+    /// so it defaults on.
+    pub memo_capacity: usize,
 }
 
 impl FabricConfig {
@@ -97,6 +103,7 @@ impl FabricConfig {
             ecp_compare_cycles: 8,
             backpressure_retry_cycles: 4,
             checker_wait_cycles: 4,
+            memo_capacity: crate::memo::DEFAULT_MEMO_CAPACITY,
         }
     }
 
@@ -231,19 +238,26 @@ pub struct CoreUnit {
     pub checker: CheckerState,
     /// Spilled packets already charged for DMA cost (engine bookkeeping).
     pub(crate) spill_charged: u64,
+    /// Main-role: a fault shot is armed or in flight on this stream, so
+    /// its checkers must not serve verdicts from the memo (the harness
+    /// keeps this in sync with the fault driver).
+    pub(crate) memo_blocked: bool,
 }
 
 impl CoreUnit {
     fn new(config: &FabricConfig) -> Self {
         let mut fifo = BufferFifo::new(config.fifo_entry_bytes, config.checkpoint_slots);
         fifo.set_spill(config.dma_spill);
+        let mut checker = CheckerState::new();
+        checker.memo = crate::memo::VerdictMemo::new(config.memo_capacity);
         CoreUnit {
             attr: CoreAttr::Compute,
             tracker: SegmentTracker::new(config.segment_limit),
             fifo,
             checking_enabled: false,
-            checker: CheckerState::new(),
+            checker,
             spill_charged: 0,
+            memo_blocked: false,
         }
     }
 }
@@ -259,6 +273,10 @@ pub struct FabricStats {
     pub segments_ok: u64,
     /// Segments that failed verification.
     pub segments_failed: u64,
+    /// Segment applies served from the verdict memo (replay skipped).
+    pub memo_hits: u64,
+    /// Memoizable segment applies that missed the verdict memo.
+    pub memo_misses: u64,
 }
 
 /// The FlexStep fabric state shared by all cores.

@@ -91,12 +91,27 @@ pub fn inject_random_fault<R: Rng>(
             (FaultTarget::InstCount, bit)
         }
     };
+    drop_recordings(fabric, main);
     Some(InjectionRecord {
         main_core: main,
         target,
         bit,
         at_cycle: now,
     })
+}
+
+/// Drops any in-progress verdict-memo recording on `main`'s checkers.
+///
+/// Mutating an in-flight packet already poisons the DBC's banked
+/// fingerprints, but a checker that captured its segment's fingerprint
+/// *before* the flip could still finish recording against the pristine
+/// hashes and cache a profile for a stream that no longer exists — this
+/// is the injectors' half of the fault-bypass contract (DESIGN.md §13).
+fn drop_recordings(fabric: &mut Fabric, main: usize) {
+    let checkers: Vec<usize> = fabric.checkers_of(main).to_vec();
+    for checker in checkers {
+        fabric.unit_mut(checker).checker.recording = None;
+    }
 }
 
 /// Record of a targeted (coverage-sweep) injection: one packet of the
@@ -185,6 +200,7 @@ pub fn inject_targeted_fault<R: Rng>(
             _ => unreachable!("candidate class checked above"),
         }
     }
+    drop_recordings(fabric, main);
     Some(TargetedInjection {
         main_core: main,
         target,

@@ -346,7 +346,7 @@ impl VerifiedRun {
             }
         }
         let n = mains.len();
-        Ok(VerifiedRun {
+        let mut run = VerifiedRun {
             fs,
             mains,
             checkers,
@@ -361,7 +361,9 @@ impl VerifiedRun {
             faults: FaultDriver::new(fault_plan),
             injections: Vec::new(),
             trace,
-        })
+        };
+        run.sync_fault_memo_blocks();
+        Ok(run)
     }
 
     // ----- deprecated constructors -----------------------------------------
@@ -619,6 +621,27 @@ impl VerifiedRun {
                 o.on_shot_expired(main, now);
             }
         }
+        self.sync_fault_memo_blocks();
+    }
+
+    /// Re-derives the per-main `memo_blocked` flags from the fault
+    /// driver: any channel with a shot still armed or in flight must be
+    /// replayed for real (DESIGN.md §13 — a cached verdict would mask
+    /// the injection window). Called whenever the pending set changes.
+    fn sync_fault_memo_blocks(&mut self) {
+        for &m in &self.mains {
+            self.fs.fabric.unit_mut(m).memo_blocked = false;
+        }
+        let blocked: Vec<usize> = self.faults.pending_channels().collect();
+        let any_pending = !blocked.is_empty();
+        for channel in blocked {
+            let main = self.mains[channel];
+            self.fs.fabric.unit_mut(main).memo_blocked = true;
+        }
+        // Shots fire between engine steps, so superblock batching would
+        // blur the injection cycle: single-step while any shot is armed
+        // or in flight, and resume batching once the plan has played out.
+        self.fs.set_main_batching(!any_pending);
     }
 
     /// Executes one scheduling quantum: polls arbiters, fires due fault
@@ -649,6 +672,7 @@ impl VerifiedRun {
             let (fired, expired) =
                 self.faults
                     .fire_due(&mut self.fs.fabric, &self.mains, |slot| done[slot], now);
+            let pending_set_changed = !fired.is_empty() || !expired.is_empty();
             for injection in fired {
                 for o in &mut self.observers {
                     o.on_fault_injected(&injection);
@@ -661,12 +685,19 @@ impl VerifiedRun {
                     o.on_shot_expired(main, now);
                 }
             }
+            if pending_set_changed {
+                self.sync_fault_memo_blocks();
+            }
         }
         let core = match self.fs.soc.next_ready() {
             Some(c) => c,
             None => return false,
         };
-        self.steps += 1;
+        // Pin the clock to the dispatched (earliest-ready) core before
+        // stepping: every `now()` read inside the step then depends only
+        // on per-core timelines, not on how many instructions previous
+        // steps batched — the keystone of memo-on/off report identity.
+        self.fs.soc.touch_clock(core);
         // Segment open/close observation needs the tracker state from
         // before the step; skip the probe entirely when nobody watches.
         let seg_before = if self.observers.is_empty() {
@@ -675,6 +706,14 @@ impl VerifiedRun {
             self.slot_of[core].map(|_| self.fs.fabric.unit(core).tracker.open_seq())
         };
         let step = self.fs.step(core);
+        // A logged superblock retires many instructions in one engine
+        // step: weight it so `engine_steps` stays an instruction-granular
+        // progress measure, comparable across batching modes.
+        self.steps += match &step {
+            EngineStep::MainBlock { retired } => *retired,
+            EngineStep::CheckerBlock { replayed } => *replayed,
+            _ => 1,
+        };
         if matches!(step, EngineStep::Idle)
             && self.slot_of[core].is_none()
             && self.fs.fabric.channel_of(core).is_none()
@@ -899,6 +938,105 @@ mod tests {
 
     fn dual(p: &Program, fabric: FabricConfig) -> VerifiedRun {
         Scenario::new(p).cores(2).fabric(fabric).build().unwrap()
+    }
+
+    /// A workload the verdict memo can actually serve: a stateless
+    /// inner loop (every live register re-derived from immediates each
+    /// iteration) sized so one outer iteration spans exactly two
+    /// checking segments. The outer trip count lives in memory and is
+    /// touched only in a 4-instruction epilogue, so one segment per
+    /// iteration repeats bit-for-bit (hits from the second iteration
+    /// on) while the other always misses. See DESIGN.md §13.
+    fn memoizable_loop(outer: i64) -> Program {
+        let mut asm = Assembler::new("memoizable_loop");
+        asm.li(XReg::A2, 0x2000_0000);
+        asm.li(XReg::T0, outer);
+        asm.sd(XReg::A2, XReg::T0, 8);
+        // Keep the prologue >= 4 instructions so the second segment
+        // boundary of each outer iteration lands on or before the
+        // counter load below (boundaries sit at 5000*k - prologue_len
+        // instructions into the 10_000-instruction outer body).
+        for _ in 0..4 {
+            asm.nop();
+        }
+        asm.label("outer").unwrap();
+        asm.li(XReg::T6, 0); // kill the loaded trip count: snapshots repeat
+        asm.li(XReg::T0, 1998);
+        asm.label("inner").unwrap();
+        asm.li(XReg::A0, 77);
+        asm.add(XReg::A1, XReg::A0, XReg::A0);
+        asm.sd(XReg::A2, XReg::A1, 0);
+        asm.addi(XReg::T0, XReg::T0, -1);
+        asm.bnez(XReg::T0, "inner");
+        // Pad the outer body to exactly 2 x segment_limit (5000)
+        // instructions: 2 + 5*1998 + 4 nops + 4 = 10_000.
+        for _ in 0..4 {
+            asm.nop();
+        }
+        asm.ld(XReg::T6, XReg::A2, 8);
+        asm.addi(XReg::T6, XReg::T6, -1);
+        asm.sd(XReg::A2, XReg::T6, 8);
+        asm.bnez(XReg::T6, "outer");
+        asm.ecall();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn memo_serves_repeating_segments_and_reports_stay_bit_identical() {
+        let p = memoizable_loop(8);
+        let mut on = Scenario::new(&p).cores(2).build().unwrap();
+        let r_on = on.run_to_completion(100_000_000);
+        assert!(r_on.completed);
+        assert_eq!(r_on.segments_failed, 0);
+        let stats = &on.fabric().stats;
+        assert!(
+            stats.memo_hits >= 5,
+            "repeating segments must be served from the memo: {} hits / {} misses",
+            stats.memo_hits,
+            stats.memo_misses
+        );
+        assert!(stats.memo_misses > 0, "first sighting is always a miss");
+
+        let mut off = Scenario::new(&p).cores(2).memo(false).build().unwrap();
+        let r_off = off.run_to_completion(100_000_000);
+        assert_eq!(off.fabric().stats.memo_hits, 0);
+        assert_eq!(
+            r_on.to_json(),
+            r_off.to_json(),
+            "memo hits must replay the exact timing profile"
+        );
+    }
+
+    #[test]
+    fn memo_capacity_zero_via_builder_disables_lookups() {
+        let p = memoizable_loop(4);
+        let mut run = Scenario::new(&p).cores(2).memo_capacity(0).build().unwrap();
+        let r = run.run_to_completion(100_000_000);
+        assert!(r.completed);
+        assert_eq!(run.fabric().stats.memo_hits, 0);
+        assert_eq!(run.fabric().stats.memo_misses, 0);
+    }
+
+    #[test]
+    fn armed_fault_channel_is_never_served_from_the_memo() {
+        // The shot never fires (armed far past the run), but while it
+        // is pending its channel must take the full-replay path: a
+        // cached verdict would mask the injection window.
+        let p = memoizable_loop(8);
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(FaultPlan::bit_flip_at(u64::MAX / 2, FaultTarget::EntryData))
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(100_000_000);
+        assert!(r.completed);
+        assert_eq!(r.shots_expired, 1);
+        let stats = &run.fabric().stats;
+        assert_eq!(
+            stats.memo_hits, 0,
+            "a channel with an armed shot must never hit the memo"
+        );
+        assert_eq!(stats.memo_misses, 0, "blocked applies are not misses");
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub mod fabric;
 pub mod fault;
 pub mod harness;
 pub mod json;
+mod memo;
 pub mod packet;
 pub mod rcpm;
 pub mod scenario;

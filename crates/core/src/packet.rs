@@ -226,6 +226,140 @@ impl PacketRef<'_> {
     }
 }
 
+/// One mixing round of the segment fingerprint hash (the splitmix64
+/// finaliser over an accumulator): folds the 64-bit word `v` into `h`.
+/// Order-sensitive and full-avalanche, so any single-bit change anywhere
+/// in a packet stream flips about half the final fingerprint bits.
+#[inline]
+pub(crate) fn hash_mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Seed of the segment fingerprint hash (the FNV-1a offset basis, an
+/// arbitrary non-zero constant).
+pub(crate) const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds an [`ArchSnapshot`]'s architectural payload — pc, both register
+/// files and `fcsr`, 66 words in the checkpoint layout — into `h`.
+///
+/// Deliberately *not* a [`Checkpoint`] hash: the wrapping `seq` and `tag`
+/// are bookkeeping that differ on every segment, and a fingerprint that
+/// included them could never match a recurring segment.
+pub(crate) fn hash_snapshot(mut h: u64, s: &ArchSnapshot) -> u64 {
+    h = hash_mix(h, s.pc);
+    for w in s.xregs {
+        h = hash_mix(h, w);
+    }
+    for w in s.fregs {
+        h = hash_mix(h, w);
+    }
+    hash_mix(h, s.fcsr)
+}
+
+/// Generation-indexed handle to a checkpoint payload in a [`CpSlab`].
+///
+/// A handle is only valid while the slab slot's generation matches: once
+/// the payload is freed (segment consumed, skipped or reset) the slot's
+/// generation is bumped, so a stale handle can never silently read a
+/// recycled slot — [`CpSlab::get`] returns `None` and the freeing paths
+/// panic on a double free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CpHandle {
+    idx: u32,
+    gen: u32,
+}
+
+#[derive(Debug, Clone)]
+struct CpSlot {
+    gen: u32,
+    cp: Option<Checkpoint>,
+}
+
+/// Slab allocator for out-of-line checkpoint payloads (>0.5 KiB each).
+///
+/// The DBC keeps its in-order queue small by storing [`Checkpoint`]s here
+/// and threading [`CpHandle`]s through the stream slots. Freed slots go
+/// on a free list and are recycled in LIFO order; the generation check
+/// turns any use-after-free into a loud failure instead of silently
+/// serving another segment's checkpoint.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CpSlab {
+    slots: Vec<CpSlot>,
+    free: Vec<u32>,
+}
+
+impl CpSlab {
+    /// Stores `cp`, recycling a freed slot when one is available.
+    pub(crate) fn alloc(&mut self, cp: Checkpoint) -> CpHandle {
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.cp.is_none(), "free-listed slot must be empty");
+            slot.cp = Some(cp);
+            CpHandle { idx, gen: slot.gen }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab index fits u32");
+            self.slots.push(CpSlot {
+                gen: 0,
+                cp: Some(cp),
+            });
+            CpHandle { idx, gen: 0 }
+        }
+    }
+
+    /// Resolves a handle; `None` if it was freed (stale generation).
+    pub(crate) fn get(&self, h: CpHandle) -> Option<&Checkpoint> {
+        let slot = self.slots.get(h.idx as usize)?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        slot.cp.as_ref()
+    }
+
+    /// Mutable companion of [`CpSlab::get`].
+    pub(crate) fn get_mut(&mut self, h: CpHandle) -> Option<&mut Checkpoint> {
+        let slot = self.slots.get_mut(h.idx as usize)?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        slot.cp.as_mut()
+    }
+
+    /// Frees the payload behind `h`, returning it and invalidating every
+    /// outstanding copy of the handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale — a double free is a datapath bug, never
+    /// a recoverable condition.
+    pub(crate) fn free(&mut self, h: CpHandle) -> Checkpoint {
+        let slot = &mut self.slots[h.idx as usize];
+        assert_eq!(slot.gen, h.gen, "checkpoint handle used after free");
+        let cp = slot.cp.take().expect("checkpoint handle used after free");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(h.idx);
+        cp
+    }
+
+    /// Frees every live payload (FIFO reset), invalidating all handles.
+    pub(crate) fn clear(&mut self) {
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if slot.cp.take().is_some() {
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(idx as u32);
+            }
+        }
+    }
+
+    /// Number of live payloads.
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
 /// A mutable view of a buffered packet (fault injection into in-flight
 /// data).
 #[derive(Debug)]
@@ -328,6 +462,51 @@ mod tests {
         assert_eq!(cp.bytes(), ArchSnapshot::BYTES + 8);
         assert!(cp.is_checkpoint());
         assert_eq!(Packet::InstCount(5).bytes(), 8);
+    }
+
+    #[test]
+    fn slab_recycles_slots_under_fresh_generations() {
+        let mut slab = CpSlab::default();
+        let cp = |n: u64| Checkpoint {
+            snapshot: ArchState::new(n).snapshot(),
+            seq: n,
+            tag: 0,
+        };
+        let a = slab.alloc(cp(1));
+        let b = slab.alloc(cp(2));
+        assert_eq!(slab.get(a).unwrap().seq, 1);
+        assert_eq!(slab.free(a).seq, 1);
+        assert_eq!(slab.live(), 1);
+        // The freed slot is recycled, but under a new generation: the
+        // stale handle keeps resolving to None, not to the new payload.
+        let c = slab.alloc(cp(3));
+        assert_eq!(slab.live(), 2);
+        assert!(slab.get(a).is_none(), "stale handle must not resolve");
+        assert_eq!(slab.get(c).unwrap().seq, 3);
+        assert_eq!(slab.get(b).unwrap().seq, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "used after free")]
+    fn slab_double_free_panics() {
+        let mut slab = CpSlab::default();
+        let h = slab.alloc(Checkpoint {
+            snapshot: snap(),
+            seq: 0,
+            tag: 0,
+        });
+        slab.free(h);
+        slab.free(h);
+    }
+
+    #[test]
+    fn snapshot_hash_ignores_seq_and_tag_but_sees_state() {
+        let s1 = ArchState::new(1).snapshot();
+        let mut s2 = s1;
+        let h = hash_snapshot(HASH_SEED, &s1);
+        assert_eq!(h, hash_snapshot(HASH_SEED, &s2), "pure function");
+        s2.xregs[5] ^= 1;
+        assert_ne!(h, hash_snapshot(HASH_SEED, &s2), "single bit flips hash");
     }
 
     #[test]

@@ -279,6 +279,13 @@ impl FaultDriver {
         self.next < self.shots.len()
     }
 
+    /// Channels (main slots) with shots still armed or in flight — the
+    /// harness blocks the verdict memo on these streams until every shot
+    /// has fired or expired.
+    pub(crate) fn pending_channels(&self) -> impl Iterator<Item = usize> + '_ {
+        self.shots[self.next..].iter().map(|s| s.channel)
+    }
+
     /// Total shots scheduled by the plan.
     pub(crate) fn armed(&self) -> u64 {
         self.shots.len() as u64
@@ -898,6 +905,29 @@ impl Scenario {
     /// [`FabricConfig::paper`]).
     pub fn fabric(mut self, fabric: FabricConfig) -> Self {
         self.fabric = fabric;
+        self
+    }
+
+    /// Enables or disables segment-verdict memoization (default: on,
+    /// via [`FabricConfig::paper`]). Memoization never changes results —
+    /// a memo hit replays the cached per-step timing profile, so reports
+    /// are bit-identical either way; `memo(false)` exists for A/B
+    /// benchmarking and paranoia runs.
+    pub fn memo(mut self, enable: bool) -> Self {
+        if enable {
+            if self.fabric.memo_capacity == 0 {
+                self.fabric.memo_capacity = crate::memo::DEFAULT_MEMO_CAPACITY;
+            }
+        } else {
+            self.fabric.memo_capacity = 0;
+        }
+        self
+    }
+
+    /// Bounds the per-checker verdict cache to `entries` (0 disables,
+    /// like `memo(false)`).
+    pub fn memo_capacity(mut self, entries: usize) -> Self {
+        self.fabric.memo_capacity = entries;
         self
     }
 

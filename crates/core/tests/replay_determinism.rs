@@ -7,11 +7,12 @@
 //! must equal an unverified run's.
 
 use flexstep_core::harness::baseline_cycles;
-use flexstep_core::{FabricConfig, Scenario};
+use flexstep_core::{FabricConfig, FaultPlan, FaultTarget, Scenario, Topology};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::inst::*;
 use flexstep_isa::reg::{FReg, XReg};
 use flexstep_sim::{Soc, SocConfig};
+use flexstep_workloads::builder::control_loop_kernel_at;
 use proptest::prelude::*;
 
 /// Registers the generator may freely clobber (a2 = data base, a1 = loop
@@ -166,7 +167,20 @@ fn body_op() -> impl Strategy<Value = BodyOp> {
 /// Builds a terminating program: an initialised data region, a loop of
 /// `iters` iterations over the generated body, then `ecall`.
 fn build_program(body: &[BodyOp], iters: i64) -> Program {
-    let mut asm = Assembler::new("prop_program");
+    build_program_at(body, iters, None)
+}
+
+/// Same, but placed in a per-slot text/data window so several instances
+/// can run side by side on a multi-main topology.
+fn build_program_at(body: &[BodyOp], iters: i64, slot: Option<u64>) -> Program {
+    let mut asm = match slot {
+        None => Assembler::new("prop_program"),
+        Some(slot) => Assembler::with_bases(
+            format!("prop_program{slot}"),
+            0x1000_0000 + slot * 0x10_0000,
+            0x2000_0000 + slot * 0x10_0000,
+        ),
+    };
     asm.data_label("region").unwrap();
     for i in 0..80u64 {
         asm.data_u64s(&[i.wrapping_mul(0x9E37_79B9_7F4A_7C15)]);
@@ -347,5 +361,111 @@ proptest! {
 
         let base = baseline_cycles(&program, 5_000_000).expect("baseline");
         prop_assert!(report.main_finish_cycle >= base);
+    }
+
+    /// The segment-verdict memo must be architecturally and temporally
+    /// invisible: for any program, topology, and fault plan, the memo-on
+    /// and memo-off runs serialise to byte-identical reports. Hits replay
+    /// the recorded cycle/consumption profile exactly; channels with an
+    /// armed or in-flight fault shot bypass the memo and re-execute.
+    #[test]
+    fn memo_on_and_off_reports_are_byte_identical(
+        body in proptest::collection::vec(body_op(), 4..24),
+        iters in 30i64..120,
+        shape in 0usize..3,
+        faulted in any::<bool>(),
+        tiny_cache in any::<bool>(),
+    ) {
+        // A small segment limit makes even short programs cross many
+        // segment boundaries; loop-heavy bodies then produce real hits.
+        let fabric = FabricConfig { segment_limit: 150, ..FabricConfig::paper() };
+        let p0 = build_program_at(&body, iters, Some(0));
+        let p1 = build_program_at(&body, iters, Some(1));
+
+        let mut jsons = Vec::new();
+        let mut hits = 0u64;
+        for memo in [false, true] {
+            let mut scenario = match shape {
+                // 1 main : 1 checker, the Fig. 4 DCLS-like pair.
+                0 => Scenario::new(&p0).cores(2),
+                // Two pairs side by side.
+                1 => Scenario::new(&p0).program(&p1).cores(4),
+                // Two mains arbitrating over one shared checker (§III-C).
+                _ => Scenario::new(&p0)
+                    .program(&p1)
+                    .cores(3)
+                    .topology(Topology::SharedChecker { checkers: 1 }),
+            };
+            scenario = scenario
+                .fabric(fabric)
+                .memo(memo)
+                .memo_capacity(if tiny_cache { 4 } else { 64 });
+            if faulted {
+                scenario = scenario.fault_plan(
+                    FaultPlan::bit_flip_at(10_000, FaultTarget::EntryData).with_seed(7),
+                );
+            }
+            let mut run = scenario.build().expect("setup");
+            let report = run.run_to_completion(50_000_000);
+            prop_assert!(report.completed, "memo={memo} run must finish");
+            if memo {
+                hits = run.fabric().stats.memo_hits;
+            }
+            jsons.push(report.to_json());
+        }
+        prop_assert_eq!(&jsons[0], &jsons[1], "memo on/off reports diverged (hits={})", hits);
+    }
+
+    /// Same identity on a workload engineered to produce real memo hits
+    /// (`control_loop_kernel` repeats architectural state across
+    /// segment-aligned repetitions): the hit path — recorded-profile
+    /// playback instead of re-execution — must be byte-for-byte
+    /// indistinguishable from a full replay, across dedicated and
+    /// shared-checker topologies, cache-eviction pressure, and armed
+    /// fault shots (which bypass the memo on the targeted channel).
+    #[test]
+    fn memo_hits_are_invisible_across_topologies(
+        segments_per_rep in 2i64..5,
+        reps in 2i64..5,
+        shape in 0usize..3,
+        faulted in any::<bool>(),
+        tiny_cache in any::<bool>(),
+    ) {
+        let fabric = FabricConfig { segment_limit: 150, ..FabricConfig::paper() };
+        let p0 = control_loop_kernel_at("ctrl0", 150, segments_per_rep, reps, 0);
+        let p1 = control_loop_kernel_at("ctrl1", 150, segments_per_rep, reps, 1);
+
+        let mut jsons = Vec::new();
+        let mut hits = 0u64;
+        for memo in [false, true] {
+            let mut scenario = match shape {
+                0 => Scenario::new(&p0).cores(2),
+                1 => Scenario::new(&p0).program(&p1).cores(4),
+                _ => Scenario::new(&p0)
+                    .program(&p1)
+                    .cores(3)
+                    .topology(Topology::SharedChecker { checkers: 1 }),
+            };
+            scenario = scenario
+                .fabric(fabric)
+                .memo(memo)
+                .memo_capacity(if tiny_cache { 4 } else { 64 });
+            if faulted {
+                scenario = scenario.fault_plan(
+                    FaultPlan::bit_flip_at(2_000, FaultTarget::EntryData).with_seed(11),
+                );
+            }
+            let mut run = scenario.build().expect("setup");
+            let report = run.run_to_completion(50_000_000);
+            prop_assert!(report.completed, "memo={memo} run must finish");
+            if memo {
+                hits = run.fabric().stats.memo_hits;
+            }
+            jsons.push(report.to_json());
+        }
+        if !faulted {
+            prop_assert!(hits > 0, "aligned workload must produce memo hits");
+        }
+        prop_assert_eq!(&jsons[0], &jsons[1], "memo on/off reports diverged (hits={})", hits);
     }
 }

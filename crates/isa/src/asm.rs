@@ -219,6 +219,12 @@ impl Assembler {
         self
     }
 
+    /// Number of instructions emitted so far — lets layout-sensitive
+    /// kernels (e.g. segment-aligned loops) pad to exact counts.
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
     // ----- data segment ---------------------------------------------------
 
     /// Defines a data label at the current end of the data segment.

@@ -739,9 +739,12 @@ impl System {
             | EngineStep::Core(StepKind::Wfi)
             | EngineStep::Core(StepKind::Idle)
             | EngineStep::Core(StepKind::Stopped(_))
+            | EngineStep::MainBlock { .. }
+            | EngineStep::SegmentOpened
             | EngineStep::Backpressured
             | EngineStep::CheckerApplied { .. }
             | EngineStep::CheckerProgress
+            | EngineStep::CheckerBlock { .. }
             | EngineStep::Idle => {}
         }
     }

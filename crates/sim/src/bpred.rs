@@ -106,6 +106,20 @@ impl BranchPredictor {
         &self.stats
     }
 
+    /// Clears the prediction tables (BHT to weakly-not-taken, BTB and
+    /// RAS empty) without touching the accumulated statistics — the
+    /// front-end flush a checker performs when it applies a segment
+    /// start checkpoint, so per-segment replay timing does not depend on
+    /// predictor state left over from earlier segments.
+    pub fn reset_tables(&mut self) {
+        self.bht.fill(1);
+        for e in &mut self.btb {
+            e.valid = false;
+        }
+        self.ras.clear();
+        self.tick = 0;
+    }
+
     fn bht_index(&self, pc: u64) -> usize {
         ((pc >> 2) as usize) & (self.bht.len() - 1)
     }

@@ -81,6 +81,19 @@ impl Core {
         self.resv = None;
     }
 
+    /// Resets the microarchitectural timing state — branch-predictor
+    /// tables, the load-use hazard latch and the L0 fetch buffer — as
+    /// part of a replay context switch. The FlexStep engine calls this
+    /// when a checker applies a segment start checkpoint, making each
+    /// segment's replay timing a pure function of (checkpoint, log
+    /// stream, code bytes) regardless of what the checker ran before;
+    /// that purity is what lets identical segments be memoized.
+    pub fn reset_replay_uarch(&mut self) {
+        self.bpred.reset_tables();
+        self.last_load_rd = None;
+        self.last_fetch_line = u64::MAX;
+    }
+
     /// Arms the core timer to fire at `cycle`.
     pub fn set_timer(&mut self, cycle: u64) {
         self.timer_cmp = Some(cycle);

@@ -24,8 +24,12 @@ use std::collections::BinaryHeap;
 /// Which algorithm [`Soc::next_ready`](crate::Soc::next_ready) uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedMode {
-    /// Binary-heap event queue: O(log n) per step.
+    /// Picks the measured-faster engine for the SoC's core count: the
+    /// linear scan at or below [`SchedMode::SCAN_CROSSOVER`] cores, the
+    /// event queue above it (see [`SchedMode::resolve`]).
     #[default]
+    Adaptive,
+    /// Binary-heap event queue: O(log n) per step.
     EventQueue,
     /// The naive O(n) `min_by_key` scan — the reference implementation,
     /// kept for A/B benchmarking and determinism cross-checks.
@@ -36,20 +40,33 @@ impl SchedMode {
     /// Core count above which the event queue beats the linear scan.
     ///
     /// Measured on the `perf_report` scheduler microbench
-    /// (`scheduler/next_ready_scaling` in `BENCH_pr2.json`): at 2–8
-    /// cores the `min_by_key` scan is a handful of nanoseconds and the
-    /// heap's push/pop constant loses; the curves cross at ~16 cores and
-    /// the scan's O(n) then widens linearly (2.6× slower at 64 cores).
-    pub const SCAN_CROSSOVER: usize = 16;
+    /// (`scheduler/next_ready_scaling` in `BENCH_pr2.json`): at 2 cores
+    /// the `min_by_key` scan wins (10.7 vs 22.6 ns/step) and still wins
+    /// at 8 (25.2 vs 37.4); by 16 cores the heap is already ahead
+    /// (42.9 vs 45.9) and the scan's O(n) then widens linearly (2.7×
+    /// slower at 64 cores). The crossover therefore sits between 8 and
+    /// 16 cores; the previous hardcoded threshold of 16 made `Adaptive`
+    /// pick the slower scan at exactly 16 cores.
+    pub const SCAN_CROSSOVER: usize = 8;
 
-    /// The default scheduler for an SoC of `num_cores`: the linear scan
-    /// below [`SchedMode::SCAN_CROSSOVER`], the event queue above it.
+    /// The faster scheduler for an SoC of `num_cores` per the measured
+    /// crossover: the linear scan at or below
+    /// [`SchedMode::SCAN_CROSSOVER`] cores, the event queue above it.
     /// Both pick identical cores; this only selects the faster engine.
     pub fn default_for(num_cores: usize) -> Self {
         if num_cores > Self::SCAN_CROSSOVER {
             SchedMode::EventQueue
         } else {
             SchedMode::LinearScan
+        }
+    }
+
+    /// Resolves `Adaptive` to the concrete engine used for `num_cores`;
+    /// explicit modes resolve to themselves.
+    pub fn resolve(self, num_cores: usize) -> Self {
+        match self {
+            SchedMode::Adaptive => Self::default_for(num_cores),
+            other => other,
         }
     }
 }
@@ -196,6 +213,20 @@ mod tests {
         cores[1].ready_at = 2;
         q.mark_dirty(1);
         assert_eq!(q.peek_min(&cores), Some(1), "7 > 2 after the churn");
+    }
+
+    #[test]
+    fn adaptive_resolves_to_the_measured_faster_mode() {
+        // Pinned against the `scheduler/next_ready_scaling` table in
+        // BENCH_pr2.json: at 2 cores the linear scan measures 10.7
+        // ns/step against the event queue's 22.6; at 64 cores the heap
+        // measures 49.6 against the scan's 135.4. Adaptive must never
+        // pick the slower engine at either scale.
+        assert_eq!(SchedMode::Adaptive.resolve(2), SchedMode::LinearScan);
+        assert_eq!(SchedMode::Adaptive.resolve(64), SchedMode::EventQueue);
+        // Explicit modes are not second-guessed.
+        assert_eq!(SchedMode::EventQueue.resolve(2), SchedMode::EventQueue);
+        assert_eq!(SchedMode::LinearScan.resolve(64), SchedMode::LinearScan);
     }
 
     #[test]

@@ -129,6 +129,24 @@ pub struct StepResult {
 /// both architectural results and timing.
 const DECODE_SLOTS: usize = 4096;
 
+/// Slots in the direct-mapped superblock cache (power of two), keyed by
+/// start pc. A superblock is a straight-line run of decoded µops (no
+/// control flow, atomics or system instructions) that
+/// [`Soc::run_to_ecall`] executes without re-entering the step loop
+/// between them; per-instruction timing is identical to stepping.
+const BLOCK_SLOTS: usize = 512;
+
+/// Longest straight-line run cached per superblock.
+const BLOCK_MAX: usize = 32;
+
+/// A cached straight-line run of decoded instructions starting at `pc`,
+/// valid while the code-write epoch is unchanged.
+struct Superblock {
+    pc: u64,
+    epoch: u64,
+    insts: Vec<Inst>,
+}
+
 /// The simulated SoC.
 pub struct Soc {
     cores: Vec<Core>,
@@ -145,6 +163,18 @@ pub struct Soc {
     fetch_line_mask: u64,
     /// Whether the per-core 16-word line buffer applies (64-byte lines).
     line_buf_ok: bool,
+    /// Bumped whenever executable text may have changed: on
+    /// [`Soc::load_program`] and on any store into a loaded text range.
+    /// Consumers caching decoded state (superblocks, the FlexStep
+    /// segment-verdict memo) key their entries on this epoch.
+    code_epoch: u64,
+    /// `(base, end)` of every loaded program text image, line-aligned
+    /// outward, for the store-into-code epoch check.
+    text_ranges: Vec<(u64, u64)>,
+    /// Whether [`Soc::run_to_ecall`] may dispatch superblocks.
+    superblocks: bool,
+    /// Direct-mapped superblock cache, keyed by start pc.
+    block_cache: Box<[Option<Superblock>]>,
 }
 
 impl std::fmt::Debug for Soc {
@@ -179,6 +209,10 @@ impl Soc {
             decode_cache: vec![None; DECODE_SLOTS].into_boxed_slice(),
             fetch_line_mask: !(config.mem.l1i.line_bytes as u64 - 1),
             line_buf_ok: config.mem.l1i.line_bytes == 64,
+            code_epoch: 0,
+            text_ranges: Vec::new(),
+            superblocks: true,
+            block_cache: (0..BLOCK_SLOTS).map(|_| None).collect(),
         })
     }
 
@@ -246,6 +280,79 @@ impl Soc {
         for core in &mut self.cores {
             core.last_fetch_line = u64::MAX;
         }
+        // Record the text image (line-aligned outward) for the
+        // store-into-code epoch check, and invalidate cached decode runs.
+        let base = program.text_base & self.fetch_line_mask;
+        let end = program.text_base + 4 * program.text.len() as u64;
+        if let Some(r) = self.text_ranges.iter_mut().find(|r| r.0 == base) {
+            r.1 = r.1.max(end);
+        } else {
+            self.text_ranges.push((base, end));
+        }
+        self.code_epoch += 1;
+    }
+
+    /// The code-write epoch: bumped on [`Soc::load_program`] and on any
+    /// store into a loaded text range. Anything caching decoded
+    /// instruction state (superblocks, the FlexStep segment-verdict
+    /// memo) must key on this value. Direct writes through
+    /// `mem.phys_mut()` bypass the epoch; callers patching code that way
+    /// must reload via `load_program`.
+    pub fn code_epoch(&self) -> u64 {
+        self.code_epoch
+    }
+
+    /// Whether the I-cache line at `line` overlaps a loaded text image.
+    #[inline]
+    fn line_in_text(&self, line: u64) -> bool {
+        let line_end = line | !self.fetch_line_mask;
+        self.text_ranges
+            .iter()
+            .any(|&(base, end)| line_end >= base && line < end)
+    }
+
+    /// Enables or disables superblock dispatch in [`Soc::run_to_ecall`]
+    /// (on by default). Timing and architectural results are identical
+    /// either way; the toggle exists for A/B benchmarking and the
+    /// equivalence tests.
+    pub fn set_superblocks(&mut self, on: bool) {
+        self.superblocks = on;
+    }
+
+    /// Charges one replayed-retire worth of bookkeeping to `core`
+    /// without executing anything: advances the clock to the core's
+    /// ready time, counts one (user-mode) retirement and schedules the
+    /// core `cycles` later — exactly the timing bookkeeping
+    /// [`Soc::step_core_with_port`] performs for a retired instruction.
+    /// Used by the FlexStep engine to play back a memoized checker
+    /// segment step-for-step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn charge_replay_retire(&mut self, id: usize, cycles: u64) {
+        self.charge_replay_retires(id, 1, cycles);
+    }
+
+    /// Batch form of [`Soc::charge_replay_retire`]: charges `count`
+    /// retires totalling `total_cycles` in one call. The core's local
+    /// timeline advances exactly as `count` individual charges would
+    /// advance it; the global clock is only pulled up to the core's
+    /// *current* ready time (what the first individual charge would do),
+    /// never to the end of the batch — dispatch order is earliest-ready,
+    /// so dragging `now` through the whole batch would warp other cores'
+    /// timelines forward past their own ready times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn charge_replay_retires(&mut self, id: usize, count: u64, total_cycles: u64) {
+        self.ready.mark_dirty(id);
+        self.now = self.now.max(self.cores[id].ready_at);
+        let core = &mut self.cores[id];
+        core.instret += count;
+        core.user_instret += count;
+        core.ready_at = self.now + total_cycles;
     }
 
     /// The earliest-ready running core (ties to the lowest id), or `None`
@@ -267,6 +374,13 @@ impl Soc {
         match self.sched_mode {
             SchedMode::EventQueue => self.ready.peek_min(&self.cores),
             SchedMode::LinearScan => self.next_ready_core(),
+            SchedMode::Adaptive => {
+                if self.cores.len() > SchedMode::SCAN_CROSSOVER {
+                    self.ready.peek_min(&self.cores)
+                } else {
+                    self.next_ready_core()
+                }
+            }
         }
     }
 
@@ -283,6 +397,21 @@ impl Soc {
     /// Advances idle time to `cycle` (monotonic; never moves backwards).
     pub fn advance_to(&mut self, cycle: u64) {
         self.now = self.now.max(cycle);
+    }
+
+    /// Advances the global clock to `id`'s ready time (never backwards).
+    ///
+    /// Drivers that dispatch strictly earliest-ready-first call this at
+    /// dispatch so `now()` reads are a pure function of the dispatched
+    /// core's timeline — independent of how many instructions earlier
+    /// engine steps batched. For such drivers the advance is exactly
+    /// what the core's next timed step would do anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn touch_clock(&mut self, id: usize) {
+        self.now = self.now.max(self.cores[id].ready_at);
     }
 
     /// Adds a stall to a core (models host-kernel execution time on that
@@ -380,6 +509,15 @@ impl Soc {
         // snooped), and skipping its LRU refresh cannot change any
         // replacement decision because no other line in the set was
         // touched since. Timing and replacement stay bit-exact.
+        //
+        // Replay fetches (checker data port supplied) never touch the
+        // modelled I-cache: the checker re-runs code its main core
+        // executed moments ago, so its I-side is treated as always-hit
+        // (0 cycles beyond the pipelined hit). This makes per-segment
+        // replay timing a pure function of (start checkpoint, log
+        // stream, code bytes) — the property the segment-verdict memo
+        // needs — and is why a checker's L1I stays cold (DESIGN.md §13).
+        let replay = custom.is_some();
         let pc = self.cores[id].state.pc;
         let line = pc & self.fetch_line_mask;
         let (word, fetch_cycles) = if self.cores[id].last_fetch_line == line {
@@ -389,6 +527,18 @@ impl Soc {
                 self.mem.phys().read_u32(pc)
             };
             (w, 0)
+        } else if replay {
+            self.cores[id].last_fetch_line = line;
+            if self.line_buf_ok {
+                let phys = self.mem.phys();
+                let core = &mut self.cores[id];
+                for (i, slot) in core.line_buf.iter_mut().enumerate() {
+                    *slot = phys.read_u32(line + 4 * i as u64);
+                }
+                (core.line_buf[(pc as usize >> 2) & 15], 0)
+            } else {
+                (self.mem.phys().read_u32(pc), 0)
+            }
         } else {
             let (word, fetch_total) = self.mem.fetch(id, pc);
             self.cores[id].last_fetch_line = line;
@@ -526,6 +676,11 @@ impl Soc {
                             c.last_fetch_line = u64::MAX;
                         }
                     }
+                    // A store into loaded text is (potential) code
+                    // patching: invalidate every cached decode run.
+                    if self.line_in_text(line) {
+                        self.code_epoch += 1;
+                    }
                 }
 
                 StepResult {
@@ -595,9 +750,200 @@ impl Soc {
         self.ready.mark_dirty(id);
     }
 
+    /// Whether `inst` may be folded into a superblock: straight-line,
+    /// non-atomic, non-system work whose timing has no control-flow
+    /// component and whose semantics read no live counters.
+    fn block_eligible(inst: &Inst) -> bool {
+        use flexstep_isa::inst::InstClass;
+        matches!(
+            inst.class(),
+            InstClass::Alu | InstClass::MulDiv | InstClass::Load | InstClass::Store | InstClass::Fp
+        )
+    }
+
+    /// Builds the superblock starting at `pc` into its slot. Metadata
+    /// only: words are read straight from physical memory with no timing
+    /// or cache effects — execution charges fetches per instruction,
+    /// exactly like stepping.
+    fn build_block(&mut self, pc: u64) -> usize {
+        let slot = ((pc >> 2) as usize) & (BLOCK_SLOTS - 1);
+        let mut insts = Vec::new();
+        let mut at = pc;
+        while insts.len() < BLOCK_MAX {
+            let word = self.mem.phys().read_u32(at);
+            match self.decode_cached(word) {
+                Some(inst) if Self::block_eligible(&inst) => insts.push(inst),
+                _ => break,
+            }
+            at += 4;
+        }
+        self.block_cache[slot] = Some(Superblock {
+            pc,
+            epoch: self.code_epoch,
+            insts,
+        });
+        slot
+    }
+
+    /// Executes the superblock at `id`'s pc, if any, retiring at most
+    /// `budget` instructions without re-entering the step loop between
+    /// them. Returns the retire count (0 when the next instruction is
+    /// not block-eligible). Per-instruction timing — fetch path, hazard
+    /// interlock, functional-unit costs — is identical to
+    /// [`Soc::step_core`]; a trap mid-block commits nothing and leaves
+    /// the faulting instruction for the step loop to classify. Single
+    /// driver only (used by [`Soc::run_to_ecall`]): it does not
+    /// interleave with other cores.
+    fn run_superblock(&mut self, id: usize, budget: u64) -> u64 {
+        self.run_superblock_logged(id, budget, |_| {})
+    }
+
+    /// `Soc::run_superblock` with a per-retire observation sink: after
+    /// each committed instruction `sink` receives the retiring memory
+    /// access (if any), letting a platform log the block's accesses
+    /// exactly as it would log individual [`StepKind::Retired`] steps.
+    /// Returns 0 (and runs nothing) when superblock dispatch is
+    /// disabled, the core is parked, or a timer is armed — callers fall
+    /// back to single-stepping.
+    pub fn run_superblock_logged<F>(&mut self, id: usize, budget: u64, mut sink: F) -> u64
+    where
+        F: FnMut(Option<&MemAccess>),
+    {
+        if !self.superblocks {
+            return 0;
+        }
+        {
+            let core = &self.cores[id];
+            if !core.is_running() || core.timer_cmp.is_some() || core.timer_pending {
+                return 0;
+            }
+        }
+        let pc0 = self.cores[id].state.pc;
+        let slot = ((pc0 >> 2) as usize) & (BLOCK_SLOTS - 1);
+        let slot = match &self.block_cache[slot] {
+            Some(b) if b.pc == pc0 && b.epoch == self.code_epoch => slot,
+            _ => self.build_block(pc0),
+        };
+        let block = self.block_cache[slot].take().expect("slot just filled");
+        self.ready.mark_dirty(id);
+        let prv = self.cores[id].state.prv;
+        let epoch0 = self.code_epoch;
+        let mut retired = 0u64;
+        // The block advances this core's *local* timeline; the global
+        // clock is pulled up once, at dispatch (exactly what the first
+        // single step would do). Dispatch order is earliest-ready, so
+        // dragging `self.now` through the whole block would warp
+        // earlier-ready cores' timelines forward past their own ready
+        // times and make engine-step interleaving observable.
+        self.now = self.now.max(self.cores[id].ready_at);
+        let mut local_now = self.now;
+        for inst in &block.insts {
+            if retired >= budget {
+                break;
+            }
+            // Clock advance, fetch, execute, timing: the step_impl
+            // sequence minus dispatch (no timer is armed — guarded
+            // above — so the latch step_impl performs is a no-op here).
+            local_now = local_now.max(self.cores[id].ready_at);
+            let now = local_now;
+            let pc = self.cores[id].state.pc;
+            let line = pc & self.fetch_line_mask;
+            let fetch_cycles = if self.cores[id].last_fetch_line == line {
+                0
+            } else {
+                let (_, fetch_total) = self.mem.fetch(id, pc);
+                self.cores[id].last_fetch_line = line;
+                if self.line_buf_ok {
+                    let phys = self.mem.phys();
+                    let core = &mut self.cores[id];
+                    for (i, w) in core.line_buf.iter_mut().enumerate() {
+                        *w = phys.read_u32(line + 4 * i as u64);
+                    }
+                }
+                fetch_total.saturating_sub(self.mem.latency().l1_hit)
+            };
+            let counters = CsrCounters {
+                cycle: now,
+                time: now,
+                instret: self.cores[id].instret,
+            };
+            let outcome = {
+                let mem = &mut self.mem;
+                let core = &mut self.cores[id];
+                let mut port = SocDataPort::new(mem, id);
+                execute(
+                    &mut core.state,
+                    inst,
+                    &counters,
+                    &self.costs,
+                    &mut port,
+                    &mut core.resv,
+                )
+            };
+            let exec = match outcome {
+                Ok(e) => e,
+                // State is unmodified on a stop; the step loop
+                // re-executes and classifies the instruction.
+                Err(_) => break,
+            };
+            debug_assert!(exec.branch.is_none(), "control flow is never in-block");
+            let mut cycles = 1 + fetch_cycles + exec.extra_cycles;
+            let core = &mut self.cores[id];
+            if let Some(load_rd) = core.last_load_rd {
+                let (r1, r2) = inst.reads_xregs();
+                if r1 == Some(load_rd) || r2 == Some(load_rd) {
+                    cycles += self.costs.load_use;
+                }
+            }
+            let stored_line = exec.mem.as_ref().and_then(|m| {
+                (!matches!(
+                    m.kind,
+                    crate::exec::MemAccessKind::Load | crate::exec::MemAccessKind::Lr
+                ))
+                .then_some(m.addr & self.fetch_line_mask)
+            });
+            core.last_load_rd = match (&exec.mem, inst.writes_xreg()) {
+                (Some(m), Some(rd))
+                    if matches!(
+                        m.kind,
+                        crate::exec::MemAccessKind::Load | crate::exec::MemAccessKind::Lr
+                    ) =>
+                {
+                    Some(rd)
+                }
+                _ => None,
+            };
+            core.instret += 1;
+            if prv == PrivMode::User {
+                core.user_instret += 1;
+            }
+            core.ready_at = now + cycles;
+            retired += 1;
+            sink(exec.mem.as_ref());
+            if let Some(line) = stored_line {
+                for c in &mut self.cores {
+                    if c.last_fetch_line == line {
+                        c.last_fetch_line = u64::MAX;
+                    }
+                }
+                if self.line_in_text(line) {
+                    self.code_epoch += 1;
+                }
+            }
+            // A store into text stales this block's decoded run.
+            if self.code_epoch != epoch0 {
+                break;
+            }
+        }
+        self.block_cache[slot] = Some(block);
+        retired
+    }
+
     /// Runs a single program on core 0 until it traps with an `ecall`,
     /// up to `max_instructions`. A convenience harness for tests and
-    /// single-core experiments; returns the retire count.
+    /// single-core experiments; returns the retire count. Straight-line
+    /// runs dispatch as superblocks (see [`Soc::set_superblocks`]);
+    /// timing is identical to pure stepping.
     ///
     /// # Panics
     ///
@@ -610,6 +956,12 @@ impl Soc {
         core.unpark();
         let mut retired = 0;
         while retired < max_instructions {
+            if self.superblocks {
+                retired += self.run_superblock(0, max_instructions - retired);
+                if retired >= max_instructions {
+                    break;
+                }
+            }
             match self.step_core(0).kind {
                 StepKind::Retired(_) => retired += 1,
                 StepKind::Trap {
@@ -798,6 +1150,91 @@ mod tests {
         s2.run_to_ecall(&p2, 100);
         let d = s1.now() as i64 - s2.now() as i64;
         assert_eq!(d, 1, "dependent use directly after a load stalls one cycle");
+    }
+
+    #[test]
+    fn superblocks_match_stepping_exactly() {
+        // Straight-line ALU/load/store runs interleaved with branches; a
+        // load-use interlock sits inside the block. Superblock dispatch
+        // must be cycle- and state-exact against pure stepping.
+        let mut asm = Assembler::new("blocks");
+        asm.li(XReg::SP, 0x2000);
+        asm.li(XReg::A1, 500);
+        asm.label("loop").unwrap();
+        for i in 0..6 {
+            asm.addi(XReg::A0, XReg::A0, i);
+        }
+        asm.sd(XReg::SP, XReg::A0, 0);
+        asm.ld(XReg::A2, XReg::SP, 0);
+        asm.push(Inst::Op {
+            op: IntOp::Add,
+            rd: XReg::A3,
+            rs1: XReg::A2,
+            rs2: XReg::A2,
+        });
+        asm.addi(XReg::A1, XReg::A1, -1);
+        asm.bnez(XReg::A1, "loop");
+        asm.ecall();
+        let p = asm.finish().unwrap();
+        let run = |blocks: bool| {
+            let mut soc = Soc::new(SocConfig::paper(1)).unwrap();
+            soc.set_superblocks(blocks);
+            let retired = soc.run_to_ecall(&p, 1_000_000);
+            (
+                retired,
+                soc.now(),
+                soc.core(0).instret,
+                soc.core(0).state.snapshot(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn code_epoch_bumps_on_store_into_text_not_data() {
+        let mut asm = Assembler::new("data_store");
+        asm.li(XReg::A0, 0x2000);
+        asm.sd(XReg::A0, XReg::A1, 0);
+        asm.ecall();
+        let p = asm.finish().unwrap();
+        let mut soc = Soc::new(SocConfig::paper(1)).unwrap();
+        soc.run_to_ecall(&p, 100);
+        assert_eq!(
+            soc.code_epoch(),
+            1,
+            "only the program load bumps the epoch; data stores do not"
+        );
+
+        let mut asm = Assembler::new("text_store");
+        asm.li(XReg::A0, 0x3000);
+        asm.sd(XReg::A0, XReg::A1, 0);
+        asm.ecall();
+        let p2 = asm.finish().unwrap();
+        // Aim the store into the loaded text image instead.
+        let mut asm = Assembler::new("text_store2");
+        asm.li(XReg::A0, p2.text_base as i64);
+        asm.sd(XReg::A0, XReg::A1, 0);
+        asm.ecall();
+        let p3 = asm.finish().unwrap();
+        let mut soc = Soc::new(SocConfig::paper(1)).unwrap();
+        soc.run_to_ecall(&p3, 100);
+        assert_eq!(
+            soc.code_epoch(),
+            2,
+            "a store into text is code patching and bumps the epoch"
+        );
+    }
+
+    #[test]
+    fn charge_replay_retire_matches_step_bookkeeping() {
+        let mut soc = Soc::new(SocConfig::paper(1)).unwrap();
+        soc.core_mut(0).unpark();
+        soc.core_mut(0).ready_at = 40;
+        soc.charge_replay_retire(0, 3);
+        assert_eq!(soc.now(), 40);
+        assert_eq!(soc.core(0).ready_at, 43);
+        assert_eq!(soc.core(0).instret, 1);
+        assert_eq!(soc.core(0).user_instret, 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! error-detection baseline can transform them (see
 //! [`nzdc`](crate::nzdc)).
 
-use flexstep_isa::asm::{Assembler, Program};
+use flexstep_isa::asm::{materialize_const, Assembler, Program};
 use flexstep_isa::inst::*;
 use flexstep_isa::reg::{FReg, XReg};
 
@@ -717,6 +717,110 @@ pub fn feature_search_kernel(name: &str, vectors: i64, dims: i64, rounds: i64) -
     asm.finish().expect("kernel assembles")
 }
 
+/// A segment-aligned stateless control loop — the best case for the
+/// segment-verdict memo (DESIGN.md §13) and the workload behind the
+/// `memo/control_loop_ab` rows in `perf_report`.
+///
+/// The loop body re-derives every live register from immediates each
+/// iteration, so the architectural state at checking-segment starts
+/// repeats bit-for-bit across repetitions. The repetition count lives
+/// in memory and is touched only by a four-instruction epilogue, so of
+/// the `segments_per_rep` segments spanned by one repetition, all but
+/// one hash identically every time: steady-state memo hit rate is
+/// `(segments_per_rep - 1) / segments_per_rep`.
+///
+/// `segment_insts` must match the fabric's `segment_limit` (paper:
+/// 5 000) — the loop body is padded to exactly
+/// `segment_insts * segments_per_rep` instructions so segment
+/// boundaries land at the same PCs in every repetition.
+pub fn control_loop_kernel(
+    name: &str,
+    segment_insts: i64,
+    segments_per_rep: i64,
+    reps: i64,
+) -> Program {
+    control_loop_kernel_in(Assembler::new(name), segment_insts, segments_per_rep, reps)
+}
+
+/// [`control_loop_kernel`] placed in a per-slot text/data window, so
+/// several instances can run side by side on multi-main topologies
+/// (programs bound to a scenario must use disjoint address windows).
+pub fn control_loop_kernel_at(
+    name: &str,
+    segment_insts: i64,
+    segments_per_rep: i64,
+    reps: i64,
+    slot: u64,
+) -> Program {
+    let asm = Assembler::with_bases(
+        name,
+        0x1000_0000 + slot * 0x10_0000,
+        0x2000_0000 + slot * 0x10_0000,
+    );
+    control_loop_kernel_in(asm, segment_insts, segments_per_rep, reps)
+}
+
+fn control_loop_kernel_in(
+    mut asm: Assembler,
+    segment_insts: i64,
+    segments_per_rep: i64,
+    reps: i64,
+) -> Program {
+    assert!(segment_insts >= 64, "segment too short to align against");
+    assert!(
+        segments_per_rep >= 2,
+        "need at least one counter-free segment"
+    );
+    assert!(reps >= 1);
+    let body = segment_insts * segments_per_rep;
+    // Inner iterations are 5 instructions; the rest of the body is
+    // 1 (kill counter) + li_len (inner trip count) + pads + 4 (epilogue).
+    let inner = (body - 1 - 3 - 4) / 5;
+    let li_len = materialize_const(I0, inner).len() as i64;
+    let pads = body - 1 - li_len - 5 * inner - 4;
+    assert!((0..10).contains(&pads), "pad computation off: {pads}");
+
+    asm.data_label("cell").unwrap();
+    asm.data_u64s(&[0, 0]); // [scratch store target, rep counter]
+    asm.la(PTR, "cell");
+    asm.li(CNT, reps);
+    asm.sd(PTR, CNT, 8);
+    // Keep the prologue at least 4 instructions: segment boundaries sit
+    // at `segment_insts*k - prologue_len` into the body, and the
+    // varying epilogue (last 4 instructions) must stay in one segment.
+    while asm.text_len() < 4 {
+        asm.nop();
+    }
+    assert!((asm.text_len() as i64) < segment_insts);
+
+    let top = asm.text_len();
+    asm.label("rep").unwrap();
+    asm.li(CNT, 0); // kill the loaded rep counter: snapshots repeat
+    asm.li(I0, inner);
+    asm.label("inner").unwrap();
+    asm.li(A0, 77);
+    asm.add(A1, A0, A0);
+    asm.sd(PTR, A1, 0);
+    asm.addi(I0, I0, -1);
+    asm.bnez(I0, "inner");
+    for _ in 0..pads {
+        asm.nop();
+    }
+    asm.ld(CNT, PTR, 8);
+    asm.addi(CNT, CNT, -1);
+    asm.sd(PTR, CNT, 8);
+    asm.bnez(CNT, "rep");
+    // The body retires `body` instructions per repetition; statically
+    // the 5-instruction inner loop appears once.
+    assert_eq!(
+        (asm.text_len() - top) as i64,
+        body - 5 * (inner - 1),
+        "static body size must match the padded layout"
+    );
+    asm.ecall();
+    asm.finish().expect("kernel assembles")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -746,6 +850,19 @@ mod tests {
             let retired = runs_to_completion(p);
             assert!(retired > 1_000, "{} too short: {retired}", p.name);
         }
+    }
+
+    #[test]
+    fn control_loop_kernel_retires_segment_aligned_counts() {
+        let p = control_loop_kernel("ctrl", 5_000, 2, 3);
+        let mut soc = Soc::new(SocConfig::paper(1)).expect("config");
+        let retired = soc.run_to_ecall(&p, 10_000_000);
+        // prologue + reps * (segment_insts * segments_per_rep) + ecall;
+        // the prologue is < 64 instructions, so alignment shows up as a
+        // small fixed remainder mod the body size.
+        let body = 10_000u64;
+        assert_eq!(retired / body, 3, "three repetitions");
+        assert!(retired % body < 64, "prologue must stay short: {retired}");
     }
 
     #[test]
