@@ -4,30 +4,50 @@
 //! coverage (detected/landed and detected/armed), emitted as a JSON
 //! artifact.
 //!
-//! Usage: `fig7_manycore [--quick] [--cores N] [--out PATH] [--trace PATH]`
+//! Usage: `fig7_manycore [--quick] [--recovery] [--cores N] [--out PATH] [--trace PATH]`
 //!
 //! - `--quick`: one 64-core campaign with 240 armed shots (CI).
+//! - `--recovery`: run under `RecoveryPolicy::Rollback { max_retries: 3 }`
+//!   — rows additionally report recovered/unrecovered counts and the
+//!   detect → verified-again latency distribution.
 //! - `--cores N`: override the core counts with a single count.
 //! - `--out PATH`: JSON artifact path (default `FIG7_MANYCORE.json`).
 //! - `--trace PATH`: additionally record the first row's chunk-0
 //!   schedule as size-bounded Chrome `trace_event` JSON (open in
 //!   `chrome://tracing` or Perfetto).
 
-use flexstep_bench::campaign::{fig7_manycore_sweep_traced, CampaignRow};
-use flexstep_bench::{arg_value, latency_histogram};
+use flexstep_bench::campaign::{fig7_manycore_sweep_recovery, CampaignRow};
+use flexstep_bench::{arg_value, latency_histogram, run_bin, write_artifact, BenchError};
+use flexstep_bench::{LatencyStats, RecoveryPolicy};
 use flexstep_core::json::{array, JsonObject};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_bin(run)
+}
+
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let recover = args.iter().any(|a| a == "--recovery");
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "FIG7_MANYCORE.json".into());
     let trace_path = arg_value(&args, "--trace");
-    let cores: Vec<usize> = match arg_value(&args, "--cores").and_then(|v| v.parse().ok()) {
-        Some(n) => vec![n],
+    let cores: Vec<usize> = match arg_value(&args, "--cores") {
+        Some(v) => {
+            let n = v
+                .parse()
+                .map_err(|_| BenchError::Config(format!("--cores expects a number, got {v:?}")))?;
+            vec![n]
+        }
         // Quick keeps the 64-core row: the artifact's floor is a
         // >=64-core campaign with >=200 armed shots.
         None if quick => vec![64],
         None => vec![16, 32, 64],
+    };
+    let policy = if recover {
+        RecoveryPolicy::Rollback { max_retries: 3 }
+    } else {
+        RecoveryPolicy::Detect
     };
 
     println!("Fig. 7 (many-core) — error-detection latency under a shared-checker campaign");
@@ -37,16 +57,22 @@ fn main() {
         "mean µs", "p99 µs", "max µs"
     );
     let trace = trace_path.as_ref().map(std::path::Path::new);
-    let rows = fig7_manycore_sweep_traced(&cores, quick, trace)
-        .expect("campaign configurations are valid");
+    let rows = fig7_manycore_sweep_recovery(&cores, quick, trace, policy)?;
     let mut rows_json = Vec::new();
     for row in &rows {
-        assert!(row.completed, "campaign chunks must finish: {row:?}");
-        assert!(
-            row.detected <= row.landed && row.landed <= row.armed,
-            "attribution invariant violated: {row:?}"
-        );
-        print_row(row);
+        if !row.completed {
+            return Err(BenchError::Invariant(format!(
+                "campaign chunks did not finish at {} cores",
+                row.cores
+            )));
+        }
+        if !(row.detected <= row.landed && row.landed <= row.armed) {
+            return Err(BenchError::Invariant(format!(
+                "attribution must hold detected <= landed <= armed, got {}/{}/{} at {} cores",
+                row.detected, row.landed, row.armed, row.cores
+            )));
+        }
+        print_row(row, recover);
         rows_json.push(row.to_json());
     }
 
@@ -54,29 +80,36 @@ fn main() {
     {
         let mut meta = JsonObject::new();
         meta.field_str("tool", "fig7_manycore")
-            .field_bool("quick", quick);
+            .field_bool("quick", quick)
+            .field_bool("recovery", recover);
+        if recover {
+            meta.field_u64("max_retries", 3);
+        }
         out.field_raw("meta", &meta.finish());
     }
     out.field_raw("rows", &array(&rows_json));
     let json = out.finish();
-    std::fs::write(&out_path, &json).expect("write artifact");
+    write_artifact(&out_path, &json)?;
     println!();
     println!("wrote {out_path}");
     if let Some(path) = &trace_path {
         println!("wrote schedule trace {path} (open in chrome://tracing or Perfetto)");
     }
+    Ok(())
 }
 
-fn print_row(row: &CampaignRow) {
-    let (mean, p99, max) = row
-        .stats
-        .map_or(("n/a".into(), "n/a".into(), "n/a".into()), |s| {
-            (
-                format!("{:.1}", s.mean_us),
-                format!("{:.1}", s.p99_us),
-                format!("{:.1}", s.max_us),
-            )
-        });
+fn fmt_stats(stats: &Option<LatencyStats>) -> (String, String, String) {
+    stats.map_or(("n/a".into(), "n/a".into(), "n/a".into()), |s| {
+        (
+            format!("{:.1}", s.mean_us),
+            format!("{:.1}", s.p99_us),
+            format!("{:.1}", s.max_us),
+        )
+    })
+}
+
+fn print_row(row: &CampaignRow, recover: bool) {
+    let (mean, p99, max) = fmt_stats(&row.stats);
     println!(
         "{:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7.1}% {:>7.1}% {:>8} {:>8} {:>8}  |{}|",
         row.cores,
@@ -93,6 +126,16 @@ fn print_row(row: &CampaignRow) {
         max,
         latency_histogram(&row.latencies_us),
     );
+    if recover {
+        let (mean, p99, max) = fmt_stats(&row.recovery_stats);
+        println!(
+            "       recovery: {:>4} recovered {:>4} unrecovered  rate {:>6.1}%  \
+             latency mean {mean} µs p99 {p99} µs max {max} µs",
+            row.recovered,
+            row.unrecovered,
+            100.0 * row.recovery_rate(),
+        );
+    }
     for pool in &row.per_pool {
         let mean = pool
             .stats

@@ -13,12 +13,17 @@
 //!   schedule as size-bounded Chrome `trace_event` JSON (open in
 //!   `chrome://tracing` or Perfetto).
 
-use flexstep_bench::arg_value;
 use flexstep_bench::manycore::fig8_sweep_traced;
+use flexstep_bench::{arg_value, run_bin, write_artifact, BenchError};
 use flexstep_core::json::{array, JsonObject};
 use flexstep_soc::{flexstep_soc, vanilla_soc};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_bin(run)
+}
+
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().collect();
     let flag = |k: &str| args.iter().any(|a| a == k);
     let quick = flag("--quick");
@@ -93,7 +98,12 @@ fn main() {
         );
         let trace = trace_path.as_ref().map(std::path::Path::new);
         for row in fig8_sweep_traced(cores, quick, trace) {
-            assert!(row.completed, "many-core run must finish: {row:?}");
+            if !row.completed {
+                return Err(BenchError::Invariant(format!(
+                    "many-core run did not finish within budget at {} cores",
+                    row.cores
+                )));
+            }
             println!(
                 "{:>6} {:>6} {:>6} {:>12} {:>12.3e} {:>9} {:>5} {:>5} {:>12} {:>9}",
                 row.cores,
@@ -128,7 +138,8 @@ fn main() {
     out.field_raw("model", &array(&model_rows));
     out.field_raw("simulation", &array(&sim_rows_json));
     let json = out.finish();
-    std::fs::write(&out_path, &json).expect("write artifact");
+    write_artifact(&out_path, &json)?;
     println!();
     println!("wrote {out_path}");
+    Ok(())
 }

@@ -7,7 +7,7 @@
 //! workload (DESIGN.md §13), and writes everything as JSON (default
 //! `BENCH_pr6.json`) via the shared [`flexstep_core::json`] writer.
 //!
-//! Usage: `perf_report [--quick] [--naive] [--guard] [--out PATH]`
+//! Usage: `perf_report [--quick] [--naive] [--guard] [--baseline PATH] [--out PATH]`
 //!
 //! - `--quick`: reduced repetitions (CI keep-alive — proves the binary
 //!   and the measurement path work, not a stable measurement).
@@ -16,20 +16,26 @@
 //!   pipeline/macro sections for external A/B driving).
 //! - `--guard`: exit non-zero if the memo-on control-loop run regresses
 //!   below PR 2's dual-core pipeline figure (2.2251e7 steps/s) — the CI
-//!   floor for the PR 6 datapath.
+//!   floor for the PR 6 datapath — or if the Detect-policy pipeline's
+//!   ns/step drifts more than 1.5x above the figure recorded in the
+//!   PR 6 baseline artifact (recovery bookkeeping must stay free on the
+//!   Detect path; the slack absorbs container wall-clock jitter).
+//! - `--baseline PATH`: PR 6 baseline artifact the guard diffs against
+//!   (default `BENCH_pr6.json`; skipped with a warning if absent).
 //! - `--out PATH`: output file.
 //!
 //! The embedded `seed_baseline` block records the same microbenches
 //! measured at the pre-optimisation commit (`cargo bench`, same
 //! container class) so the report always carries its before/after table.
 
-use flexstep_bench::{FabricConfig, Scenario, VerifiedRun};
+use flexstep_bench::{run_bin, write_artifact, BenchError, FabricConfig, Scenario, VerifiedRun};
 use flexstep_core::json::JsonObject;
 use flexstep_core::{BufferFifo, LogEntry, LogKind, Packet};
 use flexstep_isa::asm::Program;
 use flexstep_sim::{SchedMode, Soc, SocConfig};
 use flexstep_workloads::builder::control_loop_kernel;
 use flexstep_workloads::{by_name, Scale};
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// Microbench numbers measured at the seed commit (db8f81f) with
@@ -53,10 +59,15 @@ const SEED_BASELINE: &[(&str, f64, f64)] = &[
 /// `--guard` enforces on the memo-on control-loop run.
 const PR2_DUAL_CORE_STEPS_PER_SEC: f64 = 2.2251e7;
 
+/// Wall-clock slack the `--guard` ns/step diff allows over the PR 6
+/// baseline before calling it a regression.
+const GUARD_NS_PER_STEP_SLACK: f64 = 1.5;
+
 struct Args {
     quick: bool,
     naive: bool,
     guard: bool,
+    baseline: String,
     out: String,
 }
 
@@ -67,24 +78,38 @@ fn parse_args() -> Args {
         quick: flag("--quick"),
         naive: flag("--naive"),
         guard: flag("--guard"),
+        baseline: flexstep_bench::arg_value(&argv, "--baseline")
+            .unwrap_or_else(|| "BENCH_pr6.json".into()),
         out: flexstep_bench::arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pr6.json".into()),
     }
 }
 
 /// Times `f` `reps` times after one untimed warm-up; returns
-/// (min, mean) seconds.
-fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
-    std::hint::black_box(f());
+/// (min, mean) seconds. The first error aborts the measurement.
+fn time_reps<T>(
+    reps: usize,
+    mut f: impl FnMut() -> Result<T, BenchError>,
+) -> Result<(f64, f64), BenchError> {
+    std::hint::black_box(f()?);
     let mut min = f64::INFINITY;
     let mut sum = 0.0;
     for _ in 0..reps {
         let t = Instant::now();
-        std::hint::black_box(f());
+        std::hint::black_box(f()?);
         let s = t.elapsed().as_secs_f64();
         min = min.min(s);
         sum += s;
     }
-    (min, sum / reps as f64)
+    Ok((min, sum / reps as f64))
+}
+
+/// Fails with [`BenchError::Invariant`] unless `cond` holds.
+fn ensure(cond: bool, msg: &str) -> Result<(), BenchError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(BenchError::Invariant(msg.into()))
+    }
 }
 
 /// A measurement object: min/mean seconds plus caller-added fields.
@@ -96,15 +121,29 @@ fn bench_obj(min_s: f64, mean_s: f64) -> JsonObject {
 }
 
 /// The dual-core pipeline scenario every section runs.
-fn dual_core(program: &Program) -> VerifiedRun {
-    Scenario::new(program)
+fn dual_core(program: &Program) -> Result<VerifiedRun, BenchError> {
+    Ok(Scenario::new(program)
         .cores(2)
         .fabric(FabricConfig::paper())
-        .build()
-        .expect("setup")
+        .build()?)
 }
 
-fn main() {
+/// Pulls `"key": <number>` out of the flat object following
+/// `"section": {` in a report written by [`flexstep_core::json`] — just
+/// enough parsing to diff one scalar against a baseline artifact.
+fn extract_f64(json: &str, section: &str, key: &str) -> Option<f64> {
+    let obj = &json[json.find(&format!("\"{section}\": {{"))?..];
+    let obj = &obj[..obj.find('}')?];
+    let v = &obj[obj.find(&format!("\"{key}\": "))? + key.len() + 4..];
+    let end = v.find([',', '}']).unwrap_or(v.len());
+    v[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    run_bin(run)
+}
+
+fn run() -> Result<(), BenchError> {
     let args = parse_args();
     // `--naive` forces the reference linear scan; otherwise runs keep the
     // SoC's adaptive default (linear scan below SCAN_CROSSOVER cores, so
@@ -125,34 +164,75 @@ fn main() {
 
     // --- flexstep_pipeline/dual_core_verified_run -----------------------
     let program = by_name("libquantum")
-        .expect("workload exists")
+        .ok_or_else(|| BenchError::UnknownWorkload("libquantum".into()))?
         .program(Scale::Test);
     let mut steps = 0u64;
     let mut retired = 0u64;
     let mut hits = 0u64;
     let mut misses = 0u64;
     let (pipe_min, pipe_mean) = time_reps(reps, || {
-        let mut run = dual_core(&program);
+        let mut run = dual_core(&program)?;
         if let Some(m) = forced {
             run.set_sched_mode(m);
         }
         let r = run.run_to_completion(200_000_000);
-        assert!(r.completed && r.segments_failed == 0);
+        ensure(
+            r.completed && r.segments_failed == 0,
+            "dual-core pipeline run must complete clean",
+        )?;
         steps = r.engine_steps;
         retired = r.retired;
         hits = run.fabric().stats.memo_hits;
         misses = run.fabric().stats.memo_misses;
-        r.segments_checked
-    });
+        Ok(r.segments_checked)
+    })?;
+    let pipeline_ns_per_step = pipe_min * 1e9 / steps as f64;
     {
         let mut o = bench_obj(pipe_min, pipe_mean);
         o.field_u64("engine_steps", steps)
             .field_u64("retired", retired)
             .field_raw("steps_per_sec", &format!("{:.4e}", steps as f64 / pipe_min))
-            .field_f64("ns_per_step", pipe_min * 1e9 / steps as f64)
+            .field_f64("ns_per_step", pipeline_ns_per_step)
             .field_u64("memo_hits", hits)
             .field_u64("memo_misses", misses);
         out.field_raw("flexstep_pipeline/dual_core_verified_run", &o.finish());
+    }
+
+    // --- guard: Detect-path ns/step vs the PR 6 baseline artifact -------
+    // The default scenario carries `RecoveryPolicy::Detect`, so this run
+    // IS the Detect path: its ns/step must not drift from what PR 6
+    // recorded — rollback bookkeeping has to stay free when disabled.
+    if args.guard {
+        match std::fs::read_to_string(&args.baseline) {
+            Ok(base) => {
+                let base_ns = extract_f64(
+                    &base,
+                    "flexstep_pipeline/dual_core_verified_run",
+                    "ns_per_step",
+                )
+                .ok_or_else(|| {
+                    BenchError::Invariant(format!(
+                        "baseline {} has no pipeline ns_per_step field",
+                        args.baseline
+                    ))
+                })?;
+                if pipeline_ns_per_step > base_ns * GUARD_NS_PER_STEP_SLACK {
+                    return Err(BenchError::Invariant(format!(
+                        "Detect-path regression: pipeline ran at {pipeline_ns_per_step:.2} \
+                         ns/step, more than {GUARD_NS_PER_STEP_SLACK}x the {base_ns:.2} ns/step \
+                         recorded in {}",
+                        args.baseline
+                    )));
+                }
+                println!(
+                    "guard: Detect ns/step {pipeline_ns_per_step:.2} vs baseline {base_ns:.2} — ok"
+                );
+            }
+            Err(e) => eprintln!(
+                "warning: --guard skipping ns/step diff, cannot read {}: {e}",
+                args.baseline
+            ),
+        }
     }
 
     // --- memo A/B: segment-verdict cache on its best-case workload ------
@@ -173,18 +253,20 @@ fn main() {
                     .cores(2)
                     .fabric(FabricConfig::paper())
                     .memo(enabled)
-                    .build()
-                    .expect("setup");
+                    .build()?;
                 if let Some(fm) = forced {
                     run.set_sched_mode(fm);
                 }
                 let r = run.run_to_completion(400_000_000);
-                assert!(r.completed && r.segments_failed == 0);
+                ensure(
+                    r.completed && r.segments_failed == 0,
+                    "control-loop run must complete clean",
+                )?;
                 ctrl_steps = r.engine_steps;
                 h = run.fabric().stats.memo_hits;
                 m = run.fabric().stats.memo_misses;
-                r.drain_cycle
-            });
+                Ok(r.drain_cycle)
+            })?;
             let mut o = bench_obj(mn, me);
             o.field_u64("engine_steps", ctrl_steps)
                 .field_raw("steps_per_sec", &format!("{:.4e}", ctrl_steps as f64 / mn))
@@ -206,11 +288,10 @@ fn main() {
         );
         out.field_raw("memo/control_loop_ab", &memo_obj.finish());
         if args.guard && memo_on_sps < PR2_DUAL_CORE_STEPS_PER_SEC {
-            eprintln!(
-                "perf regression: memo-on control loop ran at {memo_on_sps:.4e} steps/s, \
+            return Err(BenchError::Invariant(format!(
+                "memo-on control loop ran at {memo_on_sps:.4e} steps/s, \
                  below the PR 2 dual-core floor of {PR2_DUAL_CORE_STEPS_PER_SEC:.4e}"
-            );
-            std::process::exit(1);
+            )));
         }
     }
 
@@ -223,12 +304,12 @@ fn main() {
             ("linear_scan", SchedMode::LinearScan),
         ] {
             let (mn, me) = time_reps(reps, || {
-                let mut run = dual_core(&program);
+                let mut run = dual_core(&program)?;
                 run.set_sched_mode(m);
                 let r = run.run_to_completion(200_000_000);
-                assert!(r.completed);
-                r.drain_cycle
-            });
+                ensure(r.completed, "macro-bench run must complete")?;
+                Ok(r.drain_cycle)
+            })?;
             let mut o = bench_obj(mn, me);
             o.field_f64("ns_per_step", mn * 1e9 / steps as f64);
             macro_obj.field_raw(label, &o.finish());
@@ -240,9 +321,10 @@ fn main() {
 
     // --- unverified simulator throughput --------------------------------
     let (mn, me) = time_reps(reps, || {
-        let mut soc = Soc::new(SocConfig::paper(1)).expect("config");
-        soc.run_to_ecall(&program, 50_000_000)
-    });
+        let mut soc =
+            Soc::new(SocConfig::paper(1)).map_err(|e| BenchError::Config(e.to_string()))?;
+        Ok(soc.run_to_ecall(&program, 50_000_000))
+    })?;
     out.field_raw("simulator/unverified_run", &bench_obj(mn, me).finish());
 
     // --- dbc_fifo microbenches ------------------------------------------
@@ -254,32 +336,33 @@ fn main() {
             data: i,
         })
     };
+    let push_err = |_| BenchError::Invariant("dbc microbench fifo overflowed".into());
     let fifo_reps = reps * 16;
     let (mn, me) = time_reps(fifo_reps, || {
         let mut f = BufferFifo::new(1088, 4);
         f.set_spill(true);
         for i in 0..4096u64 {
-            f.push(entry(i)).unwrap();
+            f.push(entry(i)).map_err(push_err)?;
             if i % 2 == 1 {
                 std::hint::black_box(f.pop(0));
                 std::hint::black_box(f.pop(0));
             }
         }
-        f.total_pushed()
-    });
+        Ok(f.total_pushed())
+    })?;
     out.field_raw("dbc_fifo/push_pop_1_consumer", &bench_obj(mn, me).finish());
     let (mn, me) = time_reps(fifo_reps, || {
         let mut f = BufferFifo::new(1088, 4);
         f.set_spill(true);
         let burst: Vec<Packet> = (0..8).map(entry).collect();
         for _ in 0..512 {
-            f.push_burst(&burst).unwrap();
+            f.push_burst(&burst).map_err(push_err)?;
             for _ in 0..8 {
                 std::hint::black_box(f.pop(0));
             }
         }
-        f.total_pushed()
-    });
+        Ok(f.total_pushed())
+    })?;
     out.field_raw(
         "dbc_fifo/push_burst_pop_1_consumer",
         &bench_obj(mn, me).finish(),
@@ -296,21 +379,24 @@ fn main() {
             let mut per_mode = Vec::new();
             for m in [SchedMode::EventQueue, SchedMode::LinearScan] {
                 let (mn, _) = time_reps(3, || {
-                    let mut soc = Soc::new(SocConfig::paper(n)).expect("config");
+                    let mut soc = Soc::new(SocConfig::paper(n))
+                        .map_err(|e| BenchError::Config(e.to_string()))?;
                     soc.set_sched_mode(m);
                     let mut x = 0x9e3779b97f4a7c15u64;
                     for i in 0..n {
                         soc.core_mut(i).unpark();
                     }
                     for _ in 0..iters {
-                        let id = soc.next_ready().expect("cores running");
+                        let id = soc
+                            .next_ready()
+                            .ok_or_else(|| BenchError::Invariant("no core ready".into()))?;
                         x ^= x << 13;
                         x ^= x >> 7;
                         x ^= x << 17;
                         soc.stall_core(id, 1 + (x % 64));
                     }
-                    soc.now()
-                });
+                    Ok(soc.now())
+                })?;
                 per_mode.push(mn * 1e9 / iters as f64);
             }
             let mut o = JsonObject::new();
@@ -348,7 +434,8 @@ fn main() {
     }
 
     let json = out.finish();
-    std::fs::write(&args.out, &json).expect("write report");
+    write_artifact(&args.out, &json)?;
     println!("{json}");
     println!("wrote {}", args.out);
+    Ok(())
 }

@@ -34,6 +34,7 @@
 //!     runs: 1,
 //!     shots_per_run: 4,
 //!     seed: 7,
+//!     recovery: flexstep_bench::RecoveryPolicy::Detect,
 //! };
 //! let row = campaign_row(&cfg).expect("valid configuration");
 //! assert!(row.completed);
@@ -44,7 +45,7 @@
 //! ```
 
 use crate::manycore::{checker_split, many_core_job};
-use crate::{fxhash64, FabricConfig, FaultPlan, LatencyStats, Scenario, Topology};
+use crate::{fxhash64, FabricConfig, FaultPlan, LatencyStats, RecoveryPolicy, Scenario, Topology};
 use flexstep_core::json::{array, numbers, numbers_u64, JsonObject};
 use flexstep_core::{MatchedDetection, ScenarioError};
 use flexstep_isa::asm::Program;
@@ -86,6 +87,11 @@ pub struct CampaignConfig {
     pub shots_per_run: usize,
     /// Campaign seed; chunk `k` runs on `seed ^ fxhash64("chunk-{k}")`.
     pub seed: u64,
+    /// What each chunk does on a detection: record it
+    /// ([`RecoveryPolicy::Detect`], the Fig. 7 baseline) or roll the
+    /// faulted main back and re-execute
+    /// ([`RecoveryPolicy::Rollback`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl CampaignConfig {
@@ -105,7 +111,17 @@ impl CampaignConfig {
             runs: 1_200usize.div_ceil(mains),
             shots_per_run: mains,
             seed: 0xF167 ^ cores as u64,
+            recovery: RecoveryPolicy::Detect,
         }
+    }
+
+    /// The same campaign under a recovery policy (rollback campaigns
+    /// report recovery-latency distributions alongside detection
+    /// latency).
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
     }
 
     /// Reduced campaign for CI keep-alive runs (240 armed shots — still
@@ -228,6 +244,17 @@ pub struct CampaignRow {
     pub per_pool: Vec<GroupStats>,
     /// Per-main distributions, channel order.
     pub per_main: Vec<GroupStats>,
+    /// Raw detection events across all chunks (`recovered <=
+    /// detections_raw`; a recovery window can span several detections).
+    pub detections_raw: usize,
+    /// Completed rollback recoveries (0 under [`RecoveryPolicy::Detect`]).
+    pub recovered: usize,
+    /// Detections that went unrecovered (retry budget exhausted).
+    pub unrecovered: usize,
+    /// Recovery-latency distribution (detect -> verified-again), µs.
+    pub recovery_stats: Option<LatencyStats>,
+    /// Raw recovery latencies, µs (for external plotting).
+    pub recovery_latencies_us: Vec<f64>,
     /// Engine steps across all chunks.
     pub engine_steps: u64,
     /// Wall-clock seconds for the whole row.
@@ -251,6 +278,17 @@ impl CampaignRow {
             0.0
         } else {
             self.detected as f64 / self.armed as f64
+        }
+    }
+
+    /// Fraction of detected faults that recovered (rollback campaigns;
+    /// 1.0 when nothing needed recovering).
+    pub fn recovery_rate(&self) -> f64 {
+        let total = self.recovered + self.unrecovered;
+        if total == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / total as f64
         }
     }
 
@@ -282,8 +320,21 @@ impl CampaignRow {
                 "per_main",
                 &array(self.per_main.iter().map(|m| m.to_json("main_core"))),
             )
-            .field_u64("engine_steps", self.engine_steps)
-            .field_f64("wall_s", self.wall_s);
+            .field_u64("detections_raw", self.detections_raw as u64)
+            .field_u64("recovered", self.recovered as u64)
+            .field_u64("unrecovered", self.unrecovered as u64)
+            .field_f64("recovery_rate", self.recovery_rate());
+        {
+            let mut r = JsonObject::new();
+            stats_fields(&mut r, &self.recovery_stats);
+            o.field_raw("recovery_latency", &r.finish());
+        }
+        o.field_raw(
+            "recovery_latencies_us",
+            &numbers(self.recovery_latencies_us.iter().copied()),
+        )
+        .field_u64("engine_steps", self.engine_steps)
+        .field_f64("wall_s", self.wall_s);
         o.finish()
     }
 }
@@ -300,6 +351,14 @@ struct ChunkOutcome {
     landed_mains: Vec<usize>,
     /// One-to-one (injection, detection) pairs.
     pairs: Vec<MatchedDetection>,
+    /// Raw detection events (a recovery window can span several).
+    detections: usize,
+    /// Completed rollback recoveries (detect -> verified-again windows).
+    recovered: usize,
+    /// Detections left unrecovered (retry budget exhausted / no anchor).
+    unrecovered: usize,
+    /// Per-recovery detect -> verified-again latency, cycles.
+    recovery_cycles: Vec<u64>,
 }
 
 /// Builds and runs one chunk: `shots_per_run` random shots at random
@@ -338,7 +397,8 @@ fn run_chunk(
         .cores(cfg.cores)
         .topology(Topology::SharedChecker { checkers })
         .fabric(FabricConfig::paper())
-        .fault_plan(plan);
+        .fault_plan(plan)
+        .recovery(cfg.recovery);
     if let Some(path) = trace {
         scenario = scenario.trace_to_bounded(path, flexstep_core::DEFAULT_RING_CAPACITY);
     }
@@ -348,6 +408,12 @@ fn run_chunk(
     let mut run = scenario.build()?;
     let report = run.run_to_completion(u64::MAX);
     run.write_trace().expect("write schedule trace");
+    let mut recovery_cycles = Vec::new();
+    let mut unrecovered = 0usize;
+    for m in &report.per_main {
+        recovery_cycles.extend_from_slice(&m.recovery_latency_cycles);
+        unrecovered += m.unrecovered as usize;
+    }
     Ok(ChunkOutcome {
         completed: report.completed,
         engine_steps: report.engine_steps,
@@ -356,6 +422,10 @@ fn run_chunk(
         armed_channels,
         landed_mains: report.injections.iter().map(|i| i.main_core).collect(),
         pairs: report.matched_detections(),
+        detections: report.detections.len(),
+        recovered: recovery_cycles.len(),
+        unrecovered,
+        recovery_cycles,
     })
 }
 
@@ -443,10 +513,17 @@ pub fn campaign_row_traced(
     let mut cycles_per_pool: Vec<Vec<u64>> = vec![Vec::new(); checkers];
     let mut cycles_per_main: Vec<Vec<u64>> = vec![Vec::new(); mains];
     let mut armed = 0usize;
+    let mut detections_raw = 0usize;
+    let (mut recovered, mut unrecovered) = (0usize, 0usize);
+    let mut recovery_cycles_all: Vec<u64> = Vec::new();
     for outcome in outcomes {
         let o = outcome.expect("all chunks computed")?;
         completed &= o.completed;
         engine_steps += o.engine_steps;
+        detections_raw += o.detections;
+        recovered += o.recovered;
+        unrecovered += o.unrecovered;
+        recovery_cycles_all.extend_from_slice(&o.recovery_cycles);
         armed += o.armed_channels.len();
         landed += o.landed;
         expired += o.expired;
@@ -510,6 +587,11 @@ pub fn campaign_row_traced(
         latencies_us,
         per_pool,
         per_main,
+        detections_raw,
+        recovered,
+        unrecovered,
+        recovery_stats: LatencyStats::from_cycles(&recovery_cycles_all, clock),
+        recovery_latencies_us: us(&recovery_cycles_all),
         engine_steps,
         wall_s: start.elapsed().as_secs_f64().max(1e-9),
     })
@@ -524,7 +606,7 @@ pub fn fig7_manycore_sweep(
     core_counts: &[usize],
     quick: bool,
 ) -> Result<Vec<CampaignRow>, ScenarioError> {
-    fig7_manycore_sweep_traced(core_counts, quick, None)
+    fig7_manycore_sweep_recovery(core_counts, quick, None, RecoveryPolicy::Detect)
 }
 
 /// [`fig7_manycore_sweep`] with an optional Chrome-trace export of the
@@ -538,6 +620,23 @@ pub fn fig7_manycore_sweep_traced(
     quick: bool,
     trace: Option<&std::path::Path>,
 ) -> Result<Vec<CampaignRow>, ScenarioError> {
+    fig7_manycore_sweep_recovery(core_counts, quick, trace, RecoveryPolicy::Detect)
+}
+
+/// [`fig7_manycore_sweep_traced`] under an explicit recovery policy.
+/// Under [`RecoveryPolicy::Rollback`] the rows additionally report
+/// recovery counts and the detect → verified-again latency
+/// distribution.
+///
+/// # Errors
+///
+/// Propagates the first invalid configuration.
+pub fn fig7_manycore_sweep_recovery(
+    core_counts: &[usize],
+    quick: bool,
+    trace: Option<&std::path::Path>,
+    recovery: RecoveryPolicy,
+) -> Result<Vec<CampaignRow>, ScenarioError> {
     core_counts
         .iter()
         .enumerate()
@@ -546,7 +645,8 @@ pub fn fig7_manycore_sweep_traced(
                 CampaignConfig::quick(n)
             } else {
                 CampaignConfig::at(n)
-            };
+            }
+            .with_recovery(recovery);
             campaign_row_traced(&cfg, if i == 0 { trace } else { None })
         })
         .collect()
@@ -625,6 +725,71 @@ mod tests {
         assert!(json.contains("\"histogram_8us\": ["));
     }
 
+    /// Pins the PR 7 acceptance bar: a 64-core quick campaign run
+    /// under `Rollback` recovers at least 99% of detected faults
+    /// within the retry budget and reports a recovery-latency
+    /// distribution in the JSON artifact.
+    #[test]
+    fn quick_64_core_rollback_campaign_recovers_detected_faults() {
+        let cfg =
+            CampaignConfig::quick(64).with_recovery(RecoveryPolicy::Rollback { max_retries: 3 });
+        let row = campaign_row(&cfg).expect("valid configuration");
+        assert!(row.completed, "every chunk must finish");
+        assert!(
+            row.detected <= row.landed && row.landed <= row.armed,
+            "detected <= landed <= armed must hold: {row:?}"
+        );
+        assert!(
+            row.recovered <= row.detections_raw,
+            "recoveries consume detections: {}/{}",
+            row.recovered,
+            row.detections_raw
+        );
+        assert!(
+            row.recovered > 0,
+            "a 240-shot rollback campaign must recover something"
+        );
+        assert!(
+            row.recovery_rate() >= 0.99,
+            "at least 99% of detected faults must recover: rate {} ({} recovered, {} unrecovered)",
+            row.recovery_rate(),
+            row.recovered,
+            row.unrecovered
+        );
+        let stats = row
+            .recovery_stats
+            .as_ref()
+            .expect("recoveries produce a latency distribution");
+        assert!(stats.mean_us > 0.0 && stats.max_us >= stats.p99_us);
+        assert_eq!(row.recovery_latencies_us.len(), row.recovered);
+
+        let json = row.to_json();
+        assert!(json.contains("\"recovery_rate\": "));
+        assert!(json.contains("\"recovery_latency\": {"));
+        assert!(json.contains("\"recovery_latencies_us\": ["));
+    }
+
+    /// `Detect` campaigns keep the new fields pinned at zero so PR 6
+    /// artifacts diff clean.
+    #[test]
+    fn detect_campaign_reports_zero_recovery_fields() {
+        let cfg = CampaignConfig {
+            cores: 8,
+            cores_per_checker: 4,
+            iters_per_main: 300,
+            runs: 2,
+            shots_per_run: 4,
+            seed: 11,
+            recovery: RecoveryPolicy::Detect,
+        };
+        let row = campaign_row(&cfg).unwrap();
+        assert_eq!(row.recovered, 0);
+        assert_eq!(row.unrecovered, 0);
+        assert!(row.recovery_stats.is_none());
+        assert!(row.recovery_latencies_us.is_empty());
+        assert_eq!(row.recovery_rate(), 1.0);
+    }
+
     #[test]
     fn campaign_rejects_checker_only_splits() {
         let cfg = CampaignConfig {
@@ -648,6 +813,7 @@ mod tests {
             runs: 3,
             shots_per_run: 6,
             seed: 77,
+            recovery: RecoveryPolicy::Detect,
         };
         let a = campaign_row(&cfg).unwrap();
         let b = campaign_row(&cfg).unwrap();

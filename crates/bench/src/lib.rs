@@ -25,7 +25,7 @@ pub mod manycore;
 
 pub use flexstep_core::harness::{baseline_cycles, VerifiedRun};
 pub use flexstep_core::{
-    inject_random_fault, FabricConfig, FaultPlan, LatencyStats, Scenario, Topology,
+    inject_random_fault, FabricConfig, FaultPlan, LatencyStats, RecoveryPolicy, Scenario, Topology,
 };
 use flexstep_isa::asm::Program;
 pub use flexstep_sim::{Clock, Soc, SocConfig};
@@ -41,6 +41,88 @@ pub(crate) fn dual_core_run(program: &Program, fabric: FabricConfig) -> Verified
         .fabric(fabric)
         .build()
         .expect("dual-core scenario configures")
+}
+
+/// Typed failure surface for the experiment binaries.
+///
+/// Every `fig*`/`perf_report` binary funnels its fallible paths — bad
+/// scenario configuration, artifact I/O, registry lookups, violated run
+/// invariants — through this enum and exits non-zero with the rendered
+/// cause instead of unwinding through a panic backtrace.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A scenario or campaign configuration was rejected.
+    Scenario(flexstep_core::ScenarioError),
+    /// A SoC/cache configuration was rejected before any run started.
+    Config(String),
+    /// Reading or writing an artifact failed.
+    Io {
+        /// Path of the file involved.
+        path: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A workload name was not found in the registry.
+    UnknownWorkload(String),
+    /// A run violated an invariant the report depends on (did not
+    /// complete within budget, attribution counters inconsistent, ...).
+    Invariant(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Scenario(e) => write!(f, "scenario rejected: {e}"),
+            BenchError::Config(msg) => write!(f, "bad configuration: {msg}"),
+            BenchError::Io { path, source } => write!(f, "{path}: {source}"),
+            BenchError::UnknownWorkload(name) => {
+                write!(f, "unknown workload {name:?}")
+            }
+            BenchError::Invariant(msg) => write!(f, "run invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Scenario(e) => Some(e),
+            BenchError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexstep_core::ScenarioError> for BenchError {
+    fn from(e: flexstep_core::ScenarioError) -> Self {
+        BenchError::Scenario(e)
+    }
+}
+
+/// Writes `json` to `path`, mapping failures into [`BenchError::Io`].
+pub fn write_artifact(path: &str, json: &str) -> Result<(), BenchError> {
+    std::fs::write(path, json).map_err(|source| BenchError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+/// Runs a binary body and converts its error into a non-zero exit:
+/// prints `error: <cause>` (and the source chain) to stderr and returns
+/// [`std::process::ExitCode::FAILURE`].
+pub fn run_bin(body: impl FnOnce() -> Result<(), BenchError>) -> std::process::ExitCode {
+    match body() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            let mut src = std::error::Error::source(&e);
+            while let Some(cause) = src {
+                eprintln!("  caused by: {cause}");
+                src = cause.source();
+            }
+            std::process::ExitCode::FAILURE
+        }
+    }
 }
 
 /// Extracts the value following a `--flag value` pair from an argv

@@ -398,6 +398,9 @@ mod tests {
             arbiters: vec![],
             shots_armed: injections.len() as u64,
             shots_expired: 0,
+            checkers_lost: 0,
+            repair_latency_cycles: vec![],
+            warnings: vec![],
             injections,
         }
     }

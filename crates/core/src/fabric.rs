@@ -614,6 +614,65 @@ impl Fabric {
         Ok(())
     }
 
+    /// Resets a checker's replay state machine to wait-for-SCP, dropping
+    /// any in-progress replay, staged context, and memo
+    /// recording/playback (rollback recovery and checker teardown both
+    /// need this). Verdict counters and the memo cache itself survive —
+    /// cached verdicts for *other* streams stay valid.
+    pub(crate) fn reset_checker_replay(&mut self, checker: usize) {
+        let st = &mut self.units[checker].checker;
+        st.phase = crate::checker::CheckPhase::WaitScp;
+        st.recording = None;
+        st.playback = None;
+        st.ass.take_saved();
+        st.ass.take_scp();
+    }
+
+    /// Permanently tears down a checker core's channel after a hard
+    /// fault ([`FaultPlan::kill_checker_at`](crate::FaultPlan)): force
+    /// de-association with none of [`Fabric::revoke`]'s safe-point
+    /// preconditions — a dead checker can never reach one.
+    ///
+    /// If the checker was connected, its main's FIFO is flushed (the
+    /// buffered stream indexed a consumer set that no longer exists) and
+    /// the channel re-forms around the survivors: remaining dedicated
+    /// checkers are re-indexed and restarted at the next SCP, while a
+    /// main left with no consumer reverts to the pending state —
+    /// buffering for a future [`Fabric::grant`] by a surviving arbiter,
+    /// or for the harness to degrade to unchecked execution.
+    ///
+    /// Returns `(main, surviving consumer count)` when the checker had a
+    /// channel.
+    pub(crate) fn kill_checker(&mut self, checker: usize) -> Option<(usize, usize)> {
+        self.reset_checker_replay(checker);
+        self.units[checker].checker.busy = false;
+        let (main, _) = self.reverse[checker].take()?;
+        let mut survivors = Vec::new();
+        if let Some(list) = self.assoc[main].as_mut() {
+            list.retain(|&c| c != checker);
+            survivors = list.clone();
+        }
+        self.units[main].fifo.reset();
+        if self.units[main].tracker.is_open() {
+            // The open segment's SCP went down with the flush; abandon it
+            // so the stream re-forms at the next segment boundary with a
+            // fresh SCP (anything the harness wants re-verified is rolled
+            // back instead).
+            self.units[main].tracker.abandon();
+        }
+        if survivors.is_empty() {
+            // The pending convention: buffer for one future consumer.
+            self.units[main].fifo.set_consumers(1);
+        } else {
+            self.units[main].fifo.set_consumers(survivors.len());
+            for (idx, &ch) in survivors.iter().enumerate() {
+                self.reverse[ch] = Some((main, idx));
+                self.reset_checker_replay(ch);
+            }
+        }
+        Some((main, survivors.len()))
+    }
+
     /// The checkers associated with a main core (consumer-index order);
     /// empty for out-of-range ids.
     pub fn checkers_of(&self, main: usize) -> &[usize] {

@@ -15,14 +15,15 @@ use crate::detect::{DetectionEvent, SegmentResult};
 use crate::engine::{EngineStep, FlexSoc};
 use crate::fabric::{Fabric, FabricConfig};
 use crate::scenario::{
-    Binding, FaultDriver, FaultPlan, Injection, Observer, ResolvedTopology, Scenario,
-    ScenarioError, Topology,
+    Binding, FaultDriver, FaultPlan, Injection, Observer, RecoveryPolicy, ResolvedTopology,
+    Scenario, ScenarioError, Topology,
 };
 use crate::share::{ArbiterStats, CheckerArbiter};
 use crate::trace::TraceHandle;
 use flexstep_isa::asm::Program;
 use flexstep_mem::cache::CacheGeometryError;
-use flexstep_sim::{Clock, PrivMode, Soc, SocConfig, StepKind, TrapCause};
+use flexstep_sim::{ArchSnapshot, Clock, PrivMode, Soc, SocConfig, StepKind, TrapCause};
+use std::collections::VecDeque;
 
 /// Per-main-core outcome of a verified run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,8 +34,45 @@ pub struct MainReport {
     pub completed: bool,
     /// Cycle at which this main finished (0 if it did not).
     pub finish_cycle: u64,
-    /// Instructions retired by this main.
+    /// Instructions retired by this main (re-executions included).
     pub retired: u64,
+    /// Rollback recoveries performed on this main
+    /// ([`RecoveryPolicy::Rollback`] only; 0 under `Detect`).
+    pub recoveries: u64,
+    /// Detections this main could not recover from (retry budget
+    /// exhausted or no rollback anchor available).
+    pub unrecovered: u64,
+    /// Cycles of discarded forward progress across all rollbacks
+    /// (segment-open to rollback, per recovery).
+    pub wasted_cycles: u64,
+    /// Per-recovery detection → verified-again latency, in cycles, in
+    /// completion order.
+    pub recovery_latency_cycles: Vec<u64>,
+}
+
+/// A typed, non-fatal condition raised during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunWarning {
+    /// A main core lost every checker (permanent failures) and degraded
+    /// to unchecked execution from `from_cycle` on.
+    UncheckedExecution {
+        /// The degraded main core.
+        main: usize,
+        /// Cycle from which execution is unverified.
+        from_cycle: u64,
+    },
+    /// A main exhausted [`RecoveryPolicy::Rollback`]'s `max_retries`
+    /// consecutive rollbacks (or had no anchor to roll back to); the
+    /// detection at `at_cycle` was recorded detect-only.
+    RetriesExhausted {
+        /// The unrecovered main core.
+        main: usize,
+        /// Segment whose detection went unrecovered.
+        seq: u64,
+        /// Cycle of the unrecovered detection.
+        at_cycle: u64,
+    },
 }
 
 /// Outcome of a verified run.
@@ -75,6 +113,14 @@ pub struct RunReport {
     /// drained for good, or the run completed before their arming cycle.
     /// They never appear in [`RunReport::injections`].
     pub shots_expired: u64,
+    /// Checker cores permanently failed by
+    /// [`FaultPlan::kill_checker_at`] shots that fired.
+    pub checkers_lost: u64,
+    /// Re-pair latency of each orphaned main that was re-granted a
+    /// surviving checker, in cycles from the kill to the new grant.
+    pub repair_latency_cycles: Vec<u64>,
+    /// Non-fatal degradation conditions raised during the run.
+    pub warnings: Vec<RunWarning>,
 }
 
 /// One (injection, detection) pair produced by the one-to-one
@@ -149,13 +195,41 @@ impl RunReport {
     /// Renders the report as a JSON object (hand-rolled; see
     /// [`json`](crate::json)).
     pub fn to_json(&self) -> String {
-        use crate::json::{array, JsonObject};
+        use crate::json::{array, numbers_u64, JsonObject};
         let mains = array(self.per_main.iter().map(|m| {
             let mut o = JsonObject::new();
             o.field_u64("core", m.core as u64)
                 .field_bool("completed", m.completed)
                 .field_u64("finish_cycle", m.finish_cycle)
-                .field_u64("retired", m.retired);
+                .field_u64("retired", m.retired)
+                .field_u64("recoveries", m.recoveries)
+                .field_u64("unrecovered", m.unrecovered)
+                .field_u64("wasted_cycles", m.wasted_cycles)
+                .field_raw(
+                    "recovery_latency_cycles",
+                    &numbers_u64(m.recovery_latency_cycles.iter().copied()),
+                );
+            o.finish()
+        }));
+        let warnings = array(self.warnings.iter().map(|w| {
+            let mut o = JsonObject::new();
+            match w {
+                RunWarning::UncheckedExecution { main, from_cycle } => {
+                    o.field_str("kind", "unchecked_execution")
+                        .field_u64("main", *main as u64)
+                        .field_u64("from_cycle", *from_cycle);
+                }
+                RunWarning::RetriesExhausted {
+                    main,
+                    seq,
+                    at_cycle,
+                } => {
+                    o.field_str("kind", "retries_exhausted")
+                        .field_u64("main", *main as u64)
+                        .field_u64("seq", *seq)
+                        .field_u64("at_cycle", *at_cycle);
+                }
+            }
             o.finish()
         }));
         let arbiters = array(self.arbiters.iter().map(|a| {
@@ -194,6 +268,12 @@ impl RunReport {
             .field_u64("engine_steps", self.engine_steps)
             .field_u64("shots_armed", self.shots_armed)
             .field_u64("shots_expired", self.shots_expired)
+            .field_u64("checkers_lost", self.checkers_lost)
+            .field_raw(
+                "repair_latency_cycles",
+                &crate::json::numbers_u64(self.repair_latency_cycles.iter().copied()),
+            )
+            .field_raw("warnings", &warnings)
             .field_raw("per_main", &mains)
             .field_raw("arbiters", &arbiters)
             .field_raw("detections", &detections)
@@ -255,6 +335,84 @@ pub struct VerifiedRun {
     /// Chrome-trace export configured via [`Scenario::trace_to`]:
     /// the destination path and the recording observer's handle.
     trace: Option<(std::path::PathBuf, TraceHandle)>,
+    /// Rollback bookkeeping, one slot per main; `None` under
+    /// [`RecoveryPolicy::Detect`] so the detect path stays untouched.
+    recovery: Option<RecoveryState>,
+    /// Per checker index: permanently failed by a kill shot.
+    dead_checkers: Vec<bool>,
+    checkers_lost: u64,
+    /// Per main slot: cycle of the kill that orphaned it, until the
+    /// re-pair grant lands (samples `repair_latencies`).
+    repair_pending: Vec<Option<u64>>,
+    repair_latencies: Vec<u64>,
+    warnings: Vec<RunWarning>,
+}
+
+/// Rollback bookkeeping for every main (only allocated under
+/// [`RecoveryPolicy::Rollback`]).
+#[derive(Debug)]
+struct RecoveryState {
+    max_retries: u32,
+    slots: Vec<RecoverySlot>,
+}
+
+/// One rollback anchor: everything needed to restart a main at a
+/// checking-segment boundary. Captured when the segment opens — the SCP
+/// snapshot *is* the boundary state, and the journal mark brackets the
+/// stores the re-execution must undo.
+#[derive(Debug)]
+struct Anchor {
+    seq: u64,
+    snapshot: ArchSnapshot,
+    journal_mark: u64,
+    open_cycle: u64,
+}
+
+#[derive(Debug, Default)]
+struct RecoverySlot {
+    /// Anchors of segments without a verdict yet, oldest first.
+    anchors: VecDeque<Anchor>,
+    /// Per consumer index: highest segment seq with a verdict (clean or
+    /// failed). Anchors retire once *every* consumer has resolved them.
+    resolved: Vec<Option<u64>>,
+    /// Detection cycle of the in-flight recovery, until a segment
+    /// verifies clean again.
+    pending_since: Option<u64>,
+    /// Consecutive rollbacks without an intervening clean verdict.
+    consecutive: u32,
+    /// Memo block: the re-executed stream must be replayed for real
+    /// until it verifies clean (DESIGN.md §14).
+    blocked: bool,
+    recoveries: u64,
+    unrecovered: u64,
+    wasted_cycles: u64,
+    latencies: Vec<u64>,
+}
+
+impl RecoverySlot {
+    /// Retires every anchor all consumers have resolved and returns the
+    /// journal mark memory can be truncated to (`u64::MAX` = everything;
+    /// the caller clamps to the live mark).
+    fn retire_resolved(&mut self) -> Option<u64> {
+        // An anchor can only retire once every consumer has issued a
+        // verdict for its segment.
+        let mut min = u64::MAX;
+        for r in &self.resolved {
+            min = min.min((*r)?);
+        }
+        let mut truncate_to = None;
+        while let Some(front) = self.anchors.front() {
+            if front.seq > min {
+                break;
+            }
+            self.anchors.pop_front();
+            truncate_to = Some(match self.anchors.front() {
+                Some(next) => next.journal_mark,
+                None => u64::MAX,
+            });
+        }
+        truncate_to
+    }
 }
 
 impl std::fmt::Debug for VerifiedRun {
@@ -281,6 +439,7 @@ impl VerifiedRun {
         fabric: FabricConfig,
         sched_mode: Option<flexstep_sim::SchedMode>,
         fault_plan: FaultPlan,
+        recovery_policy: RecoveryPolicy,
         mut observers: Vec<Box<dyn Observer>>,
         trace: Option<(std::path::PathBuf, TraceHandle)>,
     ) -> Result<Self, ScenarioError> {
@@ -346,6 +505,29 @@ impl VerifiedRun {
             }
         }
         let n = mains.len();
+        // Rollback recovery journals every main's stores (undo log for
+        // re-execution); under Detect no journal exists and the memory
+        // write path is untouched.
+        let recovery = match recovery_policy {
+            RecoveryPolicy::Detect => None,
+            RecoveryPolicy::Rollback { max_retries } => {
+                let slots = binding
+                    .iter()
+                    .map(|b| RecoverySlot {
+                        resolved: match b {
+                            Binding::Dedicated(cs) => vec![None; cs.len()],
+                            Binding::Shared(_) => vec![None; 1],
+                        },
+                        ..RecoverySlot::default()
+                    })
+                    .collect();
+                for &m in &mains {
+                    fs.soc.mem.enable_journal(m);
+                }
+                Some(RecoveryState { max_retries, slots })
+            }
+        };
+        let num_checkers = checkers.len();
         let mut run = VerifiedRun {
             fs,
             mains,
@@ -361,6 +543,12 @@ impl VerifiedRun {
             faults: FaultDriver::new(fault_plan),
             injections: Vec::new(),
             trace,
+            recovery,
+            dead_checkers: vec![false; num_checkers],
+            checkers_lost: 0,
+            repair_pending: vec![None; n],
+            repair_latencies: Vec::new(),
+            warnings: Vec::new(),
         };
         run.sync_fault_memo_blocks();
         Ok(run)
@@ -633,15 +821,366 @@ impl VerifiedRun {
             self.fs.fabric.unit_mut(m).memo_blocked = false;
         }
         let blocked: Vec<usize> = self.faults.pending_channels().collect();
-        let any_pending = !blocked.is_empty();
         for channel in blocked {
             let main = self.mains[channel];
             self.fs.fabric.unit_mut(main).memo_blocked = true;
         }
+        // A rolled-back stream is likewise blocked until it verifies
+        // clean again: its re-execution must be replayed for real, never
+        // served a stale cached verdict (DESIGN.md §14).
+        if let Some(rec) = &self.recovery {
+            for (slot, s) in rec.slots.iter().enumerate() {
+                if s.blocked {
+                    let main = self.mains[slot];
+                    self.fs.fabric.unit_mut(main).memo_blocked = true;
+                }
+            }
+        }
         // Shots fire between engine steps, so superblock batching would
         // blur the injection cycle: single-step while any shot is armed
         // or in flight, and resume batching once the plan has played out.
-        self.fs.set_main_batching(!any_pending);
+        self.fs.set_main_batching(!self.faults.pending());
+    }
+
+    /// Whether a checker *core* has been killed by a fault shot.
+    fn checker_is_dead(&self, core: usize) -> bool {
+        self.checkers
+            .iter()
+            .position(|&c| c == core)
+            .is_some_and(|i| self.dead_checkers[i])
+    }
+
+    /// Samples the kill → re-grant repair latency when an orphaned main
+    /// gets its replacement checker.
+    fn sample_repair_latency(&mut self, main: usize, now: u64) {
+        if let Some(slot) = self.slot_of[main] {
+            if let Some(killed_at) = self.repair_pending[slot].take() {
+                self.repair_latencies.push(now.saturating_sub(killed_at));
+            }
+        }
+    }
+
+    /// Reverses the done-handling of a main that must resume producing
+    /// (rollback recovery re-executes its tail).
+    fn unfinish_if_done(&mut self, slot: usize) {
+        if !self.done[slot] {
+            return;
+        }
+        let main = self.mains[slot];
+        self.done[slot] = false;
+        self.done_count -= 1;
+        self.finish_cycle[slot] = 0;
+        self.fs.soc.core_mut(main).unpark();
+        if self.arbiter_of[slot].is_some() {
+            // Finishing disabled checking; the re-execution needs it back.
+            self.fs.fabric.set_check(main, true).expect("main core");
+        }
+    }
+
+    /// Rolls `main` back to `anchor`: restores the register file from the
+    /// SCP snapshot, undoes its journaled stores, flushes the in-flight
+    /// DBC stream and replay state, and re-arms the core at the segment
+    /// boundary. The architectural restore is charged as an SCP apply.
+    fn apply_rollback(&mut self, slot: usize, anchor: &Anchor) {
+        let main = self.mains[slot];
+        {
+            let core = self.fs.soc.core_mut(main);
+            core.state.restore(&anchor.snapshot);
+            // Checkpoints carry no privilege: checking segments are
+            // user-mode only, so the boundary was user mode.
+            core.state.prv = PrivMode::User;
+            core.reset_replay_uarch();
+            core.clear_reservation();
+        }
+        self.fs.soc.mem.rollback_journal(main, anchor.journal_mark);
+        self.fs.soc.mem.truncate_journal(main, anchor.journal_mark);
+        {
+            let unit = self.fs.fabric.unit_mut(main);
+            // Drops buffered packets and banked fingerprints; the retried
+            // stream re-fingerprints from scratch, so a stale memo entry
+            // can never match it.
+            unit.fifo.reset();
+            if unit.tracker.is_open() {
+                unit.tracker.abandon();
+            }
+        }
+        let checkers: Vec<usize> = self.fs.fabric.checkers_of(main).to_vec();
+        for c in checkers {
+            self.fs.fabric.reset_checker_replay(c);
+        }
+        let cost = self.fs.fabric.config().scp_apply_cycles;
+        self.fs.soc.stall_core(main, cost);
+        self.unfinish_if_done(slot);
+    }
+
+    /// Kill-path re-verification: rolls a main back to its *oldest*
+    /// unresolved segment boundary so a replacement checker re-verifies
+    /// everything the dead one left unverdicted. No-op under
+    /// [`RecoveryPolicy::Detect`] (the unverified tail is dropped — a
+    /// documented coverage loss) or when every segment already resolved.
+    fn rollback_oldest_unresolved(&mut self, slot: usize, now: u64) {
+        let anchor = {
+            let Some(rec) = self.recovery.as_mut() else {
+                return;
+            };
+            let s = &mut rec.slots[slot];
+            let Some(anchor) = s.anchors.pop_front() else {
+                return;
+            };
+            // Later anchors are inside the re-executed region; the retry
+            // regenerates them under fresh seqs.
+            s.anchors.clear();
+            s.wasted_cycles += now.saturating_sub(anchor.open_cycle);
+            anchor
+        };
+        self.apply_rollback(slot, &anchor);
+    }
+
+    /// Degrades a main to unchecked execution (its last checker died):
+    /// checking off, stream flushed, typed warning raised. The run keeps
+    /// completing instead of deadlocking on a channel nobody will drain.
+    fn degrade_unchecked(&mut self, slot: usize, now: u64) {
+        let main = self.mains[slot];
+        let _ = self.fs.fabric.set_check(main, false);
+        self.fs.fabric.unit_mut(main).fifo.reset();
+        self.arbiter_of[slot] = None;
+        self.repair_pending[slot] = None;
+        if let Some(rec) = &mut self.recovery {
+            let s = &mut rec.slots[slot];
+            if s.pending_since.take().is_some() {
+                // An in-flight recovery can never verify clean again.
+                s.unrecovered += 1;
+            }
+            s.anchors.clear();
+            s.blocked = false;
+            let live = self.fs.soc.mem.journal_mark(main);
+            self.fs.soc.mem.truncate_journal(main, live);
+        }
+        self.warnings.push(RunWarning::UncheckedExecution {
+            main,
+            from_cycle: now,
+        });
+    }
+
+    /// Handles a fired [`FaultPlan::kill_checker_at`] shot: halts the
+    /// checker core, tears down its channel, and re-pairs the orphaned
+    /// mains onto surviving pool members (or degrades them to unchecked
+    /// execution when none survive).
+    fn kill_checker(&mut self, idx: usize) {
+        if self.dead_checkers[idx] {
+            return;
+        }
+        self.dead_checkers[idx] = true;
+        self.checkers_lost += 1;
+        let checker = self.checkers[idx];
+        let now = self.fs.soc.now();
+        self.fs.soc.core_mut(checker).halt();
+        for o in &mut self.observers {
+            o.on_checker_killed(checker, now);
+        }
+        if let Some(ai) = self.arbiters.iter().position(|a| a.checker() == checker) {
+            // Shared pool member: every main it was serving (granted or
+            // queued) re-pairs round-robin onto the survivors.
+            let orphans = self.arbiters[ai].take_orphans();
+            self.fs.fabric.kill_checker(checker);
+            let survivors: Vec<usize> = (0..self.arbiters.len())
+                .filter(|&i| i != ai && !self.checker_is_dead(self.arbiters[i].checker()))
+                .collect();
+            for (k, &orphan) in orphans.iter().enumerate() {
+                let slot = self.slot_of[orphan].expect("orphan is a main");
+                self.rollback_oldest_unresolved(slot, now);
+                if survivors.is_empty() {
+                    self.degrade_unchecked(slot, now);
+                    continue;
+                }
+                let target = survivors[k % survivors.len()];
+                self.arbiter_of[slot] = Some(target);
+                self.repair_pending[slot] = Some(now);
+                let immediate = self.arbiters[target]
+                    .adopt(&mut self.fs.fabric, orphan)
+                    .expect("orphan is pending");
+                if self.done[slot] {
+                    // Still done after the rollback pass: nothing to
+                    // re-execute, only buffered data to drain.
+                    self.arbiters[target].release(orphan);
+                }
+                if immediate {
+                    self.sample_repair_latency(orphan, now);
+                    let new_checker = self.arbiters[target].checker();
+                    self.fs.soc.core_mut(new_checker).unpark();
+                    for o in &mut self.observers {
+                        o.on_checker_granted(new_checker, orphan, now);
+                    }
+                }
+            }
+        } else if let Some((main, survivors)) = self.fs.fabric.kill_checker(checker) {
+            // Dedicated channel: surviving consumers are re-indexed by
+            // the fabric and restart at the next SCP.
+            let slot = self.slot_of[main].expect("channel main");
+            self.rollback_oldest_unresolved(slot, now);
+            if let Some(rec) = &mut self.recovery {
+                // Consumer indices changed; verdict bookkeeping restarts.
+                rec.slots[slot].resolved = vec![None; survivors.max(1)];
+            }
+            if survivors == 0 {
+                self.degrade_unchecked(slot, now);
+            }
+        }
+        self.sync_fault_memo_blocks();
+    }
+
+    /// Rollback-recovery reaction to one engine step: anchors new
+    /// segments, retires verdicted ones, and rolls the faulted main back
+    /// on a detection. Only called under [`RecoveryPolicy::Rollback`].
+    fn handle_recovery_step(&mut self, core: usize, step: &EngineStep) {
+        match step {
+            EngineStep::SegmentOpened => {
+                let Some(slot) = self.slot_of[core] else {
+                    return;
+                };
+                let Some(seq) = self.fs.fabric.unit(core).tracker.open_seq() else {
+                    return;
+                };
+                let snapshot = self.fs.soc.core(core).state.snapshot();
+                let journal_mark = self.fs.soc.mem.journal_mark(core);
+                let open_cycle = self.fs.soc.now();
+                let rec = self.recovery.as_mut().expect("rollback policy");
+                rec.slots[slot].anchors.push_back(Anchor {
+                    seq,
+                    snapshot,
+                    journal_mark,
+                    open_cycle,
+                });
+            }
+            EngineStep::CheckerSegmentDone(result) => {
+                let Some((main, consumer)) = self.fs.fabric.channel_of(core) else {
+                    return;
+                };
+                let Some(slot) = self.slot_of[main] else {
+                    return;
+                };
+                let now = self.fs.soc.now();
+                let live_mark = self.fs.soc.mem.journal_mark(main);
+                let (truncate, completed) = {
+                    let rec = self.recovery.as_mut().expect("rollback policy");
+                    let s = &mut rec.slots[slot];
+                    if consumer < s.resolved.len() {
+                        s.resolved[consumer] =
+                            Some(s.resolved[consumer].map_or(result.seq, |v| v.max(result.seq)));
+                    }
+                    let truncate = s.retire_resolved();
+                    // A clean verdict ends the recovery window: the
+                    // retried stream verified, the retry budget resets,
+                    // and the memo block lifts.
+                    s.consecutive = 0;
+                    let completed = s.pending_since.take().map(|t| now.saturating_sub(t));
+                    if let Some(latency) = completed {
+                        s.latencies.push(latency);
+                        s.blocked = false;
+                    }
+                    (truncate, completed)
+                };
+                if let Some(mark) = truncate {
+                    self.fs.soc.mem.truncate_journal(main, mark.min(live_mark));
+                }
+                if let Some(latency) = completed {
+                    for o in &mut self.observers {
+                        o.on_recovery_complete(main, now, latency);
+                    }
+                    self.sync_fault_memo_blocks();
+                }
+            }
+            EngineStep::CheckerDetected(event) => {
+                self.handle_detection_recovery(
+                    event.main_core,
+                    event.checker_core,
+                    event.segment_seq,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Rollback-or-exhaust decision for one detection (DESIGN.md §14).
+    fn handle_detection_recovery(&mut self, main: usize, checker: usize, seq: u64) {
+        let now = self.fs.soc.now();
+        let Some(slot) = self.slot_of[main] else {
+            return;
+        };
+        let consumer = self.fs.fabric.channel_of(checker).map(|(_, i)| i);
+        let live_mark = self.fs.soc.mem.journal_mark(main);
+        enum Decision {
+            Roll(Box<Anchor>),
+            Exhausted(Option<u64>),
+        }
+        let decision = {
+            let rec = self.recovery.as_mut().expect("rollback policy");
+            let max_retries = rec.max_retries;
+            let s = &mut rec.slots[slot];
+            let pos = s.anchors.iter().position(|a| a.seq == seq);
+            match pos {
+                Some(i) if s.consecutive < max_retries => {
+                    let anchor = s.anchors.remove(i).expect("position is in range");
+                    // Anchors after (and before) the rollback point
+                    // describe segments whose in-flight data the flush
+                    // destroys; the retry regenerates them under fresh
+                    // seqs, so they can never resolve — drop them.
+                    s.anchors.clear();
+                    s.recoveries += 1;
+                    s.consecutive += 1;
+                    s.blocked = true;
+                    if s.pending_since.is_none() {
+                        // Consecutive retries keep the first detection as
+                        // the latency epoch: detect → verified-again.
+                        s.pending_since = Some(now);
+                    }
+                    s.wasted_cycles += now.saturating_sub(anchor.open_cycle);
+                    Decision::Roll(Box::new(anchor))
+                }
+                _ => {
+                    // Retry budget exhausted (or the anchor is gone):
+                    // record detect-only, like RecoveryPolicy::Detect.
+                    s.unrecovered += 1;
+                    if let Some(i) = consumer {
+                        if i < s.resolved.len() {
+                            s.resolved[i] = Some(s.resolved[i].map_or(seq, |v| v.max(seq)));
+                        }
+                    }
+                    let truncate = s.retire_resolved();
+                    s.pending_since = None;
+                    s.consecutive = 0;
+                    s.blocked = false;
+                    Decision::Exhausted(truncate)
+                }
+            }
+        };
+        match decision {
+            Decision::Roll(anchor) => {
+                self.apply_rollback(slot, &anchor);
+                if let Some(arb) = self.arbiter_of[slot] {
+                    self.arbiters[arb].retract_release(main);
+                    if !self.arbiters[arb].is_serving(main) {
+                        // The grant was revoked before the detection
+                        // landed; re-enter arbitration for the retry.
+                        let _ = self.arbiters[arb].adopt(&mut self.fs.fabric, main);
+                    }
+                }
+                for o in &mut self.observers {
+                    o.on_recovery_start(main, seq, now);
+                }
+            }
+            Decision::Exhausted(truncate) => {
+                if let Some(mark) = truncate {
+                    self.fs.soc.mem.truncate_journal(main, mark.min(live_mark));
+                }
+                self.warnings.push(RunWarning::RetriesExhausted {
+                    main,
+                    seq,
+                    at_cycle: now,
+                });
+            }
+        }
+        self.sync_fault_memo_blocks();
     }
 
     /// Executes one scheduling quantum: polls arbiters, fires due fault
@@ -654,25 +1193,29 @@ impl VerifiedRun {
             self.expire_remaining_shots();
             return false;
         }
+        let mut grants: Vec<(usize, usize)> = Vec::new();
         for a in &mut self.arbiters {
             if let Some(granted) = a.poll(&mut self.fs.fabric) {
-                // A hand-over reconnects the checker; wake it in case it
-                // parked while its queue was empty.
-                let checker = a.checker();
-                self.fs.soc.core_mut(checker).unpark();
-                let now = self.fs.soc.now();
-                for o in &mut self.observers {
-                    o.on_checker_granted(checker, granted, now);
-                }
+                grants.push((a.checker(), granted));
+            }
+        }
+        for (checker, granted) in grants {
+            // A hand-over reconnects the checker; wake it in case it
+            // parked while its queue was empty.
+            self.fs.soc.core_mut(checker).unpark();
+            let now = self.fs.soc.now();
+            self.sample_repair_latency(granted, now);
+            for o in &mut self.observers {
+                o.on_checker_granted(checker, granted, now);
             }
         }
         if self.faults.pending() {
             let now = self.fs.soc.now();
             let done = &self.done;
-            let (fired, expired) =
+            let (fired, expired, kills) =
                 self.faults
                     .fire_due(&mut self.fs.fabric, &self.mains, |slot| done[slot], now);
-            let pending_set_changed = !fired.is_empty() || !expired.is_empty();
+            let pending_set_changed = !fired.is_empty() || !expired.is_empty() || !kills.is_empty();
             for injection in fired {
                 for o in &mut self.observers {
                     o.on_fault_injected(&injection);
@@ -684,6 +1227,9 @@ impl VerifiedRun {
                 for o in &mut self.observers {
                     o.on_shot_expired(main, now);
                 }
+            }
+            for checker_idx in kills {
+                self.kill_checker(checker_idx);
             }
             if pending_set_changed {
                 self.sync_fault_memo_blocks();
@@ -758,6 +1304,9 @@ impl VerifiedRun {
         }
         if !self.observers.is_empty() {
             self.notify_observers(core, seg_before, &step);
+        }
+        if self.recovery.is_some() {
+            self.handle_recovery_step(core, &step);
         }
         true
     }
@@ -865,11 +1414,18 @@ impl VerifiedRun {
             .mains
             .iter()
             .enumerate()
-            .map(|(slot, &core)| MainReport {
-                core,
-                completed: self.done[slot],
-                finish_cycle: self.finish_cycle[slot],
-                retired: self.fs.soc.core(core).instret,
+            .map(|(slot, &core)| {
+                let rec = self.recovery.as_ref().map(|r| &r.slots[slot]);
+                MainReport {
+                    core,
+                    completed: self.done[slot],
+                    finish_cycle: self.finish_cycle[slot],
+                    retired: self.fs.soc.core(core).instret,
+                    recoveries: rec.map_or(0, |s| s.recoveries),
+                    unrecovered: rec.map_or(0, |s| s.unrecovered),
+                    wasted_cycles: rec.map_or(0, |s| s.wasted_cycles),
+                    recovery_latency_cycles: rec.map_or_else(Vec::new, |s| s.latencies.clone()),
+                }
             })
             .collect();
         RunReport {
@@ -887,6 +1443,9 @@ impl VerifiedRun {
             injections: self.injections.clone(),
             shots_armed: self.faults.armed(),
             shots_expired: self.faults.expired(),
+            checkers_lost: self.checkers_lost,
+            repair_latency_cycles: self.repair_latencies.clone(),
+            warnings: self.warnings.clone(),
         }
     }
 }
@@ -919,10 +1478,20 @@ mod tests {
     use flexstep_isa::XReg;
 
     fn store_loop(n: i64) -> Program {
-        let mut asm = Assembler::new("store_loop");
+        store_loop_in_window(n, 0)
+    }
+
+    /// `store_loop` in a private text/data window per main slot, so
+    /// multi-main scenarios don't overwrite each other's text or race on
+    /// one data address (interleaving-dependent loads would make final
+    /// state depend on global timing).
+    fn store_loop_in_window(n: i64, slot: u64) -> Program {
+        let text = 0x1000_0000 + slot * 0x10_0000;
+        let data = 0x2000_0000 + slot * 0x10_0000;
+        let mut asm = Assembler::with_bases(format!("store_loop{slot}"), text, data);
         asm.li(XReg::A0, 0);
         asm.li(XReg::A1, n);
-        asm.li(XReg::A2, 0x2000_0000);
+        asm.li(XReg::A2, data as i64);
         asm.li(XReg::A4, 0);
         asm.label("loop").unwrap();
         asm.add(XReg::A0, XReg::A0, XReg::A1);
@@ -1119,6 +1688,191 @@ mod tests {
             detected * 10 >= injected * 9,
             "detected {detected} of {injected} injected faults"
         );
+    }
+
+    #[test]
+    fn rollback_recovers_detected_fault_and_converges() {
+        let p = store_loop(4000);
+        // Golden: fault-free Detect run of the same program.
+        let mut golden = dual(&p, FabricConfig::paper());
+        let rg = golden.run_to_completion(50_000_000);
+        assert!(rg.completed);
+        let golden_state = golden.soc().core(0).state.snapshot();
+        let golden_word = golden.soc().mem.phys().read_u64(0x2000_0000);
+
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData).with_seed(3))
+            .recovery(RecoveryPolicy::Rollback { max_retries: 3 })
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(50_000_000);
+        assert!(r.completed);
+        assert!(
+            !r.detections.is_empty(),
+            "the injected flip must still be detected under Rollback"
+        );
+        let m = &r.per_main[0];
+        assert!(m.recoveries >= 1, "detection must trigger a rollback");
+        assert_eq!(m.unrecovered, 0, "one transient flip recovers in one retry");
+        assert_eq!(
+            m.recovery_latency_cycles.len(),
+            1,
+            "one detect -> verified-again window"
+        );
+        assert!(m.recovery_latency_cycles[0] > 0);
+        assert!(m.wasted_cycles > 0, "rollback discards forward progress");
+        assert!(r.warnings.is_empty());
+        assert!(
+            m.retired > rg.per_main[0].retired,
+            "re-execution retires the segment tail twice"
+        );
+        // Convergence: the recovered run ends in the golden architectural
+        // state (the fault lived only in the in-flight checking stream).
+        assert_eq!(run.soc().core(0).state.snapshot(), golden_state);
+        assert_eq!(run.soc().mem.phys().read_u64(0x2000_0000), golden_word);
+    }
+
+    #[test]
+    fn rollback_reports_stay_bit_identical_memo_on_and_off() {
+        // Satellite pin: the retried stream must never be served a stale
+        // memo verdict — a hit there would warp the recovery timeline and
+        // split these reports.
+        let p = memoizable_loop(8);
+        let plan = || FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData).with_seed(3);
+        let policy = RecoveryPolicy::Rollback { max_retries: 3 };
+        let mut on = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(plan())
+            .recovery(policy)
+            .build()
+            .unwrap();
+        let r_on = on.run_to_completion(100_000_000);
+        assert!(r_on.completed);
+        let mut off = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(plan())
+            .recovery(policy)
+            .memo(false)
+            .build()
+            .unwrap();
+        let r_off = off.run_to_completion(100_000_000);
+        assert_eq!(
+            r_on.to_json(),
+            r_off.to_json(),
+            "memo hits must not perturb rollback recovery"
+        );
+        if !r_on.injections.is_empty() {
+            assert!(r_on.per_main[0].recoveries >= 1);
+        }
+    }
+
+    #[test]
+    fn killing_a_pool_checker_repairs_its_mains_onto_the_survivor() {
+        let ps: Vec<Program> = (0..4).map(|i| store_loop_in_window(2500, i)).collect();
+        // 4 mains, 2 shared checkers: cores 4 and 5 each arbitrate two
+        // mains. Killing checker 0 (core 4) orphans mains 0 and 2.
+        let build = |kill: bool| {
+            let mut s = Scenario::new(&ps[0])
+                .program(&ps[1])
+                .program(&ps[2])
+                .program(&ps[3])
+                .cores(6)
+                .topology(Topology::SharedChecker { checkers: 2 })
+                .recovery(RecoveryPolicy::Rollback { max_retries: 3 });
+            if kill {
+                // Early enough that both of checker 0's mains (granted +
+                // queued) are still live orphans.
+                s = s.fault_plan(FaultPlan::kill_checker_at(5_000).on_checker(0));
+            }
+            s.build().unwrap()
+        };
+        let mut golden = build(false);
+        let rg = golden.run_to_completion(200_000_000);
+        assert!(rg.completed);
+
+        let mut run = build(true);
+        let r = run.run_to_completion(200_000_000);
+        assert!(r.completed, "orphaned mains must re-pair and finish");
+        assert_eq!(r.checkers_lost, 1);
+        assert!(
+            r.warnings.is_empty(),
+            "a survivor exists; nothing degrades: {:?}",
+            r.warnings
+        );
+        assert_eq!(
+            r.repair_latency_cycles.len(),
+            2,
+            "both orphans re-pair onto the surviving checker"
+        );
+        assert_eq!(r.segments_failed, 0);
+        for m in &r.per_main {
+            assert!(m.completed);
+        }
+        for main in 0..4 {
+            assert_eq!(
+                run.soc().core(main).state.snapshot(),
+                golden.soc().core(main).state.snapshot(),
+                "main {main} must end in the golden state"
+            );
+        }
+    }
+
+    #[test]
+    fn killing_the_last_checker_degrades_to_unchecked_execution() {
+        let p = store_loop(3000);
+        let mut golden = dual(&p, FabricConfig::paper());
+        let rg = golden.run_to_completion(50_000_000);
+        let golden_state = golden.soc().core(0).state.snapshot();
+        assert!(rg.completed);
+
+        // Default Detect policy: degradation must not require Rollback.
+        let mut run = Scenario::new(&p)
+            .cores(2)
+            .fault_plan(FaultPlan::kill_checker_at(20_000).on_checker(0))
+            .build()
+            .unwrap();
+        let r = run.run_to_completion(50_000_000);
+        assert!(r.completed, "an unchecked main still finishes");
+        assert_eq!(r.checkers_lost, 1);
+        assert!(
+            r.warnings
+                .iter()
+                .any(|w| matches!(w, RunWarning::UncheckedExecution { main: 0, .. })),
+            "losing every checker must raise the typed warning: {:?}",
+            r.warnings
+        );
+        assert!(r.detections.is_empty());
+        assert_eq!(run.soc().core(0).state.snapshot(), golden_state);
+        assert!(
+            r.segments_checked < rg.segments_checked,
+            "the tail of the run goes unverified"
+        );
+    }
+
+    #[test]
+    fn detect_policy_reports_new_fields_as_zero() {
+        let p = store_loop(1500);
+        let mut run = dual(&p, FabricConfig::paper());
+        let r = run.run_to_completion(50_000_000);
+        assert!(r.completed);
+        assert_eq!(r.checkers_lost, 0);
+        assert!(r.repair_latency_cycles.is_empty());
+        assert!(r.warnings.is_empty());
+        let m = &r.per_main[0];
+        assert_eq!(m.recoveries, 0);
+        assert_eq!(m.unrecovered, 0);
+        assert_eq!(m.wasted_cycles, 0);
+        assert!(m.recovery_latency_cycles.is_empty());
+        let json = r.to_json();
+        for key in [
+            "\"recoveries\": 0",
+            "\"checkers_lost\": 0",
+            "\"repair_latency_cycles\": []",
+            "\"warnings\": []",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]
@@ -1360,6 +2114,9 @@ mod tests {
             injections: vec![inj(0, 1_000), inj(1, 2_000)],
             shots_armed: 2,
             shots_expired: 0,
+            checkers_lost: 0,
+            repair_latency_cycles: vec![],
+            warnings: vec![],
         };
         let pairs = report.matched_detections();
         assert_eq!(

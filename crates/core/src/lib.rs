@@ -109,12 +109,14 @@ pub use fault::{
     inject_random_fault, inject_targeted_fault, FaultTarget, InjectionRecord, LatencySample,
     LatencyStats, TargetedInjection,
 };
-pub use harness::{baseline_cycles, MainReport, MatchedDetection, RunReport, VerifiedRun};
+pub use harness::{
+    baseline_cycles, MainReport, MatchedDetection, RunReport, RunWarning, VerifiedRun,
+};
 pub use packet::{log_entries, Checkpoint, LogEntry, LogKind, Packet, PacketMut, PacketRef};
 pub use rcpm::{Ass, SegmentClose, SegmentTracker, DEFAULT_SEGMENT_LIMIT};
 pub use scenario::{
-    FaultPlan, Injection, Observer, ObserverEvent, ObserverSummary, RecordingObserver, Scenario,
-    ScenarioError, Topology,
+    FaultPlan, Injection, Observer, ObserverEvent, ObserverSummary, RecordingObserver,
+    RecoveryPolicy, Scenario, ScenarioError, Topology,
 };
 #[allow(deprecated)]
 pub use share::SharedCheckerRun;

@@ -84,6 +84,33 @@ pub enum Topology {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery policy
+// ---------------------------------------------------------------------------
+
+/// What the run loop does when a checker detects an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum RecoveryPolicy {
+    /// Record the detection and keep running — the fail-stop diagnosis
+    /// mode of the original detection-only experiments (the default).
+    #[default]
+    Detect,
+    /// Roll the faulted main back to the detected segment's own SCP
+    /// boundary (its predecessor was verified, so the segment's start
+    /// state is trusted), flush the in-flight DBC stream and replay
+    /// uarch state, and re-execute the segment.
+    ///
+    /// `max_retries` bounds *consecutive* rollbacks of the same main
+    /// without an intervening verified segment; once exhausted, further
+    /// detections on that main are recorded detect-only and counted in
+    /// [`MainReport::unrecovered`](crate::MainReport::unrecovered).
+    Rollback {
+        /// Consecutive re-executions allowed before giving up.
+        max_retries: u32,
+    },
+}
+
+// ---------------------------------------------------------------------------
 // Fault plans
 // ---------------------------------------------------------------------------
 
@@ -95,6 +122,9 @@ enum ShotKind {
     Targeted { target: FaultTarget, bits: u32 },
     /// Flip one random bit in one random in-flight packet.
     Random,
+    /// Permanently fail a checker core (fail-silent hard fault): the
+    /// core halts and its channels are re-paired or degraded.
+    KillChecker,
 }
 
 /// One scheduled injection of a [`FaultPlan`].
@@ -102,7 +132,8 @@ enum ShotKind {
 struct FaultShot {
     /// Earliest cycle at which the shot may fire.
     at_cycle: u64,
-    /// Channel index: the *i*-th main core of the scenario.
+    /// Channel index: the *i*-th main core of the scenario — except for
+    /// [`ShotKind::KillChecker`], where it is the *i*-th checker core.
     channel: usize,
     kind: ShotKind,
 }
@@ -181,6 +212,46 @@ impl FaultPlan {
         self
     }
 
+    /// One permanent checker failure at `cycle`, aimed at the first
+    /// checker core. Retarget with [`FaultPlan::on_checker`]. Unlike
+    /// transient flips, a kill fires unconditionally at its cycle (a
+    /// hard fault needs no data in flight) and is *not* counted in
+    /// [`RunReport::shots_armed`](crate::RunReport::shots_armed) — it
+    /// shows up as
+    /// [`RunReport::checkers_lost`](crate::RunReport::checkers_lost)
+    /// instead.
+    pub fn kill_checker_at(cycle: u64) -> Self {
+        FaultPlan::none().then_kill_checker_at(cycle)
+    }
+
+    /// Appends a permanent checker failure armed at `cycle` (first
+    /// checker core; retarget with [`FaultPlan::on_checker`]).
+    pub fn then_kill_checker_at(mut self, cycle: u64) -> Self {
+        self.shots.push(FaultShot {
+            at_cycle: cycle,
+            channel: 0,
+            kind: ShotKind::KillChecker,
+        });
+        self
+    }
+
+    /// Retargets the most recent kill shot at the `idx`-th checker core
+    /// of the scenario (default 0). Validated at `build()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no shots or the last shot is not a
+    /// [`FaultPlan::kill_checker_at`] shot.
+    pub fn on_checker(mut self, idx: usize) -> Self {
+        let shot = self.shots.last_mut().expect("on_checker requires a shot");
+        assert!(
+            shot.kind == ShotKind::KillChecker,
+            "on_checker retargets kill shots; use on_channel for injections"
+        );
+        shot.channel = idx;
+        self
+    }
+
     /// Retargets the most recent shot at the `channel`-th main core of
     /// the scenario (default 0). Validated at `build()`.
     ///
@@ -188,10 +259,12 @@ impl FaultPlan {
     ///
     /// Panics if the plan has no shots.
     pub fn on_channel(mut self, channel: usize) -> Self {
-        self.shots
-            .last_mut()
-            .expect("on_channel requires a shot")
-            .channel = channel;
+        let shot = self.shots.last_mut().expect("on_channel requires a shot");
+        assert!(
+            shot.kind != ShotKind::KillChecker,
+            "on_channel retargets injections; use on_checker for kill shots"
+        );
+        shot.channel = channel;
         self
     }
 
@@ -204,6 +277,7 @@ impl FaultPlan {
         match &mut self.shots.last_mut().expect("bits requires a shot").kind {
             ShotKind::Targeted { bits, .. } => *bits = n,
             ShotKind::Random => panic!("random shots are always single-bit"),
+            ShotKind::KillChecker => panic!("kill shots have no payload bits"),
         }
         self
     }
@@ -224,9 +298,22 @@ impl FaultPlan {
         self.shots.is_empty()
     }
 
-    /// Highest channel index any shot targets.
+    /// Highest main-channel index any injection shot targets.
     fn max_channel(&self) -> Option<usize> {
-        self.shots.iter().map(|s| s.channel).max()
+        self.shots
+            .iter()
+            .filter(|s| s.kind != ShotKind::KillChecker)
+            .map(|s| s.channel)
+            .max()
+    }
+
+    /// Highest checker index any kill shot targets.
+    fn max_kill_checker(&self) -> Option<usize> {
+        self.shots
+            .iter()
+            .filter(|s| s.kind == ShotKind::KillChecker)
+            .map(|s| s.channel)
+            .max()
     }
 }
 
@@ -279,16 +366,24 @@ impl FaultDriver {
         self.next < self.shots.len()
     }
 
-    /// Channels (main slots) with shots still armed or in flight — the
-    /// harness blocks the verdict memo on these streams until every shot
-    /// has fired or expired.
+    /// Channels (main slots) with injection shots still armed or in
+    /// flight — the harness blocks the verdict memo on these streams
+    /// until every shot has fired or expired. Kill shots target checker
+    /// cores, not streams, so they never appear here.
     pub(crate) fn pending_channels(&self) -> impl Iterator<Item = usize> + '_ {
-        self.shots[self.next..].iter().map(|s| s.channel)
+        self.shots[self.next..]
+            .iter()
+            .filter(|s| s.kind != ShotKind::KillChecker)
+            .map(|s| s.channel)
     }
 
-    /// Total shots scheduled by the plan.
+    /// Total injection shots scheduled by the plan (kill shots are
+    /// accounted as `checkers_lost`, not armed injections).
     pub(crate) fn armed(&self) -> u64 {
-        self.shots.len() as u64
+        self.shots
+            .iter()
+            .filter(|s| s.kind != ShotKind::KillChecker)
+            .count() as u64
     }
 
     /// Shots that expired without landing.
@@ -296,35 +391,50 @@ impl FaultDriver {
         self.expired
     }
 
-    /// Expires every shot that has not fired yet — called when the run
-    /// completes (all mains done, all streams drained): nothing is left
-    /// to corrupt, so the remaining shots can never land. Returns the
-    /// channel of each newly expired shot (for observer notification).
+    /// Expires every injection shot that has not fired yet — called when
+    /// the run completes (all mains done, all streams drained): nothing
+    /// is left to corrupt, so the remaining shots can never land.
+    /// Returns the channel of each newly expired shot (for observer
+    /// notification). Unfired kill shots are silently dropped: the run
+    /// outlived the scheduled hard fault, so the checker simply never
+    /// died.
     pub(crate) fn expire_remaining(&mut self) -> Vec<usize> {
-        let channels = self.shots[self.next..].iter().map(|s| s.channel).collect();
-        self.expired += (self.shots.len() - self.next) as u64;
+        let channels = self.shots[self.next..]
+            .iter()
+            .filter(|s| s.kind != ShotKind::KillChecker)
+            .map(|s| s.channel)
+            .collect::<Vec<_>>();
+        self.expired += channels.len() as u64;
         self.next = self.shots.len();
         channels
     }
 
     /// Fires every due shot whose channel has data in flight; returns
-    /// the injections that landed this call plus the channels of due
-    /// shots that expired. A due shot whose target stream can never
-    /// carry data again (`expired` for its channel) is dropped so it
-    /// cannot block later shots.
+    /// the injections that landed this call, the channels of due shots
+    /// that expired, and the checker indices of kill shots that fired.
+    /// A due shot whose target stream can never carry data again
+    /// (`expired` for its channel) is dropped so it cannot block later
+    /// shots. Kill shots fire unconditionally at their cycle — a hard
+    /// fault needs no data in flight.
     pub(crate) fn fire_due(
         &mut self,
         fabric: &mut crate::fabric::Fabric,
         mains: &[usize],
         expired: impl Fn(usize) -> bool,
         now: u64,
-    ) -> (Vec<Injection>, Vec<usize>) {
+    ) -> (Vec<Injection>, Vec<usize>, Vec<usize>) {
         let mut fired = Vec::new();
         let mut expired_channels = Vec::new();
+        let mut kills = Vec::new();
         while self.next < self.shots.len() {
             let shot = self.shots[self.next];
             if now < shot.at_cycle {
                 break;
+            }
+            if shot.kind == ShotKind::KillChecker {
+                kills.push(shot.channel);
+                self.next += 1;
+                continue;
             }
             let main = mains[shot.channel];
             if expired(shot.channel) && fabric.unit(main).fifo.is_fully_drained() {
@@ -336,6 +446,7 @@ impl FaultDriver {
                 continue;
             }
             let landed = match shot.kind {
+                ShotKind::KillChecker => unreachable!("handled above"),
                 ShotKind::Random => {
                     inject_random_fault(fabric, main, now, &mut self.rng).map(|r| Injection {
                         main_core: r.main_core,
@@ -364,7 +475,7 @@ impl FaultDriver {
                 None => break,
             }
         }
-        (fired, expired_channels)
+        (fired, expired_channels, kills)
     }
 }
 
@@ -437,6 +548,24 @@ pub trait Observer {
     fn on_main_finished(&mut self, main: usize, cycle: u64) {
         let _ = (main, cycle);
     }
+    /// Rollback recovery started: `main` was rolled back to segment
+    /// `seq`'s SCP boundary for re-execution
+    /// ([`RecoveryPolicy::Rollback`] only).
+    fn on_recovery_start(&mut self, main: usize, seq: u64, cycle: u64) {
+        let _ = (main, seq, cycle);
+    }
+    /// Rollback recovery completed: `main` re-executed and a segment
+    /// verified clean again, `latency` cycles after the detection.
+    fn on_recovery_complete(&mut self, main: usize, cycle: u64, latency: u64) {
+        let _ = (main, cycle, latency);
+    }
+    /// A checker core suffered a scheduled permanent failure
+    /// ([`FaultPlan::kill_checker_at`]); its channels re-pair onto
+    /// surviving checkers (watch [`Observer::on_checker_granted`]) or
+    /// degrade to unchecked execution.
+    fn on_checker_killed(&mut self, checker: usize, cycle: u64) {
+        let _ = (checker, cycle);
+    }
 }
 
 /// Shared-handle observers: attach `Rc<RefCell<MyObserver>>` to a
@@ -486,6 +615,15 @@ impl<T: Observer> Observer for std::rc::Rc<std::cell::RefCell<T>> {
     fn on_main_finished(&mut self, main: usize, cycle: u64) {
         self.borrow_mut().on_main_finished(main, cycle);
     }
+    fn on_recovery_start(&mut self, main: usize, seq: u64, cycle: u64) {
+        self.borrow_mut().on_recovery_start(main, seq, cycle);
+    }
+    fn on_recovery_complete(&mut self, main: usize, cycle: u64, latency: u64) {
+        self.borrow_mut().on_recovery_complete(main, cycle, latency);
+    }
+    fn on_checker_killed(&mut self, checker: usize, cycle: u64) {
+        self.borrow_mut().on_checker_killed(checker, cycle);
+    }
 }
 
 /// Everything a [`RecordingObserver`] captures, in event order.
@@ -514,6 +652,12 @@ pub enum ObserverEvent {
     CheckerParked(usize, u64),
     /// Main core finished: `(main, cycle)`.
     MainFinished(usize, u64),
+    /// Rollback recovery started: `(main, seq, cycle)`.
+    RecoveryStart(usize, u64, u64),
+    /// Rollback recovery completed: `(main, cycle, latency_cycles)`.
+    RecoveryComplete(usize, u64, u64),
+    /// Checker core permanently failed: `(checker, cycle)`.
+    CheckerKilled(usize, u64),
 }
 
 /// Aggregate counters over an observed run.
@@ -537,6 +681,10 @@ pub struct ObserverSummary {
     pub first_detection_cycle: Option<u64>,
     /// Cycle of the first landed fault, if any.
     pub first_fault_cycle: Option<u64>,
+    /// Rollback recoveries completed (detection → verified again).
+    pub recoveries: u64,
+    /// Checker cores permanently failed.
+    pub checkers_lost: u64,
 }
 
 impl ObserverSummary {
@@ -557,7 +705,9 @@ impl ObserverSummary {
             .field_u64("checks_passed", self.checks_passed)
             .field_u64("checks_failed", self.checks_failed)
             .field_u64("detections", self.detections)
-            .field_u64("faults_injected", self.faults_injected);
+            .field_u64("faults_injected", self.faults_injected)
+            .field_u64("recoveries", self.recoveries)
+            .field_u64("checkers_lost", self.checkers_lost);
         match self.detection_latency_cycles() {
             Some(l) => o.field_u64("detection_latency_cycles", l),
             None => o.field_raw("detection_latency_cycles", "null"),
@@ -644,6 +794,20 @@ impl Observer for RecordingObserver {
     fn on_main_finished(&mut self, main: usize, cycle: u64) {
         self.events.push(ObserverEvent::MainFinished(main, cycle));
     }
+    fn on_recovery_start(&mut self, main: usize, seq: u64, cycle: u64) {
+        self.events
+            .push(ObserverEvent::RecoveryStart(main, seq, cycle));
+    }
+    fn on_recovery_complete(&mut self, main: usize, cycle: u64, latency: u64) {
+        self.summary.recoveries += 1;
+        self.events
+            .push(ObserverEvent::RecoveryComplete(main, cycle, latency));
+    }
+    fn on_checker_killed(&mut self, checker: usize, cycle: u64) {
+        self.summary.checkers_lost += 1;
+        self.events
+            .push(ObserverEvent::CheckerKilled(checker, cycle));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -726,6 +890,13 @@ pub enum ScenarioError {
         /// Main slots available.
         mains: usize,
     },
+    /// The fault plan kills a checker index that does not exist.
+    KillCheckerOutOfRange {
+        /// The offending checker index.
+        checker: usize,
+        /// Checker cores available.
+        checkers: usize,
+    },
     /// The underlying fabric rejected the configuration.
     Fabric(FlexError),
     /// The memory geometry is invalid.
@@ -787,6 +958,12 @@ impl fmt::Display for ScenarioError {
                     "fault plan targets channel {channel}, scenario has {mains} main core(s)"
                 )
             }
+            ScenarioError::KillCheckerOutOfRange { checker, checkers } => {
+                write!(
+                    f,
+                    "fault plan kills checker {checker}, scenario has {checkers} checker core(s)"
+                )
+            }
             ScenarioError::Fabric(e) => write!(f, "fabric: {e}"),
             ScenarioError::Cache(e) => write!(f, "memory geometry: {e}"),
         }
@@ -842,6 +1019,7 @@ pub struct Scenario {
     fabric: FabricConfig,
     sched_mode: Option<SchedMode>,
     fault_plan: FaultPlan,
+    recovery: RecoveryPolicy,
     observers: Vec<Box<dyn Observer>>,
     /// Chrome-trace export: `(path, ring capacity)`; `None` capacity =
     /// unbounded.
@@ -857,6 +1035,7 @@ impl fmt::Debug for Scenario {
             .field("fabric", &self.fabric)
             .field("sched_mode", &self.sched_mode)
             .field("fault_plan", &self.fault_plan)
+            .field("recovery", &self.recovery)
             .field("observers", &self.observers.len())
             .field("trace", &self.trace)
             .finish()
@@ -873,6 +1052,7 @@ impl Scenario {
             fabric: FabricConfig::paper(),
             sched_mode: None,
             fault_plan: FaultPlan::none(),
+            recovery: RecoveryPolicy::Detect,
             observers: Vec::new(),
             trace: None,
         }
@@ -941,6 +1121,14 @@ impl Scenario {
     /// Schedules fault injections (default: none).
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the detection response (default [`RecoveryPolicy::Detect`]).
+    /// [`RecoveryPolicy::Rollback`] turns detections into rollback
+    /// re-executions from the last verified segment boundary.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
         self
     }
 
@@ -1130,6 +1318,14 @@ impl Scenario {
                 });
             }
         }
+        if let Some(idx) = self.fault_plan.max_kill_checker() {
+            if idx >= resolved.checkers.len() {
+                return Err(ScenarioError::KillCheckerOutOfRange {
+                    checker: idx,
+                    checkers: resolved.checkers.len(),
+                });
+            }
+        }
         VerifiedRun::from_scenario(
             cores,
             resolved,
@@ -1137,6 +1333,7 @@ impl Scenario {
             self.fabric,
             self.sched_mode,
             self.fault_plan,
+            self.recovery,
             self.observers,
             trace,
         )

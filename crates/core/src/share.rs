@@ -116,6 +116,57 @@ impl CheckerArbiter {
         self.released.insert(main);
     }
 
+    /// Reverses a [`release`](Self::release): the main resumed producing
+    /// (rollback recovery un-finished it), so the channel must not be
+    /// handed over on drain.
+    pub fn retract_release(&mut self, main: usize) {
+        self.released.remove(&main);
+    }
+
+    /// Whether `main` is currently granted or queued on this arbiter.
+    pub fn is_serving(&self, main: usize) -> bool {
+        self.granted == Some(main) || self.queue.contains(&main)
+    }
+
+    /// Tears the arbiter down after its checker suffered a permanent
+    /// failure: returns every main it was serving (the granted one first,
+    /// then the queue in FIFO order) so the caller can re-pair them onto
+    /// surviving arbiters. The arbiter is left idle and never grants
+    /// again.
+    pub fn take_orphans(&mut self) -> Vec<usize> {
+        let mut orphans = Vec::with_capacity(1 + self.queue.len());
+        if let Some(g) = self.granted.take() {
+            orphans.push(g);
+        }
+        orphans.extend(self.queue.drain(..));
+        self.released.clear();
+        orphans
+    }
+
+    /// Adopts a main orphaned by another arbiter's checker failure. The
+    /// main is already in the pending state (its channel was dissolved
+    /// when the dead checker was torn down), possibly with buffered data
+    /// — so unlike [`request`](Self::request) no fresh association is
+    /// made and a non-empty FIFO is fine: the grant connects the
+    /// surviving checker to the front of the buffered stream. Returns
+    /// whether the grant was immediate.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the immediate grant is rejected by the fabric.
+    pub fn adopt(&mut self, fabric: &mut Fabric, main: usize) -> Result<bool, FlexError> {
+        if self.granted.is_none() && self.queue.is_empty() {
+            fabric.grant(main, self.checker)?;
+            self.granted = Some(main);
+            self.stats.immediate_grants += 1;
+            Ok(true)
+        } else {
+            self.queue.push_back(main);
+            self.stats.conflicts += 1;
+            Ok(false)
+        }
+    }
+
     /// Advances the arbitration state machine: performs a channel
     /// hand-over when the granted main is released, drained, and the
     /// checker is between segments. Call once per scheduling quantum.

@@ -18,15 +18,23 @@
 //!   ([`Observer::on_check_pass`]/[`Observer::on_check_fail`]), named
 //!   after the main core being verified — arbitration interleavings are
 //!   directly visible as alternating span colours.
+//! - **Recovery spans** (category `recovery`) on a dedicated
+//!   `recovery m{N}` lane per main core, covering the detect →
+//!   verified-again window of a rollback (consecutive retries extend
+//!   one span). They get their own lane because the main keeps opening
+//!   segments while it re-executes — the windows nest, and Chrome lanes
+//!   only render non-overlapping spans truthfully.
 //! - **Instant events** (`ph: "i"`) for arbiter grants and parks
 //!   (category `arbiter`), landed faults and expired shots (category
-//!   `fault`), detections (category `detect`) and main-core completion
+//!   `fault`), detections (category `detect`), checker deaths
+//!   (category `fault`, `killed`) and main-core completion
 //!   (category `run`).
 //!
 //! Timestamps are simulated microseconds (`ts`/`dur`), converted from
 //! cycles with the platform [`Clock`] (`Clock::paper()` = 1.6 GHz by
 //! default); the raw cycle numbers ride along in each event's `args`.
-//! All events share `pid` 1 (the SoC); `tid` is the core index.
+//! All events share `pid` 1 (the SoC); `tid` is the core index
+//! (recovery lanes sit at `RECOVERY_LANE_OFFSET + main`).
 //!
 //! # Attaching a trace
 //!
@@ -86,6 +94,10 @@ use std::path::Path;
 /// 3600-shot campaign's artifact stays in the tens of megabytes.
 pub const DEFAULT_RING_CAPACITY: usize = 65_536;
 
+/// `tid` offset of the per-main recovery lanes: far above any plausible
+/// core index, so recovery spans never collide with a core's own lane.
+pub const RECOVERY_LANE_OFFSET: usize = 4096;
+
 /// An [`Observer`] that records the run as Chrome `trace_event` JSON.
 ///
 /// See the [module documentation](self) for the event model and a
@@ -102,6 +114,10 @@ pub struct TraceObserver {
     open_segments: BTreeMap<usize, (u64, u64)>,
     /// Open check per checker core: `(main, seq, start_cycle)`.
     open_checks: BTreeMap<usize, (usize, u64, u64)>,
+    /// In-flight rollback recovery per main core: `(seq, detect_cycle)`.
+    open_recoveries: BTreeMap<usize, (u64, u64)>,
+    /// Mains that recovered at least once (for recovery-lane metadata).
+    recovery_lanes: BTreeSet<usize>,
     /// Cores seen as mains / checkers (for thread-name metadata).
     mains: BTreeSet<usize>,
     checkers: BTreeSet<usize>,
@@ -128,6 +144,8 @@ impl TraceObserver {
             clock: Clock::paper(),
             open_segments: BTreeMap::new(),
             open_checks: BTreeMap::new(),
+            open_recoveries: BTreeMap::new(),
+            recovery_lanes: BTreeSet::new(),
             mains: BTreeSet::new(),
             checkers: BTreeSet::new(),
             last_cycle: 0,
@@ -280,6 +298,9 @@ impl TraceObserver {
         for &c in &self.checkers {
             lanes.entry(c).or_insert_with(|| format!("checker {c}"));
         }
+        for &m in &self.recovery_lanes {
+            lanes.insert(RECOVERY_LANE_OFFSET + m, format!("recovery m{m}"));
+        }
         for (&tid, name) in &lanes {
             let mut a = JsonObject::new();
             a.field_str("name", name);
@@ -322,6 +343,21 @@ impl TraceObserver {
                 checker,
                 &format!("check m{main} seg {seq}"),
                 "check",
+                start,
+                self.last_cycle,
+                a.finish(),
+            );
+        }
+        for (&main, &(seq, start)) in &self.open_recoveries {
+            let mut a = JsonObject::new();
+            a.field_u64("seq", seq)
+                .field_u64("detect_cycle", start)
+                .field_u64("end_cycle", self.last_cycle)
+                .field_bool("truncated", true);
+            tail.span(
+                RECOVERY_LANE_OFFSET + main,
+                &format!("recover seg {seq}"),
+                "recovery",
                 start,
                 self.last_cycle,
                 a.finish(),
@@ -498,6 +534,46 @@ impl Observer for TraceObserver {
         a.field_u64("cycle", cycle);
         self.instant(main, "finished", "run", cycle, a.finish());
     }
+
+    fn on_recovery_start(&mut self, main: usize, seq: u64, cycle: u64) {
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.mains.insert(main);
+        self.recovery_lanes.insert(main);
+        // Consecutive retries extend the original span: the recovery
+        // window is detect -> verified-again, not per-rollback.
+        self.open_recoveries.entry(main).or_insert((seq, cycle));
+    }
+
+    fn on_recovery_complete(&mut self, main: usize, cycle: u64, latency: u64) {
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.mains.insert(main);
+        let (seq, start) = self
+            .open_recoveries
+            .remove(&main)
+            .unwrap_or((0, cycle.saturating_sub(latency)));
+        let mut a = JsonObject::new();
+        a.field_u64("seq", seq)
+            .field_u64("detect_cycle", start)
+            .field_u64("end_cycle", cycle)
+            .field_u64("latency_cycles", latency);
+        self.recovery_lanes.insert(main);
+        self.span(
+            RECOVERY_LANE_OFFSET + main,
+            &format!("recover seg {seq}"),
+            "recovery",
+            start,
+            cycle,
+            a.finish(),
+        );
+    }
+
+    fn on_checker_killed(&mut self, checker: usize, cycle: u64) {
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.checkers.insert(checker);
+        let mut a = JsonObject::new();
+        a.field_u64("cycle", cycle);
+        self.instant(checker, "killed", "fault", cycle, a.finish());
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +594,34 @@ mod tests {
         assert!(json.contains("\"ts\": 0.0625"));
         assert!(json.contains("\"dur\": 1.0"));
         assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn recovery_spans_pair_and_checker_kills_are_instants() {
+        let mut t = TraceObserver::new();
+        t.on_recovery_start(0, 7, 1_000);
+        // A consecutive retry extends the original window rather than
+        // opening a second span.
+        t.on_recovery_start(0, 9, 1_500);
+        t.on_recovery_complete(0, 3_000, 2_000);
+        t.on_checker_killed(1, 4_000);
+        assert_eq!(t.spans_recorded(), 1);
+        assert_eq!(t.instants_recorded(), 1);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"name\": \"recover seg 7\""));
+        assert!(json.contains("\"latency_cycles\": 2000"));
+        assert!(json.contains("\"recovery\""));
+        assert!(json.contains("\"name\": \"killed\""));
+    }
+
+    #[test]
+    fn truncated_recovery_spans_close_at_last_cycle() {
+        let mut t = TraceObserver::new();
+        t.on_recovery_start(2, 4, 500);
+        t.on_checker_killed(3, 900);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"recover seg 4\""));
+        assert!(json.contains("\"truncated\": true"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! must equal an unverified run's.
 
 use flexstep_core::harness::baseline_cycles;
-use flexstep_core::{FabricConfig, FaultPlan, FaultTarget, Scenario, Topology};
+use flexstep_core::{FabricConfig, FaultPlan, FaultTarget, RecoveryPolicy, Scenario, Topology};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::inst::*;
 use flexstep_isa::reg::{FReg, XReg};
@@ -467,5 +467,111 @@ proptest! {
             prop_assert!(hits > 0, "aligned workload must produce memo hits");
         }
         prop_assert_eq!(&jsons[0], &jsons[1], "memo on/off reports diverged (hits={})", hits);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// §VI robustness: under `RecoveryPolicy::Rollback`, a faulted run
+    /// must *converge* — faults only ever corrupt the in-flight DBC
+    /// stream, so restoring the last verified segment checkpoint and
+    /// re-executing yields a final architectural state byte-identical to
+    /// a fault-free golden run, across random programs, topologies and
+    /// fault plans. The attribution chain stays ordered
+    /// (`detected <= landed <= armed`) and recoveries consume
+    /// detections (`recovered <= detected`).
+    #[test]
+    fn rollback_runs_converge_to_the_golden_state(
+        body in proptest::collection::vec(body_op(), 4..24),
+        iters in 60i64..160,
+        shape in 0usize..3,
+        first_shot in 500u64..6_000,
+        second_shot in 0u64..4_000,
+        target in prop_oneof![
+            Just(FaultTarget::EntryAddr),
+            Just(FaultTarget::EntryData),
+            Just(FaultTarget::Checkpoint),
+            Just(FaultTarget::InstCount),
+        ],
+        seed in 0u64..1_000,
+        max_retries in 1u32..4,
+    ) {
+        // The vendored proptest implements `Strategy` for tuples up to
+        // arity 8 — derive the ninth dimension from the seed.
+        let two_shots = seed % 2 == 0;
+        let fabric = FabricConfig { segment_limit: 150, ..FabricConfig::paper() };
+        let p0 = build_program_at(&body, iters, Some(0));
+        let p1 = build_program_at(&body, iters, Some(1));
+        let build = |faults: Option<FaultPlan>, recovery: RecoveryPolicy| {
+            let mut scenario = match shape {
+                0 => Scenario::new(&p0).cores(2),
+                1 => Scenario::new(&p0).program(&p1).cores(4),
+                _ => Scenario::new(&p0)
+                    .program(&p1)
+                    .cores(3)
+                    .topology(Topology::SharedChecker { checkers: 1 }),
+            };
+            scenario = scenario.fabric(fabric).recovery(recovery);
+            if let Some(plan) = faults {
+                scenario = scenario.fault_plan(plan);
+            }
+            scenario.build().expect("setup")
+        };
+        let mains = if shape == 0 { 1 } else { 2 };
+
+        // Fault-free golden run (policy irrelevant without detections).
+        let mut golden = build(None, RecoveryPolicy::Detect);
+        prop_assert!(golden.run_to_completion(50_000_000).completed);
+
+        let mut plan = FaultPlan::bit_flip_at(first_shot, target).with_seed(seed);
+        if two_shots {
+            plan = plan.then_bit_flip_at(first_shot + 1_000 + second_shot, target);
+        }
+        let mut run = build(Some(plan), RecoveryPolicy::Rollback { max_retries });
+        let report = run.run_to_completion(50_000_000);
+        prop_assert!(report.completed, "rollback run must finish");
+
+        // Attribution ordering and recovery accounting.
+        let detected = report.detections.len();
+        let landed = report.injections.len();
+        prop_assert!(
+            detected <= landed && landed <= report.shots_armed as usize,
+            "detected {} <= landed {} <= armed {}",
+            detected, landed, report.shots_armed
+        );
+        let recovered: usize = report
+            .per_main
+            .iter()
+            .map(|m| m.recovery_latency_cycles.len())
+            .sum();
+        prop_assert!(recovered <= detected, "recovered {recovered} <= detected {detected}");
+        for m in &report.per_main {
+            prop_assert_eq!(
+                m.unrecovered, 0,
+                "transient shots always re-execute clean within one retry"
+            );
+            prop_assert_eq!(m.recovery_latency_cycles.len() as u64, m.recoveries);
+        }
+
+        // Convergence: every main ends byte-identical to the golden run,
+        // registers and data region alike.
+        for main in 0..mains {
+            let slot = main * 2; // mains sit on even cores in all three shapes
+            prop_assert_eq!(
+                run.soc().core(slot).state.snapshot(),
+                golden.soc().core(slot).state.snapshot(),
+                "main {} diverged from the golden run", main
+            );
+            let region = if main == 0 { p0.data_base } else { p1.data_base };
+            for word in 0..80 {
+                let addr = region + word * 8;
+                prop_assert_eq!(
+                    run.soc().mem.phys().read_u64(addr),
+                    golden.soc().mem.phys().read_u64(addr),
+                    "memory diverged at {:#x}", addr
+                );
+            }
+        }
     }
 }

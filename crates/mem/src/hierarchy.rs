@@ -94,6 +94,26 @@ struct CoreCaches {
     l1d: Cache,
 }
 
+/// One overwritten word in a core's undo journal: enough to restore the
+/// bytes a store (or AMO) clobbered.
+#[derive(Debug, Clone, Copy)]
+struct UndoEntry {
+    addr: u64,
+    size: u8,
+    old: u64,
+}
+
+/// Per-core undo journal for rollback recovery.
+///
+/// Marks handed out by [`MemorySystem::journal_mark`] are *absolute*
+/// sequence numbers (`base + entries.len()`), so they stay valid across
+/// front-truncation when verified segment boundaries retire old entries.
+#[derive(Debug, Default)]
+struct UndoJournal {
+    base: u64,
+    entries: Vec<UndoEntry>,
+}
+
 /// The shared memory system of the simulated SoC.
 ///
 /// ```
@@ -115,6 +135,7 @@ pub struct MemorySystem {
     mem: PhysMem,
     latency: LatencyConfig,
     snoops: u64,
+    journals: Vec<Option<UndoJournal>>,
 }
 
 impl MemorySystem {
@@ -131,13 +152,80 @@ impl MemorySystem {
                 l1d: Cache::new(config.l1d)?,
             });
         }
+        let journals = (0..num_cores).map(|_| None).collect();
         Ok(MemorySystem {
             cores,
             l2: Cache::new(config.l2)?,
             mem: PhysMem::new(),
             latency: config.latency,
             snoops: 0,
+            journals,
         })
+    }
+
+    /// Starts recording an undo journal for `core`'s stores.
+    ///
+    /// Cores without a journal (the default) pay nothing on the write
+    /// path. Only main cores under a rollback recovery policy enable
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn enable_journal(&mut self, core: usize) {
+        if self.journals[core].is_none() {
+            self.journals[core] = Some(UndoJournal::default());
+        }
+    }
+
+    /// Current journal position of `core`, for later
+    /// [`rollback_journal`](Self::rollback_journal) /
+    /// [`truncate_journal`](Self::truncate_journal). Returns 0 when no
+    /// journal is enabled.
+    pub fn journal_mark(&self, core: usize) -> u64 {
+        match &self.journals[core] {
+            Some(j) => j.base + j.entries.len() as u64,
+            None => 0,
+        }
+    }
+
+    /// Undoes every store `core` performed since `mark`, newest first,
+    /// restoring the overwritten bytes in the functional backing store.
+    ///
+    /// Restoration writes go straight to [`PhysMem`]: the caches carry
+    /// timing state only, so no invalidation is needed for correctness.
+    pub fn rollback_journal(&mut self, core: usize, mark: u64) {
+        let Some(j) = &mut self.journals[core] else {
+            return;
+        };
+        let keep = mark.saturating_sub(j.base) as usize;
+        while j.entries.len() > keep {
+            let e = j.entries.pop().expect("len > keep implies non-empty");
+            self.mem.write_sized(e.addr, e.old, e.size);
+        }
+    }
+
+    /// Retires journal entries older than `mark` (a verified segment
+    /// boundary): they can never be rolled back to again. Marks handed
+    /// out earlier stay valid.
+    pub fn truncate_journal(&mut self, core: usize, mark: u64) {
+        let Some(j) = &mut self.journals[core] else {
+            return;
+        };
+        let drop = (mark.saturating_sub(j.base) as usize).min(j.entries.len());
+        if drop > 0 {
+            j.entries.drain(..drop);
+            j.base += drop as u64;
+        }
+    }
+
+    fn journal_store(&mut self, core: usize, addr: u64, size: u8) {
+        if self.journals[core].is_some() {
+            let old = self.mem.read_sized(addr, size);
+            if let Some(j) = &mut self.journals[core] {
+                j.entries.push(UndoEntry { addr, size, old });
+            }
+        }
     }
 
     /// Number of cores served.
@@ -273,6 +361,7 @@ impl MemorySystem {
     /// Writes the low `size` bytes of `value`. Returns cycles.
     pub fn write(&mut self, core: usize, addr: u64, value: u64, size: u8) -> u64 {
         let cycles = self.timed_path(core, addr, AccessKind::Write);
+        self.journal_store(core, addr, size);
         self.mem.write_sized(addr, value, size);
         cycles
     }
@@ -290,6 +379,7 @@ impl MemorySystem {
         f: impl FnOnce(u64) -> u64,
     ) -> (u64, u64) {
         let cycles = self.timed_path(core, addr, AccessKind::Write);
+        self.journal_store(core, addr, size);
         let old = self.mem.read_sized(addr, size);
         let new = f(old);
         self.mem.write_sized(addr, new, size);
@@ -391,5 +481,56 @@ mod tests {
         let lat = LatencyConfig::paper();
         let (_, t) = m.read(0, 0x8000, 8);
         assert_eq!(t, lat.l1_hit + lat.l2_hit + lat.dram);
+    }
+
+    #[test]
+    fn journal_rollback_restores_overwritten_bytes() {
+        let mut m = sys(2);
+        m.write(0, 0x9000, 0x1111, 8);
+        m.write(0, 0x9008, 0x2222, 8);
+        m.enable_journal(0);
+        let mark = m.journal_mark(0);
+        m.write(0, 0x9000, 0xdead, 8);
+        m.amo(0, 0x9008, 8, |v| v + 1);
+        m.write(0, 0x9010, 0xbeef, 4);
+        // Core 1 has no journal; its writes are never rolled back.
+        m.write(1, 0x9100, 7, 8);
+        m.rollback_journal(0, mark);
+        assert_eq!(m.phys().read_u64(0x9000), 0x1111);
+        assert_eq!(m.phys().read_u64(0x9008), 0x2222);
+        assert_eq!(m.phys().read_u64(0x9010) & 0xffff_ffff, 0);
+        assert_eq!(m.phys().read_u64(0x9100), 7);
+    }
+
+    #[test]
+    fn journal_marks_survive_truncation() {
+        let mut m = sys(1);
+        m.enable_journal(0);
+        m.write(0, 0xa000, 1, 8);
+        let mark = m.journal_mark(0);
+        m.write(0, 0xa000, 2, 8);
+        m.write(0, 0xa000, 3, 8);
+        // Retire everything older than `mark`; the mark itself stays
+        // valid as an absolute sequence number.
+        m.truncate_journal(0, mark);
+        m.rollback_journal(0, mark);
+        assert_eq!(m.phys().read_u64(0xa000), 1);
+        // Rolling back before the truncation point is a no-op: those
+        // entries are gone.
+        m.rollback_journal(0, 0);
+        assert_eq!(m.phys().read_u64(0xa000), 1);
+    }
+
+    #[test]
+    fn journal_overlapping_writes_undo_in_reverse_order() {
+        let mut m = sys(1);
+        m.write(0, 0xb000, 0xaaaa_bbbb_cccc_dddd, 8);
+        m.enable_journal(0);
+        let mark = m.journal_mark(0);
+        m.write(0, 0xb000, 0x11, 1);
+        m.write(0, 0xb000, 0x2222, 2);
+        m.write(0, 0xb002, 0x33, 1);
+        m.rollback_journal(0, mark);
+        assert_eq!(m.phys().read_u64(0xb000), 0xaaaa_bbbb_cccc_dddd);
     }
 }

@@ -1,0 +1,130 @@
+//! Rollback recovery and graceful degradation, end to end:
+//!
+//! 1. A dual-core run under `RecoveryPolicy::Rollback` — a fault plan
+//!    corrupts a forwarded store, the checker detects the mismatch, and
+//!    instead of merely flagging it the harness restores the main core
+//!    from the last verified segment boundary's SCP checkpoint, flushes
+//!    the in-flight DBC stream, and re-executes until the segment
+//!    verifies clean. The final architectural state matches a fault-free
+//!    golden run bit for bit.
+//! 2. A 6-core shared-checker pool where one of the two checkers dies
+//!    mid-run (`kill_checker_at`): the arbiter drains the dead checker,
+//!    re-pairs its mains onto the survivor, and the run completes with
+//!    the degradation accounted for in the report.
+//!
+//! ```sh
+//! cargo run --release --example recovery
+//! ```
+
+use flexstep::core::{FabricConfig, FaultPlan, FaultTarget, RecoveryPolicy, Scenario, Topology};
+use flexstep::isa::{asm::Assembler, XReg};
+
+/// A store-heavy checksum loop assembled into a per-slot text/data
+/// window so several mains can run disjoint copies side by side.
+fn checksum_loop(slot: u64) -> Result<flexstep::isa::asm::Program, Box<dyn std::error::Error>> {
+    let mut asm = Assembler::with_bases(
+        "checksum",
+        0x1000_0000 + slot * 0x10_0000,
+        0x2000_0000 + slot * 0x10_0000,
+    );
+    asm.data_label("acc")?;
+    asm.data_u64s(&[0]);
+    asm.la(XReg::A1, "acc");
+    asm.li(XReg::A2, 4000);
+    asm.li(XReg::A0, 0);
+    asm.label("loop")?;
+    asm.add(XReg::A0, XReg::A0, XReg::A2);
+    asm.sd(XReg::A1, XReg::A0, 0);
+    asm.addi(XReg::A2, XReg::A2, -1);
+    asm.bnez(XReg::A2, "loop");
+    asm.ecall();
+    Ok(asm.finish()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. rollback recovery on a paired dual core ---------------------
+    let program = checksum_loop(0)?;
+
+    // Golden reference: same program, no faults.
+    let mut golden = Scenario::new(&program)
+        .cores(2)
+        .topology(Topology::PairedLockstep)
+        .fabric(FabricConfig::paper())
+        .build()?;
+    let golden_report = golden.run_to_completion(50_000_000);
+    assert!(golden_report.completed);
+    let golden_state = golden.soc().core(0).state.snapshot();
+
+    // Faulted run: one bit flip in a forwarded store entry, recovered by
+    // rolling back to the enclosing segment's checkpoint.
+    let mut run = Scenario::new(&program)
+        .cores(2)
+        .topology(Topology::PairedLockstep)
+        .fabric(FabricConfig::paper())
+        .fault_plan(FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData).with_seed(7))
+        .recovery(RecoveryPolicy::Rollback { max_retries: 3 })
+        .build()?;
+    let report = run.run_to_completion(50_000_000);
+    assert!(report.completed);
+
+    let m = &report.per_main[0];
+    println!("rollback recovery (dual core):");
+    println!(
+        "  detections {} | recoveries {} | unrecovered {} | wasted cycles {}",
+        report.detections.len(),
+        m.recoveries,
+        m.unrecovered,
+        m.wasted_cycles
+    );
+    for (i, lat) in m.recovery_latency_cycles.iter().enumerate() {
+        println!("  recovery {i}: detect -> verified-again in {lat} cycles");
+    }
+    assert!(
+        m.recoveries >= 1,
+        "the planned fault must trigger a rollback"
+    );
+    assert_eq!(m.unrecovered, 0, "one retry is enough for a transient");
+    assert_eq!(
+        run.soc().core(0).state.snapshot(),
+        golden_state,
+        "recovered state matches the fault-free run bit for bit"
+    );
+    println!("  final architectural state == fault-free golden run");
+
+    // --- 2. graceful degradation in a shared-checker pool ---------------
+    let programs: Vec<_> = (0..4).map(checksum_loop).collect::<Result<_, _>>()?;
+    let mut sc = Scenario::new(&programs[0])
+        .cores(6)
+        .topology(Topology::SharedChecker { checkers: 2 })
+        .fabric(FabricConfig::paper())
+        .fault_plan(FaultPlan::kill_checker_at(5_000).on_checker(0))
+        .recovery(RecoveryPolicy::Rollback { max_retries: 3 });
+    for p in &programs[1..] {
+        sc = sc.program(p);
+    }
+    let mut pool = sc.build()?;
+    let pool_report = pool.run_to_completion(200_000_000);
+    assert!(pool_report.completed);
+
+    println!();
+    println!("graceful degradation (6 cores, 2-checker pool, checker 0 killed):");
+    println!(
+        "  checkers lost {} | re-pair latencies {:?} cycles | warnings {:?}",
+        pool_report.checkers_lost, pool_report.repair_latency_cycles, pool_report.warnings
+    );
+    assert_eq!(pool_report.checkers_lost, 1);
+    assert!(
+        !pool_report.repair_latency_cycles.is_empty(),
+        "orphaned mains re-pair onto the survivor"
+    );
+    assert!(
+        pool_report.warnings.is_empty(),
+        "a survivor exists, so nothing degrades to unchecked execution"
+    );
+    println!("  all mains re-paired onto the surviving checker; run verified");
+
+    println!();
+    println!("report JSON:");
+    println!("{}", pool_report.to_json());
+    Ok(())
+}

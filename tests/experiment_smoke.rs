@@ -84,6 +84,7 @@ fn fig7_manycore_mini() {
         runs: 2,
         shots_per_run: 5,
         seed: 19,
+        recovery: flexstep_bench::RecoveryPolicy::Detect,
     };
     let row = campaign_row(&cfg).expect("valid configuration");
     assert!(row.completed);

@@ -12,7 +12,9 @@
 //!   spans on one `tid` lane never overlap — the invariant that makes
 //!   the `chrome://tracing` rendering truthful.
 
-use flexstep::core::{FabricConfig, FaultPlan, FaultTarget, Scenario, Topology, TraceObserver};
+use flexstep::core::{
+    FabricConfig, FaultPlan, FaultTarget, RecoveryPolicy, Scenario, Topology, TraceObserver,
+};
 use flexstep::isa::asm::{Assembler, Program};
 use flexstep::isa::XReg;
 
@@ -198,6 +200,40 @@ fn spans_are_closed_and_lanes_never_overlap_across_scenarios() {
             "a mid-segment stop leaves an open span to truncate"
         );
         assert_wellformed(&json, "truncated dual-core");
+    }
+    // Rollback recovery: the detect -> verified-again window renders as
+    // a "recovery" span, and a killed checker as an instant, without
+    // breaking lane discipline.
+    {
+        let trace = TraceObserver::new().into_shared();
+        let plan = FaultPlan::bit_flip_at(4_000, FaultTarget::EntryData)
+            .with_seed(5)
+            .then_kill_checker_at(9_000)
+            .on_checker(1);
+        let mut run = Scenario::new(&job(0, 4_000))
+            .program(&job(1, 4_000))
+            .cores(4)
+            .topology(Topology::SharedChecker { checkers: 2 })
+            .fault_plan(plan)
+            .recovery(RecoveryPolicy::Rollback { max_retries: 3 })
+            .observer(trace.clone())
+            .build()
+            .unwrap();
+        let report = run.run_to_completion(100_000_000);
+        assert!(report.completed);
+        let json = trace.borrow().to_chrome_json();
+        if !report.detections.is_empty() {
+            assert!(
+                json.contains("\"cat\": \"recovery\""),
+                "a recovered detection must render a recovery span"
+            );
+        }
+        assert_eq!(report.checkers_lost, 1);
+        assert!(
+            json.contains("\"killed\""),
+            "the kill shot must render an instant"
+        );
+        assert_wellformed(&json, "rollback recovery");
     }
 }
 
