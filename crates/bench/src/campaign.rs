@@ -11,7 +11,8 @@
 //! `shots_per_run` shots (so arming cycles stay dense without a single
 //! run's FIFO-ordered fault driver serialising thousands of shots), and
 //! the chunks run concurrently under `std::thread::scope`. Every chunk
-//! derives its own RNG stream as `seed ^ fxhash64("chunk-{k}")`, so the
+//! derives its own RNG stream as
+//! [`derive_stream(seed, "chunk-{k}")`](crate::derive_stream), so the
 //! campaign is deterministic for a given seed regardless of thread
 //! interleaving.
 //!
@@ -45,7 +46,9 @@
 //! ```
 
 use crate::manycore::{checker_split, many_core_job};
-use crate::{fxhash64, FabricConfig, FaultPlan, LatencyStats, RecoveryPolicy, Scenario, Topology};
+use crate::{
+    derive_stream, FabricConfig, FaultPlan, LatencyStats, RecoveryPolicy, Scenario, Topology,
+};
 use flexstep_core::json::{array, numbers, numbers_u64, JsonObject};
 use flexstep_core::{MatchedDetection, ScenarioError};
 use flexstep_isa::asm::Program;
@@ -85,7 +88,8 @@ pub struct CampaignConfig {
     pub runs: usize,
     /// Shots armed per chunk.
     pub shots_per_run: usize,
-    /// Campaign seed; chunk `k` runs on `seed ^ fxhash64("chunk-{k}")`.
+    /// Campaign seed; chunk `k` runs on
+    /// [`derive_stream(seed, "chunk-{k}")`](crate::derive_stream).
     pub seed: u64,
     /// What each chunk does on a detection: record it
     /// ([`RecoveryPolicy::Detect`], the Fig. 7 baseline) or roll the
@@ -376,7 +380,7 @@ fn run_chunk(
     chunk: usize,
     trace: Option<&std::path::Path>,
 ) -> Result<ChunkOutcome, ScenarioError> {
-    let chunk_seed = cfg.seed ^ fxhash64(format!("chunk-{chunk}").as_bytes());
+    let chunk_seed = derive_stream(cfg.seed, &format!("chunk-{chunk}"));
     let mut rng = StdRng::seed_from_u64(chunk_seed);
     let mains = programs.len();
     let mut armed_channels = Vec::with_capacity(cfg.shots_per_run);
@@ -429,6 +433,108 @@ fn run_chunk(
     })
 }
 
+/// Builds the per-main workload programs for one configuration.
+fn campaign_programs(cfg: &CampaignConfig, mains: usize) -> Vec<Program> {
+    (0..mains)
+        .map(|i| many_core_job(i as u64, cfg.iters_per_main))
+        .collect()
+}
+
+/// Fault-free probe: measures the live span once so chunk RNGs draw
+/// arming cycles over it (the Fig. 7 methodology; shots drawn past the
+/// drain simply expire and land in the armed-only denominator).
+fn fault_free_horizon(
+    cfg: &CampaignConfig,
+    programs: &[Program],
+    checkers: usize,
+) -> Result<u64, ScenarioError> {
+    let mut probe_scenario = Scenario::new(&programs[0])
+        .cores(cfg.cores)
+        .topology(Topology::SharedChecker { checkers })
+        .fabric(FabricConfig::paper());
+    for p in &programs[1..] {
+        probe_scenario = probe_scenario.program(p);
+    }
+    let mut probe = probe_scenario.build()?;
+    let span = probe.run_to_completion(u64::MAX);
+    Ok(span.main_finish_cycle.max(1_000))
+}
+
+/// The fault-free arming horizon for one configuration — the cycle
+/// span chunk/shard RNGs draw injection instants over. Deterministic
+/// for a given configuration, so a resumed `campaignd` campaign
+/// recomputes exactly the horizon the interrupted run used.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] when the configuration is invalid.
+pub fn probe_horizon(cfg: &CampaignConfig) -> Result<u64, ScenarioError> {
+    let (mains, checkers) = checker_split(cfg.cores, cfg.cores_per_checker)?;
+    let programs = campaign_programs(cfg, mains);
+    fault_free_horizon(cfg, &programs, checkers)
+}
+
+/// Outcome of one campaign shard — the public form of a chunk outcome,
+/// streamed by the `campaignd` engine into per-shard JSONL artifacts.
+/// `detected <= landed <= armed` and `landed + expired == armed` hold
+/// by construction.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Whether every main ran to completion.
+    pub completed: bool,
+    /// Engine steps the shard executed.
+    pub engine_steps: u64,
+    /// Shots the shard armed (`cfg.shots_per_run`).
+    pub armed: usize,
+    /// Shots that landed in a stream.
+    pub landed: usize,
+    /// Armed shots that expired without landing.
+    pub expired: usize,
+    /// One-to-one (injection, detection) pairs; `pairs.len()` is the
+    /// shard's detected count.
+    pub pairs: Vec<MatchedDetection>,
+    /// Raw detection events (a recovery window can span several).
+    pub detections: usize,
+    /// Completed rollback recoveries.
+    pub recovered: usize,
+    /// Detections left unrecovered (retry budget exhausted).
+    pub unrecovered: usize,
+    /// Per-recovery detect -> verified-again latency, cycles.
+    pub recovery_cycles: Vec<u64>,
+}
+
+/// Runs one shard of a campaign: shard `k` is exactly campaign chunk
+/// `k` — same `derive_stream(seed, "chunk-k")` RNG stream, same
+/// shuffled-deck channel assignment — so a sharded campaign aggregates
+/// to the same totals as [`campaign_row`] over the same configuration.
+/// `horizon` must come from [`probe_horizon`] for the same
+/// configuration.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] when the configuration is invalid.
+pub fn run_shard(
+    cfg: &CampaignConfig,
+    horizon: u64,
+    shard: usize,
+) -> Result<ShardOutcome, ScenarioError> {
+    let (mains, checkers) = checker_split(cfg.cores, cfg.cores_per_checker)?;
+    let programs = campaign_programs(cfg, mains);
+    let o = run_chunk(cfg, &programs, checkers, horizon, shard, None)?;
+    Ok(ShardOutcome {
+        completed: o.completed,
+        engine_steps: o.engine_steps,
+        armed: o.armed_channels.len(),
+        landed: o.landed,
+        expired: o.expired,
+        pairs: o.pairs,
+        detections: o.detections,
+        recovered: o.recovered,
+        unrecovered: o.unrecovered,
+        recovery_cycles: o.recovery_cycles,
+    })
+}
+
 /// Runs the campaign at one configuration: `runs` chunks across scoped
 /// threads, aggregated into per-pool and per-main distributions.
 ///
@@ -459,24 +565,9 @@ pub fn campaign_row_traced(
     trace: Option<&std::path::Path>,
 ) -> Result<CampaignRow, ScenarioError> {
     let (mains, checkers) = checker_split(cfg.cores, cfg.cores_per_checker)?;
-    let programs: Vec<Program> = (0..mains)
-        .map(|i| many_core_job(i as u64, cfg.iters_per_main))
-        .collect();
+    let programs = campaign_programs(cfg, mains);
     let start = Instant::now();
-
-    // Fault-free probe: measure the live span once so chunk RNGs draw
-    // arming cycles over it (the Fig. 7 methodology; shots drawn past
-    // the drain simply expire and land in the armed-only denominator).
-    let mut probe_scenario = Scenario::new(&programs[0])
-        .cores(cfg.cores)
-        .topology(Topology::SharedChecker { checkers })
-        .fabric(FabricConfig::paper());
-    for p in &programs[1..] {
-        probe_scenario = probe_scenario.program(p);
-    }
-    let mut probe = probe_scenario.build()?;
-    let span = probe.run_to_completion(u64::MAX);
-    let horizon = span.main_finish_cycle.max(1_000);
+    let horizon = fault_free_horizon(cfg, &programs, checkers)?;
 
     // One chunk per scoped thread, spawned in waves bounded by the
     // machine's parallelism — a 100-chunk campaign must not hold 100
@@ -825,6 +916,39 @@ mod tests {
             a.per_pool.iter().map(|p| p.detected).collect::<Vec<_>>(),
             b.per_pool.iter().map(|p| p.detected).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn sharded_campaign_aggregates_to_the_row_totals() {
+        // Shard k IS campaign chunk k: running the shards one by one
+        // through the public API must reproduce the row totals, and
+        // every shard must satisfy the artifact invariants on its own.
+        let cfg = CampaignConfig {
+            cores: 8,
+            cores_per_checker: 4,
+            iters_per_main: 300,
+            runs: 3,
+            shots_per_run: 6,
+            seed: 77,
+            recovery: RecoveryPolicy::Detect,
+        };
+        let row = campaign_row(&cfg).unwrap();
+        let horizon = probe_horizon(&cfg).unwrap();
+        let shards: Vec<ShardOutcome> = (0..cfg.runs)
+            .map(|k| run_shard(&cfg, horizon, k).unwrap())
+            .collect();
+        assert_eq!(shards.iter().map(|s| s.armed).sum::<usize>(), row.armed);
+        assert_eq!(shards.iter().map(|s| s.landed).sum::<usize>(), row.landed);
+        assert_eq!(shards.iter().map(|s| s.expired).sum::<usize>(), row.expired);
+        assert_eq!(
+            shards.iter().map(|s| s.pairs.len()).sum::<usize>(),
+            row.detected
+        );
+        for s in &shards {
+            assert!(s.completed);
+            assert!(s.pairs.len() <= s.landed && s.landed <= s.armed);
+            assert_eq!(s.landed + s.expired, s.armed);
+        }
     }
 
     #[test]

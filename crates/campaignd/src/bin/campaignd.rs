@@ -1,0 +1,228 @@
+//! `campaignd` — the resumable work-stealing campaign driver.
+//!
+//! ```text
+//! campaignd submit --dir DIR [--quick] [--name S] [--cores 8,16]
+//!                  [--shards N] [--shots N] [--iters N] [--seed N]
+//!                  [--rollback N]          write DIR/spec.json
+//! campaignd run    --dir DIR [--workers N] [--max-shards N]
+//!                                          drain shards (resumable)
+//! campaignd resume --dir DIR [--workers N] [--max-shards N]
+//!                                          alias of run
+//! campaignd status --dir DIR               progress: total/done/pending
+//! campaignd merge  --dir DIR [--out PATH]  shards -> merged.jsonl
+//! campaignd bench  [--dir DIR] [--out PATH] [--quick]
+//!                                          worker-scaling measurement
+//! ```
+//!
+//! `run` is killable at any instant — including `SIGKILL` — and a
+//! subsequent `run`/`resume` redoes only the shards that were in
+//! flight; the `merge` artifact comes out byte-identical either way.
+
+use flexstep_bench::{arg_value, run_bin, write_artifact, BenchError};
+use flexstep_campaignd::{engine, JobSpec, RecoveryPolicy};
+use flexstep_core::json::{array, JsonObject};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: campaignd <submit|run|resume|status|merge|bench> [--dir DIR] ...";
+
+fn main() -> ExitCode {
+    run_bin(run)
+}
+
+fn run() -> Result<(), BenchError> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("submit") => submit(&args),
+        Some("run" | "resume") => drain(&args),
+        Some("status") => status(&args),
+        Some("merge") => merge(&args),
+        Some("bench") => bench(&args),
+        _ => Err(BenchError::Config(USAGE.into())),
+    }
+}
+
+fn dir_arg(args: &[String]) -> Result<PathBuf, BenchError> {
+    arg_value(args, "--dir")
+        .map(PathBuf::from)
+        .ok_or_else(|| BenchError::Config(format!("--dir is required; {USAGE}")))
+}
+
+fn num_arg<T: std::str::FromStr>(args: &[String], key: &str) -> Result<Option<T>, BenchError> {
+    arg_value(args, key)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| BenchError::Config(format!("{key} expects a number, got {v:?}")))
+        })
+        .transpose()
+}
+
+fn all_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+fn submit(args: &[String]) -> Result<(), BenchError> {
+    let dir = dir_arg(args)?;
+    let mut spec = JobSpec::quick();
+    if let Some(name) = arg_value(args, "--name") {
+        spec.name = name;
+    }
+    if let Some(list) = arg_value(args, "--cores") {
+        spec.core_counts = list
+            .split(',')
+            .map(|c| {
+                c.trim().parse().map_err(|_| {
+                    BenchError::Config(format!("--cores expects numbers like 8,16 — got {c:?}"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(n) = num_arg(args, "--shards")? {
+        spec.shards_per_config = n;
+    }
+    if let Some(n) = num_arg(args, "--shots")? {
+        spec.shots_per_shard = n;
+    }
+    if let Some(n) = num_arg(args, "--iters")? {
+        spec.iters_per_main = n;
+    }
+    if let Some(n) = num_arg(args, "--seed")? {
+        spec.seed = n;
+    }
+    if let Some(n) = num_arg(args, "--rollback")? {
+        spec.recovery = RecoveryPolicy::Rollback { max_retries: n };
+    }
+    engine::submit(&dir, &spec)?;
+    println!(
+        "submitted {:?}: {} shards ({} configs x {}) -> {}",
+        spec.name,
+        spec.total_shards(),
+        spec.core_counts.len(),
+        spec.shards_per_config,
+        dir.display()
+    );
+    Ok(())
+}
+
+fn drain(args: &[String]) -> Result<(), BenchError> {
+    let dir = dir_arg(args)?;
+    let workers = num_arg(args, "--workers")?.unwrap_or_else(all_workers);
+    let max_shards = num_arg(args, "--max-shards")?;
+    let summary = engine::run(&dir, workers, max_shards)?;
+    println!(
+        "ran {} shards on {} workers ({} already done, {} remaining) — \
+         {} engine steps in {:.2} s ({:.0} steps/s)",
+        summary.ran,
+        workers,
+        summary.skipped,
+        summary.remaining,
+        summary.engine_steps,
+        summary.wall_s,
+        summary.engine_steps as f64 / summary.wall_s.max(1e-9),
+    );
+    Ok(())
+}
+
+fn status(args: &[String]) -> Result<(), BenchError> {
+    let dir = dir_arg(args)?;
+    let st = engine::status(&dir)?;
+    println!(
+        "campaign {:?}: {}/{} shards done, {} pending",
+        st.name,
+        st.done,
+        st.total,
+        st.pending()
+    );
+    Ok(())
+}
+
+fn merge(args: &[String]) -> Result<(), BenchError> {
+    let dir = dir_arg(args)?;
+    let out = arg_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| engine::merged_path(&dir));
+    let shards = engine::merge(&dir, &out)?;
+    println!("merged {} shards -> {}", shards, out.display());
+    Ok(())
+}
+
+/// Worker-scaling measurement: the same quick campaign drained with 1,
+/// 4, and all-core worker pools, each in a fresh directory, reported as
+/// aggregate engine steps per second.
+fn bench(args: &[String]) -> Result<(), BenchError> {
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_pr8.json".into());
+    let base = arg_value(args, "--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("flexstep_campaignd_bench"));
+    let spec = JobSpec {
+        name: "bench".into(),
+        shards_per_config: if quick { 12 } else { 32 },
+        iters_per_main: if quick { 300 } else { 600 },
+        ..JobSpec::quick()
+    };
+
+    let all = all_workers();
+    let mut ladder = vec![1, 4.min(all), all];
+    ladder.dedup();
+
+    println!(
+        "campaignd worker scaling — {} shards per rung",
+        spec.total_shards()
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>9} {:>14}",
+        "workers", "shards", "engine steps", "wall s", "steps/s"
+    );
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    for &workers in &ladder {
+        let dir = base.join(format!("w{workers}"));
+        // Each rung re-runs the campaign from scratch.
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).map_err(|e| BenchError::Io {
+                path: dir.display().to_string(),
+                source: e,
+            })?;
+        }
+        engine::submit(&dir, &spec)?;
+        let summary = engine::run(&dir, workers, None)?;
+        if summary.remaining != 0 {
+            return Err(BenchError::Invariant(format!(
+                "bench rung at {workers} workers left {} shards pending",
+                summary.remaining
+            )));
+        }
+        let rate = summary.engine_steps as f64 / summary.wall_s.max(1e-9);
+        println!(
+            "{:>8} {:>8} {:>14} {:>9.2} {:>14.0}",
+            workers, summary.ran, summary.engine_steps, summary.wall_s, rate
+        );
+        let mut row = JsonObject::new();
+        row.field_u64("workers", workers as u64)
+            .field_u64("shards", summary.ran as u64)
+            .field_u64("engine_steps", summary.engine_steps)
+            .field_f64("wall_s", summary.wall_s)
+            .field_f64("steps_per_sec", rate);
+        rows.push(row.finish());
+        rates.push(rate);
+    }
+    let speedup = match (rates.first(), rates.last()) {
+        (Some(&one), Some(&full)) if one > 0.0 => full / one,
+        _ => 0.0,
+    };
+    println!("speedup {all} workers vs 1: {speedup:.2}x");
+
+    let mut meta = JsonObject::new();
+    meta.field_str("tool", "campaignd")
+        .field_str("mode", "bench")
+        .field_bool("quick", quick)
+        .field_u64("host_cores", all as u64);
+    let mut out = JsonObject::new();
+    out.field_raw("meta", &meta.finish())
+        .field_raw("rows", &array(&rows))
+        .field_f64("speedup_all_vs_1", speedup);
+    write_artifact(&out_path, &out.finish())?;
+    println!("wrote {out_path}");
+    Ok(())
+}

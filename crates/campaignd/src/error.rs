@@ -1,0 +1,81 @@
+//! The campaign engine's failure surface.
+
+/// Everything that can stop a campaign: bad specs, I/O on the campaign
+/// directory, rejected scenario configurations, and violated outcome
+/// invariants. The CLI renders these and exits non-zero; nothing in the
+/// engine panics on user input.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// `spec.json` was malformed, unsupported, or semantically invalid.
+    Spec(String),
+    /// Reading or writing a campaign artifact failed.
+    Io {
+        /// Path of the file or directory involved.
+        path: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The simulator rejected a shard's scenario configuration.
+    Scenario(flexstep_core::ScenarioError),
+    /// A shard outcome violated a structural invariant
+    /// (`detected <= landed <= armed`, `landed + expired == armed`).
+    Invariant(String),
+    /// An operation needed shards that have not been produced yet
+    /// (e.g. `merge` before the campaign is complete).
+    Incomplete {
+        /// Shards finished so far.
+        done: usize,
+        /// Total shards the spec expands into.
+        total: usize,
+    },
+}
+
+impl CampaignError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: &std::path::Path, source: std::io::Error) -> Self {
+        CampaignError::Io {
+            path: path.display().to_string(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Spec(msg) => write!(f, "bad job spec: {msg}"),
+            CampaignError::Io { path, source } => write!(f, "{path}: {source}"),
+            CampaignError::Scenario(e) => write!(f, "scenario rejected: {e}"),
+            CampaignError::Invariant(msg) => write!(f, "shard invariant violated: {msg}"),
+            CampaignError::Incomplete { done, total } => {
+                write!(f, "campaign incomplete: {done}/{total} shards done")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io { source, .. } => Some(source),
+            CampaignError::Scenario(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexstep_core::ScenarioError> for CampaignError {
+    fn from(e: flexstep_core::ScenarioError) -> Self {
+        CampaignError::Scenario(e)
+    }
+}
+
+impl From<CampaignError> for flexstep_bench::BenchError {
+    fn from(e: CampaignError) -> Self {
+        match e {
+            CampaignError::Io { path, source } => flexstep_bench::BenchError::Io { path, source },
+            CampaignError::Scenario(s) => flexstep_bench::BenchError::Scenario(s),
+            other => flexstep_bench::BenchError::Invariant(other.to_string()),
+        }
+    }
+}

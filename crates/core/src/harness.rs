@@ -19,7 +19,8 @@ use crate::scenario::{
     Scenario, ScenarioError, Topology,
 };
 use crate::share::{ArbiterStats, CheckerArbiter};
-use crate::trace::TraceHandle;
+use crate::sink::{EventBuffer, RunEvent};
+use crate::trace::TraceObserver;
 use flexstep_isa::asm::Program;
 use flexstep_mem::cache::CacheGeometryError;
 use flexstep_sim::{ArchSnapshot, Clock, PrivMode, Soc, SocConfig, StepKind, TrapCause};
@@ -329,12 +330,14 @@ pub struct VerifiedRun {
     done_count: usize,
     finish_cycle: Vec<u64>,
     steps: u64,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
     faults: FaultDriver,
     injections: Vec<Injection>,
     /// Chrome-trace export configured via [`Scenario::trace_to`]:
-    /// the destination path and the recording observer's handle.
-    trace: Option<(std::path::PathBuf, TraceHandle)>,
+    /// the destination path and the owned recording observer.
+    trace: Option<(std::path::PathBuf, TraceObserver)>,
+    /// Owned event recording enabled via [`Scenario::record_events`].
+    recorded: Option<EventBuffer>,
     /// Rollback bookkeeping, one slot per main; `None` under
     /// [`RecoveryPolicy::Detect`] so the detect path stays untouched.
     recovery: Option<RecoveryState>,
@@ -428,6 +431,15 @@ impl std::fmt::Debug for VerifiedRun {
     }
 }
 
+// The tentpole guarantee of the event-sink design: a built run (with
+// its observers, trace recorder, and event buffer) can migrate across
+// worker threads. Regressing any field to a shared handle breaks this
+// assertion at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<VerifiedRun>();
+};
+
 impl VerifiedRun {
     /// Builds the platform from a validated scenario (called by
     /// [`Scenario::build`]).
@@ -440,8 +452,9 @@ impl VerifiedRun {
         sched_mode: Option<flexstep_sim::SchedMode>,
         fault_plan: FaultPlan,
         recovery_policy: RecoveryPolicy,
-        mut observers: Vec<Box<dyn Observer>>,
-        trace: Option<(std::path::PathBuf, TraceHandle)>,
+        observers: Vec<Box<dyn Observer + Send>>,
+        trace: Option<(std::path::PathBuf, TraceObserver)>,
+        record_events: bool,
     ) -> Result<Self, ScenarioError> {
         let ResolvedTopology {
             mains,
@@ -495,15 +508,6 @@ impl VerifiedRun {
         for (slot, &m) in mains.iter().enumerate() {
             slot_of[m] = Some(slot);
         }
-        // The build-time grants above happen before the first step;
-        // surface them so traces show checker occupancy from cycle 0.
-        for a in &arbiters {
-            if let Some(granted) = a.granted() {
-                for o in &mut observers {
-                    o.on_checker_granted(a.checker(), granted, 0);
-                }
-            }
-        }
         let n = mains.len();
         // Rollback recovery journals every main's stores (undo log for
         // re-execution); under Detect no journal exists and the memory
@@ -543,6 +547,7 @@ impl VerifiedRun {
             faults: FaultDriver::new(fault_plan),
             injections: Vec::new(),
             trace,
+            recorded: record_events.then(EventBuffer::new),
             recovery,
             dead_checkers: vec![false; num_checkers],
             checkers_lost: 0,
@@ -551,7 +556,42 @@ impl VerifiedRun {
             warnings: Vec::new(),
         };
         run.sync_fault_memo_blocks();
+        // The build-time grants above happen before the first step;
+        // surface them so traces show checker occupancy from cycle 0.
+        let grants: Vec<(usize, usize)> = run
+            .arbiters
+            .iter()
+            .filter_map(|a| a.granted().map(|g| (a.checker(), g)))
+            .collect();
+        for (checker, granted) in grants {
+            run.emit(RunEvent::CheckerGranted {
+                checker,
+                main: granted,
+                cycle: 0,
+            });
+        }
         Ok(run)
+    }
+
+    /// Dispatches one event to every attached sink: live observers
+    /// first, then the by-value trace observer, then the recorded
+    /// buffer. One choke point keeps the three views consistent.
+    fn emit(&mut self, ev: RunEvent) {
+        for o in &mut self.observers {
+            ev.dispatch(o.as_mut());
+        }
+        if let Some((_, t)) = &mut self.trace {
+            ev.dispatch(t);
+        }
+        if let Some(buf) = &mut self.recorded {
+            buf.push(ev);
+        }
+    }
+
+    /// Whether any sink is attached (observer dispatch is skipped
+    /// entirely on unobserved runs — the hot campaign path).
+    fn observing(&self) -> bool {
+        !self.observers.is_empty() || self.trace.is_some() || self.recorded.is_some()
     }
 
     // ----- deprecated constructors -----------------------------------------
@@ -745,10 +785,10 @@ impl VerifiedRun {
     }
 
     /// The Chrome-trace recorder configured via [`Scenario::trace_to`]
-    /// (a shared handle; `None` when tracing is off). Borrow it to read
-    /// the trace mid-run.
-    pub fn trace(&self) -> Option<TraceHandle> {
-        self.trace.as_ref().map(|(_, handle)| handle.clone())
+    /// (`None` when tracing is off). Borrow it to read the trace
+    /// mid-run.
+    pub fn trace(&self) -> Option<&TraceObserver> {
+        self.trace.as_ref().map(|(_, t)| t)
     }
 
     /// Writes the Chrome trace configured via [`Scenario::trace_to`] to
@@ -761,12 +801,34 @@ impl VerifiedRun {
     /// Propagates the underlying filesystem error.
     pub fn write_trace(&self) -> std::io::Result<Option<std::path::PathBuf>> {
         match &self.trace {
-            Some((path, handle)) => {
-                handle.borrow().write_to(path)?;
+            Some((path, t)) => {
+                t.write_to(path)?;
                 Ok(Some(path.clone()))
             }
             None => Ok(None),
         }
+    }
+
+    /// The recorded event buffer enabled via
+    /// [`Scenario::record_events`] (`None` when recording is off).
+    pub fn events(&self) -> Option<&EventBuffer> {
+        self.recorded.as_ref()
+    }
+
+    /// Replays the recorded event buffer into `observer` — the post-run
+    /// equivalent of having attached it live. A no-op when
+    /// [`Scenario::record_events`] was not enabled.
+    pub fn replay_events(&self, observer: &mut dyn Observer) {
+        if let Some(buf) = &self.recorded {
+            buf.replay(observer);
+        }
+    }
+
+    /// Takes ownership of the recorded event buffer, leaving recording
+    /// enabled with a fresh empty buffer (`None` when recording is
+    /// off). Workers hand buffers to an aggregator this way.
+    pub fn take_events(&mut self) -> Option<EventBuffer> {
+        self.recorded.as_mut().map(std::mem::take)
     }
 
     /// Whether every main core has reached its final `ecall`.
@@ -805,9 +867,7 @@ impl VerifiedRun {
         let now = self.fs.soc.now();
         for channel in self.faults.expire_remaining() {
             let main = self.mains[channel];
-            for o in &mut self.observers {
-                o.on_shot_expired(main, now);
-            }
+            self.emit(RunEvent::ShotExpired { main, cycle: now });
         }
         self.sync_fault_memo_blocks();
     }
@@ -975,9 +1035,10 @@ impl VerifiedRun {
         let checker = self.checkers[idx];
         let now = self.fs.soc.now();
         self.fs.soc.core_mut(checker).halt();
-        for o in &mut self.observers {
-            o.on_checker_killed(checker, now);
-        }
+        self.emit(RunEvent::CheckerKilled {
+            checker,
+            cycle: now,
+        });
         if let Some(ai) = self.arbiters.iter().position(|a| a.checker() == checker) {
             // Shared pool member: every main it was serving (granted or
             // queued) re-pairs round-robin onto the survivors.
@@ -1008,9 +1069,11 @@ impl VerifiedRun {
                     self.sample_repair_latency(orphan, now);
                     let new_checker = self.arbiters[target].checker();
                     self.fs.soc.core_mut(new_checker).unpark();
-                    for o in &mut self.observers {
-                        o.on_checker_granted(new_checker, orphan, now);
-                    }
+                    self.emit(RunEvent::CheckerGranted {
+                        checker: new_checker,
+                        main: orphan,
+                        cycle: now,
+                    });
                 }
             }
         } else if let Some((main, survivors)) = self.fs.fabric.kill_checker(checker) {
@@ -1084,9 +1147,11 @@ impl VerifiedRun {
                     self.fs.soc.mem.truncate_journal(main, mark.min(live_mark));
                 }
                 if let Some(latency) = completed {
-                    for o in &mut self.observers {
-                        o.on_recovery_complete(main, now, latency);
-                    }
+                    self.emit(RunEvent::RecoveryComplete {
+                        main,
+                        cycle: now,
+                        latency,
+                    });
                     self.sync_fault_memo_blocks();
                 }
             }
@@ -1165,9 +1230,11 @@ impl VerifiedRun {
                         let _ = self.arbiters[arb].adopt(&mut self.fs.fabric, main);
                     }
                 }
-                for o in &mut self.observers {
-                    o.on_recovery_start(main, seq, now);
-                }
+                self.emit(RunEvent::RecoveryStart {
+                    main,
+                    seq,
+                    cycle: now,
+                });
             }
             Decision::Exhausted(truncate) => {
                 if let Some(mark) = truncate {
@@ -1205,9 +1272,11 @@ impl VerifiedRun {
             self.fs.soc.core_mut(checker).unpark();
             let now = self.fs.soc.now();
             self.sample_repair_latency(granted, now);
-            for o in &mut self.observers {
-                o.on_checker_granted(checker, granted, now);
-            }
+            self.emit(RunEvent::CheckerGranted {
+                checker,
+                main: granted,
+                cycle: now,
+            });
         }
         if self.faults.pending() {
             let now = self.fs.soc.now();
@@ -1217,8 +1286,8 @@ impl VerifiedRun {
                     .fire_due(&mut self.fs.fabric, &self.mains, |slot| done[slot], now);
             let pending_set_changed = !fired.is_empty() || !expired.is_empty() || !kills.is_empty();
             for injection in fired {
-                for o in &mut self.observers {
-                    o.on_fault_injected(&injection);
+                if self.observing() {
+                    self.emit(RunEvent::FaultInjected(injection.clone()));
                 }
                 self.injections.push(injection);
             }
@@ -1246,7 +1315,7 @@ impl VerifiedRun {
         self.fs.soc.touch_clock(core);
         // Segment open/close observation needs the tracker state from
         // before the step; skip the probe entirely when nobody watches.
-        let seg_before = if self.observers.is_empty() {
+        let seg_before = if !self.observing() {
             None
         } else {
             self.slot_of[core].map(|_| self.fs.fabric.unit(core).tracker.open_seq())
@@ -1271,9 +1340,10 @@ impl VerifiedRun {
             // park it (a later grant unparks it in the poll loop above).
             self.fs.soc.core_mut(core).park();
             let now = self.fs.soc.now();
-            for o in &mut self.observers {
-                o.on_checker_parked(core, now);
-            }
+            self.emit(RunEvent::CheckerParked {
+                checker: core,
+                cycle: now,
+            });
         }
         if let Some(slot) = self.slot_of[core] {
             if !self.done[slot] {
@@ -1294,15 +1364,16 @@ impl VerifiedRun {
                         self.fs.fabric.set_check(core, false).expect("main core");
                         self.arbiters[arb].release(core);
                     }
-                    for o in &mut self.observers {
-                        o.on_main_finished(core, now);
-                    }
+                    self.emit(RunEvent::MainFinished {
+                        main: core,
+                        cycle: now,
+                    });
                 } else if let EngineStep::Core(StepKind::Trap { cause, tval, pc }) = &step {
                     panic!("main core {core} faulted: {cause:?} tval={tval:#x} pc={pc:#x}");
                 }
             }
         }
-        if !self.observers.is_empty() {
+        if self.observing() {
             self.notify_observers(core, seg_before, &step);
         }
         if self.recovery.is_some() {
@@ -1311,7 +1382,7 @@ impl VerifiedRun {
         true
     }
 
-    /// Dispatches observer callbacks for one engine step.
+    /// Emits the sink events for one engine step.
     fn notify_observers(
         &mut self,
         core: usize,
@@ -1323,20 +1394,30 @@ impl VerifiedRun {
             let after = self.fs.fabric.unit(core).tracker.open_seq();
             match (before, after) {
                 (None, Some(seq)) => {
-                    for o in &mut self.observers {
-                        o.on_segment_open(core, seq, cycle);
-                    }
+                    self.emit(RunEvent::SegmentOpen {
+                        main: core,
+                        seq,
+                        cycle,
+                    });
                 }
                 (Some(seq), None) => {
-                    for o in &mut self.observers {
-                        o.on_segment_close(core, seq, cycle);
-                    }
+                    self.emit(RunEvent::SegmentClose {
+                        main: core,
+                        seq,
+                        cycle,
+                    });
                 }
                 (Some(closed), Some(opened)) if closed != opened => {
-                    for o in &mut self.observers {
-                        o.on_segment_close(core, closed, cycle);
-                        o.on_segment_open(core, opened, cycle);
-                    }
+                    self.emit(RunEvent::SegmentClose {
+                        main: core,
+                        seq: closed,
+                        cycle,
+                    });
+                    self.emit(RunEvent::SegmentOpen {
+                        main: core,
+                        seq: opened,
+                        cycle,
+                    });
                 }
                 _ => {}
             }
@@ -1346,15 +1427,19 @@ impl VerifiedRun {
                 // The SCP apply begins the checker-occupancy window; the
                 // connected channel names the main being verified.
                 if let Some((main, _)) = self.fs.fabric.channel_of(core) {
-                    for o in &mut self.observers {
-                        o.on_check_start(core, main, *seq, cycle);
-                    }
+                    self.emit(RunEvent::CheckStart {
+                        checker: core,
+                        main,
+                        seq: *seq,
+                        cycle,
+                    });
                 }
             }
             EngineStep::CheckerSegmentDone(result) => {
-                for o in &mut self.observers {
-                    o.on_check_pass(core, result);
-                }
+                self.emit(RunEvent::CheckPass {
+                    checker: core,
+                    result: result.clone(),
+                });
             }
             EngineStep::CheckerDetected(event) => {
                 let result = SegmentResult {
@@ -1363,10 +1448,11 @@ impl VerifiedRun {
                     mismatch: Some(event.kind.clone()),
                     at: event.detected_at,
                 };
-                for o in &mut self.observers {
-                    o.on_check_fail(core, &result);
-                    o.on_detection(event);
-                }
+                self.emit(RunEvent::CheckFail {
+                    checker: core,
+                    result,
+                });
+                self.emit(RunEvent::Detection(event.clone()));
             }
             _ => {}
         }
@@ -1893,19 +1979,17 @@ mod tests {
         // Detection must be immediately preceded by the CheckFail for
         // the same checker and segment.
         use crate::scenario::ObserverEvent;
-        use std::cell::RefCell;
-        use std::rc::Rc;
         let p = store_loop(4000);
-        let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
         let mut run = Scenario::new(&p)
             .cores(2)
             .fault_plan(FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData).with_seed(3))
-            .observer(recorder.clone())
+            .record_events()
             .build()
             .unwrap();
         let r = run.run_to_completion(50_000_000);
         assert!(!r.detections.is_empty(), "the flip must be caught");
-        let rec = recorder.borrow();
+        let mut rec = RecordingObserver::new();
+        run.replay_events(&mut rec);
         let events = rec.events();
         let mut detections_seen = 0;
         for (i, e) in events.iter().enumerate() {
@@ -1934,18 +2018,12 @@ mod tests {
         // CheckStart for the same checker and segment — the pairing the
         // trace exporter turns into checker-occupancy spans.
         use crate::scenario::ObserverEvent;
-        use std::cell::RefCell;
-        use std::rc::Rc;
         let p = store_loop(2000);
-        let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
-        let mut run = Scenario::new(&p)
-            .cores(2)
-            .observer(recorder.clone())
-            .build()
-            .unwrap();
+        let mut run = Scenario::new(&p).cores(2).record_events().build().unwrap();
         let r = run.run_to_completion(10_000_000);
         assert!(r.completed);
-        let rec = recorder.borrow();
+        let mut rec = RecordingObserver::new();
+        run.replay_events(&mut rec);
         let events = rec.events();
         let mut open: Option<(usize, u64)> = None;
         let mut verdicts = 0;
@@ -1974,19 +2052,17 @@ mod tests {
     #[test]
     fn expired_shots_notify_observers() {
         use crate::scenario::ObserverEvent;
-        use std::cell::RefCell;
-        use std::rc::Rc;
         let p = store_loop(300);
-        let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
         let mut run = Scenario::new(&p)
             .cores(2)
             .fault_plan(FaultPlan::random_with_seed(u64::MAX / 2, 1))
-            .observer(recorder.clone())
+            .record_events()
             .build()
             .unwrap();
         let r = run.run_to_completion(50_000_000);
         assert_eq!(r.shots_expired, 1);
-        let rec = recorder.borrow();
+        let mut rec = RecordingObserver::new();
+        run.replay_events(&mut rec);
         let expiries: Vec<_> = rec
             .events()
             .iter()
@@ -1999,8 +2075,6 @@ mod tests {
     fn shared_checker_grants_are_observable() {
         use crate::scenario::ObserverEvent;
         use flexstep_isa::asm::Assembler;
-        use std::cell::RefCell;
-        use std::rc::Rc;
         let job = |slot: u64, iters: i64| {
             let mut asm = Assembler::with_bases(
                 format!("job{slot}"),
@@ -2016,18 +2090,18 @@ mod tests {
             asm.ecall();
             asm.finish().unwrap()
         };
-        let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
         let mut run = Scenario::new(&job(0, 1500))
             .program(&job(1, 1500))
             .cores(3)
             .topology(Topology::SharedChecker { checkers: 1 })
-            .observer(recorder.clone())
+            .record_events()
             .build()
             .unwrap();
         let r = run.run_to_completion(50_000_000);
         assert!(r.completed);
         assert_eq!(r.arbiters[0].switches, 1, "one hand-over");
-        let rec = recorder.borrow();
+        let mut rec = RecordingObserver::new();
+        run.replay_events(&mut rec);
         let grants: Vec<(usize, usize, u64)> = rec
             .events()
             .iter()
@@ -2043,6 +2117,24 @@ mod tests {
         assert_eq!(grants[1].0, 2);
         assert_eq!(grants[1].1, 1);
         assert!(grants[1].2 > 0);
+    }
+
+    #[test]
+    fn runs_cross_threads() {
+        // `VerifiedRun: Send` is statically asserted above; exercise it
+        // for real — build on this thread, run to completion on another.
+        let p = store_loop(800);
+        let run = Scenario::new(&p).cores(2).record_events().build().unwrap();
+        let baseline = dual(&p, FabricConfig::paper()).run_to_completion(10_000_000);
+        let report = std::thread::spawn(move || {
+            let mut run = run;
+            let r = run.run_to_completion(10_000_000);
+            (r, run.take_events().expect("recording enabled"))
+        })
+        .join()
+        .unwrap();
+        assert_eq!(report.0, baseline, "cross-thread run is bit-identical");
+        assert!(!report.1.is_empty(), "the buffer came back with the run");
     }
 
     #[test]

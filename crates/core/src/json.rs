@@ -1,10 +1,16 @@
-//! A minimal hand-rolled JSON writer.
+//! A minimal hand-rolled JSON writer and reader.
 //!
 //! The experiment binaries (`perf_report`, `fig8`) and the run reports
 //! emit machine-readable artifacts; the build image has no registry
 //! access for `serde`, so this module provides the small, allocation-
 //! light subset they need: objects, arrays, strings with escaping, and
 //! numbers. Output is deterministic (insertion order preserved).
+//!
+//! The reader side ([`JsonValue::parse`]) is a strict recursive-descent
+//! parser for the same subset, used by the `campaignd` engine to load
+//! job specs and manifests back. Numbers keep their raw source text
+//! ([`JsonValue::Number`]) so 64-bit seeds round-trip without `f64`
+//! precision loss.
 
 use std::fmt::Write as _;
 
@@ -172,6 +178,341 @@ where
     buf
 }
 
+/// A parsed JSON value.
+///
+/// Numbers are kept as their raw source text so integer values up to
+/// the full `u64`/`i64` range survive parsing exactly (an `f64`
+/// intermediate would corrupt 64-bit campaign seeds); convert on
+/// access with [`JsonValue::as_u64`]/[`JsonValue::as_f64`].
+///
+/// ```
+/// use flexstep_core::json::JsonValue;
+/// let v = JsonValue::parse(r#"{"seed": 18446744073709551615, "rows": [1, 2]}"#).unwrap();
+/// assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(u64::MAX));
+/// assert_eq!(v.get("rows").and_then(JsonValue::as_array).map(<[_]>::len), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source text (e.g. `"42"`, `"-1.5e3"`).
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, insertion-ordered (keys are not deduplicated).
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// A parse failure: the byte offset and a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] locating the first malformed byte.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage after document"));
+        }
+        Ok(v)
+    }
+
+    /// The value of `key` when this is an object (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, when this is an integral number in range
+    /// (exact — no float intermediate).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, when this is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates (paired or lone) are not
+                            // produced by our writer; reject them
+                            // rather than emit replacement chars.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("non-scalar \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so the
+                    // byte sequence is valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_from {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_from = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_from {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII digits")
+            .to_string();
+        Ok(JsonValue::Number(raw))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +557,79 @@ mod tests {
         assert_eq!(numbers([1.5, 2.0, f64::NAN]), "[1.5, 2.0, null]");
         assert_eq!(numbers_u64([3, 4, 5]), "[3, 4, 5]");
         assert_eq!(numbers(std::iter::empty()), "[]");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "fig8 \"quick\"\n")
+            .field_u64("seed", u64::MAX)
+            .field_i64("delta", -3)
+            .field_f64("mean_us", 1.25)
+            .field_bool("ok", true)
+            .field_raw("none", "null")
+            .field_array("rows", ["1", "2", "3"]);
+        let v = JsonValue::parse(&o.finish()).unwrap();
+        assert_eq!(
+            v.get("name").and_then(JsonValue::as_str),
+            Some("fig8 \"quick\"\n")
+        );
+        assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("delta").and_then(JsonValue::as_i64), Some(-3));
+        assert_eq!(v.get("mean_us").and_then(JsonValue::as_f64), Some(1.25));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        let rows = v.get("rows").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.iter().filter_map(JsonValue::as_u64).sum::<u64>(), 6);
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_keeps_u64_precision() {
+        // 2^63 + 1 is not representable in f64 — the raw-text number
+        // representation must carry it through exactly.
+        let v = JsonValue::parse("9223372036854775809").unwrap();
+        assert_eq!(v.as_u64(), Some(9_223_372_036_854_775_809));
+        assert_eq!(v.as_i64(), None, "out of i64 range");
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_whitespace() {
+        let v = JsonValue::parse(" { \"a\" : [ { \"b\" : [ ] } , null , -1.5e3 ] , \"c\" : { } } ")
+            .unwrap();
+        let a = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].get("b").and_then(JsonValue::as_array), Some(&[][..]));
+        assert_eq!(a[1], JsonValue::Null);
+        assert_eq!(a[2].as_f64(), Some(-1500.0));
+        assert_eq!(v.get("c").and_then(JsonValue::as_object), Some(&[][..]));
+    }
+
+    #[test]
+    fn parser_unescapes_strings() {
+        let v = JsonValue::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{41}"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "01e",
+            "1 2",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+            "[1 2]",
+            "-",
+            "1.",
+            "1e",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "must reject {bad:?}");
+        }
     }
 }

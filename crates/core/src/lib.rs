@@ -98,6 +98,7 @@ pub mod packet;
 pub mod rcpm;
 pub mod scenario;
 pub mod share;
+pub mod sink;
 pub mod trace;
 
 pub use checker::{CheckPhase, CheckerState, ReplayPort};
@@ -121,4 +122,7 @@ pub use scenario::{
 #[allow(deprecated)]
 pub use share::SharedCheckerRun;
 pub use share::{ArbiterStats, CheckerArbiter, SharedRunReport};
-pub use trace::{TraceHandle, TraceObserver, DEFAULT_RING_CAPACITY};
+pub use sink::{EventBuffer, RunEvent};
+#[allow(deprecated)]
+pub use trace::TraceHandle;
+pub use trace::{TraceObserver, DEFAULT_RING_CAPACITY};

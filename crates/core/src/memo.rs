@@ -19,7 +19,7 @@
 //! shots, and the injectors drop any in-progress recording — three
 //! independent layers (see DESIGN.md §13).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Default verdict-cache capacity (entries per checker).
 pub(crate) const DEFAULT_MEMO_CAPACITY: usize = 64;
@@ -54,7 +54,7 @@ struct MemoEntry {
     stream_hash: u64,
     code_epoch: u64,
     inst_count: u64,
-    profile: Rc<[u32]>,
+    profile: Arc<[u32]>,
     last_used: u64,
 }
 
@@ -92,14 +92,14 @@ impl VerdictMemo {
         start_hash: u64,
         stream_hash: u64,
         code_epoch: u64,
-    ) -> Option<(u64, Rc<[u32]>)> {
+    ) -> Option<(u64, Arc<[u32]>)> {
         self.tick += 1;
         let tick = self.tick;
         let e = self.entries.iter_mut().find(|e| {
             e.start_hash == start_hash && e.stream_hash == stream_hash && e.code_epoch == code_epoch
         })?;
         e.last_used = tick;
-        Some((e.inst_count, Rc::clone(&e.profile)))
+        Some((e.inst_count, Arc::clone(&e.profile)))
     }
 
     /// Inserts a finished recording, evicting the least-recently-used
@@ -185,7 +185,7 @@ impl Recording {
 /// step by step in place of real replay.
 #[derive(Debug)]
 pub(crate) struct Playback {
-    profile: Rc<[u32]>,
+    profile: Arc<[u32]>,
     pos: usize,
     /// The instruction count the memoized segment retired — asserted
     /// against the stream's `InstCount` packet when the profile runs dry.
@@ -193,7 +193,7 @@ pub(crate) struct Playback {
 }
 
 impl Playback {
-    pub(crate) fn new(inst_count: u64, profile: Rc<[u32]>) -> Self {
+    pub(crate) fn new(inst_count: u64, profile: Arc<[u32]>) -> Self {
         Playback {
             profile,
             pos: 0,

@@ -568,18 +568,44 @@ pub trait Observer {
     }
 }
 
-/// Shared-handle observers: attach `Rc<RefCell<MyObserver>>` to a
-/// scenario and keep a clone to inspect after the run.
+/// Shared-handle observers — **deprecated attachment pattern**.
+///
+/// `Rc<RefCell<MyObserver>>` still implements [`Observer`], but it is
+/// `!Send`, so it can no longer be attached to a [`Scenario`]
+/// ([`Scenario::observer`] requires `Observer + Send` — the bound that
+/// makes [`VerifiedRun`] itself `Send`). Migrate to
+/// the event-sink API: record the run with
+/// [`Scenario::record_events`], then replay the buffer into your
+/// observer after the run.
 ///
 /// ```
-/// use flexstep_core::{Observer, RecordingObserver};
-/// use std::cell::RefCell;
-/// use std::rc::Rc;
-/// let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
-/// let handle: Box<dyn Observer> = Box::new(recorder.clone());
-/// // ... scenario.observer(recorder.clone()) ... run ...
-/// let _summary = recorder.borrow().summary();
-/// # let _ = handle;
+/// use flexstep_core::{RecordingObserver, Scenario};
+/// # use flexstep_isa::{asm::Assembler, XReg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut asm = Assembler::new("tiny");
+/// # asm.li(XReg::A0, 50);
+/// # asm.li(XReg::A1, 0x2000_0000);
+/// # asm.label("l")?;
+/// # asm.sd(XReg::A1, XReg::A0, 0);
+/// # asm.addi(XReg::A0, XReg::A0, -1);
+/// # asm.bnez(XReg::A0, "l");
+/// # asm.ecall();
+/// # let program = asm.finish()?;
+/// // Before (no longer compiles — Rc<RefCell<_>> is !Send):
+/// //   let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+/// //   Scenario::new(&program).observer(recorder.clone()) ...
+/// //   recorder.borrow().summary()
+/// // After:
+/// let mut run = Scenario::new(&program)
+///     .cores(2)
+///     .record_events()
+///     .build()?;
+/// assert!(run.run_to_completion(10_000_000).completed);
+/// let mut recorder = RecordingObserver::new();
+/// run.replay_events(&mut recorder);
+/// let _summary = recorder.summary();
+/// # Ok(())
+/// # }
 /// ```
 impl<T: Observer> Observer for std::rc::Rc<std::cell::RefCell<T>> {
     fn on_segment_open(&mut self, main: usize, seq: u64, cycle: u64) {
@@ -1020,10 +1046,13 @@ pub struct Scenario {
     sched_mode: Option<SchedMode>,
     fault_plan: FaultPlan,
     recovery: RecoveryPolicy,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
     /// Chrome-trace export: `(path, ring capacity)`; `None` capacity =
     /// unbounded.
     trace: Option<(std::path::PathBuf, Option<usize>)>,
+    /// Record every observer event into an owned
+    /// [`EventBuffer`](crate::sink::EventBuffer) for post-run replay.
+    record_events: bool,
 }
 
 impl fmt::Debug for Scenario {
@@ -1038,6 +1067,7 @@ impl fmt::Debug for Scenario {
             .field("recovery", &self.recovery)
             .field("observers", &self.observers.len())
             .field("trace", &self.trace)
+            .field("record_events", &self.record_events)
             .finish()
     }
 }
@@ -1055,6 +1085,7 @@ impl Scenario {
             recovery: RecoveryPolicy::Detect,
             observers: Vec::new(),
             trace: None,
+            record_events: false,
         }
     }
 
@@ -1133,8 +1164,28 @@ impl Scenario {
     }
 
     /// Attaches an observer; may be called repeatedly.
-    pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
+    ///
+    /// Observers must be `Send` — the bound that keeps the built
+    /// [`VerifiedRun`] `Send`, so runs can execute on worker threads.
+    /// For the old `Rc<RefCell<_>>` shared-handle pattern (inspecting
+    /// the observer after the run), use [`Scenario::record_events`] and
+    /// [`VerifiedRun::replay_events`](crate::VerifiedRun::replay_events)
+    /// instead.
+    pub fn observer(mut self, observer: impl Observer + Send + 'static) -> Self {
         self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Records every observer event into an owned
+    /// [`EventBuffer`](crate::sink::EventBuffer) the run keeps; read it
+    /// back after the run with
+    /// [`VerifiedRun::events`](crate::VerifiedRun::events) or replay it
+    /// into any observer with
+    /// [`VerifiedRun::replay_events`](crate::VerifiedRun::replay_events).
+    /// This is the `Send`-able replacement for attaching an
+    /// `Rc<RefCell<_>>` shared handle.
+    pub fn record_events(mut self) -> Self {
+        self.record_events = true;
         self
     }
 
@@ -1279,16 +1330,15 @@ impl Scenario {
     /// Returns a [`ScenarioError`] describing the first violated
     /// constraint; never panics on bad configuration.
     pub fn build(mut self) -> Result<VerifiedRun, ScenarioError> {
-        // A configured trace is just one more observer, plus the
-        // (path, handle) pair the run needs for `write_trace`.
+        // A configured trace is an owned event sink the run dispatches
+        // into directly, plus the path `write_trace` targets — no
+        // shared handle, so the built run stays `Send`.
         let trace = self.trace.take().map(|(path, capacity)| {
             let observer = match capacity {
                 Some(n) => crate::trace::TraceObserver::bounded(n),
                 None => crate::trace::TraceObserver::new(),
             };
-            let handle = observer.into_shared();
-            self.observers.push(Box::new(handle.clone()));
-            (path, handle)
+            (path, observer)
         });
         let cores = self.cores.unwrap_or_else(|| self.default_cores());
         if cores == 0 {
@@ -1336,6 +1386,7 @@ impl Scenario {
             self.recovery,
             self.observers,
             trace,
+            self.record_events,
         )
     }
 }

@@ -1,0 +1,338 @@
+//! `Send`-able event sinks: the run's observer callbacks, reified.
+//!
+//! The original observer attachment was a shared handle
+//! (`Rc<RefCell<Observer>>`), which made every
+//! [`VerifiedRun`](crate::harness::VerifiedRun)
+//! `!Send` — a run could never cross a thread, so campaigns had to
+//! parallelise around whole runs. This module replaces the shared
+//! handle with owned values:
+//!
+//! - [`RunEvent`] reifies one [`Observer`] callback as an owned,
+//!   `Send` value carrying everything the callback saw (the verdict
+//!   callbacks own their full [`SegmentResult`], unlike the slimmer
+//!   [`ObserverEvent`](crate::ObserverEvent) record, so a buffer can
+//!   stand in for a live observer with zero fidelity loss).
+//! - [`EventBuffer`] is an owned, in-order buffer of those events.
+//!   Enable it with
+//!   [`Scenario::record_events`](crate::Scenario::record_events); after
+//!   the run, replay the buffer into any observer with
+//!   [`EventBuffer::replay`] (or
+//!   [`VerifiedRun::replay_events`](crate::VerifiedRun::replay_events)).
+//!
+//! The harness dispatches every event through one choke point to its
+//! live observers (now `Observer + Send`), its by-value
+//! [`TraceObserver`](crate::TraceObserver), and the optional recorded
+//! buffer — so `VerifiedRun: Send` holds (statically asserted in
+//! `harness.rs`) and runs migrate freely across worker threads.
+//!
+//! # Migrating from `Rc<RefCell<_>>` observers
+//!
+//! ```
+//! use flexstep_core::{RecordingObserver, Scenario};
+//! # use flexstep_isa::{asm::Assembler, XReg};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut asm = Assembler::new("tiny");
+//! # asm.li(XReg::A0, 50);
+//! # asm.li(XReg::A1, 0x2000_0000);
+//! # asm.label("l")?;
+//! # asm.sd(XReg::A1, XReg::A0, 0);
+//! # asm.addi(XReg::A0, XReg::A0, -1);
+//! # asm.bnez(XReg::A0, "l");
+//! # asm.ecall();
+//! # let program = asm.finish()?;
+//! // Before: Rc::new(RefCell::new(RecordingObserver::new())) attached
+//! // via .observer(handle.clone()), inspected via handle.borrow().
+//! // After: record the run once, replay into any observer you like.
+//! let mut run = Scenario::new(&program)
+//!     .cores(2)
+//!     .record_events()
+//!     .build()?;
+//! assert!(run.run_to_completion(10_000_000).completed);
+//!
+//! let mut recorder = RecordingObserver::new();
+//! run.replay_events(&mut recorder);
+//! assert!(recorder.summary().segments_opened > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::detect::{DetectionEvent, SegmentResult};
+use crate::scenario::{Injection, Observer};
+
+/// One [`Observer`] callback as an owned, `Send` value.
+///
+/// Field names mirror the callback parameters; see the corresponding
+/// [`Observer`] method for semantics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RunEvent {
+    /// [`Observer::on_segment_open`].
+    SegmentOpen {
+        /// Main core that opened the segment.
+        main: usize,
+        /// Segment sequence number.
+        seq: u64,
+        /// Cycle of the open.
+        cycle: u64,
+    },
+    /// [`Observer::on_segment_close`].
+    SegmentClose {
+        /// Main core that closed the segment.
+        main: usize,
+        /// Segment sequence number.
+        seq: u64,
+        /// Cycle of the close.
+        cycle: u64,
+    },
+    /// [`Observer::on_check_start`].
+    CheckStart {
+        /// Checker entering replay.
+        checker: usize,
+        /// Main core whose stream is being verified.
+        main: usize,
+        /// Segment sequence number.
+        seq: u64,
+        /// Cycle of the SCP apply.
+        cycle: u64,
+    },
+    /// [`Observer::on_check_pass`].
+    CheckPass {
+        /// Checker that issued the verdict.
+        checker: usize,
+        /// The clean verdict.
+        result: SegmentResult,
+    },
+    /// [`Observer::on_check_fail`].
+    CheckFail {
+        /// Checker that issued the verdict.
+        checker: usize,
+        /// The failing verdict (mismatch included).
+        result: SegmentResult,
+    },
+    /// [`Observer::on_detection`].
+    Detection(DetectionEvent),
+    /// [`Observer::on_fault_injected`].
+    FaultInjected(Injection),
+    /// [`Observer::on_shot_expired`].
+    ShotExpired {
+        /// Main whose armed shot expired.
+        main: usize,
+        /// Cycle of the expiry.
+        cycle: u64,
+    },
+    /// [`Observer::on_checker_granted`].
+    CheckerGranted {
+        /// The granted shared checker.
+        checker: usize,
+        /// Main connected to it.
+        main: usize,
+        /// Cycle of the grant.
+        cycle: u64,
+    },
+    /// [`Observer::on_checker_parked`].
+    CheckerParked {
+        /// The parked checker.
+        checker: usize,
+        /// Cycle of the park.
+        cycle: u64,
+    },
+    /// [`Observer::on_main_finished`].
+    MainFinished {
+        /// The finished main core.
+        main: usize,
+        /// Cycle of the final `ecall`.
+        cycle: u64,
+    },
+    /// [`Observer::on_recovery_start`].
+    RecoveryStart {
+        /// Main rolled back for re-execution.
+        main: usize,
+        /// Segment of the rollback anchor.
+        seq: u64,
+        /// Cycle of the rollback.
+        cycle: u64,
+    },
+    /// [`Observer::on_recovery_complete`].
+    RecoveryComplete {
+        /// Main that verified clean again.
+        main: usize,
+        /// Cycle of the clean verdict.
+        cycle: u64,
+        /// Detect → verified-again latency, cycles.
+        latency: u64,
+    },
+    /// [`Observer::on_checker_killed`].
+    CheckerKilled {
+        /// The permanently failed checker.
+        checker: usize,
+        /// Cycle of the kill.
+        cycle: u64,
+    },
+}
+
+impl RunEvent {
+    /// Invokes the [`Observer`] callback this event reifies. Replaying
+    /// a recorded buffer in order reproduces exactly the callback
+    /// sequence a live observer would have seen.
+    pub fn dispatch(&self, o: &mut dyn Observer) {
+        match self {
+            RunEvent::SegmentOpen { main, seq, cycle } => o.on_segment_open(*main, *seq, *cycle),
+            RunEvent::SegmentClose { main, seq, cycle } => o.on_segment_close(*main, *seq, *cycle),
+            RunEvent::CheckStart {
+                checker,
+                main,
+                seq,
+                cycle,
+            } => o.on_check_start(*checker, *main, *seq, *cycle),
+            RunEvent::CheckPass { checker, result } => o.on_check_pass(*checker, result),
+            RunEvent::CheckFail { checker, result } => o.on_check_fail(*checker, result),
+            RunEvent::Detection(event) => o.on_detection(event),
+            RunEvent::FaultInjected(injection) => o.on_fault_injected(injection),
+            RunEvent::ShotExpired { main, cycle } => o.on_shot_expired(*main, *cycle),
+            RunEvent::CheckerGranted {
+                checker,
+                main,
+                cycle,
+            } => o.on_checker_granted(*checker, *main, *cycle),
+            RunEvent::CheckerParked { checker, cycle } => o.on_checker_parked(*checker, *cycle),
+            RunEvent::MainFinished { main, cycle } => o.on_main_finished(*main, *cycle),
+            RunEvent::RecoveryStart { main, seq, cycle } => {
+                o.on_recovery_start(*main, *seq, *cycle)
+            }
+            RunEvent::RecoveryComplete {
+                main,
+                cycle,
+                latency,
+            } => o.on_recovery_complete(*main, *cycle, *latency),
+            RunEvent::CheckerKilled { checker, cycle } => o.on_checker_killed(*checker, *cycle),
+        }
+    }
+}
+
+/// An owned, in-order buffer of [`RunEvent`]s — the `Send`-able stand-in
+/// for a live observer. See the [module documentation](self) for the
+/// migration pattern.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventBuffer {
+    events: Vec<RunEvent>,
+}
+
+impl EventBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: RunEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in dispatch order.
+    pub fn events(&self) -> &[RunEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays every event into `observer`, in recorded order — the
+    /// post-run equivalent of having attached it live.
+    pub fn replay(&self, observer: &mut dyn Observer) {
+        for e in &self.events {
+            e.dispatch(observer);
+        }
+    }
+
+    /// Consumes the buffer, yielding the owned event list.
+    pub fn into_events(self) -> Vec<RunEvent> {
+        self.events
+    }
+
+    /// Merges another buffer's events onto the end of this one (worker
+    /// threads record per-run buffers; the aggregator merges post-run).
+    pub fn extend(&mut self, other: EventBuffer) {
+        self.events.extend(other.events);
+    }
+}
+
+// The whole point: buffers and events cross threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RunEvent>();
+    assert_send::<EventBuffer>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ObserverEvent, RecordingObserver};
+
+    #[test]
+    fn replay_reproduces_the_callback_sequence() {
+        let mut buf = EventBuffer::new();
+        buf.push(RunEvent::SegmentOpen {
+            main: 0,
+            seq: 1,
+            cycle: 10,
+        });
+        buf.push(RunEvent::CheckStart {
+            checker: 1,
+            main: 0,
+            seq: 1,
+            cycle: 20,
+        });
+        buf.push(RunEvent::CheckPass {
+            checker: 1,
+            result: SegmentResult {
+                seq: 1,
+                tag: 0,
+                mismatch: None,
+                at: 30,
+            },
+        });
+        let mut rec = RecordingObserver::new();
+        buf.replay(&mut rec);
+        assert_eq!(
+            rec.events(),
+            &[
+                ObserverEvent::SegmentOpen(0, 1, 10),
+                ObserverEvent::CheckStart(1, 0, 1, 20),
+                ObserverEvent::CheckPass(1, 1, 30),
+            ]
+        );
+        assert_eq!(rec.summary().checks_passed, 1);
+    }
+
+    #[test]
+    fn extend_merges_in_order() {
+        let mut a = EventBuffer::new();
+        a.push(RunEvent::MainFinished { main: 0, cycle: 5 });
+        let mut b = EventBuffer::new();
+        b.push(RunEvent::MainFinished { main: 1, cycle: 9 });
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        assert!(matches!(
+            a.events()[1],
+            RunEvent::MainFinished { main: 1, cycle: 9 }
+        ));
+    }
+
+    #[test]
+    fn buffers_cross_threads() {
+        let mut buf = EventBuffer::new();
+        buf.push(RunEvent::CheckerParked {
+            checker: 2,
+            cycle: 77,
+        });
+        let handle = std::thread::spawn(move || buf.len());
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+}

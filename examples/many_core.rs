@@ -16,8 +16,6 @@ use flexstep::core::{FabricConfig, FaultPlan, RecordingObserver, Scenario, Topol
 use flexstep::isa::Program;
 // The same per-slot workload the `fig8` sweep simulates.
 use flexstep_bench::manycore::many_core_job;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cores: usize = std::env::args()
@@ -43,13 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .on_channel(mains - 1)
         .with_seed(2025);
 
-    let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
     let mut scenario = Scenario::new(&programs[0])
         .cores(cores)
         .topology(Topology::SharedChecker { checkers })
         .fabric(FabricConfig::paper())
         .fault_plan(plan)
-        .observer(recorder.clone());
+        .record_events();
     for p in &programs[1..] {
         scenario = scenario.program(p);
     }
@@ -103,7 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let summary = recorder.borrow().summary();
+    let mut recorder = RecordingObserver::new();
+    run.replay_events(&mut recorder);
+    let summary = recorder.summary();
     println!();
     println!("observer summary: {}", summary.to_json());
 

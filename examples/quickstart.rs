@@ -8,8 +8,6 @@
 
 use flexstep::core::{FabricConfig, FaultPlan, RecordingObserver, Scenario, Topology};
 use flexstep::isa::{asm::Assembler, XReg};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Write a guest program with the built-in assembler: a checksum
@@ -48,12 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Faulty run: the fault plan arms at cycle 5 000 and flips one
     //    bit in the in-flight forwarded data as soon as the stream
     //    carries a packet. The checker must detect the divergence; the
-    //    shared recorder handle lets us read the protocol afterwards.
-    let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+    //    recorded event buffer lets us replay the protocol afterwards.
     let mut run = Scenario::new(&program)
         .cores(2)
         .fault_plan(FaultPlan::random_with_seed(5_000, 1))
-        .observer(recorder.clone())
+        .record_events()
         .build()?;
     let clock = run.clock();
     let report = run.run_to_completion(10_000_000);
@@ -78,9 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         None => println!("  fault was architecturally masked (dead value)"),
     }
-    println!(
-        "  observer summary : {}",
-        recorder.borrow().summary().to_json()
-    );
+    let mut recorder = RecordingObserver::new();
+    run.replay_events(&mut recorder);
+    println!("  observer summary : {}", recorder.summary().to_json());
     Ok(())
 }

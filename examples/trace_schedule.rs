@@ -53,10 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let written = run.write_trace()?.expect("trace_to was configured");
 
     let trace = run.trace().expect("trace_to was configured");
-    let (spans, instants, dropped) = {
-        let t = trace.borrow();
-        (t.spans_recorded(), t.instants_recorded(), t.dropped())
-    };
+    let (spans, instants, dropped) = (
+        trace.spans_recorded(),
+        trace.instants_recorded(),
+        trace.dropped(),
+    );
     println!(
         "{cores}-core SoC ({mains} mains -> {checkers} shared checkers): \
          {} segments checked, {} detections",

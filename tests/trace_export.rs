@@ -13,10 +13,21 @@
 //!   the `chrome://tracing` rendering truthful.
 
 use flexstep::core::{
-    FabricConfig, FaultPlan, FaultTarget, RecoveryPolicy, Scenario, Topology, TraceObserver,
+    FabricConfig, FaultPlan, FaultTarget, RecoveryPolicy, Scenario, Topology, VerifiedRun,
 };
 use flexstep::isa::asm::{Assembler, Program};
 use flexstep::isa::XReg;
+
+/// `trace_to` requires a destination path, but these tests read the
+/// recorder back via [`VerifiedRun::trace`] and never call
+/// `write_trace` — the path is never created.
+fn unwritten() -> std::path::PathBuf {
+    std::env::temp_dir().join("flexstep_trace_export_unwritten.json")
+}
+
+fn trace_json(run: &VerifiedRun) -> String {
+    run.trace().expect("trace_to configured").to_chrome_json()
+}
 
 fn store_loop(n: i64) -> Program {
     let mut asm = Assembler::new("store_loop");
@@ -53,19 +64,17 @@ fn job(slot: u64, iters: i64) -> Program {
 /// The fixture scenario: 2 cores, one targeted data flip, run to
 /// completion. Fully deterministic.
 fn dual_core_trace_json() -> String {
-    let trace = TraceObserver::new().into_shared();
     let mut run = Scenario::new(&store_loop(4000))
         .cores(2)
         .fabric(FabricConfig::paper())
         .fault_plan(FaultPlan::bit_flip_at(20_000, FaultTarget::EntryData).with_seed(3))
-        .observer(trace.clone())
+        .trace_to(unwritten())
         .build()
         .expect("valid scenario");
     let report = run.run_to_completion(50_000_000);
     assert!(report.completed);
     assert_eq!(report.injections.len(), 1, "the flip must land");
-    let json = trace.borrow().to_chrome_json();
-    json
+    trace_json(&run)
 }
 
 const FIXTURE_PATH: &str = "tests/fixtures/trace_dual_core.trace.json";
@@ -151,18 +160,16 @@ fn assert_wellformed(json: &str, what: &str) {
 fn spans_are_closed_and_lanes_never_overlap_across_scenarios() {
     // Clean dual-core.
     {
-        let trace = TraceObserver::new().into_shared();
         let mut run = Scenario::new(&store_loop(800))
             .cores(2)
-            .observer(trace.clone())
+            .trace_to(unwritten())
             .build()
             .unwrap();
         assert!(run.run_to_completion(10_000_000).completed);
-        assert_wellformed(&trace.borrow().to_chrome_json(), "clean dual-core");
+        assert_wellformed(&trace_json(&run), "clean dual-core");
     }
     // Shared-checker SoC with random fault plans over several seeds.
     for seed in 0..4u64 {
-        let trace = TraceObserver::new().into_shared();
         let plan = FaultPlan::none()
             .then_random_at(3_000)
             .on_channel(0)
@@ -175,26 +182,22 @@ fn spans_are_closed_and_lanes_never_overlap_across_scenarios() {
             .cores(4)
             .topology(Topology::SharedChecker { checkers: 1 })
             .fault_plan(plan)
-            .observer(trace.clone())
+            .trace_to(unwritten())
             .build()
             .unwrap();
         assert!(run.run_to_completion(50_000_000).completed);
-        assert_wellformed(
-            &trace.borrow().to_chrome_json(),
-            &format!("shared-checker seed {seed}"),
-        );
+        assert_wellformed(&trace_json(&run), &format!("shared-checker seed {seed}"));
     }
     // Truncated run: stop mid-flight; open spans must still be closed
     // in the serialisation (flagged truncated).
     {
-        let trace = TraceObserver::new().into_shared();
         let mut run = Scenario::new(&store_loop(5_000))
             .cores(2)
-            .observer(trace.clone())
+            .trace_to(unwritten())
             .build()
             .unwrap();
         assert!(run.run_until_cycle(8_000), "must still be live");
-        let json = trace.borrow().to_chrome_json();
+        let json = trace_json(&run);
         assert!(
             json.contains("\"truncated\": true"),
             "a mid-segment stop leaves an open span to truncate"
@@ -205,7 +208,6 @@ fn spans_are_closed_and_lanes_never_overlap_across_scenarios() {
     // a "recovery" span, and a killed checker as an instant, without
     // breaking lane discipline.
     {
-        let trace = TraceObserver::new().into_shared();
         let plan = FaultPlan::bit_flip_at(4_000, FaultTarget::EntryData)
             .with_seed(5)
             .then_kill_checker_at(9_000)
@@ -216,12 +218,12 @@ fn spans_are_closed_and_lanes_never_overlap_across_scenarios() {
             .topology(Topology::SharedChecker { checkers: 2 })
             .fault_plan(plan)
             .recovery(RecoveryPolicy::Rollback { max_retries: 3 })
-            .observer(trace.clone())
+            .trace_to(unwritten())
             .build()
             .unwrap();
         let report = run.run_to_completion(100_000_000);
         assert!(report.completed);
-        let json = trace.borrow().to_chrome_json();
+        let json = trace_json(&run);
         if !report.detections.is_empty() {
             assert!(
                 json.contains("\"cat\": \"recovery\""),
@@ -239,14 +241,13 @@ fn spans_are_closed_and_lanes_never_overlap_across_scenarios() {
 
 #[test]
 fn bounded_trace_caps_the_event_count() {
-    let trace = TraceObserver::bounded(8).into_shared();
     let mut run = Scenario::new(&store_loop(4_000))
         .cores(2)
-        .observer(trace.clone())
+        .trace_to_bounded(unwritten(), 8)
         .build()
         .unwrap();
     assert!(run.run_to_completion(50_000_000).completed);
-    let t = trace.borrow();
+    let t = run.trace().expect("trace_to configured");
     assert_eq!(t.len(), 8, "ring keeps exactly the capacity");
     assert!(t.dropped() > 0, "a long run must evict");
     assert_wellformed(&t.to_chrome_json(), "bounded dual-core");
