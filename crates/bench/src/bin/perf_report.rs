@@ -4,8 +4,10 @@
 //! `run_to_completion` macro-bench under a plain `Instant`-based
 //! harness, A/B's the event-queue scheduler against the naive linear
 //! scan, A/B's the segment-verdict memo on its best-case control-loop
-//! workload (DESIGN.md §13), and writes everything as JSON (default
-//! `BENCH_pr6.json`) via the shared [`flexstep_core::json`] writer.
+//! workload (DESIGN.md §13), A/B's the in-order pipeline against the
+//! OoO superscalar main model (ISSUE 9), and writes everything as JSON
+//! (default `BENCH_pr9.json`) via the shared [`flexstep_core::json`]
+//! writer.
 //!
 //! Usage: `perf_report [--quick] [--naive] [--guard] [--baseline PATH] [--out PATH]`
 //!
@@ -80,7 +82,7 @@ fn parse_args() -> Args {
         guard: flag("--guard"),
         baseline: flexstep_bench::arg_value(&argv, "--baseline")
             .unwrap_or_else(|| "BENCH_pr6.json".into()),
-        out: flexstep_bench::arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pr6.json".into()),
+        out: flexstep_bench::arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pr9.json".into()),
     }
 }
 
@@ -293,6 +295,51 @@ fn run() -> Result<(), BenchError> {
                  below the PR 2 dual-core floor of {PR2_DUAL_CORE_STEPS_PER_SEC:.4e}"
             )));
         }
+    }
+
+    // --- core-model A/B: in-order vs OoO superscalar mains --------------
+    // Same dual-core verified pipeline, main model swapped. The OoO main
+    // packs branch-outcome packets into its stream, so this also times
+    // the forwarding datapath end to end. Simulation throughput
+    // (steps/s) is the cost axis; simulated main IPC is the fidelity
+    // axis the model exists for.
+    {
+        let mut models_obj = JsonObject::new();
+        let mut sps = Vec::new();
+        for (label, kind) in [
+            ("inorder", flexstep_core::CoreModelKind::InOrder),
+            ("ooo", flexstep_core::CoreModelKind::ooo()),
+        ] {
+            let mut msteps = 0u64;
+            let mut ipc = 0.0;
+            let (mn, me) = time_reps(reps, || {
+                let mut run = Scenario::new(&program)
+                    .cores(2)
+                    .fabric(FabricConfig::paper())
+                    .main_core_model(kind)
+                    .build()?;
+                if let Some(fm) = forced {
+                    run.set_sched_mode(fm);
+                }
+                let r = run.run_to_completion(200_000_000);
+                ensure(
+                    r.completed && r.segments_failed == 0,
+                    "core-model A/B run must complete clean",
+                )?;
+                msteps = r.engine_steps;
+                ipc = run.soc().core(0).ipc();
+                Ok(r.drain_cycle)
+            })?;
+            let mut o = bench_obj(mn, me);
+            o.field_u64("engine_steps", msteps)
+                .field_raw("steps_per_sec", &format!("{:.4e}", msteps as f64 / mn))
+                .field_f64("ns_per_step", mn * 1e9 / msteps as f64)
+                .field_f64("main_ipc", ipc);
+            models_obj.field_raw(label, &o.finish());
+            sps.push(msteps as f64 / mn);
+        }
+        models_obj.field_f64("ooo_vs_inorder_steps_per_sec", sps[1] / sps[0]);
+        out.field_raw("core_models/inorder_vs_ooo", &models_obj.finish());
     }
 
     // --- macro-bench: run_to_completion, both schedulers ----------------

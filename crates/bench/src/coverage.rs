@@ -48,6 +48,9 @@ pub fn detection_point(kind: &MismatchKind) -> DetectionPoint {
         | MismatchKind::LogAddr { .. }
         | MismatchKind::LogData { .. } => DetectionPoint::LogCompare,
         MismatchKind::Ecp { .. } => DetectionPoint::EcpCompare,
+        // Forwarded-outcome divergence is caught while walking the log,
+        // before the count/ECP checks fire.
+        MismatchKind::BranchOutcome { .. } => DetectionPoint::LogCompare,
         MismatchKind::CountOverrun { .. } | MismatchKind::LogUnderrun => DetectionPoint::CountCheck,
         MismatchKind::CheckerFault { .. } => DetectionPoint::ReplayFault,
     }
@@ -163,6 +166,7 @@ fn target_salt(target: FaultTarget) -> u64 {
         FaultTarget::EntryData => 0x85EB_CA6B,
         FaultTarget::Checkpoint => 0xC2B2_AE35,
         FaultTarget::InstCount => 0x27D4_EB2F,
+        FaultTarget::BranchOutcome => 0x1656_67B1,
     }
 }
 

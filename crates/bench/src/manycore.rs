@@ -15,7 +15,8 @@ use flexstep_core::json::JsonObject;
 use flexstep_core::{RunReport, ScenarioError};
 use flexstep_isa::asm::{Assembler, Program};
 use flexstep_isa::XReg;
-use flexstep_sim::Clock;
+use flexstep_sim::{Clock, CoreModelKind};
+use flexstep_soc::{CheckerTier, CHECKER_TIERS};
 use std::time::Instant;
 
 /// One many-core experiment configuration.
@@ -319,6 +320,185 @@ pub fn fig8_sweep_traced(
         .collect()
 }
 
+// ----- heterogeneous core-model sweep (fig8 --ooo) ----------------------
+
+/// One row of the heterogeneous sweep: a (core count, checker tier,
+/// main model) cell with the IPC balance the §IV sizing argument rests
+/// on — the shared in-order checkers' replay IPC must not fall below
+/// the mains' sustained IPC, or verification lag grows without bound.
+#[derive(Debug, Clone)]
+pub struct HeteroRow {
+    /// Total cores simulated.
+    pub cores: usize,
+    /// Main cores.
+    pub mains: usize,
+    /// Shared checker cores.
+    pub checkers: usize,
+    /// Checker-tier name (e.g. `"1:4"`).
+    pub tier: &'static str,
+    /// Main-core timing model.
+    pub model: CoreModelKind,
+    /// Whether every main finished.
+    pub completed: bool,
+    /// Mean sustained IPC across the main cores.
+    pub main_ipc: f64,
+    /// Mean replay IPC across the checker pool.
+    pub checker_ipc: f64,
+    /// Segments verified across the checker pool.
+    pub segments_checked: u64,
+    /// Shots the fault plan scheduled.
+    pub armed: usize,
+    /// Faults that landed.
+    pub injected: usize,
+    /// Detections matched one-to-one to landed faults.
+    pub detected: usize,
+    /// Cycle at which the last stream drained.
+    pub drain_cycle: u64,
+}
+
+impl HeteroRow {
+    /// Campaign coverage: detections over landed faults, percent (100
+    /// when nothing landed — an empty campaign misses nothing).
+    pub fn coverage_pct(&self) -> f64 {
+        if self.injected == 0 {
+            100.0
+        } else {
+            100.0 * self.detected as f64 / self.injected as f64
+        }
+    }
+
+    /// Renders the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("cores", self.cores as u64)
+            .field_u64("mains", self.mains as u64)
+            .field_u64("checkers", self.checkers as u64)
+            .field_str("tier", self.tier)
+            .field_str("model", self.model.label())
+            .field_bool("completed", self.completed)
+            .field_f64("main_ipc", self.main_ipc)
+            .field_f64("checker_ipc", self.checker_ipc)
+            .field_u64("segments_checked", self.segments_checked)
+            .field_u64("armed", self.armed as u64)
+            .field_u64("injected", self.injected as u64)
+            .field_u64("detected", self.detected as u64)
+            .field_f64("coverage_pct", self.coverage_pct())
+            .field_u64("drain_cycle", self.drain_cycle);
+        o.finish()
+    }
+}
+
+/// The heterogeneous-sweep workload: strided loads walking a buffer
+/// much larger than the L1 plus a data-dependent branch per element.
+/// Mains — in-order or OoO — pay the miss latency; checkers replay the
+/// same instructions against the log (no memory latency) with
+/// forwarded outcomes, which is what lets one scalar checker keep up
+/// with several wide mains. An L1-resident ALU loop would invert the
+/// balance and say nothing about the paper's sizing claim.
+pub fn hetero_job(slot: u64, iters: i64) -> Program {
+    let text = 0x1000_0000 + slot * 0x10_0000;
+    let data = 0x2000_0000 + slot * 0x10_0000;
+    let mut asm = Assembler::with_bases(format!("het{slot}"), text, data);
+    asm.la(XReg::A2, "buf");
+    asm.data_label("buf").unwrap();
+    asm.data_zeros(64 * 1024);
+    asm.li(XReg::A0, iters);
+    asm.li(XReg::A4, 0);
+    asm.label("l").unwrap();
+    // One cache line per iteration; 64 KiB of buffer bounds the walk.
+    asm.ld(XReg::A3, XReg::A2, 0);
+    asm.sd(XReg::A2, XReg::A4, 8);
+    asm.addi(XReg::A2, XReg::A2, 64);
+    asm.add(XReg::A4, XReg::A4, XReg::A3);
+    // Data-dependent branch on the loaded value.
+    asm.bnez(XReg::A3, "s");
+    asm.addi(XReg::A4, XReg::A4, 1);
+    asm.label("s").unwrap();
+    asm.addi(XReg::A0, XReg::A0, -1);
+    asm.bnez(XReg::A0, "l");
+    asm.ecall();
+    asm.finish().unwrap()
+}
+
+/// Runs one heterogeneous cell: `cores` total, checkers sized by
+/// `tier`, every main running `model`.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] when the tier leaves no main core at
+/// this count.
+pub fn hetero_row(
+    cores: usize,
+    tier: CheckerTier,
+    model: CoreModelKind,
+    quick: bool,
+) -> Result<HeteroRow, ScenarioError> {
+    let (mains, checkers) = checker_split(cores, tier.cores_per_checker)?;
+    let iters: i64 = if quick { 300 } else { 800 };
+    let shots = if quick { 2 } else { 4 };
+    let programs: Vec<Program> = (0..mains).map(|i| hetero_job(i as u64, iters)).collect();
+    let mut plan =
+        FaultPlan::none().with_seed(0x0880 ^ cores as u64 ^ ((tier.cores_per_checker as u64) << 8));
+    for k in 0..shots {
+        plan = plan
+            .then_random_at(3_000 + 4_000 * k as u64)
+            .on_channel(k % mains);
+    }
+    let mut scenario = Scenario::new(&programs[0])
+        .cores(cores)
+        .topology(Topology::SharedChecker { checkers })
+        .fabric(FabricConfig::paper())
+        .main_core_model(model)
+        .fault_plan(plan);
+    for p in &programs[1..] {
+        scenario = scenario.program(p);
+    }
+    let mut run = scenario.build()?;
+    let report = run.run_to_completion(u64::MAX);
+    // SharedChecker topology binds mains to 0..mains and checkers to
+    // the tail ids, so the IPC means read straight off the SoC.
+    let mean_ipc = |ids: std::ops::Range<usize>| {
+        let n = ids.len().max(1) as f64;
+        ids.map(|i| run.soc().core(i).ipc()).sum::<f64>() / n
+    };
+    Ok(HeteroRow {
+        cores,
+        mains,
+        checkers,
+        tier: tier.name,
+        model,
+        completed: report.completed,
+        main_ipc: mean_ipc(0..mains),
+        checker_ipc: mean_ipc(mains..cores),
+        segments_checked: report.segments_checked,
+        armed: report.shots_armed as usize,
+        injected: report.injections.len(),
+        detected: detection_latencies(&report).len(),
+        drain_cycle: report.drain_cycle,
+    })
+}
+
+/// The full heterogeneous sweep: every checker tier × {in-order, OoO}
+/// mains at each core count. Rows come out grouped by count, then
+/// tier, then model, so in-order and OoO cells of the same SoC sit
+/// adjacent for comparison.
+///
+/// # Panics
+///
+/// Panics if a sweep configuration fails to validate (the built-in
+/// tiers at 16+ cores always do).
+pub fn hetero_sweep(cores: &[usize], quick: bool) -> Vec<HeteroRow> {
+    let mut rows = Vec::new();
+    for &n in cores {
+        for tier in CHECKER_TIERS {
+            for model in [CoreModelKind::InOrder, CoreModelKind::ooo()] {
+                rows.push(hetero_row(n, *tier, model, quick).expect("sweep tiers are valid"));
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +531,26 @@ mod tests {
         let json = row.to_json();
         assert!(json.contains("\"cores\": 8"));
         assert!(json.contains("\"armed\": "));
+    }
+
+    #[test]
+    fn hetero_ooo_cell_keeps_checker_ipc_ahead_at_full_coverage() {
+        let tier = CHECKER_TIERS[0];
+        let row = hetero_row(8, tier, CoreModelKind::ooo(), true).expect("valid cell");
+        assert!(row.completed, "{row:?}");
+        assert_eq!(row.model, CoreModelKind::ooo());
+        assert!(row.injected >= 1, "shots must land: {row:?}");
+        assert!(
+            row.coverage_pct() >= 99.0,
+            "OoO-main campaign coverage: {row:?}"
+        );
+        assert!(
+            row.checker_ipc >= row.main_ipc,
+            "checker replay must keep up with OoO mains: {row:?}"
+        );
+        let json = row.to_json();
+        assert!(json.contains("\"model\": \"ooo\""));
+        assert!(json.contains("\"tier\": \"1:4\""));
     }
 
     #[test]

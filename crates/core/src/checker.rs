@@ -267,6 +267,28 @@ impl DataPort for ReplayPort<'_> {
         }
         Ok((old, self.latency))
     }
+
+    fn branch_outcome(&mut self, actual_next_pc: u64) -> Result<bool, PortStop> {
+        // Only out-of-order mains pack Branch packets into their stream;
+        // replaying an in-order main leaves this a no-hint no-op, so the
+        // in-order datapath is bit-for-bit unchanged.
+        match self.fifo.peek(self.consumer) {
+            Some(PacketRef::Branch(expected)) => {
+                self.fifo.advance(self.consumer);
+                if expected == actual_next_pc {
+                    Ok(true)
+                } else {
+                    let kind = MismatchKind::BranchOutcome {
+                        expected,
+                        actual: actual_next_pc,
+                    };
+                    self.mismatch = Some(kind.clone());
+                    Err(PortStop::new(kind.to_string()))
+                }
+            }
+            _ => Ok(false),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use std::fmt;
 /// differently.
 const HASH_TAG_SCP: u64 = 0x53;
 const HASH_TAG_MEM: u64 = 0x4d;
+const HASH_TAG_BRANCH: u64 = 0x42;
 const HASH_TAG_COUNT: u64 = 0x49;
 const HASH_TAG_ECP: u64 = 0x45;
 
@@ -69,6 +70,8 @@ enum Slot {
     Scp(CpHandle),
     /// A memory-access log entry, inline.
     Mem(LogEntry),
+    /// A forwarded branch outcome (`next_pc`), inline.
+    Branch(u64),
     /// The segment's instruction count, inline.
     InstCount(u64),
     /// ECP; payload behind a generation-checked slab handle.
@@ -284,6 +287,14 @@ impl BufferFifo {
         self.queue.push_back(Slot::Mem(e));
     }
 
+    /// Enqueues a forwarded branch outcome, folding it into the
+    /// fingerprint.
+    #[inline]
+    fn enqueue_branch(&mut self, next_pc: u64) {
+        self.seg_hash = hash_mix(hash_mix(self.seg_hash, HASH_TAG_BRANCH), next_pc);
+        self.queue.push_back(Slot::Branch(next_pc));
+    }
+
     /// Enqueues an instruction count, folding it into the fingerprint.
     #[inline]
     fn enqueue_count(&mut self, v: u64) {
@@ -315,6 +326,7 @@ impl BufferFifo {
         self.note_push(entry_bytes, cps);
         match packet {
             Packet::Mem(e) => self.enqueue_mem(e),
+            Packet::Branch(pc) => self.enqueue_branch(pc),
             Packet::InstCount(v) => self.enqueue_count(v),
             Packet::Scp(cp) => self.enqueue_scp(*cp),
             Packet::Ecp(cp) => self.enqueue_ecp(*cp),
@@ -331,6 +343,7 @@ impl BufferFifo {
         };
         match slot {
             Slot::Mem(e) => PacketRef::Mem(e),
+            Slot::Branch(pc) => PacketRef::Branch(*pc),
             Slot::InstCount(v) => PacketRef::InstCount(*v),
             Slot::Scp(h) => PacketRef::Scp(cp(h)),
             Slot::Ecp(h) => PacketRef::Ecp(cp(h)),
@@ -518,6 +531,10 @@ impl BufferFifo {
                     self.used -= entry_bytes(&e);
                     Packet::Mem(e)
                 }
+                Slot::Branch(pc) => {
+                    self.used -= 8;
+                    Packet::Branch(pc)
+                }
                 Slot::InstCount(v) => {
                     self.used -= 8;
                     Packet::InstCount(v)
@@ -694,7 +711,7 @@ impl BufferFifo {
             let slot = self.queue.pop_front().expect("cursor past queue head");
             match slot {
                 Slot::Mem(e) => self.used -= entry_bytes(&e),
-                Slot::InstCount(_) => self.used -= 8,
+                Slot::Branch(_) | Slot::InstCount(_) => self.used -= 8,
                 Slot::Scp(h) | Slot::Ecp(h) => {
                     self.checkpoints -= 1;
                     self.slab.free(h);
@@ -797,6 +814,7 @@ impl BufferFifo {
         }
         match self.queue.get_mut(idx)? {
             Slot::Mem(e) => Some(PacketMut::Mem(e)),
+            Slot::Branch(pc) => Some(PacketMut::Branch(pc)),
             Slot::InstCount(v) => Some(PacketMut::InstCount(v)),
             Slot::Scp(_) | Slot::Ecp(_) => unreachable!("handled above"),
         }

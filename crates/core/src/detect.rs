@@ -50,6 +50,14 @@ pub enum MismatchKind {
         /// Count the checker reached.
         actual: u64,
     },
+    /// A forwarded branch outcome disagreed with the replayed control
+    /// flow (out-of-order mains forward `next_pc` per retired branch).
+    BranchOutcome {
+        /// `next_pc` forwarded by the main core.
+        expected: u64,
+        /// `next_pc` the checker's replay produced.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for MismatchKind {
@@ -83,6 +91,12 @@ impl fmt::Display for MismatchKind {
                 write!(
                     f,
                     "count overrun: main reported {expected}, checker at {actual}"
+                )
+            }
+            MismatchKind::BranchOutcome { expected, actual } => {
+                write!(
+                    f,
+                    "branch outcome mismatch: forwarded {expected:#x}, replayed {actual:#x}"
                 )
             }
         }

@@ -401,6 +401,7 @@ impl FlexSoc {
     }
 
     fn after_user_retire(&mut self, core: usize, retired: &Retired) {
+        let forwards_branches = self.soc.core(core).model_kind().forwards_branch_outcomes();
         let unit = self.fabric.unit_mut(core);
         if !unit.tracker.is_open() {
             // Checking was enabled mid-flight (first user instruction
@@ -417,6 +418,16 @@ impl FlexSoc {
                     .expect("space reserved"),
                 None => unit.fifo.push(Packet::Mem(first)).expect("space reserved"),
             }
+        }
+        // OoO mains forward each retired branch's resolved target so
+        // in-order checkers can skip prediction and catch control-flow
+        // divergence at the branch itself (MEEK-style outcome
+        // forwarding). Branches carry no memory access, so the 8-byte
+        // packet fits well inside the two-entry reserve above.
+        if forwards_branches && retired.branch.is_some() {
+            unit.fifo
+                .push(Packet::Branch(retired.next_pc))
+                .expect("space reserved");
         }
         let at_limit = unit.tracker.on_user_retire();
         if at_limit {
@@ -595,7 +606,9 @@ impl FlexSoc {
                     None => ReplayHead::Empty,
                     Some(PacketRef::InstCount(v)) => ReplayHead::Count(v),
                     Some(PacketRef::Scp(_)) | Some(PacketRef::Ecp(_)) => ReplayHead::Checkpoint,
-                    Some(PacketRef::Mem(_)) => ReplayHead::Entry,
+                    // A forwarded branch outcome is consumed by the replay
+                    // port mid-instruction, exactly like a log entry.
+                    Some(PacketRef::Mem(_)) | Some(PacketRef::Branch(_)) => ReplayHead::Entry,
                 };
                 match head {
                     ReplayHead::Empty => {

@@ -23,6 +23,8 @@ pub enum FaultTarget {
     Checkpoint,
     /// The instruction-count packet.
     InstCount,
+    /// A forwarded branch-outcome packet (out-of-order mains only).
+    BranchOutcome,
 }
 
 impl fmt::Display for FaultTarget {
@@ -32,6 +34,7 @@ impl fmt::Display for FaultTarget {
             FaultTarget::EntryData => "entry.data",
             FaultTarget::Checkpoint => "checkpoint",
             FaultTarget::InstCount => "inst-count",
+            FaultTarget::BranchOutcome => "branch-outcome",
         };
         f.write_str(s)
     }
@@ -89,6 +92,13 @@ pub fn inject_random_fault<R: Rng>(
             let bit = rng.gen_range(0..8u32); // low bits keep counts plausible
             *v ^= 1 << bit;
             (FaultTarget::InstCount, bit)
+        }
+        PacketMut::Branch(pc) => {
+            // Instruction-aligned flips keep the corrupted target a
+            // plausible pc (bits 0/1 would be trivially malformed).
+            let bit = rng.gen_range(2..32u32);
+            *pc ^= 1 << bit;
+            (FaultTarget::BranchOutcome, bit)
         }
     };
     drop_recordings(fabric, main);
@@ -163,6 +173,7 @@ pub fn inject_targeted_fault<R: Rng>(
             (FaultTarget::EntryData, PacketRef::Mem(_)) => true,
             (FaultTarget::Checkpoint, PacketRef::Scp(_) | PacketRef::Ecp(_)) => true,
             (FaultTarget::InstCount, PacketRef::InstCount(_)) => true,
+            (FaultTarget::BranchOutcome, PacketRef::Branch(_)) => true,
             _ => false,
         };
         if matches {
@@ -178,6 +189,7 @@ pub fn inject_targeted_fault<R: Rng>(
         (FaultTarget::EntryData, PacketRef::Mem(e)) => u32::from(e.size) * 8,
         (FaultTarget::Checkpoint, _) => (66 * 64) as u32,
         (FaultTarget::InstCount, _) => 13, // log2(5000) ≈ 12.3: plausible counts
+        (FaultTarget::BranchOutcome, _) => 32,
         _ => unreachable!("candidate class checked above"),
     };
     let bits = bits.min(width);
@@ -197,6 +209,7 @@ pub fn inject_targeted_fault<R: Rng>(
                 cp.snapshot.flip_bit(b as usize);
             }
             (FaultTarget::InstCount, PacketMut::InstCount(v)) => **v ^= 1 << b,
+            (FaultTarget::BranchOutcome, PacketMut::Branch(pc)) => **pc ^= 1 << b,
             _ => unreachable!("candidate class checked above"),
         }
     }

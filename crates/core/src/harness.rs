@@ -1,14 +1,15 @@
 //! The verified-execution run harness.
 //!
-//! [`VerifiedRun`] drives any [`Scenario`]-built platform — from the
+//! [`VerifiedRun`] drives any [`Scenario`](crate::Scenario)-built platform — from the
 //! paper's dual-core (Fig. 4) and triple-core (Fig. 6) single-workload
 //! configurations up to many-core SoCs with arbitrated shared checkers
 //! (Fig. 8-style) — through its guest programs without a full OS: it
 //! interleaves ready cores, executes the scenario's fault plan, feeds
 //! observers, and produces a [`RunReport`].
 //!
-//! Construct runs with [`Scenario`]; the old `dual_core`/`triple_core`
-//! constructors remain as deprecated shims for one release.
+//! Construct runs with [`Scenario`](crate::Scenario) (the old `dual_core`/`triple_core`
+//! constructor shims are gone; `tests/scenario_validation.rs` pins the
+//! equivalent builder topologies).
 
 use crate::checker::{CheckPhase, CheckerState};
 use crate::detect::{DetectionEvent, SegmentResult};
@@ -16,7 +17,7 @@ use crate::engine::{EngineStep, FlexSoc};
 use crate::fabric::{Fabric, FabricConfig};
 use crate::scenario::{
     Binding, FaultDriver, FaultPlan, Injection, Observer, RecoveryPolicy, ResolvedTopology,
-    Scenario, ScenarioError, Topology,
+    ScenarioError,
 };
 use crate::share::{ArbiterStats, CheckerArbiter};
 use crate::sink::{EventBuffer, RunEvent};
@@ -285,7 +286,7 @@ impl RunReport {
 
 /// A verified-execution driver over any scenario topology.
 ///
-/// Build one with [`Scenario`]:
+/// Build one with [`Scenario`](crate::Scenario):
 ///
 /// ```
 /// use flexstep_core::{FabricConfig, Scenario, Topology};
@@ -455,6 +456,7 @@ impl VerifiedRun {
         observers: Vec<Box<dyn Observer + Send>>,
         trace: Option<(std::path::PathBuf, TraceObserver)>,
         record_events: bool,
+        models: Vec<flexstep_sim::CoreModelKind>,
     ) -> Result<Self, ScenarioError> {
         let ResolvedTopology {
             mains,
@@ -463,6 +465,13 @@ impl VerifiedRun {
         } = resolved;
         let mut fs = FlexSoc::new(SocConfig::paper(cores), fabric)?;
         fs.op_g_configure(&mains, &checkers)?;
+        // Heterogeneous mains: swap in each slot's timing model before
+        // anything runs. Checkers keep the in-order default — replay
+        // correctness (and the verdict memo's recorded profiles) assume
+        // the minimal checker microarchitecture.
+        for (slot, kind) in models.iter().enumerate() {
+            fs.soc.set_core_model(mains[slot], *kind);
+        }
 
         // Shared checkers get one arbiter each; mains request in channel
         // order (first request per checker is granted immediately, the
@@ -594,127 +603,6 @@ impl VerifiedRun {
         !self.observers.is_empty() || self.trace.is_some() || self.recorded.is_some()
     }
 
-    // ----- deprecated constructors -----------------------------------------
-
-    /// Builds a platform with core 0 as main and cores `1..=n` as its
-    /// checkers (n = 1 for dual-core mode, 2 for triple-core mode).
-    ///
-    /// # Migration
-    ///
-    /// Replace `VerifiedRun::with_checkers(&program, fabric, k)` with
-    /// the equivalent [`Scenario`] (bit-identical report, pinned by
-    /// `tests/scenario_validation.rs`):
-    ///
-    /// ```
-    /// use flexstep_core::{FabricConfig, Scenario, Topology};
-    /// # use flexstep_isa::{asm::Assembler, XReg};
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// # let mut asm = Assembler::new("tiny");
-    /// # asm.li(XReg::A0, 3);
-    /// # asm.ecall();
-    /// # let program = asm.finish()?;
-    /// let k: usize = 2; // number of checkers
-    /// let run = Scenario::new(&program)
-    ///     .cores(1 + k)
-    ///     .topology(Topology::Custom(vec![(0, (1..=k).collect())]))
-    ///     .fabric(FabricConfig::paper())
-    ///     .build()?;
-    /// # let _ = run;
-    /// # Ok(())
-    /// # }
-    /// ```
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration errors.
-    #[deprecated(note = "use Scenario::new(program).cores(1 + n).topology(Topology::Custom(..))")]
-    pub fn with_checkers(
-        program: &Program,
-        fabric: FabricConfig,
-        num_checkers: usize,
-    ) -> Result<Self, Box<dyn std::error::Error>> {
-        let run = Scenario::new(program)
-            .cores(1 + num_checkers)
-            .topology(Topology::Custom(vec![(0, (1..=num_checkers).collect())]))
-            .fabric(fabric)
-            .build()?;
-        Ok(run)
-    }
-
-    /// Dual-core verification (one checker) — the Fig. 4 configuration.
-    ///
-    /// # Migration
-    ///
-    /// Replace `VerifiedRun::dual_core(&program, fabric)` with the
-    /// equivalent [`Scenario`] (bit-identical report):
-    ///
-    /// ```
-    /// use flexstep_core::{FabricConfig, Scenario};
-    /// # use flexstep_isa::{asm::Assembler, XReg};
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// # let mut asm = Assembler::new("tiny");
-    /// # asm.li(XReg::A0, 3);
-    /// # asm.ecall();
-    /// # let program = asm.finish()?;
-    /// let run = Scenario::new(&program)
-    ///     .cores(2)
-    ///     .fabric(FabricConfig::paper())
-    ///     .build()?;
-    /// # let _ = run;
-    /// # Ok(())
-    /// # }
-    /// ```
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration errors.
-    #[deprecated(note = "use Scenario::new(program).cores(2).build()")]
-    pub fn dual_core(
-        program: &Program,
-        fabric: FabricConfig,
-    ) -> Result<Self, Box<dyn std::error::Error>> {
-        #[allow(deprecated)]
-        Self::with_checkers(program, fabric, 1)
-    }
-
-    /// Triple-core verification (two checkers) — the Fig. 6 comparison
-    /// mode.
-    ///
-    /// # Migration
-    ///
-    /// Replace `VerifiedRun::triple_core(&program, fabric)` with the
-    /// equivalent [`Scenario`] (bit-identical report):
-    ///
-    /// ```
-    /// use flexstep_core::{FabricConfig, Scenario, Topology};
-    /// # use flexstep_isa::{asm::Assembler, XReg};
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// # let mut asm = Assembler::new("tiny");
-    /// # asm.li(XReg::A0, 3);
-    /// # asm.ecall();
-    /// # let program = asm.finish()?;
-    /// let run = Scenario::new(&program)
-    ///     .cores(3)
-    ///     .topology(Topology::Custom(vec![(0, vec![1, 2])]))
-    ///     .fabric(FabricConfig::paper())
-    ///     .build()?;
-    /// # let _ = run;
-    /// # Ok(())
-    /// # }
-    /// ```
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration errors.
-    #[deprecated(note = "use Scenario::new(program).cores(3).topology(Topology::Custom(..))")]
-    pub fn triple_core(
-        program: &Program,
-        fabric: FabricConfig,
-    ) -> Result<Self, Box<dyn std::error::Error>> {
-        #[allow(deprecated)]
-        Self::with_checkers(program, fabric, 2)
-    }
-
     // ----- accessors --------------------------------------------------------
 
     /// The current cycle.
@@ -784,14 +672,14 @@ impl VerifiedRun {
             .and_then(CheckerArbiter::granted)
     }
 
-    /// The Chrome-trace recorder configured via [`Scenario::trace_to`]
+    /// The Chrome-trace recorder configured via [`Scenario::trace_to`](crate::Scenario::trace_to)
     /// (`None` when tracing is off). Borrow it to read the trace
     /// mid-run.
     pub fn trace(&self) -> Option<&TraceObserver> {
         self.trace.as_ref().map(|(_, t)| t)
     }
 
-    /// Writes the Chrome trace configured via [`Scenario::trace_to`] to
+    /// Writes the Chrome trace configured via [`Scenario::trace_to`](crate::Scenario::trace_to) to
     /// its path and returns that path (`Ok(None)` when tracing is off).
     /// Call after the run; the file loads in `chrome://tracing` or
     /// Perfetto.
@@ -810,14 +698,14 @@ impl VerifiedRun {
     }
 
     /// The recorded event buffer enabled via
-    /// [`Scenario::record_events`] (`None` when recording is off).
+    /// [`Scenario::record_events`](crate::Scenario::record_events) (`None` when recording is off).
     pub fn events(&self) -> Option<&EventBuffer> {
         self.recorded.as_ref()
     }
 
     /// Replays the recorded event buffer into `observer` — the post-run
     /// equivalent of having attached it live. A no-op when
-    /// [`Scenario::record_events`] was not enabled.
+    /// [`Scenario::record_events`](crate::Scenario::record_events) was not enabled.
     pub fn replay_events(&self, observer: &mut dyn Observer) {
         if let Some(buf) = &self.recorded {
             buf.replay(observer);
@@ -1559,7 +1447,7 @@ pub fn baseline_cycles(
 mod tests {
     use super::*;
     use crate::fault::FaultTarget;
-    use crate::scenario::RecordingObserver;
+    use crate::scenario::{RecordingObserver, Scenario, Topology};
     use flexstep_isa::asm::Assembler;
     use flexstep_isa::XReg;
 
@@ -1959,17 +1847,6 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
-    }
-
-    #[test]
-    fn deprecated_constructors_match_scenario_builds() {
-        let p = store_loop(1200);
-        #[allow(deprecated)]
-        let mut old = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
-        let ro = old.run_to_completion(50_000_000);
-        let mut new = dual(&p, FabricConfig::paper());
-        let rn = new.run_to_completion(50_000_000);
-        assert_eq!(ro, rn, "Scenario dual-core must be bit-identical");
     }
 
     #[test]

@@ -110,6 +110,7 @@ pub use fault::{
     inject_random_fault, inject_targeted_fault, FaultTarget, InjectionRecord, LatencySample,
     LatencyStats, TargetedInjection,
 };
+pub use flexstep_sim::CoreModelKind;
 pub use harness::{
     baseline_cycles, MainReport, MatchedDetection, RunReport, RunWarning, VerifiedRun,
 };
@@ -119,10 +120,6 @@ pub use scenario::{
     FaultPlan, Injection, Observer, ObserverEvent, ObserverSummary, RecordingObserver,
     RecoveryPolicy, Scenario, ScenarioError, Topology,
 };
-#[allow(deprecated)]
-pub use share::SharedCheckerRun;
-pub use share::{ArbiterStats, CheckerArbiter, SharedRunReport};
+pub use share::{ArbiterStats, CheckerArbiter};
 pub use sink::{EventBuffer, RunEvent};
-#[allow(deprecated)]
-pub use trace::TraceHandle;
 pub use trace::{TraceObserver, DEFAULT_RING_CAPACITY};

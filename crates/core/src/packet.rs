@@ -152,6 +152,11 @@ pub enum Packet {
     Scp(Box<Checkpoint>),
     /// A memory-access log entry.
     Mem(LogEntry),
+    /// A forwarded branch outcome — the architectural `next_pc` of one
+    /// retired control-flow instruction. Only out-of-order mains emit
+    /// these (MEEK-style outcome forwarding); the checker consumes them
+    /// in retirement order instead of re-predicting control flow.
+    Branch(u64),
     /// The segment's user-mode instruction count.
     InstCount(u64),
     /// End register checkpoint: closes a segment.
@@ -176,7 +181,7 @@ impl Packet {
         match self {
             Packet::Scp(_) | Packet::Ecp(_) => ArchSnapshot::BYTES + 8,
             Packet::Mem(e) => entry_bytes(e),
-            Packet::InstCount(_) => 8,
+            Packet::Branch(_) | Packet::InstCount(_) => 8,
         }
     }
 
@@ -207,6 +212,8 @@ pub enum PacketRef<'a> {
     Scp(&'a Checkpoint),
     /// A memory-access log entry.
     Mem(&'a LogEntry),
+    /// A forwarded branch outcome (`next_pc`).
+    Branch(u64),
     /// The segment's user-mode instruction count.
     InstCount(u64),
     /// End register checkpoint.
@@ -220,6 +227,7 @@ impl PacketRef<'_> {
         match *self {
             PacketRef::Scp(cp) => Packet::scp(*cp),
             PacketRef::Mem(e) => Packet::Mem(*e),
+            PacketRef::Branch(pc) => Packet::Branch(pc),
             PacketRef::InstCount(v) => Packet::InstCount(v),
             PacketRef::Ecp(cp) => Packet::ecp(*cp),
         }
@@ -368,6 +376,8 @@ pub enum PacketMut<'a> {
     Scp(&'a mut Checkpoint),
     /// A memory-access log entry.
     Mem(&'a mut LogEntry),
+    /// A forwarded branch outcome (`next_pc`).
+    Branch(&'a mut u64),
     /// The segment's user-mode instruction count.
     InstCount(&'a mut u64),
     /// End register checkpoint.

@@ -48,7 +48,7 @@ use crate::fault::{inject_random_fault, inject_targeted_fault, FaultTarget};
 use crate::harness::VerifiedRun;
 use flexstep_isa::asm::Program;
 use flexstep_mem::cache::CacheGeometryError;
-use flexstep_sim::SchedMode;
+use flexstep_sim::{CoreModelKind, SchedMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -568,90 +568,6 @@ pub trait Observer {
     }
 }
 
-/// Shared-handle observers — **deprecated attachment pattern**.
-///
-/// `Rc<RefCell<MyObserver>>` still implements [`Observer`], but it is
-/// `!Send`, so it can no longer be attached to a [`Scenario`]
-/// ([`Scenario::observer`] requires `Observer + Send` — the bound that
-/// makes [`VerifiedRun`] itself `Send`). Migrate to
-/// the event-sink API: record the run with
-/// [`Scenario::record_events`], then replay the buffer into your
-/// observer after the run.
-///
-/// ```
-/// use flexstep_core::{RecordingObserver, Scenario};
-/// # use flexstep_isa::{asm::Assembler, XReg};
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// # let mut asm = Assembler::new("tiny");
-/// # asm.li(XReg::A0, 50);
-/// # asm.li(XReg::A1, 0x2000_0000);
-/// # asm.label("l")?;
-/// # asm.sd(XReg::A1, XReg::A0, 0);
-/// # asm.addi(XReg::A0, XReg::A0, -1);
-/// # asm.bnez(XReg::A0, "l");
-/// # asm.ecall();
-/// # let program = asm.finish()?;
-/// // Before (no longer compiles — Rc<RefCell<_>> is !Send):
-/// //   let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
-/// //   Scenario::new(&program).observer(recorder.clone()) ...
-/// //   recorder.borrow().summary()
-/// // After:
-/// let mut run = Scenario::new(&program)
-///     .cores(2)
-///     .record_events()
-///     .build()?;
-/// assert!(run.run_to_completion(10_000_000).completed);
-/// let mut recorder = RecordingObserver::new();
-/// run.replay_events(&mut recorder);
-/// let _summary = recorder.summary();
-/// # Ok(())
-/// # }
-/// ```
-impl<T: Observer> Observer for std::rc::Rc<std::cell::RefCell<T>> {
-    fn on_segment_open(&mut self, main: usize, seq: u64, cycle: u64) {
-        self.borrow_mut().on_segment_open(main, seq, cycle);
-    }
-    fn on_segment_close(&mut self, main: usize, seq: u64, cycle: u64) {
-        self.borrow_mut().on_segment_close(main, seq, cycle);
-    }
-    fn on_check_start(&mut self, checker: usize, main: usize, seq: u64, cycle: u64) {
-        self.borrow_mut().on_check_start(checker, main, seq, cycle);
-    }
-    fn on_check_pass(&mut self, checker: usize, result: &SegmentResult) {
-        self.borrow_mut().on_check_pass(checker, result);
-    }
-    fn on_check_fail(&mut self, checker: usize, result: &SegmentResult) {
-        self.borrow_mut().on_check_fail(checker, result);
-    }
-    fn on_detection(&mut self, event: &DetectionEvent) {
-        self.borrow_mut().on_detection(event);
-    }
-    fn on_fault_injected(&mut self, injection: &Injection) {
-        self.borrow_mut().on_fault_injected(injection);
-    }
-    fn on_shot_expired(&mut self, main: usize, cycle: u64) {
-        self.borrow_mut().on_shot_expired(main, cycle);
-    }
-    fn on_checker_granted(&mut self, checker: usize, main: usize, cycle: u64) {
-        self.borrow_mut().on_checker_granted(checker, main, cycle);
-    }
-    fn on_checker_parked(&mut self, checker: usize, cycle: u64) {
-        self.borrow_mut().on_checker_parked(checker, cycle);
-    }
-    fn on_main_finished(&mut self, main: usize, cycle: u64) {
-        self.borrow_mut().on_main_finished(main, cycle);
-    }
-    fn on_recovery_start(&mut self, main: usize, seq: u64, cycle: u64) {
-        self.borrow_mut().on_recovery_start(main, seq, cycle);
-    }
-    fn on_recovery_complete(&mut self, main: usize, cycle: u64, latency: u64) {
-        self.borrow_mut().on_recovery_complete(main, cycle, latency);
-    }
-    fn on_checker_killed(&mut self, checker: usize, cycle: u64) {
-        self.borrow_mut().on_checker_killed(checker, cycle);
-    }
-}
-
 /// Everything a [`RecordingObserver`] captures, in event order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ObserverEvent {
@@ -923,6 +839,13 @@ pub enum ScenarioError {
         /// Checker cores available.
         checkers: usize,
     },
+    /// A core-model override targets a main slot that does not exist.
+    ModelSlotOutOfRange {
+        /// The offending main slot.
+        slot: usize,
+        /// Main slots available.
+        mains: usize,
+    },
     /// The underlying fabric rejected the configuration.
     Fabric(FlexError),
     /// The memory geometry is invalid.
@@ -990,6 +913,12 @@ impl fmt::Display for ScenarioError {
                     "fault plan kills checker {checker}, scenario has {checkers} checker core(s)"
                 )
             }
+            ScenarioError::ModelSlotOutOfRange { slot, mains } => {
+                write!(
+                    f,
+                    "core-model override targets main slot {slot}, scenario has {mains} main core(s)"
+                )
+            }
             ScenarioError::Fabric(e) => write!(f, "fabric: {e}"),
             ScenarioError::Cache(e) => write!(f, "memory geometry: {e}"),
         }
@@ -1053,6 +982,9 @@ pub struct Scenario {
     /// Record every observer event into an owned
     /// [`EventBuffer`](crate::sink::EventBuffer) for post-run replay.
     record_events: bool,
+    /// Per-main-slot timing-model overrides (default: in-order scalar);
+    /// `None` slot = every main.
+    core_models: Vec<(Option<usize>, CoreModelKind)>,
 }
 
 impl fmt::Debug for Scenario {
@@ -1068,6 +1000,7 @@ impl fmt::Debug for Scenario {
             .field("observers", &self.observers.len())
             .field("trace", &self.trace)
             .field("record_events", &self.record_events)
+            .field("core_models", &self.core_models)
             .finish()
     }
 }
@@ -1086,6 +1019,7 @@ impl Scenario {
             observers: Vec::new(),
             trace: None,
             record_events: false,
+            core_models: Vec::new(),
         }
     }
 
@@ -1116,6 +1050,27 @@ impl Scenario {
     /// [`FabricConfig::paper`]).
     pub fn fabric(mut self, fabric: FabricConfig) -> Self {
         self.fabric = fabric;
+        self
+    }
+
+    /// Overrides the timing model of one main core, addressed by its
+    /// slot (channel) index. Heterogeneous SoCs mix models freely: an
+    /// OoO superscalar main can be checked by in-order checkers, whose
+    /// replay consumes the main's forwarded branch outcomes instead of
+    /// predicting (see [`CoreModelKind::forwards_branch_outcomes`]).
+    /// Checker cores always stay in-order — sizing a checker *tier*
+    /// means assigning more mains per checker, not widening the
+    /// checker (§IV of the paper keeps checkers minimal).
+    pub fn core_model(mut self, slot: usize, kind: CoreModelKind) -> Self {
+        self.core_models.push((Some(slot), kind));
+        self
+    }
+
+    /// Applies `kind` to every main core — the common case for
+    /// homogeneous Fig. 8-style sweeps over one model. Later
+    /// [`Scenario::core_model`] calls still override individual slots.
+    pub fn main_core_model(mut self, kind: CoreModelKind) -> Self {
+        self.core_models.push((None, kind));
         self
     }
 
@@ -1376,6 +1331,23 @@ impl Scenario {
                 });
             }
         }
+        // Flatten the model overrides into one kind per main slot;
+        // later calls win, `main_core_model` (None) fans out to all.
+        let mut models = vec![CoreModelKind::InOrder; resolved.mains.len()];
+        for (slot, kind) in &self.core_models {
+            match slot {
+                Some(s) => {
+                    if *s >= models.len() {
+                        return Err(ScenarioError::ModelSlotOutOfRange {
+                            slot: *s,
+                            mains: models.len(),
+                        });
+                    }
+                    models[*s] = *kind;
+                }
+                None => models.fill(*kind),
+            }
+        }
         VerifiedRun::from_scenario(
             cores,
             resolved,
@@ -1387,6 +1359,7 @@ impl Scenario {
             self.observers,
             trace,
             self.record_events,
+            models,
         )
     }
 }

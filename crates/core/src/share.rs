@@ -13,17 +13,14 @@
 //! `release`d and its stream has drained, the arbiter switches the
 //! channel to the next waiter at a segment boundary.
 //!
-//! [`SharedCheckerRun`] is a ready-made driver (in the style of
-//! [`VerifiedRun`](crate::harness::VerifiedRun)) that runs N main-core
-//! programs against a single shared checker — the N:1 consolidation
-//! scenario the paper's introduction motivates.
+//! N:1 consolidation platforms — the scenario the paper's introduction
+//! motivates — are built through [`Scenario`](crate::Scenario) with
+//! [`Topology::SharedChecker`](crate::Topology::SharedChecker); the
+//! harness instantiates one arbiter per shared checker and surfaces
+//! [`ArbiterStats`] in the run report.
 
 use crate::checker::CheckPhase;
-use crate::detect::DetectionEvent;
-use crate::engine::{EngineStep, FlexSoc};
-use crate::fabric::{Fabric, FabricConfig, FlexError};
-use flexstep_isa::asm::Program;
-use flexstep_sim::{PrivMode, SocConfig, StepKind, TrapCause};
+use crate::fabric::{Fabric, FlexError};
 use std::collections::{BTreeSet, VecDeque};
 
 /// Arbitration statistics.
@@ -197,219 +194,13 @@ impl CheckerArbiter {
     }
 }
 
-/// Per-main outcome of a [`SharedCheckerRun`].
-#[derive(Debug, Clone)]
-pub struct SharedMainReport {
-    /// The main core index.
-    pub core: usize,
-    /// Whether the program reached its final `ecall`.
-    pub completed: bool,
-    /// Cycle at which the main core finished.
-    pub finish_cycle: u64,
-    /// Instructions retired.
-    pub retired: u64,
-}
-
-/// Outcome of a full shared-checker run.
-#[derive(Debug, Clone)]
-pub struct SharedRunReport {
-    /// Per-main outcomes, in core order.
-    pub mains: Vec<SharedMainReport>,
-    /// Segments verified by the shared checker (across all streams).
-    pub segments_checked: u64,
-    /// Segments that failed verification.
-    pub segments_failed: u64,
-    /// Detection events raised during the run.
-    pub detections: Vec<DetectionEvent>,
-    /// Arbitration statistics.
-    pub arbiter: ArbiterStats,
-    /// Cycle at which the last stream drained.
-    pub drain_cycle: u64,
-}
-
-/// Driver running N main-core programs against one shared checker core.
-///
-/// Cores `0..n` are mains (one program each), core `n` is the checker.
-/// Programs must use disjoint text/data ranges (build them with
-/// [`Assembler::with_bases`](flexstep_isa::asm::Assembler::with_bases)).
-///
-/// Deprecated: build shared-checker platforms through
-/// [`Scenario`](crate::Scenario) with
-/// [`Topology::SharedChecker`](crate::Topology::SharedChecker), which
-/// supports any main/checker ratio and the full observer/fault-plan
-/// machinery:
-///
-/// ```
-/// use flexstep_core::{FabricConfig, Scenario, Topology};
-/// use flexstep_isa::{asm::Assembler, XReg};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut programs = Vec::new();
-/// for i in 0..2u64 {
-///     let mut asm = Assembler::with_bases(
-///         format!("job{i}"),
-///         0x1000_0000 + i * 0x10_0000,
-///         0x2000_0000 + i * 0x10_0000,
-///     );
-///     asm.li(XReg::A0, 200);
-///     asm.li(XReg::A1, 0x2000_0000 + (i * 0x10_0000) as i64);
-///     asm.label("l")?;
-///     asm.sd(XReg::A1, XReg::A0, 0);
-///     asm.addi(XReg::A0, XReg::A0, -1);
-///     asm.bnez(XReg::A0, "l");
-///     asm.ecall();
-///     programs.push(asm.finish()?);
-/// }
-/// let mut run = Scenario::new(&programs[0])
-///     .program(&programs[1])
-///     .cores(3)
-///     .topology(Topology::SharedChecker { checkers: 1 })
-///     .fabric(FabricConfig::paper())
-///     .build()?;
-/// let report = run.run_to_completion(10_000_000);
-/// assert!(report.per_main.iter().all(|m| m.completed));
-/// assert_eq!(report.segments_failed, 0);
-/// assert!(report.arbiters[0].conflicts >= 1, "second main had to wait");
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug)]
-#[deprecated(note = "use Scenario with Topology::SharedChecker")]
-pub struct SharedCheckerRun {
-    /// The platform under test.
-    pub(crate) fs: FlexSoc,
-    /// The §III-C arbiter.
-    pub arbiter: CheckerArbiter,
-    mains: Vec<usize>,
-    checker: usize,
-    done: Vec<bool>,
-    finish_cycle: Vec<u64>,
-}
-
-#[allow(deprecated)]
-impl SharedCheckerRun {
-    /// Builds the platform: one main core per program plus one shared
-    /// checker, every main requesting the checker at time zero.
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration errors.
-    pub fn new(
-        programs: &[Program],
-        fabric: FabricConfig,
-    ) -> Result<Self, Box<dyn std::error::Error>> {
-        let n = programs.len();
-        assert!(n >= 1, "at least one main required");
-        let checker = n;
-        let mut fs = FlexSoc::new(SocConfig::paper(n + 1), fabric)?;
-        let mains: Vec<usize> = (0..n).collect();
-        fs.op_g_configure(&mains, &[checker])?;
-        let mut arbiter = CheckerArbiter::new(checker);
-        for (&m, program) in mains.iter().zip(programs) {
-            arbiter.request(&mut fs.fabric, m)?;
-            fs.fabric.set_check(m, true)?;
-            fs.soc.load_program(program);
-            fs.soc.core_mut(m).state.pc = program.entry;
-            fs.soc.core_mut(m).state.prv = PrivMode::User;
-            fs.soc.core_mut(m).unpark();
-        }
-        fs.op_c_check_state(checker, true)?;
-        fs.soc.core_mut(checker).unpark();
-        Ok(SharedCheckerRun {
-            fs,
-            arbiter,
-            mains,
-            checker,
-            done: vec![false; n],
-            finish_cycle: vec![0; n],
-        })
-    }
-
-    /// Whether every main finished and every stream drained.
-    pub fn finished(&self) -> bool {
-        self.done.iter().all(|&d| d)
-            && self
-                .mains
-                .iter()
-                .all(|&m| self.fs.fabric.unit(m).fifo.is_fully_drained())
-            && self.fs.fabric.unit(self.checker).checker.phase == CheckPhase::WaitScp
-    }
-
-    /// Executes one scheduling quantum: polls the arbiter, then steps the
-    /// earliest-ready core. Returns `false` once the run is complete.
-    pub fn step_once(&mut self) -> bool {
-        if self.finished() && self.arbiter.is_idle() {
-            return false;
-        }
-        self.arbiter.poll(&mut self.fs.fabric);
-        let Some(core) = self.fs.soc.next_ready() else {
-            return false;
-        };
-        let step = self.fs.step(core);
-        if let Some(slot) = self.mains.iter().position(|&m| m == core) {
-            match &step {
-                EngineStep::Core(StepKind::Trap {
-                    cause: TrapCause::EcallFromU,
-                    ..
-                }) => {
-                    self.done[slot] = true;
-                    self.finish_cycle[slot] = self.fs.soc.now();
-                    self.fs.soc.core_mut(core).park();
-                    // The job is done: stop producing and let the arbiter
-                    // hand the checker over once the stream drains.
-                    self.fs.fabric.set_check(core, false).expect("main core");
-                    self.arbiter.release(core);
-                }
-                EngineStep::Core(StepKind::Trap { cause, tval, pc }) => {
-                    panic!("main {core} faulted: {cause:?} tval={tval:#x} pc={pc:#x}");
-                }
-                _ => {}
-            }
-        }
-        true
-    }
-
-    /// Runs to completion, bounded by `max_steps` engine steps.
-    pub fn run_to_completion(&mut self, max_steps: u64) -> SharedRunReport {
-        let mut steps = 0;
-        while steps < max_steps && self.step_once() {
-            steps += 1;
-        }
-        self.report()
-    }
-
-    /// Produces the report for the current state.
-    pub fn report(&mut self) -> SharedRunReport {
-        let checker = &self.fs.fabric.unit(self.checker).checker;
-        let (segments_checked, segments_failed) =
-            (checker.segments_checked, checker.segments_failed);
-        SharedRunReport {
-            mains: self
-                .mains
-                .iter()
-                .enumerate()
-                .map(|(slot, &core)| SharedMainReport {
-                    core,
-                    completed: self.done[slot],
-                    finish_cycle: self.finish_cycle[slot],
-                    retired: self.fs.soc.core(core).instret,
-                })
-                .collect(),
-            segments_checked,
-            segments_failed,
-            detections: self.fs.fabric.take_detections(),
-            arbiter: self.arbiter.stats,
-            drain_cycle: self.fs.soc.now(),
-        }
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::scenario::Scenario;
-    use flexstep_isa::asm::Assembler;
+    use crate::fabric::FabricConfig;
+    use crate::harness::VerifiedRun;
+    use crate::scenario::{Scenario, Topology};
+    use flexstep_isa::asm::{Assembler, Program};
     use flexstep_isa::XReg;
 
     /// A store-heavy loop in a private text/data window.
@@ -430,17 +221,30 @@ mod tests {
         asm.finish().unwrap()
     }
 
+    /// N mains, one shared checker (core N), built through the front door.
+    fn shared_run(programs: &[Program]) -> VerifiedRun {
+        let mut sc = Scenario::new(&programs[0]);
+        for p in &programs[1..] {
+            sc = sc.program(p);
+        }
+        sc.cores(programs.len() + 1)
+            .topology(Topology::SharedChecker { checkers: 1 })
+            .fabric(FabricConfig::paper())
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn two_mains_share_one_checker() {
         let programs = vec![job(0, 3000), job(1, 3000)];
-        let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let mut run = shared_run(&programs);
         let r = run.run_to_completion(50_000_000);
-        assert!(r.mains.iter().all(|m| m.completed), "{r:?}");
+        assert!(r.per_main.iter().all(|m| m.completed), "{r:?}");
         assert_eq!(r.segments_failed, 0);
         assert!(r.detections.is_empty());
-        assert_eq!(r.arbiter.immediate_grants, 1);
-        assert_eq!(r.arbiter.conflicts, 1, "second main must queue");
-        assert_eq!(r.arbiter.switches, 1, "one hand-over");
+        assert_eq!(r.arbiters[0].immediate_grants, 1);
+        assert_eq!(r.arbiters[0].conflicts, 1, "second main must queue");
+        assert_eq!(r.arbiters[0].switches, 1, "one hand-over");
         // Every segment of both mains verified.
         assert!(r.segments_checked >= 2);
     }
@@ -448,29 +252,30 @@ mod tests {
     #[test]
     fn three_mains_verified_in_request_order() {
         let programs = vec![job(0, 1200), job(1, 900), job(2, 600)];
-        let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let mut run = shared_run(&programs);
         let r = run.run_to_completion(80_000_000);
-        assert!(r.mains.iter().all(|m| m.completed));
+        assert!(r.per_main.iter().all(|m| m.completed));
         assert_eq!(r.segments_failed, 0);
-        assert_eq!(r.arbiter.conflicts, 2);
-        assert_eq!(r.arbiter.switches, 2);
+        assert_eq!(r.arbiters[0].conflicts, 2);
+        assert_eq!(r.arbiters[0].switches, 2);
     }
 
     #[test]
     fn shared_checking_verifies_as_much_as_dedicated() {
         // The same program verified (a) with a dedicated checker and
-        // (b) through a shared checker: identical segment counts.
+        // (b) through a shared checker: the shared pool covers both
+        // mains' segments.
         let p = job(0, 2500);
         let mut dedicated = Scenario::new(&p).cores(2).build().unwrap();
         let rd = dedicated.run_to_completion(50_000_000);
 
         let programs = vec![job(0, 2500), job(1, 400)];
-        let mut shared = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let mut shared = shared_run(&programs);
         let rs = shared.run_to_completion(80_000_000);
-        let second_share = rs.segments_checked;
         assert!(
-            second_share > rd.segments_checked,
-            "shared run covers both mains: {second_share} vs {}",
+            rs.segments_checked > rd.segments_checked,
+            "shared run covers both mains: {} vs {}",
+            rs.segments_checked,
             rd.segments_checked
         );
         assert_eq!(rs.segments_failed, 0);
@@ -481,12 +286,12 @@ mod tests {
         // The second main finishes long before it is granted; all its
         // segments must still be verified from its own buffer.
         let programs = vec![job(0, 6000), job(1, 300)];
-        let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let mut run = shared_run(&programs);
         let r = run.run_to_completion(100_000_000);
-        assert!(r.mains[1].completed);
-        assert!(r.mains[1].finish_cycle < r.mains[0].finish_cycle);
+        assert!(r.per_main[1].completed);
+        assert!(r.per_main[1].finish_cycle < r.per_main[0].finish_cycle);
         assert_eq!(r.segments_failed, 0);
-        assert_eq!(r.arbiter.switches, 1);
+        assert_eq!(r.arbiters[0].switches, 1);
     }
 
     #[test]
@@ -494,7 +299,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let programs = vec![job(0, 4000), job(1, 2000)];
-        let mut run = SharedCheckerRun::new(&programs, FabricConfig::paper()).unwrap();
+        let mut run = shared_run(&programs);
+        let checker = run.checkers()[0];
         // Let main 1 buffer some segments while waiting, then corrupt its
         // buffered (not-yet-granted) stream.
         let mut injected = false;
@@ -503,11 +309,12 @@ mod tests {
             if !run.step_once() {
                 break;
             }
-            if !injected && run.arbiter.granted() == Some(0) && run.fs.fabric.unit(1).fifo.len() > 4
+            if !injected
+                && run.granted_main(checker) == Some(0)
+                && run.fabric().unit(1).fifo.len() > 4
             {
-                let now = run.fs.soc.now();
-                if crate::fault::inject_random_fault(&mut run.fs.fabric, 1, now, &mut rng).is_some()
-                {
+                let now = run.soc().now();
+                if crate::fault::inject_random_fault(run.fabric_mut(), 1, now, &mut rng).is_some() {
                     injected = true;
                 }
             }

@@ -176,52 +176,6 @@ impl TraceObserver {
         self
     }
 
-    /// Wraps the observer in the legacy shared-handle form.
-    ///
-    /// # Migration
-    ///
-    /// `Rc<RefCell<_>>` handles make the run `!Send`. Attach the
-    /// recorder by value instead —
-    /// [`Scenario::trace_to`](crate::Scenario::trace_to) owns it inside
-    /// the run and [`VerifiedRun::trace`](crate::VerifiedRun::trace)
-    /// reads it back:
-    ///
-    /// ```
-    /// # use flexstep_core::Scenario;
-    /// # use flexstep_isa::{asm::Assembler, XReg};
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// # let mut asm = Assembler::new("tiny");
-    /// # asm.li(XReg::A0, 50);
-    /// # asm.li(XReg::A1, 0x2000_0000);
-    /// # asm.label("l")?;
-    /// # asm.sd(XReg::A1, XReg::A0, 0);
-    /// # asm.addi(XReg::A0, XReg::A0, -1);
-    /// # asm.bnez(XReg::A0, "l");
-    /// # asm.ecall();
-    /// # let program = asm.finish()?;
-    /// # let dir = std::env::temp_dir().join("flexstep_into_shared_doc");
-    /// # std::fs::create_dir_all(&dir)?;
-    /// // Before: let trace = TraceObserver::new().into_shared();
-    /// //         Scenario::new(&p).observer(trace.clone())...
-    /// //         trace.borrow().to_chrome_json();
-    /// let mut run = Scenario::new(&program)
-    ///     .cores(2)
-    ///     .trace_to(dir.join("run.json"))
-    ///     .build()?;
-    /// assert!(run.run_to_completion(10_000_000).completed);
-    /// let json = run.trace().expect("tracing is on").to_chrome_json();
-    /// assert!(json.starts_with("{\"traceEvents\": ["));
-    /// # std::fs::remove_dir_all(&dir).ok();
-    /// # Ok(())
-    /// # }
-    /// ```
-    #[deprecated(note = "Rc<RefCell<_>> handles make the run !Send; \
-                use Scenario::trace_to + VerifiedRun::trace instead")]
-    #[allow(deprecated)]
-    pub fn into_shared(self) -> TraceHandle {
-        std::rc::Rc::new(std::cell::RefCell::new(self))
-    }
-
     /// Completed events currently held (spans + instants, after ring
     /// eviction).
     pub fn len(&self) -> usize {
@@ -449,17 +403,6 @@ impl TraceObserver {
         std::fs::write(path, self.to_chrome_json())
     }
 }
-
-/// The legacy shared-handle form of a [`TraceObserver`].
-///
-/// Deprecated: an `Rc<RefCell<_>>` handle makes the run `!Send`. Use
-/// [`Scenario::trace_to`](crate::Scenario::trace_to) (the run owns the
-/// recorder; read it back via
-/// [`VerifiedRun::trace`](crate::VerifiedRun::trace)) — see
-/// [`TraceObserver::into_shared`] for a worked migration.
-#[deprecated(note = "Rc<RefCell<_>> handles make the run !Send; \
-            use Scenario::trace_to + VerifiedRun::trace instead")]
-pub type TraceHandle = std::rc::Rc<std::cell::RefCell<TraceObserver>>;
 
 impl Observer for TraceObserver {
     fn on_segment_open(&mut self, main: usize, seq: u64, cycle: u64) {

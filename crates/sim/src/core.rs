@@ -1,8 +1,9 @@
-//! A single simulated core (hart + predictor + timing bookkeeping).
+//! A single simulated core (hart + timing model + bookkeeping).
 
-use crate::bpred::{BpredConfig, BranchPredictor};
+use crate::bpred::BpredConfig;
 use crate::hart::ArchState;
-use flexstep_isa::XReg;
+use crate::model::CoreModel;
+use flexstep_soc::CoreModelKind;
 
 /// Run state of a core within the SoC engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,19 +16,22 @@ pub enum RunState {
     Halted,
 }
 
-/// One simulated in-order core.
+/// One simulated core.
 ///
 /// The architectural state is public — the host kernel manipulates it
 /// directly during context switches, exactly as the FlexStep OS add-ons
-/// manipulate the real register file through the trap path.
+/// manipulate the real register file through the trap path. The timing
+/// microarchitecture lives behind [`CoreModel`]: the slot's descriptor
+/// picks in-order or out-of-order timing while the architectural ISA
+/// semantics stay shared.
 #[derive(Debug)]
 pub struct Core {
     /// Core index (also `mhartid`).
     pub id: usize,
     /// Architectural state.
     pub state: ArchState,
-    /// Branch predictor (timing only).
-    pub bpred: BranchPredictor,
+    /// Timing model (predictor, hazards, issue window — timing only).
+    pub model: CoreModel,
     /// LR/SC reservation address.
     pub(crate) resv: Option<u64>,
     /// Cycle at which the core can execute its next instruction.
@@ -39,12 +43,13 @@ pub struct Core {
     /// Retired instructions in user mode (the CPC instruction counter's
     /// clock source).
     pub user_instret: u64,
+    /// Cycles this core spent actually retiring instructions (the IPC
+    /// denominator; excludes parked/idle time).
+    pub busy_cycles: u64,
     /// Timer compare value (cycle); `None` disables the timer.
     pub timer_cmp: Option<u64>,
     /// Pending machine-timer interrupt latch.
     pub(crate) timer_pending: bool,
-    /// Destination of the previously retired load (load-use interlock).
-    pub(crate) last_load_rd: Option<XReg>,
     /// I-cache line of the previous fetch (L0 fetch fast path): a repeat
     /// fetch of the same line is a guaranteed L1 hit and cannot change
     /// any replacement decision, so the tag-array walk is skipped.
@@ -56,22 +61,42 @@ pub struct Core {
 }
 
 impl Core {
-    /// Creates a reset core.
+    /// Creates a reset core with the in-order timing model.
     pub fn new(id: usize, bpred: BpredConfig) -> Self {
+        Core::with_model(id, bpred, CoreModelKind::InOrder)
+    }
+
+    /// Creates a reset core running the timing model `kind` names.
+    pub fn with_model(id: usize, bpred: BpredConfig, kind: CoreModelKind) -> Self {
         Core {
             id,
             state: ArchState::new(id as u64),
-            bpred: BranchPredictor::new(bpred),
+            model: CoreModel::from_kind(kind, bpred),
             resv: None,
             ready_at: 0,
             run_state: RunState::Parked,
             instret: 0,
             user_instret: 0,
+            busy_cycles: 0,
             timer_cmp: None,
             timer_pending: false,
-            last_load_rd: None,
             last_fetch_line: u64::MAX,
             line_buf: [0; 16],
+        }
+    }
+
+    /// The descriptor of this core's timing model.
+    pub fn model_kind(&self) -> CoreModelKind {
+        self.model.kind()
+    }
+
+    /// Retired-instructions-per-busy-cycle (`NaN`-free: 0 before the
+    /// first retirement).
+    pub fn ipc(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.instret as f64 / self.busy_cycles as f64
         }
     }
 
@@ -89,8 +114,7 @@ impl Core {
     /// stream, code bytes) regardless of what the checker ran before;
     /// that purity is what lets identical segments be memoized.
     pub fn reset_replay_uarch(&mut self) {
-        self.bpred.reset_tables();
-        self.last_load_rd = None;
+        self.model.reset_replay_uarch();
         self.last_fetch_line = u64::MAX;
     }
 

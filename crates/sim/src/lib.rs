@@ -40,6 +40,7 @@ pub mod bpred;
 pub mod core;
 pub mod exec;
 pub mod hart;
+pub mod model;
 pub mod port;
 pub(crate) mod ready;
 pub mod soc;
@@ -48,7 +49,12 @@ pub mod timing;
 pub use crate::core::{Core, RunState};
 pub use bpred::{BpredConfig, BranchPredictor};
 pub use exec::{BranchOutcome, MemAccess, MemAccessKind};
+pub use flexstep_soc::CoreModelKind;
 pub use hart::{ArchSnapshot, ArchState, CsrCounters, PrivMode, TrapCause};
+pub use model::{
+    CoreModel, CoreTimingModel, InOrderModel, InstructionExecutor, OooModel, RetireInfo,
+    ScalarExecutor,
+};
 pub use port::{amo_apply, DataPort, PortStop, SocDataPort};
 pub use soc::{Retired, SchedMode, Soc, SocConfig, StepKind, StepResult};
 pub use timing::{Clock, ExecCosts};

@@ -76,6 +76,23 @@ pub trait DataPort {
         op: AmoOp,
         src: u64,
     ) -> Result<(u64, u64), PortStop>;
+
+    /// Offered the architectural outcome (`actual_next_pc`) of a
+    /// just-retired control-flow instruction. Returns `Ok(true)` when the
+    /// port supplied a matching forwarded outcome (the core then skips
+    /// its own branch-prediction timing — MEEK-style outcome forwarding),
+    /// `Ok(false)` when the port has no opinion (normal memory; replay of
+    /// an in-order main's stream, which carries no outcome packets).
+    ///
+    /// # Errors
+    ///
+    /// Replay ports return [`PortStop`] when a forwarded outcome
+    /// *disagrees* with the retirement — a divergence detection, handled
+    /// like any data-log mismatch.
+    fn branch_outcome(&mut self, actual_next_pc: u64) -> Result<bool, PortStop> {
+        let _ = actual_next_pc;
+        Ok(false)
+    }
 }
 
 /// Computes the stored value of an AMO.

@@ -14,6 +14,7 @@ use crate::bpred::BpredConfig;
 use crate::core::{Core, RunState};
 use crate::exec::{execute, BranchOutcome, MemAccess, Stop};
 use crate::hart::{CsrCounters, PrivMode, TrapCause};
+use crate::model::{CoreModel, RetireInfo};
 use crate::port::{DataPort, PortStop, SocDataPort};
 use crate::ready::ReadyQueue;
 pub use crate::ready::SchedMode;
@@ -24,6 +25,7 @@ use flexstep_isa::inst::{FlexOp, Inst};
 use flexstep_isa::XReg;
 use flexstep_mem::cache::CacheGeometryError;
 use flexstep_mem::{MemoryConfig, MemorySystem};
+use flexstep_soc::CoreModelKind;
 
 /// SoC configuration.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +69,9 @@ pub struct Retired {
     pub prv: PrivMode,
     /// Data-memory access performed, if any.
     pub mem: Option<MemAccess>,
+    /// Control-flow resolution, if any (drives branch-outcome
+    /// forwarding for out-of-order mains).
+    pub branch: Option<BranchOutcome>,
     /// Total cycles charged (fetch + execute + hazards).
     pub cycles: u64,
 }
@@ -154,6 +159,8 @@ pub struct Soc {
     pub mem: MemorySystem,
     clock: Clock,
     costs: ExecCosts,
+    /// Predictor configuration, kept for [`Soc::set_core_model`].
+    bpred_cfg: BpredConfig,
     now: u64,
     ready: ReadyQueue,
     sched_mode: SchedMode,
@@ -204,6 +211,7 @@ impl Soc {
             mem,
             clock: config.clock,
             costs: config.costs,
+            bpred_cfg: config.bpred,
             now: 0,
             sched_mode: SchedMode::default_for(config.num_cores),
             decode_cache: vec![None; DECODE_SLOTS].into_boxed_slice(),
@@ -267,6 +275,19 @@ impl Soc {
     /// Iterates over all cores.
     pub fn cores(&self) -> impl Iterator<Item = &Core> {
         self.cores.iter()
+    }
+
+    /// Swaps core `id`'s timing model for the one `kind` names. The
+    /// architectural state is untouched; all microarchitectural timing
+    /// state (predictor tables, hazards, issue window) starts cold.
+    /// Call before dispatching work to the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_core_model(&mut self, id: usize, kind: CoreModelKind) {
+        self.cores[id].model = CoreModel::from_kind(kind, self.bpred_cfg);
+        self.ready.mark_dirty(id);
     }
 
     /// Loads a program image into physical memory (no cache effects; call
@@ -352,6 +373,7 @@ impl Soc {
         let core = &mut self.cores[id];
         core.instret += count;
         core.user_instret += count;
+        core.busy_cycles += total_cycles;
         core.ready_at = self.now + total_cycles;
     }
 
@@ -573,46 +595,60 @@ impl Soc {
             time: now,
             instret: self.cores[id].instret,
         };
-        let outcome = match custom {
+        let (outcome, custom) = match custom {
             None => {
                 let mem = &mut self.mem;
                 let core = &mut self.cores[id];
                 let mut port = SocDataPort::new(mem, id);
-                execute(
-                    &mut core.state,
-                    &inst,
-                    &counters,
-                    &self.costs,
-                    &mut port,
-                    &mut core.resv,
+                (
+                    execute(
+                        &mut core.state,
+                        &inst,
+                        &counters,
+                        &self.costs,
+                        &mut port,
+                        &mut core.resv,
+                    ),
+                    None,
                 )
             }
             Some(port) => {
                 let core = &mut self.cores[id];
-                execute(
+                let outcome = execute(
                     &mut core.state,
                     &inst,
                     &counters,
                     &self.costs,
-                    port,
+                    &mut *port,
                     &mut core.resv,
-                )
+                );
+                (outcome, Some(port))
             }
         };
 
         let core = &mut self.cores[id];
         match outcome {
             Ok(exec) => {
-                // Timing: base cycle + fetch + functional units + hazards.
-                let mut cycles = 1 + fetch_cycles + exec.extra_cycles;
+                // Forwarded control flow: a checker replaying an
+                // out-of-order main consumes the branch outcome the main
+                // packed into the DBC stream instead of re-predicting it.
+                // A forwarded outcome disagreeing with this retirement is
+                // a detection — the port aborts the instruction exactly
+                // like a data-log mismatch.
+                let branch_hinted = match (custom, exec.branch) {
+                    (Some(port), Some(_)) => match port.branch_outcome(exec.next_pc) {
+                        Ok(hinted) => hinted,
+                        Err(stop) => {
+                            return StepResult {
+                                kind: StepKind::Stopped(stop),
+                                cycles: fetch_cycles,
+                                now,
+                            };
+                        }
+                    },
+                    _ => false,
+                };
 
-                // Load-use interlock against the previous instruction.
-                if let Some(load_rd) = core.last_load_rd {
-                    let (r1, r2) = inst.reads_xregs();
-                    if r1 == Some(load_rd) || r2 == Some(load_rd) {
-                        cycles += self.costs.load_use;
-                    }
-                }
                 // Self-modifying code: a store into a line some L0 fetch
                 // buffer holds invalidates it on *every* core (cross-core
                 // code patching included), so the affected cores refetch
@@ -625,49 +661,34 @@ impl Soc {
                     ))
                     .then_some(m.addr & self.fetch_line_mask)
                 });
+                let mem_is_load = exec.mem.as_ref().is_some_and(|m| {
+                    matches!(
+                        m.kind,
+                        crate::exec::MemAccessKind::Load | crate::exec::MemAccessKind::Lr
+                    )
+                });
 
-                core.last_load_rd = match (&exec.mem, inst.writes_xreg()) {
-                    (Some(m), Some(rd))
-                        if matches!(
-                            m.kind,
-                            crate::exec::MemAccessKind::Load | crate::exec::MemAccessKind::Lr
-                        ) =>
-                    {
-                        Some(rd)
-                    }
-                    _ => None,
-                };
-
-                // Branch-predictor timing.
-                if let Some(b) = exec.branch {
-                    let seq_pc = pc.wrapping_add(4);
-                    match b {
-                        BranchOutcome::Cond { taken, target } => {
-                            cycles += core.bpred.resolve_branch(pc, taken, target);
-                        }
-                        BranchOutcome::Jal { target, link } => {
-                            cycles += core.bpred.resolve_jal(pc, target);
-                            if link {
-                                core.bpred.push_return(seq_pc);
-                            }
-                        }
-                        BranchOutcome::Jalr {
-                            target,
-                            link,
-                            is_return,
-                        } => {
-                            cycles += core.bpred.resolve_jalr(pc, target, is_return);
-                            if link {
-                                core.bpred.push_return(seq_pc);
-                            }
-                        }
-                    }
-                }
+                // Timing: the slot's core model owns every hazard and
+                // speculation decision.
+                let cycles = core.model.retire(
+                    &RetireInfo {
+                        pc,
+                        inst: &inst,
+                        fetch_cycles,
+                        extra_cycles: exec.extra_cycles,
+                        mem_is_load,
+                        branch: exec.branch,
+                        branch_hinted,
+                    },
+                    &self.costs,
+                    now,
+                );
 
                 core.instret += 1;
                 if prv == PrivMode::User {
                     core.user_instret += 1;
                 }
+                core.busy_cycles += cycles;
                 core.ready_at = now + cycles;
 
                 if let Some(line) = stored_line {
@@ -690,6 +711,7 @@ impl Soc {
                         next_pc: exec.next_pc,
                         prv,
                         mem: exec.mem,
+                        branch: exec.branch,
                         cycles,
                     }),
                     cycles,
@@ -746,6 +768,7 @@ impl Soc {
         core.state.set_x(rd, value);
         core.state.pc = core.state.pc.wrapping_add(4);
         core.instret += 1;
+        core.busy_cycles += 1;
         core.ready_at = self.now.max(core.ready_at) + 1;
         self.ready.mark_dirty(id);
     }
@@ -887,14 +910,7 @@ impl Soc {
                 Err(_) => break,
             };
             debug_assert!(exec.branch.is_none(), "control flow is never in-block");
-            let mut cycles = 1 + fetch_cycles + exec.extra_cycles;
             let core = &mut self.cores[id];
-            if let Some(load_rd) = core.last_load_rd {
-                let (r1, r2) = inst.reads_xregs();
-                if r1 == Some(load_rd) || r2 == Some(load_rd) {
-                    cycles += self.costs.load_use;
-                }
-            }
             let stored_line = exec.mem.as_ref().and_then(|m| {
                 (!matches!(
                     m.kind,
@@ -902,21 +918,30 @@ impl Soc {
                 ))
                 .then_some(m.addr & self.fetch_line_mask)
             });
-            core.last_load_rd = match (&exec.mem, inst.writes_xreg()) {
-                (Some(m), Some(rd))
-                    if matches!(
-                        m.kind,
-                        crate::exec::MemAccessKind::Load | crate::exec::MemAccessKind::Lr
-                    ) =>
-                {
-                    Some(rd)
-                }
-                _ => None,
-            };
+            let mem_is_load = exec.mem.as_ref().is_some_and(|m| {
+                matches!(
+                    m.kind,
+                    crate::exec::MemAccessKind::Load | crate::exec::MemAccessKind::Lr
+                )
+            });
+            let cycles = core.model.retire(
+                &RetireInfo {
+                    pc,
+                    inst,
+                    fetch_cycles,
+                    extra_cycles: exec.extra_cycles,
+                    mem_is_load,
+                    branch: None,
+                    branch_hinted: false,
+                },
+                &self.costs,
+                now,
+            );
             core.instret += 1;
             if prv == PrivMode::User {
                 core.user_instret += 1;
             }
+            core.busy_cycles += cycles;
             core.ready_at = now + cycles;
             retired += 1;
             sink(exec.mem.as_ref());

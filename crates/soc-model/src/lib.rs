@@ -14,6 +14,12 @@
 //! - per-core FlexStep storage: CPC 8 B + ASS 518 B + DBC 1 088 B =
 //!   1 614 B (§VI-E).
 //!
+//! The crate also houses the workspace-shared *core-model descriptors*
+//! ([`CoreModelKind`], [`CheckerTier`]): the simulator instantiates the
+//! timing model a descriptor names, the checking fabric routes
+//! forwarding packets on it, and the bench sweeps tier sizings against
+//! it — one definition instead of three.
+//!
 //! ## Example
 //!
 //! ```
@@ -26,6 +32,12 @@
 //! ```
 
 #![warn(missing_docs)]
+
+mod model_kind;
+
+pub use model_kind::{
+    CheckerTier, CoreModelKind, CHECKER_TIERS, DEFAULT_OOO_ROB, DEFAULT_OOO_WIDTH,
+};
 
 use std::fmt;
 

@@ -1,0 +1,116 @@
+//! Core-model and checker-tier descriptors shared across the workspace.
+//!
+//! `flexstep-sim` instantiates the timing model a [`CoreModelKind`]
+//! names, `flexstep-core` routes forwarding packets based on it, and
+//! `flexstep-bench` sweeps tiers of [`CheckerTier`] sizings against it —
+//! one definition here so the layers stop redeclaring the descriptors.
+
+use std::fmt;
+
+/// Default issue/retire width of the out-of-order main-core model
+/// (MEEK-class 4-wide superscalar).
+pub const DEFAULT_OOO_WIDTH: u8 = 4;
+
+/// Default reorder-buffer window of the out-of-order main-core model.
+pub const DEFAULT_OOO_ROB: u16 = 32;
+
+/// Which microarchitectural timing model a core slot runs.
+///
+/// The architectural ISA semantics are identical across kinds — only
+/// timing (and, for out-of-order mains, the forwarding packets packed
+/// into the DBC stream) differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CoreModelKind {
+    /// The Rocket-like single-issue in-order pipeline (the paper's
+    /// evaluated configuration, Tab. II).
+    #[default]
+    InOrder,
+    /// A wide out-of-order superscalar: `width`-wide fetch/issue/retire
+    /// over a `rob`-entry reorder window, with MEEK-style branch-outcome
+    /// forwarding into the DBC stream so in-order checkers replay
+    /// without re-speculating.
+    OooSuperscalar {
+        /// Fetch/issue/retire width (instructions per cycle).
+        width: u8,
+        /// Reorder-buffer entries bounding the in-flight window.
+        rob: u16,
+    },
+}
+
+impl CoreModelKind {
+    /// The default out-of-order configuration
+    /// ([`DEFAULT_OOO_WIDTH`]-wide, [`DEFAULT_OOO_ROB`]-entry ROB).
+    pub fn ooo() -> Self {
+        CoreModelKind::OooSuperscalar {
+            width: DEFAULT_OOO_WIDTH,
+            rob: DEFAULT_OOO_ROB,
+        }
+    }
+
+    /// Whether mains running this model pack branch-outcome forwarding
+    /// packets into their DBC stream (checkers then replay control flow
+    /// without re-predicting it).
+    pub fn forwards_branch_outcomes(&self) -> bool {
+        matches!(self, CoreModelKind::OooSuperscalar { .. })
+    }
+
+    /// Short stable label for artifact rows and trace lanes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CoreModelKind::InOrder => "inorder",
+            CoreModelKind::OooSuperscalar { .. } => "ooo",
+        }
+    }
+}
+
+impl fmt::Display for CoreModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreModelKind::InOrder => write!(f, "in-order"),
+            CoreModelKind::OooSuperscalar { width, rob } => {
+                write!(f, "ooo {width}-wide/rob{rob}")
+            }
+        }
+    }
+}
+
+/// One checker-pool sizing tier for Fig. 8-style sweeps: how many SoC
+/// cores each shared in-order checker serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckerTier {
+    /// Stable tier name for artifact rows (e.g. `"1:3"`).
+    pub name: &'static str,
+    /// Cores per shared checker (the §III-C consolidation ratio).
+    pub cores_per_checker: usize,
+}
+
+/// The checker-sizing tiers the heterogeneous Fig. 8 sweep compares:
+/// from one checker per three cores down to one per eight.
+pub const CHECKER_TIERS: &[CheckerTier] = &[
+    CheckerTier {
+        name: "1:4",
+        cores_per_checker: 4,
+    },
+    CheckerTier {
+        name: "1:8",
+        cores_per_checker: 8,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_are_stable() {
+        assert_eq!(CoreModelKind::default(), CoreModelKind::InOrder);
+        assert!(!CoreModelKind::InOrder.forwards_branch_outcomes());
+        let ooo = CoreModelKind::ooo();
+        assert!(ooo.forwards_branch_outcomes());
+        assert_eq!(ooo.label(), "ooo");
+        assert_eq!(ooo.to_string(), "ooo 4-wide/rob32");
+        assert!(CHECKER_TIERS
+            .windows(2)
+            .all(|w| w[0].cores_per_checker < w[1].cores_per_checker));
+    }
+}

@@ -1,0 +1,152 @@
+//! Core-model equivalence suite (ISSUE 9 acceptance tests).
+//!
+//! The `CoreModel` trait layer must be invisible for the in-order
+//! pipeline: every scenario here pins `RunReport::to_json()` — and, for
+//! the paired scenario, the Chrome trace JSON — byte-identical to the
+//! goldens generated at the pre-refactor commit (before the
+//! `InOrderModel` extraction). Regenerate deliberately with
+//! `BLESS_MODEL_GOLDENS=1 cargo test --test model_equivalence` and
+//! justify the diff in review; an unexplained diff is a timing or
+//! accounting regression, not a formatting nit.
+//!
+//! Covered scenarios: paired lockstep, shared-checker pool with faults,
+//! rollback recovery, and the memo on/off pair (which also re-pins the
+//! PR 6 warp-free clock invariant — memo on/off must not merely both
+//! complete, but produce the same bytes).
+
+use flexstep::core::{FabricConfig, FaultPlan, RecoveryPolicy, Scenario, Topology, VerifiedRun};
+use flexstep::isa::asm::{Assembler, Program};
+use flexstep::isa::XReg;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/goldens")
+        .join(name)
+}
+
+/// Compares `actual` against the checked-in golden, or rewrites the
+/// golden under `BLESS_MODEL_GOLDENS=1`.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_MODEL_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); bless to create", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} diverged from the pre-refactor golden \
+         (BLESS_MODEL_GOLDENS=1 to regenerate deliberately)"
+    );
+}
+
+/// A branchy store/load checksum kernel in a private window per slot —
+/// enough control flow and memory traffic to exercise the predictor,
+/// the load-use interlock and the DBC log datapath.
+fn checksum_job(slot: u64, iters: i64) -> Program {
+    let text = 0x1000_0000 + slot * 0x10_0000;
+    let data = 0x2000_0000 + slot * 0x10_0000;
+    let mut asm = Assembler::with_bases(format!("eq{slot}"), text, data);
+    asm.la(XReg::A2, "buf");
+    asm.data_label("buf").unwrap();
+    asm.data_zeros(64);
+    asm.li(XReg::A0, iters);
+    asm.li(XReg::A4, 0);
+    asm.label("l").unwrap();
+    asm.sd(XReg::A2, XReg::A0, 0);
+    asm.ld(XReg::A3, XReg::A2, 0);
+    asm.add(XReg::A4, XReg::A4, XReg::A3);
+    asm.addi(XReg::A0, XReg::A0, -1);
+    asm.bnez(XReg::A0, "l");
+    asm.ecall();
+    asm.finish().unwrap()
+}
+
+fn run_report(mut run: VerifiedRun) -> String {
+    let report = run.run_to_completion(u64::MAX);
+    assert!(report.completed, "equivalence run must complete");
+    report.to_json()
+}
+
+#[test]
+fn paired_lockstep_report_matches_golden() {
+    let run = Scenario::new(&checksum_job(0, 700))
+        .cores(2)
+        .fabric(FabricConfig::paper())
+        .build()
+        .unwrap();
+    assert_golden("paired.report.json", &run_report(run));
+}
+
+#[test]
+fn paired_trace_matches_golden() {
+    let tmp = std::env::temp_dir().join("flexstep_model_equivalence_unwritten.json");
+    let mut run = Scenario::new(&checksum_job(0, 300))
+        .cores(2)
+        .fabric(FabricConfig::paper())
+        .trace_to(tmp)
+        .build()
+        .unwrap();
+    let report = run.run_to_completion(u64::MAX);
+    assert!(report.completed);
+    let trace = run.trace().expect("trace configured").to_chrome_json();
+    assert_golden("paired.trace.json", &trace);
+}
+
+#[test]
+fn shared_checker_faulty_report_matches_golden() {
+    let programs: Vec<Program> = (0..6).map(|i| checksum_job(i, 500)).collect();
+    let mut plan = FaultPlan::none().with_seed(0x9e37);
+    for k in 0..3usize {
+        plan = plan.then_random_at(3_000 + 4_000 * k as u64).on_channel(k);
+    }
+    let mut scenario = Scenario::new(&programs[0])
+        .cores(8)
+        .topology(Topology::SharedChecker { checkers: 2 })
+        .fabric(FabricConfig::paper())
+        .fault_plan(plan);
+    for p in &programs[1..] {
+        scenario = scenario.program(p);
+    }
+    assert_golden(
+        "shared_faulty.report.json",
+        &run_report(scenario.build().unwrap()),
+    );
+}
+
+#[test]
+fn rollback_recovery_report_matches_golden() {
+    let run = Scenario::new(&checksum_job(0, 900))
+        .cores(2)
+        .fabric(FabricConfig::paper())
+        .fault_plan(FaultPlan::none().with_seed(7).then_random_at(5_000))
+        .recovery(RecoveryPolicy::Rollback { max_retries: 3 })
+        .build()
+        .unwrap();
+    assert_golden("recovery.report.json", &run_report(run));
+}
+
+#[test]
+fn memo_on_and_off_match_goldens_and_each_other() {
+    let program = checksum_job(0, 600);
+    let reports: Vec<String> = [false, true]
+        .iter()
+        .map(|&memo| {
+            let run = Scenario::new(&program)
+                .cores(2)
+                .fabric(FabricConfig::paper())
+                .memo(memo)
+                .build()
+                .unwrap();
+            run_report(run)
+        })
+        .collect();
+    // The warp-free clock invariant: memoized playback must be
+    // byte-identical to full replay, not just "also complete".
+    assert_eq!(reports[0], reports[1], "memo on/off must not diverge");
+    assert_golden("memo_off.report.json", &reports[0]);
+    assert_golden("memo_on.report.json", &reports[1]);
+}

@@ -1,10 +1,10 @@
 //! `Scenario` front-door contract tests: every validation path returns a
-//! typed [`ScenarioError`] (never a panic), and builder-constructed runs
-//! reproduce the deprecated `dual_core`/`triple_core` constructors
-//! bit-for-bit.
+//! typed [`ScenarioError`] (never a panic), and equivalent builder
+//! topologies produce bit-identical runs (the guarantee the removed
+//! `dual_core`/`triple_core` constructor shims used to carry).
 
 use flexstep::core::{
-    FabricConfig, FaultPlan, FaultTarget, RunReport, Scenario, ScenarioError, Topology, VerifiedRun,
+    FabricConfig, FaultPlan, FaultTarget, RunReport, Scenario, ScenarioError, Topology,
 };
 use flexstep::isa::asm::{Assembler, Program};
 use flexstep::isa::XReg;
@@ -186,7 +186,8 @@ fn program_count_must_match_main_count() {
 }
 
 // ---------------------------------------------------------------------------
-// Determinism vs the deprecated constructors
+// Topology equivalence (the guarantees the removed dual_core /
+// triple_core constructor shims used to pin)
 // ---------------------------------------------------------------------------
 
 fn assert_bit_identical(a: &RunReport, b: &RunReport, what: &str) {
@@ -197,37 +198,47 @@ fn assert_bit_identical(a: &RunReport, b: &RunReport, what: &str) {
 }
 
 #[test]
-fn scenario_dual_core_reproduces_deprecated_constructor_bit_for_bit() {
+fn paired_lockstep_is_bit_identical_to_its_custom_spelling() {
+    // The old `VerifiedRun::dual_core` constructor was defined as
+    // Custom(vec![(0, vec![1])]); PairedLockstep at two cores must
+    // still resolve to exactly that platform.
     let p = store_loop(2_000);
-    #[allow(deprecated)]
-    let mut old = VerifiedRun::dual_core(&p, FabricConfig::paper()).unwrap();
-    let ro = old.run_to_completion(100_000_000);
-    let mut new = Scenario::new(&p)
+    let mut paired = Scenario::new(&p)
         .cores(2)
         .topology(Topology::PairedLockstep)
         .fabric(FabricConfig::paper())
         .build()
         .unwrap();
-    let rn = new.run_to_completion(100_000_000);
-    assert!(ro.completed && ro.segments_checked >= 2);
-    assert_bit_identical(&ro, &rn, "dual-core");
-}
-
-#[test]
-fn scenario_triple_core_reproduces_deprecated_constructor_bit_for_bit() {
-    let p = store_loop(900);
-    #[allow(deprecated)]
-    let mut old = VerifiedRun::triple_core(&p, FabricConfig::paper()).unwrap();
-    let ro = old.run_to_completion(100_000_000);
-    let mut new = Scenario::new(&p)
-        .cores(3)
-        .topology(Topology::Custom(vec![(0, vec![1, 2])]))
+    let rp = paired.run_to_completion(100_000_000);
+    let mut custom = Scenario::new(&p)
+        .cores(2)
+        .topology(Topology::Custom(vec![(0, vec![1])]))
         .fabric(FabricConfig::paper())
         .build()
         .unwrap();
-    let rn = new.run_to_completion(100_000_000);
-    assert!(ro.completed);
-    assert_bit_identical(&ro, &rn, "triple-core");
+    let rc = custom.run_to_completion(100_000_000);
+    assert!(rp.completed && rp.segments_checked >= 2);
+    assert_bit_identical(&rp, &rc, "dual-core");
+}
+
+#[test]
+fn triple_core_custom_topology_is_reproducible_bit_for_bit() {
+    // The old `VerifiedRun::triple_core` constructor's topology,
+    // rebuilt twice through the builder: same platform, same report.
+    let p = store_loop(900);
+    let run_once = || {
+        let mut run = Scenario::new(&p)
+            .cores(3)
+            .topology(Topology::Custom(vec![(0, vec![1, 2])]))
+            .fabric(FabricConfig::paper())
+            .build()
+            .unwrap();
+        run.run_to_completion(100_000_000)
+    };
+    let ra = run_once();
+    let rb = run_once();
+    assert!(ra.completed);
+    assert_bit_identical(&ra, &rb, "triple-core");
 }
 
 #[test]
