@@ -1,0 +1,195 @@
+//! Fig. 9: the reliability-mode sweep — per-mode slowdown, checkpoint
+//! overhead, coverage and detection latency, plus the dynamic-pairing
+//! probe (mid-run checker release/re-acquire on the shared-checker
+//! topology), emitted as a JSON artifact.
+//!
+//! Usage: `fig9_modes [--quick] [--out PATH]`
+//!
+//! - `--quick`: reduced sweep for CI (60 shots per mode).
+//! - `--out PATH`: JSON artifact path (default `FIG9_MODES.json`).
+//!
+//! The artifact is gated on the Fig. 9 hard invariants: checked modes
+//! cover ≥ 99 % of landed shots, `FullLockstep` runs have zero
+//! unchecked cycles, mean detection latency is monotone in strictness
+//! (`FullLockstep` ≤ `SegmentCheck` ≤ `CheckpointOnly`), every
+//! `Unchecked` shot expires with a typed warning, and the pairing
+//! probe must release, re-acquire, and warn at least once.
+
+use flexstep_bench::modes::{fig9_json, mode_sweep, pairing_probe, ModeRow, ModeSweepConfig};
+use flexstep_bench::{arg_value, run_bin, write_artifact, BenchError};
+use flexstep_bench::{LatencyStats, ReliabilityMode};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    run_bin(run)
+}
+
+fn run() -> Result<(), BenchError> {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "FIG9_MODES.json".into());
+    let cfg = if quick {
+        ModeSweepConfig::quick()
+    } else {
+        ModeSweepConfig::full()
+    };
+
+    println!("Fig. 9 — reliability modes: overhead vs. detection latency");
+    println!(
+        "{:>16} {:>9} {:>9} {:>10} {:>8} {:>6} {:>6} {:>6} {:>7} {:>8} {:>8} {:>8} {:>8}",
+        "mode",
+        "slowdown",
+        "checked%",
+        "cp stalls",
+        "segs",
+        "armed",
+        "landed",
+        "det",
+        "expired",
+        "cov/land",
+        "mean µs",
+        "p99 µs",
+        "max µs"
+    );
+    let rows = mode_sweep(&cfg)?;
+    for row in &rows {
+        print_row(row);
+    }
+    check_rows(&cfg, &rows)?;
+
+    let probe = pairing_probe(&cfg)?;
+    println!();
+    println!(
+        "pairing probe: {} releases, {} re-acquires, {} checked / {} released cycles, \
+         {} window warnings, {} segments verified",
+        probe.releases,
+        probe.acquires,
+        probe.checked_cycles,
+        probe.unchecked_cycles,
+        probe.window_warnings,
+        probe.segments_checked,
+    );
+    if !probe.completed {
+        return Err(BenchError::Invariant(
+            "pairing probe runs did not finish".into(),
+        ));
+    }
+    if probe.releases == 0 || probe.acquires == 0 {
+        return Err(BenchError::Invariant(format!(
+            "pairing probe must release and re-acquire mid-run, got {} releases / {} acquires",
+            probe.releases, probe.acquires
+        )));
+    }
+    if probe.window_warnings == 0 {
+        return Err(BenchError::Invariant(
+            "a shot expiring in a released window must raise a typed warning".into(),
+        ));
+    }
+
+    let json = fig9_json(&cfg, &rows, &probe);
+    write_artifact(&out_path, &json)?;
+    println!();
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+fn fmt_stats(stats: &Option<LatencyStats>) -> (String, String, String) {
+    stats.map_or(("n/a".into(), "n/a".into(), "n/a".into()), |s| {
+        (
+            format!("{:.2}", s.mean_us),
+            format!("{:.2}", s.p99_us),
+            format!("{:.2}", s.max_us),
+        )
+    })
+}
+
+fn print_row(row: &ModeRow) {
+    let (mean, p99, max) = fmt_stats(&row.stats);
+    println!(
+        "{:>16} {:>8.2}x {:>8.1}% {:>10} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7.1}% {:>8} {:>8} {:>8}",
+        row.mode.label(),
+        row.slowdown,
+        100.0 * row.checked_fraction(),
+        row.cp_stall_cycles,
+        row.segments_checked,
+        row.armed,
+        row.landed,
+        row.detected,
+        row.expired,
+        100.0 * row.coverage_landed(),
+        mean,
+        p99,
+        max,
+    );
+}
+
+fn check_rows(cfg: &ModeSweepConfig, rows: &[ModeRow]) -> Result<(), BenchError> {
+    let by_mode = |m: ReliabilityMode| -> Result<&ModeRow, BenchError> {
+        rows.iter()
+            .find(|r| r.mode == m)
+            .ok_or_else(|| BenchError::Invariant(format!("sweep produced no {m} row")))
+    };
+    for row in rows {
+        if !row.completed {
+            return Err(BenchError::Invariant(format!(
+                "{} runs did not finish",
+                row.mode
+            )));
+        }
+        if row.armed != cfg.armed() || row.landed + row.expired != row.armed {
+            return Err(BenchError::Invariant(format!(
+                "{}: every armed shot must land or expire, got {} armed / {} landed / {} expired",
+                row.mode, row.armed, row.landed, row.expired
+            )));
+        }
+        if row.detected > row.landed {
+            return Err(BenchError::Invariant(format!(
+                "{}: attribution must hold detected <= landed, got {}/{}",
+                row.mode, row.detected, row.landed
+            )));
+        }
+        if row.mode.is_checked() && row.coverage_landed() < 0.99 {
+            return Err(BenchError::Invariant(format!(
+                "{}: checked modes must cover >= 99% of landed shots, got {:.1}%",
+                row.mode,
+                100.0 * row.coverage_landed()
+            )));
+        }
+    }
+    let lockstep = by_mode(ReliabilityMode::FullLockstep)?;
+    if lockstep.unchecked_cycles != 0 {
+        return Err(BenchError::Invariant(format!(
+            "FullLockstep must leave no cycle unchecked, got {}",
+            lockstep.unchecked_cycles
+        )));
+    }
+    let unchecked = by_mode(ReliabilityMode::Unchecked)?;
+    if unchecked.detected != 0
+        || unchecked.expired != unchecked.armed
+        || unchecked.unchecked_warnings != unchecked.armed
+    {
+        return Err(BenchError::Invariant(format!(
+            "Unchecked shots must all expire with typed warnings, got \
+             {} detected / {} expired / {} warnings of {} armed",
+            unchecked.detected, unchecked.expired, unchecked.unchecked_warnings, unchecked.armed
+        )));
+    }
+    let mean = |r: &ModeRow| -> Result<f64, BenchError> {
+        r.stats
+            .as_ref()
+            .map(|s| s.mean_us)
+            .ok_or_else(|| BenchError::Invariant(format!("{} detected nothing", r.mode)))
+    };
+    let (l, s, c) = (
+        mean(lockstep)?,
+        mean(by_mode(ReliabilityMode::SegmentCheck)?)?,
+        mean(by_mode(ReliabilityMode::CheckpointOnly)?)?,
+    );
+    if !(l <= s && s <= c) {
+        return Err(BenchError::Invariant(format!(
+            "mean detection latency must be monotone in strictness, got \
+             lockstep {l:.2} µs / segment_check {s:.2} µs / checkpoint_only {c:.2} µs"
+        )));
+    }
+    Ok(())
+}

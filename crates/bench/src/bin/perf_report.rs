@@ -6,7 +6,7 @@
 //! scan, A/B's the segment-verdict memo on its best-case control-loop
 //! workload (DESIGN.md §13), A/B's the in-order pipeline against the
 //! OoO superscalar main model (ISSUE 9), and writes everything as JSON
-//! (default `BENCH_pr9.json`) via the shared [`flexstep_core::json`]
+//! (default `BENCH_pr10.json`) via the shared [`flexstep_core::json`]
 //! writer.
 //!
 //! Usage: `perf_report [--quick] [--naive] [--guard] [--baseline PATH] [--out PATH]`
@@ -20,11 +20,14 @@
 //!   below PR 2's dual-core pipeline figure (2.2251e7 steps/s) — the CI
 //!   floor for the PR 6 datapath — or if the Detect-policy pipeline's
 //!   ns/step drifts more than 1.5x above the figure recorded in the
-//!   PR 6 baseline artifact (recovery bookkeeping must stay free on the
-//!   Detect path; the slack absorbs container wall-clock jitter).
-//! - `--baseline PATH`: PR 6 baseline artifact the guard diffs against
-//!   (default `BENCH_pr6.json`; skipped with a warning if absent).
-//! - `--out PATH`: output file.
+//!   baseline artifact (recovery bookkeeping must stay free on the
+//!   Detect path; the slack absorbs container wall-clock jitter). Also
+//!   re-validates `SchedMode::SCAN_CROSSOVER` against the scheduler
+//!   scaling microbench: at every measured core count, `Adaptive` must
+//!   not have picked an engine measuring >1.25x slower than the other.
+//! - `--baseline PATH`: baseline artifact the guard diffs against
+//!   (default `BENCH_pr9.json`; skipped with a warning if absent).
+//! - `--out PATH`: output file (default `BENCH_pr10.json`).
 //!
 //! The embedded `seed_baseline` block records the same microbenches
 //! measured at the pre-optimisation commit (`cargo bench`, same
@@ -81,8 +84,8 @@ fn parse_args() -> Args {
         naive: flag("--naive"),
         guard: flag("--guard"),
         baseline: flexstep_bench::arg_value(&argv, "--baseline")
-            .unwrap_or_else(|| "BENCH_pr6.json".into()),
-        out: flexstep_bench::arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pr9.json".into()),
+            .unwrap_or_else(|| "BENCH_pr9.json".into()),
+        out: flexstep_bench::arg_value(&argv, "--out").unwrap_or_else(|| "BENCH_pr10.json".into()),
     }
 }
 
@@ -200,10 +203,11 @@ fn run() -> Result<(), BenchError> {
         out.field_raw("flexstep_pipeline/dual_core_verified_run", &o.finish());
     }
 
-    // --- guard: Detect-path ns/step vs the PR 6 baseline artifact -------
+    // --- guard: Detect-path ns/step vs the baseline artifact ------------
     // The default scenario carries `RecoveryPolicy::Detect`, so this run
-    // IS the Detect path: its ns/step must not drift from what PR 6
-    // recorded — rollback bookkeeping has to stay free when disabled.
+    // IS the Detect path: its ns/step must not drift from what the
+    // previous PR recorded — rollback bookkeeping has to stay free when
+    // disabled.
     if args.guard {
         match std::fs::read_to_string(&args.baseline) {
             Ok(base) => {
@@ -450,6 +454,32 @@ fn run() -> Result<(), BenchError> {
             o.field_f64("event_queue_ns_per_step", per_mode[0])
                 .field_f64("linear_scan_ns_per_step", per_mode[1]);
             sched_obj.field_raw(&format!("cores_{n}"), &o.finish());
+            // Crossover guard: `Adaptive` must resolve to whichever
+            // engine this very table measured faster, at every core
+            // count. A 1.25x slack keeps container jitter from tripping
+            // it near the crossing (16 cores sits ~8% apart); a
+            // mis-set `SCAN_CROSSOVER` picks the wrong engine where
+            // the gap is wide (1.6x at 8 cores, 2.6x at 64) and fails
+            // regardless of jitter.
+            if args.guard {
+                let (event_ns, linear_ns) = (per_mode[0], per_mode[1]);
+                let (chosen, chosen_ns, other_ns) = match SchedMode::Adaptive.resolve(n) {
+                    SchedMode::EventQueue => ("event_queue", event_ns, linear_ns),
+                    _ => ("linear_scan", linear_ns, event_ns),
+                };
+                if chosen_ns > other_ns * 1.25 {
+                    return Err(BenchError::Invariant(format!(
+                        "SCAN_CROSSOVER={} mis-set: Adaptive picks {chosen} at {n} cores, \
+                         but it measured {chosen_ns:.1} ns/step vs {other_ns:.1} for the \
+                         other engine",
+                        SchedMode::SCAN_CROSSOVER
+                    )));
+                }
+                println!(
+                    "guard: scheduler @{n} cores — Adaptive -> {chosen} \
+                     ({chosen_ns:.1} ns/step vs {other_ns:.1}) — ok"
+                );
+            }
         }
         sched_obj.field_u64("iters", iters as u64);
         out.field_raw("scheduler/next_ready_scaling", &sched_obj.finish());

@@ -36,6 +36,7 @@
 //!     shots_per_run: 4,
 //!     seed: 7,
 //!     recovery: flexstep_bench::RecoveryPolicy::Detect,
+//!     mode: flexstep_bench::ReliabilityMode::SegmentCheck,
 //! };
 //! let row = campaign_row(&cfg).expect("valid configuration");
 //! assert!(row.completed);
@@ -47,7 +48,8 @@
 
 use crate::manycore::{checker_split, many_core_job};
 use crate::{
-    derive_stream, FabricConfig, FaultPlan, LatencyStats, RecoveryPolicy, Scenario, Topology,
+    derive_stream, FabricConfig, FaultPlan, LatencyStats, RecoveryPolicy, ReliabilityMode,
+    Scenario, Topology,
 };
 use flexstep_core::json::{array, numbers, numbers_u64, JsonObject};
 use flexstep_core::{MatchedDetection, ScenarioError};
@@ -96,6 +98,11 @@ pub struct CampaignConfig {
     /// faulted main back and re-execute
     /// ([`RecoveryPolicy::Rollback`]).
     pub recovery: RecoveryPolicy,
+    /// Reliability mode applied to every main slot.
+    /// [`ReliabilityMode::SegmentCheck`] (the default) reproduces the
+    /// pre-mode campaigns byte for byte; other modes trade detection
+    /// latency against checkpoint overhead (`fig9_modes`).
+    pub mode: ReliabilityMode,
 }
 
 impl CampaignConfig {
@@ -116,6 +123,7 @@ impl CampaignConfig {
             shots_per_run: mains,
             seed: 0xF167 ^ cores as u64,
             recovery: RecoveryPolicy::Detect,
+            mode: ReliabilityMode::SegmentCheck,
         }
     }
 
@@ -125,6 +133,14 @@ impl CampaignConfig {
     #[must_use]
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
+        self
+    }
+
+    /// The same campaign with every main slot in the given reliability
+    /// mode (the `fig9_modes` sweep axis).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ReliabilityMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -402,7 +418,8 @@ fn run_chunk(
         .topology(Topology::SharedChecker { checkers })
         .fabric(FabricConfig::paper())
         .fault_plan(plan)
-        .recovery(cfg.recovery);
+        .recovery(cfg.recovery)
+        .main_reliability_mode(cfg.mode);
     if let Some(path) = trace {
         scenario = scenario.trace_to_bounded(path, flexstep_core::DEFAULT_RING_CAPACITY);
     }
@@ -448,10 +465,13 @@ fn fault_free_horizon(
     programs: &[Program],
     checkers: usize,
 ) -> Result<u64, ScenarioError> {
+    // The probe runs under the campaign's mode: the live span depends
+    // on it (FullLockstep mains run far longer than Unchecked ones).
     let mut probe_scenario = Scenario::new(&programs[0])
         .cores(cfg.cores)
         .topology(Topology::SharedChecker { checkers })
-        .fabric(FabricConfig::paper());
+        .fabric(FabricConfig::paper())
+        .main_reliability_mode(cfg.mode);
     for p in &programs[1..] {
         probe_scenario = probe_scenario.program(p);
     }
@@ -872,6 +892,7 @@ mod tests {
             shots_per_run: 4,
             seed: 11,
             recovery: RecoveryPolicy::Detect,
+            mode: ReliabilityMode::SegmentCheck,
         };
         let row = campaign_row(&cfg).unwrap();
         assert_eq!(row.recovered, 0);
@@ -905,6 +926,7 @@ mod tests {
             shots_per_run: 6,
             seed: 77,
             recovery: RecoveryPolicy::Detect,
+            mode: ReliabilityMode::SegmentCheck,
         };
         let a = campaign_row(&cfg).unwrap();
         let b = campaign_row(&cfg).unwrap();
@@ -931,6 +953,7 @@ mod tests {
             shots_per_run: 6,
             seed: 77,
             recovery: RecoveryPolicy::Detect,
+            mode: ReliabilityMode::SegmentCheck,
         };
         let row = campaign_row(&cfg).unwrap();
         let horizon = probe_horizon(&cfg).unwrap();

@@ -22,10 +22,12 @@ pub mod campaign;
 pub mod coverage;
 
 pub mod manycore;
+pub mod modes;
 
 pub use flexstep_core::harness::{baseline_cycles, VerifiedRun};
 pub use flexstep_core::{
-    inject_random_fault, FabricConfig, FaultPlan, LatencyStats, RecoveryPolicy, Scenario, Topology,
+    inject_random_fault, FabricConfig, FaultPlan, LatencyStats, PairingSchedule, RecoveryPolicy,
+    ReliabilityMode, Scenario, Topology, RELIABILITY_MODES,
 };
 use flexstep_isa::asm::Program;
 pub use flexstep_sim::{Clock, Soc, SocConfig};

@@ -601,6 +601,7 @@ mod tests {
             checkers_lost: 0,
             repair_latency_cycles: vec![],
             warnings: vec![],
+            mode_stats: vec![],
             injections,
         }
     }

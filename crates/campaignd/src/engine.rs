@@ -384,6 +384,7 @@ mod tests {
             shards_per_config: 3,
             seed: 7,
             recovery: flexstep_bench::RecoveryPolicy::Detect,
+            mode: flexstep_bench::ReliabilityMode::SegmentCheck,
         }
     }
 

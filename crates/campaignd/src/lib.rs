@@ -45,6 +45,7 @@
 //!     shards_per_config: 2,
 //!     seed: 42,
 //!     recovery: RecoveryPolicy::Detect,
+//!     mode: flexstep_bench::ReliabilityMode::SegmentCheck,
 //! };
 //! engine::submit(&dir, &spec)?;
 //!

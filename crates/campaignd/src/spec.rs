@@ -11,7 +11,7 @@
 
 use crate::error::CampaignError;
 use flexstep_bench::campaign::CampaignConfig;
-use flexstep_bench::{derive_stream, RecoveryPolicy};
+use flexstep_bench::{derive_stream, RecoveryPolicy, ReliabilityMode};
 use flexstep_core::json::{self, JsonObject, JsonValue};
 
 /// Spec format version written to and required from `spec.json`.
@@ -46,6 +46,11 @@ pub struct JobSpec {
     /// What a shard does on detection: record it, or roll the faulted
     /// main back and re-execute.
     pub recovery: RecoveryPolicy,
+    /// Reliability mode every main slot runs at.
+    /// [`ReliabilityMode::SegmentCheck`] reproduces pre-mode campaigns
+    /// byte for byte; specs without a `"mode"` field parse as it, so
+    /// existing campaign directories stay resumable.
+    pub mode: ReliabilityMode,
 }
 
 /// One schedulable unit of campaign work. Shard outcomes are pure
@@ -77,6 +82,7 @@ impl JobSpec {
             shards_per_config: 12,
             seed: 2025,
             recovery: RecoveryPolicy::Detect,
+            mode: ReliabilityMode::SegmentCheck,
         }
     }
 
@@ -143,6 +149,7 @@ impl JobSpec {
             shots_per_run: self.shots_per_shard,
             seed: derive_stream(self.seed, &format!("cores-{cores}")),
             recovery: self.recovery,
+            mode: self.mode,
         }
     }
 
@@ -172,7 +179,8 @@ impl JobSpec {
             .field_u64("shots_per_shard", self.shots_per_shard as u64)
             .field_u64("shards_per_config", self.shards_per_config as u64)
             .field_u64("seed", self.seed)
-            .field_raw("recovery", &recovery);
+            .field_raw("recovery", &recovery)
+            .field_str("mode", self.mode.label());
         o.finish()
     }
 
@@ -236,6 +244,17 @@ impl JobSpec {
             }
             None => return Err(bad("spec.json: missing \"recovery\"".into())),
         };
+        // Absent in pre-mode specs: default keeps those directories
+        // resumable with unchanged shard outcomes.
+        let mode = match doc.get("mode") {
+            None => ReliabilityMode::SegmentCheck,
+            Some(v) => v
+                .as_str()
+                .and_then(ReliabilityMode::from_label)
+                .ok_or_else(
+                    || bad("spec.json: \"mode\" must be a reliability-mode label".into()),
+                )?,
+        };
         let spec = JobSpec {
             name: str_field("name")?,
             core_counts,
@@ -248,6 +267,7 @@ impl JobSpec {
             shards_per_config: u64_field("shards_per_config")? as usize,
             seed: u64_field("seed")?,
             recovery,
+            mode,
         };
         spec.validate()?;
         Ok(spec)
@@ -271,10 +291,32 @@ mod tests {
 
     #[test]
     fn spec_round_trips_through_json() {
-        for spec in [JobSpec::quick(), rollback_spec()] {
+        let lockstep = JobSpec {
+            mode: ReliabilityMode::FullLockstep,
+            ..JobSpec::quick()
+        };
+        for spec in [JobSpec::quick(), rollback_spec(), lockstep] {
             let parsed = JobSpec::parse(&spec.to_json()).expect("round trip");
             assert_eq!(parsed, spec);
         }
+    }
+
+    #[test]
+    fn pre_mode_specs_parse_as_segment_check() {
+        // A spec.json written before the "mode" field existed must stay
+        // readable and expand to identical shards.
+        let legacy = JobSpec::quick()
+            .to_json()
+            .replace(", \"mode\": \"segment_check\"", "");
+        assert!(!legacy.contains("\"mode\""), "field stripped: {legacy}");
+        let parsed = JobSpec::parse(&legacy).expect("legacy spec parses");
+        assert_eq!(parsed, JobSpec::quick());
+        assert!(JobSpec::parse(
+            &JobSpec::quick()
+                .to_json()
+                .replace("\"segment_check\"", "\"lockstep\"")
+        )
+        .is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn tiny_spec() -> JobSpec {
         shards_per_config: 4,
         seed: 9,
         recovery: RecoveryPolicy::Detect,
+        mode: flexstep_bench::ReliabilityMode::SegmentCheck,
     }
 }
 

@@ -306,6 +306,7 @@ impl FlexSoc {
                     let consumers = unit.fifo.consumers() as u64;
                     let scp = unit.tracker.open_segment(snap);
                     unit.fifo.push_scp(scp).expect("space reserved above");
+                    unit.cp_stall_cycles += scp_cycles * consumers;
                     // The ASS forwards the checkpoint once per associated
                     // checker (§III-A): wider verification modes serialise
                     // more beats through the channel — the source of
@@ -397,6 +398,7 @@ impl FlexSoc {
         unit.fifo
             .push_count_ecp(count, ecp)
             .expect("space and cp slot reserved");
+        unit.cp_stall_cycles += ecp_cycles * consumers;
         self.soc.stall_core(core, ecp_cycles * consumers);
     }
 

@@ -238,6 +238,10 @@ pub struct CoreUnit {
     pub checker: CheckerState,
     /// Spilled packets already charged for DMA cost (engine bookkeeping).
     pub(crate) spill_charged: u64,
+    /// Main-role: cycles this core has stalled extracting checkpoints
+    /// (SCP on segment open, IC+ECP on close) — the per-mode checkpoint
+    /// overhead the reliability-policy accounting reports.
+    pub(crate) cp_stall_cycles: u64,
     /// Main-role: a fault shot is armed or in flight on this stream, so
     /// its checkers must not serve verdicts from the memo (the harness
     /// keeps this in sync with the fault driver).
@@ -257,6 +261,7 @@ impl CoreUnit {
             checking_enabled: false,
             checker,
             spill_charged: 0,
+            cp_stall_cycles: 0,
             memo_blocked: false,
         }
     }

@@ -24,7 +24,10 @@ use crate::sink::{EventBuffer, RunEvent};
 use crate::trace::TraceObserver;
 use flexstep_isa::asm::Program;
 use flexstep_mem::cache::CacheGeometryError;
-use flexstep_sim::{ArchSnapshot, Clock, PrivMode, Soc, SocConfig, StepKind, TrapCause};
+use flexstep_sim::{
+    ArchSnapshot, Clock, PairingAction, PairingEvent, PairingSchedule, PrivMode, ReliabilityMode,
+    Soc, SocConfig, StepKind, TrapCause,
+};
 use std::collections::VecDeque;
 
 /// Per-main-core outcome of a verified run.
@@ -75,6 +78,65 @@ pub enum RunWarning {
         /// Cycle of the unrecovered detection.
         at_cycle: u64,
     },
+    /// An armed fault shot expired while its target main was running
+    /// unchecked *by policy* ([`ReliabilityMode::Unchecked`], or inside
+    /// a pairing-released window): the corruption window closed with no
+    /// checker to observe it. Policy-unchecked windows must never
+    /// swallow shots silently.
+    ShotInUncheckedWindow {
+        /// The policy-unchecked main core.
+        main: usize,
+        /// Cycle of the expiry.
+        at_cycle: u64,
+    },
+}
+
+/// Per-main-slot reliability-policy accounting.
+///
+/// Only populated — and only serialized by [`RunReport::to_json`] —
+/// when the scenario actually uses the policy layer (a non-default
+/// [`ReliabilityMode`] or a pairing schedule), so default
+/// all-`SegmentCheck` reports stay byte-identical to pre-policy runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeStats {
+    /// The main core index.
+    pub core: usize,
+    /// The slot's configured reliability mode.
+    pub mode: ReliabilityMode,
+    /// Cycles this slot executed with a live checker channel.
+    pub checked_cycles: u64,
+    /// Cycles this slot executed unchecked (mode, released window, or
+    /// checker-loss degradation).
+    pub unchecked_cycles: u64,
+    /// Cycles this main stalled extracting checkpoints (SCP on open
+    /// plus IC/ECP on close) — the per-mode checkpoint overhead.
+    pub checkpoint_stall_cycles: u64,
+    /// Pairing-policy checker acquires applied on this slot.
+    pub acquires: u64,
+    /// Pairing-policy checker releases applied on this slot.
+    pub releases: u64,
+    /// Matched detections attributed to this slot
+    /// ([`RunReport::matched_detections`]).
+    pub detections: u64,
+    /// Sum of this slot's matched detection latencies, in cycles.
+    pub detection_latency_total: u64,
+}
+
+impl ModeStats {
+    /// Checked fraction of this slot's executed cycles (1.0 for a
+    /// checked slot that never ran, 0.0 for an unchecked one).
+    pub fn coverage(&self) -> f64 {
+        let total = self.checked_cycles + self.unchecked_cycles;
+        if total == 0 {
+            return if self.mode.is_checked() { 1.0 } else { 0.0 };
+        }
+        self.checked_cycles as f64 / total as f64
+    }
+
+    /// Mean matched detection latency, in cycles.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        (self.detections > 0).then(|| self.detection_latency_total as f64 / self.detections as f64)
+    }
 }
 
 /// Outcome of a verified run.
@@ -123,6 +185,10 @@ pub struct RunReport {
     pub repair_latency_cycles: Vec<u64>,
     /// Non-fatal degradation conditions raised during the run.
     pub warnings: Vec<RunWarning>,
+    /// Per-slot reliability-policy accounting; empty (and absent from
+    /// the JSON) unless the scenario uses a non-default mode or a
+    /// pairing schedule.
+    pub mode_stats: Vec<ModeStats>,
 }
 
 /// One (injection, detection) pair produced by the one-to-one
@@ -231,6 +297,11 @@ impl RunReport {
                         .field_u64("seq", *seq)
                         .field_u64("at_cycle", *at_cycle);
                 }
+                RunWarning::ShotInUncheckedWindow { main, at_cycle } => {
+                    o.field_str("kind", "shot_in_unchecked_window")
+                        .field_u64("main", *main as u64)
+                        .field_u64("at_cycle", *at_cycle);
+                }
             }
             o.finish()
         }));
@@ -280,6 +351,25 @@ impl RunReport {
             .field_raw("arbiters", &arbiters)
             .field_raw("detections", &detections)
             .field_raw("injections", &injections);
+        // Emitted only when the policy layer is in play: the field's
+        // absence keeps default reports byte-identical to pre-policy
+        // goldens.
+        if !self.mode_stats.is_empty() {
+            let modes = array(self.mode_stats.iter().map(|m| {
+                let mut o = JsonObject::new();
+                o.field_u64("core", m.core as u64)
+                    .field_str("mode", m.mode.label())
+                    .field_u64("checked_cycles", m.checked_cycles)
+                    .field_u64("unchecked_cycles", m.unchecked_cycles)
+                    .field_u64("checkpoint_stall_cycles", m.checkpoint_stall_cycles)
+                    .field_u64("acquires", m.acquires)
+                    .field_u64("releases", m.releases)
+                    .field_u64("detections", m.detections)
+                    .field_u64("detection_latency_total", m.detection_latency_total);
+                o.finish()
+            }));
+            o.field_raw("mode_stats", &modes);
+        }
         o.finish()
     }
 }
@@ -350,6 +440,77 @@ pub struct VerifiedRun {
     repair_pending: Vec<Option<u64>>,
     repair_latencies: Vec<u64>,
     warnings: Vec<RunWarning>,
+    /// Per-slot reliability modes, in channel order.
+    modes: Vec<ReliabilityMode>,
+    /// Dynamic pairing runtime (`None` without a schedule).
+    pairing: Option<PairingRuntime>,
+    /// Whether the policy layer is in play (any non-default mode or a
+    /// pairing schedule). Gates the report's `mode_stats` section and
+    /// the coverage accounting, so default scenarios stay byte-identical
+    /// to pre-policy runs.
+    mode_tracking: bool,
+    /// Per-slot checked/unchecked cycle accumulators (only meaningful
+    /// under `mode_tracking`).
+    coverage: Vec<Coverage>,
+}
+
+/// Runtime state of a [`PairingSchedule`] being executed against the
+/// arbiters: the sorted event list plus per-slot pending actions.
+#[derive(Debug)]
+struct PairingRuntime {
+    /// Schedule events, sorted by cycle.
+    events: Vec<PairingEvent>,
+    /// Cursor into `events` (everything before it is already pending or
+    /// applied).
+    next: usize,
+    /// Per slot: a due action not yet applied. Releases defer to the
+    /// next segment boundary; a later due event overrides an earlier
+    /// one still pending.
+    pending: Vec<Option<PairingAction>>,
+    /// Per slot: currently policy-released (running unchecked until the
+    /// next acquire).
+    released: Vec<bool>,
+    /// Per slot: `(acquires, releases)` applied so far.
+    counts: Vec<(u64, u64)>,
+}
+
+/// Checked/unchecked cycle accumulator for one main slot. Interval
+/// arithmetic over transitions: `since` marks the start of the current
+/// interval, `live` which bucket it lands in. Freezing at the main's
+/// finish keeps checker-drain cycles out of both buckets.
+#[derive(Debug, Clone, Copy)]
+struct Coverage {
+    checked: u64,
+    unchecked: u64,
+    since: u64,
+    live: bool,
+    frozen: bool,
+}
+
+impl Coverage {
+    /// Closes the current interval at `now` and starts the next with
+    /// the given liveness. No-op once frozen.
+    fn transition(&mut self, now: u64, live: bool) {
+        if self.frozen {
+            return;
+        }
+        let d = now.saturating_sub(self.since);
+        if self.live {
+            self.checked += d;
+        } else {
+            self.unchecked += d;
+        }
+        self.since = now;
+        self.live = live;
+    }
+
+    /// The `(checked, unchecked)` totals with the open interval settled
+    /// at `now`.
+    fn settled(mut self, now: u64) -> (u64, u64) {
+        let live = self.live;
+        self.transition(now, live);
+        (self.checked, self.unchecked)
+    }
 }
 
 /// Rollback bookkeeping for every main (only allocated under
@@ -441,6 +602,13 @@ const _: () = {
     assert_send::<VerifiedRun>();
 };
 
+/// Wait-poll granularity for a [`ReliabilityMode::FullLockstep`] main
+/// holding at a checkpoint: the main re-checks its verdict every this
+/// many cycles while a complete segment sits unverified in its FIFO.
+/// Small enough that detection follows the checker's verdict almost
+/// immediately; large enough not to dominate the ready queue.
+const LOCKSTEP_WAIT_QUANTUM: u64 = 8;
+
 impl VerifiedRun {
     /// Builds the platform from a validated scenario (called by
     /// [`Scenario::build`]).
@@ -457,6 +625,9 @@ impl VerifiedRun {
         trace: Option<(std::path::PathBuf, TraceObserver)>,
         record_events: bool,
         models: Vec<flexstep_sim::CoreModelKind>,
+        modes: Vec<ReliabilityMode>,
+        pairing: Option<PairingSchedule>,
+        track_reliability: bool,
     ) -> Result<Self, ScenarioError> {
         let ResolvedTopology {
             mains,
@@ -472,6 +643,16 @@ impl VerifiedRun {
         for (slot, kind) in models.iter().enumerate() {
             fs.soc.set_core_model(mains[slot], *kind);
         }
+        // Mode dispatch, part 1: checkpoint granularity. FullLockstep
+        // runs at segment limit 1 (a checkpoint per retired user
+        // instruction), CheckpointOnly at a coarse multiple of the base;
+        // SegmentCheck keeps the configured limit untouched.
+        let base_limit = fs.fabric.config().segment_limit;
+        for (slot, mode) in modes.iter().enumerate() {
+            if let Some(limit) = mode.segment_limit(base_limit) {
+                fs.fabric.unit_mut(mains[slot]).tracker.set_limit(limit);
+            }
+        }
 
         // Shared checkers get one arbiter each; mains request in channel
         // order (first request per checker is granted immediately, the
@@ -480,6 +661,13 @@ impl VerifiedRun {
         let mut arbiter_of: Vec<Option<usize>> = vec![None; mains.len()];
         for (slot, bind) in binding.iter().enumerate() {
             let main = mains[slot];
+            // Mode dispatch, part 2: an Unchecked slot never associates a
+            // channel at all — it runs as a plain core, its would-be
+            // dedicated checker idles and parks, and a shared pool never
+            // sees it in the queue.
+            if !modes[slot].is_checked() {
+                continue;
+            }
             match bind {
                 Binding::Dedicated(cs) => {
                     fs.op_m_associate(main, cs)?;
@@ -541,6 +729,26 @@ impl VerifiedRun {
             }
         };
         let num_checkers = checkers.len();
+        let mode_tracking = track_reliability
+            || pairing.is_some()
+            || modes.iter().any(|m| *m != ReliabilityMode::SegmentCheck);
+        let coverage = modes
+            .iter()
+            .map(|m| Coverage {
+                checked: 0,
+                unchecked: 0,
+                since: 0,
+                live: m.is_checked(),
+                frozen: false,
+            })
+            .collect();
+        let pairing = pairing.map(|schedule| PairingRuntime {
+            events: schedule.events().to_vec(),
+            next: 0,
+            pending: vec![None; n],
+            released: vec![false; n],
+            counts: vec![(0, 0); n],
+        });
         let mut run = VerifiedRun {
             fs,
             mains,
@@ -563,6 +771,10 @@ impl VerifiedRun {
             repair_pending: vec![None; n],
             repair_latencies: Vec::new(),
             warnings: Vec::new(),
+            modes,
+            pairing,
+            mode_tracking,
+            coverage,
         };
         run.sync_fault_memo_blocks();
         // The build-time grants above happen before the first step;
@@ -755,6 +967,7 @@ impl VerifiedRun {
         let now = self.fs.soc.now();
         for channel in self.faults.expire_remaining() {
             let main = self.mains[channel];
+            self.note_unchecked_expiry(channel, now);
             self.emit(RunEvent::ShotExpired { main, cycle: now });
         }
         self.sync_fault_memo_blocks();
@@ -808,6 +1021,122 @@ impl VerifiedRun {
         }
     }
 
+    // ----- dynamic pairing --------------------------------------------------
+
+    /// Applies due pairing-schedule transitions. Releases wait for the
+    /// slot's segment boundary — disabling checking mid-segment would
+    /// abandon the open segment and strand its checker waiting for an
+    /// ECP that never arrives — while acquires apply immediately. A
+    /// later due event for the same slot overrides one still pending.
+    fn drive_pairing(&mut self) {
+        let now = self.fs.soc.now();
+        {
+            let p = self.pairing.as_mut().expect("pairing runtime");
+            while p.next < p.events.len() && p.events[p.next].at_cycle <= now {
+                let ev = p.events[p.next];
+                p.pending[ev.slot] = Some(ev.action);
+                p.next += 1;
+            }
+        }
+        for slot in 0..self.mains.len() {
+            let pending = self.pairing.as_ref().expect("pairing runtime").pending[slot];
+            match pending {
+                Some(PairingAction::Release) => self.try_release(slot, now),
+                Some(PairingAction::Acquire) => self.try_acquire(slot, now),
+                None => {}
+            }
+        }
+    }
+
+    /// Applies one pending release if the slot sits at a segment
+    /// boundary; otherwise leaves it pending for the next step.
+    fn try_release(&mut self, slot: usize, now: u64) {
+        let main = self.mains[slot];
+        let already = self.pairing.as_ref().expect("pairing runtime").released[slot];
+        if already || self.done[slot] || !self.fs.fabric.unit(main).checking_enabled {
+            // Nothing to release: finished slots released in their done
+            // handling, degraded slots have no channel left. Drop it.
+            self.pairing.as_mut().expect("pairing runtime").pending[slot] = None;
+            return;
+        }
+        if self.fs.fabric.unit(main).tracker.is_open() {
+            return; // not at a boundary yet; retry next step
+        }
+        self.fs.fabric.set_check(main, false).expect("main core");
+        if let Some(arb) = self.arbiter_of[slot] {
+            // Hand the shared checker back: the arbiter completes the
+            // hand-over once the buffered stream drains (buffered
+            // segments are still verified — release stops *production*,
+            // not verification of data already logged).
+            self.arbiters[arb].release(main);
+        }
+        {
+            let p = self.pairing.as_mut().expect("pairing runtime");
+            p.pending[slot] = None;
+            p.released[slot] = true;
+            p.counts[slot].1 += 1;
+        }
+        self.coverage[slot].transition(now, false);
+        self.emit(RunEvent::CheckerReleased { main, cycle: now });
+    }
+
+    /// Applies one pending acquire: re-enables checking and, for shared
+    /// slots, re-enters arbitration — retracting a release the arbiter
+    /// has not consumed yet, or adopting back in after a hand-over.
+    fn try_acquire(&mut self, slot: usize, now: u64) {
+        let main = self.mains[slot];
+        let released = self.pairing.as_ref().expect("pairing runtime").released[slot];
+        self.pairing.as_mut().expect("pairing runtime").pending[slot] = None;
+        if !released || self.done[slot] {
+            return;
+        }
+        if let Some(arb) = self.arbiter_of[slot] {
+            self.arbiters[arb].retract_release(main);
+            if !self.arbiters[arb].is_serving(main) {
+                let immediate = self.arbiters[arb]
+                    .adopt(&mut self.fs.fabric, main)
+                    .expect("released main is pending");
+                if immediate {
+                    let checker = self.arbiters[arb].checker();
+                    self.fs.soc.core_mut(checker).unpark();
+                    self.emit(RunEvent::CheckerGranted {
+                        checker,
+                        main,
+                        cycle: now,
+                    });
+                }
+            }
+        }
+        self.fs
+            .fabric
+            .set_check(main, true)
+            .expect("released slot keeps its association");
+        {
+            let p = self.pairing.as_mut().expect("pairing runtime");
+            p.released[slot] = false;
+            p.counts[slot].0 += 1;
+        }
+        self.coverage[slot].transition(now, true);
+        self.emit(RunEvent::CheckerAcquired { main, cycle: now });
+    }
+
+    /// Raises the typed warning when a shot expires while its target
+    /// main runs unchecked *by policy* (mode or released window): such
+    /// shots must never vanish silently.
+    fn note_unchecked_expiry(&mut self, channel: usize, now: u64) {
+        if !self.mode_tracking {
+            return;
+        }
+        let policy_unchecked = !self.modes[channel].is_checked()
+            || self.pairing.as_ref().is_some_and(|p| p.released[channel]);
+        if policy_unchecked {
+            self.warnings.push(RunWarning::ShotInUncheckedWindow {
+                main: self.mains[channel],
+                at_cycle: now,
+            });
+        }
+    }
+
     /// Reverses the done-handling of a main that must resume producing
     /// (rollback recovery re-executes its tail).
     fn unfinish_if_done(&mut self, slot: usize) {
@@ -822,6 +1151,16 @@ impl VerifiedRun {
         if self.arbiter_of[slot].is_some() {
             // Finishing disabled checking; the re-execution needs it back.
             self.fs.fabric.set_check(main, true).expect("main core");
+        }
+        if self.mode_tracking {
+            // Resume coverage accounting where the re-execution resumes;
+            // the finish → rollback gap counts in neither bucket.
+            let now = self.fs.soc.now();
+            let live = self.fs.fabric.unit(main).checking_enabled;
+            let c = &mut self.coverage[slot];
+            c.frozen = false;
+            c.since = now;
+            c.live = live;
         }
     }
 
@@ -859,6 +1198,18 @@ impl VerifiedRun {
         let cost = self.fs.fabric.config().scp_apply_cycles;
         self.fs.soc.stall_core(main, cost);
         self.unfinish_if_done(slot);
+        // A rollback overrides a policy release: the re-execution must
+        // be re-verified, so checking comes back on (shared slots
+        // re-enter arbitration in the caller's retract/adopt path).
+        let was_released = self.pairing.as_ref().is_some_and(|p| p.released[slot]);
+        if was_released {
+            let now = self.fs.soc.now();
+            let _ = self.fs.fabric.set_check(main, true);
+            let p = self.pairing.as_mut().expect("pairing runtime");
+            p.released[slot] = false;
+            p.pending[slot] = None;
+            self.coverage[slot].transition(now, true);
+        }
     }
 
     /// Kill-path re-verification: rolls a main back to its *oldest*
@@ -908,6 +1259,16 @@ impl VerifiedRun {
             main,
             from_cycle: now,
         });
+        if self.mode_tracking {
+            self.coverage[slot].transition(now, false);
+        }
+        if let Some(p) = &mut self.pairing {
+            // No channel survives, so future pairing transitions on this
+            // slot are void; the degradation warning above supersedes
+            // the released-window accounting.
+            p.released[slot] = false;
+            p.pending[slot] = None;
+        }
     }
 
     /// Handles a fired [`FaultPlan::kill_checker_at`] shot: halts the
@@ -1138,6 +1499,25 @@ impl VerifiedRun {
         self.sync_fault_memo_blocks();
     }
 
+    /// Whether `core` is a [`ReliabilityMode::FullLockstep`] main that
+    /// must hold at its checkpoint: a complete segment sits unverified
+    /// in its FIFO and a live checker still owes the verdict. Released,
+    /// degraded or finished slots never wait — there is nobody left to
+    /// wait for.
+    fn lockstep_must_wait(&self, core: usize) -> bool {
+        let Some(slot) = self.slot_of[core] else {
+            return false;
+        };
+        if self.done[slot]
+            || self.modes[slot] != ReliabilityMode::FullLockstep
+            || !self.fs.fabric.checking_live(core)
+        {
+            return false;
+        }
+        let fifo = &self.fs.fabric.unit(core).fifo;
+        (0..fifo.consumers()).any(|c| fifo.complete_segments_ahead(c) >= 1)
+    }
+
     /// Executes one scheduling quantum: polls arbiters, fires due fault
     /// shots, then steps the earliest-ready core. Returns `false` once
     /// the run is fully complete.
@@ -1166,6 +1546,9 @@ impl VerifiedRun {
                 cycle: now,
             });
         }
+        if self.pairing.is_some() {
+            self.drive_pairing();
+        }
         if self.faults.pending() {
             let now = self.fs.soc.now();
             let done = &self.done;
@@ -1181,6 +1564,7 @@ impl VerifiedRun {
             }
             for channel in expired {
                 let main = self.mains[channel];
+                self.note_unchecked_expiry(channel, now);
                 for o in &mut self.observers {
                     o.on_shot_expired(main, now);
                 }
@@ -1196,6 +1580,16 @@ impl VerifiedRun {
             Some(c) => c,
             None => return false,
         };
+        if self.lockstep_must_wait(core) {
+            // FullLockstep semantics: the main may not run past an
+            // unverified checkpoint. Hold it at the segment boundary in
+            // small deterministic quanta until the checker's verdict
+            // lands, instead of letting the DMA spill path accumulate an
+            // unbounded unverified backlog.
+            self.fs.soc.touch_clock(core);
+            self.fs.soc.stall_core(core, LOCKSTEP_WAIT_QUANTUM);
+            return true;
+        }
         // Pin the clock to the dispatched (earliest-ready) core before
         // stepping: every `now()` read inside the step then depends only
         // on per-core timelines, not on how many instructions previous
@@ -1244,6 +1638,13 @@ impl VerifiedRun {
                     self.done[slot] = true;
                     self.done_count += 1;
                     self.finish_cycle[slot] = now;
+                    if self.mode_tracking {
+                        // Freeze coverage at the finish: drain cycles
+                        // belong to neither bucket.
+                        let live = self.coverage[slot].live;
+                        self.coverage[slot].transition(now, live);
+                        self.coverage[slot].frozen = true;
+                    }
                     self.fs.soc.core_mut(core).park();
                     if let Some(arb) = self.arbiter_of[slot] {
                         // The job is done: stop producing and let the
@@ -1402,7 +1803,7 @@ impl VerifiedRun {
                 }
             })
             .collect();
-        RunReport {
+        let mut report = RunReport {
             completed: self.main_done(),
             main_finish_cycle: per_main.iter().map(|m| m.finish_cycle).max().unwrap_or(0),
             drain_cycle: self.fs.soc.now(),
@@ -1420,7 +1821,46 @@ impl VerifiedRun {
             checkers_lost: self.checkers_lost,
             repair_latency_cycles: self.repair_latencies.clone(),
             warnings: self.warnings.clone(),
+            mode_stats: Vec::new(),
+        };
+        if self.mode_tracking {
+            report.mode_stats = self.collect_mode_stats(&report);
         }
+        report
+    }
+
+    /// Builds the per-slot reliability accounting (tracked runs only):
+    /// coverage intervals settled at the current cycle, checkpoint
+    /// stalls from the fabric, and matched-detection latencies
+    /// attributed per slot.
+    fn collect_mode_stats(&self, report: &RunReport) -> Vec<ModeStats> {
+        let now = self.fs.soc.now();
+        let matched = report.matched_detections();
+        self.mains
+            .iter()
+            .enumerate()
+            .map(|(slot, &core)| {
+                let (checked_cycles, unchecked_cycles) = self.coverage[slot].settled(now);
+                let (acquires, releases) = self.pairing.as_ref().map_or((0, 0), |p| p.counts[slot]);
+                let mut detections = 0;
+                let mut detection_latency_total = 0;
+                for m in matched.iter().filter(|m| m.main_core == core) {
+                    detections += 1;
+                    detection_latency_total += m.latency_cycles();
+                }
+                ModeStats {
+                    core,
+                    mode: self.modes[slot],
+                    checked_cycles,
+                    unchecked_cycles,
+                    checkpoint_stall_cycles: self.fs.fabric.unit(core).cp_stall_cycles,
+                    acquires,
+                    releases,
+                    detections,
+                    detection_latency_total,
+                }
+            })
+            .collect()
     }
 }
 
@@ -2086,6 +2526,7 @@ mod tests {
             checkers_lost: 0,
             repair_latency_cycles: vec![],
             warnings: vec![],
+            mode_stats: vec![],
         };
         let pairs = report.matched_detections();
         assert_eq!(

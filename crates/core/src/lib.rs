@@ -110,9 +110,11 @@ pub use fault::{
     inject_random_fault, inject_targeted_fault, FaultTarget, InjectionRecord, LatencySample,
     LatencyStats, TargetedInjection,
 };
-pub use flexstep_sim::CoreModelKind;
+pub use flexstep_sim::{
+    CoreModelKind, PairingAction, PairingEvent, PairingSchedule, ReliabilityMode, RELIABILITY_MODES,
+};
 pub use harness::{
-    baseline_cycles, MainReport, MatchedDetection, RunReport, RunWarning, VerifiedRun,
+    baseline_cycles, MainReport, MatchedDetection, ModeStats, RunReport, RunWarning, VerifiedRun,
 };
 pub use packet::{log_entries, Checkpoint, LogEntry, LogKind, Packet, PacketMut, PacketRef};
 pub use rcpm::{Ass, SegmentClose, SegmentTracker, DEFAULT_SEGMENT_LIMIT};

@@ -64,6 +64,19 @@ impl SegmentTracker {
         self.limit
     }
 
+    /// Reconfigures the segment limit (reliability-mode dispatch: a
+    /// `FullLockstep` slot runs at limit 1, `CheckpointOnly` at a
+    /// multiple of the base). Takes effect from the next opened
+    /// segment; must not be called while one is open.
+    pub fn set_limit(&mut self, limit: u64) {
+        assert!(limit >= 1, "segment limit must be at least 1");
+        assert!(
+            self.open.is_none(),
+            "segment limit cannot change under an open segment"
+        );
+        self.limit = limit;
+    }
+
     /// Sets the stream tag stamped on subsequently opened segments.
     pub fn set_tag(&mut self, tag: u64) {
         self.tag = tag;

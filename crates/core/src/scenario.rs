@@ -48,7 +48,7 @@ use crate::fault::{inject_random_fault, inject_targeted_fault, FaultTarget};
 use crate::harness::VerifiedRun;
 use flexstep_isa::asm::Program;
 use flexstep_mem::cache::CacheGeometryError;
-use flexstep_sim::{CoreModelKind, SchedMode};
+use flexstep_sim::{CoreModelKind, PairingSchedule, ReliabilityMode, SchedMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -566,6 +566,18 @@ pub trait Observer {
     fn on_checker_killed(&mut self, checker: usize, cycle: u64) {
         let _ = (checker, cycle);
     }
+    /// A main released its checker by pairing policy
+    /// ([`Scenario::pairing_schedule`]); the release lands on a segment
+    /// boundary, and execution runs unchecked until re-acquire.
+    fn on_checker_released(&mut self, main: usize, cycle: u64) {
+        let _ = (main, cycle);
+    }
+    /// A main re-acquired checking by pairing policy (shared slots
+    /// re-enter arbitration — the connection itself still arrives via
+    /// [`Observer::on_checker_granted`]).
+    fn on_checker_acquired(&mut self, main: usize, cycle: u64) {
+        let _ = (main, cycle);
+    }
 }
 
 /// Everything a [`RecordingObserver`] captures, in event order.
@@ -600,6 +612,10 @@ pub enum ObserverEvent {
     RecoveryComplete(usize, u64, u64),
     /// Checker core permanently failed: `(checker, cycle)`.
     CheckerKilled(usize, u64),
+    /// Main released its checker by pairing policy: `(main, cycle)`.
+    CheckerReleased(usize, u64),
+    /// Main re-acquired checking by pairing policy: `(main, cycle)`.
+    CheckerAcquired(usize, u64),
 }
 
 /// Aggregate counters over an observed run.
@@ -627,6 +643,10 @@ pub struct ObserverSummary {
     pub recoveries: u64,
     /// Checker cores permanently failed.
     pub checkers_lost: u64,
+    /// Pairing-policy checker releases.
+    pub checker_releases: u64,
+    /// Pairing-policy checker re-acquires.
+    pub checker_acquires: u64,
 }
 
 impl ObserverSummary {
@@ -750,6 +770,16 @@ impl Observer for RecordingObserver {
         self.events
             .push(ObserverEvent::CheckerKilled(checker, cycle));
     }
+    fn on_checker_released(&mut self, main: usize, cycle: u64) {
+        self.summary.checker_releases += 1;
+        self.events
+            .push(ObserverEvent::CheckerReleased(main, cycle));
+    }
+    fn on_checker_acquired(&mut self, main: usize, cycle: u64) {
+        self.summary.checker_acquires += 1;
+        self.events
+            .push(ObserverEvent::CheckerAcquired(main, cycle));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -846,6 +876,28 @@ pub enum ScenarioError {
         /// Main slots available.
         mains: usize,
     },
+    /// A reliability-mode override targets a main slot that does not
+    /// exist.
+    ModeSlotOutOfRange {
+        /// The offending main slot.
+        slot: usize,
+        /// Main slots available.
+        mains: usize,
+    },
+    /// The pairing schedule references a main slot that does not exist.
+    PairingSlotOutOfRange {
+        /// The offending main slot.
+        slot: usize,
+        /// Main slots available.
+        mains: usize,
+    },
+    /// The pairing schedule targets a slot running
+    /// [`ReliabilityMode::Unchecked`], which has no checker channel to
+    /// acquire or release.
+    PairingUncheckedSlot {
+        /// The offending main slot.
+        slot: usize,
+    },
     /// The underlying fabric rejected the configuration.
     Fabric(FlexError),
     /// The memory geometry is invalid.
@@ -919,6 +971,27 @@ impl fmt::Display for ScenarioError {
                     "core-model override targets main slot {slot}, scenario has {mains} main core(s)"
                 )
             }
+            ScenarioError::ModeSlotOutOfRange { slot, mains } => {
+                write!(
+                    f,
+                    "reliability-mode override targets main slot {slot}, \
+                     scenario has {mains} main core(s)"
+                )
+            }
+            ScenarioError::PairingSlotOutOfRange { slot, mains } => {
+                write!(
+                    f,
+                    "pairing schedule targets main slot {slot}, \
+                     scenario has {mains} main core(s)"
+                )
+            }
+            ScenarioError::PairingUncheckedSlot { slot } => {
+                write!(
+                    f,
+                    "pairing schedule targets main slot {slot}, which runs \
+                     unchecked and has no checker channel"
+                )
+            }
             ScenarioError::Fabric(e) => write!(f, "fabric: {e}"),
             ScenarioError::Cache(e) => write!(f, "memory geometry: {e}"),
         }
@@ -985,6 +1058,15 @@ pub struct Scenario {
     /// Per-main-slot timing-model overrides (default: in-order scalar);
     /// `None` slot = every main.
     core_models: Vec<(Option<usize>, CoreModelKind)>,
+    /// Per-main-slot reliability-mode overrides (default:
+    /// [`ReliabilityMode::SegmentCheck`]); `None` slot = every main.
+    reliability_modes: Vec<(Option<usize>, ReliabilityMode)>,
+    /// Criticality-driven checker acquire/release timeline.
+    pairing: Option<PairingSchedule>,
+    /// Force per-mode accounting on even for all-`SegmentCheck` runs
+    /// (which otherwise stay untracked so their reports match pre-mode
+    /// bytes).
+    track_reliability: bool,
 }
 
 impl fmt::Debug for Scenario {
@@ -1001,6 +1083,9 @@ impl fmt::Debug for Scenario {
             .field("trace", &self.trace)
             .field("record_events", &self.record_events)
             .field("core_models", &self.core_models)
+            .field("reliability_modes", &self.reliability_modes)
+            .field("pairing", &self.pairing)
+            .field("track_reliability", &self.track_reliability)
             .finish()
     }
 }
@@ -1020,6 +1105,9 @@ impl Scenario {
             trace: None,
             record_events: false,
             core_models: Vec::new(),
+            reliability_modes: Vec::new(),
+            pairing: None,
+            track_reliability: false,
         }
     }
 
@@ -1071,6 +1159,48 @@ impl Scenario {
     /// [`Scenario::core_model`] calls still override individual slots.
     pub fn main_core_model(mut self, kind: CoreModelKind) -> Self {
         self.core_models.push((None, kind));
+        self
+    }
+
+    /// Overrides the reliability mode of one main core, addressed by
+    /// its slot (channel) index (default
+    /// [`ReliabilityMode::SegmentCheck`], today's behavior). Modes fix
+    /// the checkpoint granularity the slot runs at — see
+    /// [`ReliabilityMode`] for the latency/overhead trade — and
+    /// compose freely with topologies, core models, memoization and
+    /// recovery.
+    pub fn reliability_mode(mut self, slot: usize, mode: ReliabilityMode) -> Self {
+        self.reliability_modes.push((Some(slot), mode));
+        self
+    }
+
+    /// Applies `mode` to every main core — the common case for the
+    /// `fig9_modes` sweep. Later [`Scenario::reliability_mode`] calls
+    /// still override individual slots.
+    pub fn main_reliability_mode(mut self, mode: ReliabilityMode) -> Self {
+        self.reliability_modes.push((None, mode));
+        self
+    }
+
+    /// Installs a criticality-driven [`PairingSchedule`]: main slots
+    /// release their checkers and re-acquire them mid-run at the
+    /// scheduled cycles (releases land on the next segment boundary).
+    /// Shared checkers return to the arbiter pool while released;
+    /// dedicated checkers simply drain and idle.
+    pub fn pairing_schedule(mut self, schedule: PairingSchedule) -> Self {
+        self.pairing = Some(schedule);
+        self
+    }
+
+    /// Forces per-mode accounting
+    /// ([`RunReport::mode_stats`](crate::RunReport)) on. Accounting is
+    /// automatic whenever any slot leaves
+    /// [`ReliabilityMode::SegmentCheck`] or a pairing schedule is
+    /// installed; all-`SegmentCheck` runs keep it off so their reports
+    /// stay byte-identical to pre-mode artifacts — this opt-in is for
+    /// sweeps (`fig9_modes`) that want the baseline row accounted too.
+    pub fn track_reliability(mut self) -> Self {
+        self.track_reliability = true;
         self
     }
 
@@ -1348,6 +1478,37 @@ impl Scenario {
                 None => models.fill(*kind),
             }
         }
+        // Same flattening for the reliability modes.
+        let mut modes = vec![ReliabilityMode::SegmentCheck; resolved.mains.len()];
+        for (slot, mode) in &self.reliability_modes {
+            match slot {
+                Some(s) => {
+                    if *s >= modes.len() {
+                        return Err(ScenarioError::ModeSlotOutOfRange {
+                            slot: *s,
+                            mains: modes.len(),
+                        });
+                    }
+                    modes[*s] = *mode;
+                }
+                None => modes.fill(*mode),
+            }
+        }
+        if let Some(pairing) = &self.pairing {
+            if let Some(slot) = pairing.max_slot() {
+                if slot >= resolved.mains.len() {
+                    return Err(ScenarioError::PairingSlotOutOfRange {
+                        slot,
+                        mains: resolved.mains.len(),
+                    });
+                }
+            }
+            for event in pairing.events() {
+                if !modes[event.slot].is_checked() {
+                    return Err(ScenarioError::PairingUncheckedSlot { slot: event.slot });
+                }
+            }
+        }
         VerifiedRun::from_scenario(
             cores,
             resolved,
@@ -1360,6 +1521,9 @@ impl Scenario {
             trace,
             self.record_events,
             models,
+            modes,
+            self.pairing,
+            self.track_reliability,
         )
     }
 }

@@ -168,6 +168,20 @@ pub enum RunEvent {
         /// Cycle of the kill.
         cycle: u64,
     },
+    /// [`Observer::on_checker_released`].
+    CheckerReleased {
+        /// Main that released its checker by pairing policy.
+        main: usize,
+        /// Cycle the release took effect (a segment boundary).
+        cycle: u64,
+    },
+    /// [`Observer::on_checker_acquired`].
+    CheckerAcquired {
+        /// Main that re-acquired checking by pairing policy.
+        main: usize,
+        /// Cycle of the acquire.
+        cycle: u64,
+    },
 }
 
 impl RunEvent {
@@ -205,6 +219,8 @@ impl RunEvent {
                 latency,
             } => o.on_recovery_complete(*main, *cycle, *latency),
             RunEvent::CheckerKilled { checker, cycle } => o.on_checker_killed(*checker, *cycle),
+            RunEvent::CheckerReleased { main, cycle } => o.on_checker_released(*main, *cycle),
+            RunEvent::CheckerAcquired { main, cycle } => o.on_checker_acquired(*main, *cycle),
         }
     }
 }

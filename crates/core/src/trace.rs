@@ -566,6 +566,22 @@ impl Observer for TraceObserver {
         a.field_u64("cycle", cycle);
         self.instant(checker, "killed", "fault", cycle, a.finish());
     }
+
+    fn on_checker_released(&mut self, main: usize, cycle: u64) {
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.mains.insert(main);
+        let mut a = JsonObject::new();
+        a.field_u64("cycle", cycle);
+        self.instant(main, "release checker", "pairing", cycle, a.finish());
+    }
+
+    fn on_checker_acquired(&mut self, main: usize, cycle: u64) {
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.mains.insert(main);
+        let mut a = JsonObject::new();
+        a.field_u64("cycle", cycle);
+        self.instant(main, "acquire checker", "pairing", cycle, a.finish());
+    }
 }
 
 #[cfg(test)]

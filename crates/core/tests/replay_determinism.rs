@@ -575,3 +575,65 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The memo's invisibility guarantee survives the reliability-mode
+    /// layer (ISSUE 10): under every [`ReliabilityMode`], and under
+    /// mid-run checker release/re-acquire, memo-on and memo-off runs
+    /// serialise to byte-identical reports — mode accounting included.
+    /// Mode dispatch changes segment granularity (lockstep pins the
+    /// limit to 1) and pairing swaps channels on and off mid-stream;
+    /// neither may let a cached verdict replay where state diverged.
+    #[test]
+    fn memo_is_invisible_under_every_mode_and_repairing(
+        body in proptest::collection::vec(body_op(), 4..20),
+        iters in 30i64..100,
+        mode_idx in 0usize..4,
+        shape in 0usize..3,
+        windowed in any::<bool>(),
+        release in 1_000u64..4_000,
+        window_len in 1_000u64..6_000,
+        faulted in any::<bool>(),
+    ) {
+        use flexstep_core::{PairingSchedule, RELIABILITY_MODES};
+
+        let mode = RELIABILITY_MODES[mode_idx];
+        let fabric = FabricConfig { segment_limit: 150, ..FabricConfig::paper() };
+        let p0 = build_program_at(&body, iters, Some(0));
+        let p1 = build_program_at(&body, iters, Some(1));
+
+        let mut jsons = Vec::new();
+        for memo in [false, true] {
+            let mut scenario = match shape {
+                0 => Scenario::new(&p0).cores(2),
+                1 => Scenario::new(&p0).program(&p1).cores(4),
+                _ => Scenario::new(&p0)
+                    .program(&p1)
+                    .cores(3)
+                    .topology(Topology::SharedChecker { checkers: 1 }),
+            };
+            scenario = scenario
+                .fabric(fabric)
+                .memo(memo)
+                .main_reliability_mode(mode);
+            // Pairing events are rejected on unchecked slots by design.
+            if windowed && mode.is_checked() {
+                scenario = scenario.pairing_schedule(
+                    PairingSchedule::new().window(0, release, release + window_len),
+                );
+            }
+            if faulted {
+                scenario = scenario.fault_plan(
+                    FaultPlan::bit_flip_at(2_000, FaultTarget::EntryData).with_seed(13),
+                );
+            }
+            let mut run = scenario.build().expect("setup");
+            let report = run.run_to_completion(100_000_000);
+            prop_assert!(report.completed, "memo={memo} {mode} run must finish");
+            jsons.push(report.to_json());
+        }
+        prop_assert_eq!(&jsons[0], &jsons[1], "memo on/off diverged under {}", mode);
+    }
+}

@@ -27,12 +27,14 @@ pub mod des;
 pub mod experiment;
 pub mod model;
 pub mod motivating;
+pub mod pairing;
 pub mod partition;
 pub mod uunifast;
 
 pub use des::{simulate_partition, total_misses, CoreSimResult};
 pub use experiment::{paper_utilization_axis, sweep, sweep_parallel, Fig5Config, SweepPoint};
 pub use model::{densities, virtual_deadline, ReliabilityClass, SpTask, TaskSet, VdPolicy};
+pub use pairing::{criticality_plan, mode_for_class, CriticalityPlan};
 pub use partition::{
     Assignment, FlexStepPartitioner, HmrPartitioner, LockStepPartitioner, Partition, Partitioner,
     Piece, VdFlexStepPartitioner,

@@ -1,0 +1,190 @@
+//! Criticality-driven pairing schedules: from the §V task model to the
+//! harness's dynamic checker acquire/release timeline.
+//!
+//! Doran's dynamic-lockstep work (PAPERS.md) has the *scheduler* decide
+//! when a core holds its checker: verified jobs run checked, and the
+//! slack between job releases hands the checker back to the shared
+//! pool. This module lowers a [`TaskSet`] onto main slots — one task
+//! per slot — and emits the [`PairingSchedule`] plus per-slot
+//! [`ReliabilityMode`]s the run harness executes.
+//!
+//! Mapping (§V classes → modes):
+//!
+//! | class  | mode            | pairing                              |
+//! |--------|-----------------|--------------------------------------|
+//! | `T^V3` | `FullLockstep`  | holds its checker for the whole run  |
+//! | `T^V2` | `SegmentCheck`  | checked in job windows, released in slack |
+//! | `T^N`  | `Unchecked`     | never acquires a checker             |
+
+use crate::model::{ReliabilityClass, SpTask, TaskSet};
+use flexstep_soc::{PairingSchedule, ReliabilityMode};
+
+/// The reliability mode a task's class runs under on the cycle-level
+/// harness.
+pub fn mode_for_class(class: ReliabilityClass) -> ReliabilityMode {
+    match class {
+        ReliabilityClass::Normal => ReliabilityMode::Unchecked,
+        ReliabilityClass::DoubleCheck => ReliabilityMode::SegmentCheck,
+        ReliabilityClass::TripleCheck => ReliabilityMode::FullLockstep,
+    }
+}
+
+/// Lowering of a task set onto main slots: per-slot modes plus the
+/// acquire/release timeline for the `T^V2` slots' slack windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalityPlan {
+    /// Per-slot reliability mode, one per task (slot = task id).
+    pub modes: Vec<ReliabilityMode>,
+    /// Checker release/acquire events over the horizon.
+    pub schedule: PairingSchedule,
+}
+
+/// Builds the pairing plan for `tasks` over `horizon_cycles`, scaling
+/// one model time unit to `cycles_per_unit` harness cycles.
+///
+/// `T^V2` tasks release their checker when a job's worst-case window
+/// ends (`k·T + C` in model time) and re-acquire it at the next job
+/// release (`(k+1)·T`); `T^V3` tasks hold theirs throughout; `T^N`
+/// tasks start — and stay — unchecked, so they never appear in the
+/// schedule. Windows shorter than one cycle are dropped.
+pub fn criticality_plan(
+    tasks: &TaskSet,
+    cycles_per_unit: f64,
+    horizon_cycles: u64,
+) -> CriticalityPlan {
+    assert!(cycles_per_unit > 0.0, "cycles_per_unit must be positive");
+    let modes: Vec<ReliabilityMode> = tasks
+        .tasks()
+        .iter()
+        .map(|t| mode_for_class(t.class))
+        .collect();
+    let mut schedule = PairingSchedule::new();
+    for (slot, task) in tasks.tasks().iter().enumerate() {
+        if task.class != ReliabilityClass::DoubleCheck {
+            continue;
+        }
+        for (release, reacquire) in slack_windows(task, cycles_per_unit, horizon_cycles) {
+            schedule = schedule.window(slot, release, reacquire);
+        }
+    }
+    CriticalityPlan { modes, schedule }
+}
+
+/// The slack windows (in cycles) of one task: `[k·T + C, (k+1)·T)` for
+/// each job `k` whose slack starts inside the horizon.
+fn slack_windows(task: &SpTask, cycles_per_unit: f64, horizon_cycles: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    if task.wcet >= task.period {
+        return out; // fully utilised: no slack to release in
+    }
+    let mut k = 0u64;
+    loop {
+        let start = (k as f64 * task.period + task.wcet) * cycles_per_unit;
+        let end = ((k + 1) as f64 * task.period) * cycles_per_unit;
+        let (start, end) = (start.round() as u64, end.round() as u64);
+        if start >= horizon_cycles {
+            break;
+        }
+        let end = end.min(horizon_cycles);
+        if end > start {
+            out.push((start, end));
+        }
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexstep_soc::PairingAction;
+
+    fn set() -> TaskSet {
+        TaskSet::new(vec![
+            SpTask {
+                id: 0,
+                wcet: 2.0,
+                period: 10.0,
+                class: ReliabilityClass::DoubleCheck,
+            },
+            SpTask {
+                id: 1,
+                wcet: 3.0,
+                period: 10.0,
+                class: ReliabilityClass::Normal,
+            },
+            SpTask {
+                id: 2,
+                wcet: 1.0,
+                period: 5.0,
+                class: ReliabilityClass::TripleCheck,
+            },
+        ])
+    }
+
+    #[test]
+    fn classes_map_to_modes() {
+        let plan = criticality_plan(&set(), 100.0, 2_000);
+        assert_eq!(
+            plan.modes,
+            [
+                ReliabilityMode::SegmentCheck,
+                ReliabilityMode::Unchecked,
+                ReliabilityMode::FullLockstep,
+            ]
+        );
+    }
+
+    #[test]
+    fn only_double_check_slots_cycle_their_checker() {
+        let plan = criticality_plan(&set(), 100.0, 2_000);
+        assert!(plan.schedule.events().iter().all(|e| e.slot == 0));
+        // Two periods fit in the horizon: release at C=200, reacquire at
+        // T=1000, release at T+C=1200, reacquire clipped to 2000.
+        let ev: Vec<(u64, &str)> = plan
+            .schedule
+            .events()
+            .iter()
+            .map(|e| (e.at_cycle, e.action.label()))
+            .collect();
+        assert_eq!(
+            ev,
+            [
+                (200, "release"),
+                (1000, "acquire"),
+                (1200, "release"),
+                (2000, "acquire"),
+            ]
+        );
+    }
+
+    #[test]
+    fn fully_utilised_task_never_releases() {
+        let tasks = TaskSet::new(vec![SpTask {
+            id: 0,
+            wcet: 5.0,
+            period: 5.0,
+            class: ReliabilityClass::DoubleCheck,
+        }]);
+        let plan = criticality_plan(&tasks, 10.0, 1_000);
+        assert!(plan.schedule.is_empty());
+    }
+
+    #[test]
+    fn windows_alternate_release_acquire() {
+        let plan = criticality_plan(&set(), 37.0, 5_000);
+        let slot0: Vec<_> = plan
+            .schedule
+            .events()
+            .iter()
+            .filter(|e| e.slot == 0)
+            .collect();
+        for pair in slot0.chunks(2) {
+            assert_eq!(pair[0].action, PairingAction::Release);
+            if let Some(a) = pair.get(1) {
+                assert_eq!(a.action, PairingAction::Acquire);
+                assert!(a.at_cycle > pair[0].at_cycle);
+            }
+        }
+    }
+}

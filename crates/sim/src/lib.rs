@@ -49,7 +49,9 @@ pub mod timing;
 pub use crate::core::{Core, RunState};
 pub use bpred::{BpredConfig, BranchPredictor};
 pub use exec::{BranchOutcome, MemAccess, MemAccessKind};
-pub use flexstep_soc::CoreModelKind;
+pub use flexstep_soc::{
+    CoreModelKind, PairingAction, PairingEvent, PairingSchedule, ReliabilityMode, RELIABILITY_MODES,
+};
 pub use hart::{ArchSnapshot, ArchState, CsrCounters, PrivMode, TrapCause};
 pub use model::{
     CoreModel, CoreTimingModel, InOrderModel, InstructionExecutor, OooModel, RetireInfo,

@@ -40,14 +40,16 @@ impl SchedMode {
     /// Core count above which the event queue beats the linear scan.
     ///
     /// Measured on the `perf_report` scheduler microbench
-    /// (`scheduler/next_ready_scaling` in `BENCH_pr2.json`): at 2 cores
-    /// the `min_by_key` scan wins (10.7 vs 22.6 ns/step) and still wins
-    /// at 8 (25.2 vs 37.4); by 16 cores the heap is already ahead
-    /// (42.9 vs 45.9) and the scan's O(n) then widens linearly (2.7×
-    /// slower at 64 cores). The crossover therefore sits between 8 and
-    /// 16 cores; the previous hardcoded threshold of 16 made `Adaptive`
-    /// pick the slower scan at exactly 16 cores.
-    pub const SCAN_CROSSOVER: usize = 8;
+    /// (`scheduler/next_ready_scaling` in `BENCH_pr9.json`): at 8 cores
+    /// the `min_by_key` scan still wins clearly (21.9 vs 34.2 ns/step);
+    /// by 16 the heap is ahead (38.2 vs 41.4) and the scan's O(n) then
+    /// widens linearly (2.6× slower at 64 cores). Interpolating the two
+    /// measured lines between those points — the scan degrades ~2.4
+    /// ns/step per core, the heap ~0.5 — puts the crossing at ~14.3
+    /// cores. The previous threshold of 8 made `Adaptive` pick the
+    /// slower heap across the whole 9–14-core band (e.g. ~35 vs ~28
+    /// ns/step at 12 cores on the interpolated lines).
+    pub const SCAN_CROSSOVER: usize = 14;
 
     /// The faster scheduler for an SoC of `num_cores` per the measured
     /// crossover: the linear scan at or below
@@ -218,12 +220,20 @@ mod tests {
     #[test]
     fn adaptive_resolves_to_the_measured_faster_mode() {
         // Pinned against the `scheduler/next_ready_scaling` table in
-        // BENCH_pr2.json: at 2 cores the linear scan measures 10.7
-        // ns/step against the event queue's 22.6; at 64 cores the heap
-        // measures 49.6 against the scan's 135.4. Adaptive must never
-        // pick the slower engine at either scale.
+        // BENCH_pr9.json: the linear scan measures faster through 8
+        // cores (21.9 vs 34.2 ns/step) and the interpolated lines cross
+        // at ~14.3; the event queue measures faster from 16 up (38.2 vs
+        // 41.4, widening to 46.0 vs 121.7 at 64). Adaptive must never
+        // pick the slower engine at a measured point.
         assert_eq!(SchedMode::Adaptive.resolve(2), SchedMode::LinearScan);
+        assert_eq!(SchedMode::Adaptive.resolve(8), SchedMode::LinearScan);
+        assert_eq!(SchedMode::Adaptive.resolve(16), SchedMode::EventQueue);
         assert_eq!(SchedMode::Adaptive.resolve(64), SchedMode::EventQueue);
+        // The 9–14-core band sits below the interpolated ~14.3-core
+        // crossing: the scan must keep winning right up to it.
+        assert_eq!(SchedMode::Adaptive.resolve(12), SchedMode::LinearScan);
+        assert_eq!(SchedMode::Adaptive.resolve(14), SchedMode::LinearScan);
+        assert_eq!(SchedMode::Adaptive.resolve(15), SchedMode::EventQueue);
         // Explicit modes are not second-guessed.
         assert_eq!(SchedMode::EventQueue.resolve(2), SchedMode::EventQueue);
         assert_eq!(SchedMode::LinearScan.resolve(64), SchedMode::LinearScan);

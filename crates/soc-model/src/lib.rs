@@ -34,9 +34,14 @@
 #![warn(missing_docs)]
 
 mod model_kind;
+mod reliability;
 
 pub use model_kind::{
     CheckerTier, CoreModelKind, CHECKER_TIERS, DEFAULT_OOO_ROB, DEFAULT_OOO_WIDTH,
+};
+pub use reliability::{
+    PairingAction, PairingEvent, PairingSchedule, ReliabilityMode, CHECKPOINT_ONLY_SCALE,
+    RELIABILITY_MODES,
 };
 
 use std::fmt;

@@ -1,0 +1,275 @@
+//! Per-slot reliability-mode descriptors and dynamic pairing schedules.
+//!
+//! FlexStep's core claim (§III) is that checking is *flexible*: a main
+//! core opts in and out of verification at runtime, and the scheduler —
+//! not a failure — decides when a shared checker is worth holding. This
+//! module names that policy space. [`ReliabilityMode`] fixes the
+//! checkpoint granularity a main slot runs at (from per-instruction
+//! lockstep down to no checking at all), and [`PairingSchedule`] is the
+//! criticality-driven acquire/release timeline the run harness executes
+//! against the checker arbiter, always on segment boundaries.
+//!
+//! The descriptors live here — next to [`CoreModelKind`](crate::CoreModelKind)
+//! — so the simulator, the checking fabric, the scheduler and the bench
+//! sweeps all share one definition.
+
+use std::fmt;
+
+/// Segment-limit multiplier of [`ReliabilityMode::CheckpointOnly`]
+/// relative to the configured base limit: checkpoints are taken 4×
+/// less often, trading detection latency for checkpoint overhead.
+pub const CHECKPOINT_ONLY_SCALE: u64 = 4;
+
+/// How strictly a main slot's execution is verified.
+///
+/// Modes differ only in *checkpoint granularity* — how many retired
+/// user instructions a verified segment spans — and whether a checker
+/// channel exists at all. Architectural semantics are identical; the
+/// trade is detection latency against checkpoint/replay overhead
+/// (Prabakaran et al.'s mode-vs-overhead sweep, PAPERS.md).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReliabilityMode {
+    /// A checkpoint per retired user instruction: the classical
+    /// lockstep bound — minimal detection latency, maximal checkpoint
+    /// overhead.
+    FullLockstep,
+    /// The paper's evaluated configuration: segments of the fabric's
+    /// configured limit (5 000 instructions for
+    /// `FabricConfig::paper()`).
+    #[default]
+    SegmentCheck,
+    /// Coarse checkpoints only ([`CHECKPOINT_ONLY_SCALE`]× the base
+    /// segment limit): cheapest checked mode, longest detection
+    /// latency.
+    CheckpointOnly,
+    /// No checker channel at all — the slot runs as a plain core.
+    /// Faults targeting it are *never* detected; the harness reports
+    /// them as expired with a typed warning.
+    Unchecked,
+}
+
+/// All four modes, in decreasing checking strictness — the sweep order
+/// of the `fig9_modes` table.
+pub const RELIABILITY_MODES: &[ReliabilityMode] = &[
+    ReliabilityMode::FullLockstep,
+    ReliabilityMode::SegmentCheck,
+    ReliabilityMode::CheckpointOnly,
+    ReliabilityMode::Unchecked,
+];
+
+impl ReliabilityMode {
+    /// Whether a checker channel is associated and verifying at all.
+    pub fn is_checked(&self) -> bool {
+        !matches!(self, ReliabilityMode::Unchecked)
+    }
+
+    /// The per-slot segment limit this mode runs at, given the fabric's
+    /// configured base limit. `None` means the base limit is kept
+    /// as-is (also for [`ReliabilityMode::Unchecked`], where no
+    /// segment ever opens).
+    pub fn segment_limit(&self, base: u64) -> Option<u64> {
+        match self {
+            ReliabilityMode::FullLockstep => Some(1),
+            ReliabilityMode::SegmentCheck => None,
+            ReliabilityMode::CheckpointOnly => Some(base.saturating_mul(CHECKPOINT_ONLY_SCALE)),
+            ReliabilityMode::Unchecked => None,
+        }
+    }
+
+    /// Short stable label for artifact rows, JSON reports and trace
+    /// lanes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReliabilityMode::FullLockstep => "full_lockstep",
+            ReliabilityMode::SegmentCheck => "segment_check",
+            ReliabilityMode::CheckpointOnly => "checkpoint_only",
+            ReliabilityMode::Unchecked => "unchecked",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back into a mode (spec files and
+    /// CLI flags).
+    pub fn from_label(label: &str) -> Option<Self> {
+        RELIABILITY_MODES
+            .iter()
+            .copied()
+            .find(|m| m.label() == label)
+    }
+}
+
+impl fmt::Display for ReliabilityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One side of a pairing transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairingAction {
+    /// (Re-)enable checking on the slot; shared slots re-enter
+    /// arbitration for their checker.
+    Acquire,
+    /// Disable checking at the next segment boundary and hand a shared
+    /// checker back to the arbiter.
+    Release,
+}
+
+impl PairingAction {
+    /// Stable label for events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PairingAction::Acquire => "acquire",
+            PairingAction::Release => "release",
+        }
+    }
+}
+
+/// One scheduled pairing transition: at `at_cycle`, main slot `slot`
+/// should acquire or release its checker.
+///
+/// Releases are *requests*: the harness applies them at the next
+/// segment boundary (a mid-segment release would strand the checker
+/// waiting for an end checkpoint that never arrives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairingEvent {
+    /// Cycle at which the transition becomes due.
+    pub at_cycle: u64,
+    /// Main slot index (scenario slot order, not physical core id).
+    pub slot: usize,
+    /// Acquire or release.
+    pub action: PairingAction,
+}
+
+/// A criticality-driven acquire/release timeline for main slots.
+///
+/// Built either directly (`release_at`/`acquire_at`) or from a
+/// task-set's criticality windows by `flexstep-sched`. Events are kept
+/// sorted by cycle (ties keep insertion order); a later event for the
+/// same slot overrides an earlier one still pending.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairingSchedule {
+    events: Vec<PairingEvent>,
+}
+
+impl PairingSchedule {
+    /// An empty schedule (no transitions).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a checker release for `slot` at `at_cycle`.
+    pub fn release_at(mut self, at_cycle: u64, slot: usize) -> Self {
+        self.push(PairingEvent {
+            at_cycle,
+            slot,
+            action: PairingAction::Release,
+        });
+        self
+    }
+
+    /// Schedules a checker (re-)acquire for `slot` at `at_cycle`.
+    pub fn acquire_at(mut self, at_cycle: u64, slot: usize) -> Self {
+        self.push(PairingEvent {
+            at_cycle,
+            slot,
+            action: PairingAction::Acquire,
+        });
+        self
+    }
+
+    /// Schedules an unchecked window `[release, reacquire)` for `slot`.
+    pub fn window(self, slot: usize, release: u64, reacquire: u64) -> Self {
+        assert!(release < reacquire, "window must have positive length");
+        self.release_at(release, slot).acquire_at(reacquire, slot)
+    }
+
+    /// Adds one event, keeping the list sorted by cycle with stable
+    /// insertion order on ties.
+    pub fn push(&mut self, event: PairingEvent) {
+        let at = self
+            .events
+            .partition_point(|e| e.at_cycle <= event.at_cycle);
+        self.events.insert(at, event);
+    }
+
+    /// The transitions, sorted by cycle.
+    pub fn events(&self) -> &[PairingEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled transitions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The largest slot index any event references, if any.
+    pub fn max_slot(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.slot).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_descriptors_are_stable() {
+        assert_eq!(ReliabilityMode::default(), ReliabilityMode::SegmentCheck);
+        assert_eq!(ReliabilityMode::FullLockstep.segment_limit(5000), Some(1));
+        assert_eq!(ReliabilityMode::SegmentCheck.segment_limit(5000), None);
+        assert_eq!(
+            ReliabilityMode::CheckpointOnly.segment_limit(5000),
+            Some(20_000)
+        );
+        assert_eq!(ReliabilityMode::Unchecked.segment_limit(5000), None);
+        assert!(!ReliabilityMode::Unchecked.is_checked());
+        assert!(RELIABILITY_MODES.iter().take(3).all(|m| m.is_checked()));
+        let labels: Vec<_> = RELIABILITY_MODES.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "full_lockstep",
+                "segment_check",
+                "checkpoint_only",
+                "unchecked"
+            ]
+        );
+        assert_eq!(ReliabilityMode::FullLockstep.to_string(), "full_lockstep");
+        for m in RELIABILITY_MODES {
+            assert_eq!(ReliabilityMode::from_label(m.label()), Some(*m));
+        }
+        assert_eq!(ReliabilityMode::from_label("lockstep"), None);
+    }
+
+    #[test]
+    fn schedule_stays_sorted_and_stable() {
+        let s = PairingSchedule::new()
+            .release_at(500, 1)
+            .acquire_at(100, 0)
+            .release_at(100, 2)
+            .window(0, 900, 1200);
+        let cycles: Vec<u64> = s.events().iter().map(|e| e.at_cycle).collect();
+        assert_eq!(cycles, [100, 100, 500, 900, 1200]);
+        // Ties keep insertion order: slot 0's acquire precedes slot 2's
+        // release at cycle 100.
+        assert_eq!(s.events()[0].slot, 0);
+        assert_eq!(s.events()[1].slot, 2);
+        assert_eq!(s.max_slot(), Some(2));
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert!(PairingSchedule::new().is_empty());
+        assert_eq!(PairingAction::Acquire.label(), "acquire");
+        assert_eq!(PairingAction::Release.label(), "release");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_window_rejected() {
+        let _ = PairingSchedule::new().window(0, 100, 100);
+    }
+}

@@ -85,6 +85,7 @@ fn fig7_manycore_mini() {
         shots_per_run: 5,
         seed: 19,
         recovery: flexstep_bench::RecoveryPolicy::Detect,
+        mode: flexstep_bench::ReliabilityMode::SegmentCheck,
     };
     let row = campaign_row(&cfg).expect("valid configuration");
     assert!(row.completed);

@@ -1,0 +1,259 @@
+//! Reliability-mode properties (ISSUE 10 satellite).
+//!
+//! The mode layer must keep the fault-attribution chain ordered no
+//! matter how slots mix modes, how checkers come and go mid-run, or
+//! where shots land:
+//!
+//! - `detected <= landed <= armed`, and every armed shot either lands
+//!   or expires, under random mode assignments × acquire/release
+//!   schedules × fault plans;
+//! - a shot that expires while its slot is `Unchecked` or released
+//!   raises the typed `ShotInUncheckedWindow` warning — never expires
+//!   silently;
+//! - on identical seeds, mean detection latency is monotone in
+//!   strictness: `FullLockstep` <= `SegmentCheck` <= `CheckpointOnly`.
+
+use flexstep::core::{
+    FabricConfig, FaultPlan, FaultTarget, PairingSchedule, ReliabilityMode, RunWarning, Scenario,
+    Topology, RELIABILITY_MODES,
+};
+use flexstep::isa::asm::{Assembler, Program};
+use flexstep::isa::XReg;
+use proptest::prelude::*;
+
+/// A branchy store/load checksum kernel in a private window per slot.
+/// Run against a 150-instruction segment limit, a few hundred
+/// iterations cross dozens of segment boundaries — enough for deferred
+/// releases to land and for the modes to differ.
+fn checksum_job(slot: u64, iters: i64) -> Program {
+    let text = 0x1000_0000 + slot * 0x10_0000;
+    let data = 0x2000_0000 + slot * 0x10_0000;
+    let mut asm = Assembler::with_bases(format!("mp{slot}"), text, data);
+    asm.la(XReg::A2, "buf");
+    asm.data_label("buf").unwrap();
+    asm.data_zeros(64);
+    asm.li(XReg::A0, iters);
+    asm.li(XReg::A4, 0);
+    asm.label("l").unwrap();
+    asm.sd(XReg::A2, XReg::A0, 0);
+    asm.ld(XReg::A3, XReg::A2, 0);
+    asm.add(XReg::A4, XReg::A4, XReg::A3);
+    asm.addi(XReg::A0, XReg::A0, -1);
+    asm.bnez(XReg::A0, "l");
+    asm.ecall();
+    asm.finish().unwrap()
+}
+
+fn small_segments() -> FabricConfig {
+    FabricConfig {
+        segment_limit: 150,
+        ..FabricConfig::paper()
+    }
+}
+
+fn unchecked_warnings(warnings: &[RunWarning]) -> usize {
+    warnings
+        .iter()
+        .filter(|w| matches!(w, RunWarning::ShotInUncheckedWindow { .. }))
+        .count()
+}
+
+fn mode_strategy() -> impl Strategy<Value = ReliabilityMode> {
+    (0..RELIABILITY_MODES.len()).prop_map(|i| RELIABILITY_MODES[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random per-slot modes × random release/re-acquire windows ×
+    /// random fault plans: the run completes and the attribution chain
+    /// stays ordered. Warnings only ever annotate expired shots.
+    #[test]
+    fn attribution_orders_under_random_modes_and_schedules(
+        modes in proptest::collection::vec(mode_strategy(), 2),
+        shared in any::<bool>(),
+        window_on in proptest::collection::vec(any::<bool>(), 2),
+        release_at in 2_000u64..8_000,
+        window_len in 1_000u64..8_000,
+        shots in proptest::collection::vec((1_000u64..20_000, 0usize..2, any::<bool>()), 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let p0 = checksum_job(0, 600);
+        let p1 = checksum_job(1, 600);
+        let mut scenario = if shared {
+            Scenario::new(&p0)
+                .program(&p1)
+                .cores(3)
+                .topology(Topology::SharedChecker { checkers: 1 })
+        } else {
+            Scenario::new(&p0).program(&p1).cores(4)
+        };
+        scenario = scenario.fabric(small_segments());
+        for (slot, mode) in modes.iter().enumerate() {
+            scenario = scenario.reliability_mode(slot, *mode);
+        }
+        // Windows only on checked slots: scheduling a pairing event on
+        // an Unchecked slot is a build-time error by design.
+        let mut schedule = PairingSchedule::new();
+        let mut scheduled = false;
+        for slot in 0..2 {
+            if window_on[slot] && modes[slot].is_checked() {
+                schedule = schedule.window(slot, release_at, release_at + window_len);
+                scheduled = true;
+            }
+        }
+        if scheduled {
+            scenario = scenario.pairing_schedule(schedule);
+        }
+        let mut plan = FaultPlan::none().with_seed(seed);
+        for &(at, channel, targeted) in &shots {
+            plan = if targeted {
+                plan.then_bit_flip_at(at, FaultTarget::EntryData).on_channel(channel)
+            } else {
+                plan.then_random_at(at).on_channel(channel)
+            };
+        }
+        let mut run = scenario.fault_plan(plan).build().expect("setup");
+        let report = run.run_to_completion(100_000_000);
+
+        prop_assert!(report.completed, "mode run must finish");
+        let armed = report.shots_armed as usize;
+        let landed = report.injections.len();
+        let expired = report.shots_expired as usize;
+        let detected = report.matched_detections().len();
+        prop_assert_eq!(armed, shots.len());
+        prop_assert_eq!(landed + expired, armed, "every armed shot lands or expires");
+        prop_assert!(detected <= landed, "attribution: {detected} detected of {landed} landed");
+        prop_assert!(
+            unchecked_warnings(&report.warnings) <= expired,
+            "warnings annotate expired shots only"
+        );
+        // Mode accounting is live whenever any slot leaves SegmentCheck
+        // or a schedule is installed; its totals cover every main slot.
+        if !report.mode_stats.is_empty() {
+            prop_assert_eq!(report.mode_stats.len(), 2);
+            for (slot, stat) in report.mode_stats.iter().enumerate() {
+                prop_assert_eq!(stat.mode, modes[slot]);
+            }
+        }
+    }
+
+    /// Every shot aimed at an `Unchecked` slot expires with the typed
+    /// warning — never silently, and never as a detection.
+    #[test]
+    fn unchecked_shots_always_expire_with_warnings(
+        shots in proptest::collection::vec((500u64..30_000, any::<bool>()), 1..5),
+        seed in 0u64..1_000,
+        iters in 200i64..800,
+    ) {
+        let mut plan = FaultPlan::none().with_seed(seed);
+        for &(at, targeted) in &shots {
+            plan = if targeted {
+                plan.then_bit_flip_at(at, FaultTarget::EntryData)
+            } else {
+                plan.then_random_at(at)
+            };
+        }
+        let mut run = Scenario::new(&checksum_job(0, iters))
+            .cores(2)
+            .fabric(small_segments())
+            .main_reliability_mode(ReliabilityMode::Unchecked)
+            .fault_plan(plan)
+            .build()
+            .expect("setup");
+        let report = run.run_to_completion(100_000_000);
+        prop_assert!(report.completed);
+        prop_assert_eq!(report.injections.len(), 0, "nothing flows on an unchecked stream");
+        prop_assert!(report.detections.is_empty());
+        prop_assert_eq!(report.shots_expired, report.shots_armed);
+        prop_assert_eq!(
+            unchecked_warnings(&report.warnings) as u64,
+            report.shots_armed,
+            "every unchecked expiry must warn"
+        );
+    }
+
+    /// A shot that expires while its slot sits released (the checker
+    /// was handed back and never re-acquired) warns just like a shot on
+    /// an `Unchecked` slot.
+    #[test]
+    fn released_window_expiries_warn(
+        release_at in 400u64..1_200,
+        iters in 300i64..900,
+        seed in 0u64..1_000,
+    ) {
+        // The shot can never fire before the run drains (beyond any
+        // horizon), so it must expire — while slot 0 sits released.
+        let plan = FaultPlan::none()
+            .with_seed(seed)
+            .then_bit_flip_at(u64::MAX / 2, FaultTarget::EntryData);
+        let mut run = Scenario::new(&checksum_job(0, iters))
+            .cores(2)
+            .fabric(small_segments())
+            .pairing_schedule(PairingSchedule::new().release_at(release_at, 0))
+            .fault_plan(plan)
+            .build()
+            .expect("setup");
+        let report = run.run_to_completion(100_000_000);
+        prop_assert!(report.completed);
+        prop_assert_eq!(report.shots_expired, 1);
+        prop_assert_eq!(report.mode_stats[0].releases, 1);
+        prop_assert_eq!(
+            unchecked_warnings(&report.warnings),
+            1,
+            "a released-window expiry must warn, not pass silently"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On identical seeds and shot cycles, mean detection latency
+    /// orders by strictness: a lockstep main held at every checkpoint
+    /// beats segment-granular verdicts, which beat coarse
+    /// checkpoint-only segments. The comparison is over a small
+    /// campaign, not a single shot — which in-flight FIFO entry a shot
+    /// corrupts is drawn by the fault driver, so individual latencies
+    /// can cross even though the distributions order cleanly.
+    #[test]
+    fn detection_latency_is_monotone_in_strictness(
+        ats in proptest::collection::vec(1_000u64..5_000, 6),
+        seed in 0u64..1_000,
+    ) {
+        // ~6 000 user instructions: every shot cycle below lands well
+        // inside even the fastest (CheckpointOnly) run's horizon.
+        let program = checksum_job(0, 1_200);
+        let mut means = Vec::new();
+        for mode in [
+            ReliabilityMode::FullLockstep,
+            ReliabilityMode::SegmentCheck,
+            ReliabilityMode::CheckpointOnly,
+        ] {
+            let mut total = 0u64;
+            for &at in &ats {
+                let plan = FaultPlan::none()
+                    .with_seed(seed)
+                    .then_bit_flip_at(at, FaultTarget::EntryData);
+                let mut run = Scenario::new(&program)
+                    .cores(2)
+                    .fabric(small_segments())
+                    .main_reliability_mode(mode)
+                    .fault_plan(plan)
+                    .build()
+                    .expect("setup");
+                let report = run.run_to_completion(100_000_000);
+                prop_assert!(report.completed, "{mode} run must finish");
+                let matched = report.matched_detections();
+                prop_assert_eq!(matched.len(), 1, "{} must detect the landed shot", mode);
+                total += matched[0].latency_cycles();
+            }
+            means.push(total as f64 / ats.len() as f64);
+        }
+        prop_assert!(
+            means[0] <= means[1] && means[1] <= means[2],
+            "mean latency must order lockstep <= segment_check <= checkpoint_only, got {:?}",
+            means
+        );
+    }
+}

@@ -14,7 +14,9 @@
 //! PR 6 warp-free clock invariant — memo on/off must not merely both
 //! complete, but produce the same bytes).
 
-use flexstep::core::{FabricConfig, FaultPlan, RecoveryPolicy, Scenario, Topology, VerifiedRun};
+use flexstep::core::{
+    FabricConfig, FaultPlan, RecoveryPolicy, ReliabilityMode, Scenario, Topology, VerifiedRun,
+};
 use flexstep::isa::asm::{Assembler, Program};
 use flexstep::isa::XReg;
 use std::path::PathBuf;
@@ -127,6 +129,96 @@ fn rollback_recovery_report_matches_golden() {
         .build()
         .unwrap();
     assert_golden("recovery.report.json", &run_report(run));
+}
+
+// ---------------------------------------------------------------------------
+// Reliability-mode equivalence (ISSUE 10): `SegmentCheck` is the
+// pre-mode behavior, so *explicitly* requesting it — via the all-mains
+// or the per-slot builder — must reproduce the same goldens byte for
+// byte, reports and traces alike. A diff here means the mode layer
+// perturbed the default path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explicit_segment_check_report_matches_paired_golden() {
+    let run = Scenario::new(&checksum_job(0, 700))
+        .cores(2)
+        .fabric(FabricConfig::paper())
+        .main_reliability_mode(ReliabilityMode::SegmentCheck)
+        .build()
+        .unwrap();
+    assert_golden("paired.report.json", &run_report(run));
+}
+
+#[test]
+fn explicit_segment_check_trace_matches_paired_golden() {
+    let tmp = std::env::temp_dir().join("flexstep_mode_equivalence_unwritten.json");
+    let mut run = Scenario::new(&checksum_job(0, 300))
+        .cores(2)
+        .fabric(FabricConfig::paper())
+        .main_reliability_mode(ReliabilityMode::SegmentCheck)
+        .trace_to(tmp)
+        .build()
+        .unwrap();
+    let report = run.run_to_completion(u64::MAX);
+    assert!(report.completed);
+    let trace = run.trace().expect("trace configured").to_chrome_json();
+    assert_golden("paired.trace.json", &trace);
+}
+
+#[test]
+fn per_slot_segment_check_report_matches_shared_faulty_golden() {
+    let programs: Vec<Program> = (0..6).map(|i| checksum_job(i, 500)).collect();
+    let mut plan = FaultPlan::none().with_seed(0x9e37);
+    for k in 0..3usize {
+        plan = plan.then_random_at(3_000 + 4_000 * k as u64).on_channel(k);
+    }
+    let mut scenario = Scenario::new(&programs[0])
+        .cores(8)
+        .topology(Topology::SharedChecker { checkers: 2 })
+        .fabric(FabricConfig::paper())
+        .fault_plan(plan);
+    for p in &programs[1..] {
+        scenario = scenario.program(p);
+    }
+    for slot in 0..6 {
+        scenario = scenario.reliability_mode(slot, ReliabilityMode::SegmentCheck);
+    }
+    assert_golden(
+        "shared_faulty.report.json",
+        &run_report(scenario.build().unwrap()),
+    );
+}
+
+#[test]
+fn explicit_segment_check_report_matches_recovery_golden() {
+    let run = Scenario::new(&checksum_job(0, 900))
+        .cores(2)
+        .fabric(FabricConfig::paper())
+        .fault_plan(FaultPlan::none().with_seed(7).then_random_at(5_000))
+        .recovery(RecoveryPolicy::Rollback { max_retries: 3 })
+        .main_reliability_mode(ReliabilityMode::SegmentCheck)
+        .build()
+        .unwrap();
+    assert_golden("recovery.report.json", &run_report(run));
+}
+
+#[test]
+fn explicit_segment_check_matches_memo_goldens() {
+    let program = checksum_job(0, 600);
+    for (memo, golden) in [
+        (false, "memo_off.report.json"),
+        (true, "memo_on.report.json"),
+    ] {
+        let run = Scenario::new(&program)
+            .cores(2)
+            .fabric(FabricConfig::paper())
+            .memo(memo)
+            .main_reliability_mode(ReliabilityMode::SegmentCheck)
+            .build()
+            .unwrap();
+        assert_golden(golden, &run_report(run));
+    }
 }
 
 #[test]

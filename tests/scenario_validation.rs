@@ -4,7 +4,8 @@
 //! `dual_core`/`triple_core` constructor shims used to carry).
 
 use flexstep::core::{
-    FabricConfig, FaultPlan, FaultTarget, RunReport, Scenario, ScenarioError, Topology,
+    FabricConfig, FaultPlan, FaultTarget, PairingSchedule, ReliabilityMode, RunReport, Scenario,
+    ScenarioError, Topology,
 };
 use flexstep::isa::asm::{Assembler, Program};
 use flexstep::isa::XReg;
@@ -183,6 +184,49 @@ fn program_count_must_match_main_count() {
             programs: 2
         }
     );
+}
+
+#[test]
+fn reliability_mode_slot_must_exist() {
+    let p = store_loop(10);
+    // 1 main (core 0), slot 3 does not exist.
+    let err = Scenario::new(&p)
+        .cores(2)
+        .reliability_mode(3, ReliabilityMode::FullLockstep)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::ModeSlotOutOfRange { slot: 3, mains: 1 });
+    assert!(err.to_string().contains("slot 3"));
+}
+
+#[test]
+fn pairing_schedule_slot_must_exist() {
+    let p = store_loop(10);
+    let err = Scenario::new(&p)
+        .cores(2)
+        .pairing_schedule(PairingSchedule::new().release_at(1_000, 5))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::PairingSlotOutOfRange { slot: 5, mains: 1 }
+    );
+}
+
+#[test]
+fn pairing_schedule_rejects_unchecked_slots() {
+    let p = store_loop(10);
+    // An Unchecked slot has no checker channel to acquire or release;
+    // scheduling a transition on it is a build-time error, not a
+    // silently dropped event.
+    let err = Scenario::new(&p)
+        .cores(2)
+        .main_reliability_mode(ReliabilityMode::Unchecked)
+        .pairing_schedule(PairingSchedule::new().window(0, 1_000, 2_000))
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ScenarioError::PairingUncheckedSlot { slot: 0 });
+    assert!(err.to_string().contains("unchecked"));
 }
 
 // ---------------------------------------------------------------------------
